@@ -1,0 +1,177 @@
+// Figure 1 / §3.1 micro-benchmarks: the NCHW[x]c direct-convolution template against
+// the NCHW baselines on real ResNet-50 workloads, plus schedule-parameter ablations
+// (reg_n register blocking, oc_bn ISA blocking, unroll_ker) — the knobs DESIGN.md calls
+// out as design-choice ablations.
+#include <benchmark/benchmark.h>
+
+#include "src/base/rng.h"
+#include "src/kernels/conv_im2col.h"
+#include "src/kernels/conv_nchwc.h"
+#include "src/kernels/conv_ref.h"
+#include "src/kernels/conv_winograd.h"
+#include "src/tensor/layout_transform.h"
+
+namespace neocpu {
+namespace {
+
+// Representative ResNet-50 convolution workloads (batch 1, 224x224 input).
+const Conv2dParams kWorkloads[] = {
+    {1, 3, 224, 224, 64, 7, 7, 2, 2, 3, 3},     // stem
+    {1, 64, 56, 56, 64, 1, 1, 1, 1, 0, 0},      // stage1 1x1
+    {1, 64, 56, 56, 64, 3, 3, 1, 1, 1, 1},      // stage1 3x3
+    {1, 256, 56, 56, 128, 1, 1, 2, 2, 0, 0},    // stage2 downsample
+    {1, 512, 7, 7, 512, 3, 3, 1, 1, 1, 1},      // stage4 3x3
+};
+
+struct BlockedSetup {
+  Conv2dParams p;
+  ConvSchedule s;
+  Tensor in, w, out;
+};
+
+BlockedSetup MakeBlocked(const Conv2dParams& p, const ConvSchedule& s) {
+  Rng rng(1);
+  BlockedSetup setup{p, s, {}, {}, {}};
+  setup.in = Tensor::Random({p.batch, p.in_c / s.ic_bn, p.in_h, p.in_w, s.ic_bn}, rng, -1, 1,
+                            Layout::NCHWc(s.ic_bn));
+  setup.w = Tensor::Random(
+      {p.out_c / s.oc_bn, p.in_c / s.ic_bn, p.kernel_h, p.kernel_w, s.ic_bn, s.oc_bn}, rng,
+      -0.5f, 0.5f, Layout::OIHWio(s.ic_bn, s.oc_bn));
+  setup.out = Tensor::Empty({p.batch, p.out_c / s.oc_bn, p.OutH(), p.OutW(), s.oc_bn},
+                            Layout::NCHWc(s.oc_bn));
+  return setup;
+}
+
+ConvSchedule DefaultSchedule(const Conv2dParams& p) {
+  auto factor = [](std::int64_t c, std::int64_t want) {
+    std::int64_t best = 1;
+    for (std::int64_t f = 1; f <= want && f <= c; ++f) {
+      if (c % f == 0) {
+        best = f;
+      }
+    }
+    return best;
+  };
+  return ConvSchedule{factor(p.in_c, 16), factor(p.out_c, 16), 8, true};
+}
+
+void BM_ConvNCHWc(benchmark::State& state) {
+  const Conv2dParams& p = kWorkloads[state.range(0)];
+  BlockedSetup setup = MakeBlocked(p, DefaultSchedule(p));
+  for (auto _ : state) {
+    ConvNCHWc(setup.p, setup.s, setup.in, setup.w, nullptr, nullptr, {}, &setup.out);
+  }
+  state.counters["GFLOPS"] =
+      benchmark::Counter(2.0 * p.Macs(), benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_ConvNCHWc)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_ConvDirectNCHW(benchmark::State& state) {
+  const Conv2dParams& p = kWorkloads[state.range(0)];
+  Rng rng(2);
+  Tensor in = Tensor::Random({p.batch, p.in_c, p.in_h, p.in_w}, rng, -1, 1, Layout::NCHW());
+  Tensor w = Tensor::Random({p.out_c, p.in_c, p.kernel_h, p.kernel_w}, rng, -0.5f, 0.5f,
+                            Layout::OIHW());
+  Tensor out = Tensor::Empty({p.batch, p.out_c, p.OutH(), p.OutW()}, Layout::NCHW());
+  for (auto _ : state) {
+    ConvRefNCHW(p, in, w, nullptr, nullptr, {}, &out);
+  }
+  state.counters["GFLOPS"] =
+      benchmark::Counter(2.0 * p.Macs(), benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_ConvDirectNCHW)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_ConvIm2col(benchmark::State& state) {
+  const Conv2dParams& p = kWorkloads[state.range(0)];
+  Rng rng(3);
+  Tensor in = Tensor::Random({p.batch, p.in_c, p.in_h, p.in_w}, rng, -1, 1, Layout::NCHW());
+  Tensor w = Tensor::Random({p.out_c, p.in_c, p.kernel_h, p.kernel_w}, rng, -0.5f, 0.5f,
+                            Layout::OIHW());
+  Tensor out = Tensor::Empty({p.batch, p.out_c, p.OutH(), p.OutW()}, Layout::NCHW());
+  for (auto _ : state) {
+    ConvIm2col(p, in, w, nullptr, nullptr, {}, &out);
+  }
+  state.counters["GFLOPS"] =
+      benchmark::Counter(2.0 * p.Macs(), benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_ConvIm2col)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+// Ablation: reg_n register blocking (Figure 1's claim that reusing one kernel vector
+// across reg_n output positions is what buys the FMA throughput).
+void BM_Ablation_RegN(benchmark::State& state) {
+  Conv2dParams p{1, 64, 56, 56, 64, 3, 3, 1, 1, 1, 1};
+  ConvSchedule s{16, 16, state.range(0), true};
+  BlockedSetup setup = MakeBlocked(p, s);
+  for (auto _ : state) {
+    ConvNCHWc(setup.p, setup.s, setup.in, setup.w, nullptr, nullptr, {}, &setup.out);
+  }
+}
+BENCHMARK(BM_Ablation_RegN)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation: channel block = ISA vector width (4 = NEON, 8 = AVX2, 16/32 = AVX-512).
+void BM_Ablation_Block(benchmark::State& state) {
+  Conv2dParams p{1, 64, 56, 56, 64, 3, 3, 1, 1, 1, 1};
+  const std::int64_t block = state.range(0);
+  ConvSchedule s{block, block, 8, true};
+  BlockedSetup setup = MakeBlocked(p, s);
+  for (auto _ : state) {
+    ConvNCHWc(setup.p, setup.s, setup.in, setup.w, nullptr, nullptr, {}, &setup.out);
+  }
+}
+BENCHMARK(BM_Ablation_Block)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+// Ablation: unroll_ker on/off (the boolean in the paper's schedule tuple).
+void BM_Ablation_UnrollKer(benchmark::State& state) {
+  Conv2dParams p{1, 64, 56, 56, 64, 3, 3, 1, 1, 1, 1};
+  ConvSchedule s{16, 16, 8, state.range(0) != 0};
+  BlockedSetup setup = MakeBlocked(p, s);
+  for (auto _ : state) {
+    ConvNCHWc(setup.p, setup.s, setup.in, setup.w, nullptr, nullptr, {}, &setup.out);
+  }
+}
+BENCHMARK(BM_Ablation_UnrollKer)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Winograd F(2x2,3x3) vs the direct template on the same workload (the paper's named
+// future-work algorithm; arithmetic drops 2.25x, transforms eat part of it back).
+void BM_ConvWinograd(benchmark::State& state) {
+  const Conv2dParams& p = kWorkloads[state.range(0)];
+  if (!WinogradApplicable(p)) {
+    state.SkipWithError("not a 3x3/s1 workload");
+    return;
+  }
+  Rng rng(5);
+  Tensor in = Tensor::Random({p.batch, p.in_c, p.in_h, p.in_w}, rng, -1, 1, Layout::NCHW());
+  Tensor w = Tensor::Random({p.out_c, p.in_c, 3, 3}, rng, -0.5f, 0.5f, Layout::OIHW());
+  Tensor u = WinogradTransformWeights(w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ConvWinograd(p, in, u, nullptr, {}));
+  }
+  state.counters["GFLOPS(direct-equiv)"] =
+      benchmark::Counter(2.0 * p.Macs(), benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_ConvWinograd)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Fused epilogue vs separate passes (the fusion half of the joint optimization).
+void BM_FusedEpilogue(benchmark::State& state) {
+  Conv2dParams p{1, 64, 56, 56, 64, 3, 3, 1, 1, 1, 1};
+  ConvSchedule s{16, 16, 8, true};
+  BlockedSetup setup = MakeBlocked(p, s);
+  Rng rng(4);
+  Tensor bias = Tensor::Random({p.out_c}, rng, -0.1f, 0.1f);
+  Tensor residual = Tensor::Random(setup.out.dims(), rng, -1, 1, setup.out.layout());
+  ConvEpilogue epi{true, true, true};
+  for (auto _ : state) {
+    ConvNCHWc(setup.p, setup.s, setup.in, setup.w, &bias, &residual, epi, &setup.out);
+  }
+}
+BENCHMARK(BM_FusedEpilogue)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace neocpu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,213 @@
+// Figure 4 reproduction: inference throughput (images/second) as a function of thread
+// count, comparing the paper's custom thread pool against the OpenMP-style pool (and the
+// framework baselines, which all multi-thread through OpenMP).
+//
+// Curves (per the paper): (a) ResNet-50 on the avx512 profile, threads 1..18;
+// (b) VGG-19 on avx2, threads 1..24; (c) Inception-v3 on neon, threads 1..16.
+//
+// Substitution note (DESIGN.md §1): this host may have fewer cores than the paper's
+// machines, and fork/join overhead cannot be measured directly on an oversubscribed
+// core (the scheduler, not the pool, dominates). Instead the harness measures the
+// *mechanism* cost of each pool with single-core-safe experiments —
+//   * custom pool: one SPSC task handoff + the atomic join decrement (workers spin, so
+//     no wake-up is ever paid);
+//   * OpenMP-style pool: a mutex/condition-variable wake round trip (every region must
+//     wake each parked worker and park it again);
+// — and projects the per-region overhead as (t-1) x per-worker cost. Reported
+// throughput is the strong-scaling projection
+//     latency(t) = compute_1 / t + regions_per_inference * overhead(t),
+// which isolates exactly the quantity Figure 4 attributes the gap to ("the overhead of
+// OpenMP to launch and suppress threads before and after a region"). When the host has
+// >= t physical cores the harness instead prints directly measured throughput.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/runtime/spsc_queue.h"
+
+namespace neocpu {
+namespace bench {
+namespace {
+
+// Cost of one scheduler->worker task handoff in the custom pool: SPSC push + pop plus
+// the fork/join atomic pair. Measured single-threaded; real cross-core handoffs add one
+// cache-line transfer (~0.1 us), which we add as a constant.
+double MeasureSpscHandoffMs() {
+  SpscQueue<int> queue(64);
+  std::atomic<std::uint64_t> pending{0};
+  int value = 0;
+  const int iters = 200000;
+  const RunStats stats = MeasureMillis(
+      [&] {
+        for (int i = 0; i < iters; ++i) {
+          queue.TryPush(i);
+          pending.fetch_add(1, std::memory_order_acq_rel);
+          queue.TryPop(value);
+          pending.fetch_sub(1, std::memory_order_acq_rel);
+          asm volatile("" : : "r"(value) : "memory");
+        }
+      },
+      /*runs=*/3, /*warmup=*/1);
+  const double cacheline_transfer_ms = 1.5e-7;
+  return stats.min / iters + cacheline_transfer_ms;
+}
+
+// Wake-from-parked latency of a mutex + condition-variable handoff (what an OpenMP
+// passive-wait runtime pays per worker per region): a two-thread ping-pong, one wake
+// per half round trip. Valid on a single core — the measured quantity is the futex
+// wake + context switch, which is what a multi-core wake costs too.
+double MeasureCondvarWakeMs() {
+  std::mutex mutex;
+  std::condition_variable cv;
+  int turn = 0;
+  bool done = false;
+  const int rounds = 4000;
+  std::thread pong([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (!done) {
+      cv.wait(lock, [&] { return turn == 1 || done; });
+      if (done) {
+        return;
+      }
+      turn = 0;
+      cv.notify_one();
+    }
+  });
+  Timer timer;
+  for (int i = 0; i < rounds; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      turn = 1;
+    }
+    cv.notify_one();
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return turn == 0; });
+  }
+  const double total_ms = timer.Millis();
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    done = true;
+  }
+  cv.notify_one();
+  pong.join();
+  return total_ms / (2.0 * rounds);  // one wake per half round trip
+}
+
+// Number of fork/join regions one inference executes (~one per compute node).
+int CountRegions(const Graph& graph) {
+  int regions = 0;
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    const OpType t = graph.node(i).type;
+    if (t != OpType::kInput && t != OpType::kConstant) {
+      ++regions;
+    }
+  }
+  return regions;
+}
+
+struct Curve {
+  const char* model;
+  const char* arch;
+  int max_threads;
+};
+
+int Main() {
+  PrintHeader("Figure 4: throughput vs #threads - custom thread pool vs OpenMP-style");
+  const Curve curves[] = {
+      {"resnet50", "avx512", 18},
+      {"vgg19", "avx2", 24},
+      {"inception-v3", "neon", 16},
+  };
+  const int host_cores = HostCpuInfo().physical_cores;
+  TuningDatabase db;
+
+  const double spsc_ms = MeasureSpscHandoffMs();
+  const double wake_ms = MeasureCondvarWakeMs();
+  std::printf("measured mechanism costs: SPSC handoff %.3f us/worker, cond-var wake %.3f "
+              "us/worker\n",
+              spsc_ms * 1e3, wake_ms * 1e3);
+  // Per-region overhead at t workers: the scheduler hands work to (t-1) others.
+  auto overhead_neo = [&](int t) { return (t - 1) * spsc_ms; };
+  auto overhead_omp = [&](int t) { return (t - 1) * wake_ms + (t > 1 ? wake_ms : 0.0); };
+
+  for (const Curve& curve : curves) {
+    const Target target = Target::ByName(curve.arch);
+    std::printf("\n--- Figure 4%c: %s on %s profile ---\n",
+                static_cast<char>('a' + (&curve - curves)), curve.model, curve.arch);
+
+    Graph model = BuildModel(curve.model);
+    Tensor input = ModelInput(curve.model);
+
+    struct Config {
+      const char* name;
+      CompileOptions opts;
+      bool custom_pool;
+    };
+    CompileOptions neo = NeoCpuOptions(target);
+    CompileOptions lib = FrameworkLibOptions(target);
+    CompileOptions def = FrameworkDefaultOptions(target);
+    for (CompileOptions* o : {&neo, &lib, &def}) {
+      o->cost_mode = BenchCostMode();
+      o->tuning_db = &db;
+    }
+    const Config configs[] = {
+        {"neocpu w/ thread pool", neo, true},
+        {"neocpu w/ OMP", neo, false},
+        {"mxnet-like (OMP)", lib, false},
+        {"tf-like (OMP)", def, false},
+    };
+
+    // Single-thread compute time and region count per configuration.
+    double compute_ms[4];
+    int regions[4];
+    for (std::size_t c = 0; c < std::size(configs); ++c) {
+      CompiledModel compiled = Compile(model, configs[c].opts);
+      compute_ms[c] = MeasureModel(compiled, input, nullptr).min;
+      regions[c] = CountRegions(compiled.graph());
+    }
+
+    std::printf("%8s", "#threads");
+    for (const Config& c : configs) {
+      std::printf(" | %22s", c.name);
+    }
+    std::printf("   (images/sec, strong-scaling projection%s)\n",
+                host_cores > 1 ? "; '*' = directly measured" : "");
+
+    for (int t = 1; t <= curve.max_threads; ++t) {
+      std::printf("%8d", t);
+      for (std::size_t c = 0; c < std::size(configs); ++c) {
+        const double overhead_ms =
+            configs[c].custom_pool ? overhead_neo(t) : overhead_omp(t);
+        const double latency = compute_ms[c] / t + regions[c] * overhead_ms;
+        const double ips = 1000.0 / latency;
+        if (t <= host_cores && t > 1) {
+          // Direct measurement is possible: report it instead of the projection.
+          CompiledModel compiled = Compile(model, configs[c].opts);
+          if (configs[c].custom_pool) {
+            NeoThreadPool pool(t);
+            std::printf(" | %20.2f *", 1000.0 / MeasureModel(compiled, input, &pool).min);
+          } else {
+            OmpStylePool pool(t);
+            std::printf(" | %20.2f *", 1000.0 / MeasureModel(compiled, input, &pool).min);
+          }
+        } else {
+          std::printf(" | %22.2f", ips);
+        }
+        std::fflush(stdout);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\nPaper-shape checks: the custom thread pool curve stays above the OMP curves and\n"
+      "keeps scaling at high thread counts, where per-region OpenMP launch overhead\n"
+      "flattens (or dips) the other curves.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace neocpu
+
+int main() { return neocpu::bench::Main(); }

@@ -1,0 +1,71 @@
+// Table 3 reproduction: individual speedup of each optimization stage, relative to the
+// NCHW baseline (speedup of row n includes all techniques up to that row):
+//   Baseline        — NCHW layout, vectorized direct convolution, fusion/simplification
+//                     on (the "original TVM stack" graph optimizations)
+//   Layout Opt.     — NCHW[x]c template per conv, transforms around every conv
+//   Transform Elim. — blocked layout propagated; transforms only at boundaries
+//   Global Search   — per-conv schemes from the DP/PBQP global search
+// One network per family, as in the paper.
+#include "bench/bench_util.h"
+
+namespace neocpu {
+namespace bench {
+namespace {
+
+int Main() {
+  PrintHeader("Table 3: speedup of each optimization stage vs NCHW baseline");
+  const std::vector<std::string> models = {"resnet50", "vgg19", "densenet201",
+                                           "inception-v3", "ssd-resnet50"};
+  struct Row {
+    const char* name;
+    CompileOptions (*options)(const Target&);
+  };
+  const Row rows[] = {
+      {"Baseline", &AblationBaselineNchw},
+      {"Layout Opt.", &AblationLayoutOpt},
+      {"Transform Elim.", &AblationTransformElim},
+      {"Global Search", &AblationGlobalSearch},
+  };
+  const Target target = Target::Host();
+  TuningDatabase db;
+  NeoThreadPool pool;
+
+  std::printf("%-16s", "Speedup");
+  for (const std::string& m : models) {
+    std::printf(" | %13s", m.c_str());
+  }
+  std::printf("\n");
+
+  std::vector<double> baseline_ms(models.size(), 0.0);
+  for (const Row& row : rows) {
+    std::printf("%-16s", row.name);
+    for (std::size_t m = 0; m < models.size(); ++m) {
+      Graph model = BuildModel(models[m]);
+      Tensor input = ModelInput(models[m]);
+      CompileOptions opts = row.options(target);
+      opts.cost_mode = BenchCostMode();
+      opts.tuning_db = &db;
+      CompiledModel compiled = Compile(model, opts);
+      const RunStats stats = MeasureModel(compiled, input, &pool);
+      if (row.name == rows[0].name) {
+        baseline_ms[m] = stats.mean;
+        std::printf(" | %8.2f ms  ", stats.mean);
+      } else {
+        std::printf(" | %9.2fx   ", baseline_ms[m] / stats.mean);
+      }
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper-shape checks: Layout Opt. is the dominant jump (paper: 4-8x), Transform\n"
+      "Elim. adds 1.1-1.5x on top, Global Search adds a further 1.1-1.5x; ResNet-50\n"
+      "gains more from Global Search than VGG-19 (more complex structure).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace neocpu
+
+int main() { return neocpu::bench::Main(); }

@@ -1,0 +1,83 @@
+// §3.1.2 / §4.2.4 micro-benchmarks: per-region fork/join overhead of the custom thread
+// pool vs the OpenMP-style pool — the mechanism behind Figure 4's scalability gap — plus
+// the SPSC queue primitive.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "src/runtime/omp_pool.h"
+#include "src/runtime/spsc_queue.h"
+#include "src/runtime/thread_pool.h"
+
+namespace neocpu {
+namespace {
+
+void BM_ForkJoin_NeoPool(benchmark::State& state) {
+  NeoThreadPool pool(static_cast<int>(state.range(0)), /*bind_threads=*/false);
+  std::atomic<int> sink{0};
+  for (auto _ : state) {
+    pool.ParallelRun(pool.NumWorkers(),
+                     [&](int task, int) { sink.fetch_add(task, std::memory_order_relaxed); });
+  }
+}
+BENCHMARK(BM_ForkJoin_NeoPool)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ForkJoin_OmpPool(benchmark::State& state) {
+  OmpStylePool pool(static_cast<int>(state.range(0)));
+  std::atomic<int> sink{0};
+  for (auto _ : state) {
+    pool.ParallelRun(pool.NumWorkers(),
+                     [&](int task, int) { sink.fetch_add(task, std::memory_order_relaxed); });
+  }
+}
+BENCHMARK(BM_ForkJoin_OmpPool)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// A realistic region: parallel sum over 256 KiB, the size of a small fused op.
+void BM_Region_NeoPool(benchmark::State& state) {
+  NeoThreadPool pool(static_cast<int>(state.range(0)), /*bind_threads=*/false);
+  std::vector<float> data(65536, 1.0f);
+  std::vector<double> partial(static_cast<std::size_t>(pool.NumWorkers()));
+  for (auto _ : state) {
+    ParallelFor(pool, static_cast<std::int64_t>(data.size()),
+                [&](std::int64_t begin, std::int64_t end) {
+                  double s = 0;
+                  for (std::int64_t i = begin; i < end; ++i) {
+                    s += data[static_cast<std::size_t>(i)];
+                  }
+                  benchmark::DoNotOptimize(s);
+                });
+  }
+}
+BENCHMARK(BM_Region_NeoPool)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_Region_OmpPool(benchmark::State& state) {
+  OmpStylePool pool(static_cast<int>(state.range(0)));
+  std::vector<float> data(65536, 1.0f);
+  for (auto _ : state) {
+    ParallelFor(pool, static_cast<std::int64_t>(data.size()),
+                [&](std::int64_t begin, std::int64_t end) {
+                  double s = 0;
+                  for (std::int64_t i = begin; i < end; ++i) {
+                    s += data[static_cast<std::size_t>(i)];
+                  }
+                  benchmark::DoNotOptimize(s);
+                });
+  }
+}
+BENCHMARK(BM_Region_OmpPool)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_SpscQueue_PushPop(benchmark::State& state) {
+  SpscQueue<int> queue(256);
+  int value = 0;
+  for (auto _ : state) {
+    queue.TryPush(42);
+    queue.TryPop(value);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_SpscQueue_PushPop);
+
+}  // namespace
+}  // namespace neocpu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Tuning explorer: walk the §3.3.1 schedule space for one convolution workload, compare
+// the analytic cost model against real measurements, and demonstrate the persistent
+// tuning database ("maintain a database ... to prevent repeating search").
+//
+//   ./tuning_explorer [db_path]
+#include <cstdio>
+
+#include "src/neocpu.h"
+
+int main(int argc, char** argv) {
+  using namespace neocpu;
+  const std::string db_path = argc > 1 ? argv[1] : "/tmp/neocpu_tuning.db";
+
+  // A ResNet-50 stage-2 workload.
+  Conv2dParams workload{1, 128, 28, 28, 128, 3, 3, 1, 1, 1, 1};
+  const Target target = Target::Host();
+  std::printf("Workload: %s on target '%s'\n", workload.ToString().c_str(),
+              target.name.c_str());
+
+  TuningDatabase db;
+  if (db.LoadFromFile(db_path)) {
+    std::printf("Loaded tuning database from %s (%zu entries)\n", db_path.c_str(), db.size());
+  }
+
+  Timer timer;
+  LocalSearchResult measured =
+      LocalSearchConv(workload, target, CostMode::kMeasured, /*quick_space=*/true, nullptr,
+                      &db);
+  std::printf("Measured local search over %zu schedules took %.2fs\n", measured.ranked.size(),
+              timer.Seconds());
+
+  LocalSearchResult analytic =
+      LocalSearchConv(workload, target, CostMode::kAnalytic, /*quick_space=*/true, nullptr,
+                      &db);
+
+  std::printf("\nTop-8 schedules by measurement (analytic model estimate alongside):\n");
+  std::printf("%-40s | %12s | %12s\n", "schedule", "measured", "analytic");
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, measured.ranked.size()); ++i) {
+    const ScheduleCost& sc = measured.ranked[i];
+    double analytic_ms = 0.0;
+    for (const ScheduleCost& a : analytic.ranked) {
+      if (a.schedule == sc.schedule) {
+        analytic_ms = a.ms;
+        break;
+      }
+    }
+    std::printf("%-40s | %9.3f ms | %9.3f ms\n", sc.schedule.ToString().c_str(), sc.ms,
+                analytic_ms);
+  }
+
+  std::printf("\nWorst measured schedule: %s at %.3f ms (%.1fx slower than best)\n",
+              measured.ranked.back().schedule.ToString().c_str(), measured.ranked.back().ms,
+              measured.ranked.back().ms / measured.best().ms);
+
+  if (db.SaveToFile(db_path)) {
+    std::printf("Saved tuning database to %s (%zu entries); rerun to hit the cache.\n",
+                db_path.c_str(), db.size());
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Cache-line and SIMD-friendly aligned allocation helpers.
+#ifndef NEOCPU_SRC_BASE_ALIGN_H_
+#define NEOCPU_SRC_BASE_ALIGN_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+
+namespace neocpu {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+// Wide enough for AVX-512 loads/stores.
+inline constexpr std::size_t kSimdAlignBytes = 64;
+
+inline void* AlignedAlloc(std::size_t bytes, std::size_t alignment = kSimdAlignBytes) {
+  if (bytes == 0) {
+    return nullptr;
+  }
+  // std::aligned_alloc requires size to be a multiple of alignment.
+  std::size_t rounded = (bytes + alignment - 1) / alignment * alignment;
+  return std::aligned_alloc(alignment, rounded);
+}
+
+inline void AlignedFree(void* ptr) { std::free(ptr); }
+
+struct AlignedDeleter {
+  void operator()(void* p) const { AlignedFree(p); }
+};
+
+template <typename T>
+using AlignedPtr = std::unique_ptr<T[], AlignedDeleter>;
+
+template <typename T>
+AlignedPtr<T> MakeAligned(std::size_t count) {
+  return AlignedPtr<T>(static_cast<T*>(AlignedAlloc(count * sizeof(T))));
+}
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_BASE_ALIGN_H_

@@ -1,0 +1,68 @@
+// Minimal logging / assertion facility used across the library.
+//
+// NEOCPU_CHECK* macros are always on (they guard invariants whose violation would
+// corrupt memory or silently produce wrong numbers); NEOCPU_DCHECK* compile out in
+// NDEBUG builds and guard hot paths.
+#ifndef NEOCPU_SRC_BASE_LOGGING_H_
+#define NEOCPU_SRC_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace neocpu {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Streams a single log record; flushes (and aborts for kFatal) on destruction.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+  LogSeverity severity_;
+};
+
+// Global minimum severity printed to stderr (default kInfo). Thread-safe.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+#define NEOCPU_LOG_INFO ::neocpu::LogMessage(__FILE__, __LINE__, ::neocpu::LogSeverity::kInfo)
+#define NEOCPU_LOG_WARNING \
+  ::neocpu::LogMessage(__FILE__, __LINE__, ::neocpu::LogSeverity::kWarning)
+#define NEOCPU_LOG_ERROR ::neocpu::LogMessage(__FILE__, __LINE__, ::neocpu::LogSeverity::kError)
+#define NEOCPU_LOG_FATAL ::neocpu::LogMessage(__FILE__, __LINE__, ::neocpu::LogSeverity::kFatal)
+#define LOG(severity) NEOCPU_LOG_##severity.stream()
+
+#define NEOCPU_CHECK(cond)                                          \
+  if (!(cond))                                                      \
+  NEOCPU_LOG_FATAL.stream() << "Check failed: " #cond " "
+
+#define NEOCPU_CHECK_OP(op, a, b)                                                      \
+  if (!((a)op(b)))                                                                     \
+  NEOCPU_LOG_FATAL.stream() << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " \
+                            << (b) << ") "
+
+#define NEOCPU_CHECK_EQ(a, b) NEOCPU_CHECK_OP(==, a, b)
+#define NEOCPU_CHECK_NE(a, b) NEOCPU_CHECK_OP(!=, a, b)
+#define NEOCPU_CHECK_LT(a, b) NEOCPU_CHECK_OP(<, a, b)
+#define NEOCPU_CHECK_LE(a, b) NEOCPU_CHECK_OP(<=, a, b)
+#define NEOCPU_CHECK_GT(a, b) NEOCPU_CHECK_OP(>, a, b)
+#define NEOCPU_CHECK_GE(a, b) NEOCPU_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define NEOCPU_DCHECK(cond) \
+  if (false) NEOCPU_LOG_FATAL.stream()
+#else
+#define NEOCPU_DCHECK(cond) NEOCPU_CHECK(cond)
+#endif
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_BASE_LOGGING_H_

@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation. Model parameters and test inputs are
+// generated from fixed seeds so every run (and every executor under test) sees the same
+// values.
+#ifndef NEOCPU_SRC_BASE_RNG_H_
+#define NEOCPU_SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace neocpu {
+
+// SplitMix64: tiny, fast, and statistically adequate for weight initialization.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  std::uint64_t NextU64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform in [lo, hi).
+  float NextFloat(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  // Uniform integer in [0, bound).
+  std::uint64_t NextBounded(std::uint64_t bound) { return bound ? NextU64() % bound : 0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_BASE_RNG_H_

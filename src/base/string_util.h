@@ -1,0 +1,31 @@
+// printf-style formatting and joining helpers (gcc 12 lacks std::format).
+#ifndef NEOCPU_SRC_BASE_STRING_UTIL_H_
+#define NEOCPU_SRC_BASE_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace neocpu {
+
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+template <typename Container, typename Fn>
+std::string JoinMapped(const Container& items, const std::string& sep, Fn&& fn) {
+  std::string out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) {
+      out += sep;
+    }
+    first = false;
+    out += fn(item);
+  }
+  return out;
+}
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_BASE_STRING_UTIL_H_

@@ -1,0 +1,75 @@
+#include "src/base/timer.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace neocpu {
+
+RunStats RunStats::FromSamples(const std::vector<double>& samples) {
+  RunStats stats;
+  stats.count = samples.size();
+  if (samples.empty()) {
+    return stats;
+  }
+  stats.min = std::numeric_limits<double>::infinity();
+  stats.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (double s : samples) {
+    sum += s;
+    stats.min = std::min(stats.min, s);
+    stats.max = std::max(stats.max, s);
+  }
+  stats.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() > 1) {
+    double sq = 0.0;
+    for (double s : samples) {
+      sq += (s - stats.mean) * (s - stats.mean);
+    }
+    stats.stddev = std::sqrt(sq / static_cast<double>(samples.size() - 1));
+    stats.stderr_ = stats.stddev / std::sqrt(static_cast<double>(samples.size()));
+  }
+  return stats;
+}
+
+RunStats MeasureMillis(const std::function<void()>& fn, std::size_t runs, std::size_t warmup) {
+  for (std::size_t i = 0; i < warmup; ++i) {
+    fn();
+  }
+  std::vector<double> samples;
+  samples.reserve(runs);
+  for (std::size_t i = 0; i < runs; ++i) {
+    Timer t;
+    fn();
+    samples.push_back(t.Millis());
+  }
+  return RunStats::FromSamples(samples);
+}
+
+std::size_t EnvSizeT(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value) {
+    return fallback;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  if (end == value) {
+    return fallback;
+  }
+  return parsed;
+}
+
+}  // namespace neocpu

@@ -1,0 +1,53 @@
+// Wall-clock timing plus the mean/standard-error statistics the paper reports
+// ("each entry contains the mean value of 1000 runs and the corresponding standard
+// error", Table 2).
+#ifndef NEOCPU_SRC_BASE_TIMER_H_
+#define NEOCPU_SRC_BASE_TIMER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace neocpu {
+
+class Timer {
+ public:
+  Timer() { Reset(); }
+  void Reset() { start_ = Clock::now(); }
+  // Seconds elapsed since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Summary statistics over a set of per-run latencies.
+struct RunStats {
+  double mean = 0.0;    // arithmetic mean
+  double stddev = 0.0;  // sample standard deviation (n-1)
+  double stderr_ = 0.0;  // standard error of the mean
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+
+  static RunStats FromSamples(const std::vector<double>& samples);
+};
+
+// Runs `fn` `warmup` times unmeasured, then `runs` times measured, returning latency
+// statistics in milliseconds.
+RunStats MeasureMillis(const std::function<void()>& fn, std::size_t runs,
+                       std::size_t warmup = 1);
+
+// Reads a positive integer from the environment, falling back to `fallback` when the
+// variable is unset or unparsable. Used by the bench harnesses for run-count knobs.
+std::size_t EnvSizeT(const char* name, std::size_t fallback);
+double EnvDouble(const char* name, double fallback);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_BASE_TIMER_H_

@@ -1,0 +1,132 @@
+#include "src/core/compiler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/base/logging.h"
+#include "src/base/timer.h"
+#include "src/graph/passes/passes.h"
+#include "src/tuning/global_search.h"
+#include "src/tuning/schedule_space.h"
+
+namespace neocpu {
+
+const char* LayoutModeName(LayoutMode mode) {
+  switch (mode) {
+    case LayoutMode::kNCHW:
+      return "nchw";
+    case LayoutMode::kNCHWcPerOp:
+      return "nchwc-per-op";
+    case LayoutMode::kNCHWcFixed:
+      return "nchwc-fixed";
+    case LayoutMode::kNCHWcLocal:
+      return "nchwc-local";
+    case LayoutMode::kNCHWcGlobal:
+      return "nchwc-global";
+  }
+  return "?";
+}
+
+namespace {
+
+// The "fixed x" of §3.2, restricted to blocks the local search actually enumerated:
+// the largest candidate not exceeding the target's preferred block, falling back to the
+// smallest candidate (covers channel counts like 28 or the 3-channel image input, whose
+// factors skip the preferred block entirely).
+std::int64_t PickFixedBlock(const LocalSearchResult& result, bool input_side,
+                            std::int64_t prefer) {
+  std::int64_t best_leq = 0;
+  std::int64_t smallest = std::numeric_limits<std::int64_t>::max();
+  for (const ScheduleCost& sc : result.ranked) {
+    const std::int64_t block = input_side ? sc.schedule.ic_bn : sc.schedule.oc_bn;
+    smallest = std::min(smallest, block);
+    if (block <= prefer) {
+      best_leq = std::max(best_leq, block);
+    }
+  }
+  return best_leq > 0 ? best_leq : smallest;
+}
+
+}  // namespace
+
+CompiledModel Compile(const Graph& model, const CompileOptions& opts) {
+  Timer total_timer;
+  CompileStats stats;
+
+  Graph g = SimplifyInference(model);
+  g = FuseOps(g);
+
+  if (opts.layout_mode == LayoutMode::kNCHW) {
+    g = BindNchwKernels(g, opts.nchw_kernel);
+    stats.num_convs = g.CountNodes(OpType::kConv2d);
+    stats.compile_seconds = total_timer.Seconds();
+    return CompiledModel(std::move(g), stats);
+  }
+
+  // Local search per convolution workload (memoized through the tuning database).
+  Timer tuning_timer;
+  std::map<int, LocalSearchResult> locals;
+  for (int id = 0; id < g.num_nodes(); ++id) {
+    const Node& node = g.node(id);
+    if (node.IsConv()) {
+      locals[id] = LocalSearchConv(node.attrs.conv, opts.target, opts.cost_mode,
+                                   opts.quick_space, opts.engine, opts.tuning_db);
+    }
+  }
+  stats.tuning_seconds = tuning_timer.Seconds();
+  stats.num_convs = static_cast<int>(locals.size());
+
+  std::map<int, ConvSchedule> schedules;
+  switch (opts.layout_mode) {
+    case LayoutMode::kNCHWcPerOp:
+    case LayoutMode::kNCHWcFixed: {
+      // One global split factor (§3.2): the target's vector width, degraded per conv to
+      // the largest factor of its channel counts.
+      const std::int64_t x = opts.target.PreferredBlock();
+      for (auto& [id, result] : locals) {
+        const std::int64_t ic_bn = PickFixedBlock(result, /*input_side=*/true, x);
+        const std::int64_t oc_bn = PickFixedBlock(result, /*input_side=*/false, x);
+        const ScheduleCost* best = result.BestForPair(ic_bn, oc_bn);
+        NEOCPU_CHECK(best != nullptr) << "pair (" << ic_bn << "," << oc_bn
+                                      << ") missing for " << g.node(id).attrs.conv.ToString();
+        schedules[id] = best->schedule;
+      }
+      break;
+    }
+    case LayoutMode::kNCHWcLocal: {
+      for (auto& [id, result] : locals) {
+        schedules[id] = result.best().schedule;
+      }
+      break;
+    }
+    case LayoutMode::kNCHWcGlobal: {
+      Timer search_timer;
+      GlobalProblem problem = ExtractGlobalProblem(g, locals);
+      GlobalSolution solution = SolveGlobal(problem, opts.max_dp_table_entries);
+      stats.search_seconds = search_timer.Seconds();
+      stats.used_global_search = true;
+      stats.used_exact_dp = solution.exact;
+      stats.predicted_cost_ms = solution.cost_ms;
+      schedules = std::move(solution.assignment);
+      break;
+    }
+    default:
+      LOG(FATAL) << "unreachable";
+  }
+
+  const LayoutPlacement placement = opts.layout_mode == LayoutMode::kNCHWcPerOp
+                                        ? LayoutPlacement::kPerOp
+                                        : LayoutPlacement::kPropagate;
+  g = AlterConvLayout(g, schedules, placement);
+  stats.num_layout_transforms = g.CountNodes(OpType::kLayoutTransform);
+  stats.compile_seconds = total_timer.Seconds();
+  if (opts.verbose) {
+    LOG(INFO) << "compiled " << g.name << " [" << LayoutModeName(opts.layout_mode) << "/"
+              << opts.target.name << "]: " << stats.num_convs << " convs, "
+              << stats.num_layout_transforms << " runtime layout transforms, tuning "
+              << stats.tuning_seconds << "s, search " << stats.search_seconds << "s";
+  }
+  return CompiledModel(std::move(g), stats);
+}
+
+}  // namespace neocpu

@@ -1,0 +1,85 @@
+// The NeoCPU compiler: turns a model graph into an optimized, executable module.
+//
+// Pipeline: SimplifyInference → FuseOps → schedule selection (per LayoutMode) →
+// AlterConvLayout (+ compile-time weight pre-transformation) → executable graph.
+//
+// LayoutMode is the ablation axis of the paper's Table 3:
+//   kNCHW          — row 1 "Baseline": default layout, vectorized direct (or im2col)
+//                    kernels, fusion and inference simplification still applied.
+//   kNCHWcPerOp    — row 2 "Layout Opt.": every conv uses the NCHW[x]c template but
+//                    transforms its input/output from/to NCHW (what a framework
+//                    delegating to a fixed kernel library does).
+//   kNCHWcFixed    — row 3 "Transform Elim.": one global split factor; the blocked
+//                    layout flows through the graph; transforms only at the boundaries.
+//   kNCHWcGlobal   — row 4 "Global Search": per-conv schemes chosen by the DP/PBQP
+//                    global search over local-search candidates (§3.3).
+//   kNCHWcLocal    — extra ablation: greedy per-conv local optimum, ignoring transform
+//                    costs (the pitfall §3.3.1 warns about).
+#ifndef NEOCPU_SRC_CORE_COMPILER_H_
+#define NEOCPU_SRC_CORE_COMPILER_H_
+
+#include <string>
+
+#include "src/core/executor.h"
+#include "src/core/target.h"
+#include "src/graph/graph.h"
+#include "src/tuning/local_search.h"
+
+namespace neocpu {
+
+enum class LayoutMode { kNCHW, kNCHWcPerOp, kNCHWcFixed, kNCHWcLocal, kNCHWcGlobal };
+
+const char* LayoutModeName(LayoutMode mode);
+
+struct CompileOptions {
+  LayoutMode layout_mode = LayoutMode::kNCHWcGlobal;
+  // Convolution implementation for kNCHW mode (baselines).
+  ConvKernelKind nchw_kernel = ConvKernelKind::kDirectNCHW;
+  Target target = Target::Host();
+  CostMode cost_mode = CostMode::kAnalytic;
+  bool quick_space = true;  // prune channel-factor candidates (see schedule_space.h)
+  std::size_t max_dp_table_entries = 1 << 22;
+  TuningDatabase* tuning_db = nullptr;  // optional cross-model memoization
+  ThreadEngine* engine = nullptr;       // used for measured tuning during compilation
+  bool verbose = false;
+};
+
+struct CompileStats {
+  double compile_seconds = 0.0;
+  double tuning_seconds = 0.0;   // local search
+  double search_seconds = 0.0;   // global DP / PBQP
+  bool used_global_search = false;
+  bool used_exact_dp = false;    // false + used_global_search => PBQP approximation
+  int num_convs = 0;
+  int num_layout_transforms = 0;  // runtime transform nodes left in the final graph
+  double predicted_cost_ms = 0.0;  // global-search objective value (model units)
+};
+
+class CompiledModel {
+ public:
+  CompiledModel() = default;
+  CompiledModel(Graph graph, CompileStats stats)
+      : graph_(std::move(graph)), stats_(stats) {}
+
+  // Runs inference. `engine` is borrowed; null runs serially.
+  Tensor Run(const Tensor& input, ThreadEngine* engine = nullptr) const {
+    return Executor(&graph_, engine).Run(input);
+  }
+  std::vector<Tensor> RunAll(const std::vector<Tensor>& inputs,
+                             ThreadEngine* engine = nullptr) const {
+    return Executor(&graph_, engine).Run(inputs);
+  }
+
+  const Graph& graph() const { return graph_; }
+  const CompileStats& stats() const { return stats_; }
+
+ private:
+  Graph graph_;
+  CompileStats stats_;
+};
+
+CompiledModel Compile(const Graph& model, const CompileOptions& options = {});
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_CORE_COMPILER_H_

@@ -1,0 +1,83 @@
+#include "src/core/executor.h"
+
+#include "src/base/logging.h"
+#include "src/core/op_dispatch.h"
+
+namespace neocpu {
+
+Executor::Executor(const Graph* graph, ThreadEngine* engine) : graph_(graph), engine_(engine) {
+  use_counts_.assign(static_cast<std::size_t>(graph->num_nodes()), 0);
+  for (int id = 0; id < graph->num_nodes(); ++id) {
+    const Node& node = graph->node(id);
+    if (node.type == OpType::kInput) {
+      input_nodes_.push_back(id);
+    }
+    for (int input : node.inputs) {
+      ++use_counts_[static_cast<std::size_t>(input)];
+    }
+  }
+  for (int out : graph->outputs()) {
+    ++use_counts_[static_cast<std::size_t>(out)];
+  }
+}
+
+std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs) const {
+  NEOCPU_CHECK_EQ(inputs.size(), input_nodes_.size())
+      << "graph expects " << input_nodes_.size() << " inputs";
+  std::vector<Tensor> values(static_cast<std::size_t>(graph_->num_nodes()));
+  std::vector<int> remaining = use_counts_;
+
+  for (std::size_t i = 0; i < input_nodes_.size(); ++i) {
+    const Node& node = graph_->node(input_nodes_[i]);
+    NEOCPU_CHECK_EQ(inputs[i].NumElements(),
+                    [&] {
+                      std::int64_t n = 1;
+                      for (std::int64_t d : node.out_dims) {
+                        n *= d;
+                      }
+                      return n;
+                    }())
+        << "input tensor element count mismatch for " << node.name;
+    values[static_cast<std::size_t>(input_nodes_[i])] = inputs[i];
+  }
+
+  std::vector<Tensor> node_inputs;
+  for (int id = 0; id < graph_->num_nodes(); ++id) {
+    const Node& node = graph_->node(id);
+    if (node.type == OpType::kInput) {
+      continue;
+    }
+    if (node.type == OpType::kConstant) {
+      values[static_cast<std::size_t>(id)] = node.payload;  // shallow: shares the buffer
+      continue;
+    }
+    node_inputs.clear();
+    for (int input : node.inputs) {
+      NEOCPU_CHECK(values[static_cast<std::size_t>(input)].defined())
+          << node.name << ": input " << input << " not materialized";
+      node_inputs.push_back(values[static_cast<std::size_t>(input)]);
+    }
+    values[static_cast<std::size_t>(id)] = ExecuteNode(node, node_inputs, engine_);
+    // Liveness: release inputs whose last consumer just ran.
+    for (int input : node.inputs) {
+      if (--remaining[static_cast<std::size_t>(input)] == 0) {
+        values[static_cast<std::size_t>(input)] = Tensor();
+      }
+    }
+  }
+
+  std::vector<Tensor> outputs;
+  outputs.reserve(graph_->outputs().size());
+  for (int out : graph_->outputs()) {
+    outputs.push_back(values[static_cast<std::size_t>(out)]);
+  }
+  return outputs;
+}
+
+Tensor Executor::Run(const Tensor& input) const {
+  std::vector<Tensor> outputs = Run(std::vector<Tensor>{input});
+  NEOCPU_CHECK_EQ(outputs.size(), 1u);
+  return outputs[0];
+}
+
+}  // namespace neocpu

@@ -1,0 +1,39 @@
+// Graph executor: runs a graph's nodes in topological order on a ThreadEngine.
+//
+// Memory management: a node's output tensor is released as soon as its last consumer has
+// executed (liveness-based buffer release), which bounds peak activation memory — the
+// property that lets VGG-class models (hundreds of MB of weights) run on small hosts.
+#ifndef NEOCPU_SRC_CORE_EXECUTOR_H_
+#define NEOCPU_SRC_CORE_EXECUTOR_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/runtime/thread_engine.h"
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+
+class Executor {
+ public:
+  // `graph` and `engine` are borrowed and must outlive the executor. A null engine runs
+  // serially.
+  explicit Executor(const Graph* graph, ThreadEngine* engine = nullptr);
+
+  // `inputs` are bound to the graph's kInput nodes in node-id order. Returns the tensors
+  // of the graph's output nodes.
+  std::vector<Tensor> Run(const std::vector<Tensor>& inputs) const;
+
+  // Convenience for single-input single-output graphs.
+  Tensor Run(const Tensor& input) const;
+
+ private:
+  const Graph* graph_;
+  ThreadEngine* engine_;
+  std::vector<int> input_nodes_;
+  std::vector<int> use_counts_;  // consumer count + output multiplicity per node
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_CORE_EXECUTOR_H_

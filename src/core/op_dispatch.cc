@@ -1,0 +1,127 @@
+#include "src/core/op_dispatch.h"
+
+#include <cstring>
+
+#include "src/base/logging.h"
+#include "src/kernels/batchnorm.h"
+#include "src/kernels/conv_im2col.h"
+#include "src/kernels/conv_nchwc.h"
+#include "src/kernels/conv_ref.h"
+#include "src/kernels/dense.h"
+#include "src/kernels/elementwise.h"
+#include "src/kernels/multibox.h"
+#include "src/kernels/pooling.h"
+#include "src/tensor/layout_transform.h"
+
+namespace neocpu {
+namespace {
+
+Tensor ExecuteConv(const Node& node, const std::vector<Tensor>& in, ThreadEngine* engine) {
+  const Conv2dParams& p = node.attrs.conv;
+  const ConvEpilogue& epi = node.attrs.epilogue;
+  const Tensor* bias = epi.bias ? &in[2] : nullptr;
+  const Tensor* residual = epi.residual_add ? &in.back() : nullptr;
+  switch (node.attrs.kernel) {
+    case ConvKernelKind::kDirectNCHW: {
+      Tensor out = Tensor::Empty({p.batch, p.out_c, p.OutH(), p.OutW()}, Layout::NCHW());
+      ConvRefNCHW(p, in[0], in[1], bias, residual, epi, &out, engine);
+      return out;
+    }
+    case ConvKernelKind::kIm2col: {
+      Tensor out = Tensor::Empty({p.batch, p.out_c, p.OutH(), p.OutW()}, Layout::NCHW());
+      ConvIm2col(p, in[0], in[1], bias, residual, epi, &out, engine);
+      return out;
+    }
+    case ConvKernelKind::kNCHWc: {
+      const ConvSchedule& s = node.attrs.schedule;
+      Tensor out = Tensor::Empty({p.batch, p.out_c / s.oc_bn, p.OutH(), p.OutW(), s.oc_bn},
+                                 Layout::NCHWc(s.oc_bn));
+      ConvNCHWc(p, s, in[0], in[1], bias, residual, epi, &out, engine);
+      return out;
+    }
+  }
+  LOG(FATAL) << "unreachable";
+  return {};
+}
+
+Tensor ConcatFlat(const std::vector<Tensor>& in) {
+  // Concatenate {N, C_i} (or flat {C_i}) tensors along the last axis.
+  const std::int64_t rows = in[0].ndim() >= 2 ? in[0].dim(0) : 1;
+  std::int64_t total_cols = 0;
+  for (const Tensor& t : in) {
+    total_cols += t.NumElements() / rows;
+  }
+  Tensor out = Tensor::Empty({rows, total_cols}, Layout::Flat());
+  std::int64_t col_off = 0;
+  for (const Tensor& t : in) {
+    const std::int64_t cols = t.NumElements() / rows;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      std::memcpy(out.data() + r * total_cols + col_off, t.data() + r * cols,
+                  static_cast<std::size_t>(cols) * sizeof(float));
+    }
+    col_off += cols;
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor ExecuteNode(const Node& node, const std::vector<Tensor>& in, ThreadEngine* engine) {
+  switch (node.type) {
+    case OpType::kInput:
+    case OpType::kConstant:
+      LOG(FATAL) << "inputs/constants are resolved by the executor, not dispatched";
+      return {};
+    case OpType::kConv2d:
+      return ExecuteConv(node, in, engine);
+    case OpType::kBatchNorm: {
+      // Reference (unsimplified) execution: fold the statistics on the fly.
+      Tensor scale, shift;
+      ComputeBnScaleShift(in[1], in[2], in[3], in[4], node.attrs.epsilon, &scale, &shift);
+      return in[0].ndim() == 5 ? ScaleShiftNCHWc(in[0], scale, shift, false, engine)
+                               : ScaleShiftNCHW(in[0], scale, shift, false, engine);
+    }
+    case OpType::kScaleShift:
+      return in[0].ndim() == 5
+                 ? ScaleShiftNCHWc(in[0], in[1], in[2], node.attrs.relu, engine)
+                 : ScaleShiftNCHW(in[0], in[1], in[2], node.attrs.relu, engine);
+    case OpType::kRelu:
+      return Relu(in[0], engine);
+    case OpType::kMaxPool:
+    case OpType::kAvgPool:
+      return in[0].ndim() == 5 ? PoolNCHWc(node.attrs.pool, in[0], engine)
+                               : PoolNCHW(node.attrs.pool, in[0], engine);
+    case OpType::kGlobalAvgPool:
+      return in[0].ndim() == 5 ? GlobalAvgPoolNCHWc(in[0], engine)
+                               : GlobalAvgPoolNCHW(in[0], engine);
+    case OpType::kDense:
+      return Dense(in[0], in[1], in.size() > 2 ? &in[2] : nullptr, node.attrs.relu, engine);
+    case OpType::kSoftmax:
+      return Softmax(in[0], engine);
+    case OpType::kElemAdd:
+      return AddElementwise(in[0], in[1], node.attrs.relu, engine);
+    case OpType::kConcat:
+      return in[0].ndim() >= 4 ? ConcatChannels(in, engine) : ConcatFlat(in);
+    case OpType::kFlatten:
+      return FlattenNCHW(in[0]);
+    case OpType::kFlattenNHWC: {
+      Tensor nhwc = NCHWToNHWC(in[0], engine);
+      return nhwc.Reshaped({in[0].dim(0), in[0].dim(1) * in[0].dim(2) * in[0].dim(3)},
+                           Layout::Flat());
+    }
+    case OpType::kReshape: {
+      const auto& dims = node.attrs.reshape_dims;
+      return in[0].Reshaped(dims, dims.size() == 4 ? Layout::NCHW() : Layout::Flat());
+    }
+    case OpType::kDropout:
+      return in[0];  // identity at inference
+    case OpType::kLayoutTransform:
+      return TransformLayout(in[0], node.attrs.dst_layout, engine);
+    case OpType::kMultiboxDetection:
+      return MultiboxDetection(node.attrs.det, in[0], in[1], in[2], engine);
+  }
+  LOG(FATAL) << "unreachable";
+  return {};
+}
+
+}  // namespace neocpu

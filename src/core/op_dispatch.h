@@ -1,0 +1,21 @@
+// Single-node execution dispatch: maps a graph node (plus resolved input tensors) to the
+// kernel library. Layout-tolerant operations pick their NCHW / NCHW[x]c variant from the
+// incoming tensor's rank, so the same dispatch serves the reference executor and every
+// optimized configuration.
+#ifndef NEOCPU_SRC_CORE_OP_DISPATCH_H_
+#define NEOCPU_SRC_CORE_OP_DISPATCH_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/runtime/thread_engine.h"
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+
+Tensor ExecuteNode(const Node& node, const std::vector<Tensor>& inputs,
+                   ThreadEngine* engine);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_CORE_OP_DISPATCH_H_

@@ -1,0 +1,214 @@
+#include "src/core/serialization.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "src/base/logging.h"
+#include "src/graph/shape_infer.h"
+
+namespace neocpu {
+namespace {
+
+constexpr char kMagic[4] = {'N', 'E', 'O', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+void WriteU32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteI64(std::ostream& out, std::int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void WriteI64Vec(std::ostream& out, const std::vector<std::int64_t>& v) {
+  WriteU32(out, static_cast<std::uint32_t>(v.size()));
+  for (std::int64_t x : v) {
+    WriteI64(out, x);
+  }
+}
+
+void WriteLayout(std::ostream& out, const Layout& layout) {
+  WriteU32(out, static_cast<std::uint32_t>(layout.kind));
+  WriteI64(out, layout.c_block);
+  WriteI64(out, layout.i_block);
+  WriteI64(out, layout.o_block);
+}
+
+std::uint32_t ReadU32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+std::int64_t ReadI64(std::istream& in) {
+  std::int64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+std::string ReadString(std::istream& in) {
+  std::string s(ReadU32(in), '\0');
+  in.read(s.data(), static_cast<std::streamsize>(s.size()));
+  return s;
+}
+
+std::vector<std::int64_t> ReadI64Vec(std::istream& in) {
+  std::vector<std::int64_t> v(ReadU32(in));
+  for (std::int64_t& x : v) {
+    x = ReadI64(in);
+  }
+  return v;
+}
+
+Layout ReadLayout(std::istream& in) {
+  Layout layout;
+  layout.kind = static_cast<LayoutKind>(ReadU32(in));
+  layout.c_block = ReadI64(in);
+  layout.i_block = ReadI64(in);
+  layout.o_block = ReadI64(in);
+  return layout;
+}
+
+// The fixed-size portion of NodeAttrs, mirrored as an explicit POD so the on-disk
+// format stays stable regardless of struct layout changes.
+struct AttrBlock {
+  Conv2dParams conv;
+  ConvEpilogue epilogue;
+  ConvSchedule schedule;
+  std::uint32_t kernel;
+  Pool2dParams pool;
+  float epsilon;
+  std::uint8_t relu;
+  MultiboxDetectionParams det;
+};
+
+}  // namespace
+
+bool SaveModule(const CompiledModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  const Graph& g = model.graph();
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, kVersion);
+  WriteString(out, g.name);
+  {
+    std::vector<std::int64_t> outputs(g.outputs().begin(), g.outputs().end());
+    WriteI64Vec(out, outputs);
+  }
+  WriteU32(out, static_cast<std::uint32_t>(g.num_nodes()));
+  for (int id = 0; id < g.num_nodes(); ++id) {
+    const Node& node = g.node(id);
+    WriteU32(out, static_cast<std::uint32_t>(node.type));
+    WriteString(out, node.name);
+    {
+      std::vector<std::int64_t> inputs(node.inputs.begin(), node.inputs.end());
+      WriteI64Vec(out, inputs);
+    }
+    AttrBlock block{};
+    block.conv = node.attrs.conv;
+    block.epilogue = node.attrs.epilogue;
+    block.schedule = node.attrs.schedule;
+    block.kernel = static_cast<std::uint32_t>(node.attrs.kernel);
+    block.pool = node.attrs.pool;
+    block.epsilon = node.attrs.epsilon;
+    block.relu = node.attrs.relu ? 1 : 0;
+    block.det = node.attrs.det;
+    out.write(reinterpret_cast<const char*>(&block), sizeof(block));
+    WriteLayout(out, node.attrs.dst_layout);
+    WriteI64Vec(out, node.attrs.reshape_dims);
+    WriteI64Vec(out, node.out_dims);
+    WriteLayout(out, node.out_layout);
+    const bool has_payload = node.payload.defined();
+    WriteU32(out, has_payload ? 1 : 0);
+    if (has_payload) {
+      WriteI64Vec(out, node.payload.dims());
+      WriteLayout(out, node.payload.layout());
+      out.write(reinterpret_cast<const char*>(node.payload.data()),
+                static_cast<std::streamsize>(node.payload.SizeBytes()));
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadModule(const std::string& path, CompiledModel* model) {
+  NEOCPU_CHECK(model != nullptr);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  NEOCPU_CHECK_EQ(std::memcmp(magic, kMagic, sizeof(kMagic)), 0)
+      << path << " is not a NeoCPU module";
+  const std::uint32_t version = ReadU32(in);
+  NEOCPU_CHECK_EQ(version, kVersion) << "unsupported module version " << version;
+
+  Graph g;
+  g.name = ReadString(in);
+  std::vector<int> outputs;
+  for (std::int64_t o : ReadI64Vec(in)) {
+    outputs.push_back(static_cast<int>(o));
+  }
+  const std::uint32_t num_nodes = ReadU32(in);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    const OpType type = static_cast<OpType>(ReadU32(in));
+    const std::string name = ReadString(in);
+    std::vector<int> inputs;
+    for (std::int64_t x : ReadI64Vec(in)) {
+      inputs.push_back(static_cast<int>(x));
+    }
+    AttrBlock block{};
+    in.read(reinterpret_cast<char*>(&block), sizeof(block));
+    NodeAttrs attrs;
+    attrs.conv = block.conv;
+    attrs.epilogue = block.epilogue;
+    attrs.schedule = block.schedule;
+    attrs.kernel = static_cast<ConvKernelKind>(block.kernel);
+    attrs.pool = block.pool;
+    attrs.epsilon = block.epsilon;
+    attrs.relu = block.relu != 0;
+    attrs.det = block.det;
+    attrs.dst_layout = ReadLayout(in);
+    attrs.reshape_dims = ReadI64Vec(in);
+    const std::vector<std::int64_t> out_dims = ReadI64Vec(in);
+    const Layout out_layout = ReadLayout(in);
+    const bool has_payload = ReadU32(in) != 0;
+
+    int id;
+    if (type == OpType::kInput) {
+      id = g.AddInput(out_dims, name);
+    } else if (type == OpType::kConstant) {
+      NEOCPU_CHECK(has_payload) << "constant node without payload";
+      std::vector<std::int64_t> dims = ReadI64Vec(in);
+      Layout layout = ReadLayout(in);
+      Tensor payload = Tensor::Empty(std::move(dims), layout);
+      in.read(reinterpret_cast<char*>(payload.data()),
+              static_cast<std::streamsize>(payload.SizeBytes()));
+      id = g.AddConstant(std::move(payload), name);
+    } else {
+      NEOCPU_CHECK(!has_payload);
+      id = g.AddNode(type, std::move(inputs), std::move(attrs), name);
+    }
+    g.node(id).out_dims = out_dims;
+    g.node(id).out_layout = out_layout;
+    NEOCPU_CHECK_EQ(id, static_cast<int>(i)) << "node ids must be dense";
+  }
+  g.SetOutputs(std::move(outputs));
+  NEOCPU_CHECK(static_cast<bool>(in)) << "truncated module file " << path;
+
+  CompileStats stats;
+  stats.num_convs = g.CountNodes(OpType::kConv2d);
+  stats.num_layout_transforms = g.CountNodes(OpType::kLayoutTransform);
+  *model = CompiledModel(std::move(g), stats);
+  return true;
+}
+
+}  // namespace neocpu

@@ -1,0 +1,32 @@
+// Standalone module serialization.
+//
+// The paper emphasizes that NeoCPU "produces a standalone module with minimal size that
+// does not depend on either the frameworks or the high-performance kernel libraries,
+// which enables easy deployment to multiple platforms" (this is how it ships in
+// SageMaker Neo). This module implements that artifact: a compiled model — optimized
+// graph, chosen schedules, pre-transformed weights — serializes to a single binary file
+// that the executor can run without re-compiling or re-tuning.
+//
+// Format (little-endian, versioned):
+//   magic "NEOC", u32 version, graph name, outputs, node records
+//   (type, name, inputs, POD attribute block, dims, layout, optional payload).
+#ifndef NEOCPU_SRC_CORE_SERIALIZATION_H_
+#define NEOCPU_SRC_CORE_SERIALIZATION_H_
+
+#include <string>
+
+#include "src/core/compiler.h"
+
+namespace neocpu {
+
+// Writes the compiled model's executable graph (including constant payloads) to `path`.
+// Returns false on I/O failure.
+bool SaveModule(const CompiledModel& model, const std::string& path);
+
+// Reads a module previously written by SaveModule. Dies on malformed input with a
+// descriptive message; returns false only for I/O-level failure.
+bool LoadModule(const std::string& path, CompiledModel* model);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_CORE_SERIALIZATION_H_

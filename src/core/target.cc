@@ -1,0 +1,81 @@
+#include "src/core/target.h"
+
+#include "src/base/cpu_info.h"
+#include "src/base/logging.h"
+
+namespace neocpu {
+
+Target Target::Host() {
+  const CpuInfo& info = HostCpuInfo();
+  Target t;
+  t.name = "host";
+  t.vector_lanes = info.VectorLanesF32();
+  t.num_vector_registers = info.num_vector_registers;
+  t.num_cores = info.physical_cores;
+  t.l1d_bytes = info.l1d_bytes;
+  t.l2_bytes = info.l2_bytes;
+  t.l3_bytes = info.l3_bytes;
+  t.fma_per_cycle = info.has_fma ? 2 : 1;
+  return t;
+}
+
+Target Target::SkylakeAvx512() {
+  Target t;
+  t.name = "avx512";
+  t.vector_lanes = 16;
+  t.num_vector_registers = 32;
+  t.num_cores = 18;
+  t.freq_ghz = 3.0;
+  t.fma_per_cycle = 2;
+  t.l1d_bytes = 32 * 1024;
+  t.l2_bytes = 1024 * 1024;
+  t.l3_bytes = 24ull * 1024 * 1024;
+  return t;
+}
+
+Target Target::EpycAvx2() {
+  Target t;
+  t.name = "avx2";
+  t.vector_lanes = 8;
+  t.num_vector_registers = 16;
+  t.num_cores = 24;
+  t.freq_ghz = 2.5;
+  t.fma_per_cycle = 2;
+  t.l1d_bytes = 32 * 1024;
+  t.l2_bytes = 512 * 1024;
+  t.l3_bytes = 8ull * 1024 * 1024;
+  return t;
+}
+
+Target Target::ArmA72Neon() {
+  Target t;
+  t.name = "neon";
+  t.vector_lanes = 4;
+  t.num_vector_registers = 32;
+  t.num_cores = 16;
+  t.freq_ghz = 2.3;
+  t.fma_per_cycle = 1;
+  t.l1d_bytes = 32 * 1024;
+  t.l2_bytes = 1024 * 1024;
+  t.l3_bytes = 2ull * 1024 * 1024;
+  return t;
+}
+
+Target Target::ByName(const std::string& name) {
+  if (name == "host") {
+    return Host();
+  }
+  if (name == "avx512" || name == "skylake") {
+    return SkylakeAvx512();
+  }
+  if (name == "avx2" || name == "epyc") {
+    return EpycAvx2();
+  }
+  if (name == "neon" || name == "a72" || name == "arm") {
+    return ArmA72Neon();
+  }
+  LOG(FATAL) << "unknown target '" << name << "'";
+  return {};
+}
+
+}  // namespace neocpu

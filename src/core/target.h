@@ -1,0 +1,46 @@
+// Target architecture profiles.
+//
+// The paper evaluates on three CPUs (18-core Intel Skylake AVX-512, 24-core AMD EPYC
+// AVX2, 16-core ARM Cortex-A72 NEON). This repository runs on a single host, so a
+// Target captures the *schedule-space* properties of each architecture — fp32 vector
+// lanes, SIMD register count, core count, cache sizes — and the search is constrained
+// to schedules that ISA could execute. See DESIGN.md §1 for why this substitution
+// preserves the experiments' shape.
+#ifndef NEOCPU_SRC_CORE_TARGET_H_
+#define NEOCPU_SRC_CORE_TARGET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace neocpu {
+
+struct Target {
+  std::string name = "host";
+  int vector_lanes = 16;          // fp32 lanes per SIMD vector
+  int num_vector_registers = 32;  // architectural SIMD registers
+  int num_cores = 1;
+  double freq_ghz = 2.1;
+  int fma_per_cycle = 2;  // vector FMA issue width
+  std::size_t l1d_bytes = 32 * 1024;
+  std::size_t l2_bytes = 1024 * 1024;
+  std::size_t l3_bytes = 24ull * 1024 * 1024;
+
+  // Natural channel block: one vector register of fp32 lanes.
+  std::int64_t PreferredBlock() const { return vector_lanes; }
+  // Largest channel block the schedule space admits for this ISA.
+  std::int64_t MaxBlock() const { return 2ll * vector_lanes; }
+
+  // The host this binary was compiled for.
+  static Target Host();
+  // The paper's three evaluation platforms (§4).
+  static Target SkylakeAvx512();
+  static Target EpycAvx2();
+  static Target ArmA72Neon();
+  // "host", "avx512", "avx2", "neon".
+  static Target ByName(const std::string& name);
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_CORE_TARGET_H_

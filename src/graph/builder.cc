@@ -1,0 +1,142 @@
+#include "src/graph/builder.h"
+
+#include <cmath>
+
+#include "src/base/logging.h"
+#include "src/base/string_util.h"
+#include "src/graph/shape_infer.h"
+
+namespace neocpu {
+
+GraphBuilder::GraphBuilder(std::string model_name, std::uint64_t seed) : rng_(seed) {
+  graph_.name = std::move(model_name);
+}
+
+Graph GraphBuilder::Finish(std::vector<int> outputs) {
+  graph_.SetOutputs(std::move(outputs));
+  InferShapes(&graph_);
+  return std::move(graph_);
+}
+
+int GraphBuilder::AddOp(OpType type, std::vector<int> inputs, NodeAttrs attrs,
+                        std::string name) {
+  const int id = graph_.AddNode(type, std::move(inputs), std::move(attrs), std::move(name));
+  InferNodeShape(&graph_, id);
+  return id;
+}
+
+int GraphBuilder::Input(std::vector<std::int64_t> dims, std::string name) {
+  return graph_.AddInput(std::move(dims), std::move(name));
+}
+
+int GraphBuilder::ConvRect(int in_id, std::int64_t out_c, std::int64_t kernel_h,
+                           std::int64_t kernel_w, std::int64_t stride, std::int64_t pad_h,
+                           std::int64_t pad_w, bool bias, const std::string& name) {
+  const std::vector<std::int64_t> d = OutDimsOf(in_id);
+  NEOCPU_CHECK_EQ(static_cast<int>(d.size()), 4);
+  NodeAttrs attrs;
+  attrs.conv = Conv2dParams{d[0],     d[1],   d[2],   d[3],  out_c, kernel_h,
+                            kernel_w, stride, stride, pad_h, pad_w};
+  attrs.epilogue.bias = bias;
+  const float bound = std::sqrt(2.0f / static_cast<float>(d[1] * kernel_h * kernel_w));
+  Tensor weight =
+      Tensor::Random({out_c, d[1], kernel_h, kernel_w}, rng_, -bound, bound, Layout::OIHW());
+  std::vector<int> inputs = {in_id, graph_.AddConstant(std::move(weight))};
+  if (bias) {
+    inputs.push_back(graph_.AddConstant(Tensor::Random({out_c}, rng_, -0.1f, 0.1f)));
+  }
+  return AddOp(OpType::kConv2d, std::move(inputs), std::move(attrs), name);
+}
+
+int GraphBuilder::Conv(int in_id, std::int64_t out_c, std::int64_t kernel, std::int64_t stride,
+                       std::int64_t pad, bool bias, const std::string& name) {
+  return ConvRect(in_id, out_c, kernel, kernel, stride, pad, pad, bias, name);
+}
+
+int GraphBuilder::BatchNorm(int in_id, const std::string& name) {
+  const std::vector<std::int64_t> d = OutDimsOf(in_id);
+  NEOCPU_CHECK_EQ(static_cast<int>(d.size()), 4);
+  const std::int64_t c = d[1];
+  std::vector<int> inputs = {
+      in_id,
+      graph_.AddConstant(Tensor::Random({c}, rng_, 0.5f, 1.5f)),   // gamma
+      graph_.AddConstant(Tensor::Random({c}, rng_, -0.1f, 0.1f)),  // beta
+      graph_.AddConstant(Tensor::Random({c}, rng_, -0.1f, 0.1f)),  // moving mean
+      graph_.AddConstant(Tensor::Random({c}, rng_, 0.5f, 1.5f)),   // moving variance
+  };
+  NodeAttrs attrs;
+  attrs.epsilon = 1e-5f;
+  return AddOp(OpType::kBatchNorm, std::move(inputs), std::move(attrs), name);
+}
+
+int GraphBuilder::Relu(int in_id) { return AddOp(OpType::kRelu, {in_id}); }
+
+int GraphBuilder::MaxPool(int in_id, std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                          bool ceil_mode) {
+  NodeAttrs attrs;
+  attrs.pool =
+      Pool2dParams{PoolType::kMax, kernel, kernel, stride, stride, pad, pad, false, ceil_mode};
+  return AddOp(OpType::kMaxPool, {in_id}, std::move(attrs));
+}
+
+int GraphBuilder::AvgPool(int in_id, std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                          bool ceil_mode) {
+  NodeAttrs attrs;
+  attrs.pool =
+      Pool2dParams{PoolType::kAvg, kernel, kernel, stride, stride, pad, pad, false, ceil_mode};
+  return AddOp(OpType::kAvgPool, {in_id}, std::move(attrs));
+}
+
+int GraphBuilder::GlobalAvgPool(int in_id) { return AddOp(OpType::kGlobalAvgPool, {in_id}); }
+
+int GraphBuilder::Flatten(int in_id) { return AddOp(OpType::kFlatten, {in_id}); }
+
+int GraphBuilder::FlattenNHWC(int in_id) { return AddOp(OpType::kFlattenNHWC, {in_id}); }
+
+int GraphBuilder::Dense(int in_id, std::int64_t units, bool relu, const std::string& name) {
+  const std::vector<std::int64_t> d = OutDimsOf(in_id);
+  NEOCPU_CHECK_EQ(static_cast<int>(d.size()), 2);
+  const float bound = std::sqrt(2.0f / static_cast<float>(d[1]));
+  std::vector<int> inputs = {
+      in_id, graph_.AddConstant(Tensor::Random({units, d[1]}, rng_, -bound, bound)),
+      graph_.AddConstant(Tensor::Random({units}, rng_, -0.1f, 0.1f))};
+  NodeAttrs attrs;
+  attrs.relu = relu;
+  return AddOp(OpType::kDense, std::move(inputs), std::move(attrs), name);
+}
+
+int GraphBuilder::Softmax(int in_id) { return AddOp(OpType::kSoftmax, {in_id}); }
+
+int GraphBuilder::Add(int a, int b) { return AddOp(OpType::kElemAdd, {a, b}); }
+
+int GraphBuilder::Concat(std::vector<int> inputs) {
+  return AddOp(OpType::kConcat, std::move(inputs));
+}
+
+int GraphBuilder::Dropout(int in_id) { return AddOp(OpType::kDropout, {in_id}); }
+
+int GraphBuilder::Reshape(int in_id, std::vector<std::int64_t> dims) {
+  NodeAttrs attrs;
+  attrs.reshape_dims = std::move(dims);
+  return AddOp(OpType::kReshape, {in_id}, std::move(attrs));
+}
+
+int GraphBuilder::Constant(Tensor value, const std::string& name) {
+  return graph_.AddConstant(std::move(value), name);
+}
+
+int GraphBuilder::MultiboxDetect(int cls_prob, int loc_pred, int anchors,
+                                 MultiboxDetectionParams params) {
+  NodeAttrs attrs;
+  attrs.det = params;
+  return AddOp(OpType::kMultiboxDetection, {cls_prob, loc_pred, anchors}, std::move(attrs));
+}
+
+int GraphBuilder::ConvBnRelu(int in_id, std::int64_t out_c, std::int64_t kernel,
+                             std::int64_t stride, std::int64_t pad, const std::string& name) {
+  int conv = Conv(in_id, out_c, kernel, stride, pad, /*bias=*/false, name);
+  int bn = BatchNorm(conv);
+  return Relu(bn);
+}
+
+}  // namespace neocpu

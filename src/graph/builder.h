@@ -1,0 +1,73 @@
+// Convenience layer-by-layer graph construction with deterministic random parameters.
+//
+// Parameters are drawn from fan-in-scaled uniform distributions (He-style) and BN
+// statistics from distributions centered on identity, so activations stay numerically
+// stable through arbitrarily deep networks — a requirement for the bit-level
+// equivalence testing that replaces the paper's accuracy sanity check.
+#ifndef NEOCPU_SRC_GRAPH_BUILDER_H_
+#define NEOCPU_SRC_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/graph/graph.h"
+
+namespace neocpu {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::string model_name, std::uint64_t seed = 7);
+
+  Graph& graph() { return graph_; }
+
+  // Finalizes the graph: sets outputs and runs shape inference. Returns the graph.
+  Graph Finish(std::vector<int> outputs);
+
+  int Input(std::vector<std::int64_t> dims, std::string name = "data");
+
+  // Convolution; creates the weight (and optional bias) constants. `in_id` must produce
+  // a 4-D NCHW value.
+  int Conv(int in_id, std::int64_t out_c, std::int64_t kernel, std::int64_t stride,
+           std::int64_t pad, bool bias = false, const std::string& name = {});
+  // Non-square kernel variant (Inception-v3's 1x7 / 7x1 factorized convolutions).
+  int ConvRect(int in_id, std::int64_t out_c, std::int64_t kernel_h, std::int64_t kernel_w,
+               std::int64_t stride, std::int64_t pad_h, std::int64_t pad_w, bool bias = false,
+               const std::string& name = {});
+
+  int BatchNorm(int in_id, const std::string& name = {});
+  int Relu(int in_id);
+  int MaxPool(int in_id, std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+              bool ceil_mode = false);
+  int AvgPool(int in_id, std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+              bool ceil_mode = false);
+  int GlobalAvgPool(int in_id);
+  int Flatten(int in_id);
+  int FlattenNHWC(int in_id);
+  int Dense(int in_id, std::int64_t units, bool relu = false, const std::string& name = {});
+  int Softmax(int in_id);
+  int Add(int a, int b);
+  int Concat(std::vector<int> inputs);
+  int Dropout(int in_id);
+  int Reshape(int in_id, std::vector<std::int64_t> dims);
+  int Constant(Tensor value, const std::string& name = {});
+  int MultiboxDetect(int cls_prob, int loc_pred, int anchors, MultiboxDetectionParams params);
+
+  // Composite helpers shared across zoo models.
+  int ConvBnRelu(int in_id, std::int64_t out_c, std::int64_t kernel, std::int64_t stride,
+                 std::int64_t pad, const std::string& name = {});
+
+  Rng& rng() { return rng_; }
+
+ private:
+  int AddOp(OpType type, std::vector<int> inputs, NodeAttrs attrs = {}, std::string name = {});
+  std::vector<std::int64_t> OutDimsOf(int id) const { return graph_.node(id).out_dims; }
+
+  Graph graph_;
+  Rng rng_;
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_GRAPH_BUILDER_H_

@@ -1,0 +1,117 @@
+#include "src/graph/graph.h"
+
+#include "src/base/logging.h"
+#include "src/base/string_util.h"
+
+namespace neocpu {
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kInput:
+      return "input";
+    case OpType::kConstant:
+      return "const";
+    case OpType::kConv2d:
+      return "conv2d";
+    case OpType::kBatchNorm:
+      return "batch_norm";
+    case OpType::kScaleShift:
+      return "scale_shift";
+    case OpType::kRelu:
+      return "relu";
+    case OpType::kMaxPool:
+      return "max_pool";
+    case OpType::kAvgPool:
+      return "avg_pool";
+    case OpType::kGlobalAvgPool:
+      return "global_avg_pool";
+    case OpType::kDense:
+      return "dense";
+    case OpType::kSoftmax:
+      return "softmax";
+    case OpType::kElemAdd:
+      return "elemwise_add";
+    case OpType::kConcat:
+      return "concat";
+    case OpType::kFlatten:
+      return "flatten";
+    case OpType::kFlattenNHWC:
+      return "flatten_nhwc";
+    case OpType::kReshape:
+      return "reshape";
+    case OpType::kDropout:
+      return "dropout";
+    case OpType::kLayoutTransform:
+      return "layout_transform";
+    case OpType::kMultiboxDetection:
+      return "multibox_detection";
+  }
+  return "?";
+}
+
+int Graph::AddNode(OpType type, std::vector<int> inputs, NodeAttrs attrs, std::string name) {
+  const int id = static_cast<int>(nodes_.size());
+  for (int input : inputs) {
+    NEOCPU_CHECK_GE(input, 0);
+    NEOCPU_CHECK_LT(input, id) << "graph must be constructed in topological order";
+  }
+  Node node;
+  node.id = id;
+  node.type = type;
+  node.inputs = std::move(inputs);
+  node.attrs = std::move(attrs);
+  node.name = name.empty() ? StrFormat("%s_%d", OpTypeName(type), id) : std::move(name);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+int Graph::AddInput(std::vector<std::int64_t> dims, std::string name) {
+  const int id = AddNode(OpType::kInput, {}, {}, std::move(name));
+  nodes_[static_cast<std::size_t>(id)].out_dims = std::move(dims);
+  return id;
+}
+
+int Graph::AddConstant(Tensor value, std::string name) {
+  const int id = AddNode(OpType::kConstant, {}, {}, std::move(name));
+  Node& n = nodes_[static_cast<std::size_t>(id)];
+  n.out_dims = value.dims();
+  n.out_layout = value.layout();
+  n.payload = std::move(value);
+  return id;
+}
+
+std::vector<std::vector<int>> Graph::BuildConsumerIndex() const {
+  std::vector<std::vector<int>> consumers(nodes_.size());
+  for (const Node& node : nodes_) {
+    for (int input : node.inputs) {
+      consumers[static_cast<std::size_t>(input)].push_back(node.id);
+    }
+  }
+  return consumers;
+}
+
+int Graph::CountNodes(OpType type) const {
+  int count = 0;
+  for (const Node& node : nodes_) {
+    if (node.type == type) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string Graph::ToString() const {
+  std::string out = StrFormat("graph %s (%d nodes)\n", name.c_str(), num_nodes());
+  for (const Node& node : nodes_) {
+    std::string inputs = JoinMapped(node.inputs, ",", [](int i) { return StrFormat("%d", i); });
+    std::string dims = JoinMapped(node.out_dims, "x", [](std::int64_t d) {
+      return StrFormat("%lld", static_cast<long long>(d));
+    });
+    out += StrFormat("  %4d %-18s %-28s in=[%s] out=%s %s\n", node.id, OpTypeName(node.type),
+                     node.name.c_str(), inputs.c_str(), dims.c_str(),
+                     node.out_layout.ToString().c_str());
+  }
+  return out;
+}
+
+}  // namespace neocpu

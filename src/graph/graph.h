@@ -1,0 +1,117 @@
+// Computation-graph intermediate representation.
+//
+// A CNN model is a DAG of operation nodes (paper §2.2). Nodes are stored in topological
+// order by construction (every input id is smaller than the node's own id), which is the
+// order the executor and all passes walk. Constants (weights, BN statistics, anchors)
+// carry their tensor payload; the compiler mutates payloads (folding, pre-transforming)
+// without touching the runtime.
+#ifndef NEOCPU_SRC_GRAPH_GRAPH_H_
+#define NEOCPU_SRC_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/kernels/conv_params.h"
+#include "src/kernels/conv_schedule.h"
+#include "src/kernels/multibox.h"
+#include "src/kernels/pooling.h"
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+
+enum class OpType {
+  kInput,
+  kConstant,
+  kConv2d,
+  kBatchNorm,    // unfolded BN (reference executor); compiler lowers to kScaleShift
+  kScaleShift,   // per-channel affine (folded BN), optional fused ReLU
+  kRelu,
+  kMaxPool,
+  kAvgPool,
+  kGlobalAvgPool,
+  kDense,
+  kSoftmax,
+  kElemAdd,      // optional fused ReLU
+  kConcat,       // channel axis for 4-D/5-D inputs; last axis for flat inputs
+  kFlatten,      // NCHW -> {N, CHW}; layout-dependent
+  kFlattenNHWC,  // permute NCHW->NHWC then flatten; layout-dependent (SSD heads)
+  kReshape,
+  kDropout,      // identity at inference; removed by simplification
+  kLayoutTransform,
+  kMultiboxDetection,
+};
+
+const char* OpTypeName(OpType type);
+
+// How a convolution node executes (bound by the compiler, not the model author).
+enum class ConvKernelKind {
+  kDirectNCHW,  // reference/baseline direct convolution in NCHW
+  kIm2col,      // im2col + GEMM in NCHW (framework-default baseline)
+  kNCHWc,       // Algorithm 1 template in NCHW[x]c
+};
+
+// One attribute bag serves all op types; only the fields relevant to a node's OpType are
+// meaningful. (A few hundred nodes per model make the footprint irrelevant, and this
+// keeps pass code free of variant plumbing.)
+struct NodeAttrs {
+  Conv2dParams conv;
+  ConvEpilogue epilogue;
+  ConvSchedule schedule;
+  ConvKernelKind kernel = ConvKernelKind::kDirectNCHW;
+  Pool2dParams pool;
+  float epsilon = 1e-5f;
+  bool relu = false;  // fused ReLU for kScaleShift / kElemAdd / kDense
+  Layout dst_layout;  // kLayoutTransform target
+  std::vector<std::int64_t> reshape_dims;
+  MultiboxDetectionParams det;
+};
+
+struct Node {
+  int id = -1;
+  OpType type = OpType::kInput;
+  std::string name;
+  std::vector<int> inputs;
+  NodeAttrs attrs;
+  Tensor payload;  // kConstant only
+
+  // Filled by shape/layout inference. out_dims are logical dims (NCHW semantics for
+  // feature maps); out_layout describes the physical arrangement at runtime.
+  std::vector<std::int64_t> out_dims;
+  Layout out_layout = Layout::NCHW();
+
+  bool IsConv() const { return type == OpType::kConv2d; }
+};
+
+class Graph {
+ public:
+  int AddNode(OpType type, std::vector<int> inputs, NodeAttrs attrs = {},
+              std::string name = {});
+  int AddInput(std::vector<std::int64_t> dims, std::string name = "data");
+  int AddConstant(Tensor value, std::string name = {});
+
+  Node& node(int id) { return nodes_[static_cast<std::size_t>(id)]; }
+  const Node& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  void SetOutputs(std::vector<int> outputs) { outputs_ = std::move(outputs); }
+  const std::vector<int>& outputs() const { return outputs_; }
+
+  // consumers()[i] lists the node ids that read node i's output.
+  std::vector<std::vector<int>> BuildConsumerIndex() const;
+
+  // Count of nodes by type (used by tests and reporting).
+  int CountNodes(OpType type) const;
+
+  std::string ToString() const;
+
+  std::string name;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<int> outputs_;
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_GRAPH_GRAPH_H_

@@ -1,0 +1,207 @@
+// AlterOpLayout + LayoutTransform insertion/elimination (paper §3.2, Figure 2).
+//
+// Convolutions with an assigned schedule are rewritten to the NCHW[x]c template; their
+// weight constants are pre-transformed to OIHW[x]i[y]o at compile time. The blocked
+// layout then propagates through layout-oblivious and layout-tolerant operations;
+// LayoutTransform nodes are inserted only where the incoming layout differs from what a
+// node requires:
+//   * conv data input         -> NCHW[ic_bn]c
+//   * conv residual input     -> NCHW[oc_bn]c (must match the conv's own output)
+//   * elemwise add / concat   -> all inputs follow the first input's layout
+//   * layout-dependent ops    -> back to NCHW (Flatten, FlattenNHWC, ...)
+// Under LayoutPlacement::kPerOp the propagation is disabled: each conv converts its
+// input from NCHW and converts its output back, which is what a framework delegating to
+// a fixed kernel library does (Table 3 "Layout Opt." row).
+#include "src/base/logging.h"
+#include "src/graph/passes/passes.h"
+#include "src/graph/passes/rewriter.h"
+#include "src/graph/shape_infer.h"
+#include "src/tensor/layout_transform.h"
+
+namespace neocpu {
+namespace {
+
+bool IsLayoutTolerant(OpType type) {
+  switch (type) {
+    case OpType::kScaleShift:
+    case OpType::kBatchNorm:
+    case OpType::kRelu:
+    case OpType::kMaxPool:
+    case OpType::kAvgPool:
+    case OpType::kGlobalAvgPool:
+    case OpType::kDropout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsLayoutDependent(OpType type) {
+  switch (type) {
+    case OpType::kFlatten:
+    case OpType::kFlattenNHWC:
+    case OpType::kDense:
+    case OpType::kReshape:
+    case OpType::kSoftmax:
+    case OpType::kMultiboxDetection:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Graph AlterConvLayout(const Graph& graph, const std::map<int, ConvSchedule>& schedules,
+                      LayoutPlacement placement) {
+  GraphRewriter rw(graph);
+
+  // Inserts a LayoutTransform in the rewritten graph unless `mapped` already produces
+  // `want`.
+  auto ensure_layout = [&rw](int mapped, const Layout& want) -> int {
+    const Layout& have = rw.dst().node(mapped).out_layout;
+    if (have == want) {
+      return mapped;
+    }
+    NodeAttrs attrs;
+    attrs.dst_layout = want;
+    const int id = rw.dst().AddNode(OpType::kLayoutTransform, {mapped}, std::move(attrs));
+    rw.dst().node(id).out_layout = want;
+    return id;
+  };
+
+  for (int id = 0; id < graph.num_nodes(); ++id) {
+    const Node& node = graph.node(id);
+    switch (node.type) {
+      case OpType::kConv2d: {
+        const auto it = schedules.find(id);
+        if (it == schedules.end()) {
+          // Stays in NCHW: make sure the input actually is NCHW.
+          const int data = ensure_layout(rw.Lookup(node.inputs[0]), Layout::NCHW());
+          std::vector<int> inputs = {data};
+          for (std::size_t i = 1; i < node.inputs.size(); ++i) {
+            inputs.push_back(rw.Lookup(node.inputs[static_cast<int>(i)]));
+          }
+          if (node.attrs.epilogue.residual_add) {
+            inputs.back() = ensure_layout(inputs.back(), Layout::NCHW());
+          }
+          const int new_id =
+              rw.dst().AddNode(OpType::kConv2d, std::move(inputs), node.attrs, node.name);
+          rw.dst().node(new_id).out_layout = Layout::NCHW();
+          rw.MapTo(id, new_id);
+          break;
+        }
+        const ConvSchedule& sched = it->second;
+        const int data =
+            ensure_layout(rw.Lookup(node.inputs[0]), Layout::NCHWc(sched.ic_bn));
+        // Pre-transform the weight constant at compile time (Figure 2's
+        // "Pre-transformed Kernel").
+        const Tensor& w = graph.node(node.inputs[1]).payload;
+        NEOCPU_CHECK(w.defined()) << node.name << ": conv weight must be constant";
+        Tensor w_blocked = OIHWToOIHWio(w, sched.ic_bn, sched.oc_bn);
+        std::vector<int> inputs = {data,
+                                   rw.dst().AddConstant(std::move(w_blocked), node.name + ".w")};
+        std::size_t next_input = 2;
+        if (node.attrs.epilogue.bias) {
+          inputs.push_back(rw.Lookup(node.inputs[static_cast<int>(next_input)]));
+          ++next_input;
+        }
+        if (node.attrs.epilogue.residual_add) {
+          inputs.push_back(ensure_layout(rw.Lookup(node.inputs.back()),
+                                         Layout::NCHWc(sched.oc_bn)));
+        }
+        NodeAttrs attrs = node.attrs;
+        attrs.kernel = ConvKernelKind::kNCHWc;
+        attrs.schedule = sched;
+        int new_id =
+            rw.dst().AddNode(OpType::kConv2d, std::move(inputs), std::move(attrs), node.name);
+        rw.dst().node(new_id).out_layout = Layout::NCHWc(sched.oc_bn);
+        if (placement == LayoutPlacement::kPerOp) {
+          new_id = ensure_layout(new_id, Layout::NCHW());
+        }
+        rw.MapTo(id, new_id);
+        break;
+      }
+      case OpType::kElemAdd:
+      case OpType::kConcat: {
+        // All inputs adopt the first input's layout (paper §3.3.2). If the first input
+        // is blocked but some input's channel count is not divisible by the block, fall
+        // back to NCHW for the whole group.
+        Layout want = rw.dst().node(rw.Lookup(node.inputs[0])).out_layout;
+        if (want.kind == LayoutKind::kNCHWc) {
+          for (int input : node.inputs) {
+            if (graph.node(input).out_dims.size() != 4 ||
+                graph.node(input).out_dims[1] % want.c_block != 0) {
+              want = Layout::NCHW();
+              break;
+            }
+          }
+        }
+        std::vector<int> inputs;
+        for (int input : node.inputs) {
+          int mapped = rw.Lookup(input);
+          if (graph.node(input).out_dims.size() == 4) {
+            mapped = ensure_layout(mapped, want);
+          }
+          inputs.push_back(mapped);
+        }
+        const int new_id =
+            rw.dst().AddNode(node.type, std::move(inputs), node.attrs, node.name);
+        rw.dst().node(new_id).out_layout =
+            graph.node(node.inputs[0]).out_dims.size() == 4 ? want : Layout::Flat();
+        rw.MapTo(id, new_id);
+        break;
+      }
+      default: {
+        if (IsLayoutTolerant(node.type)) {
+          const int new_id = rw.CopyNode(node);
+          rw.dst().node(new_id).out_layout =
+              rw.dst().node(rw.dst().node(new_id).inputs[0]).out_layout;
+          break;
+        }
+        if (IsLayoutDependent(node.type)) {
+          std::vector<int> inputs;
+          for (std::size_t i = 0; i < node.inputs.size(); ++i) {
+            int mapped = rw.Lookup(node.inputs[i]);
+            if (i == 0 && graph.node(node.inputs[0]).out_dims.size() == 4) {
+              mapped = ensure_layout(mapped, Layout::NCHW());
+            }
+            inputs.push_back(mapped);
+          }
+          const int new_id =
+              rw.dst().AddNode(node.type, std::move(inputs), node.attrs, node.name);
+          rw.dst().node(new_id).out_layout = Layout::Flat();
+          rw.MapTo(id, new_id);
+          break;
+        }
+        // Inputs, constants, pre-existing layout transforms.
+        rw.CopyNode(node);
+        break;
+      }
+    }
+  }
+
+  // Graph outputs are produced in NCHW (or flat): undo any trailing blocked layout.
+  Graph out = rw.Finish();
+  {
+    std::vector<int> outputs = out.outputs();
+    bool changed = false;
+    for (int& o : outputs) {
+      if (out.node(o).out_layout.kind == LayoutKind::kNCHWc) {
+        NodeAttrs attrs;
+        attrs.dst_layout = Layout::NCHW();
+        const int t = out.AddNode(OpType::kLayoutTransform, {o}, std::move(attrs));
+        out.node(t).out_layout = Layout::NCHW();
+        o = t;
+        changed = true;
+      }
+    }
+    if (changed) {
+      out.SetOutputs(std::move(outputs));
+    }
+  }
+  InferShapes(&out);
+  return out;
+}
+
+}  // namespace neocpu

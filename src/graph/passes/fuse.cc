@@ -1,0 +1,111 @@
+#include "src/base/logging.h"
+#include "src/graph/passes/passes.h"
+#include "src/graph/passes/rewriter.h"
+#include "src/graph/shape_infer.h"
+
+namespace neocpu {
+namespace {
+
+// Returns the unique consumer of `id`, or -1 when it has zero or multiple consumers or
+// is a graph output (whose value must stay materialized).
+int UniqueConsumer(const Graph& g, const std::vector<std::vector<int>>& consumers, int id) {
+  const auto& list = consumers[static_cast<std::size_t>(id)];
+  if (list.size() != 1) {
+    return -1;
+  }
+  for (int out : g.outputs()) {
+    if (out == id) {
+      return -1;
+    }
+  }
+  return list[0];
+}
+
+}  // namespace
+
+Graph FuseOps(const Graph& graph) {
+  const auto consumers = graph.BuildConsumerIndex();
+  const int n = graph.num_nodes();
+
+  // absorbed_into[i] = conv/ScaleShift/Add node that absorbs node i's computation.
+  std::vector<int> absorbed_into(static_cast<std::size_t>(n), -1);
+  // Fusion decisions keyed by the absorbing node.
+  std::vector<ConvEpilogue> conv_epilogue(static_cast<std::size_t>(n));
+  std::vector<int> conv_residual(static_cast<std::size_t>(n), -1);
+  std::vector<bool> fuse_relu(static_cast<std::size_t>(n), false);
+
+  for (int id = 0; id < n; ++id) {
+    const Node& node = graph.node(id);
+    if (node.IsConv()) {
+      conv_epilogue[static_cast<std::size_t>(id)] = node.attrs.epilogue;
+      int cur = id;
+      // conv -> elemwise_add: absorb the add as a residual epilogue when this conv is
+      // the add's later operand (the other operand is then already computed).
+      int next = UniqueConsumer(graph, consumers, cur);
+      if (next >= 0 && graph.node(next).type == OpType::kElemAdd &&
+          !conv_epilogue[static_cast<std::size_t>(id)].residual_add) {
+        const Node& add = graph.node(next);
+        const int other = add.inputs[0] == cur ? add.inputs[1] : add.inputs[0];
+        if (other != cur && other < id) {
+          conv_epilogue[static_cast<std::size_t>(id)].residual_add = true;
+          conv_residual[static_cast<std::size_t>(id)] = other;
+          absorbed_into[static_cast<std::size_t>(next)] = id;
+          cur = next;
+        }
+      }
+      // (conv | conv+add) -> relu: absorb the activation.
+      next = UniqueConsumer(graph, consumers, cur);
+      if (next >= 0 && graph.node(next).type == OpType::kRelu) {
+        conv_epilogue[static_cast<std::size_t>(id)].relu = true;
+        absorbed_into[static_cast<std::size_t>(next)] = id;
+      }
+    } else if (node.type == OpType::kScaleShift && !node.attrs.relu) {
+      const int next = UniqueConsumer(graph, consumers, id);
+      if (next >= 0 && graph.node(next).type == OpType::kRelu) {
+        fuse_relu[static_cast<std::size_t>(id)] = true;
+        absorbed_into[static_cast<std::size_t>(next)] = id;
+      }
+    } else if (node.type == OpType::kElemAdd && !node.attrs.relu &&
+               absorbed_into[static_cast<std::size_t>(id)] < 0) {
+      // Standalone add (not fused into a conv): still fuse a trailing ReLU.
+      const int next = UniqueConsumer(graph, consumers, id);
+      if (next >= 0 && graph.node(next).type == OpType::kRelu) {
+        fuse_relu[static_cast<std::size_t>(id)] = true;
+        absorbed_into[static_cast<std::size_t>(next)] = id;
+      }
+    }
+  }
+
+  GraphRewriter rw(graph);
+  for (int id = 0; id < n; ++id) {
+    const Node& node = graph.node(id);
+    if (absorbed_into[static_cast<std::size_t>(id)] >= 0) {
+      rw.MapTo(id, rw.Lookup(absorbed_into[static_cast<std::size_t>(id)]));
+      continue;
+    }
+    if (node.IsConv()) {
+      NodeAttrs attrs = node.attrs;
+      attrs.epilogue = conv_epilogue[static_cast<std::size_t>(id)];
+      std::vector<int> inputs;
+      for (int input : node.inputs) {
+        inputs.push_back(rw.Lookup(input));
+      }
+      if (conv_residual[static_cast<std::size_t>(id)] >= 0) {
+        inputs.push_back(rw.Lookup(conv_residual[static_cast<std::size_t>(id)]));
+      }
+      const int new_id =
+          rw.dst().AddNode(OpType::kConv2d, std::move(inputs), std::move(attrs), node.name);
+      rw.MapTo(id, new_id);
+      continue;
+    }
+    const int new_id = rw.CopyNode(node);
+    if (fuse_relu[static_cast<std::size_t>(id)]) {
+      rw.dst().node(new_id).attrs.relu = true;
+    }
+  }
+  Graph out = rw.Finish();
+  InferShapes(&out);
+  return out;
+}
+
+}  // namespace neocpu

@@ -1,0 +1,48 @@
+// Graph-level optimization passes.
+//
+// Pipeline (paper §3 + Figure 2):
+//   1. SimplifyInference — drop Dropout, lower BatchNorm to per-channel ScaleShift with
+//      compile-time-folded constants, then fold ScaleShift into the producing
+//      convolution when the convolution has no other consumer.
+//   2. FuseOps — fuse ReLU / residual-add(+ReLU) epilogues into convolutions and ReLU
+//      into remaining ScaleShift nodes, raising arithmetic intensity (§2.2).
+//   3. AlterConvLayout — rewrite convolutions to the NCHW[x]c template with the
+//      schedules chosen by the search, pre-transform weight constants to
+//      OIHW[x]i[y]o at compile time, propagate layouts through layout-oblivious /
+//      layout-tolerant operations, and insert LayoutTransform nodes only where layouts
+//      genuinely change (§3.2).
+//
+// Every pass returns a new Graph (nodes are rebuilt in topological order); shape
+// inference is re-run internally.
+#ifndef NEOCPU_SRC_GRAPH_PASSES_PASSES_H_
+#define NEOCPU_SRC_GRAPH_PASSES_PASSES_H_
+
+#include <map>
+
+#include "src/graph/graph.h"
+
+namespace neocpu {
+
+Graph SimplifyInference(const Graph& graph);
+
+Graph FuseOps(const Graph& graph);
+
+// Layout placement strategy for AlterConvLayout.
+enum class LayoutPlacement {
+  kPerOp,       // every conv transforms NCHW -> NCHW[x]c -> NCHW around itself
+                // (framework + fixed-library behaviour; Table 3 row "Layout Opt.")
+  kPropagate,   // keep the blocked layout flowing between convs; insert transforms only
+                // on mismatch (Table 3 rows "Transform Elim." and "Global Search")
+};
+
+// `schedules` maps conv node id (in `graph`) to its chosen schedule. Convs not in the
+// map keep their NCHW kernel. Weight constants are pre-transformed in the result.
+Graph AlterConvLayout(const Graph& graph, const std::map<int, ConvSchedule>& schedules,
+                      LayoutPlacement placement);
+
+// Assigns ConvKernelKind for NCHW execution (baseline paths; no layout change).
+Graph BindNchwKernels(const Graph& graph, ConvKernelKind kind);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_GRAPH_PASSES_PASSES_H_

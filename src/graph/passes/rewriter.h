@@ -1,0 +1,69 @@
+// Helper for passes that rebuild a graph in topological order with id remapping.
+#ifndef NEOCPU_SRC_GRAPH_PASSES_REWRITER_H_
+#define NEOCPU_SRC_GRAPH_PASSES_REWRITER_H_
+
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/graph/graph.h"
+
+namespace neocpu {
+
+class GraphRewriter {
+ public:
+  explicit GraphRewriter(const Graph& src) : src_(src), map_(src.num_nodes(), -1) {
+    dst_.name = src.name;
+  }
+
+  const Graph& src() const { return src_; }
+  Graph& dst() { return dst_; }
+
+  // New id for an already-processed source node.
+  int Lookup(int orig_id) const {
+    const int mapped = map_[static_cast<std::size_t>(orig_id)];
+    NEOCPU_CHECK_GE(mapped, 0) << "source node " << orig_id << " not yet rewritten";
+    return mapped;
+  }
+
+  void MapTo(int orig_id, int new_id) { map_[static_cast<std::size_t>(orig_id)] = new_id; }
+
+  // Copies `node` verbatim (inputs remapped); maps it and returns the new id.
+  int CopyNode(const Node& node) {
+    std::vector<int> inputs;
+    inputs.reserve(node.inputs.size());
+    for (int input : node.inputs) {
+      inputs.push_back(Lookup(input));
+    }
+    int id;
+    if (node.type == OpType::kConstant) {
+      id = dst_.AddConstant(node.payload, node.name);
+    } else if (node.type == OpType::kInput) {
+      id = dst_.AddInput(node.out_dims, node.name);
+    } else {
+      id = dst_.AddNode(node.type, std::move(inputs), node.attrs, node.name);
+    }
+    dst_.node(id).out_layout = node.out_layout;
+    MapTo(node.id, id);
+    return id;
+  }
+
+  // Remaps the source outputs and finalizes.
+  Graph Finish() {
+    std::vector<int> outputs;
+    outputs.reserve(src_.outputs().size());
+    for (int out : src_.outputs()) {
+      outputs.push_back(Lookup(out));
+    }
+    dst_.SetOutputs(std::move(outputs));
+    return std::move(dst_);
+  }
+
+ private:
+  const Graph& src_;
+  Graph dst_;
+  std::vector<int> map_;
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_GRAPH_PASSES_REWRITER_H_

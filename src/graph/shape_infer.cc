@@ -1,0 +1,111 @@
+#include "src/graph/shape_infer.h"
+
+#include "src/base/logging.h"
+
+namespace neocpu {
+
+void InferNodeShape(Graph* graph, int id) {
+  {
+    Node& node = graph->node(id);
+    auto in_dims = [&](int i) -> const std::vector<std::int64_t>& {
+      return graph->node(node.inputs[static_cast<std::size_t>(i)]).out_dims;
+    };
+    switch (node.type) {
+      case OpType::kInput:
+      case OpType::kConstant:
+        NEOCPU_CHECK(!node.out_dims.empty()) << node.name << ": missing dims";
+        break;
+      case OpType::kConv2d: {
+        const Conv2dParams& p = node.attrs.conv;
+        const auto& d = in_dims(0);
+        NEOCPU_CHECK_EQ(static_cast<int>(d.size()), 4) << node.name;
+        NEOCPU_CHECK_EQ(d[1], p.in_c) << node.name;
+        NEOCPU_CHECK_EQ(d[2], p.in_h) << node.name;
+        NEOCPU_CHECK_EQ(d[3], p.in_w) << node.name;
+        node.out_dims = {d[0], p.out_c, p.OutH(), p.OutW()};
+        break;
+      }
+      case OpType::kBatchNorm:
+      case OpType::kScaleShift:
+      case OpType::kRelu:
+      case OpType::kDropout:
+        node.out_dims = in_dims(0);
+        break;
+      case OpType::kMaxPool:
+      case OpType::kAvgPool: {
+        const Pool2dParams& p = node.attrs.pool;
+        const auto& d = in_dims(0);
+        NEOCPU_CHECK_EQ(static_cast<int>(d.size()), 4) << node.name;
+        node.out_dims = {d[0], d[1], p.OutH(d[2]), p.OutW(d[3])};
+        break;
+      }
+      case OpType::kGlobalAvgPool: {
+        const auto& d = in_dims(0);
+        node.out_dims = {d[0], d[1], 1, 1};
+        break;
+      }
+      case OpType::kDense: {
+        const auto& d = in_dims(0);
+        const auto& w = in_dims(1);
+        NEOCPU_CHECK_EQ(static_cast<int>(d.size()), 2) << node.name;
+        NEOCPU_CHECK_EQ(d[1], w[1]) << node.name;
+        node.out_dims = {d[0], w[0]};
+        break;
+      }
+      case OpType::kSoftmax:
+        node.out_dims = in_dims(0);
+        break;
+      case OpType::kElemAdd:
+        NEOCPU_CHECK(in_dims(0) == in_dims(1)) << node.name;
+        node.out_dims = in_dims(0);
+        break;
+      case OpType::kConcat: {
+        const auto& first = in_dims(0);
+        node.out_dims = first;
+        const std::size_t axis = first.size() == 4 ? 1 : first.size() - 1;
+        std::int64_t total = 0;
+        for (std::size_t i = 0; i < node.inputs.size(); ++i) {
+          const auto& d = in_dims(static_cast<int>(i));
+          NEOCPU_CHECK_EQ(d.size(), first.size()) << node.name;
+          total += d[axis];
+        }
+        node.out_dims[axis] = total;
+        break;
+      }
+      case OpType::kFlatten:
+      case OpType::kFlattenNHWC: {
+        const auto& d = in_dims(0);
+        NEOCPU_CHECK_EQ(static_cast<int>(d.size()), 4) << node.name;
+        node.out_dims = {d[0], d[1] * d[2] * d[3]};
+        break;
+      }
+      case OpType::kReshape: {
+        std::int64_t total = 1;
+        for (std::int64_t v : in_dims(0)) {
+          total *= v;
+        }
+        std::int64_t given = 1;
+        for (std::int64_t v : node.attrs.reshape_dims) {
+          given *= v;
+        }
+        NEOCPU_CHECK_EQ(total, given) << node.name;
+        node.out_dims = node.attrs.reshape_dims;
+        break;
+      }
+      case OpType::kLayoutTransform:
+        node.out_dims = in_dims(0);
+        break;
+      case OpType::kMultiboxDetection:
+        node.out_dims = {node.attrs.det.keep_top_k, 6};
+        break;
+    }
+  }
+}
+
+void InferShapes(Graph* graph) {
+  for (int id = 0; id < graph->num_nodes(); ++id) {
+    InferNodeShape(graph, id);
+  }
+}
+
+}  // namespace neocpu

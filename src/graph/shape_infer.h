@@ -1,0 +1,19 @@
+// Shape inference: fills Node::out_dims (logical NCHW-semantics dims) for every node.
+// Runs after construction and after every structural pass; the builder runs it
+// incrementally so layer helpers can read their input dims during construction.
+#ifndef NEOCPU_SRC_GRAPH_SHAPE_INFER_H_
+#define NEOCPU_SRC_GRAPH_SHAPE_INFER_H_
+
+#include "src/graph/graph.h"
+
+namespace neocpu {
+
+// Infers logical output dims for node `id` from its inputs' (already inferred) dims.
+void InferNodeShape(Graph* graph, int id);
+
+// Infers logical output dims for all nodes. Inputs and constants must already have dims.
+void InferShapes(Graph* graph);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_GRAPH_SHAPE_INFER_H_

@@ -1,0 +1,93 @@
+#include "src/kernels/conv_im2col.h"
+
+#include <cstring>
+
+#include "src/base/logging.h"
+#include "src/kernels/gemm.h"
+
+namespace neocpu {
+namespace {
+
+// Expands one image's receptive fields into col[IC*KH*KW, OH*OW].
+void Im2col(const Conv2dParams& p, const float* in, float* col, ThreadEngine& eng) {
+  const std::int64_t oh_count = p.OutH();
+  const std::int64_t ow_count = p.OutW();
+  const std::int64_t out_plane = oh_count * ow_count;
+  const std::int64_t rows = p.in_c * p.kernel_h * p.kernel_w;
+  ParallelFor(eng, rows, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t r = begin; r < end; ++r) {
+      const std::int64_t kw = r % p.kernel_w;
+      const std::int64_t kh = (r / p.kernel_w) % p.kernel_h;
+      const std::int64_t ic = r / (p.kernel_w * p.kernel_h);
+      const float* in_ch = in + ic * p.in_h * p.in_w;
+      float* col_row = col + r * out_plane;
+      for (std::int64_t oh = 0; oh < oh_count; ++oh) {
+        const std::int64_t ih = oh * p.stride_h - p.pad_h + kh;
+        float* dst = col_row + oh * ow_count;
+        if (ih < 0 || ih >= p.in_h) {
+          std::memset(dst, 0, static_cast<std::size_t>(ow_count) * sizeof(float));
+          continue;
+        }
+        const float* in_row = in_ch + ih * p.in_w;
+        for (std::int64_t ow = 0; ow < ow_count; ++ow) {
+          const std::int64_t iw = ow * p.stride_w - p.pad_w + kw;
+          dst[ow] = (iw >= 0 && iw < p.in_w) ? in_row[iw] : 0.0f;
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void ConvIm2col(const Conv2dParams& p, const Tensor& input, const Tensor& weight,
+                const Tensor* bias, const Tensor* residual, const ConvEpilogue& epilogue,
+                Tensor* output, ThreadEngine* engine) {
+  NEOCPU_CHECK(output != nullptr);
+  SerialEngine serial;
+  ThreadEngine& eng = engine != nullptr ? *engine : static_cast<ThreadEngine&>(serial);
+  const std::int64_t oh_count = p.OutH();
+  const std::int64_t ow_count = p.OutW();
+  const std::int64_t out_plane = oh_count * ow_count;
+  const std::int64_t k = p.in_c * p.kernel_h * p.kernel_w;
+  Tensor col = Tensor::Empty({k, out_plane});
+  const float* bias_base = epilogue.bias && bias != nullptr ? bias->data() : nullptr;
+  const float* res_base =
+      epilogue.residual_add && residual != nullptr ? residual->data() : nullptr;
+
+  for (std::int64_t n = 0; n < p.batch; ++n) {
+    const float* in_n = input.data() + n * p.in_c * p.in_h * p.in_w;
+    float* out_n = output->data() + n * p.out_c * out_plane;
+    Im2col(p, in_n, col.data(), eng);
+    Gemm(p.out_c, out_plane, k, weight.data(), col.data(), out_n, /*accumulate=*/false, &eng);
+
+    ParallelFor(eng, p.out_c, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t oc = begin; oc < end; ++oc) {
+        float* row = out_n + oc * out_plane;
+        const float b = bias_base != nullptr ? bias_base[oc] : 0.0f;
+        const float* res_row =
+            res_base != nullptr ? res_base + (n * p.out_c + oc) * out_plane : nullptr;
+        for (std::int64_t i = 0; i < out_plane; ++i) {
+          float v = row[i] + b;
+          if (res_row != nullptr) {
+            v += res_row[i];
+          }
+          if (epilogue.relu) {
+            v = v > 0.0f ? v : 0.0f;
+          }
+          row[i] = v;
+        }
+      }
+    });
+  }
+}
+
+Tensor ConvIm2col(const Conv2dParams& p, const Tensor& input, const Tensor& weight,
+                  const Tensor* bias, const Tensor* residual, const ConvEpilogue& epilogue,
+                  ThreadEngine* engine) {
+  Tensor out = Tensor::Empty({p.batch, p.out_c, p.OutH(), p.OutW()}, Layout::NCHW());
+  ConvIm2col(p, input, weight, bias, residual, epilogue, &out, engine);
+  return out;
+}
+
+}  // namespace neocpu

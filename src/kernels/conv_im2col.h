@@ -1,0 +1,27 @@
+// im2col + GEMM convolution in the default NCHW layout.
+//
+// This is the "framework default" convolution path (what TensorFlow/Eigen-class
+// baselines execute): lower the convolution to a matrix multiply through an explicit
+// column-buffer materialization, then call the fixed GEMM kernel. It pays the col-buffer
+// bandwidth the direct NCHWc template avoids.
+#ifndef NEOCPU_SRC_KERNELS_CONV_IM2COL_H_
+#define NEOCPU_SRC_KERNELS_CONV_IM2COL_H_
+
+#include "src/kernels/conv_params.h"
+#include "src/runtime/thread_engine.h"
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+
+// input NCHW; weight OIHW; output preallocated NCHW.
+void ConvIm2col(const Conv2dParams& params, const Tensor& input, const Tensor& weight,
+                const Tensor* bias, const Tensor* residual, const ConvEpilogue& epilogue,
+                Tensor* output, ThreadEngine* engine = nullptr);
+
+Tensor ConvIm2col(const Conv2dParams& params, const Tensor& input, const Tensor& weight,
+                  const Tensor* bias = nullptr, const Tensor* residual = nullptr,
+                  const ConvEpilogue& epilogue = {}, ThreadEngine* engine = nullptr);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_KERNELS_CONV_IM2COL_H_

@@ -1,0 +1,27 @@
+#include "src/kernels/conv_params.h"
+
+#include "src/base/string_util.h"
+
+namespace neocpu {
+
+std::string Conv2dParams::ToString() const {
+  return StrFormat(
+      "conv(n=%lld ic=%lld %lldx%lld oc=%lld k=%lldx%lld s=%lldx%lld p=%lldx%lld)",
+      static_cast<long long>(batch), static_cast<long long>(in_c), static_cast<long long>(in_h),
+      static_cast<long long>(in_w), static_cast<long long>(out_c),
+      static_cast<long long>(kernel_h), static_cast<long long>(kernel_w),
+      static_cast<long long>(stride_h), static_cast<long long>(stride_w),
+      static_cast<long long>(pad_h), static_cast<long long>(pad_w));
+}
+
+std::string Conv2dParams::CacheKey() const {
+  return StrFormat("%lld_%lld_%lldx%lld_%lld_%lldx%lld_%lldx%lld_%lldx%lld",
+                   static_cast<long long>(batch), static_cast<long long>(in_c),
+                   static_cast<long long>(in_h), static_cast<long long>(in_w),
+                   static_cast<long long>(out_c), static_cast<long long>(kernel_h),
+                   static_cast<long long>(kernel_w), static_cast<long long>(stride_h),
+                   static_cast<long long>(stride_w), static_cast<long long>(pad_h),
+                   static_cast<long long>(pad_w));
+}
+
+}  // namespace neocpu

@@ -1,0 +1,55 @@
+// Convolution workload descriptor and fused-epilogue description.
+//
+// A Conv2dParams value identifies a "convolution workload" in the paper's sense (the
+// tuning database is keyed by it); ConvEpilogue describes the operations the graph-level
+// fusion pass folded into the convolution (bias add, residual add, ReLU).
+#ifndef NEOCPU_SRC_KERNELS_CONV_PARAMS_H_
+#define NEOCPU_SRC_KERNELS_CONV_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace neocpu {
+
+struct Conv2dParams {
+  std::int64_t batch = 1;
+  std::int64_t in_c = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t out_c = 0;
+  std::int64_t kernel_h = 1;
+  std::int64_t kernel_w = 1;
+  std::int64_t stride_h = 1;
+  std::int64_t stride_w = 1;
+  std::int64_t pad_h = 0;
+  std::int64_t pad_w = 0;
+
+  bool operator==(const Conv2dParams&) const = default;
+
+  std::int64_t OutH() const { return (in_h + 2 * pad_h - kernel_h) / stride_h + 1; }
+  std::int64_t OutW() const { return (in_w + 2 * pad_w - kernel_w) / stride_w + 1; }
+
+  // Multiply-accumulate count (FLOPs = 2 * Macs).
+  double Macs() const {
+    return static_cast<double>(batch) * static_cast<double>(out_c) *
+           static_cast<double>(OutH()) * static_cast<double>(OutW()) *
+           static_cast<double>(in_c) * static_cast<double>(kernel_h) *
+           static_cast<double>(kernel_w);
+  }
+
+  std::string ToString() const;
+  // Stable key for the tuning database.
+  std::string CacheKey() const;
+};
+
+struct ConvEpilogue {
+  bool bias = false;          // add per-output-channel bias
+  bool residual_add = false;  // add a second input tensor elementwise (ResNet shortcut)
+  bool relu = false;          // clamp at zero
+
+  bool operator==(const ConvEpilogue&) const = default;
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_KERNELS_CONV_PARAMS_H_

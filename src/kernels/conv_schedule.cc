@@ -1,0 +1,13 @@
+#include "src/kernels/conv_schedule.h"
+
+#include "src/base/string_util.h"
+
+namespace neocpu {
+
+std::string ConvSchedule::ToString() const {
+  return StrFormat("(ic_bn=%lld oc_bn=%lld reg_n=%lld unroll=%s)",
+                   static_cast<long long>(ic_bn), static_cast<long long>(oc_bn),
+                   static_cast<long long>(reg_n), unroll_ker ? "T" : "F");
+}
+
+}  // namespace neocpu

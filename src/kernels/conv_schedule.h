@@ -1,0 +1,34 @@
+// The convolution schedule tuple of paper §3.3.1.
+//
+//   (ic_bn, oc_bn, reg_n, unroll_ker)
+//
+// ic_bn / oc_bn are the input/output channel split factors (the x and y in NCHW[x]c and
+// OIHW[x]i[y]o), reg_n is the number of output-width elements accumulated in SIMD
+// registers simultaneously (register blocking, Figure 1), and unroll_ker chooses whether
+// the kernel-entry loop is unrolled.
+#ifndef NEOCPU_SRC_KERNELS_CONV_SCHEDULE_H_
+#define NEOCPU_SRC_KERNELS_CONV_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace neocpu {
+
+struct ConvSchedule {
+  std::int64_t ic_bn = 16;
+  std::int64_t oc_bn = 16;
+  std::int64_t reg_n = 8;
+  bool unroll_ker = true;
+
+  bool operator==(const ConvSchedule&) const = default;
+
+  std::string ToString() const;
+};
+
+// Upper bounds accepted by the kernels (stack accumulator sizing).
+inline constexpr std::int64_t kMaxRegN = 32;
+inline constexpr std::int64_t kMaxChannelBlock = 64;
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_KERNELS_CONV_SCHEDULE_H_

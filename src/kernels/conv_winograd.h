@@ -1,0 +1,37 @@
+// Winograd convolution F(2x2, 3x3) — the paper's named future-work extension ("the
+// future work includes extending to other convolution computation algorithms such as
+// Winograd and FFT"; §1 notes NeoCPU "is compatible to other optimization works on the
+// computationally-intensive kernels, e.g. CONVs via Winograd").
+//
+// Applicable to 3x3 stride-1 convolutions. Arithmetic drops from 9 to 16/4 = 4 MACs per
+// output (2.25x), traded against the input/output tile transforms. The implementation
+// here is the standard minimal-filtering form:
+//   U = G g G^T (weight transform, once per compile),
+//   V = B^T d B (input tile transform),
+//   Y = A^T [ sum_ic U .* V ] A (output transform),
+// with zero-padded gathers at image borders and guarded stores at odd output edges.
+#ifndef NEOCPU_SRC_KERNELS_CONV_WINOGRAD_H_
+#define NEOCPU_SRC_KERNELS_CONV_WINOGRAD_H_
+
+#include "src/kernels/conv_params.h"
+#include "src/runtime/thread_engine.h"
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+
+// True when the workload is in Winograd's domain (3x3, stride 1).
+bool WinogradApplicable(const Conv2dParams& params);
+
+// Weight transform: OIHW {OC, IC, 3, 3} -> {4, 4, OC, IC} (transform-major so the
+// per-tile accumulation streams contiguous (oc, ic) planes). Computed at compile time.
+Tensor WinogradTransformWeights(const Tensor& weight_oihw);
+
+// input NCHW; transformed weights from WinogradTransformWeights; bias flat {OC} or
+// null. Returns NCHW output.
+Tensor ConvWinograd(const Conv2dParams& params, const Tensor& input,
+                    const Tensor& transformed_weights, const Tensor* bias,
+                    const ConvEpilogue& epilogue, ThreadEngine* engine = nullptr);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_KERNELS_CONV_WINOGRAD_H_

@@ -1,0 +1,148 @@
+#include "src/kernels/elementwise.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace neocpu {
+namespace {
+
+SerialEngine g_serial;
+
+ThreadEngine& Engine(ThreadEngine* engine) { return engine ? *engine : g_serial; }
+
+}  // namespace
+
+Tensor Relu(const Tensor& input, ThreadEngine* engine) {
+  Tensor out = Tensor::Empty(input.dims(), input.layout());
+  const float* src = input.data();
+  float* dst = out.data();
+  ParallelFor(Engine(engine), input.NumElements(), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+    }
+  });
+  return out;
+}
+
+Tensor AddElementwise(const Tensor& a, const Tensor& b, bool relu, ThreadEngine* engine) {
+  NEOCPU_CHECK(a.dims() == b.dims()) << a.DebugString() << " vs " << b.DebugString();
+  NEOCPU_CHECK(a.layout() == b.layout())
+      << "elementwise add requires identical layouts: " << a.layout().ToString() << " vs "
+      << b.layout().ToString();
+  Tensor out = Tensor::Empty(a.dims(), a.layout());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* dst = out.data();
+  ParallelFor(Engine(engine), a.NumElements(), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      float v = pa[i] + pb[i];
+      if (relu) {
+        v = v > 0.0f ? v : 0.0f;
+      }
+      dst[i] = v;
+    }
+  });
+  return out;
+}
+
+Tensor ConcatChannels(const std::vector<Tensor>& inputs, ThreadEngine* engine) {
+  NEOCPU_CHECK(!inputs.empty());
+  const Tensor& first = inputs.front();
+  const LayoutKind kind = first.layout().kind;
+  NEOCPU_CHECK(kind == LayoutKind::kNCHW || kind == LayoutKind::kNCHWc);
+
+  if (kind == LayoutKind::kNCHW) {
+    const std::int64_t n = first.dim(0), h = first.dim(2), w = first.dim(3);
+    std::int64_t total_c = 0;
+    for (const Tensor& t : inputs) {
+      NEOCPU_CHECK_EQ(t.ndim(), 4);
+      NEOCPU_CHECK_EQ(t.dim(0), n);
+      NEOCPU_CHECK_EQ(t.dim(2), h);
+      NEOCPU_CHECK_EQ(t.dim(3), w);
+      total_c += t.dim(1);
+    }
+    Tensor out = Tensor::Empty({n, total_c, h, w}, Layout::NCHW());
+    const std::int64_t plane = h * w;
+    std::int64_t c_off = 0;
+    for (const Tensor& t : inputs) {
+      const std::int64_t c = t.dim(1);
+      ParallelFor(Engine(engine), n, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t ni = begin; ni < end; ++ni) {
+          std::memcpy(out.data() + (ni * total_c + c_off) * plane,
+                      t.data() + ni * c * plane,
+                      static_cast<std::size_t>(c * plane) * sizeof(float));
+        }
+      });
+      c_off += c;
+    }
+    return out;
+  }
+
+  // NCHWc: all inputs must share the block size; blocks are concatenated along C/x.
+  const std::int64_t x = first.dim(4);
+  const std::int64_t n = first.dim(0), h = first.dim(2), w = first.dim(3);
+  std::int64_t total_cb = 0;
+  for (const Tensor& t : inputs) {
+    NEOCPU_CHECK_EQ(t.ndim(), 5);
+    NEOCPU_CHECK_EQ(t.dim(4), x) << "concat requires one common channel block";
+    NEOCPU_CHECK_EQ(t.dim(0), n);
+    NEOCPU_CHECK_EQ(t.dim(2), h);
+    NEOCPU_CHECK_EQ(t.dim(3), w);
+    total_cb += t.dim(1);
+  }
+  Tensor out = Tensor::Empty({n, total_cb, h, w, x}, Layout::NCHWc(x));
+  const std::int64_t plane = h * w * x;
+  std::int64_t cb_off = 0;
+  for (const Tensor& t : inputs) {
+    const std::int64_t cb = t.dim(1);
+    ParallelFor(Engine(engine), n, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t ni = begin; ni < end; ++ni) {
+        std::memcpy(out.data() + (ni * total_cb + cb_off) * plane,
+                    t.data() + ni * cb * plane,
+                    static_cast<std::size_t>(cb * plane) * sizeof(float));
+      }
+    });
+    cb_off += cb;
+  }
+  return out;
+}
+
+Tensor Softmax(const Tensor& input, ThreadEngine* engine) {
+  const std::int64_t rows = input.ndim() >= 2 ? input.dim(0) : 1;
+  const std::int64_t cols = input.NumElements() / rows;
+  Tensor out = Tensor::Empty(input.dims(), input.layout());
+  const float* src = input.data();
+  float* dst = out.data();
+  ParallelFor(Engine(engine), rows, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t r = begin; r < end; ++r) {
+      const float* in_row = src + r * cols;
+      float* out_row = dst + r * cols;
+      float maxv = in_row[0];
+      for (std::int64_t i = 1; i < cols; ++i) {
+        maxv = std::max(maxv, in_row[i]);
+      }
+      float sum = 0.0f;
+      for (std::int64_t i = 0; i < cols; ++i) {
+        out_row[i] = std::exp(in_row[i] - maxv);
+        sum += out_row[i];
+      }
+      const float inv = 1.0f / sum;
+      for (std::int64_t i = 0; i < cols; ++i) {
+        out_row[i] *= inv;
+      }
+    }
+  });
+  return out;
+}
+
+Tensor FlattenNCHW(const Tensor& input) {
+  NEOCPU_CHECK_EQ(input.ndim(), 4);
+  NEOCPU_CHECK(input.layout().kind == LayoutKind::kNCHW)
+      << "Flatten is layout-dependent; the graph pass must insert a transform to NCHW";
+  return input.Reshaped({input.dim(0), input.dim(1) * input.dim(2) * input.dim(3)},
+                        Layout::Flat());
+}
+
+}  // namespace neocpu

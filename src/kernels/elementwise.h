@@ -1,0 +1,36 @@
+// Memory-bound elementwise and shape operations.
+//
+// Paper taxonomy (§3.2): ReLU / Softmax / ElemwiseAdd / Concat are layout-oblivious (or
+// tolerant in concat's channel-axis case), so they accept any layout and the optimized
+// NCHW[x]c layout flows through them unchanged. Flatten is layout-dependent — the graph
+// pass inserts a transform back to NCHW before it.
+#ifndef NEOCPU_SRC_KERNELS_ELEMENTWISE_H_
+#define NEOCPU_SRC_KERNELS_ELEMENTWISE_H_
+
+#include <vector>
+
+#include "src/runtime/thread_engine.h"
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+
+// out = max(in, 0); any layout.
+Tensor Relu(const Tensor& input, ThreadEngine* engine = nullptr);
+
+// out = a + b (+ReLU); shapes and layouts must match exactly.
+Tensor AddElementwise(const Tensor& a, const Tensor& b, bool relu,
+                      ThreadEngine* engine = nullptr);
+
+// Concatenation along the channel axis. All inputs NCHW, or all NCHW[x]c with one common
+// block size x (the layout constraint the global search's cost matrices encode).
+Tensor ConcatChannels(const std::vector<Tensor>& inputs, ThreadEngine* engine = nullptr);
+
+// Row-wise softmax on a {N, C} (or flat {C}) tensor.
+Tensor Softmax(const Tensor& input, ThreadEngine* engine = nullptr);
+
+// NCHW {N,C,H,W} -> {N, C*H*W}. Layout-dependent: input must be NCHW (4-D).
+Tensor FlattenNCHW(const Tensor& input);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_KERNELS_ELEMENTWISE_H_

@@ -1,0 +1,20 @@
+// Register-blocked single-precision GEMM (row-major), used by the im2col convolution
+// baseline and the dense (fully-connected) layer. Deliberately library-quality but not
+// schedule-searched: it stands in for the fixed vendor-library kernels the paper's
+// baselines call into.
+#ifndef NEOCPU_SRC_KERNELS_GEMM_H_
+#define NEOCPU_SRC_KERNELS_GEMM_H_
+
+#include <cstdint>
+
+#include "src/runtime/thread_engine.h"
+
+namespace neocpu {
+
+// C[M,N] = A[M,K] * B[K,N] (+ C if accumulate). All row-major, no aliasing.
+void Gemm(std::int64_t m, std::int64_t n, std::int64_t k, const float* a, const float* b,
+          float* c, bool accumulate = false, ThreadEngine* engine = nullptr);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_KERNELS_GEMM_H_

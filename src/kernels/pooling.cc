@@ -1,0 +1,181 @@
+#include "src/kernels/pooling.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/base/logging.h"
+
+namespace neocpu {
+namespace {
+
+SerialEngine g_serial;
+
+ThreadEngine& Engine(ThreadEngine* engine) { return engine ? *engine : g_serial; }
+
+}  // namespace
+
+std::int64_t Pool2dParams::OutDim(std::int64_t in, std::int64_t k, std::int64_t s,
+                                  std::int64_t p) const {
+  const std::int64_t numer = in + 2 * p - k;
+  if (ceil_mode) {
+    return (numer + s - 1) / s + 1;
+  }
+  return numer / s + 1;
+}
+
+Tensor PoolNCHW(const Pool2dParams& p, const Tensor& input, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(input.ndim(), 4);
+  const std::int64_t n = input.dim(0), c = input.dim(1), ih = input.dim(2), iw = input.dim(3);
+  const std::int64_t oh = p.OutH(ih), ow = p.OutW(iw);
+  Tensor out = Tensor::Empty({n, c, oh, ow}, Layout::NCHW());
+  const float* in_base = input.data();
+  float* out_base = out.data();
+  ParallelFor(Engine(engine), n * c, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t idx = begin; idx < end; ++idx) {
+      const float* in_ch = in_base + idx * ih * iw;
+      float* out_ch = out_base + idx * oh * ow;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+          const std::int64_t h0 = y * p.stride_h - p.pad_h;
+          const std::int64_t w0 = x * p.stride_w - p.pad_w;
+          const std::int64_t h1 = std::min(h0 + p.kernel_h, ih);
+          const std::int64_t w1 = std::min(w0 + p.kernel_w, iw);
+          const std::int64_t hc = std::max<std::int64_t>(h0, 0);
+          const std::int64_t wc = std::max<std::int64_t>(w0, 0);
+          if (p.type == PoolType::kMax) {
+            float best = -std::numeric_limits<float>::infinity();
+            for (std::int64_t hh = hc; hh < h1; ++hh) {
+              for (std::int64_t ww = wc; ww < w1; ++ww) {
+                best = std::max(best, in_ch[hh * iw + ww]);
+              }
+            }
+            out_ch[y * ow + x] = best;
+          } else {
+            float sum = 0.0f;
+            for (std::int64_t hh = hc; hh < h1; ++hh) {
+              for (std::int64_t ww = wc; ww < w1; ++ww) {
+                sum += in_ch[hh * iw + ww];
+              }
+            }
+            const std::int64_t count = p.count_include_pad
+                                           ? p.kernel_h * p.kernel_w
+                                           : std::max<std::int64_t>((h1 - hc) * (w1 - wc), 1);
+            // Multiply by the reciprocal (not divide) so both layout variants of the
+            // kernel produce bit-identical results.
+            out_ch[y * ow + x] = sum * (1.0f / static_cast<float>(count));
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor PoolNCHWc(const Pool2dParams& p, const Tensor& input, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(input.ndim(), 5);
+  const std::int64_t n = input.dim(0), cb = input.dim(1), ih = input.dim(2), iw = input.dim(3),
+                     x = input.dim(4);
+  const std::int64_t oh = p.OutH(ih), ow = p.OutW(iw);
+  Tensor out = Tensor::Empty({n, cb, oh, ow, x}, input.layout());
+  const float* in_base = input.data();
+  float* out_base = out.data();
+  ParallelFor(Engine(engine), n * cb, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t idx = begin; idx < end; ++idx) {
+      const float* in_ch = in_base + idx * ih * iw * x;
+      float* out_ch = out_base + idx * oh * ow * x;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t xx = 0; xx < ow; ++xx) {
+          const std::int64_t h0 = y * p.stride_h - p.pad_h;
+          const std::int64_t w0 = xx * p.stride_w - p.pad_w;
+          const std::int64_t h1 = std::min(h0 + p.kernel_h, ih);
+          const std::int64_t w1 = std::min(w0 + p.kernel_w, iw);
+          const std::int64_t hc = std::max<std::int64_t>(h0, 0);
+          const std::int64_t wc = std::max<std::int64_t>(w0, 0);
+          float* dst = out_ch + (y * ow + xx) * x;
+          if (p.type == PoolType::kMax) {
+            for (std::int64_t ci = 0; ci < x; ++ci) {
+              dst[ci] = -std::numeric_limits<float>::infinity();
+            }
+            for (std::int64_t hh = hc; hh < h1; ++hh) {
+              for (std::int64_t ww = wc; ww < w1; ++ww) {
+                const float* src = in_ch + (hh * iw + ww) * x;
+                for (std::int64_t ci = 0; ci < x; ++ci) {
+                  dst[ci] = std::max(dst[ci], src[ci]);
+                }
+              }
+            }
+          } else {
+            for (std::int64_t ci = 0; ci < x; ++ci) {
+              dst[ci] = 0.0f;
+            }
+            for (std::int64_t hh = hc; hh < h1; ++hh) {
+              for (std::int64_t ww = wc; ww < w1; ++ww) {
+                const float* src = in_ch + (hh * iw + ww) * x;
+                for (std::int64_t ci = 0; ci < x; ++ci) {
+                  dst[ci] += src[ci];
+                }
+              }
+            }
+            const std::int64_t count = p.count_include_pad
+                                           ? p.kernel_h * p.kernel_w
+                                           : std::max<std::int64_t>((h1 - hc) * (w1 - wc), 1);
+            const float inv = 1.0f / static_cast<float>(count);
+            for (std::int64_t ci = 0; ci < x; ++ci) {
+              dst[ci] *= inv;
+            }
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor GlobalAvgPoolNCHW(const Tensor& input, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(input.ndim(), 4);
+  const std::int64_t n = input.dim(0), c = input.dim(1), plane = input.dim(2) * input.dim(3);
+  Tensor out = Tensor::Empty({n, c, 1, 1}, Layout::NCHW());
+  const float* in_base = input.data();
+  float* out_base = out.data();
+  ParallelFor(Engine(engine), n * c, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t idx = begin; idx < end; ++idx) {
+      const float* src = in_base + idx * plane;
+      float sum = 0.0f;
+      for (std::int64_t i = 0; i < plane; ++i) {
+        sum += src[i];
+      }
+      out_base[idx] = sum / static_cast<float>(plane);
+    }
+  });
+  return out;
+}
+
+Tensor GlobalAvgPoolNCHWc(const Tensor& input, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(input.ndim(), 5);
+  const std::int64_t n = input.dim(0), cb = input.dim(1), plane = input.dim(2) * input.dim(3),
+                     x = input.dim(4);
+  Tensor out = Tensor::Empty({n, cb, 1, 1, x}, input.layout());
+  const float* in_base = input.data();
+  float* out_base = out.data();
+  ParallelFor(Engine(engine), n * cb, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t idx = begin; idx < end; ++idx) {
+      const float* src = in_base + idx * plane * x;
+      float* dst = out_base + idx * x;
+      for (std::int64_t ci = 0; ci < x; ++ci) {
+        dst[ci] = 0.0f;
+      }
+      for (std::int64_t i = 0; i < plane; ++i) {
+        for (std::int64_t ci = 0; ci < x; ++ci) {
+          dst[ci] += src[i * x + ci];
+        }
+      }
+      const float inv = 1.0f / static_cast<float>(plane);
+      for (std::int64_t ci = 0; ci < x; ++ci) {
+        dst[ci] *= inv;
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace neocpu

@@ -1,0 +1,51 @@
+// Spatial pooling in NCHW and NCHW[x]c layouts.
+//
+// Pooling is "layout-tolerant" in the paper's taxonomy (§3.2): it needs to know the
+// layout but works in both, so the optimized NCHW[x]c layout flows through it without a
+// transform. The NCHWc variant's inner loop runs over the channel block, vectorizing the
+// same way the convolution epilogue does.
+#ifndef NEOCPU_SRC_KERNELS_POOLING_H_
+#define NEOCPU_SRC_KERNELS_POOLING_H_
+
+#include <cstdint>
+
+#include "src/runtime/thread_engine.h"
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+
+enum class PoolType { kMax, kAvg };
+
+struct Pool2dParams {
+  PoolType type = PoolType::kMax;
+  std::int64_t kernel_h = 2;
+  std::int64_t kernel_w = 2;
+  std::int64_t stride_h = 2;
+  std::int64_t stride_w = 2;
+  std::int64_t pad_h = 0;
+  std::int64_t pad_w = 0;
+  // When true (the convention of the zoo models here), average pooling divides by the
+  // full kernel area including padded positions; otherwise by the valid count.
+  bool count_include_pad = false;
+  // Ceil-mode output size (SSD's 3x3/s1 pooling and DenseNet transitions use floor).
+  bool ceil_mode = false;
+
+  std::int64_t OutDim(std::int64_t in, std::int64_t k, std::int64_t s, std::int64_t p) const;
+  std::int64_t OutH(std::int64_t in_h) const { return OutDim(in_h, kernel_h, stride_h, pad_h); }
+  std::int64_t OutW(std::int64_t in_w) const { return OutDim(in_w, kernel_w, stride_w, pad_w); }
+};
+
+// input NCHW {N,C,H,W} -> output NCHW (allocated by callee).
+Tensor PoolNCHW(const Pool2dParams& params, const Tensor& input, ThreadEngine* engine = nullptr);
+
+// input NCHW[x]c {N,C/x,H,W,x} -> output NCHW[x]c.
+Tensor PoolNCHWc(const Pool2dParams& params, const Tensor& input,
+                 ThreadEngine* engine = nullptr);
+
+// Global average pooling: NCHW -> {N, C, 1, 1}; NCHWc -> {N, C/x, 1, 1, x}.
+Tensor GlobalAvgPoolNCHW(const Tensor& input, ThreadEngine* engine = nullptr);
+Tensor GlobalAvgPoolNCHWc(const Tensor& input, ThreadEngine* engine = nullptr);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_KERNELS_POOLING_H_

@@ -1,0 +1,86 @@
+// DenseNet (Huang et al., CVPR 2017) graph builders: depths 121/161/169/201.
+//
+// Pre-activation composition (BN -> ReLU -> Conv) means the batch norms here cannot fold
+// into their upstream convolutions; they lower to fused ScaleShift+ReLU nodes, which is
+// exactly the mix of layout-tolerant ops between convolutions that the paper's layout
+// propagation must flow through. The iterated channel concatenation exercises the
+// sibling-constraint handling of the global search.
+#include "src/base/logging.h"
+#include "src/base/string_util.h"
+#include "src/graph/builder.h"
+#include "src/models/model_zoo.h"
+
+namespace neocpu {
+namespace {
+
+// One dense layer: BN-ReLU-Conv1x1(4g) -> BN-ReLU-Conv3x3(g); output concatenated by the
+// caller.
+int DenseLayer(GraphBuilder& b, int in_id, std::int64_t growth, const std::string& name) {
+  int x = b.BatchNorm(in_id);
+  x = b.Relu(x);
+  x = b.Conv(x, 4 * growth, 1, 1, 0, false, name + ".conv1");
+  x = b.BatchNorm(x);
+  x = b.Relu(x);
+  x = b.Conv(x, growth, 3, 1, 1, false, name + ".conv2");
+  return x;
+}
+
+}  // namespace
+
+Graph BuildDenseNet(int depth, std::int64_t batch, std::int64_t image) {
+  std::vector<int> block_layers;
+  std::int64_t growth = 32;
+  std::int64_t init_features = 64;
+  switch (depth) {
+    case 121:
+      block_layers = {6, 12, 24, 16};
+      break;
+    case 161:
+      block_layers = {6, 12, 36, 24};
+      growth = 48;
+      init_features = 96;
+      break;
+    case 169:
+      block_layers = {6, 12, 32, 32};
+      break;
+    case 201:
+      block_layers = {6, 12, 48, 32};
+      break;
+    default:
+      LOG(FATAL) << "unsupported DenseNet depth " << depth;
+  }
+
+  GraphBuilder b(StrFormat("densenet%d", depth), /*seed=*/300 + static_cast<unsigned>(depth));
+  int x = b.Input({batch, 3, image, image});
+  x = b.Conv(x, init_features, 7, 2, 3, false, "stem");
+  x = b.BatchNorm(x);
+  x = b.Relu(x);
+  x = b.MaxPool(x, 3, 2, 1);
+
+  std::int64_t num_features = init_features;
+  for (std::size_t block = 0; block < block_layers.size(); ++block) {
+    for (int layer = 0; layer < block_layers[block]; ++layer) {
+      const int new_features =
+          DenseLayer(b, x, growth, StrFormat("block%zu.layer%d", block + 1, layer + 1));
+      x = b.Concat({x, new_features});
+      num_features += growth;
+    }
+    if (block + 1 != block_layers.size()) {
+      // Transition: BN-ReLU-Conv1x1(half) -> AvgPool2/2.
+      x = b.BatchNorm(x);
+      x = b.Relu(x);
+      num_features /= 2;
+      x = b.Conv(x, num_features, 1, 1, 0, false, StrFormat("transition%zu", block + 1));
+      x = b.AvgPool(x, 2, 2, 0);
+    }
+  }
+  x = b.BatchNorm(x);
+  x = b.Relu(x);
+  x = b.GlobalAvgPool(x);
+  x = b.Flatten(x);
+  x = b.Dense(x, 1000, false, "fc1000");
+  x = b.Softmax(x);
+  return b.Finish({x});
+}
+
+}  // namespace neocpu

@@ -1,0 +1,126 @@
+// Inception-v3 (Szegedy et al., CVPR 2016) graph builder, 299x299 input.
+//
+// The factorized 1x7/7x1 convolutions exercise the non-square kernel path of the
+// template; the four-way branch concatenations exercise multi-producer layout agreement
+// in the global search.
+#include "src/base/string_util.h"
+#include "src/graph/builder.h"
+#include "src/models/model_zoo.h"
+
+namespace neocpu {
+namespace {
+
+// conv + BN + ReLU with a rectangular kernel.
+int BasicConv(GraphBuilder& b, int in_id, std::int64_t out_c, std::int64_t kh, std::int64_t kw,
+              std::int64_t stride, std::int64_t ph, std::int64_t pw, const std::string& name) {
+  int x = b.ConvRect(in_id, out_c, kh, kw, stride, ph, pw, false, name);
+  x = b.BatchNorm(x);
+  return b.Relu(x);
+}
+
+int BasicConvSq(GraphBuilder& b, int in_id, std::int64_t out_c, std::int64_t k,
+                std::int64_t stride, std::int64_t pad, const std::string& name) {
+  return BasicConv(b, in_id, out_c, k, k, stride, pad, pad, name);
+}
+
+// 35x35 block: 1x1 / 5x5 / double-3x3 / pool branches.
+int InceptionA(GraphBuilder& b, int x, std::int64_t pool_features, const std::string& name) {
+  int b1 = BasicConvSq(b, x, 64, 1, 1, 0, name + ".b1");
+  int b2 = BasicConvSq(b, x, 48, 1, 1, 0, name + ".b2a");
+  b2 = BasicConvSq(b, b2, 64, 5, 1, 2, name + ".b2b");
+  int b3 = BasicConvSq(b, x, 64, 1, 1, 0, name + ".b3a");
+  b3 = BasicConvSq(b, b3, 96, 3, 1, 1, name + ".b3b");
+  b3 = BasicConvSq(b, b3, 96, 3, 1, 1, name + ".b3c");
+  int b4 = b.AvgPool(x, 3, 1, 1);
+  b4 = BasicConvSq(b, b4, pool_features, 1, 1, 0, name + ".b4");
+  return b.Concat({b1, b2, b3, b4});
+}
+
+// 35x35 -> 17x17 grid reduction.
+int ReductionA(GraphBuilder& b, int x, const std::string& name) {
+  int b1 = BasicConvSq(b, x, 384, 3, 2, 0, name + ".b1");
+  int b2 = BasicConvSq(b, x, 64, 1, 1, 0, name + ".b2a");
+  b2 = BasicConvSq(b, b2, 96, 3, 1, 1, name + ".b2b");
+  b2 = BasicConvSq(b, b2, 96, 3, 2, 0, name + ".b2c");
+  int b3 = b.MaxPool(x, 3, 2, 0);
+  return b.Concat({b1, b2, b3});
+}
+
+// 17x17 block with factorized 7x7 convolutions.
+int InceptionB(GraphBuilder& b, int x, std::int64_t c7, const std::string& name) {
+  int b1 = BasicConvSq(b, x, 192, 1, 1, 0, name + ".b1");
+  int b2 = BasicConvSq(b, x, c7, 1, 1, 0, name + ".b2a");
+  b2 = BasicConv(b, b2, c7, 1, 7, 1, 0, 3, name + ".b2b");
+  b2 = BasicConv(b, b2, 192, 7, 1, 1, 3, 0, name + ".b2c");
+  int b3 = BasicConvSq(b, x, c7, 1, 1, 0, name + ".b3a");
+  b3 = BasicConv(b, b3, c7, 7, 1, 1, 3, 0, name + ".b3b");
+  b3 = BasicConv(b, b3, c7, 1, 7, 1, 0, 3, name + ".b3c");
+  b3 = BasicConv(b, b3, c7, 7, 1, 1, 3, 0, name + ".b3d");
+  b3 = BasicConv(b, b3, 192, 1, 7, 1, 0, 3, name + ".b3e");
+  int b4 = b.AvgPool(x, 3, 1, 1);
+  b4 = BasicConvSq(b, b4, 192, 1, 1, 0, name + ".b4");
+  return b.Concat({b1, b2, b3, b4});
+}
+
+// 17x17 -> 8x8 grid reduction.
+int ReductionB(GraphBuilder& b, int x, const std::string& name) {
+  int b1 = BasicConvSq(b, x, 192, 1, 1, 0, name + ".b1a");
+  b1 = BasicConvSq(b, b1, 320, 3, 2, 0, name + ".b1b");
+  int b2 = BasicConvSq(b, x, 192, 1, 1, 0, name + ".b2a");
+  b2 = BasicConv(b, b2, 192, 1, 7, 1, 0, 3, name + ".b2b");
+  b2 = BasicConv(b, b2, 192, 7, 1, 1, 3, 0, name + ".b2c");
+  b2 = BasicConvSq(b, b2, 192, 3, 2, 0, name + ".b2d");
+  int b3 = b.MaxPool(x, 3, 2, 0);
+  return b.Concat({b1, b2, b3});
+}
+
+// 8x8 block with split 1x3/3x1 branches.
+int InceptionC(GraphBuilder& b, int x, const std::string& name) {
+  int b1 = BasicConvSq(b, x, 320, 1, 1, 0, name + ".b1");
+  int b2 = BasicConvSq(b, x, 384, 1, 1, 0, name + ".b2a");
+  int b2a = BasicConv(b, b2, 384, 1, 3, 1, 0, 1, name + ".b2b");
+  int b2b = BasicConv(b, b2, 384, 3, 1, 1, 1, 0, name + ".b2c");
+  int b2cat = b.Concat({b2a, b2b});
+  int b3 = BasicConvSq(b, x, 448, 1, 1, 0, name + ".b3a");
+  b3 = BasicConvSq(b, b3, 384, 3, 1, 1, name + ".b3b");
+  int b3a = BasicConv(b, b3, 384, 1, 3, 1, 0, 1, name + ".b3c");
+  int b3b = BasicConv(b, b3, 384, 3, 1, 1, 1, 0, name + ".b3d");
+  int b3cat = b.Concat({b3a, b3b});
+  int b4 = b.AvgPool(x, 3, 1, 1);
+  b4 = BasicConvSq(b, b4, 192, 1, 1, 0, name + ".b4");
+  return b.Concat({b1, b2cat, b3cat, b4});
+}
+
+}  // namespace
+
+Graph BuildInceptionV3(std::int64_t batch, std::int64_t image) {
+  GraphBuilder b("inception-v3", /*seed=*/400);
+  int x = b.Input({batch, 3, image, image});
+  x = BasicConvSq(b, x, 32, 3, 2, 0, "stem1");
+  x = BasicConvSq(b, x, 32, 3, 1, 0, "stem2");
+  x = BasicConvSq(b, x, 64, 3, 1, 1, "stem3");
+  x = b.MaxPool(x, 3, 2, 0);
+  x = BasicConvSq(b, x, 80, 1, 1, 0, "stem4");
+  x = BasicConvSq(b, x, 192, 3, 1, 0, "stem5");
+  x = b.MaxPool(x, 3, 2, 0);
+
+  x = InceptionA(b, x, 32, "mixed0");
+  x = InceptionA(b, x, 64, "mixed1");
+  x = InceptionA(b, x, 64, "mixed2");
+  x = ReductionA(b, x, "mixed3");
+  x = InceptionB(b, x, 128, "mixed4");
+  x = InceptionB(b, x, 160, "mixed5");
+  x = InceptionB(b, x, 160, "mixed6");
+  x = InceptionB(b, x, 192, "mixed7");
+  x = ReductionB(b, x, "mixed8");
+  x = InceptionC(b, x, "mixed9");
+  x = InceptionC(b, x, "mixed10");
+
+  x = b.GlobalAvgPool(x);
+  x = b.Flatten(x);
+  x = b.Dense(x, 1000, false, "fc1000");
+  x = b.Softmax(x);
+  return b.Finish({x});
+}
+
+}  // namespace neocpu

@@ -1,0 +1,75 @@
+#include "src/models/model_zoo.h"
+
+#include "src/base/logging.h"
+
+namespace neocpu {
+
+Graph BuildModel(const std::string& name, std::int64_t batch) {
+  if (name == "resnet18") {
+    return BuildResNet(18, batch);
+  }
+  if (name == "resnet34") {
+    return BuildResNet(34, batch);
+  }
+  if (name == "resnet50") {
+    return BuildResNet(50, batch);
+  }
+  if (name == "resnet101") {
+    return BuildResNet(101, batch);
+  }
+  if (name == "resnet152") {
+    return BuildResNet(152, batch);
+  }
+  if (name == "vgg11") {
+    return BuildVgg(11, batch);
+  }
+  if (name == "vgg13") {
+    return BuildVgg(13, batch);
+  }
+  if (name == "vgg16") {
+    return BuildVgg(16, batch);
+  }
+  if (name == "vgg19") {
+    return BuildVgg(19, batch);
+  }
+  if (name == "densenet121") {
+    return BuildDenseNet(121, batch);
+  }
+  if (name == "densenet161") {
+    return BuildDenseNet(161, batch);
+  }
+  if (name == "densenet169") {
+    return BuildDenseNet(169, batch);
+  }
+  if (name == "densenet201") {
+    return BuildDenseNet(201, batch);
+  }
+  if (name == "inception-v3") {
+    return BuildInceptionV3(batch);
+  }
+  if (name == "ssd-resnet50") {
+    return BuildSsdResNet50(batch);
+  }
+  LOG(FATAL) << "unknown model '" << name << "'";
+  return {};
+}
+
+const std::vector<std::string>& ModelZooNames() {
+  static const std::vector<std::string> kNames = {
+      "resnet18",    "resnet34",    "resnet50",    "resnet101",    "resnet152",
+      "vgg11",       "vgg13",       "vgg16",       "vgg19",        "densenet121",
+      "densenet161", "densenet169", "densenet201", "inception-v3", "ssd-resnet50"};
+  return kNames;
+}
+
+std::vector<std::int64_t> ModelInputDims(const std::string& name, std::int64_t batch) {
+  std::int64_t image = 224;
+  if (name == "inception-v3") {
+    image = 299;
+  } else if (name == "ssd-resnet50") {
+    image = 512;
+  }
+  return {batch, 3, image, image};
+}
+
+}  // namespace neocpu

@@ -1,0 +1,40 @@
+// The paper's 15-network evaluation zoo (§4, Table 2):
+//   ResNet-18/34/50/101/152, VGG-11/13/16/19, DenseNet-121/161/169/201, Inception-v3,
+//   and SSD with a ResNet-50 backbone.
+//
+// Input conventions follow the paper: 224x224 images, except Inception-v3 (299x299) and
+// SSD (512x512); batch size 1 for latency measurement. Parameters are deterministic
+// pseudo-random (see GraphBuilder) — the evaluation measures compute, not accuracy, and
+// correctness is established by cross-executor equivalence tests.
+#ifndef NEOCPU_SRC_MODELS_MODEL_ZOO_H_
+#define NEOCPU_SRC_MODELS_MODEL_ZOO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace neocpu {
+
+// Individual builders.
+Graph BuildResNet(int depth, std::int64_t batch = 1, std::int64_t image = 224);
+Graph BuildVgg(int depth, std::int64_t batch = 1, std::int64_t image = 224);
+Graph BuildDenseNet(int depth, std::int64_t batch = 1, std::int64_t image = 224);
+Graph BuildInceptionV3(std::int64_t batch = 1, std::int64_t image = 299);
+Graph BuildSsdResNet50(std::int64_t batch = 1, std::int64_t image = 512,
+                       std::int64_t num_classes = 21);
+
+// By name: "resnet18".."resnet152", "vgg11".."vgg19", "densenet121".."densenet201",
+// "inception-v3", "ssd-resnet50".
+Graph BuildModel(const std::string& name, std::int64_t batch = 1);
+
+// The 15 names in the paper's Table 2 order.
+const std::vector<std::string>& ModelZooNames();
+
+// {N, 3, H, W} for a model's expected input.
+std::vector<std::int64_t> ModelInputDims(const std::string& name, std::int64_t batch = 1);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_MODELS_MODEL_ZOO_H_

@@ -1,0 +1,95 @@
+// ResNet v1 (He et al., CVPR 2016) graph builders: depths 18/34 use basic blocks,
+// 50/101/152 use bottleneck blocks.
+#include "src/base/logging.h"
+#include "src/base/string_util.h"
+#include "src/graph/builder.h"
+#include "src/models/model_zoo.h"
+
+namespace neocpu {
+namespace {
+
+// Basic residual block: 3x3 -> 3x3 with identity (or 1x1 projection) shortcut.
+int BasicBlock(GraphBuilder& b, int in_id, std::int64_t channels, std::int64_t stride,
+               bool project, const std::string& name) {
+  int shortcut = in_id;
+  if (project) {
+    shortcut = b.Conv(in_id, channels, 1, stride, 0, false, name + ".proj");
+    shortcut = b.BatchNorm(shortcut);
+  }
+  int x = b.ConvBnRelu(in_id, channels, 3, stride, 1, name + ".conv1");
+  x = b.Conv(x, channels, 3, 1, 1, false, name + ".conv2");
+  x = b.BatchNorm(x);
+  x = b.Add(x, shortcut);
+  return b.Relu(x);
+}
+
+// Bottleneck residual block: 1x1 reduce -> 3x3 -> 1x1 expand.
+int BottleneckBlock(GraphBuilder& b, int in_id, std::int64_t channels, std::int64_t stride,
+                    bool project, const std::string& name) {
+  const std::int64_t mid = channels / 4;
+  int shortcut = in_id;
+  if (project) {
+    shortcut = b.Conv(in_id, channels, 1, stride, 0, false, name + ".proj");
+    shortcut = b.BatchNorm(shortcut);
+  }
+  int x = b.ConvBnRelu(in_id, mid, 1, 1, 0, name + ".conv1");
+  x = b.ConvBnRelu(x, mid, 3, stride, 1, name + ".conv2");
+  x = b.Conv(x, channels, 1, 1, 0, false, name + ".conv3");
+  x = b.BatchNorm(x);
+  x = b.Add(x, shortcut);
+  return b.Relu(x);
+}
+
+}  // namespace
+
+Graph BuildResNet(int depth, std::int64_t batch, std::int64_t image) {
+  std::vector<int> units;
+  bool bottleneck = true;
+  switch (depth) {
+    case 18:
+      units = {2, 2, 2, 2};
+      bottleneck = false;
+      break;
+    case 34:
+      units = {3, 4, 6, 3};
+      bottleneck = false;
+      break;
+    case 50:
+      units = {3, 4, 6, 3};
+      break;
+    case 101:
+      units = {3, 4, 23, 3};
+      break;
+    case 152:
+      units = {3, 8, 36, 3};
+      break;
+    default:
+      LOG(FATAL) << "unsupported ResNet depth " << depth;
+  }
+  const std::vector<std::int64_t> channels =
+      bottleneck ? std::vector<std::int64_t>{256, 512, 1024, 2048}
+                 : std::vector<std::int64_t>{64, 128, 256, 512};
+
+  GraphBuilder b(StrFormat("resnet%d", depth), /*seed=*/100 + static_cast<unsigned>(depth));
+  int x = b.Input({batch, 3, image, image});
+  x = b.ConvBnRelu(x, 64, 7, 2, 3, "stem");
+  x = b.MaxPool(x, 3, 2, 1);
+  for (std::size_t stage = 0; stage < units.size(); ++stage) {
+    for (int unit = 0; unit < units[stage]; ++unit) {
+      const std::int64_t stride = (stage > 0 && unit == 0) ? 2 : 1;
+      // A projection shortcut is only needed when the block changes channel count or
+      // resolution: stage 1 of the basic-block variants starts at 64 channels already.
+      const bool project = unit == 0 && (stage > 0 || bottleneck);
+      const std::string name = StrFormat("stage%zu.unit%d", stage + 1, unit + 1);
+      x = bottleneck ? BottleneckBlock(b, x, channels[stage], stride, project, name)
+                     : BasicBlock(b, x, channels[stage], stride, project, name);
+    }
+  }
+  x = b.GlobalAvgPool(x);
+  x = b.Flatten(x);
+  x = b.Dense(x, 1000, false, "fc1000");
+  x = b.Softmax(x);
+  return b.Finish({x});
+}
+
+}  // namespace neocpu

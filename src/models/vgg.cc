@@ -1,0 +1,50 @@
+// VGG (Simonyan & Zisserman, 2014) graph builders: depths 11/13/16/19, the original
+// no-batch-norm variants (biased convolutions), matching the paper's zoo.
+#include "src/base/logging.h"
+#include "src/base/string_util.h"
+#include "src/graph/builder.h"
+#include "src/models/model_zoo.h"
+
+namespace neocpu {
+
+Graph BuildVgg(int depth, std::int64_t batch, std::int64_t image) {
+  std::vector<int> per_stage;
+  switch (depth) {
+    case 11:
+      per_stage = {1, 1, 2, 2, 2};
+      break;
+    case 13:
+      per_stage = {2, 2, 2, 2, 2};
+      break;
+    case 16:
+      per_stage = {2, 2, 3, 3, 3};
+      break;
+    case 19:
+      per_stage = {2, 2, 4, 4, 4};
+      break;
+    default:
+      LOG(FATAL) << "unsupported VGG depth " << depth;
+  }
+  const std::vector<std::int64_t> channels = {64, 128, 256, 512, 512};
+
+  GraphBuilder b(StrFormat("vgg%d", depth), /*seed=*/200 + static_cast<unsigned>(depth));
+  int x = b.Input({batch, 3, image, image});
+  for (std::size_t stage = 0; stage < per_stage.size(); ++stage) {
+    for (int i = 0; i < per_stage[stage]; ++i) {
+      x = b.Conv(x, channels[stage], 3, 1, 1, /*bias=*/true,
+                 StrFormat("conv%zu_%d", stage + 1, i + 1));
+      x = b.Relu(x);
+    }
+    x = b.MaxPool(x, 2, 2, 0);
+  }
+  x = b.Flatten(x);
+  x = b.Dense(x, 4096, /*relu=*/true, "fc6");
+  x = b.Dropout(x);
+  x = b.Dense(x, 4096, /*relu=*/true, "fc7");
+  x = b.Dropout(x);
+  x = b.Dense(x, 1000, /*relu=*/false, "fc8");
+  x = b.Softmax(x);
+  return b.Finish({x});
+}
+
+}  // namespace neocpu

@@ -1,0 +1,35 @@
+// NeoCPU-Repro public umbrella header.
+//
+// Quickstart:
+//   #include "src/neocpu.h"
+//   neocpu::Graph model = neocpu::BuildModel("resnet50");
+//   neocpu::CompiledModel compiled =
+//       neocpu::Compile(model, neocpu::NeoCpuOptions(neocpu::Target::Host()));
+//   neocpu::NeoThreadPool pool;
+//   neocpu::Rng rng(1);
+//   neocpu::Tensor image = neocpu::Tensor::Random({1, 3, 224, 224}, rng, 0.f, 1.f,
+//                                                 neocpu::Layout::NCHW());
+//   neocpu::Tensor probs = compiled.Run(image, &pool);
+#ifndef NEOCPU_SRC_NEOCPU_H_
+#define NEOCPU_SRC_NEOCPU_H_
+
+#include "src/base/cpu_info.h"
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+#include "src/base/string_util.h"
+#include "src/base/timer.h"
+#include "src/core/compiler.h"
+#include "src/core/executor.h"
+#include "src/core/presets.h"
+#include "src/core/target.h"
+#include "src/graph/builder.h"
+#include "src/graph/graph.h"
+#include "src/models/model_zoo.h"
+#include "src/runtime/omp_pool.h"
+#include "src/runtime/thread_pool.h"
+#include "src/tensor/layout_transform.h"
+#include "src/tensor/tensor.h"
+#include "src/tuning/global_search.h"
+#include "src/tuning/local_search.h"
+
+#endif  // NEOCPU_SRC_NEOCPU_H_

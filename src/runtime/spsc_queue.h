@@ -1,0 +1,74 @@
+// Bounded lock-free single-producer single-consumer queue.
+//
+// This is the scheduler→worker channel of the custom thread pool (paper §3.1.2: "a
+// single-producer-single-consumer lock-free queue between the scheduler and every
+// working thread"). Head and tail indices live on separate cache lines to avoid false
+// sharing between the producing and consuming threads.
+#ifndef NEOCPU_SRC_RUNTIME_SPSC_QUEUE_H_
+#define NEOCPU_SRC_RUNTIME_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "src/base/align.h"
+#include "src/base/logging.h"
+
+namespace neocpu {
+
+template <typename T>
+class SpscQueue {
+ public:
+  // Capacity is rounded up to a power of two; one slot is sacrificed to distinguish
+  // full from empty.
+  explicit SpscQueue(std::size_t capacity = 256) {
+    std::size_t cap = 2;
+    while (cap < capacity + 1) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Producer side. Returns false when the queue is full.
+  bool TryPush(T value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = (tail + 1) & mask_;
+    if (next == head_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    slots_[tail] = std::move(value);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the queue is empty.
+  bool TryPop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    out = std::move(slots_[head]);
+    head_.store((head + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  bool Empty() const {
+    return head_.load(std::memory_order_acquire) == tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t Capacity() const { return mask_; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLineBytes) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLineBytes) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_RUNTIME_SPSC_QUEUE_H_

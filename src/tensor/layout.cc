@@ -1,0 +1,26 @@
+#include "src/tensor/layout.h"
+
+#include "src/base/string_util.h"
+
+namespace neocpu {
+
+std::string Layout::ToString() const {
+  switch (kind) {
+    case LayoutKind::kNCHW:
+      return "NCHW";
+    case LayoutKind::kNHWC:
+      return "NHWC";
+    case LayoutKind::kNCHWc:
+      return StrFormat("NCHW%lldc", static_cast<long long>(c_block));
+    case LayoutKind::kOIHW:
+      return "OIHW";
+    case LayoutKind::kOIHWio:
+      return StrFormat("OIHW%lldi%lldo", static_cast<long long>(i_block),
+                       static_cast<long long>(o_block));
+    case LayoutKind::kFlat:
+      return "flat";
+  }
+  return "?";
+}
+
+}  // namespace neocpu

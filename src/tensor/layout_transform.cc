@@ -1,0 +1,198 @@
+#include "src/tensor/layout_transform.h"
+
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace neocpu {
+namespace {
+
+SerialEngine g_serial;
+
+ThreadEngine& Engine(ThreadEngine* engine) { return engine ? *engine : g_serial; }
+
+}  // namespace
+
+Tensor NCHWToNCHWc(const Tensor& src, std::int64_t x, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(src.ndim(), 4);
+  const std::int64_t n = src.dim(0), c = src.dim(1), h = src.dim(2), w = src.dim(3);
+  NEOCPU_CHECK_GT(x, 0);
+  NEOCPU_CHECK_EQ(c % x, 0) << "channels " << c << " not divisible by block " << x;
+  const std::int64_t cb = c / x;
+  Tensor dst = Tensor::Empty({n, cb, h, w, x}, Layout::NCHWc(x));
+  const float* s = src.data();
+  float* d = dst.data();
+  const std::int64_t hw = h * w;
+  ParallelFor(Engine(engine), n * cb, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t ncb = begin; ncb < end; ++ncb) {
+      const std::int64_t ni = ncb / cb;
+      const std::int64_t co = ncb % cb;
+      float* dp = d + ncb * hw * x;
+      const float* sp = s + (ni * c + co * x) * hw;
+      for (std::int64_t p = 0; p < hw; ++p) {
+        for (std::int64_t ci = 0; ci < x; ++ci) {
+          dp[p * x + ci] = sp[ci * hw + p];
+        }
+      }
+    }
+  });
+  return dst;
+}
+
+Tensor NCHWcToNCHW(const Tensor& src, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(src.ndim(), 5);
+  const std::int64_t n = src.dim(0), cb = src.dim(1), h = src.dim(2), w = src.dim(3),
+                     x = src.dim(4);
+  Tensor dst = Tensor::Empty({n, cb * x, h, w}, Layout::NCHW());
+  const float* s = src.data();
+  float* d = dst.data();
+  const std::int64_t hw = h * w;
+  ParallelFor(Engine(engine), n * cb, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t ncb = begin; ncb < end; ++ncb) {
+      const std::int64_t ni = ncb / cb;
+      const std::int64_t co = ncb % cb;
+      const float* sp = s + ncb * hw * x;
+      float* dp = d + (ni * cb * x + co * x) * hw;
+      for (std::int64_t p = 0; p < hw; ++p) {
+        for (std::int64_t ci = 0; ci < x; ++ci) {
+          dp[ci * hw + p] = sp[p * x + ci];
+        }
+      }
+    }
+  });
+  return dst;
+}
+
+Tensor NCHWcToNCHWc(const Tensor& src, std::int64_t new_x, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(src.ndim(), 5);
+  const std::int64_t n = src.dim(0), cb = src.dim(1), h = src.dim(2), w = src.dim(3),
+                     x = src.dim(4);
+  const std::int64_t c = cb * x;
+  if (new_x == x) {
+    return src;
+  }
+  NEOCPU_CHECK_EQ(c % new_x, 0);
+  const std::int64_t new_cb = c / new_x;
+  Tensor dst = Tensor::Empty({n, new_cb, h, w, new_x}, Layout::NCHWc(new_x));
+  const float* s = src.data();
+  float* d = dst.data();
+  const std::int64_t hw = h * w;
+  ParallelFor(Engine(engine), n * new_cb, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t ncb = begin; ncb < end; ++ncb) {
+      const std::int64_t ni = ncb / new_cb;
+      const std::int64_t co = ncb % new_cb;
+      float* dp = d + ncb * hw * new_x;
+      for (std::int64_t ci = 0; ci < new_x; ++ci) {
+        const std::int64_t ch = co * new_x + ci;  // global channel index
+        const float* sp = s + ((ni * cb + ch / x) * hw) * x + (ch % x);
+        for (std::int64_t p = 0; p < hw; ++p) {
+          dp[p * new_x + ci] = sp[p * x];
+        }
+      }
+    }
+  });
+  return dst;
+}
+
+Tensor NCHWToNHWC(const Tensor& src, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(src.ndim(), 4);
+  const std::int64_t n = src.dim(0), c = src.dim(1), h = src.dim(2), w = src.dim(3);
+  Tensor dst = Tensor::Empty({n, h, w, c}, Layout::NHWC());
+  const float* s = src.data();
+  float* d = dst.data();
+  const std::int64_t hw = h * w;
+  ParallelFor(Engine(engine), n, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t ni = begin; ni < end; ++ni) {
+      const float* sp = s + ni * c * hw;
+      float* dp = d + ni * hw * c;
+      for (std::int64_t p = 0; p < hw; ++p) {
+        for (std::int64_t ci = 0; ci < c; ++ci) {
+          dp[p * c + ci] = sp[ci * hw + p];
+        }
+      }
+    }
+  });
+  return dst;
+}
+
+Tensor NHWCToNCHW(const Tensor& src, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(src.ndim(), 4);
+  const std::int64_t n = src.dim(0), h = src.dim(1), w = src.dim(2), c = src.dim(3);
+  Tensor dst = Tensor::Empty({n, c, h, w}, Layout::NCHW());
+  const float* s = src.data();
+  float* d = dst.data();
+  const std::int64_t hw = h * w;
+  ParallelFor(Engine(engine), n, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t ni = begin; ni < end; ++ni) {
+      const float* sp = s + ni * hw * c;
+      float* dp = d + ni * c * hw;
+      for (std::int64_t ci = 0; ci < c; ++ci) {
+        for (std::int64_t p = 0; p < hw; ++p) {
+          dp[ci * hw + p] = sp[p * c + ci];
+        }
+      }
+    }
+  });
+  return dst;
+}
+
+Tensor OIHWToOIHWio(const Tensor& src, std::int64_t x, std::int64_t y) {
+  NEOCPU_CHECK_EQ(src.ndim(), 4);
+  const std::int64_t o = src.dim(0), i = src.dim(1), kh = src.dim(2), kw = src.dim(3);
+  NEOCPU_CHECK_EQ(i % x, 0);
+  NEOCPU_CHECK_EQ(o % y, 0);
+  const std::int64_t ob = o / y;
+  const std::int64_t ib = i / x;
+  Tensor dst = Tensor::Empty({ob, ib, kh, kw, x, y}, Layout::OIHWio(x, y));
+  const float* s = src.data();
+  float* d = dst.data();
+  const std::int64_t khw = kh * kw;
+  for (std::int64_t oo = 0; oo < ob; ++oo) {
+    for (std::int64_t ii = 0; ii < ib; ++ii) {
+      for (std::int64_t k = 0; k < khw; ++k) {
+        for (std::int64_t xi = 0; xi < x; ++xi) {
+          for (std::int64_t yi = 0; yi < y; ++yi) {
+            const std::int64_t src_idx = ((oo * y + yi) * i + (ii * x + xi)) * khw + k;
+            float* dp = d + ((((oo * ib + ii) * khw + k) * x + xi) * y + yi);
+            *dp = s[src_idx];
+          }
+        }
+      }
+    }
+  }
+  return dst;
+}
+
+Tensor TransformLayout(const Tensor& src, const Layout& dst_layout, ThreadEngine* engine) {
+  const Layout& from = src.layout();
+  if (from == dst_layout) {
+    return src;
+  }
+  if (from.kind == LayoutKind::kNCHW && dst_layout.kind == LayoutKind::kNCHWc) {
+    return NCHWToNCHWc(src, dst_layout.c_block, engine);
+  }
+  if (from.kind == LayoutKind::kNCHWc && dst_layout.kind == LayoutKind::kNCHW) {
+    return NCHWcToNCHW(src, engine);
+  }
+  if (from.kind == LayoutKind::kNCHWc && dst_layout.kind == LayoutKind::kNCHWc) {
+    return NCHWcToNCHWc(src, dst_layout.c_block, engine);
+  }
+  if (from.kind == LayoutKind::kNCHW && dst_layout.kind == LayoutKind::kNHWC) {
+    return NCHWToNHWC(src, engine);
+  }
+  if (from.kind == LayoutKind::kNHWC && dst_layout.kind == LayoutKind::kNCHW) {
+    return NHWCToNCHW(src, engine);
+  }
+  if (from.kind == LayoutKind::kOIHW && dst_layout.kind == LayoutKind::kOIHWio) {
+    return OIHWToOIHWio(src, dst_layout.i_block, dst_layout.o_block);
+  }
+  LOG(FATAL) << "unsupported layout transform " << from.ToString() << " -> "
+             << dst_layout.ToString();
+  return {};
+}
+
+std::int64_t TransformBytes(const Tensor& src) {
+  return 2 * static_cast<std::int64_t>(src.SizeBytes());
+}
+
+}  // namespace neocpu

@@ -1,0 +1,132 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "src/base/align.h"
+#include "src/base/logging.h"
+#include "src/base/string_util.h"
+
+namespace neocpu {
+namespace {
+
+std::int64_t Product(const std::vector<std::int64_t>& dims) {
+  std::int64_t n = 1;
+  for (std::int64_t d : dims) {
+    NEOCPU_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor Tensor::Empty(std::vector<std::int64_t> dims, Layout layout) {
+  Tensor t;
+  std::int64_t count = Product(dims);
+  t.data_ = std::shared_ptr<float[]>(
+      static_cast<float*>(AlignedAlloc(static_cast<std::size_t>(count) * sizeof(float))),
+      AlignedDeleter());
+  NEOCPU_CHECK(count == 0 || t.data_ != nullptr) << "allocation of " << count << " floats failed";
+  t.dims_ = std::move(dims);
+  t.layout_ = layout;
+  return t;
+}
+
+Tensor Tensor::Zeros(std::vector<std::int64_t> dims, Layout layout) {
+  Tensor t = Empty(std::move(dims), layout);
+  t.FillZero();
+  return t;
+}
+
+Tensor Tensor::Full(std::vector<std::int64_t> dims, float value, Layout layout) {
+  Tensor t = Empty(std::move(dims), layout);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Random(std::vector<std::int64_t> dims, Rng& rng, float lo, float hi,
+                      Layout layout) {
+  Tensor t = Empty(std::move(dims), layout);
+  float* p = t.data();
+  const std::int64_t n = t.NumElements();
+  for (std::int64_t i = 0; i < n; ++i) {
+    p[i] = rng.NextFloat(lo, hi);
+  }
+  return t;
+}
+
+std::int64_t Tensor::NumElements() const { return Product(dims_); }
+
+Tensor Tensor::Clone() const {
+  Tensor t = Empty(dims_, layout_);
+  std::memcpy(t.data(), data(), SizeBytes());
+  return t;
+}
+
+Tensor Tensor::Reshaped(std::vector<std::int64_t> dims, Layout layout) const {
+  NEOCPU_CHECK_EQ(Product(dims), NumElements()) << "reshape must preserve element count";
+  Tensor t = *this;
+  t.dims_ = std::move(dims);
+  t.layout_ = layout;
+  return t;
+}
+
+void Tensor::FillZero() { std::memset(data(), 0, SizeBytes()); }
+
+void Tensor::Fill(float value) {
+  float* p = data();
+  const std::int64_t n = NumElements();
+  std::fill(p, p + n, value);
+}
+
+double Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  NEOCPU_CHECK_EQ(a.NumElements(), b.NumElements());
+  double worst = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.NumElements();
+  for (std::int64_t i = 0; i < n; ++i) {
+    worst = std::max(worst, static_cast<double>(std::fabs(pa[i] - pb[i])));
+  }
+  return worst;
+}
+
+double Tensor::MaxRelDiff(const Tensor& a, const Tensor& b, double eps) {
+  NEOCPU_CHECK_EQ(a.NumElements(), b.NumElements());
+  double worst = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.NumElements();
+  for (std::int64_t i = 0; i < n; ++i) {
+    double da = pa[i];
+    double db = pb[i];
+    double rel = std::fabs(da - db) / (std::fabs(da) + std::fabs(db) + eps);
+    worst = std::max(worst, rel);
+  }
+  return worst;
+}
+
+double Tensor::AllCloseViolation(const Tensor& a, const Tensor& b, double rtol, double atol) {
+  NEOCPU_CHECK_EQ(a.NumElements(), b.NumElements());
+  double worst = -std::numeric_limits<double>::infinity();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const std::int64_t n = a.NumElements();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double diff = std::fabs(static_cast<double>(pa[i]) - pb[i]);
+    worst = std::max(worst, diff - (atol + rtol * std::fabs(static_cast<double>(pb[i]))));
+  }
+  return n == 0 ? 0.0 : worst;
+}
+
+std::string Tensor::DebugString() const {
+  std::string dims = JoinMapped(dims_, "x", [](std::int64_t d) {
+    return StrFormat("%lld", static_cast<long long>(d));
+  });
+  return StrFormat("Tensor<%s,%s>", dims.c_str(), layout_.ToString().c_str());
+}
+
+}  // namespace neocpu

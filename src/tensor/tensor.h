@@ -1,0 +1,71 @@
+// Dense fp32 tensor with shared, SIMD-aligned storage and a layout tag.
+//
+// Copies are shallow (reference the same buffer); use Clone() for a deep copy. The
+// dimensions stored are the *physical* dimensions: an NCHW16c tensor of 64 channels has
+// dims {N, 4, H, W, 16}.
+#ifndef NEOCPU_SRC_TENSOR_TENSOR_H_
+#define NEOCPU_SRC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/tensor/layout.h"
+
+namespace neocpu {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  static Tensor Empty(std::vector<std::int64_t> dims, Layout layout = Layout::Flat());
+  static Tensor Zeros(std::vector<std::int64_t> dims, Layout layout = Layout::Flat());
+  static Tensor Full(std::vector<std::int64_t> dims, float value,
+                     Layout layout = Layout::Flat());
+  // Uniform values in [lo, hi), deterministic given the Rng state.
+  static Tensor Random(std::vector<std::int64_t> dims, Rng& rng, float lo = -1.0f,
+                       float hi = 1.0f, Layout layout = Layout::Flat());
+
+  bool defined() const { return data_ != nullptr; }
+  float* data() { return data_.get(); }
+  const float* data() const { return data_.get(); }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+  std::int64_t dim(int i) const { return dims_[static_cast<std::size_t>(i)]; }
+  int ndim() const { return static_cast<int>(dims_.size()); }
+  std::int64_t NumElements() const;
+  std::size_t SizeBytes() const { return static_cast<std::size_t>(NumElements()) * sizeof(float); }
+
+  const Layout& layout() const { return layout_; }
+  void set_layout(Layout layout) { layout_ = layout; }
+
+  Tensor Clone() const;
+  // Same buffer, different logical dims (element count must match).
+  Tensor Reshaped(std::vector<std::int64_t> dims, Layout layout = Layout::Flat()) const;
+
+  void FillZero();
+  void Fill(float value);
+
+  // Largest |a-b| across elements; both tensors must have equal element counts.
+  static double MaxAbsDiff(const Tensor& a, const Tensor& b);
+  // Largest |a-b| / (|a|+|b|+eps): scale-independent comparison for deep nets.
+  static double MaxRelDiff(const Tensor& a, const Tensor& b, double eps = 1e-5);
+  // Maximum "allclose" violation: max_i(|a_i - b_i| - (atol + rtol * |b_i|)). A value
+  // <= 0 means every element is within tolerance (numpy.allclose semantics). This is
+  // the right comparison for floating-point kernels whose summation order differs.
+  static double AllCloseViolation(const Tensor& a, const Tensor& b, double rtol = 1e-3,
+                                  double atol = 1e-3);
+
+  std::string DebugString() const;
+
+ private:
+  std::shared_ptr<float[]> data_;
+  std::vector<std::int64_t> dims_;
+  Layout layout_;
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,135 @@
+#include "src/tuning/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+
+#include "src/base/align.h"
+#include "src/base/rng.h"
+#include "src/base/timer.h"
+#include "src/kernels/conv_nchwc.h"
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+
+const char* CostModeName(CostMode mode) {
+  return mode == CostMode::kAnalytic ? "analytic" : "measured";
+}
+
+double AnalyticConvMs(const Conv2dParams& p, const ConvSchedule& s, const Target& t) {
+  const double macs = p.Macs();
+  const double lanes = static_cast<double>(t.vector_lanes);
+  const double peak_macs_per_ns = t.freq_ghz * lanes * static_cast<double>(t.fma_per_cycle);
+  double ms = macs / (peak_macs_per_ns * 1e6);
+
+  // Vector-lane utilization: an oc block that is not a lane multiple wastes lanes.
+  const double oc_vectors = std::ceil(static_cast<double>(s.oc_bn) / lanes);
+  ms *= (oc_vectors * lanes) / static_cast<double>(s.oc_bn);
+
+  // Only blocks with template instantiations hit the register-blocked fast path.
+  const bool fast_ocb = s.oc_bn == 4 || s.oc_bn == 8 || s.oc_bn == 16 || s.oc_bn == 32;
+  const bool fast_regn =
+      s.reg_n == 2 || s.reg_n == 4 || s.reg_n == 8 || s.reg_n == 16 || s.reg_n == 32;
+  if (!fast_ocb || !fast_regn) {
+    ms *= 2.5;
+  }
+
+  // Register pressure: the register block needs reg_n * ceil(oc_bn/lanes) accumulators
+  // plus a kernel vector and a broadcast; spilling is progressive, not a cliff.
+  const double regs_used = static_cast<double>(s.reg_n) * oc_vectors + 2.0;
+  const double regs_avail = static_cast<double>(t.num_vector_registers);
+  if (regs_used > regs_avail) {
+    ms *= 1.0 + 0.35 * (regs_used - regs_avail) / regs_avail;
+  }
+
+  // Weight-vector reuse: one kernel vector load is amortized over reg_n FMAs.
+  ms *= 1.0 + 1.0 / static_cast<double>(s.reg_n);
+  // Inner ici loop overhead for tiny input blocks.
+  ms *= 1.0 + 0.8 / static_cast<double>(s.ic_bn);
+
+  // Out-width tail: positions not covered by full interior reg_n blocks run the slow
+  // guarded kernel (~3x).
+  const std::int64_t ow = p.OutW();
+  const std::int64_t ow_lo = p.pad_w == 0 ? 0 : (p.pad_w + p.stride_w - 1) / p.stride_w;
+  const std::int64_t ow_hi =
+      std::min<std::int64_t>(ow, (p.in_w + p.pad_w - p.kernel_w) / p.stride_w + 1);
+  const std::int64_t interior = std::max<std::int64_t>(ow_hi - ow_lo, 0) / s.reg_n * s.reg_n;
+  const double tail_frac =
+      1.0 - static_cast<double>(interior) / static_cast<double>(std::max<std::int64_t>(ow, 1));
+  ms *= 1.0 + 2.0 * tail_frac;
+
+  // Cache footprint: weights streamed per output row block; if the whole reduction's
+  // weights for one oc block overflow L2, they re-stream from L3/DRAM.
+  const double weight_block_bytes =
+      static_cast<double>(p.in_c * p.kernel_h * p.kernel_w * s.oc_bn) * 4.0;
+  if (weight_block_bytes > static_cast<double>(t.l2_bytes)) {
+    ms *= 1.15;
+  }
+  // Input row segment reused across kernel taps should stay in L1.
+  const double input_rows_bytes =
+      static_cast<double>((s.reg_n * p.stride_w + p.kernel_w) * p.kernel_h * s.ic_bn) * 4.0;
+  if (input_rows_bytes > static_cast<double>(t.l1d_bytes)) {
+    ms *= 1.1;
+  }
+
+  // unroll_ker: helps small kernel-entry counts, hurts instruction cache on big ones.
+  const std::int64_t entries = p.kernel_h * p.kernel_w;
+  if (s.unroll_ker) {
+    ms *= entries <= 9 ? 0.97 : (entries > 25 ? 1.04 : 1.0);
+  } else {
+    ms *= entries <= 9 ? 1.02 : 1.0;
+  }
+  return ms;
+}
+
+double MeasureConvMs(const Conv2dParams& p, const ConvSchedule& s, ThreadEngine* engine,
+                     int runs) {
+  Rng rng(42);
+  Tensor input = Tensor::Random({p.batch, p.in_c / s.ic_bn, p.in_h, p.in_w, s.ic_bn}, rng,
+                                -1.0f, 1.0f, Layout::NCHWc(s.ic_bn));
+  Tensor weight = Tensor::Random(
+      {p.out_c / s.oc_bn, p.in_c / s.ic_bn, p.kernel_h, p.kernel_w, s.ic_bn, s.oc_bn}, rng,
+      -0.5f, 0.5f, Layout::OIHWio(s.ic_bn, s.oc_bn));
+  Tensor out = Tensor::Empty({p.batch, p.out_c / s.oc_bn, p.OutH(), p.OutW(), s.oc_bn},
+                             Layout::NCHWc(s.oc_bn));
+  ConvEpilogue epilogue;  // bare conv: the schedule choice is epilogue-independent
+  double best = 1e30;
+  for (int i = 0; i < runs + 1; ++i) {
+    Timer timer;
+    ConvNCHWc(p, s, input, weight, nullptr, nullptr, epilogue, &out, engine);
+    const double ms = timer.Millis();
+    if (i > 0 || runs == 1) {  // first run warms caches unless only one is requested
+      best = std::min(best, ms);
+    }
+  }
+  return best;
+}
+
+double CalibratedCopyBytesPerMs() {
+  static std::once_flag flag;
+  static double bytes_per_ms = 0.0;
+  std::call_once(flag, [] {
+    const std::size_t bytes = 32ull << 20;
+    AlignedPtr<char> src = MakeAligned<char>(bytes);
+    AlignedPtr<char> dst = MakeAligned<char>(bytes);
+    std::memset(src.get(), 1, bytes);
+    std::memset(dst.get(), 2, bytes);  // fault in
+    double best_ms = 1e30;
+    for (int i = 0; i < 3; ++i) {
+      Timer t;
+      std::memcpy(dst.get(), src.get(), bytes);
+      best_ms = std::min(best_ms, t.Millis());
+    }
+    bytes_per_ms = static_cast<double>(2 * bytes) / best_ms;  // read + write traffic
+  });
+  return bytes_per_ms;
+}
+
+double TransformMs(std::int64_t tensor_bytes) {
+  // A relayout reads and writes the tensor once, in a cache-unfriendly gather order:
+  // charge 2x the streaming-copy cost.
+  return 2.0 * static_cast<double>(2 * tensor_bytes) / CalibratedCopyBytesPerMs();
+}
+
+}  // namespace neocpu

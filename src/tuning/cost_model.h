@@ -1,0 +1,44 @@
+// Convolution and layout-transform cost estimation.
+//
+// Two modes back the local search (§3.3.1):
+//  * kMeasured — run the actual NCHWc template on synthetic tensors and time it. This is
+//    what the paper does ("walk through the defined space to measure the execution time
+//    of all combinations"); it is exact but slow (the paper quotes ~6 hours for
+//    ResNet-50's 20 workloads on an 18-core machine).
+//  * kAnalytic — a calibrated machine model over the same schedule space: peak-FMA
+//    baseline adjusted for vector-lane utilization, register pressure, loop overheads,
+//    out_width tail fractions and cache footprints. Orders of magnitude faster; used by
+//    default so compiling all 15 zoo models stays CI-friendly. Benches and tests verify
+//    the two modes agree on the ranking's head.
+#ifndef NEOCPU_SRC_TUNING_COST_MODEL_H_
+#define NEOCPU_SRC_TUNING_COST_MODEL_H_
+
+#include "src/core/target.h"
+#include "src/kernels/conv_params.h"
+#include "src/kernels/conv_schedule.h"
+#include "src/runtime/thread_engine.h"
+
+namespace neocpu {
+
+enum class CostMode { kAnalytic, kMeasured };
+
+const char* CostModeName(CostMode mode);
+
+// Single-core execution-time estimate in milliseconds.
+double AnalyticConvMs(const Conv2dParams& params, const ConvSchedule& schedule,
+                      const Target& target);
+
+// Times the real kernel on deterministic synthetic tensors (min of `runs`).
+double MeasureConvMs(const Conv2dParams& params, const ConvSchedule& schedule,
+                     ThreadEngine* engine = nullptr, int runs = 2);
+
+// Estimated milliseconds to relayout a feature map of `bytes` bytes (read + write),
+// using the host's measured copy bandwidth (calibrated once per process).
+double TransformMs(std::int64_t tensor_bytes);
+
+// Measured host bandwidth in bytes/ms (exposed for tests/benches).
+double CalibratedCopyBytesPerMs();
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_TUNING_COST_MODEL_H_

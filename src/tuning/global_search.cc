@@ -1,0 +1,197 @@
+#include "src/tuning/global_search.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/base/timer.h"
+#include "src/tuning/cost_model.h"
+
+namespace neocpu {
+namespace {
+
+std::int64_t FeatureMapBytes(const std::vector<std::int64_t>& dims) {
+  std::int64_t n = 1;
+  for (std::int64_t d : dims) {
+    n *= d;
+  }
+  return n * static_cast<std::int64_t>(sizeof(float));
+}
+
+// Representative producer conv of a value: the conv whose output block (oc_bn)
+// determines the layout the value carries, walking back through layout-oblivious /
+// layout-tolerant ops and through the *first* input of joins (add/concat adopt their
+// first input's layout). Returns -1 for graph inputs / layout-dependent producers.
+int RepProducer(const Graph& g, int id) {
+  while (true) {
+    const Node& node = g.node(id);
+    switch (node.type) {
+      case OpType::kConv2d:
+        return id;
+      case OpType::kScaleShift:
+      case OpType::kBatchNorm:
+      case OpType::kRelu:
+      case OpType::kMaxPool:
+      case OpType::kAvgPool:
+      case OpType::kGlobalAvgPool:
+      case OpType::kDropout:
+      case OpType::kElemAdd:
+      case OpType::kConcat:
+        id = node.inputs[0];
+        break;
+      default:
+        return -1;
+    }
+  }
+}
+
+}  // namespace
+
+PbqpProblem GlobalProblem::ToPbqp() const {
+  PbqpProblem p;
+  p.node_costs.resize(options.size());
+  for (std::size_t v = 0; v < options.size(); ++v) {
+    for (const ScheduleCost& sc : options[v]) {
+      p.node_costs[v].push_back(sc.ms);
+    }
+  }
+  for (const LayoutEdge& e : edges) {
+    PbqpProblem::Edge pe;
+    pe.u = e.var_a;
+    pe.v = e.var_b;
+    const auto& oa = options[static_cast<std::size_t>(e.var_a)];
+    const auto& ob = options[static_cast<std::size_t>(e.var_b)];
+    pe.matrix.resize(oa.size() * ob.size(), 0.0);
+    for (std::size_t i = 0; i < oa.size(); ++i) {
+      for (std::size_t j = 0; j < ob.size(); ++j) {
+        const std::int64_t out_block = oa[i].schedule.oc_bn;
+        const std::int64_t in_block = e.kind == LayoutEdgeKind::kProducerConsumer
+                                          ? ob[j].schedule.ic_bn
+                                          : ob[j].schedule.oc_bn;
+        if (out_block != in_block) {
+          pe.matrix[i * ob.size() + j] = e.transform_ms;
+        }
+      }
+    }
+    p.edges.push_back(std::move(pe));
+  }
+  return p;
+}
+
+double GlobalProblem::Evaluate(const std::vector<int>& selection) const {
+  return ToPbqp().Evaluate(selection);
+}
+
+GlobalProblem ExtractGlobalProblem(const Graph& graph,
+                                   const std::map<int, LocalSearchResult>& locals) {
+  GlobalProblem problem;
+  std::map<int, int> var_of_conv;
+  for (int id = 0; id < graph.num_nodes(); ++id) {
+    const Node& node = graph.node(id);
+    if (!node.IsConv()) {
+      continue;
+    }
+    const auto it = locals.find(id);
+    NEOCPU_CHECK(it != locals.end()) << "missing local search result for conv " << id;
+    // One option per (ic_bn, oc_bn) pair: the pair's cheapest schedule. Transform costs
+    // only see the pair, so cheaper same-pair schedules dominate.
+    std::vector<ScheduleCost> options;
+    for (const ScheduleCost& sc : it->second.ranked) {
+      bool seen = false;
+      for (const ScheduleCost& kept : options) {
+        if (kept.schedule.ic_bn == sc.schedule.ic_bn &&
+            kept.schedule.oc_bn == sc.schedule.oc_bn) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        options.push_back(sc);
+      }
+    }
+    var_of_conv[id] = static_cast<int>(problem.conv_ids.size());
+    problem.conv_ids.push_back(id);
+    problem.options.push_back(std::move(options));
+  }
+
+  auto add_edge = [&](int conv_a, int conv_b, double ms, LayoutEdgeKind kind) {
+    if (conv_a < 0 || conv_b < 0 || conv_a == conv_b) {
+      return;
+    }
+    problem.edges.push_back(
+        LayoutEdge{var_of_conv.at(conv_a), var_of_conv.at(conv_b), ms, kind});
+  };
+
+  for (int id = 0; id < graph.num_nodes(); ++id) {
+    const Node& node = graph.node(id);
+    if (node.IsConv()) {
+      const int data = node.inputs[0];
+      add_edge(RepProducer(graph, data), id,
+               TransformMs(FeatureMapBytes(graph.node(data).out_dims)),
+               LayoutEdgeKind::kProducerConsumer);
+      if (node.attrs.epilogue.residual_add) {
+        const int res = node.inputs.back();
+        add_edge(RepProducer(graph, res), id,
+                 TransformMs(FeatureMapBytes(graph.node(res).out_dims)),
+                 LayoutEdgeKind::kSibling);
+      }
+    } else if (node.type == OpType::kElemAdd || node.type == OpType::kConcat) {
+      const int rep0 = RepProducer(graph, node.inputs[0]);
+      for (std::size_t k = 1; k < node.inputs.size(); ++k) {
+        const int input = node.inputs[k];
+        add_edge(rep0, RepProducer(graph, input),
+                 TransformMs(FeatureMapBytes(graph.node(input).out_dims)),
+                 LayoutEdgeKind::kSibling);
+      }
+    }
+  }
+  return problem;
+}
+
+namespace {
+
+GlobalSolution MakeSolution(const GlobalProblem& problem, const std::vector<int>& selection,
+                            double cost, bool exact, double seconds) {
+  GlobalSolution solution;
+  for (std::size_t v = 0; v < problem.conv_ids.size(); ++v) {
+    solution.assignment[problem.conv_ids[v]] =
+        problem.options[v][static_cast<std::size_t>(selection[v])].schedule;
+  }
+  solution.cost_ms = cost;
+  solution.exact = exact;
+  solution.solve_seconds = seconds;
+  return solution;
+}
+
+}  // namespace
+
+GlobalSolution SolveGlobalExactOnly(const GlobalProblem& problem,
+                                    std::size_t max_dp_table_entries, bool* ok) {
+  Timer timer;
+  auto result = SolveExact(problem.ToPbqp(), max_dp_table_entries);
+  if (ok != nullptr) {
+    *ok = result.has_value();
+  }
+  if (!result.has_value()) {
+    return {};
+  }
+  return MakeSolution(problem, result->selection, result->cost, /*exact=*/true,
+                      timer.Seconds());
+}
+
+GlobalSolution SolveGlobalPbqpOnly(const GlobalProblem& problem) {
+  Timer timer;
+  PbqpSolution result = SolvePbqp(problem.ToPbqp());
+  return MakeSolution(problem, result.selection, result.cost, /*exact=*/false,
+                      timer.Seconds());
+}
+
+GlobalSolution SolveGlobal(const GlobalProblem& problem, std::size_t max_dp_table_entries) {
+  bool ok = false;
+  GlobalSolution exact = SolveGlobalExactOnly(problem, max_dp_table_entries, &ok);
+  if (ok) {
+    return exact;
+  }
+  return SolveGlobalPbqpOnly(problem);
+}
+
+}  // namespace neocpu

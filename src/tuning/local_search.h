@@ -1,0 +1,58 @@
+// Local search (paper §3.3.1): rank every candidate schedule of one convolution
+// workload by (measured or modelled) execution time, ascending.
+//
+// Results are memoized in a TuningDatabase keyed by (target, workload, mode) — the
+// paper: "we can maintain a database to store the results for every convolution
+// workload on every CPU type to prevent repeating search for the same convolution in
+// different models." The database serializes to a plain text file.
+#ifndef NEOCPU_SRC_TUNING_LOCAL_SEARCH_H_
+#define NEOCPU_SRC_TUNING_LOCAL_SEARCH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/tuning/cost_model.h"
+#include "src/tuning/schedule_space.h"
+
+namespace neocpu {
+
+struct ScheduleCost {
+  ConvSchedule schedule;
+  double ms = 0.0;
+};
+
+struct LocalSearchResult {
+  std::vector<ScheduleCost> ranked;  // ascending by ms; never empty after a search
+
+  const ScheduleCost& best() const { return ranked.front(); }
+  // Cheapest schedule for a given (ic_bn, oc_bn) pair; nullptr if the pair is absent.
+  const ScheduleCost* BestForPair(std::int64_t ic_bn, std::int64_t oc_bn) const;
+};
+
+class TuningDatabase {
+ public:
+  static std::string Key(const Conv2dParams& params, const Target& target, CostMode mode,
+                         bool quick_space);
+
+  const LocalSearchResult* Find(const std::string& key) const;
+  void Insert(const std::string& key, LocalSearchResult result);
+  std::size_t size() const { return entries_.size(); }
+
+  bool SaveToFile(const std::string& path) const;
+  bool LoadFromFile(const std::string& path);
+
+ private:
+  std::map<std::string, LocalSearchResult> entries_;
+};
+
+// Walks the §3.3.1 candidate space for one workload. `db` (optional) is consulted first
+// and updated with the result.
+LocalSearchResult LocalSearchConv(const Conv2dParams& params, const Target& target,
+                                  CostMode mode, bool quick_space,
+                                  ThreadEngine* engine = nullptr,
+                                  TuningDatabase* db = nullptr);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_TUNING_LOCAL_SEARCH_H_

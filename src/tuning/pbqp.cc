@@ -1,0 +1,515 @@
+#include "src/tuning/pbqp.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "src/base/logging.h"
+
+namespace neocpu {
+
+double PbqpProblem::Evaluate(const std::vector<int>& selection) const {
+  NEOCPU_CHECK_EQ(static_cast<int>(selection.size()), num_nodes());
+  double total = 0.0;
+  for (int v = 0; v < num_nodes(); ++v) {
+    total += node_costs[static_cast<std::size_t>(v)]
+                       [static_cast<std::size_t>(selection[static_cast<std::size_t>(v)])];
+  }
+  for (const Edge& e : edges) {
+    const std::size_t nv = node_costs[static_cast<std::size_t>(e.v)].size();
+    total += e.matrix[static_cast<std::size_t>(selection[static_cast<std::size_t>(e.u)]) * nv +
+                      static_cast<std::size_t>(selection[static_cast<std::size_t>(e.v)])];
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Exact solver: variable elimination with min-sum factor tables.
+// ---------------------------------------------------------------------------
+namespace {
+
+struct FactorTable {
+  std::vector<int> vars;    // ascending variable ids
+  std::vector<double> values;  // row-major over vars (first var slowest)
+};
+
+// Saturating product: high-degree variables (DenseNet's concat representatives, SSD)
+// would overflow a naive product; saturation keeps them valid "never pick this first"
+// candidates for the elimination-order heuristic.
+std::size_t TableSize(const std::vector<int>& vars, const std::vector<std::size_t>& domains) {
+  constexpr std::size_t kSaturated = std::numeric_limits<std::size_t>::max();
+  std::size_t size = 1;
+  for (int v : vars) {
+    const std::size_t d = domains[static_cast<std::size_t>(v)];
+    if (d != 0 && size > kSaturated / d) {
+      return kSaturated;
+    }
+    size *= d;
+  }
+  return size;
+}
+
+// Decodes flat index `idx` of a table over `vars` into per-variable assignments.
+void Decode(std::size_t idx, const std::vector<int>& vars,
+            const std::vector<std::size_t>& domains, std::vector<int>* assign) {
+  for (std::size_t k = vars.size(); k-- > 0;) {
+    const std::size_t d = domains[static_cast<std::size_t>(vars[k])];
+    (*assign)[static_cast<std::size_t>(vars[k])] = static_cast<int>(idx % d);
+    idx /= d;
+  }
+}
+
+// Flat index of a table over `vars` given the per-variable assignment.
+std::size_t Encode(const std::vector<int>& vars, const std::vector<std::size_t>& domains,
+                   const std::vector<int>& assign) {
+  std::size_t idx = 0;
+  for (int v : vars) {
+    idx = idx * domains[static_cast<std::size_t>(v)] +
+          static_cast<std::size_t>(assign[static_cast<std::size_t>(v)]);
+  }
+  return idx;
+}
+
+}  // namespace
+
+std::optional<PbqpSolution> SolveExact(const PbqpProblem& problem,
+                                       std::size_t max_table_entries) {
+  const int n = problem.num_nodes();
+  if (n == 0) {
+    return PbqpSolution{{}, 0.0};
+  }
+  std::vector<std::size_t> domains(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    NEOCPU_CHECK_GT(problem.NumOptions(v), 0u);
+    domains[static_cast<std::size_t>(v)] = problem.NumOptions(v);
+  }
+
+  std::vector<FactorTable> factors;
+  for (int v = 0; v < n; ++v) {
+    factors.push_back(FactorTable{{v}, problem.node_costs[static_cast<std::size_t>(v)]});
+  }
+  for (const PbqpProblem::Edge& e : problem.edges) {
+    NEOCPU_CHECK_NE(e.u, e.v);
+    FactorTable t;
+    const std::size_t du = domains[static_cast<std::size_t>(e.u)];
+    const std::size_t dv = domains[static_cast<std::size_t>(e.v)];
+    if (e.u < e.v) {
+      t.vars = {e.u, e.v};
+      t.values = e.matrix;
+    } else {
+      t.vars = {e.v, e.u};
+      t.values.resize(du * dv);
+      for (std::size_t i = 0; i < du; ++i) {
+        for (std::size_t j = 0; j < dv; ++j) {
+          t.values[j * du + i] = e.matrix[i * dv + j];
+        }
+      }
+    }
+    factors.push_back(std::move(t));
+  }
+
+  struct Elimination {
+    int var;
+    std::vector<int> remaining_vars;  // the joined table's vars minus `var`
+    std::vector<int> argmin;          // indexed like a table over remaining_vars
+  };
+  std::vector<Elimination> stack;
+  std::set<int> alive;
+  for (int v = 0; v < n; ++v) {
+    alive.insert(v);
+  }
+
+  std::vector<int> scratch(static_cast<std::size_t>(n), 0);
+  while (!alive.empty()) {
+    // Pick the variable whose elimination creates the smallest table.
+    int best_var = -1;
+    std::size_t best_size = std::numeric_limits<std::size_t>::max();
+    for (int v : alive) {
+      std::set<int> neighborhood;
+      for (const FactorTable& f : factors) {
+        if (std::find(f.vars.begin(), f.vars.end(), v) != f.vars.end()) {
+          neighborhood.insert(f.vars.begin(), f.vars.end());
+        }
+      }
+      std::vector<int> joined(neighborhood.begin(), neighborhood.end());
+      const std::size_t size = TableSize(joined, domains);
+      if (size < best_size) {
+        best_size = size;
+        best_var = v;
+      }
+    }
+    if (best_size > max_table_entries) {
+      return std::nullopt;  // state space too large: caller falls back to PBQP
+    }
+
+    // Join all factors mentioning best_var.
+    std::vector<FactorTable> touching;
+    std::vector<FactorTable> rest;
+    for (FactorTable& f : factors) {
+      if (std::find(f.vars.begin(), f.vars.end(), best_var) != f.vars.end()) {
+        touching.push_back(std::move(f));
+      } else {
+        rest.push_back(std::move(f));
+      }
+    }
+    std::set<int> joined_set;
+    for (const FactorTable& f : touching) {
+      joined_set.insert(f.vars.begin(), f.vars.end());
+    }
+    std::vector<int> joined(joined_set.begin(), joined_set.end());
+    FactorTable big;
+    big.vars = joined;
+    big.values.assign(TableSize(joined, domains), 0.0);
+    for (std::size_t idx = 0; idx < big.values.size(); ++idx) {
+      Decode(idx, joined, domains, &scratch);
+      double sum = 0.0;
+      for (const FactorTable& f : touching) {
+        sum += f.values[Encode(f.vars, domains, scratch)];
+      }
+      big.values[idx] = sum;
+    }
+
+    // Minimize over best_var.
+    std::vector<int> remaining;
+    for (int v : joined) {
+      if (v != best_var) {
+        remaining.push_back(v);
+      }
+    }
+    FactorTable reduced;
+    reduced.vars = remaining;
+    const std::size_t reduced_size = TableSize(remaining, domains);
+    reduced.values.assign(reduced_size, std::numeric_limits<double>::infinity());
+    std::vector<int> argmin(reduced_size, 0);
+    for (std::size_t idx = 0; idx < big.values.size(); ++idx) {
+      Decode(idx, joined, domains, &scratch);
+      const std::size_t ridx = Encode(remaining, domains, scratch);
+      if (big.values[idx] < reduced.values[ridx]) {
+        reduced.values[ridx] = big.values[idx];
+        argmin[ridx] = scratch[static_cast<std::size_t>(best_var)];
+      }
+    }
+    stack.push_back(Elimination{best_var, remaining, std::move(argmin)});
+    factors = std::move(rest);
+    if (!reduced.vars.empty() || factors.empty()) {
+      factors.push_back(std::move(reduced));
+    } else {
+      // Scalar residue: keep it so the final cost is exact.
+      factors.push_back(std::move(reduced));
+    }
+    alive.erase(best_var);
+  }
+
+  double total = 0.0;
+  for (const FactorTable& f : factors) {
+    NEOCPU_CHECK(f.vars.empty());
+    total += f.values.empty() ? 0.0 : f.values[0];
+  }
+
+  // Back-substitute selections in reverse elimination order.
+  PbqpSolution solution;
+  solution.selection.assign(static_cast<std::size_t>(n), 0);
+  for (std::size_t k = stack.size(); k-- > 0;) {
+    const Elimination& e = stack[k];
+    const std::size_t ridx = Encode(e.remaining_vars, domains, solution.selection);
+    solution.selection[static_cast<std::size_t>(e.var)] = e.argmin[ridx];
+  }
+  solution.cost = total;
+  return solution;
+}
+
+// ---------------------------------------------------------------------------
+// Heuristic reduction solver (R0 / RI / RII / RN) with back-propagation.
+// ---------------------------------------------------------------------------
+namespace {
+
+struct WorkEdge {
+  int u, v;
+  std::vector<double> matrix;  // [opt_u * dv + opt_v]
+  bool alive = true;
+};
+
+struct Reduction {
+  enum Kind { kFixed, kDegreeOne, kDegreeTwo } kind = kFixed;
+  int var = -1;
+  int fixed_choice = 0;                // kFixed
+  int u = -1, u2 = -1;                 // neighbors for kDegreeOne / kDegreeTwo
+  std::vector<int> choice_by_u;        // kDegreeOne: best var-option per u option
+  std::vector<int> choice_by_u1u2;     // kDegreeTwo: [opt_u * d_u2 + opt_u2]
+};
+
+}  // namespace
+
+PbqpSolution SolvePbqp(const PbqpProblem& problem) {
+  const int n = problem.num_nodes();
+  std::vector<std::vector<double>> costs = problem.node_costs;
+  std::vector<WorkEdge> edges;
+  // Merge parallel edges up front.
+  std::map<std::pair<int, int>, int> edge_index;
+  for (const PbqpProblem::Edge& e : problem.edges) {
+    int u = e.u, v = e.v;
+    std::vector<double> m = e.matrix;
+    const std::size_t du = costs[static_cast<std::size_t>(e.u)].size();
+    const std::size_t dv = costs[static_cast<std::size_t>(e.v)].size();
+    if (u > v) {
+      std::vector<double> t(m.size());
+      for (std::size_t i = 0; i < du; ++i) {
+        for (std::size_t j = 0; j < dv; ++j) {
+          t[j * du + i] = m[i * dv + j];
+        }
+      }
+      std::swap(u, v);
+      m = std::move(t);
+    }
+    auto it = edge_index.find({u, v});
+    if (it != edge_index.end()) {
+      WorkEdge& we = edges[static_cast<std::size_t>(it->second)];
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        we.matrix[i] += m[i];
+      }
+    } else {
+      edge_index[{u, v}] = static_cast<int>(edges.size());
+      edges.push_back(WorkEdge{u, v, std::move(m), true});
+    }
+  }
+
+  std::vector<bool> node_alive(static_cast<std::size_t>(n), true);
+  auto degree = [&](int v) {
+    int d = 0;
+    for (const WorkEdge& e : edges) {
+      if (e.alive && (e.u == v || e.v == v)) {
+        ++d;
+      }
+    }
+    return d;
+  };
+  auto live_edges_of = [&](int v) {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (edges[i].alive && (edges[i].u == v || edges[i].v == v)) {
+        out.push_back(static_cast<int>(i));
+      }
+    }
+    return out;
+  };
+  // Adds matrix m (indexed [opt_a * db + opt_b]) as an edge a-b, merging if present.
+  auto add_edge = [&](int a, int b, std::vector<double> m) {
+    const std::size_t da = costs[static_cast<std::size_t>(a)].size();
+    const std::size_t db = costs[static_cast<std::size_t>(b)].size();
+    if (a > b) {
+      std::vector<double> t(m.size());
+      for (std::size_t i = 0; i < da; ++i) {
+        for (std::size_t j = 0; j < db; ++j) {
+          t[j * da + i] = m[i * db + j];
+        }
+      }
+      std::swap(a, b);
+      m = std::move(t);
+    }
+    for (WorkEdge& e : edges) {
+      if (e.alive && e.u == a && e.v == b) {
+        for (std::size_t i = 0; i < m.size(); ++i) {
+          e.matrix[i] += m[i];
+        }
+        return;
+      }
+    }
+    edges.push_back(WorkEdge{a, b, std::move(m), true});
+  };
+  // Edge cost oriented so `v` is the queried variable.
+  auto edge_cost = [&](const WorkEdge& e, int v, std::size_t opt_v, std::size_t opt_other) {
+    const std::size_t dv = costs[static_cast<std::size_t>(e.v)].size();
+    if (e.u == v) {
+      return e.matrix[opt_v * dv + opt_other];
+    }
+    return e.matrix[opt_other * dv + opt_v];
+  };
+
+  std::vector<Reduction> stack;
+  int remaining = n;
+  while (remaining > 0) {
+    // Prefer optimality-preserving reductions: degree 0, then 1, then 2.
+    int pick = -1;
+    int pick_degree = std::numeric_limits<int>::max();
+    for (int v = 0; v < n; ++v) {
+      if (!node_alive[static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      const int d = degree(v);
+      if (d < pick_degree) {
+        pick_degree = d;
+        pick = v;
+      }
+    }
+    NEOCPU_CHECK_GE(pick, 0);
+    auto& cv = costs[static_cast<std::size_t>(pick)];
+
+    if (pick_degree == 0) {
+      Reduction r;
+      r.kind = Reduction::kFixed;
+      r.var = pick;
+      r.fixed_choice = static_cast<int>(
+          std::min_element(cv.begin(), cv.end()) - cv.begin());
+      stack.push_back(r);
+      node_alive[static_cast<std::size_t>(pick)] = false;
+      --remaining;
+      continue;
+    }
+
+    if (pick_degree == 1) {
+      const int eid = live_edges_of(pick)[0];
+      WorkEdge& e = edges[static_cast<std::size_t>(eid)];
+      const int u = e.u == pick ? e.v : e.u;
+      auto& cu = costs[static_cast<std::size_t>(u)];
+      Reduction r;
+      r.kind = Reduction::kDegreeOne;
+      r.var = pick;
+      r.u = u;
+      r.choice_by_u.resize(cu.size());
+      for (std::size_t j = 0; j < cu.size(); ++j) {
+        double best = std::numeric_limits<double>::infinity();
+        int best_i = 0;
+        for (std::size_t i = 0; i < cv.size(); ++i) {
+          const double c = cv[i] + edge_cost(e, pick, i, j);
+          if (c < best) {
+            best = c;
+            best_i = static_cast<int>(i);
+          }
+        }
+        cu[j] += best;
+        r.choice_by_u[j] = best_i;
+      }
+      e.alive = false;
+      stack.push_back(std::move(r));
+      node_alive[static_cast<std::size_t>(pick)] = false;
+      --remaining;
+      continue;
+    }
+
+    if (pick_degree == 2) {
+      const std::vector<int> eids = live_edges_of(pick);
+      WorkEdge& e1 = edges[static_cast<std::size_t>(eids[0])];
+      WorkEdge& e2 = edges[static_cast<std::size_t>(eids[1])];
+      const int u1 = e1.u == pick ? e1.v : e1.u;
+      const int u2 = e2.u == pick ? e2.v : e2.u;
+      const std::size_t d1 = costs[static_cast<std::size_t>(u1)].size();
+      const std::size_t d2 = costs[static_cast<std::size_t>(u2)].size();
+      Reduction r;
+      r.kind = Reduction::kDegreeTwo;
+      r.var = pick;
+      r.u = u1;
+      r.u2 = u2;
+      r.choice_by_u1u2.resize(d1 * d2);
+      std::vector<double> m(d1 * d2, 0.0);
+      for (std::size_t j = 0; j < d1; ++j) {
+        for (std::size_t k = 0; k < d2; ++k) {
+          double best = std::numeric_limits<double>::infinity();
+          int best_i = 0;
+          for (std::size_t i = 0; i < cv.size(); ++i) {
+            const double c = cv[i] + edge_cost(e1, pick, i, j) + edge_cost(e2, pick, i, k);
+            if (c < best) {
+              best = c;
+              best_i = static_cast<int>(i);
+            }
+          }
+          m[j * d2 + k] = best;
+          r.choice_by_u1u2[j * d2 + k] = best_i;
+        }
+      }
+      e1.alive = false;
+      e2.alive = false;
+      if (u1 == u2) {
+        // Both edges reach the same neighbor: folds into its cost vector diagonal.
+        auto& cu = costs[static_cast<std::size_t>(u1)];
+        for (std::size_t j = 0; j < d1; ++j) {
+          cu[j] += m[j * d2 + j];
+        }
+      } else {
+        add_edge(u1, u2, std::move(m));
+      }
+      stack.push_back(std::move(r));
+      node_alive[static_cast<std::size_t>(pick)] = false;
+      --remaining;
+      continue;
+    }
+
+    // RN heuristic: fix the maximum-degree node to its locally cheapest option.
+    int rn = -1;
+    int rn_degree = -1;
+    for (int v = 0; v < n; ++v) {
+      if (node_alive[static_cast<std::size_t>(v)]) {
+        const int d = degree(v);
+        if (d > rn_degree) {
+          rn_degree = d;
+          rn = v;
+        }
+      }
+    }
+    auto& crn = costs[static_cast<std::size_t>(rn)];
+    const std::vector<int> eids = live_edges_of(rn);
+    double best = std::numeric_limits<double>::infinity();
+    int best_i = 0;
+    for (std::size_t i = 0; i < crn.size(); ++i) {
+      double c = crn[i];
+      for (int eid : eids) {
+        const WorkEdge& e = edges[static_cast<std::size_t>(eid)];
+        const int other = e.u == rn ? e.v : e.u;
+        double mn = std::numeric_limits<double>::infinity();
+        for (std::size_t j = 0; j < costs[static_cast<std::size_t>(other)].size(); ++j) {
+          mn = std::min(mn, edge_cost(e, rn, i, j));
+        }
+        c += mn;
+      }
+      if (c < best) {
+        best = c;
+        best_i = static_cast<int>(i);
+      }
+    }
+    for (int eid : eids) {
+      WorkEdge& e = edges[static_cast<std::size_t>(eid)];
+      const int other = e.u == rn ? e.v : e.u;
+      auto& co = costs[static_cast<std::size_t>(other)];
+      for (std::size_t j = 0; j < co.size(); ++j) {
+        co[j] += edge_cost(e, rn, static_cast<std::size_t>(best_i), j);
+      }
+      e.alive = false;
+    }
+    Reduction r;
+    r.kind = Reduction::kFixed;
+    r.var = rn;
+    r.fixed_choice = best_i;
+    stack.push_back(r);
+    node_alive[static_cast<std::size_t>(rn)] = false;
+    --remaining;
+  }
+
+  PbqpSolution solution;
+  solution.selection.assign(static_cast<std::size_t>(n), 0);
+  for (std::size_t k = stack.size(); k-- > 0;) {
+    const Reduction& r = stack[k];
+    int& sel = solution.selection[static_cast<std::size_t>(r.var)];
+    switch (r.kind) {
+      case Reduction::kFixed:
+        sel = r.fixed_choice;
+        break;
+      case Reduction::kDegreeOne:
+        sel = r.choice_by_u[static_cast<std::size_t>(
+            solution.selection[static_cast<std::size_t>(r.u)])];
+        break;
+      case Reduction::kDegreeTwo: {
+        const std::size_t d2 = problem.node_costs[static_cast<std::size_t>(r.u2)].size();
+        sel = r.choice_by_u1u2[static_cast<std::size_t>(
+                                   solution.selection[static_cast<std::size_t>(r.u)]) *
+                                   d2 +
+                               static_cast<std::size_t>(
+                                   solution.selection[static_cast<std::size_t>(r.u2)])];
+        break;
+      }
+    }
+  }
+  solution.cost = problem.Evaluate(solution.selection);
+  return solution;
+}
+
+}  // namespace neocpu

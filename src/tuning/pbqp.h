@@ -1,0 +1,54 @@
+// Partitioned Boolean Quadratic Programming.
+//
+// The paper reduces global layout search to the PBQP formulation used for register
+// allocation (§3.3.2): every convolution is a node with a cost vector over its candidate
+// schemes, and every edge carries a cost matrix (layout-transform time between scheme
+// choices). Two solvers operate on the same problem structure:
+//
+//  * SolveExact — bucket/variable elimination over the graph (the generalization of the
+//    paper's Algorithm 2 DP to DAGs). Optimal; fails cleanly when an intermediate table
+//    would exceed `max_table_entries` ("the number of states can reach the order of
+//    trillions", as the paper observes for SSD).
+//  * SolvePbqp — the classic reduction solver: R0 (degree-0), RI (degree-1 fold),
+//    RII (degree-2 merge) are optimality-preserving; RN picks the locally cheapest
+//    option of a maximum-degree node. Selections are recovered by back-propagation.
+//    The paper reports this heuristic reaches >= 88% of the DP optimum; a test asserts
+//    the same bound on every DP-tractable zoo model.
+#ifndef NEOCPU_SRC_TUNING_PBQP_H_
+#define NEOCPU_SRC_TUNING_PBQP_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace neocpu {
+
+struct PbqpProblem {
+  // node_costs[v][i]: cost of choosing option i for node v.
+  std::vector<std::vector<double>> node_costs;
+  struct Edge {
+    int u = 0;
+    int v = 0;
+    // matrix[i * nv + j]: extra cost when u picks i and v picks j.
+    std::vector<double> matrix;
+  };
+  std::vector<Edge> edges;
+
+  int num_nodes() const { return static_cast<int>(node_costs.size()); }
+  std::size_t NumOptions(int v) const { return node_costs[static_cast<std::size_t>(v)].size(); }
+  double Evaluate(const std::vector<int>& selection) const;
+};
+
+struct PbqpSolution {
+  std::vector<int> selection;  // option index per node
+  double cost = 0.0;
+};
+
+std::optional<PbqpSolution> SolveExact(const PbqpProblem& problem,
+                                       std::size_t max_table_entries = 1 << 22);
+
+PbqpSolution SolvePbqp(const PbqpProblem& problem);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_TUNING_PBQP_H_

@@ -1,0 +1,56 @@
+#include "src/tuning/schedule_space.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace neocpu {
+
+std::vector<std::int64_t> Factors(std::int64_t n, std::int64_t cap) {
+  NEOCPU_CHECK_GT(n, 0);
+  std::vector<std::int64_t> out;
+  for (std::int64_t f = 1; f <= n && f <= cap; ++f) {
+    if (n % f == 0) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+std::vector<ConvSchedule> EnumerateSchedules(const Conv2dParams& p, const Target& t,
+                                             bool quick_space) {
+  const std::int64_t cap = std::min<std::int64_t>(t.MaxBlock(), kMaxChannelBlock);
+  std::vector<std::int64_t> ic = Factors(p.in_c, cap);
+  std::vector<std::int64_t> oc = Factors(p.out_c, cap);
+  if (quick_space) {
+    auto prune = [&](std::vector<std::int64_t>& v) {
+      const std::int64_t lanes = t.PreferredBlock();
+      std::vector<std::int64_t> keep;
+      for (std::int64_t f : v) {
+        if (f == lanes || f == lanes / 2 || f == 2 * lanes || f == v.back()) {
+          keep.push_back(f);
+        }
+      }
+      if (keep.empty()) {
+        keep.push_back(v.back());
+      }
+      v = std::move(keep);
+    };
+    prune(ic);
+    prune(oc);
+  }
+  std::vector<ConvSchedule> out;
+  out.reserve(ic.size() * oc.size() * RegNCandidates().size() * 2);
+  for (std::int64_t i : ic) {
+    for (std::int64_t o : oc) {
+      for (std::int64_t r : RegNCandidates()) {
+        for (bool u : {true, false}) {
+          out.push_back(ConvSchedule{i, o, r, u});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace neocpu

@@ -1,0 +1,37 @@
+// Schedule candidate enumeration (paper §3.3.1).
+//
+// The candidate lists follow the paper exactly:
+//   * ic_bn / oc_bn: all factors of the channel counts (capped by the target ISA's
+//     admissible block size);
+//   * reg_n: [32, 16, 8, 4, 2];
+//   * unroll_ker: [true, false].
+#ifndef NEOCPU_SRC_TUNING_SCHEDULE_SPACE_H_
+#define NEOCPU_SRC_TUNING_SCHEDULE_SPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/target.h"
+#include "src/kernels/conv_params.h"
+#include "src/kernels/conv_schedule.h"
+
+namespace neocpu {
+
+// All factors of n that are <= cap, ascending.
+std::vector<std::int64_t> Factors(std::int64_t n, std::int64_t cap);
+
+// The full §3.3.1 space for one workload on one target. With quick_space, the channel
+// factors are pruned to the neighbourhood of the target's preferred block (half / one /
+// two vectors), which keeps measured search affordable; the full space is what the
+// paper's offline multi-hour search walks.
+std::vector<ConvSchedule> EnumerateSchedules(const Conv2dParams& params, const Target& target,
+                                             bool quick_space = false);
+
+inline const std::vector<std::int64_t>& RegNCandidates() {
+  static const std::vector<std::int64_t> kCandidates = {32, 16, 8, 4, 2};
+  return kCandidates;
+}
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_TUNING_SCHEDULE_SPACE_H_

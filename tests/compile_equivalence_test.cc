@@ -1,0 +1,188 @@
+// Cross-configuration equivalence: every compiler configuration (Table 3 rows, both
+// framework baselines, all three architecture profiles) must produce outputs equal to
+// the unoptimized reference execution — the repository's replacement for the paper's
+// model-accuracy sanity check (§4, "we do not expect any change of the model output").
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/base/rng.h"
+#include "src/core/compiler.h"
+#include "src/core/presets.h"
+#include "src/graph/builder.h"
+#include "src/models/model_zoo.h"
+#include "src/runtime/thread_pool.h"
+
+namespace neocpu {
+namespace {
+
+constexpr double kRtol = 5e-3;  // deep fp32 chains with reassociation
+constexpr double kAtol = 5e-3;
+
+Tensor ReferenceRun(const Graph& model, const Tensor& input) {
+  return Executor(&model).Run(input);  // unoptimized graph, reference kernels
+}
+
+Tensor InputFor(const Graph& model, std::uint64_t seed = 9) {
+  Rng rng(seed);
+  for (int i = 0; i < model.num_nodes(); ++i) {
+    if (model.node(i).type == OpType::kInput) {
+      return Tensor::Random(model.node(i).out_dims, rng, -1.0f, 1.0f, Layout::NCHW());
+    }
+  }
+  ADD_FAILURE() << "no input node";
+  return {};
+}
+
+// A compact CNN that still exercises every structural feature: residual adds, concat,
+// pre-activation BN, pooling, dense head.
+Graph MiniNet() {
+  GraphBuilder b("mini");
+  int x = b.Input({1, 3, 32, 32});
+  x = b.ConvBnRelu(x, 16, 3, 2, 1, "stem");
+  int shortcut = x;
+  int y = b.ConvBnRelu(x, 16, 3, 1, 1, "res.c1");
+  y = b.Conv(y, 16, 3, 1, 1, false, "res.c2");
+  y = b.BatchNorm(y);
+  y = b.Add(y, shortcut);
+  y = b.Relu(y);
+  int br1 = b.ConvBnRelu(y, 32, 1, 1, 0, "br1");
+  int br2 = b.ConvBnRelu(y, 16, 3, 1, 1, "br2");
+  int cat = b.Concat({br1, br2});
+  int bn = b.BatchNorm(cat);
+  int relu = b.Relu(bn);
+  int conv = b.Conv(relu, 32, 3, 2, 1, false, "post");
+  int gap = b.GlobalAvgPool(conv);
+  int flat = b.Flatten(gap);
+  int fc = b.Dense(flat, 10);
+  return b.Finish({b.Softmax(fc)});
+}
+
+class LayoutModeEquivalence : public ::testing::TestWithParam<LayoutMode> {};
+
+TEST_P(LayoutModeEquivalence, MiniNetMatchesReference) {
+  Graph model = MiniNet();
+  Tensor input = InputFor(model);
+  Tensor expected = ReferenceRun(model, input);
+  CompileOptions opts;
+  opts.layout_mode = GetParam();
+  opts.target = Target::Host();
+  CompiledModel compiled = Compile(model, opts);
+  Tensor got = compiled.Run(input);
+  EXPECT_LE(Tensor::AllCloseViolation(got, expected, kRtol, kAtol), 0.0)
+      << LayoutModeName(GetParam()) << "\n"
+      << compiled.graph().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, LayoutModeEquivalence,
+                         ::testing::Values(LayoutMode::kNCHW, LayoutMode::kNCHWcPerOp,
+                                           LayoutMode::kNCHWcFixed, LayoutMode::kNCHWcLocal,
+                                           LayoutMode::kNCHWcGlobal),
+                         [](const ::testing::TestParamInfo<LayoutMode>& info) {
+                           std::string name = LayoutModeName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+class TargetEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TargetEquivalence, ArchProfilesPreserveSemantics) {
+  Graph model = MiniNet();
+  Tensor input = InputFor(model);
+  Tensor expected = ReferenceRun(model, input);
+  CompiledModel compiled = Compile(model, NeoCpuOptions(Target::ByName(GetParam())));
+  Tensor got = compiled.Run(input);
+  EXPECT_LE(Tensor::AllCloseViolation(got, expected, kRtol, kAtol), 0.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, TargetEquivalence,
+                         ::testing::Values("avx512", "avx2", "neon"));
+
+TEST(CompileEquivalence, FrameworkPresetsMatchReference) {
+  Graph model = MiniNet();
+  Tensor input = InputFor(model);
+  Tensor expected = ReferenceRun(model, input);
+  for (const CompileOptions& opts :
+       {FrameworkLibOptions(Target::Host()), FrameworkDefaultOptions(Target::Host())}) {
+    CompiledModel compiled = Compile(model, opts);
+    EXPECT_LE(Tensor::AllCloseViolation(compiled.Run(input), expected, kRtol, kAtol), 0.0);
+  }
+}
+
+TEST(CompileEquivalence, ThreadedExecutionMatchesSerial) {
+  Graph model = MiniNet();
+  Tensor input = InputFor(model);
+  CompiledModel compiled = Compile(model, NeoCpuOptions(Target::Host()));
+  Tensor serial = compiled.Run(input);
+  NeoThreadPool pool(3, /*bind_threads=*/false);
+  Tensor threaded = compiled.Run(input, &pool);
+  EXPECT_EQ(Tensor::MaxAbsDiff(serial, threaded), 0.0);
+}
+
+TEST(CompileEquivalence, StatsAreCoherent) {
+  Graph model = MiniNet();
+  CompiledModel compiled = Compile(model, NeoCpuOptions(Target::Host()));
+  const CompileStats& stats = compiled.stats();
+  EXPECT_EQ(stats.num_convs, 6);
+  EXPECT_TRUE(stats.used_global_search);
+  EXPECT_TRUE(stats.used_exact_dp);  // MiniNet is small: DP must not bail to PBQP
+  EXPECT_GT(stats.compile_seconds, 0.0);
+  EXPECT_GE(stats.num_layout_transforms, 1);
+}
+
+TEST(CompileEquivalence, TransformEliminationReducesTransformCount) {
+  Graph model = MiniNet();
+  CompiledModel per_op = Compile(model, FrameworkLibOptions(Target::Host()));
+  CompiledModel fixed = Compile(model, AblationTransformElim(Target::Host()));
+  EXPECT_GT(per_op.stats().num_layout_transforms, fixed.stats().num_layout_transforms);
+}
+
+// Zoo models at reduced resolution: full structural coverage at test-friendly cost.
+struct ZooCase {
+  std::string label;
+  Graph (*build)();
+};
+
+Graph TinyResNet18() { return BuildResNet(18, 1, 64); }
+Graph TinyResNet50() { return BuildResNet(50, 1, 64); }
+Graph TinyVgg11() { return BuildVgg(11, 1, 64); }
+Graph TinyDenseNet121() { return BuildDenseNet(121, 1, 64); }
+Graph TinyInception() { return BuildInceptionV3(1, 139); }
+Graph TinySsd() { return BuildSsdResNet50(1, 128, 5); }
+
+class ZooEquivalence : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ZooEquivalence, OptimizedMatchesReference) {
+  Graph model = GetParam().build();
+  Tensor input = InputFor(model, 13);
+  Tensor expected = ReferenceRun(model, input);
+  CompiledModel compiled = Compile(model, NeoCpuOptions(Target::Host()));
+  Tensor got = compiled.Run(input);
+  // SSD outputs contain exact -1 sentinel rows and thresholded sets; a small absolute
+  // tolerance on the detection tensor is the right comparison there.
+  if (GetParam().label == "ssd") {
+    EXPECT_LT(Tensor::MaxAbsDiff(expected, got), 5e-2) << GetParam().label;
+  } else {
+    EXPECT_LE(Tensor::AllCloseViolation(got, expected, kRtol, kAtol), 0.0)
+        << GetParam().label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooEquivalence,
+                         ::testing::Values(ZooCase{"resnet18", &TinyResNet18},
+                                           ZooCase{"resnet50", &TinyResNet50},
+                                           ZooCase{"vgg11", &TinyVgg11},
+                                           ZooCase{"densenet121", &TinyDenseNet121},
+                                           ZooCase{"inception", &TinyInception},
+                                           ZooCase{"ssd", &TinySsd}),
+                         [](const ::testing::TestParamInfo<ZooCase>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace neocpu

@@ -1,0 +1,143 @@
+// Tests for problem extraction from graphs and end-to-end global search behaviour
+// (paper §3.3.2 / Figure 3).
+#include <gtest/gtest.h>
+
+#include "src/core/target.h"
+#include "src/graph/builder.h"
+#include "src/graph/passes/passes.h"
+#include "src/tuning/global_search.h"
+
+namespace neocpu {
+namespace {
+
+std::map<int, LocalSearchResult> LocalsFor(const Graph& g, const Target& t) {
+  std::map<int, LocalSearchResult> locals;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    if (g.node(i).IsConv()) {
+      locals[i] = LocalSearchConv(g.node(i).attrs.conv, t, CostMode::kAnalytic, false);
+    }
+  }
+  return locals;
+}
+
+Graph ChainGraph(int convs) {
+  GraphBuilder b("chain");
+  int x = b.Input({1, 32, 28, 28});
+  for (int i = 0; i < convs; ++i) {
+    x = b.Conv(x, 32, 3, 1, 1);
+    x = b.Relu(x);  // layout-tolerant op between convs
+  }
+  Graph g = b.Finish({x});
+  return FuseOps(SimplifyInference(g));
+}
+
+Graph ResidualGraph() {
+  GraphBuilder b("residual");
+  int x = b.Input({1, 32, 14, 14});
+  int shortcut = b.Conv(x, 32, 1, 1, 0, false, "proj");
+  int main = b.Conv(x, 32, 3, 1, 1, false, "main");
+  int add = b.Add(main, shortcut);
+  Graph g = b.Finish({b.Relu(add)});
+  return FuseOps(SimplifyInference(g));
+}
+
+TEST(ExtractGlobalProblem, ChainProducesChainEdges) {
+  Graph g = ChainGraph(4);
+  const Target t = Target::SkylakeAvx512();
+  GlobalProblem p = ExtractGlobalProblem(g, LocalsFor(g, t));
+  EXPECT_EQ(p.conv_ids.size(), 4u);
+  // Chain of 4 convs: 3 producer-consumer edges (the first conv reads the graph input).
+  EXPECT_EQ(p.edges.size(), 3u);
+  for (const LayoutEdge& e : p.edges) {
+    EXPECT_EQ(e.kind, LayoutEdgeKind::kProducerConsumer);
+    EXPECT_GT(e.transform_ms, 0.0);
+  }
+  // Options are unique per (ic_bn, oc_bn) pair.
+  for (const auto& options : p.options) {
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      for (std::size_t j = i + 1; j < options.size(); ++j) {
+        EXPECT_FALSE(options[i].schedule.ic_bn == options[j].schedule.ic_bn &&
+                     options[i].schedule.oc_bn == options[j].schedule.oc_bn);
+      }
+    }
+  }
+}
+
+TEST(ExtractGlobalProblem, ResidualAddsSiblingEdge) {
+  Graph g = ResidualGraph();
+  const Target t = Target::SkylakeAvx512();
+  GlobalProblem p = ExtractGlobalProblem(g, LocalsFor(g, t));
+  EXPECT_EQ(p.conv_ids.size(), 2u);
+  int sibling = 0, producer = 0;
+  for (const LayoutEdge& e : p.edges) {
+    if (e.kind == LayoutEdgeKind::kSibling) {
+      ++sibling;
+    } else {
+      ++producer;
+    }
+  }
+  // The fused residual conv constrains its residual producer: exactly one sibling edge.
+  EXPECT_EQ(sibling, 1);
+  EXPECT_EQ(producer, 0);  // both convs read the graph input directly
+}
+
+TEST(SolveGlobal, CoordinatesBlocksOnChains) {
+  Graph g = ChainGraph(5);
+  const Target t = Target::SkylakeAvx512();
+  GlobalProblem p = ExtractGlobalProblem(g, LocalsFor(g, t));
+  GlobalSolution s = SolveGlobal(p);
+  EXPECT_TRUE(s.exact);
+  ASSERT_EQ(s.assignment.size(), 5u);
+  // Interior transforms are expensive relative to per-scheme deltas at this size: the
+  // exact solution must avoid all interior mismatches.
+  std::vector<ConvSchedule> in_order;
+  for (const auto& [id, sched] : s.assignment) {
+    in_order.push_back(sched);
+  }
+  for (std::size_t i = 1; i < in_order.size(); ++i) {
+    EXPECT_EQ(in_order[i - 1].oc_bn, in_order[i].ic_bn)
+        << "mismatch between conv " << i - 1 << " and " << i;
+  }
+}
+
+TEST(SolveGlobal, ExactBeatsOrTiesPbqp) {
+  Graph g = ResidualGraph();
+  const Target t = Target::EpycAvx2();
+  GlobalProblem p = ExtractGlobalProblem(g, LocalsFor(g, t));
+  bool ok = false;
+  GlobalSolution exact = SolveGlobalExactOnly(p, 1 << 22, &ok);
+  ASSERT_TRUE(ok);
+  GlobalSolution heuristic = SolveGlobalPbqpOnly(p);
+  EXPECT_LE(exact.cost_ms, heuristic.cost_ms + 1e-9);
+  // Paper quality bound.
+  EXPECT_GE(exact.cost_ms / heuristic.cost_ms, 0.88);
+}
+
+TEST(SolveGlobal, FreeTransformsDecoupleChoices) {
+  // If all edges cost zero, the global solution must degenerate to per-conv local best.
+  Graph g = ChainGraph(3);
+  const Target t = Target::SkylakeAvx512();
+  auto locals = LocalsFor(g, t);
+  GlobalProblem p = ExtractGlobalProblem(g, locals);
+  for (LayoutEdge& e : p.edges) {
+    e.transform_ms = 0.0;
+  }
+  GlobalSolution s = SolveGlobal(p);
+  for (const auto& [conv_id, sched] : s.assignment) {
+    const ConvSchedule& local_best = locals.at(conv_id).best().schedule;
+    EXPECT_EQ(sched.ic_bn, local_best.ic_bn);
+    EXPECT_EQ(sched.oc_bn, local_best.oc_bn);
+  }
+}
+
+TEST(SolveGlobal, SolveSecondsIsPopulated) {
+  Graph g = ChainGraph(2);
+  const Target t = Target::SkylakeAvx512();
+  GlobalProblem p = ExtractGlobalProblem(g, LocalsFor(g, t));
+  GlobalSolution s = SolveGlobal(p);
+  EXPECT_GE(s.solve_seconds, 0.0);
+  EXPECT_GT(s.cost_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace neocpu

@@ -1,0 +1,128 @@
+// Unit tests for the graph IR, builder and shape inference.
+#include <gtest/gtest.h>
+
+#include "src/graph/builder.h"
+#include "src/graph/graph.h"
+#include "src/graph/shape_infer.h"
+
+namespace neocpu {
+namespace {
+
+TEST(Graph, TopologicalOrderEnforced) {
+  Graph g;
+  const int a = g.AddInput({1, 3, 8, 8});
+  EXPECT_EQ(a, 0);
+  EXPECT_DEATH(g.AddNode(OpType::kRelu, {5}), "topological");
+}
+
+TEST(Graph, ConsumerIndex) {
+  GraphBuilder b("t");
+  const int in = b.Input({1, 8, 4, 4});
+  const int r1 = b.Relu(in);
+  const int r2 = b.Relu(in);
+  const int add = b.Add(r1, r2);
+  Graph g = b.Finish({add});
+  const auto consumers = g.BuildConsumerIndex();
+  EXPECT_EQ(consumers[static_cast<std::size_t>(in)].size(), 2u);
+  EXPECT_EQ(consumers[static_cast<std::size_t>(r1)], (std::vector<int>{add}));
+  EXPECT_TRUE(consumers[static_cast<std::size_t>(add)].empty());
+}
+
+TEST(Graph, CountNodesByType) {
+  GraphBuilder b("t");
+  int x = b.Input({1, 8, 8, 8});
+  x = b.Conv(x, 16, 3, 1, 1);
+  x = b.Relu(x);
+  x = b.Conv(x, 16, 3, 1, 1);
+  Graph g = b.Finish({x});
+  EXPECT_EQ(g.CountNodes(OpType::kConv2d), 2);
+  EXPECT_EQ(g.CountNodes(OpType::kRelu), 1);
+  EXPECT_EQ(g.CountNodes(OpType::kConstant), 2);  // two conv weights, no bias
+}
+
+TEST(Builder, ConvShapesAndConstants) {
+  GraphBuilder b("t");
+  int x = b.Input({1, 3, 32, 32});
+  const int conv = b.Conv(x, 16, 3, 2, 1, /*bias=*/true, "c1");
+  Graph g = b.Finish({conv});
+  const Node& node = g.node(conv);
+  EXPECT_EQ(node.out_dims, (std::vector<std::int64_t>{1, 16, 16, 16}));
+  EXPECT_EQ(node.inputs.size(), 3u);  // data, weight, bias
+  const Node& weight = g.node(node.inputs[1]);
+  EXPECT_EQ(weight.out_dims, (std::vector<std::int64_t>{16, 3, 3, 3}));
+  EXPECT_TRUE(weight.payload.defined());
+  EXPECT_TRUE(node.attrs.epilogue.bias);
+}
+
+TEST(Builder, RectConvShapes) {
+  GraphBuilder b("t");
+  int x = b.Input({1, 16, 9, 9});
+  const int conv = b.ConvRect(x, 24, 1, 7, 1, 0, 3);
+  Graph g = b.Finish({conv});
+  EXPECT_EQ(g.node(conv).out_dims, (std::vector<std::int64_t>{1, 24, 9, 9}));
+}
+
+TEST(ShapeInfer, PoolFlattenDenseChain) {
+  GraphBuilder b("t");
+  int x = b.Input({1, 8, 8, 8});
+  x = b.MaxPool(x, 2, 2, 0);
+  const int pool = x;
+  x = b.GlobalAvgPool(x);
+  const int gap = x;
+  x = b.Flatten(x);
+  const int flat = x;
+  x = b.Dense(x, 10);
+  x = b.Softmax(x);
+  Graph g = b.Finish({x});
+  EXPECT_EQ(g.node(pool).out_dims, (std::vector<std::int64_t>{1, 8, 4, 4}));
+  EXPECT_EQ(g.node(gap).out_dims, (std::vector<std::int64_t>{1, 8, 1, 1}));
+  EXPECT_EQ(g.node(flat).out_dims, (std::vector<std::int64_t>{1, 8}));
+  EXPECT_EQ(g.node(g.outputs()[0]).out_dims, (std::vector<std::int64_t>{1, 10}));
+}
+
+TEST(ShapeInfer, ConcatSumsChannels) {
+  GraphBuilder b("t");
+  int x = b.Input({1, 8, 4, 4});
+  int a = b.Conv(x, 16, 1, 1, 0);
+  int c = b.Conv(x, 24, 1, 1, 0);
+  int cat = b.Concat({a, c});
+  Graph g = b.Finish({cat});
+  EXPECT_EQ(g.node(cat).out_dims, (std::vector<std::int64_t>{1, 40, 4, 4}));
+}
+
+TEST(ShapeInfer, AddRequiresMatchingDims) {
+  GraphBuilder b("t");
+  int x = b.Input({1, 8, 4, 4});
+  int a = b.Conv(x, 16, 1, 1, 0);
+  int c = b.Conv(x, 24, 1, 1, 0);
+  EXPECT_DEATH(b.Add(a, c), "Check failed");
+}
+
+TEST(ShapeInfer, ReshapeValidatesElementCount) {
+  GraphBuilder b("t");
+  int x = b.Input({1, 8, 2, 2});
+  int flat = b.Flatten(x);
+  int ok = b.Reshape(flat, {16, 2});
+  Graph g = b.Finish({ok});
+  EXPECT_EQ(g.node(ok).out_dims, (std::vector<std::int64_t>{16, 2}));
+}
+
+TEST(Graph, ToStringListsAllNodes) {
+  GraphBuilder b("pretty");
+  int x = b.Input({1, 3, 8, 8});
+  x = b.Conv(x, 8, 3, 1, 1);
+  Graph g = b.Finish({x});
+  const std::string s = g.ToString();
+  EXPECT_NE(s.find("pretty"), std::string::npos);
+  EXPECT_NE(s.find("conv2d"), std::string::npos);
+  EXPECT_NE(s.find("input"), std::string::npos);
+}
+
+TEST(Graph, OpTypeNamesAreUnique) {
+  EXPECT_STREQ(OpTypeName(OpType::kConv2d), "conv2d");
+  EXPECT_STREQ(OpTypeName(OpType::kLayoutTransform), "layout_transform");
+  EXPECT_STREQ(OpTypeName(OpType::kMultiboxDetection), "multibox_detection");
+}
+
+}  // namespace
+}  // namespace neocpu

@@ -1,0 +1,255 @@
+// Tests for the global-search solvers: the exact variable-elimination DP and the PBQP
+// reduction heuristic, including the paper's ">= 88% of the DP optimum" quality bound.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/base/rng.h"
+#include "src/tuning/pbqp.h"
+
+namespace neocpu {
+namespace {
+
+// Brute-force minimum for small problems.
+double BruteForce(const PbqpProblem& p, std::vector<int>* best_sel = nullptr) {
+  const int n = p.num_nodes();
+  std::vector<int> sel(static_cast<std::size_t>(n), 0);
+  double best = std::numeric_limits<double>::infinity();
+  while (true) {
+    const double cost = p.Evaluate(sel);
+    if (cost < best) {
+      best = cost;
+      if (best_sel != nullptr) {
+        *best_sel = sel;
+      }
+    }
+    int i = 0;
+    while (i < n) {
+      if (++sel[static_cast<std::size_t>(i)] <
+          static_cast<int>(p.NumOptions(i))) {
+        break;
+      }
+      sel[static_cast<std::size_t>(i)] = 0;
+      ++i;
+    }
+    if (i == n) {
+      break;
+    }
+  }
+  return best;
+}
+
+PbqpProblem RandomProblem(Rng& rng, int nodes, int max_options, double edge_prob) {
+  PbqpProblem p;
+  p.node_costs.resize(static_cast<std::size_t>(nodes));
+  for (auto& costs : p.node_costs) {
+    const int options = 1 + static_cast<int>(rng.NextBounded(
+                                static_cast<std::uint64_t>(max_options)));
+    for (int i = 0; i < options; ++i) {
+      costs.push_back(rng.NextFloat(0.1f, 10.0f));
+    }
+  }
+  for (int u = 0; u < nodes; ++u) {
+    for (int v = u + 1; v < nodes; ++v) {
+      if (rng.NextDouble() < edge_prob) {
+        PbqpProblem::Edge e;
+        e.u = u;
+        e.v = v;
+        e.matrix.resize(p.NumOptions(u) * p.NumOptions(v));
+        for (double& m : e.matrix) {
+          m = rng.NextDouble() < 0.5 ? 0.0 : rng.NextFloat(0.0f, 5.0f);
+        }
+        p.edges.push_back(std::move(e));
+      }
+    }
+  }
+  return p;
+}
+
+TEST(ExactSolver, TrivialSingleNode) {
+  PbqpProblem p;
+  p.node_costs = {{3.0, 1.0, 2.0}};
+  auto s = SolveExact(p);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->selection[0], 1);
+  EXPECT_DOUBLE_EQ(s->cost, 1.0);
+}
+
+TEST(ExactSolver, ChainPrefersMatchingOptions) {
+  // Two nodes, mismatched choices cost 10 on the edge: the solver must coordinate.
+  PbqpProblem p;
+  p.node_costs = {{1.0, 1.2}, {1.2, 1.0}};
+  p.edges.push_back({0, 1, {0.0, 10.0, 10.0, 0.0}});
+  auto s = SolveExact(p);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->selection[0], s->selection[1]);
+  EXPECT_NEAR(s->cost, 2.2, 1e-12);
+}
+
+TEST(ExactSolver, MatchesBruteForceOnRandomProblems) {
+  Rng rng(101);
+  for (int trial = 0; trial < 25; ++trial) {
+    PbqpProblem p = RandomProblem(rng, 2 + static_cast<int>(rng.NextBounded(5)), 3, 0.5);
+    auto s = SolveExact(p);
+    ASSERT_TRUE(s.has_value());
+    const double brute = BruteForce(p);
+    EXPECT_NEAR(s->cost, brute, 1e-9) << "trial " << trial;
+    EXPECT_NEAR(p.Evaluate(s->selection), s->cost, 1e-9);
+  }
+}
+
+TEST(ExactSolver, FailsCleanlyWhenTableTooLarge) {
+  // A clique of 8 nodes x 8 options each: elimination needs 8^7 > 2M entries.
+  Rng rng(102);
+  PbqpProblem p;
+  p.node_costs.assign(8, std::vector<double>(8, 1.0));
+  for (int u = 0; u < 8; ++u) {
+    for (int v = u + 1; v < 8; ++v) {
+      PbqpProblem::Edge e;
+      e.u = u;
+      e.v = v;
+      e.matrix.assign(64, 1.0);
+      p.edges.push_back(std::move(e));
+    }
+  }
+  EXPECT_FALSE(SolveExact(p, /*max_table_entries=*/1024).has_value());
+  // The heuristic must still produce a valid answer.
+  PbqpSolution h = SolvePbqp(p);
+  EXPECT_EQ(h.selection.size(), 8u);
+  EXPECT_GT(h.cost, 0.0);
+}
+
+TEST(PbqpHeuristic, OptimalOnTreeStructures) {
+  // With only R0/RI/RII reductions applicable (tree graphs), the heuristic is exact.
+  Rng rng(103);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextBounded(6));
+    PbqpProblem p;
+    p.node_costs.resize(static_cast<std::size_t>(n));
+    for (auto& c : p.node_costs) {
+      const int options = 2 + static_cast<int>(rng.NextBounded(3));
+      for (int i = 0; i < options; ++i) {
+        c.push_back(rng.NextFloat(0.0f, 5.0f));
+      }
+    }
+    for (int v = 1; v < n; ++v) {
+      const int parent = static_cast<int>(rng.NextBounded(static_cast<std::uint64_t>(v)));
+      PbqpProblem::Edge e;
+      e.u = parent;
+      e.v = v;
+      e.matrix.resize(p.NumOptions(parent) * p.NumOptions(v));
+      for (double& m : e.matrix) {
+        m = rng.NextFloat(0.0f, 3.0f);
+      }
+      p.edges.push_back(std::move(e));
+    }
+    const double brute = BruteForce(p);
+    PbqpSolution h = SolvePbqp(p);
+    EXPECT_NEAR(h.cost, brute, 1e-9) << "trial " << trial;
+  }
+}
+
+// Random problem with layout-search structure: each option carries a "block" label and
+// edges charge a fixed transform cost exactly when labels disagree — the same matrix
+// shape the global layout search produces (global_search.cc).
+PbqpProblem RandomLayoutProblem(Rng& rng, int nodes, double edge_prob) {
+  const std::int64_t blocks[] = {4, 8, 16, 32};
+  PbqpProblem p;
+  std::vector<std::vector<std::int64_t>> labels(static_cast<std::size_t>(nodes));
+  p.node_costs.resize(static_cast<std::size_t>(nodes));
+  for (int v = 0; v < nodes; ++v) {
+    const int options = 2 + static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < options; ++i) {
+      labels[static_cast<std::size_t>(v)].push_back(
+          blocks[rng.NextBounded(4)]);
+      p.node_costs[static_cast<std::size_t>(v)].push_back(rng.NextFloat(1.0f, 4.0f));
+    }
+  }
+  for (int u = 0; u < nodes; ++u) {
+    for (int v = u + 1; v < nodes; ++v) {
+      if (rng.NextDouble() >= edge_prob) {
+        continue;
+      }
+      PbqpProblem::Edge e;
+      e.u = u;
+      e.v = v;
+      const float transform = rng.NextFloat(0.5f, 3.0f);
+      const auto& lu = labels[static_cast<std::size_t>(u)];
+      const auto& lv = labels[static_cast<std::size_t>(v)];
+      e.matrix.resize(lu.size() * lv.size());
+      for (std::size_t i = 0; i < lu.size(); ++i) {
+        for (std::size_t j = 0; j < lv.size(); ++j) {
+          e.matrix[i * lv.size() + j] = lu[i] == lv[j] ? 0.0 : transform;
+        }
+      }
+      p.edges.push_back(std::move(e));
+    }
+  }
+  return p;
+}
+
+TEST(PbqpHeuristic, QualityBoundOnLayoutStructuredProblems) {
+  // Paper §3.3.2: "the approximation algorithm gets at least 88% of the best available
+  // result" — stated for layout-search problems, whose edge matrices are
+  // match-or-pay-transform structured. Quality q = optimal/heuristic; require q >= 0.88.
+  Rng rng(104);
+  for (int trial = 0; trial < 25; ++trial) {
+    PbqpProblem p = RandomLayoutProblem(rng, 7, 0.55);
+    const double brute = BruteForce(p);
+    PbqpSolution h = SolvePbqp(p);
+    ASSERT_GT(h.cost, 0.0);
+    EXPECT_GE(brute / h.cost, 0.88) << "trial " << trial << ": optimal " << brute
+                                    << " vs heuristic " << h.cost;
+  }
+}
+
+TEST(PbqpHeuristic, ReasonableOnArbitraryDenseProblems) {
+  // Unstructured dense matrices are harder than layout problems; the RN heuristic must
+  // still stay within 25% of optimal on average-sized instances.
+  Rng rng(105);
+  for (int trial = 0; trial < 15; ++trial) {
+    PbqpProblem p = RandomProblem(rng, 7, 4, 0.6);
+    const double brute = BruteForce(p);
+    PbqpSolution h = SolvePbqp(p);
+    ASSERT_GT(h.cost, 0.0);
+    EXPECT_GE(brute / h.cost, 0.75) << "trial " << trial;
+  }
+}
+
+TEST(PbqpHeuristic, HandlesParallelEdges) {
+  PbqpProblem p;
+  p.node_costs = {{1.0, 2.0}, {2.0, 1.0}};
+  // Two parallel edges merge additively.
+  p.edges.push_back({0, 1, {0.0, 3.0, 3.0, 0.0}});
+  p.edges.push_back({1, 0, {0.0, 3.0, 3.0, 0.0}});
+  PbqpSolution h = SolvePbqp(p);
+  auto exact = SolveExact(p);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_NEAR(h.cost, exact->cost, 1e-9);
+}
+
+TEST(PbqpHeuristic, DegreeTwoSameNeighborFoldsDiagonal) {
+  // Node 1 has two edges to node 0 (after normalization): the RII reduction must fold
+  // onto node 0's diagonal, not create a self-edge.
+  PbqpProblem p;
+  p.node_costs = {{0.0, 0.0}, {5.0, 0.0}, {0.0, 5.0}};
+  p.edges.push_back({0, 1, {0.0, 1.0, 1.0, 0.0}});
+  p.edges.push_back({1, 2, {0.0, 1.0, 1.0, 0.0}});
+  p.edges.push_back({0, 2, {0.0, 1.0, 1.0, 0.0}});
+  auto exact = SolveExact(p);
+  PbqpSolution h = SolvePbqp(p);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_NEAR(h.cost, exact->cost, 1e-9);  // triangle is within RII reach
+}
+
+TEST(Evaluate, SumsNodeAndEdgeCosts) {
+  PbqpProblem p;
+  p.node_costs = {{1.0, 2.0}, {3.0, 4.0}};
+  p.edges.push_back({0, 1, {10.0, 20.0, 30.0, 40.0}});
+  EXPECT_DOUBLE_EQ(p.Evaluate({0, 0}), 1.0 + 3.0 + 10.0);
+  EXPECT_DOUBLE_EQ(p.Evaluate({1, 1}), 2.0 + 4.0 + 40.0);
+  EXPECT_DOUBLE_EQ(p.Evaluate({0, 1}), 1.0 + 4.0 + 20.0);
+}
+
+}  // namespace
+}  // namespace neocpu

@@ -1,0 +1,142 @@
+// Property-based testing: randomly generated CNN graphs, compiled under every layout
+// mode and architecture profile, must be numerically equivalent to the reference
+// executor. This sweeps combinations of structure (branches, residuals, concats,
+// pooling, pre/post-activation BN) that the hand-written tests cannot enumerate.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/string_util.h"
+#include "src/core/compiler.h"
+#include "src/core/presets.h"
+#include "src/graph/builder.h"
+
+namespace neocpu {
+namespace {
+
+// Generates a random CNN: a chain of feature-map stages with occasional residual
+// diamonds and two-branch concats, closed by a classifier head. All channel counts are
+// multiples of 4 so every ISA profile has valid blocks (the paper's divisibility rule).
+Graph RandomCnn(std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(StrFormat("fuzz_%llu", static_cast<unsigned long long>(seed)), seed);
+  std::int64_t channels = 4 * (1 + static_cast<std::int64_t>(rng.NextBounded(4)));  // 4..16
+  int x = b.Input({1, channels, 24, 24});
+  const int depth = 3 + static_cast<int>(rng.NextBounded(4));  // 3..6 structure steps
+
+  for (int step = 0; step < depth; ++step) {
+    const std::uint64_t kind = rng.NextBounded(6);
+    const auto& dims = b.graph().node(x).out_dims;
+    const std::int64_t h = dims[2];
+    switch (kind) {
+      case 0: {  // plain conv (+optional BN/ReLU)
+        const std::int64_t out_c = 4 * (1 + static_cast<std::int64_t>(rng.NextBounded(8)));
+        const std::int64_t k = rng.NextBounded(2) == 0 ? 1 : 3;
+        x = b.Conv(x, out_c, k, 1, k / 2, rng.NextBounded(2) == 0);
+        if (rng.NextBounded(2) == 0) {
+          x = b.BatchNorm(x);
+        }
+        if (rng.NextBounded(2) == 0) {
+          x = b.Relu(x);
+        }
+        break;
+      }
+      case 1: {  // residual diamond
+        const std::int64_t c = dims[1];
+        int main = b.Conv(x, c, 3, 1, 1);
+        main = b.BatchNorm(main);
+        if (rng.NextBounded(2) == 0) {
+          main = b.Relu(main);
+          main = b.Conv(main, c, 1, 1, 0);
+        }
+        x = b.Add(main, x);
+        x = b.Relu(x);
+        break;
+      }
+      case 2: {  // two-branch concat
+        const std::int64_t c1 = 4 * (1 + static_cast<std::int64_t>(rng.NextBounded(4)));
+        const std::int64_t c2 = 4 * (1 + static_cast<std::int64_t>(rng.NextBounded(4)));
+        int a = b.Conv(x, c1, 1, 1, 0);
+        int c = b.Conv(x, c2, 3, 1, 1);
+        x = b.Concat({a, c});
+        break;
+      }
+      case 3: {  // pooling (only while the map is big enough)
+        if (h >= 8) {
+          x = rng.NextBounded(2) == 0 ? b.MaxPool(x, 2, 2, 0) : b.AvgPool(x, 3, 2, 1);
+        } else {
+          x = b.Relu(x);
+        }
+        break;
+      }
+      case 4: {  // pre-activation stack (DenseNet style)
+        x = b.BatchNorm(x);
+        x = b.Relu(x);
+        x = b.Conv(x, 4 * (1 + static_cast<std::int64_t>(rng.NextBounded(6))), 3, 1, 1);
+        break;
+      }
+      default: {  // strided conv (downsample)
+        if (h >= 8) {
+          x = b.Conv(x, 4 * (1 + static_cast<std::int64_t>(rng.NextBounded(8))), 3, 2, 1);
+        } else {
+          x = b.Conv(x, dims[1], 1, 1, 0);
+        }
+        break;
+      }
+    }
+  }
+  x = b.GlobalAvgPool(x);
+  x = b.Flatten(x);
+  x = b.Dense(x, 10);
+  x = b.Softmax(x);
+  return b.Finish({x});
+}
+
+class FuzzEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, LayoutMode>> {};
+
+TEST_P(FuzzEquivalence, CompiledMatchesReference) {
+  const auto [seed, mode] = GetParam();
+  Graph model = RandomCnn(seed);
+  Rng rng(seed ^ 0xabcdef);
+  Tensor input = Tensor::Random(model.node(0).out_dims, rng, -1.0f, 1.0f, Layout::NCHW());
+  Tensor expected = Executor(&model).Run(input);
+
+  CompileOptions opts;
+  opts.layout_mode = mode;
+  opts.target = Target::Host();
+  CompiledModel compiled = Compile(model, opts);
+  Tensor got = compiled.Run(input);
+  EXPECT_LE(Tensor::AllCloseViolation(got, expected, 5e-3, 5e-3), 0.0)
+      << "seed=" << seed << " mode=" << LayoutModeName(mode) << "\n"
+      << model.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FuzzEquivalence,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 5, 8, 13, 21, 34, 55, 89),
+                       ::testing::Values(LayoutMode::kNCHW, LayoutMode::kNCHWcPerOp,
+                                         LayoutMode::kNCHWcFixed, LayoutMode::kNCHWcLocal,
+                                         LayoutMode::kNCHWcGlobal)));
+
+class FuzzProfileEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzProfileEquivalence, NeonProfileMatchesReference) {
+  // The most restrictive profile (4-lane blocks) on random structures.
+  Graph model = RandomCnn(GetParam());
+  Rng rng(GetParam() * 31);
+  Tensor input = Tensor::Random(model.node(0).out_dims, rng, -1.0f, 1.0f, Layout::NCHW());
+  Tensor expected = Executor(&model).Run(input);
+  CompiledModel compiled = Compile(model, NeoCpuOptions(Target::ArmA72Neon()));
+  Tensor got = compiled.Run(input);
+  EXPECT_LE(Tensor::AllCloseViolation(got, expected, 5e-3, 5e-3), 0.0)
+      << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProfileEquivalence,
+                         ::testing::Values<std::uint64_t>(7, 11, 17, 23, 29, 41));
+
+}  // namespace
+}  // namespace neocpu

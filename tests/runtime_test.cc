@@ -1,0 +1,198 @@
+// Unit tests for the threading runtime: SPSC queue, the custom fork-join pool, the
+// OpenMP-style baseline pool, and the ParallelFor facade.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/omp_pool.h"
+#include "src/runtime/spsc_queue.h"
+#include "src/runtime/thread_pool.h"
+
+namespace neocpu {
+namespace {
+
+TEST(SpscQueue, PushPopOrdering) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.TryPush(i));
+  }
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.TryPop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.TryPop(out));
+}
+
+TEST(SpscQueue, FullQueueRejectsPush) {
+  SpscQueue<int> q(2);  // rounds up to capacity >= 2
+  std::size_t pushed = 0;
+  while (q.TryPush(static_cast<int>(pushed))) {
+    ++pushed;
+  }
+  EXPECT_GE(pushed, 2u);
+  int out;
+  EXPECT_TRUE(q.TryPop(out));
+  EXPECT_TRUE(q.TryPush(99));  // slot freed
+}
+
+TEST(SpscQueue, ConcurrentProducerConsumer) {
+  SpscQueue<int> q(64);
+  constexpr int kCount = 20000;
+  std::atomic<long long> sum{0};
+  std::thread consumer([&] {
+    int received = 0;
+    int value;
+    while (received < kCount) {
+      if (q.TryPop(value)) {
+        sum += value;
+        ++received;
+      }
+    }
+  });
+  for (int i = 0; i < kCount; ++i) {
+    while (!q.TryPush(i)) {
+    }
+  }
+  consumer.join();
+  EXPECT_EQ(sum.load(), static_cast<long long>(kCount) * (kCount - 1) / 2);
+}
+
+template <typename Pool>
+void CheckPoolRunsAllTasks(int workers, int tasks) {
+  Pool pool(workers);
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(tasks));
+  for (auto& h : hits) {
+    h = 0;
+  }
+  pool.ParallelRun(tasks, [&](int task, int num_tasks) {
+    EXPECT_EQ(num_tasks, tasks);
+    hits[static_cast<std::size_t>(task)]++;
+  });
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(NeoThreadPool, RunsEveryTaskExactlyOnce) {
+  CheckPoolRunsAllTasks<NeoThreadPool>(4, 4);
+  CheckPoolRunsAllTasks<NeoThreadPool>(4, 11);  // more tasks than workers
+  CheckPoolRunsAllTasks<NeoThreadPool>(1, 5);   // degenerate single worker
+}
+
+TEST(OmpStylePool, RunsEveryTaskExactlyOnce) {
+  CheckPoolRunsAllTasks<OmpStylePool>(4, 4);
+  CheckPoolRunsAllTasks<OmpStylePool>(4, 9);
+  CheckPoolRunsAllTasks<OmpStylePool>(1, 3);
+}
+
+template <typename Pool>
+void CheckRepeatedRegions(int workers) {
+  Pool pool(workers);
+  std::atomic<long long> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelRun(workers, [&](int task, int) { total += task + 1; });
+  }
+  const long long per_round = static_cast<long long>(workers) * (workers + 1) / 2;
+  EXPECT_EQ(total.load(), 200 * per_round);
+}
+
+TEST(NeoThreadPool, ManyBackToBackRegions) { CheckRepeatedRegions<NeoThreadPool>(3); }
+
+TEST(OmpStylePool, ManyBackToBackRegions) { CheckRepeatedRegions<OmpStylePool>(3); }
+
+TEST(NeoThreadPool, ZeroAndOneTaskFastPaths) {
+  NeoThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelRun(0, [&](int, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelRun(1, [&](int task, int n) {
+    EXPECT_EQ(task, 0);
+    EXPECT_EQ(n, 1);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  NeoThreadPool pool(4);
+  constexpr std::int64_t kTotal = 1000;
+  std::vector<std::atomic<int>> hits(kTotal);
+  for (auto& h : hits) {
+    h = 0;
+  }
+  ParallelFor(pool, kTotal, [&](std::int64_t begin, std::int64_t end) {
+    EXPECT_LT(begin, end);
+    for (std::int64_t i = begin; i < end; ++i) {
+      hits[static_cast<std::size_t>(i)]++;
+    }
+  });
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, SmallRangeFewerChunksThanWorkers) {
+  NeoThreadPool pool(8);
+  std::atomic<int> count{0};
+  ParallelFor(pool, 3, [&](std::int64_t begin, std::int64_t end) {
+    count += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  SerialEngine serial;
+  bool called = false;
+  ParallelFor(serial, 0, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(SerialEngine, RunsInline) {
+  SerialEngine serial;
+  std::vector<int> order;
+  serial.ParallelRun(4, [&](int task, int) { order.push_back(task); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Pools, ReportWorkerCountAndName) {
+  NeoThreadPool neo(3);
+  OmpStylePool omp(3);
+  EXPECT_EQ(neo.NumWorkers(), 3);
+  EXPECT_EQ(omp.NumWorkers(), 3);
+  EXPECT_STREQ(neo.Name(), "neocpu-threadpool");
+  EXPECT_STREQ(omp.Name(), "omp-style");
+}
+
+// Both pools must compute identical results for a deterministic partitioned workload.
+TEST(Pools, EquivalentPartitionedResults) {
+  constexpr std::int64_t kN = 1 << 14;
+  std::vector<float> data(kN);
+  std::iota(data.begin(), data.end(), 0.0f);
+  auto run_with = [&](ThreadEngine& eng) {
+    std::vector<double> partial(static_cast<std::size_t>(eng.NumWorkers()), 0.0);
+    eng.ParallelRun(eng.NumWorkers(), [&](int task, int num) {
+      const std::int64_t begin = kN * task / num;
+      const std::int64_t end = kN * (task + 1) / num;
+      double s = 0.0;
+      for (std::int64_t i = begin; i < end; ++i) {
+        s += data[static_cast<std::size_t>(i)];
+      }
+      partial[static_cast<std::size_t>(task)] = s;
+    });
+    double total = 0.0;
+    for (double p : partial) {
+      total += p;
+    }
+    return total;
+  };
+  NeoThreadPool neo(4);
+  OmpStylePool omp(4);
+  EXPECT_DOUBLE_EQ(run_with(neo), run_with(omp));
+}
+
+}  // namespace
+}  // namespace neocpu

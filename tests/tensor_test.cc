@@ -1,0 +1,94 @@
+// Unit tests for Tensor and Layout.
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+namespace {
+
+TEST(Layout, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(Layout::NCHW().ToString(), "NCHW");
+  EXPECT_EQ(Layout::NHWC().ToString(), "NHWC");
+  EXPECT_EQ(Layout::NCHWc(16).ToString(), "NCHW16c");
+  EXPECT_EQ(Layout::OIHW().ToString(), "OIHW");
+  EXPECT_EQ(Layout::OIHWio(16, 8).ToString(), "OIHW16i8o");
+  EXPECT_EQ(Layout::Flat().ToString(), "flat");
+}
+
+TEST(Layout, Equality) {
+  EXPECT_EQ(Layout::NCHWc(16), Layout::NCHWc(16));
+  EXPECT_NE(Layout::NCHWc(16), Layout::NCHWc(8));
+  EXPECT_NE(Layout::NCHW(), Layout::NHWC());
+}
+
+TEST(Tensor, EmptyAndDims) {
+  Tensor t = Tensor::Empty({2, 3, 4}, Layout::Flat());
+  EXPECT_TRUE(t.defined());
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.NumElements(), 24);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.SizeBytes(), 24 * sizeof(float));
+}
+
+TEST(Tensor, DefaultIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(Tensor, ZerosAndFull) {
+  Tensor z = Tensor::Zeros({5});
+  for (std::int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(z.data()[i], 0.0f);
+  }
+  Tensor f = Tensor::Full({3}, 2.5f);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(f.data()[i], 2.5f);
+  }
+}
+
+TEST(Tensor, RandomDeterministicAndInRange) {
+  Rng a(5), b(5);
+  Tensor ta = Tensor::Random({100}, a, -1.0f, 1.0f);
+  Tensor tb = Tensor::Random({100}, b, -1.0f, 1.0f);
+  EXPECT_EQ(Tensor::MaxAbsDiff(ta, tb), 0.0);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_GE(ta.data()[i], -1.0f);
+    EXPECT_LT(ta.data()[i], 1.0f);
+  }
+}
+
+TEST(Tensor, CopyIsShallowCloneIsDeep) {
+  Tensor a = Tensor::Zeros({4});
+  Tensor shallow = a;
+  Tensor deep = a.Clone();
+  a.data()[0] = 7.0f;
+  EXPECT_EQ(shallow.data()[0], 7.0f);
+  EXPECT_EQ(deep.data()[0], 0.0f);
+}
+
+TEST(Tensor, ReshapePreservesBufferAndChecksCount) {
+  Tensor a = Tensor::Zeros({2, 6});
+  Tensor b = a.Reshaped({3, 4});
+  b.data()[0] = 1.0f;
+  EXPECT_EQ(a.data()[0], 1.0f);
+  EXPECT_EQ(b.dim(0), 3);
+  EXPECT_DEATH(a.Reshaped({5, 5}), "reshape");
+}
+
+TEST(Tensor, MaxAbsAndRelDiff) {
+  Tensor a = Tensor::Zeros({3});
+  Tensor b = Tensor::Zeros({3});
+  b.data()[1] = 0.5f;
+  EXPECT_DOUBLE_EQ(Tensor::MaxAbsDiff(a, b), 0.5);
+  EXPECT_GT(Tensor::MaxRelDiff(a, b), 0.9);  // 0 vs 0.5 is a full relative error
+  EXPECT_DOUBLE_EQ(Tensor::MaxAbsDiff(a, a), 0.0);
+}
+
+TEST(Tensor, DebugStringMentionsDimsAndLayout) {
+  Tensor t = Tensor::Empty({1, 2, 3, 4, 16}, Layout::NCHWc(16));
+  EXPECT_EQ(t.DebugString(), "Tensor<1x2x3x4x16,NCHW16c>");
+}
+
+}  // namespace
+}  // namespace neocpu

@@ -1,0 +1,203 @@
+// Tests for the tuning stack: schedule space (paper §3.3.1 candidate lists), analytic
+// cost model properties, measured search, and the tuning database.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/core/target.h"
+#include "src/tuning/cost_model.h"
+#include "src/tuning/local_search.h"
+#include "src/tuning/schedule_space.h"
+
+namespace neocpu {
+namespace {
+
+TEST(Factors, AllFactorsAscending) {
+  EXPECT_EQ(Factors(64, 64), (std::vector<std::int64_t>{1, 2, 4, 8, 16, 32, 64}));
+  EXPECT_EQ(Factors(64, 16), (std::vector<std::int64_t>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(Factors(3, 64), (std::vector<std::int64_t>{1, 3}));
+  EXPECT_EQ(Factors(1, 64), (std::vector<std::int64_t>{1}));
+}
+
+TEST(ScheduleSpace, MatchesPaperCandidateLists) {
+  // Paper: "if the number of channels is 64, [32, 16, 8, 4, 2, 1] are listed as the
+  // candidates" (plus 64 itself under our cap), reg_n from [32,16,8,4,2], unroll both.
+  Conv2dParams p{1, 64, 28, 28, 64, 3, 3, 1, 1, 1, 1};
+  const Target t = Target::SkylakeAvx512();
+  auto schedules = EnumerateSchedules(p, t, /*quick_space=*/false);
+  // 6 ic (cap 32 = MaxBlock of avx512) ... MaxBlock = 2*16 = 32: factors {1..32} = 6.
+  EXPECT_EQ(schedules.size(), 6u * 6u * 5u * 2u);
+  bool has_paper_tuple = false;
+  for (const ConvSchedule& s : schedules) {
+    EXPECT_EQ(64 % s.ic_bn, 0);
+    EXPECT_EQ(64 % s.oc_bn, 0);
+    EXPECT_LE(s.oc_bn, t.MaxBlock());
+    if (s.ic_bn == 16 && s.oc_bn == 16 && s.reg_n == 8 && s.unroll_ker) {
+      has_paper_tuple = true;
+    }
+  }
+  EXPECT_TRUE(has_paper_tuple);
+}
+
+TEST(ScheduleSpace, QuickSpaceIsSubset) {
+  Conv2dParams p{1, 256, 14, 14, 256, 3, 3, 1, 1, 1, 1};
+  const Target t = Target::SkylakeAvx512();
+  auto full = EnumerateSchedules(p, t, false);
+  auto quick = EnumerateSchedules(p, t, true);
+  EXPECT_LT(quick.size(), full.size());
+  for (const ConvSchedule& s : quick) {
+    EXPECT_NE(std::find(full.begin(), full.end(), s), full.end());
+  }
+}
+
+TEST(ScheduleSpace, NeonProfileRestrictsBlocks) {
+  Conv2dParams p{1, 256, 14, 14, 256, 3, 3, 1, 1, 1, 1};
+  for (const ConvSchedule& s : EnumerateSchedules(p, Target::ArmA72Neon(), false)) {
+    EXPECT_LE(s.oc_bn, 8);  // 2 * 4 lanes
+    EXPECT_LE(s.ic_bn, 8);
+  }
+}
+
+TEST(AnalyticCost, ScalesWithWork) {
+  const Target t = Target::SkylakeAvx512();
+  ConvSchedule s{16, 16, 8, true};
+  Conv2dParams small{1, 64, 14, 14, 64, 3, 3, 1, 1, 1, 1};
+  Conv2dParams big{1, 64, 28, 28, 64, 3, 3, 1, 1, 1, 1};
+  EXPECT_GT(AnalyticConvMs(big, s, t), 2.0 * AnalyticConvMs(small, s, t));
+}
+
+TEST(AnalyticCost, PenalizesNonVectorBlocks) {
+  const Target t = Target::SkylakeAvx512();
+  Conv2dParams p{1, 84, 14, 14, 84, 3, 3, 1, 1, 1, 1};
+  // 84 = 2*2*3*7: block 21 wastes lanes and misses the fast kernels; block 4 hits a
+  // template but underfills the vector.
+  const double ms21 = AnalyticConvMs(p, ConvSchedule{21, 21, 8, true}, t);
+  const double ms4 = AnalyticConvMs(p, ConvSchedule{4, 4, 8, true}, t);
+  const double ms_lane = AnalyticConvMs(p, ConvSchedule{12, 12, 8, true}, t);
+  EXPECT_GT(ms21, ms_lane * 0.99);
+  EXPECT_GT(ms4, 0.0);
+}
+
+TEST(AnalyticCost, PenalizesRegisterSpill) {
+  const Target t = Target::EpycAvx2();  // 16 vector registers
+  Conv2dParams p{1, 64, 28, 28, 64, 3, 3, 1, 1, 1, 1};
+  // reg_n=32 with oc_bn=16 needs 32*2+2 = 66 vector registers on AVX2: heavy spill.
+  const double spill = AnalyticConvMs(p, ConvSchedule{16, 16, 32, true}, t);
+  const double fit = AnalyticConvMs(p, ConvSchedule{16, 16, 8, true}, t);
+  EXPECT_GT(spill, fit);
+}
+
+TEST(AnalyticCost, FasterTargetsPredictLowerTime) {
+  Conv2dParams p{1, 64, 28, 28, 64, 3, 3, 1, 1, 1, 1};
+  ConvSchedule avx512_s{16, 16, 8, true};
+  ConvSchedule neon_s{4, 4, 8, true};
+  EXPECT_LT(AnalyticConvMs(p, avx512_s, Target::SkylakeAvx512()),
+            AnalyticConvMs(p, neon_s, Target::ArmA72Neon()));
+}
+
+TEST(MeasuredCost, ReturnsPositiveAndRepeatable) {
+  Conv2dParams p{1, 32, 14, 14, 32, 3, 3, 1, 1, 1, 1};
+  ConvSchedule s{16, 16, 8, true};
+  const double ms = MeasureConvMs(p, s, nullptr, /*runs=*/2);
+  EXPECT_GT(ms, 0.0);
+  EXPECT_LT(ms, 1000.0);
+}
+
+TEST(MeasuredCost, PrefersRegisterBlockingOverNone) {
+  // reg_n=8 should comfortably beat reg_n=2's weight-reload-per-two-outputs on a
+  // compute-bound workload. (Measured on the real kernel: this is the core Figure 1
+  // claim that register blocking matters.)
+  Conv2dParams p{1, 64, 28, 28, 64, 3, 3, 1, 1, 1, 1};
+  const double blocked = MeasureConvMs(p, ConvSchedule{16, 16, 8, true}, nullptr, 3);
+  const double minimal = MeasureConvMs(p, ConvSchedule{16, 16, 2, true}, nullptr, 3);
+  EXPECT_LT(blocked, minimal * 1.15);  // allow noise; blocked must not be slower
+}
+
+TEST(TransformCost, MonotonicInBytes) {
+  EXPECT_GT(TransformMs(1 << 22), TransformMs(1 << 20));
+  EXPECT_GT(CalibratedCopyBytesPerMs(), 0.0);
+}
+
+TEST(LocalSearch, RankedAscendingAndComplete) {
+  Conv2dParams p{1, 64, 14, 14, 64, 3, 3, 1, 1, 1, 1};
+  LocalSearchResult r = LocalSearchConv(p, Target::SkylakeAvx512(), CostMode::kAnalytic,
+                                        /*quick_space=*/false);
+  ASSERT_FALSE(r.ranked.empty());
+  for (std::size_t i = 1; i < r.ranked.size(); ++i) {
+    EXPECT_LE(r.ranked[i - 1].ms, r.ranked[i].ms);
+  }
+  const ScheduleCost* pair_best = r.BestForPair(16, 16);
+  ASSERT_NE(pair_best, nullptr);
+  EXPECT_EQ(pair_best->schedule.ic_bn, 16);
+  EXPECT_EQ(pair_best->schedule.oc_bn, 16);
+  EXPECT_EQ(r.BestForPair(5, 5), nullptr);
+}
+
+TEST(LocalSearch, AnalyticBestIsReasonableUnderMeasurement) {
+  // The analytic model's top choice must be within 2.5x of the measured-best schedule —
+  // a loose sanity bound that catches gross model breakage without flaky tightness.
+  Conv2dParams p{1, 64, 28, 28, 64, 3, 3, 1, 1, 1, 1};
+  const Target t = Target::Host();
+  LocalSearchResult analytic = LocalSearchConv(p, t, CostMode::kAnalytic, true);
+  LocalSearchResult measured = LocalSearchConv(p, t, CostMode::kMeasured, true);
+  const double analytic_choice_measured_ms =
+      MeasureConvMs(p, analytic.best().schedule, nullptr, 3);
+  EXPECT_LT(analytic_choice_measured_ms, 2.5 * measured.best().ms)
+      << "analytic pick " << analytic.best().schedule.ToString() << " vs measured best "
+      << measured.best().schedule.ToString();
+}
+
+TEST(TuningDatabase, MemoizesSearches) {
+  TuningDatabase db;
+  Conv2dParams p{1, 32, 14, 14, 32, 3, 3, 1, 1, 1, 1};
+  const Target t = Target::SkylakeAvx512();
+  LocalSearchResult first = LocalSearchConv(p, t, CostMode::kAnalytic, true, nullptr, &db);
+  EXPECT_EQ(db.size(), 1u);
+  LocalSearchResult second = LocalSearchConv(p, t, CostMode::kAnalytic, true, nullptr, &db);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(first.ranked.size(), second.ranked.size());
+  EXPECT_EQ(first.best().schedule, second.best().schedule);
+}
+
+TEST(TuningDatabase, SaveLoadRoundTrip) {
+  TuningDatabase db;
+  Conv2dParams p{1, 32, 14, 14, 64, 3, 3, 1, 1, 1, 1};
+  const Target t = Target::EpycAvx2();
+  LocalSearchConv(p, t, CostMode::kAnalytic, true, nullptr, &db);
+  const std::string path = ::testing::TempDir() + "/neocpu_tuning_db_test.txt";
+  ASSERT_TRUE(db.SaveToFile(path));
+  TuningDatabase loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path));
+  EXPECT_EQ(loaded.size(), db.size());
+  const std::string key = TuningDatabase::Key(p, t, CostMode::kAnalytic, true);
+  const LocalSearchResult* a = db.Find(key);
+  const LocalSearchResult* b = loaded.Find(key);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->best().schedule, b->best().schedule);
+  EXPECT_NEAR(a->best().ms, b->best().ms, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(TuningDatabase, KeyDistinguishesTargetAndMode) {
+  Conv2dParams p{1, 32, 14, 14, 64, 3, 3, 1, 1, 1, 1};
+  const std::string a = TuningDatabase::Key(p, Target::SkylakeAvx512(), CostMode::kAnalytic,
+                                            true);
+  const std::string b = TuningDatabase::Key(p, Target::EpycAvx2(), CostMode::kAnalytic, true);
+  const std::string c = TuningDatabase::Key(p, Target::SkylakeAvx512(), CostMode::kMeasured,
+                                            true);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Target, ByNameRoundTrip) {
+  EXPECT_EQ(Target::ByName("avx512").vector_lanes, 16);
+  EXPECT_EQ(Target::ByName("avx2").vector_lanes, 8);
+  EXPECT_EQ(Target::ByName("neon").vector_lanes, 4);
+  EXPECT_EQ(Target::ByName("host").name, "host");
+  EXPECT_EQ(Target::ArmA72Neon().PreferredBlock(), 4);
+  EXPECT_EQ(Target::SkylakeAvx512().MaxBlock(), 32);
+}
+
+}  // namespace
+}  // namespace neocpu
