@@ -1,0 +1,131 @@
+// Serving-performance baseline: throughput and latency percentiles versus dynamic-batch
+// size and executor-pool width.
+//
+//   ./bench_serve_throughput
+//
+// The sweep crosses pool width {1, 2, 4 (when cores allow)} with max_batch {1, 4, 8} on
+// batch-1 traffic, reproducing the Figure-4-style comparison at the serving layer: on a
+// multi-core host, two executors on half the cores each should beat one executor
+// spanning every core for small-input traffic, and batching should lift throughput
+// further at some p99 cost. Knobs:
+//   NEOCPU_SERVE_MODEL     model to serve                     (default tiny-cnn)
+//   NEOCPU_SERVE_REQUESTS  requests per configuration         (default 64)
+//   NEOCPU_SERVE_CLIENTS   client threads generating traffic  (default 8)
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.h"
+
+namespace neocpu {
+namespace {
+
+struct ConfigResult {
+  int pool_width = 0;
+  std::int64_t max_batch = 0;
+  double throughput_rps = 0.0;
+  ServerStats stats;
+};
+
+ConfigResult RunConfig(const CompiledModel& model, const std::string& model_name,
+                       int pool_width, std::int64_t max_batch, int num_clients,
+                       int num_requests) {
+  ServerOptions options;
+  options.num_executors = pool_width;
+  options.batching.max_batch_size = max_batch;
+  options.batching.max_delay_ms = 2.0;
+  InferenceServer server(options);
+  server.RegisterModel(model_name, model);
+
+  Rng rng(99);
+  Tensor input = Tensor::Random(ModelInputDims(model_name), rng, 0.0f, 1.0f, Layout::NCHW());
+
+  // Warm-up: materializes batch variants and faults in weights.
+  server.Submit(model_name, input).wait();
+
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::future<Tensor>>> futures(
+      static_cast<std::size_t>(num_clients));
+  Timer timer;
+  for (int c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      const int share = num_requests / num_clients + (c < num_requests % num_clients);
+      for (int r = 0; r < share; ++r) {
+        futures[static_cast<std::size_t>(c)].push_back(server.Submit(model_name, input));
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  for (auto& client_futures : futures) {
+    for (std::future<Tensor>& f : client_futures) {
+      f.wait();
+    }
+  }
+  const double seconds = timer.Seconds();
+
+  ConfigResult result;
+  result.pool_width = pool_width;
+  result.max_batch = max_batch;
+  result.throughput_rps = static_cast<double>(num_requests) / seconds;
+  result.stats = server.Stats();
+  return result;
+}
+
+}  // namespace
+}  // namespace neocpu
+
+int main() {
+  using namespace neocpu;
+  const char* model_env = std::getenv("NEOCPU_SERVE_MODEL");
+  const std::string model_name = model_env != nullptr ? model_env : "tiny-cnn";
+  const int num_requests = static_cast<int>(EnvSizeT("NEOCPU_SERVE_REQUESTS", 64));
+  const int num_clients = static_cast<int>(EnvSizeT("NEOCPU_SERVE_CLIENTS", 8));
+
+  bench::PrintHeader("Serving throughput: pool width x dynamic batch size");
+  std::printf("model=%s requests=%d clients=%d\n\n", model_name.c_str(), num_requests,
+              num_clients);
+
+  CompileOptions copts;
+  copts.cost_mode = bench::BenchCostMode();
+  CompiledModel model = Compile(BuildModel(model_name), copts);
+
+  std::vector<int> widths = {1, 2};
+  if (HostCpuInfo().physical_cores >= 8) {
+    widths.push_back(4);
+  }
+  const std::vector<std::int64_t> batches = {1, 4, 8};
+
+  std::printf("%-6s %-10s %12s %10s %10s %10s %11s\n", "pool", "max_batch", "thruput r/s",
+              "p50 ms", "p99 ms", "mean ms", "mean batch");
+  std::vector<ConfigResult> results;
+  for (int width : widths) {
+    for (std::int64_t max_batch : batches) {
+      ConfigResult r =
+          RunConfig(model, model_name, width, max_batch, num_clients, num_requests);
+      std::printf("%-6d %-10lld %12.1f %10.3f %10.3f %10.3f %11.2f\n", r.pool_width,
+                  static_cast<long long>(r.max_batch), r.throughput_rps,
+                  r.stats.latency.p50_ms, r.stats.latency.p99_ms, r.stats.latency.mean_ms,
+                  r.stats.mean_batch_size);
+      results.push_back(r);
+    }
+  }
+
+  // The Figure-4-at-the-serving-layer headline: pool of 2 vs 1 on unbatched traffic.
+  const ConfigResult* one = nullptr;
+  const ConfigResult* two = nullptr;
+  for (const ConfigResult& r : results) {
+    if (r.max_batch == 1 && r.pool_width == 1) {
+      one = &r;
+    }
+    if (r.max_batch == 1 && r.pool_width == 2) {
+      two = &r;
+    }
+  }
+  if (one != nullptr && two != nullptr) {
+    std::printf("\nbatch-1 traffic: pool=2 %.1f r/s vs pool=1 %.1f r/s (%+.1f%%)\n",
+                two->throughput_rps, one->throughput_rps,
+                100.0 * (two->throughput_rps / one->throughput_rps - 1.0));
+  }
+  return 0;
+}

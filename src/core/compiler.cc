@@ -6,6 +6,7 @@
 #include "src/base/logging.h"
 #include "src/base/timer.h"
 #include "src/graph/passes/passes.h"
+#include "src/graph/shape_infer.h"
 #include "src/tuning/global_search.h"
 #include "src/tuning/schedule_space.h"
 
@@ -127,6 +128,15 @@ CompiledModel Compile(const Graph& model, const CompileOptions& opts) {
               << stats.tuning_seconds << "s, search " << stats.search_seconds << "s";
   }
   return CompiledModel(std::move(g), stats);
+}
+
+bool RebindBatch(const CompiledModel& model, std::int64_t batch, CompiledModel* out) {
+  Graph g = model.graph();  // node headers copy; constant payloads share their buffers
+  if (!RebindBatchDim(&g, batch)) {
+    return false;
+  }
+  *out = CompiledModel(std::move(g), model.stats());
+  return true;
 }
 
 }  // namespace neocpu

@@ -80,6 +80,14 @@ class CompiledModel {
 
 CompiledModel Compile(const Graph& model, const CompileOptions& options = {});
 
+// Derives a compiled model running at a different batch size without re-compiling or
+// re-tuning: the optimized structure, chosen schedules, and pre-transformed weights are
+// reused (weight payloads are shared, not copied — the copy is a few hundred node
+// headers), and only the logical shapes are re-inferred. This is what lets the serving
+// layer materialize batch variants lazily per traffic pattern. Returns false and leaves
+// `out` untouched when the graph cannot be batch-rebound (see RebindBatchDim).
+bool RebindBatch(const CompiledModel& model, std::int64_t batch, CompiledModel* out);
+
 }  // namespace neocpu
 
 #endif  // NEOCPU_SRC_CORE_COMPILER_H_

@@ -22,6 +22,11 @@ Executor::Executor(const Graph* graph, ThreadEngine* engine) : graph_(graph), en
 }
 
 std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs) const {
+  return Run(inputs, engine_);
+}
+
+std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs,
+                                  ThreadEngine* engine) const {
   NEOCPU_CHECK_EQ(inputs.size(), input_nodes_.size())
       << "graph expects " << input_nodes_.size() << " inputs";
   std::vector<Tensor> values(static_cast<std::size_t>(graph_->num_nodes()));
@@ -29,15 +34,16 @@ std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs) const {
 
   for (std::size_t i = 0; i < input_nodes_.size(); ++i) {
     const Node& node = graph_->node(input_nodes_[i]);
-    NEOCPU_CHECK_EQ(inputs[i].NumElements(),
-                    [&] {
-                      std::int64_t n = 1;
-                      for (std::int64_t d : node.out_dims) {
-                        n *= d;
-                      }
-                      return n;
-                    }())
-        << "input tensor element count mismatch for " << node.name;
+    // Full per-axis shape validation: an element-count check alone would accept a
+    // transposed input of equal size and silently produce wrong numbers.
+    NEOCPU_CHECK_EQ(inputs[i].ndim(), static_cast<int>(node.out_dims.size()))
+        << "input rank mismatch for " << node.name << ": got " << inputs[i].DebugString()
+        << ", graph expects " << node.out_dims.size() << " dims";
+    for (int axis = 0; axis < inputs[i].ndim(); ++axis) {
+      NEOCPU_CHECK_EQ(inputs[i].dim(axis), node.out_dims[static_cast<std::size_t>(axis)])
+          << "input shape mismatch for " << node.name << " at axis " << axis << ": got "
+          << inputs[i].DebugString();
+    }
     values[static_cast<std::size_t>(input_nodes_[i])] = inputs[i];
   }
 
@@ -57,7 +63,7 @@ std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs) const {
           << node.name << ": input " << input << " not materialized";
       node_inputs.push_back(values[static_cast<std::size_t>(input)]);
     }
-    values[static_cast<std::size_t>(id)] = ExecuteNode(node, node_inputs, engine_);
+    values[static_cast<std::size_t>(id)] = ExecuteNode(node, node_inputs, engine);
     // Liveness: release inputs whose last consumer just ran.
     for (int input : node.inputs) {
       if (--remaining[static_cast<std::size_t>(input)] == 0) {
@@ -74,8 +80,10 @@ std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs) const {
   return outputs;
 }
 
-Tensor Executor::Run(const Tensor& input) const {
-  std::vector<Tensor> outputs = Run(std::vector<Tensor>{input});
+Tensor Executor::Run(const Tensor& input) const { return Run(input, engine_); }
+
+Tensor Executor::Run(const Tensor& input, ThreadEngine* engine) const {
+  std::vector<Tensor> outputs = Run(std::vector<Tensor>{input}, engine);
   NEOCPU_CHECK_EQ(outputs.size(), 1u);
   return outputs[0];
 }

@@ -21,11 +21,18 @@ class Executor {
   explicit Executor(const Graph* graph, ThreadEngine* engine = nullptr);
 
   // `inputs` are bound to the graph's kInput nodes in node-id order. Returns the tensors
-  // of the graph's output nodes.
+  // of the graph's output nodes. Run is stateless and const: one executor instance can
+  // serve concurrent Run calls from many threads (the serving executor pool relies on
+  // this to reuse a single executor per compiled model across the whole pool).
   std::vector<Tensor> Run(const std::vector<Tensor>& inputs) const;
+
+  // As above, but runs on `engine` instead of the engine bound at construction. A null
+  // engine runs serially.
+  std::vector<Tensor> Run(const std::vector<Tensor>& inputs, ThreadEngine* engine) const;
 
   // Convenience for single-input single-output graphs.
   Tensor Run(const Tensor& input) const;
+  Tensor Run(const Tensor& input, ThreadEngine* engine) const;
 
  private:
   const Graph* graph_;

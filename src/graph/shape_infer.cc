@@ -108,4 +108,61 @@ void InferShapes(Graph* graph) {
   }
 }
 
+bool RebindBatchDim(Graph* graph, std::int64_t batch) {
+  if (batch < 1) {
+    return false;
+  }
+  std::int64_t old_batch = -1;
+  for (int id = 0; id < graph->num_nodes(); ++id) {
+    const Node& node = graph->node(id);
+    switch (node.type) {
+      case OpType::kInput:
+        if (node.out_dims.empty()) {
+          return false;
+        }
+        if (old_batch < 0) {
+          old_batch = node.out_dims[0];
+        } else if (node.out_dims[0] != old_batch) {
+          return false;
+        }
+        break;
+      case OpType::kMultiboxDetection:
+        return false;  // emits {keep_top_k, 6} regardless of N; cannot batch
+      case OpType::kReshape:
+        // Rebinding scales every tensor's leading dim, so a reshape is only
+        // batch-preserving when its leading target dim IS the batch (then patching it
+        // keeps per-sample rows intact). Anything else would trip shape inference's
+        // element-count check fatally mid-serve; refuse up front instead. Inputs
+        // precede their consumers in topological order, so old_batch is known here.
+        if (node.attrs.reshape_dims.empty() || node.attrs.reshape_dims[0] != old_batch) {
+          return false;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  if (old_batch < 0) {
+    return false;
+  }
+  if (old_batch == batch) {
+    return true;
+  }
+  for (int id = 0; id < graph->num_nodes(); ++id) {
+    Node& node = graph->node(id);
+    if (node.type == OpType::kInput) {
+      node.out_dims[0] = batch;
+    } else if (node.type == OpType::kConv2d) {
+      // The conv kernels size their output and outer loop from the workload descriptor,
+      // not the incoming tensor, so the baked batch must follow the graph's.
+      node.attrs.conv.batch = batch;
+    } else if (node.type == OpType::kReshape && !node.attrs.reshape_dims.empty() &&
+               node.attrs.reshape_dims[0] == old_batch) {
+      node.attrs.reshape_dims[0] = batch;
+    }
+  }
+  InferShapes(graph);
+  return true;
+}
+
 }  // namespace neocpu

@@ -14,6 +14,16 @@ void InferNodeShape(Graph* graph, int id);
 // Infers logical output dims for all nodes. Inputs and constants must already have dims.
 void InferShapes(Graph* graph);
 
+// Rewrites the graph's batch dimension: sets every kInput node's leading dim to `batch`,
+// patches conv workload descriptors and kReshape attributes whose leading dim is the
+// batch, and re-runs shape inference. The transformation is schedule- and
+// layout-preserving — schedules never depend on the batch size — so a compiled graph
+// stays compiled; only the logical dims change. Returns false (graph untouched) when
+// the graph cannot be batch-rebound: no inputs, inconsistent input batch dims, a
+// kReshape whose leading target dim is not the batch, or ops whose semantics bake in
+// the batch size (kMultiboxDetection emits one detection set regardless of N).
+bool RebindBatchDim(Graph* graph, std::int64_t batch);
+
 }  // namespace neocpu
 
 #endif  // NEOCPU_SRC_GRAPH_SHAPE_INFER_H_

@@ -1,10 +1,14 @@
 #include "src/models/model_zoo.h"
 
 #include "src/base/logging.h"
+#include "src/graph/builder.h"
 
 namespace neocpu {
 
 Graph BuildModel(const std::string& name, std::int64_t batch) {
+  if (name == "tiny-cnn") {
+    return BuildTinyCnn(batch);
+  }
   if (name == "resnet18") {
     return BuildResNet(18, batch);
   }
@@ -68,8 +72,30 @@ std::vector<std::int64_t> ModelInputDims(const std::string& name, std::int64_t b
     image = 299;
   } else if (name == "ssd-resnet50") {
     image = 512;
+  } else if (name == "tiny-cnn") {
+    image = 32;
   }
   return {batch, 3, image, image};
+}
+
+Graph BuildTinyCnn(std::int64_t batch, std::int64_t image) {
+  GraphBuilder b("tiny-cnn");
+  int x = b.Input({batch, 3, image, image});
+  x = b.ConvBnRelu(x, 16, 3, 1, 1, "stem");
+  x = b.MaxPool(x, 2, 2, 0);
+  // One basic residual block so the serving tests cover the elementwise-add path.
+  int shortcut = x;
+  int y = b.ConvBnRelu(x, 16, 3, 1, 1, "block.conv1");
+  y = b.Conv(y, 16, 3, 1, 1, false, "block.conv2");
+  y = b.BatchNorm(y);
+  y = b.Add(y, shortcut);
+  y = b.Relu(y);
+  y = b.ConvBnRelu(y, 32, 3, 2, 1, "head.conv");
+  y = b.GlobalAvgPool(y);
+  y = b.Flatten(y);
+  y = b.Dense(y, 10);
+  y = b.Softmax(y);
+  return b.Finish({y});
 }
 
 }  // namespace neocpu

@@ -25,8 +25,14 @@ Graph BuildInceptionV3(std::int64_t batch = 1, std::int64_t image = 299);
 Graph BuildSsdResNet50(std::int64_t batch = 1, std::int64_t image = 512,
                        std::int64_t num_classes = 21);
 
+// A small residual CNN (32x32 input, 10 classes, ~40k parameters) that compiles in
+// milliseconds. Not part of the paper's Table-2 zoo: it exists so the serving tests,
+// demos, and throughput benches can exercise the full compile→serve path with
+// CI-friendly latencies.
+Graph BuildTinyCnn(std::int64_t batch = 1, std::int64_t image = 32);
+
 // By name: "resnet18".."resnet152", "vgg11".."vgg19", "densenet121".."densenet201",
-// "inception-v3", "ssd-resnet50".
+// "inception-v3", "ssd-resnet50", plus the off-zoo "tiny-cnn".
 Graph BuildModel(const std::string& name, std::int64_t batch = 1);
 
 // The 15 names in the paper's Table 2 order.

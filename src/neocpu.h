@@ -26,7 +26,13 @@
 #include "src/graph/graph.h"
 #include "src/models/model_zoo.h"
 #include "src/runtime/omp_pool.h"
+#include "src/runtime/partition.h"
 #include "src/runtime/thread_pool.h"
+#include "src/serve/batch_util.h"
+#include "src/serve/dynamic_batcher.h"
+#include "src/serve/inference_server.h"
+#include "src/serve/model_registry.h"
+#include "src/serve/serving_stats.h"
 #include "src/tensor/layout_transform.h"
 #include "src/tensor/tensor.h"
 #include "src/tuning/global_search.h"

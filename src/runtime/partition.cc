@@ -1,0 +1,49 @@
+#include "src/runtime/partition.h"
+
+#include "src/base/cpu_info.h"
+#include "src/base/logging.h"
+#include "src/runtime/thread_pool.h"
+
+namespace neocpu {
+
+std::vector<CorePartition> PlanCorePartitions(int num_partitions, int total_workers) {
+  int total = total_workers > 0 ? total_workers : HostCpuInfo().physical_cores;
+  if (total < 1) {
+    total = 1;
+  }
+  if (num_partitions < 1) {
+    num_partitions = 1;
+  }
+  if (num_partitions > total) {
+    num_partitions = total;
+  }
+  std::vector<CorePartition> plan;
+  plan.reserve(static_cast<std::size_t>(num_partitions));
+  const int base = total / num_partitions;
+  const int remainder = total % num_partitions;
+  int offset = 0;
+  for (int p = 0; p < num_partitions; ++p) {
+    const int width = base + (p < remainder ? 1 : 0);
+    plan.push_back(CorePartition{offset, width});
+    offset += width;
+  }
+  return plan;
+}
+
+std::vector<std::unique_ptr<ThreadEngine>> MakeEnginePartitions(int num_partitions,
+                                                                int total_workers,
+                                                                bool bind_threads) {
+  std::vector<std::unique_ptr<ThreadEngine>> engines;
+  for (const CorePartition& part : PlanCorePartitions(num_partitions, total_workers)) {
+    if (part.num_workers == 1) {
+      // A single-core slice gains nothing from a pool; run its executor inline.
+      engines.push_back(std::make_unique<SerialEngine>());
+    } else {
+      engines.push_back(
+          std::make_unique<NeoThreadPool>(part.num_workers, bind_threads, part.core_offset));
+    }
+  }
+  return engines;
+}
+
+}  // namespace neocpu

@@ -1,0 +1,42 @@
+// Disjoint core partitions over the custom thread pool.
+//
+// The paper's Figure 4 shows that thread-pool scalability flattens well before the full
+// core count for small inputs: two model instances each on half the cores deliver more
+// aggregate throughput than one instance spanning every core. This module carves the
+// host's cores into N disjoint partitions and hands each one out as an independent
+// ThreadEngine, so N executors can run concurrently without oversubscribing or
+// cross-talking on shared cache lines. The serving executor pool (src/serve/) is the
+// primary consumer.
+#ifndef NEOCPU_SRC_RUNTIME_PARTITION_H_
+#define NEOCPU_SRC_RUNTIME_PARTITION_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/runtime/thread_engine.h"
+
+namespace neocpu {
+
+// One contiguous slice [core_offset, core_offset + num_workers) of the host's cores.
+struct CorePartition {
+  int core_offset = 0;
+  int num_workers = 1;
+};
+
+// Splits `total_workers` cores (<= 0 selects the physical core count) into
+// `num_partitions` contiguous, disjoint slices. Earlier partitions absorb the remainder
+// when the division is uneven. `num_partitions` is clamped to [1, total_workers] so
+// every partition has at least one core.
+std::vector<CorePartition> PlanCorePartitions(int num_partitions, int total_workers = 0);
+
+// Materializes a plan as independent NeoThreadPool engines bound to disjoint cores
+// (best effort; binding failures degrade to unpinned threads). With bind_threads=false
+// the partitions still bound concurrency but float across cores — the right setting for
+// tests and oversubscribed CI hosts.
+std::vector<std::unique_ptr<ThreadEngine>> MakeEnginePartitions(int num_partitions,
+                                                                int total_workers = 0,
+                                                                bool bind_threads = true);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_RUNTIME_PARTITION_H_

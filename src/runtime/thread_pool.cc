@@ -25,14 +25,15 @@ void BindCurrentThreadToCore(int core) {
 
 }  // namespace
 
-NeoThreadPool::NeoThreadPool(int num_workers, bool bind_threads) : bind_threads_(bind_threads) {
+NeoThreadPool::NeoThreadPool(int num_workers, bool bind_threads, int core_offset)
+    : bind_threads_(bind_threads), core_offset_(core_offset) {
   num_workers_ = num_workers > 0 ? num_workers : HostCpuInfo().physical_cores;
   workers_.reserve(static_cast<std::size_t>(num_workers_));
   for (int i = 0; i < num_workers_; ++i) {
     workers_.push_back(std::make_unique<Worker>());
   }
   if (bind_threads_) {
-    BindCurrentThreadToCore(0);
+    BindCurrentThreadToCore(core_offset_);
   }
   for (int i = 1; i < num_workers_; ++i) {
     workers_[static_cast<std::size_t>(i)]->thread = std::thread([this, i] { WorkerLoop(i); });
@@ -53,7 +54,7 @@ void NeoThreadPool::RunTask(const Task& task) { (*task.fn)(task.task_index, task
 
 void NeoThreadPool::WorkerLoop(int worker_index) {
   if (bind_threads_) {
-    BindCurrentThreadToCore(worker_index);
+    BindCurrentThreadToCore(core_offset_ + worker_index);
   }
   auto& queue = workers_[static_cast<std::size_t>(worker_index)]->queue;
   int idle_spins = 0;

@@ -28,7 +28,10 @@ class NeoThreadPool final : public ThreadEngine {
  public:
   // num_workers <= 0 selects the physical core count. Worker 0 is the calling thread
   // (the scheduler participates in the work), so only num_workers-1 threads are spawned.
-  explicit NeoThreadPool(int num_workers = 0, bool bind_threads = true);
+  // `core_offset` shifts the cores workers bind to: worker i binds to core
+  // core_offset + i, which lets several pools coexist on disjoint core partitions (the
+  // serving executor pool; see src/runtime/partition.h).
+  explicit NeoThreadPool(int num_workers = 0, bool bind_threads = true, int core_offset = 0);
   ~NeoThreadPool() override;
 
   NeoThreadPool(const NeoThreadPool&) = delete;
@@ -58,6 +61,7 @@ class NeoThreadPool final : public ThreadEngine {
 
   int num_workers_ = 1;
   bool bind_threads_ = true;
+  int core_offset_ = 0;
   std::vector<std::unique_ptr<Worker>> workers_;
   alignas(kCacheLineBytes) std::atomic<std::uint64_t> pending_{0};
   alignas(kCacheLineBytes) std::atomic<bool> shutdown_{false};

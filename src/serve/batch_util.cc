@@ -1,0 +1,53 @@
+#include "src/serve/batch_util.h"
+
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace neocpu {
+
+Tensor StackBatch(const std::vector<Tensor>& samples) {
+  NEOCPU_CHECK(!samples.empty()) << "StackBatch: no samples";
+  const Tensor& first = samples[0];
+  NEOCPU_CHECK_GE(first.ndim(), 1) << "StackBatch: scalar samples";
+  std::int64_t total_batch = 0;
+  for (const Tensor& s : samples) {
+    NEOCPU_CHECK(s.dims().size() == first.dims().size()) << "StackBatch: rank mismatch";
+    for (int axis = 1; axis < first.ndim(); ++axis) {
+      NEOCPU_CHECK_EQ(s.dim(axis), first.dim(axis))
+          << "StackBatch: sample dims mismatch at axis " << axis;
+    }
+    total_batch += s.dim(0);
+  }
+  std::vector<std::int64_t> out_dims = first.dims();
+  out_dims[0] = total_batch;
+  Tensor out = Tensor::Empty(out_dims, first.layout());
+  float* dst = out.data();
+  for (const Tensor& s : samples) {
+    std::memcpy(dst, s.data(), s.SizeBytes());
+    dst += s.NumElements();
+  }
+  return out;
+}
+
+std::vector<Tensor> SplitBatch(const Tensor& batched, std::int64_t parts) {
+  NEOCPU_CHECK_GE(parts, 1);
+  NEOCPU_CHECK_GE(batched.ndim(), 1) << "SplitBatch: scalar tensor";
+  NEOCPU_CHECK_EQ(batched.dim(0) % parts, 0)
+      << "SplitBatch: leading dim not divisible into " << parts << " parts";
+  std::vector<std::int64_t> part_dims = batched.dims();
+  part_dims[0] = batched.dim(0) / parts;
+  const std::int64_t part_elems = batched.NumElements() / parts;
+  std::vector<Tensor> out;
+  out.reserve(static_cast<std::size_t>(parts));
+  const float* src = batched.data();
+  for (std::int64_t p = 0; p < parts; ++p) {
+    Tensor t = Tensor::Empty(part_dims, batched.layout());
+    std::memcpy(t.data(), src + p * part_elems,
+                static_cast<std::size_t>(part_elems) * sizeof(float));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace neocpu

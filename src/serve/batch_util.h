@@ -1,0 +1,28 @@
+// Tensor stacking/splitting along the batch axis for the dynamic batcher.
+//
+// Requests enter the server as single-sample tensors ({1, C, H, W} for vision models);
+// the batcher merges compatible requests into one {B, C, H, W} tensor, runs the
+// batch-B rebound graph once, and splits the batched output back into per-request
+// tensors. Both directions are plain contiguous copies because the batch axis is never
+// blocked: even in NCHW[x]c layouts the leading physical dimension stays N.
+#ifndef NEOCPU_SRC_SERVE_BATCH_UTIL_H_
+#define NEOCPU_SRC_SERVE_BATCH_UTIL_H_
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+
+// Concatenates `samples` along axis 0. Every sample must share dims (any leading dim,
+// though serving always passes 1) and layout; the result's leading dim is the sum.
+Tensor StackBatch(const std::vector<Tensor>& samples);
+
+// Splits `batched` into `parts` tensors of equal leading dim (batched.dim(0) must be
+// divisible by parts). Each part gets a freshly owned buffer, so a request's result
+// stays valid after the batch tensor is released.
+std::vector<Tensor> SplitBatch(const Tensor& batched, std::int64_t parts);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_SERVE_BATCH_UTIL_H_

@@ -1,0 +1,77 @@
+#include "src/serve/dynamic_batcher.h"
+
+#include <algorithm>
+
+namespace neocpu {
+
+bool DynamicBatcher::Compatible(const ServeRequest& a, const ServeRequest& b) {
+  return a.batchable && b.batchable && a.model == b.model &&
+         a.input.dims() == b.input.dims();
+}
+
+bool DynamicBatcher::Push(ServeRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return false;
+    }
+    queue_.push_back(std::move(request));
+  }
+  // notify_all, not notify_one: a push can both complete one worker's partial batch and
+  // leave an incompatible request for another waiting worker.
+  ready_cv_.notify_all();
+  return true;
+}
+
+bool DynamicBatcher::PopBatch(std::vector<ServeRequest>* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    ready_cv_.wait(lock, [&] { return !queue_.empty() || shutdown_; });
+    if (queue_.empty()) {
+      return false;  // shutdown and drained
+    }
+    // Longest mutually compatible front run, capped at max_batch_size.
+    std::size_t run = 1;
+    const std::size_t cap = static_cast<std::size_t>(std::max<std::int64_t>(
+        1, queue_.front().batchable ? options_.max_batch_size : 1));
+    while (run < cap && run < queue_.size() && Compatible(queue_.front(), queue_[run])) {
+      ++run;
+    }
+    const auto deadline =
+        queue_.front().enqueue_time +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(options_.max_delay_ms));
+    // A run stopped by an incompatible successor can never grow (later arrivals queue
+    // behind it), so holding it for the delay would be pure added latency.
+    const bool blocked = run < queue_.size() && run < cap;
+    const bool flush = run >= cap || blocked || shutdown_ ||
+                       std::chrono::steady_clock::now() >= deadline;
+    if (flush) {
+      out->clear();
+      out->reserve(run);
+      for (std::size_t i = 0; i < run; ++i) {
+        out->push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      return true;
+    }
+    // Partial batch: wait for batch-mates until the front request's deadline. A timeout
+    // flushes whatever run has formed by then.
+    ready_cv_.wait_until(lock, deadline);
+  }
+}
+
+void DynamicBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  ready_cv_.notify_all();
+}
+
+std::size_t DynamicBatcher::PendingCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace neocpu

@@ -1,0 +1,78 @@
+// Dynamic request batching (the IntelCaffe / serving-systems technique).
+//
+// Single-image requests queue up in arrival order; an executor-pool worker pops a
+// *batch*: the longest front run of mutually compatible requests, capped at
+// max_batch_size. A partial batch is held back until the oldest request in it has
+// waited max_delay_ms, trading that bounded extra latency for the throughput of a
+// batched kernel invocation. Requests that cannot batch — a different model, a
+// different input shape, or a model whose graph cannot be batch-rebound — simply form
+// a batch of one (bypass); FIFO order across batches is preserved.
+#ifndef NEOCPU_SRC_SERVE_DYNAMIC_BATCHER_H_
+#define NEOCPU_SRC_SERVE_DYNAMIC_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+
+// One in-flight inference request. Created by InferenceServer::Submit; fulfilled by an
+// executor-pool worker.
+struct ServeRequest {
+  std::string model;
+  Tensor input;  // single-sample tensor, dims {1, ...}
+  std::promise<Tensor> result;
+  bool batchable = true;  // false forces a batch of one
+  std::chrono::steady_clock::time_point enqueue_time;
+};
+
+struct BatchingOptions {
+  std::int64_t max_batch_size = 8;
+  double max_delay_ms = 2.0;  // max time a request may wait for batch-mates
+};
+
+class DynamicBatcher {
+ public:
+  explicit DynamicBatcher(BatchingOptions options) : options_(options) {}
+
+  DynamicBatcher(const DynamicBatcher&) = delete;
+  DynamicBatcher& operator=(const DynamicBatcher&) = delete;
+
+  // Enqueues a request and wakes a waiting worker. Returns false (request untouched
+  // beyond the move) once the batcher is shut down — after shutdown the workers may
+  // already have drained and exited, so accepting the request would strand its promise.
+  bool Push(ServeRequest request);
+
+  // Blocks until a batch is ready and moves it into `out`. A batch is released when it
+  // is full, when its oldest request has waited max_delay_ms, when its front request is
+  // non-batchable (batch of one), or immediately on shutdown (drain). Returns false
+  // only once the batcher is shut down AND the queue is empty.
+  bool PopBatch(std::vector<ServeRequest>* out);
+
+  // Stops accepting delay-based holds; queued requests drain, then PopBatch returns
+  // false. Safe to call more than once.
+  void Shutdown();
+
+  std::size_t PendingCount() const;
+  const BatchingOptions& options() const { return options_; }
+
+ private:
+  static bool Compatible(const ServeRequest& a, const ServeRequest& b);
+
+  BatchingOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;
+  std::deque<ServeRequest> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_SERVE_DYNAMIC_BATCHER_H_

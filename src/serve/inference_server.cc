@@ -1,0 +1,153 @@
+#include "src/serve/inference_server.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/base/cpu_info.h"
+#include "src/base/logging.h"
+#include "src/runtime/thread_pool.h"
+#include "src/serve/batch_util.h"
+
+namespace neocpu {
+
+InferenceServer::InferenceServer(ServerOptions options)
+    : batcher_(options.batching), options_(options) {
+  const int cores = options_.total_workers > 0 ? options_.total_workers
+                                               : HostCpuInfo().physical_cores;
+  num_executors_ = options_.num_executors > 0 ? options_.num_executors
+                                              : (cores >= 2 ? 2 : 1);
+  // Partition the cores across the pool. When the pool is wider than the core count
+  // (useful on small CI hosts), the extra workers run serial executors that timeshare.
+  std::vector<CorePartition> plan = PlanCorePartitions(num_executors_, cores);
+  workers_.reserve(static_cast<std::size_t>(num_executors_));
+  for (int i = 0; i < num_executors_; ++i) {
+    const bool pooled = i < static_cast<int>(plan.size());
+    const CorePartition partition =
+        pooled ? plan[static_cast<std::size_t>(i)] : CorePartition{0, 1};
+    workers_.emplace_back([this, partition, pooled] { WorkerLoop(partition, pooled); });
+  }
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+ModelEntry* InferenceServer::RegisterModel(std::string name, CompiledModel model) {
+  return registry_.Register(std::move(name), std::move(model));
+}
+
+ModelEntry* InferenceServer::RegisterModelFromFile(std::string name,
+                                                   const std::string& path) {
+  return registry_.RegisterFromFile(std::move(name), path);
+}
+
+std::future<Tensor> InferenceServer::Submit(const std::string& model, Tensor input) {
+  NEOCPU_CHECK(!stopped_.load(std::memory_order_acquire))
+      << "Submit after InferenceServer::Shutdown";
+  ModelEntry* entry = registry_.Find(model);
+  NEOCPU_CHECK(entry != nullptr) << "Submit: unregistered model '" << model << "'";
+  const std::vector<std::int64_t>& expect = entry->sample_dims();
+  NEOCPU_CHECK_EQ(input.ndim(), static_cast<int>(expect.size()))
+      << model << ": request rank mismatch, got " << input.DebugString();
+  for (int axis = 0; axis < input.ndim(); ++axis) {
+    NEOCPU_CHECK_EQ(input.dim(axis), expect[static_cast<std::size_t>(axis)])
+        << model << ": request shape mismatch at axis " << axis << ", got "
+        << input.DebugString();
+  }
+
+  ServeRequest request;
+  request.model = model;
+  request.input = std::move(input);
+  request.batchable = entry->batchable();
+  request.enqueue_time = std::chrono::steady_clock::now();
+  std::future<Tensor> future = request.result.get_future();
+  // The push is the authoritative shutdown gate (checked under the batcher's lock):
+  // the stopped_ check above can race a concurrent Shutdown, and a request accepted
+  // after the workers drain would hang its future forever.
+  NEOCPU_CHECK(batcher_.Push(std::move(request)))
+      << "Submit after InferenceServer::Shutdown";
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+void InferenceServer::WorkerLoop(const CorePartition& partition, bool pooled) {
+  // Built in-thread so this thread is worker 0 of its partition, bound to the
+  // partition's first core.
+  std::unique_ptr<ThreadEngine> owned;
+  if (pooled && partition.num_workers > 1) {
+    owned = std::make_unique<NeoThreadPool>(partition.num_workers, options_.bind_threads,
+                                            partition.core_offset);
+  } else {
+    owned = std::make_unique<SerialEngine>();
+  }
+  ThreadEngine* engine = owned.get();
+
+  std::vector<ServeRequest> batch;
+  while (batcher_.PopBatch(&batch)) {
+    ModelEntry* entry = registry_.Find(batch[0].model);
+    NEOCPU_CHECK(entry != nullptr) << "model vanished: " << batch[0].model;
+    const std::int64_t n = static_cast<std::int64_t>(batch.size());
+    std::vector<Tensor> results;
+    results.reserve(batch.size());
+    if (n == 1) {
+      const ModelEntry::Variant& variant = entry->VariantFor(1);
+      results.push_back(variant.executor->Run(batch[0].input, engine));
+    } else {
+      std::vector<Tensor> samples;
+      samples.reserve(batch.size());
+      for (const ServeRequest& r : batch) {
+        samples.push_back(r.input);
+      }
+      const ModelEntry::Variant& variant = entry->VariantFor(n);
+      Tensor stacked = StackBatch(samples);
+      results = SplitBatch(variant.executor->Run(stacked, engine), n);
+    }
+
+    // Stats first, promises last: a client that sees its future ready must also see the
+    // request reflected in Stats().
+    const auto now = std::chrono::steady_clock::now();
+    for (const ServeRequest& r : batch) {
+      latency_.Record(
+          std::chrono::duration<double, std::milli>(now - r.enqueue_time).count());
+    }
+    completed_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+    batch_runs_.fetch_add(1, std::memory_order_relaxed);
+    if (n > 1) {
+      batched_samples_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+    }
+    std::int64_t seen = max_batch_.load(std::memory_order_relaxed);
+    while (n > seen && !max_batch_.compare_exchange_weak(seen, n)) {
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].result.set_value(std::move(results[i]));
+    }
+    batch.clear();
+  }
+}
+
+void InferenceServer::Shutdown() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  batcher_.Shutdown();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+ServerStats InferenceServer::Stats() const {
+  ServerStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.batch_runs = batch_runs_.load(std::memory_order_relaxed);
+  stats.batched_samples = batched_samples_.load(std::memory_order_relaxed);
+  stats.max_batch_size = max_batch_.load(std::memory_order_relaxed);
+  stats.mean_batch_size = stats.batch_runs == 0
+                              ? 0.0
+                              : static_cast<double>(stats.completed) /
+                                    static_cast<double>(stats.batch_runs);
+  stats.latency = latency_.Snapshot();
+  return stats;
+}
+
+}  // namespace neocpu

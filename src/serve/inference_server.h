@@ -1,0 +1,91 @@
+// Concurrent inference serving on top of the compiled graph.
+//
+//                    ┌──────────────┐   batches   ┌────────────────────────────┐
+//   Submit() ──────▶ │ DynamicBatch │ ──────────▶ │ executor pool: N workers,  │
+//   (any thread)     │   er (FIFO)  │             │ each on a disjoint core    │
+//   future<Tensor> ◀─┴──────────────┘             │ partition of the host      │
+//                                                 └────────────────────────────┘
+//
+// The executor pool realizes the paper's Figure-4 observation: thread-pool scalability
+// flattens well before the full core count for batch-1 CNN inference, so two executors
+// on half the cores each serve more traffic than one executor spanning all cores. Each
+// pool worker constructs its ThreadEngine *inside* its own thread, so the worker thread
+// itself becomes worker 0 of its partition's fork-join pool, pinned to the partition's
+// first core.
+//
+// Submit is thread-safe and non-blocking (the request queue is unbounded); results
+// arrive through std::future. Per-request latency (submit → result) and batching
+// counters are available from Stats().
+#ifndef NEOCPU_SRC_SERVE_INFERENCE_SERVER_H_
+#define NEOCPU_SRC_SERVE_INFERENCE_SERVER_H_
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/partition.h"
+#include "src/serve/dynamic_batcher.h"
+#include "src/serve/model_registry.h"
+#include "src/serve/serving_stats.h"
+
+namespace neocpu {
+
+struct ServerOptions {
+  // Executor-pool width. <= 0 selects two executors when the host has at least two
+  // cores (the paper's sweet spot for small-input traffic), else one.
+  int num_executors = 0;
+  // Cores split across the pool; <= 0 selects the physical core count.
+  int total_workers = 0;
+  // Pin pool threads to their partition's cores. Disable on oversubscribed hosts/CI.
+  bool bind_threads = true;
+  BatchingOptions batching;
+};
+
+class InferenceServer {
+ public:
+  explicit InferenceServer(ServerOptions options = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  ModelRegistry& registry() { return registry_; }
+  // Convenience wrappers around registry().
+  ModelEntry* RegisterModel(std::string name, CompiledModel model);
+  ModelEntry* RegisterModelFromFile(std::string name, const std::string& path);
+
+  // Enqueues one single-sample request against a registered model and returns the
+  // future holding its output tensor. The input's dims must match the model's
+  // sample_dims() exactly (leading dim 1); violations die with the mismatching axis.
+  std::future<Tensor> Submit(const std::string& model, Tensor input);
+
+  // Stops accepting requests, drains everything queued, joins the pool. Idempotent;
+  // also run by the destructor.
+  void Shutdown();
+
+  ServerStats Stats() const;
+  int num_executors() const { return num_executors_; }
+
+ private:
+  void WorkerLoop(const CorePartition& partition, bool pooled);
+
+  ModelRegistry registry_;
+  DynamicBatcher batcher_;
+  ServerOptions options_;
+  int num_executors_ = 1;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stopped_{false};
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> batch_runs_{0};
+  std::atomic<std::uint64_t> batched_samples_{0};
+  std::atomic<std::int64_t> max_batch_{0};
+  LatencyRecorder latency_;
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_SERVE_INFERENCE_SERVER_H_

@@ -1,0 +1,99 @@
+#include "src/serve/model_registry.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/core/serialization.h"
+
+namespace neocpu {
+
+ModelEntry::ModelEntry(std::string name, CompiledModel model) : name_(std::move(name)) {
+  const Graph& g = model.graph();
+  int num_inputs = 0;
+  for (int id = 0; id < g.num_nodes(); ++id) {
+    if (g.node(id).type == OpType::kInput) {
+      ++num_inputs;
+      sample_dims_ = g.node(id).out_dims;
+    }
+  }
+  NEOCPU_CHECK_EQ(num_inputs, 1) << name_ << ": serving requires single-input models";
+  NEOCPU_CHECK_EQ(g.outputs().size(), 1u)
+      << name_ << ": serving requires single-output models";
+  NEOCPU_CHECK(!sample_dims_.empty()) << name_ << ": input has no dims";
+
+  // Normalize the base variant to batch 1 (the per-request granularity). A model
+  // registered at batch 1 whose graph refuses rebinding is still servable, just never
+  // batched.
+  CompiledModel base;
+  if (RebindBatch(model, 1, &base)) {
+    batchable_ = true;
+  } else {
+    NEOCPU_CHECK_EQ(sample_dims_[0], 1)
+        << name_ << ": graph is not batch-rebindable and was registered at batch "
+        << sample_dims_[0];
+    base = std::move(model);
+    batchable_ = false;
+  }
+  sample_dims_[0] = 1;
+
+  Variant v;
+  v.model = std::make_unique<CompiledModel>(std::move(base));
+  v.executor = std::make_unique<Executor>(&v.model->graph());
+  variants_.emplace(1, std::move(v));
+}
+
+const ModelEntry::Variant& ModelEntry::VariantFor(std::int64_t batch) {
+  NEOCPU_CHECK_GE(batch, 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = variants_.find(batch);
+  if (it != variants_.end()) {
+    return it->second;
+  }
+  NEOCPU_CHECK(batchable_) << name_ << ": batch " << batch << " on a non-batchable model";
+  CompiledModel rebound;
+  NEOCPU_CHECK(RebindBatch(*variants_.at(1).model, batch, &rebound))
+      << name_ << ": rebind to batch " << batch << " failed";
+  Variant v;
+  v.model = std::make_unique<CompiledModel>(std::move(rebound));
+  v.executor = std::make_unique<Executor>(&v.model->graph());
+  return variants_.emplace(batch, std::move(v)).first->second;
+}
+
+ModelEntry* ModelRegistry::Register(std::string name, CompiledModel model) {
+  auto entry = std::make_unique<ModelEntry>(name, std::move(model));
+  ModelEntry* raw = entry.get();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<ModelEntry>& slot = entries_[std::move(name)];
+  if (slot != nullptr) {
+    retired_.push_back(std::move(slot));  // may still be referenced by in-flight work
+  }
+  slot = std::move(entry);
+  return raw;
+}
+
+ModelEntry* ModelRegistry::RegisterFromFile(std::string name, const std::string& path) {
+  CompiledModel model;
+  if (!LoadModule(path, &model)) {
+    LOG(ERROR) << "failed to load module '" << path << "' for model '" << name << "'";
+    return nullptr;
+  }
+  return Register(std::move(name), std::move(model));
+}
+
+ModelEntry* ModelRegistry::Find(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ModelRegistry::ModelNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace neocpu

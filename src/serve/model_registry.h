@@ -1,0 +1,85 @@
+// Compiled-model registry for the inference server.
+//
+// Each entry owns a compiled model plus lazily materialized batch-size variants. A
+// variant is NOT a recompilation: RebindBatch reuses the optimized structure, chosen
+// schedules, and pre-transformed weight payloads, so materializing the batch-8 variant
+// of a model costs microseconds and a few hundred node headers. Every variant carries
+// one long-lived Executor shared by the whole executor pool (Executor::Run is const and
+// stateless; workers pass their own ThreadEngine per call).
+//
+// Warm start: RegisterFromFile loads a module produced by SaveModule
+// (core/serialization), so a server restart skips compilation and tuning entirely.
+#ifndef NEOCPU_SRC_SERVE_MODEL_REGISTRY_H_
+#define NEOCPU_SRC_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/core/executor.h"
+
+namespace neocpu {
+
+class ModelEntry {
+ public:
+  // `model` must be single-input single-output (the serving batcher merges along the
+  // one input). Checked fatally.
+  ModelEntry(std::string name, CompiledModel model);
+
+  const std::string& name() const { return name_; }
+  // Per-request input dims: the registered graph's input dims with leading dim 1.
+  const std::vector<std::int64_t>& sample_dims() const { return sample_dims_; }
+  // False when the graph cannot be batch-rebound (e.g. SSD's detection head); such
+  // models always run one request at a time.
+  bool batchable() const { return batchable_; }
+
+  struct Variant {
+    std::unique_ptr<CompiledModel> model;
+    std::unique_ptr<Executor> executor;  // engine-less; pass one per Run call
+  };
+
+  // Returns the variant executing at batch size `batch`, materializing and caching it
+  // on first use. Thread-safe. Dies if batch > 1 on a non-batchable model.
+  const Variant& VariantFor(std::int64_t batch);
+
+ private:
+  std::string name_;
+  std::vector<std::int64_t> sample_dims_;
+  bool batchable_ = false;
+
+  std::mutex mutex_;
+  std::map<std::int64_t, Variant> variants_;
+};
+
+class ModelRegistry {
+ public:
+  // Registers under `name`; replaces any existing entry with that name. Returns the
+  // entry (stable address for the registry's lifetime).
+  ModelEntry* Register(std::string name, CompiledModel model);
+
+  // Warm start from a serialized module (SaveModule artifact). Returns nullptr on I/O
+  // failure.
+  ModelEntry* RegisterFromFile(std::string name, const std::string& path);
+
+  // Nullptr when unknown.
+  ModelEntry* Find(const std::string& name);
+
+  std::vector<std::string> ModelNames() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<ModelEntry>> entries_;
+  // Entries displaced by a same-name Register. Kept alive for the registry's lifetime:
+  // in-flight requests (and pool workers mid-batch) hold raw ModelEntry pointers, so
+  // destroying a displaced entry eagerly would be a use-after-free. Re-registration is
+  // rare (model rollout), so the leak-until-shutdown is bounded and deliberate.
+  std::vector<std::unique_ptr<ModelEntry>> retired_;
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_SERVE_MODEL_REGISTRY_H_

@@ -1,0 +1,76 @@
+#include "src/serve/serving_stats.h"
+
+#include <algorithm>
+
+#include "src/base/string_util.h"
+
+namespace neocpu {
+namespace {
+
+// Nearest-rank percentile over a sorted sample vector.
+double Percentile(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size());
+  std::size_t index = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank + 0.5) - 1;
+  index = std::min(index, sorted.size() - 1);
+  return sorted[index];
+}
+
+}  // namespace
+
+void LatencyRecorder::Record(double millis) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++count_;
+  if (samples_.size() < kMaxSamples) {
+    samples_.push_back(millis);
+    return;
+  }
+  // Classic reservoir step: sample i (1-based) replaces a random slot with probability
+  // kMaxSamples / i, keeping the reservoir a uniform sample of the whole stream.
+  std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  const std::uint64_t slot = (z ^ (z >> 31)) % count_;
+  if (slot < kMaxSamples) {
+    samples_[static_cast<std::size_t>(slot)] = millis;
+  }
+}
+
+LatencySnapshot LatencyRecorder::Snapshot() const {
+  std::vector<double> samples;
+  std::uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples = samples_;
+    total = count_;
+  }
+  LatencySnapshot snap;
+  snap.count = static_cast<std::size_t>(total);
+  if (samples.empty()) {
+    return snap;
+  }
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double s : samples) {
+    sum += s;
+  }
+  snap.mean_ms = sum / static_cast<double>(samples.size());
+  snap.p50_ms = Percentile(samples, 50.0);
+  snap.p99_ms = Percentile(samples, 99.0);
+  snap.max_ms = samples.back();
+  return snap;
+}
+
+std::string ServerStats::ToString() const {
+  return StrFormat(
+      "submitted=%llu completed=%llu batch_runs=%llu mean_batch=%.2f max_batch=%lld "
+      "latency{p50=%.3fms p99=%.3fms mean=%.3fms}",
+      static_cast<unsigned long long>(submitted), static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(batch_runs), mean_batch_size,
+      static_cast<long long>(max_batch_size), latency.p50_ms, latency.p99_ms,
+      latency.mean_ms);
+}
+
+}  // namespace neocpu

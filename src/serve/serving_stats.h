@@ -1,0 +1,57 @@
+// Serving-side observability: per-request latency distribution and batching counters.
+//
+// The recorder keeps every sample (serving tests and benches run bounded request
+// counts); Snapshot() computes nearest-rank percentiles on demand. All entry points are
+// thread-safe — executor-pool workers record concurrently.
+#ifndef NEOCPU_SRC_SERVE_SERVING_STATS_H_
+#define NEOCPU_SRC_SERVE_SERVING_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace neocpu {
+
+struct LatencySnapshot {
+  std::size_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+// Bounded memory: once kMaxSamples is reached, reservoir sampling keeps a uniform
+// subset of the full stream, so percentiles stay representative in a server that runs
+// for days while memory stays flat. `count` still reports every recorded request.
+class LatencyRecorder {
+ public:
+  static constexpr std::size_t kMaxSamples = 1 << 16;
+
+  void Record(double millis);
+  LatencySnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+  std::uint64_t count_ = 0;   // total recorded, including displaced samples
+  std::uint64_t rng_state_ = 0x243f6a8885a308d3ull;  // splitmix64 state for the reservoir
+};
+
+// Aggregate serving counters plus the request-latency distribution (submit → result).
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t batch_runs = 0;      // executor invocations (one per formed batch)
+  std::uint64_t batched_samples = 0; // completed requests that shared a multi-request batch
+  double mean_batch_size = 0.0;
+  std::int64_t max_batch_size = 0;
+  LatencySnapshot latency;
+
+  std::string ToString() const;
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_SERVE_SERVING_STATS_H_

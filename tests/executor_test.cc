@@ -62,6 +62,28 @@ TEST(Executor, RejectsWrongInputShape) {
   EXPECT_DEATH(ex.Run(bad), "mismatch");
 }
 
+TEST(Executor, RejectsTransposedInputOfEqualSize) {
+  // Same element count, permuted axes: an element-count-only check would accept this
+  // silently; the executor must name the first mismatching axis.
+  GraphBuilder b("transposed");
+  int in = b.Input({1, 4, 6, 6});
+  Graph g = b.Finish({b.Relu(in)});
+  Rng rng(9);
+  Tensor transposed = Tensor::Random({1, 6, 4, 6}, rng, -1, 1, Layout::NCHW());
+  Executor ex(&g);
+  EXPECT_DEATH(ex.Run(transposed), "axis 1");
+}
+
+TEST(Executor, RejectsWrongRankInput) {
+  GraphBuilder b("rank");
+  int in = b.Input({1, 2, 4, 4});
+  Graph g = b.Finish({b.Relu(in)});
+  Rng rng(10);
+  Tensor flat = Tensor::Random({1, 32}, rng, -1, 1);
+  Executor ex(&g);
+  EXPECT_DEATH(ex.Run(flat), "rank mismatch");
+}
+
 TEST(Executor, DropoutIsIdentity) {
   GraphBuilder b("drop");
   int in = b.Input({1, 2, 2, 2});

@@ -1,0 +1,344 @@
+// Serving-subsystem tests: batch stacking/splitting, core partition planning, the
+// dynamic batcher's flush rules, compiled-model batch rebinding, and the end-to-end
+// concurrent server (many client threads, results bit-identical to serial execution).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "src/base/rng.h"
+#include "src/base/timer.h"
+#include "src/core/serialization.h"
+#include "src/models/model_zoo.h"
+#include "src/neocpu.h"
+
+namespace neocpu {
+namespace {
+
+Tensor SampleInput(std::uint64_t seed, std::vector<std::int64_t> dims = {1, 3, 32, 32}) {
+  Rng rng(seed);
+  return Tensor::Random(std::move(dims), rng, 0.0f, 1.0f, Layout::NCHW());
+}
+
+ServeRequest MakeRequest(const std::string& model, Tensor input, bool batchable = true) {
+  ServeRequest r;
+  r.model = model;
+  r.input = std::move(input);
+  r.batchable = batchable;
+  r.enqueue_time = std::chrono::steady_clock::now();
+  return r;
+}
+
+TEST(BatchUtil, StackSplitRoundTrip) {
+  std::vector<Tensor> samples;
+  for (int i = 0; i < 3; ++i) {
+    samples.push_back(SampleInput(static_cast<std::uint64_t>(i), {1, 2, 4, 4}));
+  }
+  Tensor stacked = StackBatch(samples);
+  EXPECT_EQ(stacked.dims(), (std::vector<std::int64_t>{3, 2, 4, 4}));
+  std::vector<Tensor> parts = SplitBatch(stacked, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(parts[static_cast<std::size_t>(i)].dims(),
+              (std::vector<std::int64_t>{1, 2, 4, 4}));
+    EXPECT_EQ(Tensor::MaxAbsDiff(parts[static_cast<std::size_t>(i)],
+                                 samples[static_cast<std::size_t>(i)]),
+              0.0);
+  }
+}
+
+TEST(BatchUtil, StackRejectsMismatchedSampleDims) {
+  std::vector<Tensor> samples;
+  samples.push_back(SampleInput(1, {1, 2, 4, 4}));
+  samples.push_back(SampleInput(2, {1, 2, 4, 5}));
+  EXPECT_DEATH(StackBatch(samples), "mismatch");
+}
+
+TEST(Partition, PlanSplitsCoresDisjointly) {
+  const std::vector<CorePartition> plan = PlanCorePartitions(3, 8);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].core_offset, 0);
+  EXPECT_EQ(plan[0].num_workers, 3);
+  EXPECT_EQ(plan[1].core_offset, 3);
+  EXPECT_EQ(plan[1].num_workers, 3);
+  EXPECT_EQ(plan[2].core_offset, 6);
+  EXPECT_EQ(plan[2].num_workers, 2);
+}
+
+TEST(Partition, PlanClampsToCoreCount) {
+  const std::vector<CorePartition> plan = PlanCorePartitions(4, 2);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].num_workers, 1);
+  EXPECT_EQ(plan[1].core_offset, 1);
+}
+
+TEST(Partition, MakeEnginePartitionsBoundsWorkers) {
+  auto engines = MakeEnginePartitions(2, 4, /*bind_threads=*/false);
+  ASSERT_EQ(engines.size(), 2u);
+  EXPECT_EQ(engines[0]->NumWorkers(), 2);
+  EXPECT_EQ(engines[1]->NumWorkers(), 2);
+}
+
+TEST(DynamicBatcher, FullBatchFlushesWithoutDelay) {
+  DynamicBatcher batcher({/*max_batch_size=*/3, /*max_delay_ms=*/60000.0});
+  for (int i = 0; i < 3; ++i) {
+    batcher.Push(MakeRequest("m", SampleInput(static_cast<std::uint64_t>(i))));
+  }
+  std::vector<ServeRequest> batch;
+  ASSERT_TRUE(batcher.PopBatch(&batch));  // would block for a minute if delay applied
+  EXPECT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batcher.PendingCount(), 0u);
+}
+
+TEST(DynamicBatcher, MaxDelayFlushesPartialBatch) {
+  const double delay_ms = 50.0;
+  DynamicBatcher batcher({/*max_batch_size=*/8, delay_ms});
+  batcher.Push(MakeRequest("m", SampleInput(1)));
+  Timer timer;
+  std::vector<ServeRequest> batch;
+  ASSERT_TRUE(batcher.PopBatch(&batch));
+  EXPECT_EQ(batch.size(), 1u);
+  // The single request cannot flush before its deadline.
+  EXPECT_GE(timer.Millis(), delay_ms * 0.8);
+}
+
+TEST(DynamicBatcher, IncompatibleShapeBypassesImmediately) {
+  DynamicBatcher batcher({/*max_batch_size=*/8, /*max_delay_ms=*/60000.0});
+  batcher.Push(MakeRequest("m", SampleInput(1, {1, 3, 32, 32})));
+  batcher.Push(MakeRequest("m", SampleInput(2, {1, 3, 24, 24})));
+  std::vector<ServeRequest> batch;
+  // The front run is blocked by the incompatible successor, so it flushes immediately
+  // as a singleton despite the minute-long delay budget; FIFO order is preserved. The
+  // remaining request then waits for mates of its own shape (it flushes on shutdown).
+  ASSERT_TRUE(batcher.PopBatch(&batch));
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].input.dim(2), 32);
+  EXPECT_EQ(batcher.PendingCount(), 1u);
+  batcher.Shutdown();
+  ASSERT_TRUE(batcher.PopBatch(&batch));
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].input.dim(2), 24);
+}
+
+TEST(DynamicBatcher, NonBatchableRequestsRunAlone) {
+  DynamicBatcher batcher({/*max_batch_size=*/8, /*max_delay_ms=*/60000.0});
+  batcher.Push(MakeRequest("m", SampleInput(1), /*batchable=*/false));
+  batcher.Push(MakeRequest("m", SampleInput(2), /*batchable=*/false));
+  std::vector<ServeRequest> batch;
+  ASSERT_TRUE(batcher.PopBatch(&batch));
+  EXPECT_EQ(batch.size(), 1u);
+  ASSERT_TRUE(batcher.PopBatch(&batch));
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(DynamicBatcher, ShutdownFlushesAndDrains) {
+  DynamicBatcher batcher({/*max_batch_size=*/8, /*max_delay_ms=*/60000.0});
+  batcher.Push(MakeRequest("m", SampleInput(1)));
+  batcher.Push(MakeRequest("m", SampleInput(2)));
+  batcher.Shutdown();
+  std::vector<ServeRequest> batch;
+  ASSERT_TRUE(batcher.PopBatch(&batch));
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_FALSE(batcher.PopBatch(&batch));
+}
+
+TEST(RebindBatch, BatchedRunMatchesSerialRuns) {
+  CompiledModel compiled = Compile(BuildTinyCnn());
+  CompiledModel batched;
+  ASSERT_TRUE(RebindBatch(compiled, 3, &batched));
+  EXPECT_EQ(batched.graph().node(0).out_dims[0], 3);
+
+  std::vector<Tensor> samples;
+  std::vector<Tensor> expected;
+  for (int i = 0; i < 3; ++i) {
+    samples.push_back(SampleInput(100 + static_cast<std::uint64_t>(i)));
+    expected.push_back(compiled.Run(samples.back()));
+  }
+  Tensor out = batched.Run(StackBatch(samples));
+  std::vector<Tensor> parts = SplitBatch(out, 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(Tensor::MaxAbsDiff(parts[static_cast<std::size_t>(i)],
+                                 expected[static_cast<std::size_t>(i)]),
+              0.0)
+        << "sample " << i;
+  }
+}
+
+TEST(RebindBatch, RejectsInvalidBatch) {
+  CompiledModel compiled = Compile(BuildTinyCnn());
+  CompiledModel out;
+  EXPECT_FALSE(RebindBatch(compiled, 0, &out));
+}
+
+TEST(ModelRegistry, WarmStartFromSerializedModule) {
+  CompiledModel compiled = Compile(BuildTinyCnn());
+  const std::string path = ::testing::TempDir() + "/tiny_cnn_serve.neoc";
+  ASSERT_TRUE(SaveModule(compiled, path));
+
+  ModelRegistry registry;
+  ModelEntry* entry = registry.RegisterFromFile("tiny", path);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->batchable());
+  EXPECT_EQ(entry->sample_dims(), (std::vector<std::int64_t>{1, 3, 32, 32}));
+
+  Tensor input = SampleInput(7);
+  Tensor expected = compiled.Run(input);
+  Tensor served = entry->VariantFor(1).executor->Run(input, nullptr);
+  EXPECT_EQ(Tensor::MaxAbsDiff(served, expected), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(RebindBatch, RefusesNonBatchReshape) {
+  // A reshape whose leading target dim is NOT the batch cannot be batch-rebound; the
+  // registry must mark such a model non-batchable instead of crashing mid-serve when
+  // the first multi-request batch forms.
+  GraphBuilder b("odd_reshape");
+  int in = b.Input({1, 3, 4, 4});
+  int r = b.Reshape(in, {3, 16});
+  Graph g = b.Finish({b.Softmax(r)});
+  CompiledModel compiled = Compile(g);
+
+  CompiledModel out;
+  EXPECT_FALSE(RebindBatch(compiled, 2, &out));
+
+  ModelRegistry registry;
+  ModelEntry* entry = registry.Register("odd", std::move(compiled));
+  EXPECT_FALSE(entry->batchable());
+}
+
+TEST(ServingStats, ReservoirKeepsCountAndBoundsMemory) {
+  LatencyRecorder recorder;
+  const std::size_t total = LatencyRecorder::kMaxSamples + 5000;
+  for (std::size_t i = 0; i < total; ++i) {
+    recorder.Record(1.0);
+  }
+  const LatencySnapshot snap = recorder.Snapshot();
+  EXPECT_EQ(snap.count, total);  // every request counted, even displaced ones
+  EXPECT_EQ(snap.p50_ms, 1.0);
+  EXPECT_EQ(snap.p99_ms, 1.0);
+  EXPECT_EQ(snap.max_ms, 1.0);
+}
+
+TEST(ModelRegistry, MissingFileReturnsNull) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.RegisterFromFile("nope", "/nonexistent/path.neoc"), nullptr);
+}
+
+// The acceptance-criteria test: many client threads submit concurrently; every result
+// must be bit-identical to a serial Executor::Run of the same input.
+TEST(InferenceServer, ConcurrentSubmitsMatchSerialExactly) {
+  CompiledModel compiled = Compile(BuildTinyCnn());
+
+  constexpr int kClients = 5;
+  constexpr int kRequestsPerClient = 6;
+  std::vector<std::vector<Tensor>> inputs(kClients);
+  std::vector<std::vector<Tensor>> expected(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (int r = 0; r < kRequestsPerClient; ++r) {
+      inputs[static_cast<std::size_t>(c)].push_back(
+          SampleInput(static_cast<std::uint64_t>(1000 + c * 100 + r)));
+      expected[static_cast<std::size_t>(c)].push_back(
+          compiled.Run(inputs[static_cast<std::size_t>(c)].back()));
+    }
+  }
+
+  ServerOptions options;
+  options.num_executors = 3;
+  options.bind_threads = false;  // CI hosts are often core-restricted
+  options.batching.max_batch_size = 4;
+  options.batching.max_delay_ms = 2.0;
+  InferenceServer server(options);
+  server.RegisterModel("tiny", std::move(compiled));
+
+  std::vector<std::vector<std::future<Tensor>>> futures(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        futures[static_cast<std::size_t>(c)].push_back(server.Submit(
+            "tiny", inputs[static_cast<std::size_t>(c)][static_cast<std::size_t>(r)]));
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    for (int r = 0; r < kRequestsPerClient; ++r) {
+      Tensor got = futures[static_cast<std::size_t>(c)][static_cast<std::size_t>(r)].get();
+      EXPECT_EQ(Tensor::MaxAbsDiff(
+                    got, expected[static_cast<std::size_t>(c)][static_cast<std::size_t>(r)]),
+                0.0)
+          << "client " << c << " request " << r;
+    }
+  }
+
+  const ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.latency.count, static_cast<std::size_t>(kClients * kRequestsPerClient));
+  EXPECT_GE(stats.batch_runs, 1u);
+  EXPECT_LE(stats.max_batch_size, 4);
+}
+
+TEST(InferenceServer, ServesMultipleModelsConcurrently) {
+  CompiledModel model_a = Compile(BuildTinyCnn(1, 32));
+  CompiledModel model_b = Compile(BuildTinyCnn(1, 24));
+  Tensor input_a = SampleInput(11, {1, 3, 32, 32});
+  Tensor input_b = SampleInput(12, {1, 3, 24, 24});
+  Tensor expected_a = model_a.Run(input_a);
+  Tensor expected_b = model_b.Run(input_b);
+
+  ServerOptions options;
+  options.num_executors = 2;
+  options.bind_threads = false;
+  options.batching.max_delay_ms = 1.0;
+  InferenceServer server(options);
+  server.RegisterModel("a", std::move(model_a));
+  server.RegisterModel("b", std::move(model_b));
+
+  std::vector<std::future<Tensor>> futures_a;
+  std::vector<std::future<Tensor>> futures_b;
+  for (int i = 0; i < 4; ++i) {
+    futures_a.push_back(server.Submit("a", input_a));
+    futures_b.push_back(server.Submit("b", input_b));
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(Tensor::MaxAbsDiff(futures_a[static_cast<std::size_t>(i)].get(), expected_a),
+              0.0);
+    EXPECT_EQ(Tensor::MaxAbsDiff(futures_b[static_cast<std::size_t>(i)].get(), expected_b),
+              0.0);
+  }
+}
+
+TEST(InferenceServer, RejectsWrongShapeAndUnknownModel) {
+  ServerOptions options;
+  options.num_executors = 1;
+  options.bind_threads = false;
+  InferenceServer server(options);
+  server.RegisterModel("tiny", Compile(BuildTinyCnn()));
+  EXPECT_DEATH(server.Submit("tiny", SampleInput(1, {1, 3, 24, 24})), "axis");
+  EXPECT_DEATH(server.Submit("absent", SampleInput(1)), "unregistered");
+}
+
+TEST(InferenceServer, ShutdownDrainsPendingRequests) {
+  ServerOptions options;
+  options.num_executors = 2;
+  options.bind_threads = false;
+  options.batching.max_delay_ms = 200.0;  // requests would otherwise wait for mates
+  InferenceServer server(options);
+  server.RegisterModel("tiny", Compile(BuildTinyCnn()));
+  Tensor input = SampleInput(21);
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(server.Submit("tiny", input));
+  }
+  server.Shutdown();  // must flush the delay-held batch, not strand it
+  for (std::future<Tensor>& f : futures) {
+    EXPECT_TRUE(f.get().defined());
+  }
+  EXPECT_EQ(server.Stats().completed, 3u);
+}
+
+}  // namespace
+}  // namespace neocpu
