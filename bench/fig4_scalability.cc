@@ -120,7 +120,7 @@ int Main() {
       {"inception-v3", "neon", 16},
   };
   const int host_cores = HostCpuInfo().physical_cores;
-  TuningDatabase db;
+  auto tuning_cache = std::make_shared<TuningCache>();
 
   const double spsc_ms = MeasureSpscHandoffMs();
   const double wake_ms = MeasureCondvarWakeMs();
@@ -149,7 +149,7 @@ int Main() {
     CompileOptions def = FrameworkDefaultOptions(target);
     for (CompileOptions* o : {&neo, &lib, &def}) {
       o->cost_mode = BenchCostMode();
-      o->tuning_db = &db;
+      o->tuning_cache = tuning_cache;
     }
     const Config configs[] = {
         {"neocpu w/ thread pool", neo, true},

@@ -21,17 +21,17 @@ int Main() {
   std::printf("%-14s %6s %8s %8s | %10s %12s | %10s %12s | %8s %6s\n", "model", "convs",
               "options", "edges", "dp_sec", "dp_cost", "pbqp_sec", "pbqp_cost", "quality",
               "policy");
-  TuningDatabase db;
+  TuningCache cache;
   const Target target = Target::Host();
 
   for (const std::string& name : BenchModels()) {
     Graph model = BuildModel(name);
     Graph g = FuseOps(SimplifyInference(model));
-    std::map<int, LocalSearchResult> locals;
+    LocalSearchMap locals;
     for (int i = 0; i < g.num_nodes(); ++i) {
       if (g.node(i).IsConv()) {
-        locals[i] = LocalSearchConv(g.node(i).attrs.conv, target, BenchCostMode(),
-                                    /*quick_space=*/false, nullptr, &db);
+        locals[i] = LocalSearchConvShared(g.node(i).attrs.conv, target, BenchCostMode(),
+                                          /*quick_space=*/false, nullptr, &cache);
       }
     }
     GlobalProblem problem = ExtractGlobalProblem(g, locals);

@@ -11,7 +11,14 @@
 //   NEOCPU_SERVE_MODEL     model to serve                     (default tiny-cnn)
 //   NEOCPU_SERVE_REQUESTS  requests per configuration         (default 64)
 //   NEOCPU_SERVE_CLIENTS   client threads generating traffic  (default 8)
+//   NEOCPU_BENCH_JSON      machine-readable output path       (default BENCH_serve.json)
+//
+// Besides the human-readable table, every run writes the full sweep as JSON (one record
+// per configuration: throughput, p50/p99/mean latency, batching counters, background
+// re-tunes and the tuning-cache hit rate) so CI can track the perf trajectory across
+// PRs.
 #include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -24,6 +31,11 @@ struct ConfigResult {
   std::int64_t max_batch = 0;
   double throughput_rps = 0.0;
   ServerStats stats;
+  // Cache traffic attributable to THIS configuration (a before/after delta). The swept
+  // servers share one TuningCache (every registered model is a copy of the same
+  // compile), so the ServerStats counters are cumulative across the sweep; deltas are
+  // what a cross-PR trend can compare.
+  TuningCacheStats cache_delta;
 };
 
 ConfigResult RunConfig(const CompiledModel& model, const std::string& model_name,
@@ -34,13 +46,22 @@ ConfigResult RunConfig(const CompiledModel& model, const std::string& model_name
   options.batching.max_batch_size = max_batch;
   options.batching.max_delay_ms = 2.0;
   InferenceServer server(options);
-  server.RegisterModel(model_name, model);
+  ModelEntry* entry = server.RegisterModel(model_name, model);
+  const std::shared_ptr<TuningCache> cache = model.tuning();
+  const TuningCacheStats cache_before = cache != nullptr ? cache->Stats() : TuningCacheStats{};
 
   Rng rng(99);
   Tensor input = Tensor::Random(ModelInputDims(model_name), rng, 0.0f, 1.0f, Layout::NCHW());
 
-  // Warm-up: materializes batch variants and faults in weights.
+  // Warm-up: fault in weights, materialize the dominant batch variant, and let its
+  // background re-tune land, so the timed section measures the per-batch-tuned steady
+  // state rather than racing a re-tune. (Partial batches below max_batch can still
+  // materialize mid-run; they are stragglers, not the steady state.)
   server.Submit(model_name, input).wait();
+  if (entry->batchable() && max_batch > 1) {
+    entry->VariantFor(max_batch);
+  }
+  server.WaitForRetunes();
 
   std::vector<std::thread> clients;
   std::vector<std::vector<std::future<Tensor>>> futures(
@@ -69,6 +90,11 @@ ConfigResult RunConfig(const CompiledModel& model, const std::string& model_name
   result.max_batch = max_batch;
   result.throughput_rps = static_cast<double>(num_requests) / seconds;
   result.stats = server.Stats();
+  if (cache != nullptr) {
+    const TuningCacheStats cache_after = cache->Stats();
+    result.cache_delta.hits = cache_after.hits - cache_before.hits;
+    result.cache_delta.misses = cache_after.misses - cache_before.misses;
+  }
   return result;
 }
 
@@ -127,5 +153,40 @@ int main() {
                 two->throughput_rps, one->throughput_rps,
                 100.0 * (two->throughput_rps / one->throughput_rps - 1.0));
   }
+
+  // Machine-readable record for cross-PR perf tracking.
+  const char* json_env = std::getenv("NEOCPU_BENCH_JSON");
+  const std::string json_path = json_env != nullptr ? json_env : "BENCH_serve.json";
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "failed to open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n";
+  json << "  \"bench\": \"serve_throughput\",\n";
+  json << "  \"model\": \"" << model_name << "\",\n";
+  json << "  \"requests\": " << num_requests << ",\n";
+  json << "  \"clients\": " << num_clients << ",\n";
+  json << "  \"physical_cores\": " << HostCpuInfo().physical_cores << ",\n";
+  json << "  \"configs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    const ServerStats& s = r.stats;
+    json << "    {\"pool_width\": " << r.pool_width << ", \"max_batch\": " << r.max_batch
+         << ", \"throughput_rps\": " << r.throughput_rps
+         << ", \"p50_ms\": " << s.latency.p50_ms << ", \"p99_ms\": " << s.latency.p99_ms
+         << ", \"mean_ms\": " << s.latency.mean_ms
+         << ", \"mean_batch_size\": " << s.mean_batch_size
+         << ", \"max_batch_size\": " << s.max_batch_size
+         << ", \"batch_runs\": " << s.batch_runs
+         << ", \"retunes_completed\": " << s.retunes_completed
+         << ", \"tuning_cache_hits\": " << r.cache_delta.hits
+         << ", \"tuning_cache_misses\": " << r.cache_delta.misses
+         << ", \"tuning_cache_hit_rate\": " << r.cache_delta.HitRate() << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n";
+  json << "}\n";
+  std::printf("wrote %s (%zu configs)\n", json_path.c_str(), results.size());
   return 0;
 }

@@ -52,7 +52,7 @@ int Main() {
   };
   const std::vector<std::string> archs = {"avx512", "avx2", "neon"};
   const std::vector<std::string> models = BenchModels();
-  TuningDatabase db;
+  auto tuning_cache = std::make_shared<TuningCache>();
 
   NeoThreadPool neo_pool;
   OmpStylePool omp_pool;
@@ -81,7 +81,7 @@ int Main() {
       for (std::size_t c = 0; c < std::size(columns); ++c) {
         CompileOptions opts = columns[c].options(target);
         opts.cost_mode = BenchCostMode();
-        opts.tuning_db = &db;
+        opts.tuning_cache = tuning_cache;
         CompiledModel compiled = Compile(model, opts);
         ThreadEngine* engine = columns[c].custom_pool
                                    ? static_cast<ThreadEngine*>(&neo_pool)

@@ -27,7 +27,7 @@ int Main() {
       {"Global Search", &AblationGlobalSearch},
   };
   const Target target = Target::Host();
-  TuningDatabase db;
+  auto tuning_cache = std::make_shared<TuningCache>();
   NeoThreadPool pool;
 
   std::printf("%-16s", "Speedup");
@@ -44,7 +44,7 @@ int Main() {
       Tensor input = ModelInput(models[m]);
       CompileOptions opts = row.options(target);
       opts.cost_mode = BenchCostMode();
-      opts.tuning_db = &db;
+      opts.tuning_cache = tuning_cache;
       CompiledModel compiled = Compile(model, opts);
       const RunStats stats = MeasureModel(compiled, input, &pool);
       if (row.name == rows[0].name) {

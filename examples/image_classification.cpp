@@ -36,13 +36,13 @@ int main(int argc, char** argv) {
 
   NeoThreadPool neo_pool;
   OmpStylePool omp_pool;
-  TuningDatabase db;
+  auto cache = std::make_shared<TuningCache>();
 
   std::printf("%-44s | %10s | %6s | %s\n", "configuration", "latency", "conv", "transforms");
   double reference_ms = 0.0;
   for (const Config& config : configs) {
     CompileOptions opts = config.opts;
-    opts.tuning_db = &db;
+    opts.tuning_cache = cache;
     CompiledModel compiled = Compile(model, opts);
     ThreadEngine* engine = config.custom_pool ? static_cast<ThreadEngine*>(&neo_pool)
                                               : static_cast<ThreadEngine*>(&omp_pool);

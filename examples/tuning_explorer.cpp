@@ -1,37 +1,48 @@
 // Tuning explorer: walk the §3.3.1 schedule space for one convolution workload, compare
 // the analytic cost model against real measurements, and demonstrate the persistent
-// tuning database ("maintain a database ... to prevent repeating search").
+// tuning cache ("maintain a database ... to prevent repeating search") — including how
+// the batch size is part of the workload identity, so batch-1 and batch-8 tunings
+// coexist as distinct cache entries.
 //
-//   ./tuning_explorer [db_path]
+//   ./tuning_explorer [cache_path] [batch]
 #include <cstdio>
 
 #include "src/neocpu.h"
 
 int main(int argc, char** argv) {
   using namespace neocpu;
-  const std::string db_path = argc > 1 ? argv[1] : "/tmp/neocpu_tuning.db";
+  const std::string cache_path = argc > 1 ? argv[1] : "/tmp/neocpu_tuning.cache";
+  const std::int64_t batch = argc > 2 ? std::atoll(argv[2]) : 1;
+  if (batch < 1) {
+    std::fprintf(stderr, "usage: %s [cache_path] [batch >= 1] (got batch '%s')\n", argv[0],
+                 argv[2]);
+    return 1;
+  }
 
-  // A ResNet-50 stage-2 workload.
-  Conv2dParams workload{1, 128, 28, 28, 128, 3, 3, 1, 1, 1, 1};
+  // A ResNet-50 stage-2 workload at the requested batch size.
+  Conv2dParams workload{batch, 128, 28, 28, 128, 3, 3, 1, 1, 1, 1};
   const Target target = Target::Host();
   std::printf("Workload: %s on target '%s'\n", workload.ToString().c_str(),
               target.name.c_str());
+  std::printf("WorkloadKey: %s\n",
+              WorkloadKey::Of(workload, target, CostMode::kMeasured, true).ToString().c_str());
 
-  TuningDatabase db;
-  if (db.LoadFromFile(db_path)) {
-    std::printf("Loaded tuning database from %s (%zu entries)\n", db_path.c_str(), db.size());
+  TuningCache cache;
+  if (cache.LoadFromFile(cache_path)) {
+    std::printf("Loaded tuning cache from %s (%zu entries)\n", cache_path.c_str(),
+                cache.size());
   }
 
   Timer timer;
   LocalSearchResult measured =
       LocalSearchConv(workload, target, CostMode::kMeasured, /*quick_space=*/true, nullptr,
-                      &db);
+                      &cache);
   std::printf("Measured local search over %zu schedules took %.2fs\n", measured.ranked.size(),
               timer.Seconds());
 
   LocalSearchResult analytic =
       LocalSearchConv(workload, target, CostMode::kAnalytic, /*quick_space=*/true, nullptr,
-                      &db);
+                      &cache);
 
   std::printf("\nTop-8 schedules by measurement (analytic model estimate alongside):\n");
   std::printf("%-40s | %12s | %12s\n", "schedule", "measured", "analytic");
@@ -52,9 +63,17 @@ int main(int argc, char** argv) {
               measured.ranked.back().schedule.ToString().c_str(), measured.ranked.back().ms,
               measured.ranked.back().ms / measured.best().ms);
 
-  if (db.SaveToFile(db_path)) {
-    std::printf("Saved tuning database to %s (%zu entries); rerun to hit the cache.\n",
-                db_path.c_str(), db.size());
+  const TuningCacheStats stats = cache.Stats();
+  std::printf("\nCache traffic this run: %llu hits, %llu misses; entries now:\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses));
+  for (const WorkloadKey& key : cache.Keys()) {
+    std::printf("  %s\n", key.ToString().c_str());
+  }
+  if (cache.SaveToFile(cache_path)) {
+    std::printf("Saved tuning cache to %s (%zu entries); rerun (or change the batch "
+                "argument) to see cache hits.\n",
+                cache_path.c_str(), cache.size());
   }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "src/base/logging.h"
 #include "src/base/timer.h"
@@ -48,34 +49,46 @@ std::int64_t PickFixedBlock(const LocalSearchResult& result, bool input_side,
   return best_leq > 0 ? best_leq : smallest;
 }
 
-}  // namespace
-
-CompiledModel Compile(const Graph& model, const CompileOptions& opts) {
-  Timer total_timer;
-  CompileStats stats;
-
-  Graph g = SimplifyInference(model);
-  g = FuseOps(g);
-
-  if (opts.layout_mode == LayoutMode::kNCHW) {
-    g = BindNchwKernels(g, opts.nchw_kernel);
-    stats.num_convs = g.CountNodes(OpType::kConv2d);
-    stats.compile_seconds = total_timer.Seconds();
-    return CompiledModel(std::move(g), stats);
-  }
-
-  // Local search per convolution workload (memoized through the tuning database).
-  Timer tuning_timer;
-  std::map<int, LocalSearchResult> locals;
+// Leading dim of the graph's (first) input: the batch size its conv workloads carry.
+std::int64_t GraphBatch(const Graph& g) {
   for (int id = 0; id < g.num_nodes(); ++id) {
-    const Node& node = g.node(id);
-    if (node.IsConv()) {
-      locals[id] = LocalSearchConv(node.attrs.conv, opts.target, opts.cost_mode,
-                                   opts.quick_space, opts.engine, opts.tuning_db);
+    if (g.node(id).type == OpType::kInput && !g.node(id).out_dims.empty()) {
+      return g.node(id).out_dims[0];
     }
   }
-  stats.tuning_seconds = tuning_timer.Seconds();
-  stats.num_convs = static_cast<int>(locals.size());
+  return 0;
+}
+
+// Schedule selection + layout lowering for an already simplified+fused graph. Every
+// per-conv decision is keyed by the conv's WorkloadKey (its params carry the graph's
+// batch), memoized through opts.tuning_cache. Fills the tuning/search fields of *stats.
+Graph LowerFusedGraph(const Graph& source, const CompileOptions& opts,
+                      CompileStats* stats) {
+  if (opts.layout_mode == LayoutMode::kNCHW) {
+    Graph g = BindNchwKernels(source, opts.nchw_kernel);
+    stats->num_convs = g.CountNodes(OpType::kConv2d);
+    return g;
+  }
+
+  TuningCache* cache = opts.tuning_cache.get();
+  NEOCPU_CHECK(cache != nullptr);
+
+  // Local search per convolution workload, memoized through the shared cache. Hit/miss
+  // attribution is counted per call (not via cache-counter deltas): concurrent compiles
+  // and re-tunes share one cache, so global deltas would mix their traffic.
+  Timer tuning_timer;
+  LocalSearchMap locals;
+  for (int id = 0; id < source.num_nodes(); ++id) {
+    const Node& node = source.node(id);
+    if (node.IsConv()) {
+      bool cache_hit = false;
+      locals[id] = LocalSearchConvShared(node.attrs.conv, opts.target, opts.cost_mode,
+                                         opts.quick_space, opts.engine, cache, &cache_hit);
+      ++(cache_hit ? stats->tuning_cache_hits : stats->tuning_cache_misses);
+    }
+  }
+  stats->tuning_seconds = tuning_timer.Seconds();
+  stats->num_convs = static_cast<int>(locals.size());
 
   std::map<int, ConvSchedule> schedules;
   switch (opts.layout_mode) {
@@ -85,29 +98,30 @@ CompiledModel Compile(const Graph& model, const CompileOptions& opts) {
       // the largest factor of its channel counts.
       const std::int64_t x = opts.target.PreferredBlock();
       for (auto& [id, result] : locals) {
-        const std::int64_t ic_bn = PickFixedBlock(result, /*input_side=*/true, x);
-        const std::int64_t oc_bn = PickFixedBlock(result, /*input_side=*/false, x);
-        const ScheduleCost* best = result.BestForPair(ic_bn, oc_bn);
-        NEOCPU_CHECK(best != nullptr) << "pair (" << ic_bn << "," << oc_bn
-                                      << ") missing for " << g.node(id).attrs.conv.ToString();
+        const std::int64_t ic_bn = PickFixedBlock(*result, /*input_side=*/true, x);
+        const std::int64_t oc_bn = PickFixedBlock(*result, /*input_side=*/false, x);
+        const ScheduleCost* best = result->BestForPair(ic_bn, oc_bn);
+        NEOCPU_CHECK(best != nullptr)
+            << "pair (" << ic_bn << "," << oc_bn << ") missing for "
+            << source.node(id).attrs.conv.ToString();
         schedules[id] = best->schedule;
       }
       break;
     }
     case LayoutMode::kNCHWcLocal: {
       for (auto& [id, result] : locals) {
-        schedules[id] = result.best().schedule;
+        schedules[id] = result->best().schedule;
       }
       break;
     }
     case LayoutMode::kNCHWcGlobal: {
       Timer search_timer;
-      GlobalProblem problem = ExtractGlobalProblem(g, locals);
+      GlobalProblem problem = ExtractGlobalProblem(source, locals);
       GlobalSolution solution = SolveGlobal(problem, opts.max_dp_table_entries);
-      stats.search_seconds = search_timer.Seconds();
-      stats.used_global_search = true;
-      stats.used_exact_dp = solution.exact;
-      stats.predicted_cost_ms = solution.cost_ms;
+      stats->search_seconds = search_timer.Seconds();
+      stats->used_global_search = true;
+      stats->used_exact_dp = solution.exact;
+      stats->predicted_cost_ms = solution.cost_ms;
       schedules = std::move(solution.assignment);
       break;
     }
@@ -118,16 +132,36 @@ CompiledModel Compile(const Graph& model, const CompileOptions& opts) {
   const LayoutPlacement placement = opts.layout_mode == LayoutMode::kNCHWcPerOp
                                         ? LayoutPlacement::kPerOp
                                         : LayoutPlacement::kPropagate;
-  g = AlterConvLayout(g, schedules, placement);
-  stats.num_layout_transforms = g.CountNodes(OpType::kLayoutTransform);
+  Graph g = AlterConvLayout(source, schedules, placement);
+  stats->num_layout_transforms = g.CountNodes(OpType::kLayoutTransform);
+  return g;
+}
+
+}  // namespace
+
+CompiledModel Compile(const Graph& model, const CompileOptions& options) {
+  Timer total_timer;
+  CompileOptions opts = options;
+  if (opts.tuning_cache == nullptr) {
+    opts.tuning_cache = std::make_shared<TuningCache>();
+  }
+
+  Graph source = FuseOps(SimplifyInference(model));
+  CompileStats stats;
+  stats.tuned_batch = GraphBatch(source);
+  Graph g = LowerFusedGraph(source, opts, &stats);
   stats.compile_seconds = total_timer.Seconds();
   if (opts.verbose) {
     LOG(INFO) << "compiled " << g.name << " [" << LayoutModeName(opts.layout_mode) << "/"
-              << opts.target.name << "]: " << stats.num_convs << " convs, "
-              << stats.num_layout_transforms << " runtime layout transforms, tuning "
-              << stats.tuning_seconds << "s, search " << stats.search_seconds << "s";
+              << opts.target.name << "] batch " << stats.tuned_batch << ": "
+              << stats.num_convs << " convs, " << stats.num_layout_transforms
+              << " runtime layout transforms, tuning " << stats.tuning_seconds
+              << "s (cache " << stats.tuning_cache_hits << " hits / "
+              << stats.tuning_cache_misses << " misses), search " << stats.search_seconds
+              << "s";
   }
-  return CompiledModel(std::move(g), stats);
+  return CompiledModel(std::move(g), stats, std::move(source),
+                       static_cast<const CompileConfig&>(opts), opts.tuning_cache);
 }
 
 bool RebindBatch(const CompiledModel& model, std::int64_t batch, CompiledModel* out) {
@@ -135,7 +169,45 @@ bool RebindBatch(const CompiledModel& model, std::int64_t batch, CompiledModel* 
   if (!RebindBatchDim(&g, batch)) {
     return false;
   }
+  if (model.has_source()) {
+    Graph source = model.source_graph();
+    if (RebindBatchDim(&source, batch)) {
+      *out = CompiledModel(std::move(g), model.stats(), std::move(source), model.config(),
+                           model.tuning());
+      return true;
+    }
+    // The executable graph rebinds but the source does not (should not happen — they
+    // describe the same computation); degrade to a source-less, non-retunable model.
+  }
   *out = CompiledModel(std::move(g), model.stats());
+  return true;
+}
+
+bool RetuneForBatch(const CompiledModel& model, std::int64_t batch, ThreadEngine* engine,
+                    CompiledModel* out) {
+  NEOCPU_CHECK(out != nullptr);
+  if (!model.has_source() || batch < 1) {
+    return false;
+  }
+  Graph source = model.source_graph();
+  if (!RebindBatchDim(&source, batch)) {
+    return false;
+  }
+
+  Timer total_timer;
+  CompileOptions opts;
+  static_cast<CompileConfig&>(opts) = model.config();
+  opts.tuning_cache =
+      model.tuning() != nullptr ? model.tuning() : std::make_shared<TuningCache>();
+  opts.engine = engine;
+
+  CompileStats stats;
+  stats.tuned_batch = batch;
+  stats.retuned = true;
+  Graph g = LowerFusedGraph(source, opts, &stats);
+  stats.compile_seconds = total_timer.Seconds();
+  *out = CompiledModel(std::move(g), stats, std::move(source), model.config(),
+                       opts.tuning_cache);
   return true;
 }
 

@@ -15,15 +15,23 @@
 //                    global search over local-search candidates (§3.3).
 //   kNCHWcLocal    — extra ablation: greedy per-conv local optimum, ignoring transform
 //                    costs (the pitfall §3.3.1 warns about).
+//
+// Every per-conv decision is keyed by WorkloadKey — the conv shape *including the batch
+// size* plus target/cost/space mode — and memoized in a shared TuningCache, so schedules
+// tuned for one batch size never masquerade as schedules for another. A CompiledModel
+// carries its fused pre-layout source graph, its compile configuration and its tuning
+// cache, which is what lets RetuneForBatch re-run schedule selection for a different
+// batch size at runtime (the serving tier's background per-batch re-tuning).
 #ifndef NEOCPU_SRC_CORE_COMPILER_H_
 #define NEOCPU_SRC_CORE_COMPILER_H_
 
+#include <memory>
 #include <string>
 
 #include "src/core/executor.h"
 #include "src/core/target.h"
 #include "src/graph/graph.h"
-#include "src/tuning/local_search.h"
+#include "src/tuning/tuning_cache.h"
 
 namespace neocpu {
 
@@ -31,7 +39,10 @@ enum class LayoutMode { kNCHW, kNCHWcPerOp, kNCHWcFixed, kNCHWcLocal, kNCHWcGlob
 
 const char* LayoutModeName(LayoutMode mode);
 
-struct CompileOptions {
+// The schedule-selection configuration a compiled model was produced under. Persisted
+// with the module (core/serialization) so a warm-started model can re-tune new batch
+// sizes under the exact same policy it was originally compiled with.
+struct CompileConfig {
   LayoutMode layout_mode = LayoutMode::kNCHWcGlobal;
   // Convolution implementation for kNCHW mode (baselines).
   ConvKernelKind nchw_kernel = ConvKernelKind::kDirectNCHW;
@@ -39,8 +50,13 @@ struct CompileOptions {
   CostMode cost_mode = CostMode::kAnalytic;
   bool quick_space = true;  // prune channel-factor candidates (see schedule_space.h)
   std::size_t max_dp_table_entries = 1 << 22;
-  TuningDatabase* tuning_db = nullptr;  // optional cross-model memoization
-  ThreadEngine* engine = nullptr;       // used for measured tuning during compilation
+};
+
+struct CompileOptions : CompileConfig {
+  // Single source of schedule truth, shared across models, batch sizes and the serving
+  // tier's background re-tunes. Compile creates a private cache when none is given.
+  std::shared_ptr<TuningCache> tuning_cache;
+  ThreadEngine* engine = nullptr;  // used for measured tuning during compilation
   bool verbose = false;
 };
 
@@ -53,13 +69,34 @@ struct CompileStats {
   int num_convs = 0;
   int num_layout_transforms = 0;  // runtime transform nodes left in the final graph
   double predicted_cost_ms = 0.0;  // global-search objective value (model units)
+
+  // Per-batch tuning record: the batch size the chosen schedules were actually searched
+  // at. A RebindBatch derivative keeps the original tuned_batch (its schedules still
+  // come from the old batch); only Compile/RetuneForBatch set it to the executing batch.
+  std::int64_t tuned_batch = 0;
+  bool retuned = false;  // produced by RetuneForBatch rather than an initial Compile
+  // TuningCache traffic attributable to this compilation's local searches.
+  std::uint64_t tuning_cache_hits = 0;
+  std::uint64_t tuning_cache_misses = 0;
 };
 
 class CompiledModel {
  public:
   CompiledModel() = default;
+  // Executable graph only — no source/config/cache, so the model cannot be re-tuned
+  // (legacy modules; tests that hand-build graphs).
   CompiledModel(Graph graph, CompileStats stats)
       : graph_(std::move(graph)), stats_(stats) {}
+  // Full form produced by Compile/RetuneForBatch/LoadModule: `source` is the fused
+  // pre-layout graph (original NCHW weights; payload buffers shared, not copied).
+  CompiledModel(Graph graph, CompileStats stats, Graph source, CompileConfig config,
+                std::shared_ptr<TuningCache> tuning)
+      : graph_(std::move(graph)),
+        stats_(stats),
+        source_(std::move(source)),
+        has_source_(true),
+        config_(std::move(config)),
+        tuning_(std::move(tuning)) {}
 
   // Runs inference. `engine` is borrowed; null runs serially.
   Tensor Run(const Tensor& input, ThreadEngine* engine = nullptr) const {
@@ -73,9 +110,21 @@ class CompiledModel {
   const Graph& graph() const { return graph_; }
   const CompileStats& stats() const { return stats_; }
 
+  // The fused pre-layout graph schedule re-selection starts from. Valid only when
+  // has_source(); models loaded from legacy artifacts have none.
+  bool has_source() const { return has_source_; }
+  const Graph& source_graph() const { return source_; }
+  const CompileConfig& config() const { return config_; }
+  // Null only for source-less models.
+  const std::shared_ptr<TuningCache>& tuning() const { return tuning_; }
+
  private:
   Graph graph_;
   CompileStats stats_;
+  Graph source_;
+  bool has_source_ = false;
+  CompileConfig config_;
+  std::shared_ptr<TuningCache> tuning_;
 };
 
 CompiledModel Compile(const Graph& model, const CompileOptions& options = {});
@@ -83,10 +132,22 @@ CompiledModel Compile(const Graph& model, const CompileOptions& options = {});
 // Derives a compiled model running at a different batch size without re-compiling or
 // re-tuning: the optimized structure, chosen schedules, and pre-transformed weights are
 // reused (weight payloads are shared, not copied — the copy is a few hundred node
-// headers), and only the logical shapes are re-inferred. This is what lets the serving
-// layer materialize batch variants lazily per traffic pattern. Returns false and leaves
-// `out` untouched when the graph cannot be batch-rebound (see RebindBatchDim).
+// headers), and only the logical shapes are re-inferred. The result keeps the original
+// stats().tuned_batch: it executes schedules searched for the old batch size, which is
+// why the serving tier treats it as a stopgap and re-tunes in the background. Returns
+// false and leaves `out` untouched when the graph cannot be batch-rebound (see
+// RebindBatchDim).
 bool RebindBatch(const CompiledModel& model, std::int64_t batch, CompiledModel* out);
+
+// Re-runs schedule selection for `batch` from the model's fused source graph, under the
+// model's original CompileConfig and against its shared TuningCache: per-conv local
+// searches are keyed by the batch-`batch` WorkloadKey (pure cache lookups when the cache
+// already holds that batch's tuning — the warm-start path), followed by the configured
+// global selection and layout lowering. `engine` backs measured-mode tuning; null is
+// fine for analytic mode. Returns false when the model carries no source graph or the
+// source cannot be rebound to `batch`.
+bool RetuneForBatch(const CompiledModel& model, std::int64_t batch, ThreadEngine* engine,
+                    CompiledModel* out);
 
 }  // namespace neocpu
 

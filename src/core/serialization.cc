@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "src/base/logging.h"
 #include "src/graph/shape_infer.h"
@@ -11,13 +12,23 @@ namespace neocpu {
 namespace {
 
 constexpr char kMagic[4] = {'N', 'E', 'O', 'C'};
-constexpr std::uint32_t kVersion = 1;
+// v1: executable graph only. v2: + source graph, CompileConfig, tuned_batch, TuningCache.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
 
 void WriteU32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
+void WriteU64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
 void WriteI64(std::ostream& out, std::int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteF64(std::ostream& out, double v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
@@ -46,8 +57,20 @@ std::uint32_t ReadU32(std::istream& in) {
   return v;
 }
 
+std::uint64_t ReadU64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
 std::int64_t ReadI64(std::istream& in) {
   std::int64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+double ReadF64(std::istream& in) {
+  double v = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
   return v;
 }
@@ -88,16 +111,7 @@ struct AttrBlock {
   MultiboxDetectionParams det;
 };
 
-}  // namespace
-
-bool SaveModule(const CompiledModel& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return false;
-  }
-  const Graph& g = model.graph();
-  out.write(kMagic, sizeof(kMagic));
-  WriteU32(out, kVersion);
+void WriteGraph(std::ostream& out, const Graph& g) {
   WriteString(out, g.name);
   {
     std::vector<std::int64_t> outputs(g.outputs().begin(), g.outputs().end());
@@ -135,22 +149,9 @@ bool SaveModule(const CompiledModel& model, const std::string& path) {
                 static_cast<std::streamsize>(node.payload.SizeBytes()));
     }
   }
-  return static_cast<bool>(out);
 }
 
-bool LoadModule(const std::string& path, CompiledModel* model) {
-  NEOCPU_CHECK(model != nullptr);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return false;
-  }
-  char magic[4] = {};
-  in.read(magic, sizeof(magic));
-  NEOCPU_CHECK_EQ(std::memcmp(magic, kMagic, sizeof(kMagic)), 0)
-      << path << " is not a NeoCPU module";
-  const std::uint32_t version = ReadU32(in);
-  NEOCPU_CHECK_EQ(version, kVersion) << "unsupported module version " << version;
-
+Graph ReadGraph(std::istream& in, const std::string& path) {
   Graph g;
   g.name = ReadString(in);
   std::vector<int> outputs;
@@ -199,15 +200,125 @@ bool LoadModule(const std::string& path, CompiledModel* model) {
     }
     g.node(id).out_dims = out_dims;
     g.node(id).out_layout = out_layout;
-    NEOCPU_CHECK_EQ(id, static_cast<int>(i)) << "node ids must be dense";
+    NEOCPU_CHECK_EQ(id, static_cast<int>(i)) << "node ids must be dense in " << path;
   }
   g.SetOutputs(std::move(outputs));
-  NEOCPU_CHECK(static_cast<bool>(in)) << "truncated module file " << path;
+  return g;
+}
 
+void WriteConfig(std::ostream& out, const CompileConfig& config) {
+  WriteU32(out, static_cast<std::uint32_t>(config.layout_mode));
+  WriteU32(out, static_cast<std::uint32_t>(config.nchw_kernel));
+  const Target& t = config.target;
+  WriteString(out, t.name);
+  WriteU32(out, static_cast<std::uint32_t>(t.vector_lanes));
+  WriteU32(out, static_cast<std::uint32_t>(t.num_vector_registers));
+  WriteU32(out, static_cast<std::uint32_t>(t.num_cores));
+  WriteF64(out, t.freq_ghz);
+  WriteU32(out, static_cast<std::uint32_t>(t.fma_per_cycle));
+  WriteU64(out, t.l1d_bytes);
+  WriteU64(out, t.l2_bytes);
+  WriteU64(out, t.l3_bytes);
+  WriteU32(out, static_cast<std::uint32_t>(config.cost_mode));
+  WriteU32(out, config.quick_space ? 1 : 0);
+  WriteU64(out, config.max_dp_table_entries);
+}
+
+CompileConfig ReadConfig(std::istream& in) {
+  CompileConfig config;
+  config.layout_mode = static_cast<LayoutMode>(ReadU32(in));
+  config.nchw_kernel = static_cast<ConvKernelKind>(ReadU32(in));
+  Target t;
+  t.name = ReadString(in);
+  t.vector_lanes = static_cast<int>(ReadU32(in));
+  t.num_vector_registers = static_cast<int>(ReadU32(in));
+  t.num_cores = static_cast<int>(ReadU32(in));
+  t.freq_ghz = ReadF64(in);
+  t.fma_per_cycle = static_cast<int>(ReadU32(in));
+  t.l1d_bytes = ReadU64(in);
+  t.l2_bytes = ReadU64(in);
+  t.l3_bytes = ReadU64(in);
+  config.target = std::move(t);
+  config.cost_mode = static_cast<CostMode>(ReadU32(in));
+  config.quick_space = ReadU32(in) != 0;
+  config.max_dp_table_entries = static_cast<std::size_t>(ReadU64(in));
+  return config;
+}
+
+}  // namespace
+
+bool SaveModule(const CompiledModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out.write(kMagic, sizeof(kMagic));
+  WriteU32(out, kVersion);
+  WriteGraph(out, model.graph());
+
+  WriteU32(out, model.has_source() ? 1 : 0);
+  if (model.has_source()) {
+    WriteGraph(out, model.source_graph());
+  }
+  WriteConfig(out, model.config());
+  WriteI64(out, model.stats().tuned_batch);
+  const bool has_cache = model.tuning() != nullptr;
+  WriteU32(out, has_cache ? 1 : 0);
+  if (has_cache) {
+    std::ostringstream cache_text;
+    model.tuning()->Serialize(cache_text);
+    WriteString(out, cache_text.str());
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadModule(const std::string& path, CompiledModel* model) {
+  NEOCPU_CHECK(model != nullptr);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  NEOCPU_CHECK_EQ(std::memcmp(magic, kMagic, sizeof(kMagic)), 0)
+      << path << " is not a NeoCPU module";
+  const std::uint32_t version = ReadU32(in);
+  NEOCPU_CHECK(version >= kMinVersion && version <= kVersion)
+      << "unsupported module version " << version;
+
+  Graph g = ReadGraph(in, path);
   CompileStats stats;
   stats.num_convs = g.CountNodes(OpType::kConv2d);
   stats.num_layout_transforms = g.CountNodes(OpType::kLayoutTransform);
-  *model = CompiledModel(std::move(g), stats);
+
+  if (version < 2) {
+    NEOCPU_CHECK(static_cast<bool>(in)) << "truncated module file " << path;
+    *model = CompiledModel(std::move(g), stats);
+    return true;
+  }
+
+  const bool has_source = ReadU32(in) != 0;
+  Graph source;
+  if (has_source) {
+    source = ReadGraph(in, path);
+  }
+  CompileConfig config = ReadConfig(in);
+  stats.tuned_batch = ReadI64(in);
+  const bool has_cache = ReadU32(in) != 0;
+  auto cache = std::make_shared<TuningCache>();
+  if (has_cache) {
+    std::istringstream cache_text(ReadString(in));
+    NEOCPU_CHECK(cache->Deserialize(cache_text))
+        << "corrupt tuning cache in module file " << path;
+  }
+  NEOCPU_CHECK(static_cast<bool>(in)) << "truncated module file " << path;
+
+  if (has_source) {
+    *model = CompiledModel(std::move(g), stats, std::move(source), std::move(config),
+                           std::move(cache));
+  } else {
+    *model = CompiledModel(std::move(g), stats);
+  }
   return true;
 }
 

@@ -7,9 +7,22 @@
 // graph, chosen schedules, pre-transformed weights — serializes to a single binary file
 // that the executor can run without re-compiling or re-tuning.
 //
+// Since format version 2 the artifact also round-trips the model's tuning state: the
+// fused pre-layout source graph, the CompileConfig it was compiled under, and its
+// TuningCache (every batch variant's search results). A warm-started server can
+// therefore not only run the model immediately but also re-tune it for new batch sizes
+// — and when the cache already holds a batch's tuning, that re-tune is a pure table
+// lookup, no search.
+//
 // Format (little-endian, versioned):
-//   magic "NEOC", u32 version, graph name, outputs, node records
-//   (type, name, inputs, POD attribute block, dims, layout, optional payload).
+//   magic "NEOC", u32 version,
+//   executable graph (name, outputs, node records: type, name, inputs, POD attribute
+//   block, dims, layout, optional payload),
+//   v2+: u32 has_source [+ source graph], config block (layout mode, NCHW kernel,
+//   target profile, cost mode, space mode, DP budget), i64 tuned_batch,
+//   u32 has_cache [+ length-prefixed TuningCache text serialization].
+// Version-1 files (executable graph only) still load; they yield a model without
+// source/config/cache, which serves but cannot re-tune.
 #ifndef NEOCPU_SRC_CORE_SERIALIZATION_H_
 #define NEOCPU_SRC_CORE_SERIALIZATION_H_
 
@@ -19,8 +32,9 @@
 
 namespace neocpu {
 
-// Writes the compiled model's executable graph (including constant payloads) to `path`.
-// Returns false on I/O failure.
+// Writes the compiled model's executable graph (including constant payloads) plus its
+// tuning state (source graph, config, tuning cache) to `path`. Returns false on I/O
+// failure.
 bool SaveModule(const CompiledModel& model, const std::string& path);
 
 // Reads a module previously written by SaveModule. Dies on malformed input with a

@@ -1,5 +1,7 @@
 #include "src/kernels/conv_params.h"
 
+#include <cstdio>
+
 #include "src/base/string_util.h"
 
 namespace neocpu {
@@ -22,6 +24,34 @@ std::string Conv2dParams::CacheKey() const {
                    static_cast<long long>(kernel_w), static_cast<long long>(stride_h),
                    static_cast<long long>(stride_w), static_cast<long long>(pad_h),
                    static_cast<long long>(pad_w));
+}
+
+bool Conv2dParams::ParseCacheKey(const std::string& text, Conv2dParams* params) {
+  Conv2dParams p;
+  long long batch, in_c, in_h, in_w, out_c, kh, kw, sh, sw, ph, pw;
+  if (std::sscanf(text.c_str(), "%lld_%lld_%lldx%lld_%lld_%lldx%lld_%lldx%lld_%lldx%lld",
+                  &batch, &in_c, &in_h, &in_w, &out_c, &kh, &kw, &sh, &sw, &ph,
+                  &pw) != 11) {
+    return false;
+  }
+  p.batch = batch;
+  p.in_c = in_c;
+  p.in_h = in_h;
+  p.in_w = in_w;
+  p.out_c = out_c;
+  p.kernel_h = kh;
+  p.kernel_w = kw;
+  p.stride_h = sh;
+  p.stride_w = sw;
+  p.pad_h = ph;
+  p.pad_w = pw;
+  // Round-trip check rejects anything CacheKey would not have produced (trailing
+  // garbage, negatives, wrong separators).
+  if (p.CacheKey() != text) {
+    return false;
+  }
+  *params = p;
+  return true;
 }
 
 }  // namespace neocpu

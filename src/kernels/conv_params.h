@@ -38,8 +38,12 @@ struct Conv2dParams {
   }
 
   std::string ToString() const;
-  // Stable key for the tuning database.
+  // Stable shape token inside a WorkloadKey (src/tuning/workload_key.h); leads with the
+  // batch size because the batch is part of the tuning-workload identity.
   std::string CacheKey() const;
+  // Inverse of CacheKey. Returns false (leaving *params untouched) unless `text` is
+  // exactly what CacheKey() would produce.
+  static bool ParseCacheKey(const std::string& text, Conv2dParams* params);
 };
 
 struct ConvEpilogue {

@@ -37,5 +37,7 @@
 #include "src/tensor/tensor.h"
 #include "src/tuning/global_search.h"
 #include "src/tuning/local_search.h"
+#include "src/tuning/tuning_cache.h"
+#include "src/tuning/workload_key.h"
 
 #endif  // NEOCPU_SRC_NEOCPU_H_

@@ -19,6 +19,17 @@ InferenceServer::InferenceServer(ServerOptions options)
   // Partition the cores across the pool. When the pool is wider than the core count
   // (useful on small CI hosts), the extra workers run serial executors that timeshare.
   std::vector<CorePartition> plan = PlanCorePartitions(num_executors_, cores);
+
+  // Background re-tunes run unpinned, seeded at the last partition's cores — the
+  // "spare" end of the plan — so a re-tune competes with at most one executor rather
+  // than with the whole pool.
+  RetuneOptions retune;
+  retune.enabled = options_.background_retune;
+  retune.num_workers = options_.retune_workers > 0 ? options_.retune_workers : 1;
+  retune.core_offset = plan.empty() ? 0 : plan.back().core_offset;
+  retune.bind_threads = false;
+  registry_.ConfigureRetune(retune);
+
   workers_.reserve(static_cast<std::size_t>(num_executors_));
   for (int i = 0; i < num_executors_; ++i) {
     const bool pooled = i < static_cast<int>(plan.size());
@@ -88,17 +99,18 @@ void InferenceServer::WorkerLoop(const CorePartition& partition, bool pooled) {
     std::vector<Tensor> results;
     results.reserve(batch.size());
     if (n == 1) {
-      const ModelEntry::Variant& variant = entry->VariantFor(1);
-      results.push_back(variant.executor->Run(batch[0].input, engine));
+      // The shared_ptr pins the variant across a concurrent re-tune hot swap.
+      const ModelEntry::VariantPtr variant = entry->VariantFor(1);
+      results.push_back(variant->executor->Run(batch[0].input, engine));
     } else {
       std::vector<Tensor> samples;
       samples.reserve(batch.size());
       for (const ServeRequest& r : batch) {
         samples.push_back(r.input);
       }
-      const ModelEntry::Variant& variant = entry->VariantFor(n);
+      const ModelEntry::VariantPtr variant = entry->VariantFor(n);
       Tensor stacked = StackBatch(samples);
-      results = SplitBatch(variant.executor->Run(stacked, engine), n);
+      results = SplitBatch(variant->executor->Run(stacked, engine), n);
     }
 
     // Stats first, promises last: a client that sees its future ready must also see the
@@ -147,6 +159,12 @@ ServerStats InferenceServer::Stats() const {
                               : static_cast<double>(stats.completed) /
                                     static_cast<double>(stats.batch_runs);
   stats.latency = latency_.Snapshot();
+
+  const EntryTuningStats tuning = registry_.AggregateTuningStats();
+  stats.retunes_started = tuning.retunes_started;
+  stats.retunes_completed = tuning.retunes_completed;
+  stats.retunes_failed = tuning.retunes_failed;
+  stats.tuning_cache = tuning.cache;
   return stats;
 }
 

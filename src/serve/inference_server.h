@@ -40,6 +40,12 @@ struct ServerOptions {
   int total_workers = 0;
   // Pin pool threads to their partition's cores. Disable on oversubscribed hosts/CI.
   bool bind_threads = true;
+  // Re-tune schedules per observed batch size in the background (see model_registry.h):
+  // a first-use batch serves the rebound variant immediately and hot-swaps to the
+  // per-batch-tuned variant when its re-tune lands. Re-tune threads run off the
+  // executor partitions (pointed at the last partition's cores, unpinned).
+  bool background_retune = true;
+  int retune_workers = 1;
   BatchingOptions batching;
 };
 
@@ -67,6 +73,10 @@ class InferenceServer {
 
   ServerStats Stats() const;
   int num_executors() const { return num_executors_; }
+
+  // Blocks until every background per-batch re-tune has finished (tests; controlled
+  // benchmarking of the fully-tuned steady state).
+  void WaitForRetunes() { registry_.WaitForRetunes(); }
 
  private:
   void WorkerLoop(const CorePartition& partition, bool pooled);

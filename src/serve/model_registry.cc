@@ -1,9 +1,11 @@
 #include "src/serve/model_registry.h"
 
+#include <set>
 #include <utility>
 
 #include "src/base/logging.h"
 #include "src/core/serialization.h"
+#include "src/runtime/thread_pool.h"
 
 namespace neocpu {
 
@@ -36,33 +38,147 @@ ModelEntry::ModelEntry(std::string name, CompiledModel model) : name_(std::move(
   }
   sample_dims_[0] = 1;
 
-  Variant v;
-  v.model = std::make_unique<CompiledModel>(std::move(base));
-  v.executor = std::make_unique<Executor>(&v.model->graph());
-  variants_.emplace(1, std::move(v));
+  Slot slot;
+  slot.tuned = base.stats().tuned_batch == 1 || !base.has_source();
+  slot.current = MakeVariant(std::move(base));
+  variants_.emplace(1, std::move(slot));
 }
 
-const ModelEntry::Variant& ModelEntry::VariantFor(std::int64_t batch) {
+ModelEntry::~ModelEntry() { WaitForRetunes(); }
+
+ModelEntry::VariantPtr ModelEntry::MakeVariant(CompiledModel model) {
+  auto variant = std::make_shared<Variant>();
+  variant->model = std::make_unique<CompiledModel>(std::move(model));
+  variant->executor = std::make_unique<Executor>(&variant->model->graph());
+  return variant;
+}
+
+ModelEntry::VariantPtr ModelEntry::VariantFor(std::int64_t batch) {
   NEOCPU_CHECK_GE(batch, 1);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = variants_.find(batch);
-  if (it != variants_.end()) {
-    return it->second;
+  VariantPtr result;
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = variants_.find(batch);
+    if (it == variants_.end()) {
+      NEOCPU_CHECK(batchable_) << name_ << ": batch " << batch
+                               << " on a non-batchable model";
+      const CompiledModel& base = *variants_.at(1).current->model;
+      CompiledModel rebound;
+      NEOCPU_CHECK(RebindBatch(base, batch, &rebound))
+          << name_ << ": rebind to batch " << batch << " failed";
+      Slot slot;
+      // A rebind is "already tuned" only when the base's schedules were searched at
+      // exactly this batch size (or there is no tuning state to improve it with).
+      slot.tuned = rebound.stats().tuned_batch == batch || !rebound.has_source();
+      slot.current = MakeVariant(std::move(rebound));
+      it = variants_.emplace(batch, std::move(slot)).first;
+    }
+    Slot& slot = it->second;
+    if (!slot.tuned && !slot.retune_inflight && retune_options_.enabled && batchable_ &&
+        slot.current->model->has_source()) {
+      // With nothing in flight, every thread in the vector has finished its work;
+      // reap them (joins return ~immediately) so a long-lived server does not
+      // accumulate one unjoined thread per batch size ever seen.
+      if (retunes_inflight_ == 0) {
+        finished.swap(retune_threads_);
+      }
+      slot.retune_inflight = true;
+      ++retunes_inflight_;
+      retunes_started_.fetch_add(1, std::memory_order_relaxed);
+      retune_threads_.emplace_back([this, batch] { RetuneSlot(batch); });
+    }
+    result = slot.current;
   }
-  NEOCPU_CHECK(batchable_) << name_ << ": batch " << batch << " on a non-batchable model";
-  CompiledModel rebound;
-  NEOCPU_CHECK(RebindBatch(*variants_.at(1).model, batch, &rebound))
-      << name_ << ": rebind to batch " << batch << " failed";
-  Variant v;
-  v.model = std::make_unique<CompiledModel>(std::move(rebound));
-  v.executor = std::make_unique<Executor>(&v.model->graph());
-  return variants_.emplace(batch, std::move(v)).first->second;
+  for (std::thread& t : finished) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  return result;
+}
+
+void ModelEntry::RetuneSlot(std::int64_t batch) {
+  VariantPtr base;
+  RetuneOptions opts;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    base = variants_.at(1).current;
+    opts = retune_options_;
+  }
+  // The engine lives in this background thread: re-tunes run off the serving executors'
+  // partitions (measured-mode tuning gets its own small pool on the spare cores).
+  std::unique_ptr<ThreadEngine> engine;
+  if (opts.num_workers > 1) {
+    engine = std::make_unique<NeoThreadPool>(opts.num_workers, opts.bind_threads,
+                                             opts.core_offset);
+  } else {
+    engine = std::make_unique<SerialEngine>();
+  }
+  CompiledModel tuned;
+  const bool ok = RetuneForBatch(*base->model, batch, engine.get(), &tuned);
+  // Build the replacement variant before taking the lock: only the pointer swap needs
+  // the mutex, not the executor construction.
+  VariantPtr replacement = ok ? MakeVariant(std::move(tuned)) : nullptr;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = variants_.at(batch);
+  slot.retune_inflight = false;
+  --retunes_inflight_;
+  if (ok) {
+    slot.current = std::move(replacement);  // hot swap; old variant drains via shared_ptr
+    slot.tuned = true;
+    retunes_completed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    slot.tuned = true;  // don't retry a model that cannot be re-tuned
+    retunes_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ModelEntry::ConfigureRetune(const RetuneOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retune_options_ = options;
+}
+
+void ModelEntry::WaitForRetunes() {
+  for (;;) {
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      threads.swap(retune_threads_);
+    }
+    if (threads.empty()) {
+      return;
+    }
+    for (std::thread& t : threads) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+  }
+}
+
+EntryTuningStats ModelEntry::TuningStats() const {
+  EntryTuningStats stats;
+  stats.retunes_started = retunes_started_.load(std::memory_order_relaxed);
+  stats.retunes_completed = retunes_completed_.load(std::memory_order_relaxed);
+  stats.retunes_failed = retunes_failed_.load(std::memory_order_relaxed);
+  if (std::shared_ptr<TuningCache> cache = tuning_cache()) {
+    stats.cache = cache->Stats();
+  }
+  return stats;
+}
+
+std::shared_ptr<TuningCache> ModelEntry::tuning_cache() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return variants_.at(1).current->model->tuning();
 }
 
 ModelEntry* ModelRegistry::Register(std::string name, CompiledModel model) {
   auto entry = std::make_unique<ModelEntry>(name, std::move(model));
   ModelEntry* raw = entry.get();
   std::lock_guard<std::mutex> lock(mutex_);
+  entry->ConfigureRetune(retune_options_);
   std::unique_ptr<ModelEntry>& slot = entries_[std::move(name)];
   if (slot != nullptr) {
     retired_.push_back(std::move(slot));  // may still be referenced by in-flight work
@@ -94,6 +210,57 @@ std::vector<std::string> ModelRegistry::ModelNames() const {
     names.push_back(name);
   }
   return names;
+}
+
+void ModelRegistry::ConfigureRetune(const RetuneOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retune_options_ = options;
+  for (const auto& [name, entry] : entries_) {
+    entry->ConfigureRetune(options);
+  }
+}
+
+EntryTuningStats ModelRegistry::AggregateTuningStats() const {
+  std::vector<ModelEntry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+      entries.push_back(entry.get());
+    }
+  }
+  EntryTuningStats total;
+  // Models may share one TuningCache (e.g. compiled against a common cache); count
+  // each distinct cache once or shared caches would be multiply counted.
+  std::set<const TuningCache*> seen_caches;
+  for (ModelEntry* entry : entries) {
+    const EntryTuningStats stats = entry->TuningStats();
+    total.retunes_started += stats.retunes_started;
+    total.retunes_completed += stats.retunes_completed;
+    total.retunes_failed += stats.retunes_failed;
+    const std::shared_ptr<TuningCache> cache = entry->tuning_cache();
+    if (cache != nullptr && seen_caches.insert(cache.get()).second) {
+      total.cache.hits += stats.cache.hits;
+      total.cache.misses += stats.cache.misses;
+      total.cache.inserts += stats.cache.inserts;
+      total.cache.entries += stats.cache.entries;
+    }
+  }
+  return total;
+}
+
+void ModelRegistry::WaitForRetunes() {
+  std::vector<ModelEntry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+      entries.push_back(entry.get());
+    }
+  }
+  for (ModelEntry* entry : entries) {
+    entry->WaitForRetunes();
+  }
 }
 
 }  // namespace neocpu

@@ -1,22 +1,30 @@
 // Compiled-model registry for the inference server.
 //
 // Each entry owns a compiled model plus lazily materialized batch-size variants. A
-// variant is NOT a recompilation: RebindBatch reuses the optimized structure, chosen
-// schedules, and pre-transformed weight payloads, so materializing the batch-8 variant
-// of a model costs microseconds and a few hundred node headers. Every variant carries
-// one long-lived Executor shared by the whole executor pool (Executor::Run is const and
-// stateless; workers pass their own ThreadEngine per call).
+// variant starts life as a RebindBatch derivative — the optimized structure, chosen
+// schedules, and pre-transformed weight payloads of the base model reused at the new
+// batch, which costs microseconds but executes schedules *tuned for the base batch*.
+// VariantFor therefore serves the rebound variant immediately and (when the model
+// carries its tuning state) kicks off a background re-tune for that exact batch size;
+// once RetuneForBatch finishes, the per-batch-tuned variant is hot-swapped in and all
+// subsequent batches of that size execute schedules searched for their own batch.
+// Variants are handed out as shared_ptr so a hot swap never invalidates an executor a
+// pool worker is mid-flight on.
 //
 // Warm start: RegisterFromFile loads a module produced by SaveModule
-// (core/serialization), so a server restart skips compilation and tuning entirely.
+// (core/serialization), so a server restart skips compilation and tuning entirely —
+// including the per-batch tunings, which ride along inside the module's TuningCache
+// (a post-restart "re-tune" of a previously seen batch is a pure cache lookup).
 #ifndef NEOCPU_SRC_SERVE_MODEL_REGISTRY_H_
 #define NEOCPU_SRC_SERVE_MODEL_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/compiler.h"
@@ -24,11 +32,33 @@
 
 namespace neocpu {
 
+// How a ModelEntry runs background per-batch re-tunes.
+struct RetuneOptions {
+  bool enabled = true;
+  // Workers for the re-tune's thread engine (measured-mode tuning benefits; analytic
+  // mode ignores it). 1 keeps the re-tune on a single spare core.
+  int num_workers = 1;
+  // Core the re-tune engine starts binding at — point it at a spare partition so
+  // re-tunes don't steal cycles from serving executors. Binding only happens with
+  // bind_threads; unpinned re-tunes timeshare politely.
+  int core_offset = 0;
+  bool bind_threads = false;
+};
+
+// Per-entry tuning observability (see also TuningCache::Stats for cache traffic).
+struct EntryTuningStats {
+  std::uint64_t retunes_started = 0;
+  std::uint64_t retunes_completed = 0;
+  std::uint64_t retunes_failed = 0;
+  TuningCacheStats cache;  // zeroed when the model carries no tuning cache
+};
+
 class ModelEntry {
  public:
   // `model` must be single-input single-output (the serving batcher merges along the
   // one input). Checked fatally.
   ModelEntry(std::string name, CompiledModel model);
+  ~ModelEntry();  // joins in-flight re-tune threads
 
   const std::string& name() const { return name_; }
   // Per-request input dims: the registered graph's input dims with leading dim 1.
@@ -41,18 +71,46 @@ class ModelEntry {
     std::unique_ptr<CompiledModel> model;
     std::unique_ptr<Executor> executor;  // engine-less; pass one per Run call
   };
+  using VariantPtr = std::shared_ptr<const Variant>;
 
-  // Returns the variant executing at batch size `batch`, materializing and caching it
-  // on first use. Thread-safe. Dies if batch > 1 on a non-batchable model.
-  const Variant& VariantFor(std::int64_t batch);
+  // Returns the variant executing at batch size `batch`, materializing (and caching) a
+  // rebound variant on first use and scheduling its background re-tune. The returned
+  // pointer keeps the variant alive across hot swaps; callers hold it for the duration
+  // of a Run. Thread-safe. Dies if batch > 1 on a non-batchable model.
+  VariantPtr VariantFor(std::int64_t batch);
+
+  void ConfigureRetune(const RetuneOptions& options);
+
+  // Blocks until every re-tune scheduled so far has finished (tests; graceful drain).
+  void WaitForRetunes();
+
+  EntryTuningStats TuningStats() const;
+  // The model's shared schedule cache; null when registered without tuning state.
+  std::shared_ptr<TuningCache> tuning_cache() const;
 
  private:
+  struct Slot {
+    VariantPtr current;
+    bool tuned = false;            // current executes schedules searched for its batch
+    bool retune_inflight = false;  // a background re-tune for this batch is running
+  };
+
+  static VariantPtr MakeVariant(CompiledModel model);
+  // Runs in a background thread: re-tunes `batch` and hot-swaps the slot on success.
+  void RetuneSlot(std::int64_t batch);
+
   std::string name_;
   std::vector<std::int64_t> sample_dims_;
   bool batchable_ = false;
 
-  std::mutex mutex_;
-  std::map<std::int64_t, Variant> variants_;
+  mutable std::mutex mutex_;
+  std::map<std::int64_t, Slot> variants_;
+  RetuneOptions retune_options_;
+  std::vector<std::thread> retune_threads_;
+  std::uint64_t retunes_inflight_ = 0;  // guarded by mutex_; gates thread reaping
+  std::atomic<std::uint64_t> retunes_started_{0};
+  std::atomic<std::uint64_t> retunes_completed_{0};
+  std::atomic<std::uint64_t> retunes_failed_{0};
 };
 
 class ModelRegistry {
@@ -70,9 +128,20 @@ class ModelRegistry {
 
   std::vector<std::string> ModelNames() const;
 
+  // Applied to every current and future entry (the server points re-tunes at a spare
+  // partition once it knows its own core plan).
+  void ConfigureRetune(const RetuneOptions& options);
+
+  // Sum of per-entry tuning stats across all registered models.
+  EntryTuningStats AggregateTuningStats() const;
+
+  // Blocks until every background re-tune across all entries has finished.
+  void WaitForRetunes();
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<ModelEntry>> entries_;
+  RetuneOptions retune_options_;
   // Entries displaced by a same-name Register. Kept alive for the registry's lifetime:
   // in-flight requests (and pool workers mid-batch) hold raw ModelEntry pointers, so
   // destroying a displaced entry eagerly would be a use-after-free. Re-registration is

@@ -66,11 +66,16 @@ LatencySnapshot LatencyRecorder::Snapshot() const {
 std::string ServerStats::ToString() const {
   return StrFormat(
       "submitted=%llu completed=%llu batch_runs=%llu mean_batch=%.2f max_batch=%lld "
-      "latency{p50=%.3fms p99=%.3fms mean=%.3fms}",
+      "latency{p50=%.3fms p99=%.3fms mean=%.3fms} "
+      "tuning{retunes=%llu/%llu cache_hits=%llu cache_misses=%llu entries=%llu}",
       static_cast<unsigned long long>(submitted), static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(batch_runs), mean_batch_size,
       static_cast<long long>(max_batch_size), latency.p50_ms, latency.p99_ms,
-      latency.mean_ms);
+      latency.mean_ms, static_cast<unsigned long long>(retunes_completed),
+      static_cast<unsigned long long>(retunes_started),
+      static_cast<unsigned long long>(tuning_cache.hits),
+      static_cast<unsigned long long>(tuning_cache.misses),
+      static_cast<unsigned long long>(tuning_cache.entries));
 }
 
 }  // namespace neocpu

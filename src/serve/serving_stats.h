@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "src/tuning/tuning_cache.h"
+
 namespace neocpu {
 
 struct LatencySnapshot {
@@ -48,6 +50,14 @@ struct ServerStats {
   double mean_batch_size = 0.0;
   std::int64_t max_batch_size = 0;
   LatencySnapshot latency;
+
+  // Batch-aware tuning activity, aggregated over every registered model: background
+  // per-batch re-tunes and the lifetime TuningCache traffic (the caches may be shared
+  // beyond this server — e.g. with the compiles that produced the models).
+  std::uint64_t retunes_started = 0;
+  std::uint64_t retunes_completed = 0;
+  std::uint64_t retunes_failed = 0;
+  TuningCacheStats tuning_cache;
 
   std::string ToString() const;
 };

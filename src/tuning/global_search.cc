@@ -81,8 +81,7 @@ double GlobalProblem::Evaluate(const std::vector<int>& selection) const {
   return ToPbqp().Evaluate(selection);
 }
 
-GlobalProblem ExtractGlobalProblem(const Graph& graph,
-                                   const std::map<int, LocalSearchResult>& locals) {
+GlobalProblem ExtractGlobalProblem(const Graph& graph, const LocalSearchMap& locals) {
   GlobalProblem problem;
   std::map<int, int> var_of_conv;
   for (int id = 0; id < graph.num_nodes(); ++id) {
@@ -95,7 +94,7 @@ GlobalProblem ExtractGlobalProblem(const Graph& graph,
     // One option per (ic_bn, oc_bn) pair: the pair's cheapest schedule. Transform costs
     // only see the pair, so cheaper same-pair schedules dominate.
     std::vector<ScheduleCost> options;
-    for (const ScheduleCost& sc : it->second.ranked) {
+    for (const ScheduleCost& sc : it->second->ranked) {
       bool seen = false;
       for (const ScheduleCost& kept : options) {
         if (kept.schedule.ic_bn == sc.schedule.ic_bn &&

@@ -44,8 +44,7 @@ struct GlobalProblem {
 };
 
 // `locals` maps conv node id to its local-search result.
-GlobalProblem ExtractGlobalProblem(const Graph& graph,
-                                   const std::map<int, LocalSearchResult>& locals);
+GlobalProblem ExtractGlobalProblem(const Graph& graph, const LocalSearchMap& locals);
 
 struct GlobalSolution {
   std::map<int, ConvSchedule> assignment;  // conv node id -> schedule

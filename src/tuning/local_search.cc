@@ -1,13 +1,9 @@
 #include "src/tuning/local_search.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <fstream>
-#include <iomanip>
-#include <sstream>
 
 #include "src/base/logging.h"
-#include "src/base/string_util.h"
+#include "src/tuning/tuning_cache.h"
 
 namespace neocpu {
 
@@ -21,73 +17,19 @@ const ScheduleCost* LocalSearchResult::BestForPair(std::int64_t ic_bn,
   return nullptr;
 }
 
-std::string TuningDatabase::Key(const Conv2dParams& params, const Target& target,
-                                CostMode mode, bool quick_space) {
-  return StrFormat("%s|%s|%s|%s", target.name.c_str(), params.CacheKey().c_str(),
-                   CostModeName(mode), quick_space ? "quick" : "full");
-}
-
-const LocalSearchResult* TuningDatabase::Find(const std::string& key) const {
-  auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second;
-}
-
-void TuningDatabase::Insert(const std::string& key, LocalSearchResult result) {
-  entries_[key] = std::move(result);
-}
-
-bool TuningDatabase::SaveToFile(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
-    return false;
+std::shared_ptr<const LocalSearchResult> LocalSearchConvShared(
+    const Conv2dParams& params, const Target& target, CostMode mode, bool quick_space,
+    ThreadEngine* engine, TuningCache* cache, bool* cache_hit) {
+  const WorkloadKey key = WorkloadKey::Of(params, target, mode, quick_space);
+  if (cache_hit != nullptr) {
+    *cache_hit = false;
   }
-  out << std::setprecision(17);
-  for (const auto& [key, result] : entries_) {
-    out << "workload " << key << " " << result.ranked.size() << "\n";
-    for (const ScheduleCost& sc : result.ranked) {
-      out << sc.schedule.ic_bn << " " << sc.schedule.oc_bn << " " << sc.schedule.reg_n << " "
-          << (sc.schedule.unroll_ker ? 1 : 0) << " " << sc.ms << "\n";
-    }
-  }
-  return true;
-}
-
-bool TuningDatabase::LoadFromFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return false;
-  }
-  std::string tag;
-  while (in >> tag) {
-    if (tag != "workload") {
-      return false;
-    }
-    std::string key;
-    std::size_t count = 0;
-    in >> key >> count;
-    LocalSearchResult result;
-    result.ranked.resize(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      int unroll = 0;
-      ScheduleCost& sc = result.ranked[i];
-      in >> sc.schedule.ic_bn >> sc.schedule.oc_bn >> sc.schedule.reg_n >> unroll >> sc.ms;
-      sc.schedule.unroll_ker = unroll != 0;
-    }
-    if (!in) {
-      return false;
-    }
-    entries_[key] = std::move(result);
-  }
-  return true;
-}
-
-LocalSearchResult LocalSearchConv(const Conv2dParams& params, const Target& target,
-                                  CostMode mode, bool quick_space, ThreadEngine* engine,
-                                  TuningDatabase* db) {
-  const std::string key = TuningDatabase::Key(params, target, mode, quick_space);
-  if (db != nullptr) {
-    if (const LocalSearchResult* cached = db->Find(key)) {
-      return *cached;
+  if (cache != nullptr) {
+    if (std::shared_ptr<const LocalSearchResult> cached = cache->Find(key)) {
+      if (cache_hit != nullptr) {
+        *cache_hit = true;
+      }
+      return cached;
     }
   }
   LocalSearchResult result;
@@ -100,10 +42,18 @@ LocalSearchResult LocalSearchConv(const Conv2dParams& params, const Target& targ
   NEOCPU_CHECK(!result.ranked.empty()) << "empty schedule space for " << params.ToString();
   std::stable_sort(result.ranked.begin(), result.ranked.end(),
                    [](const ScheduleCost& a, const ScheduleCost& b) { return a.ms < b.ms; });
-  if (db != nullptr) {
-    db->Insert(key, result);
+  auto shared = std::make_shared<const LocalSearchResult>(std::move(result));
+  if (cache != nullptr) {
+    cache->Insert(key, shared);
   }
-  return result;
+  return shared;
+}
+
+LocalSearchResult LocalSearchConv(const Conv2dParams& params, const Target& target,
+                                  CostMode mode, bool quick_space, ThreadEngine* engine,
+                                  TuningCache* cache, bool* cache_hit) {
+  return *LocalSearchConvShared(params, target, mode, quick_space, engine, cache,
+                                cache_hit);
 }
 
 }  // namespace neocpu

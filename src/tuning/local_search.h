@@ -1,21 +1,22 @@
 // Local search (paper §3.3.1): rank every candidate schedule of one convolution
 // workload by (measured or modelled) execution time, ascending.
 //
-// Results are memoized in a TuningDatabase keyed by (target, workload, mode) — the
-// paper: "we can maintain a database to store the results for every convolution
-// workload on every CPU type to prevent repeating search for the same convolution in
-// different models." The database serializes to a plain text file.
+// Results are memoized in the shared TuningCache (src/tuning/tuning_cache.h) keyed by
+// WorkloadKey — the full workload identity including the batch size, target ISA, cost
+// mode and space mode.
 #ifndef NEOCPU_SRC_TUNING_LOCAL_SEARCH_H_
 #define NEOCPU_SRC_TUNING_LOCAL_SEARCH_H_
 
 #include <map>
-#include <string>
+#include <memory>
 #include <vector>
 
 #include "src/tuning/cost_model.h"
 #include "src/tuning/schedule_space.h"
 
 namespace neocpu {
+
+class TuningCache;
 
 struct ScheduleCost {
   ConvSchedule schedule;
@@ -30,28 +31,26 @@ struct LocalSearchResult {
   const ScheduleCost* BestForPair(std::int64_t ic_bn, std::int64_t oc_bn) const;
 };
 
-class TuningDatabase {
- public:
-  static std::string Key(const Conv2dParams& params, const Target& target, CostMode mode,
-                         bool quick_space);
+// Conv node id -> its local-search result (the compiler's and global search's working
+// set; shared_ptr so cache hits are pointer copies, never ranked-list copies).
+using LocalSearchMap = std::map<int, std::shared_ptr<const LocalSearchResult>>;
 
-  const LocalSearchResult* Find(const std::string& key) const;
-  void Insert(const std::string& key, LocalSearchResult result);
-  std::size_t size() const { return entries_.size(); }
+// Walks the §3.3.1 candidate space for one workload. `cache` (optional) is consulted
+// first and populated with the result on a miss. `cache_hit` (optional) reports whether
+// this call was served from the cache — callers attribute cache traffic to themselves
+// through it, since the cache's own counters are shared across concurrent searches.
+// A hit hands back the cache's own immutable result; no copy is made.
+std::shared_ptr<const LocalSearchResult> LocalSearchConvShared(
+    const Conv2dParams& params, const Target& target, CostMode mode, bool quick_space,
+    ThreadEngine* engine = nullptr, TuningCache* cache = nullptr,
+    bool* cache_hit = nullptr);
 
-  bool SaveToFile(const std::string& path) const;
-  bool LoadFromFile(const std::string& path);
-
- private:
-  std::map<std::string, LocalSearchResult> entries_;
-};
-
-// Walks the §3.3.1 candidate space for one workload. `db` (optional) is consulted first
-// and updated with the result.
+// Convenience by-value form for standalone callers (examples, tests).
 LocalSearchResult LocalSearchConv(const Conv2dParams& params, const Target& target,
                                   CostMode mode, bool quick_space,
                                   ThreadEngine* engine = nullptr,
-                                  TuningDatabase* db = nullptr);
+                                  TuningCache* cache = nullptr,
+                                  bool* cache_hit = nullptr);
 
 }  // namespace neocpu
 

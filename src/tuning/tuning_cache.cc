@@ -1,0 +1,152 @@
+#include "src/tuning/tuning_cache.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace neocpu {
+
+namespace {
+constexpr char kFileTag[] = "neocpu-tuning-cache";
+}  // namespace
+
+std::shared_ptr<const LocalSearchResult> TuningCache::Find(const WorkloadKey& key) const {
+  const std::string text = key.ToString();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(text);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void TuningCache::Insert(const WorkloadKey& key, LocalSearchResult result) {
+  Insert(key, std::make_shared<const LocalSearchResult>(std::move(result)));
+}
+
+void TuningCache::Insert(const WorkloadKey& key,
+                         std::shared_ptr<const LocalSearchResult> result) {
+  NEOCPU_CHECK(result != nullptr && !result->ranked.empty())
+      << "inserting empty result for " << key.ToString();
+  std::string text = key.ToString();
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[std::move(text)] = std::move(result);
+  ++inserts_;
+}
+
+std::size_t TuningCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+TuningCacheStats TuningCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TuningCacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.inserts = inserts_;
+  stats.entries = entries_.size();
+  return stats;
+}
+
+std::vector<WorkloadKey> TuningCache::Keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WorkloadKey> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [text, result] : entries_) {
+    WorkloadKey key;
+    NEOCPU_CHECK(WorkloadKey::Parse(text, &key)) << "unparseable cache key " << text;
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+void TuningCache::Serialize(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << kFileTag << " " << kFormatVersion << " " << entries_.size() << "\n";
+  out << std::setprecision(17);
+  for (const auto& [text, result] : entries_) {
+    out << "workload " << text << " " << result->ranked.size() << "\n";
+    for (const ScheduleCost& sc : result->ranked) {
+      out << sc.schedule.ic_bn << " " << sc.schedule.oc_bn << " " << sc.schedule.reg_n
+          << " " << (sc.schedule.unroll_ker ? 1 : 0) << " " << sc.ms << "\n";
+    }
+  }
+}
+
+bool TuningCache::ParseStream(std::istream& in, EntryMap* entries) {
+  std::string tag;
+  std::uint32_t version = 0;
+  std::size_t entry_count = 0;
+  in >> tag >> version >> entry_count;
+  if (!in || tag != kFileTag) {
+    return false;
+  }
+  if (version != kFormatVersion) {
+    LOG(ERROR) << "tuning cache version " << version << " unsupported (expected "
+               << kFormatVersion << ")";
+    return false;
+  }
+  for (std::size_t e = 0; e < entry_count; ++e) {
+    std::string record_tag;
+    std::string key_text;
+    std::size_t count = 0;
+    in >> record_tag >> key_text >> count;
+    if (!in || record_tag != "workload" || count == 0) {
+      return false;
+    }
+    WorkloadKey key;
+    if (!WorkloadKey::Parse(key_text, &key)) {
+      return false;
+    }
+    LocalSearchResult result;
+    result.ranked.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      int unroll = 0;
+      ScheduleCost& sc = result.ranked[i];
+      in >> sc.schedule.ic_bn >> sc.schedule.oc_bn >> sc.schedule.reg_n >> unroll >> sc.ms;
+      sc.schedule.unroll_ker = unroll != 0;
+    }
+    if (!in) {
+      return false;
+    }
+    (*entries)[key_text] = std::make_shared<const LocalSearchResult>(std::move(result));
+  }
+  return true;
+}
+
+bool TuningCache::Deserialize(std::istream& in) {
+  EntryMap entries;
+  if (!ParseStream(in, &entries)) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [text, result] : entries) {
+    entries_[text] = std::move(result);
+  }
+  return true;
+}
+
+bool TuningCache::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  Serialize(out);
+  return static_cast<bool>(out);
+}
+
+bool TuningCache::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  return Deserialize(in);
+}
+
+}  // namespace neocpu

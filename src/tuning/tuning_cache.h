@@ -1,0 +1,103 @@
+// The single source of schedule truth.
+//
+// The paper: "we can maintain a database to store the results for every convolution
+// workload on every CPU type to prevent repeating search for the same convolution in
+// different models." TuningCache is that database grown into a subsystem shared by the
+// compiler and the serving tier:
+//   * keyed by WorkloadKey, so batch-1 and batch-8 tunings of the same conv coexist;
+//   * thread-safe — serving-side background re-tunes populate it while compile-time
+//     lookups and other re-tunes read it concurrently;
+//   * results are handed out as shared_ptr<const ...>, so a hit is a pointer copy and
+//     stays valid regardless of later inserts;
+//   * hit/miss/insert accounting for observability (serving stats surface it);
+//   * persistable: a versioned text file (SaveToFile/LoadFromFile) for standalone use,
+//     and a Serialize/Deserialize pair used by core/serialization to embed the cache
+//     inside a compiled-module artifact so warm starts restore every batch variant's
+//     tuning without re-searching.
+#ifndef NEOCPU_SRC_TUNING_TUNING_CACHE_H_
+#define NEOCPU_SRC_TUNING_TUNING_CACHE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/tuning/local_search.h"
+#include "src/tuning/workload_key.h"
+
+namespace neocpu {
+
+struct TuningCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::size_t entries = 0;
+
+  double HitRate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+class TuningCache {
+ public:
+  // Bumped whenever the on-disk layout changes; Load/Deserialize reject other versions
+  // instead of misreading them.
+  static constexpr std::uint32_t kFormatVersion = 2;
+
+  TuningCache() = default;
+  TuningCache(const TuningCache&) = delete;
+  TuningCache& operator=(const TuningCache&) = delete;
+
+  // Nullptr on miss. Every call counts toward hit/miss accounting.
+  std::shared_ptr<const LocalSearchResult> Find(const WorkloadKey& key) const;
+
+  // Inserting an existing key replaces its result (a fresh re-measurement of the same
+  // workload supersedes the stale timing, for example — note that analytic and
+  // measured results live under different keys, since cost mode is part of the key).
+  void Insert(const WorkloadKey& key, LocalSearchResult result);
+  void Insert(const WorkloadKey& key, std::shared_ptr<const LocalSearchResult> result);
+
+  std::size_t size() const;
+  TuningCacheStats Stats() const;
+
+  // All keys currently cached, in stable (text-key) order.
+  std::vector<WorkloadKey> Keys() const;
+
+  // Stream form used both by the file API and by module serialization. Deserialize
+  // *merges* into the current contents and returns false on version mismatch or
+  // malformed input (cache left with the entries parsed so far discarded — the cache is
+  // untouched on any failure).
+  void Serialize(std::ostream& out) const;
+  bool Deserialize(std::istream& in);
+
+  // Versioned text file:
+  //   neocpu-tuning-cache <version> <entry-count>
+  //   workload <key> <num-schedules>
+  //   <ic_bn> <oc_bn> <reg_n> <unroll> <ms>
+  //   ...
+  bool SaveToFile(const std::string& path) const;
+  // Merges the file's entries into the cache. False on I/O failure, version mismatch or
+  // malformed content; the in-memory cache is unchanged on failure.
+  bool LoadFromFile(const std::string& path);
+
+ private:
+  using EntryMap = std::map<std::string, std::shared_ptr<const LocalSearchResult>>;
+
+  static bool ParseStream(std::istream& in, EntryMap* entries);
+
+  mutable std::mutex mutex_;
+  // Keyed by WorkloadKey::ToString(); Keys() re-parses on demand (Parse is the exact
+  // inverse, so there is no second map to keep in sync).
+  EntryMap entries_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  std::uint64_t inserts_ = 0;
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_TUNING_TUNING_CACHE_H_

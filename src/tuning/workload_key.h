@@ -1,0 +1,49 @@
+// First-class tuning-workload identity.
+//
+// The paper's §3.3 search picks a schedule for one concrete convolution workload; which
+// schedule wins depends on more than the conv shape. A WorkloadKey captures the full
+// identity a cached search result is valid for:
+//   * the convolution parameters — *including the batch size*: batch changes the
+//     parallelism grain and cache footprint, so batch-1 and batch-8 are distinct
+//     workloads with distinct optima;
+//   * the target ISA profile the schedule space was constrained to;
+//   * the cost mode (analytic model vs real measurement);
+//   * the space mode (quick pruned neighbourhood vs the full §3.3.1 enumeration).
+//
+// Keys have a stable, human-readable text form (ToString/Parse round-trip) that is the
+// on-disk representation inside a persisted TuningCache.
+#ifndef NEOCPU_SRC_TUNING_WORKLOAD_KEY_H_
+#define NEOCPU_SRC_TUNING_WORKLOAD_KEY_H_
+
+#include <string>
+
+#include "src/core/target.h"
+#include "src/kernels/conv_params.h"
+#include "src/tuning/cost_model.h"
+
+namespace neocpu {
+
+struct WorkloadKey {
+  Conv2dParams conv;  // full workload shape, batch included
+  std::string target = "host";
+  CostMode cost_mode = CostMode::kAnalytic;
+  bool quick_space = true;
+
+  static WorkloadKey Of(const Conv2dParams& params, const Target& target, CostMode mode,
+                        bool quick_space) {
+    return WorkloadKey{params, target.name, mode, quick_space};
+  }
+
+  bool operator==(const WorkloadKey&) const = default;
+
+  // Stable single-token text form, e.g.
+  //   "avx512|8_64_28x28_64_3x3_1x1_1x1|analytic|quick"
+  std::string ToString() const;
+
+  // Inverse of ToString. Returns false (leaving *key untouched) on malformed input.
+  static bool Parse(const std::string& text, WorkloadKey* key);
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_TUNING_WORKLOAD_KEY_H_

@@ -10,11 +10,11 @@
 namespace neocpu {
 namespace {
 
-std::map<int, LocalSearchResult> LocalsFor(const Graph& g, const Target& t) {
-  std::map<int, LocalSearchResult> locals;
+LocalSearchMap LocalsFor(const Graph& g, const Target& t) {
+  LocalSearchMap locals;
   for (int i = 0; i < g.num_nodes(); ++i) {
     if (g.node(i).IsConv()) {
-      locals[i] = LocalSearchConv(g.node(i).attrs.conv, t, CostMode::kAnalytic, false);
+      locals[i] = LocalSearchConvShared(g.node(i).attrs.conv, t, CostMode::kAnalytic, false);
     }
   }
   return locals;
@@ -124,7 +124,7 @@ TEST(SolveGlobal, FreeTransformsDecoupleChoices) {
   }
   GlobalSolution s = SolveGlobal(p);
   for (const auto& [conv_id, sched] : s.assignment) {
-    const ConvSchedule& local_best = locals.at(conv_id).best().schedule;
+    const ConvSchedule& local_best = locals.at(conv_id)->best().schedule;
     EXPECT_EQ(sched.ic_bn, local_best.ic_bn);
     EXPECT_EQ(sched.oc_bn, local_best.oc_bn);
   }

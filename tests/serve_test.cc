@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <set>
 #include <thread>
 
 #include "src/base/rng.h"
@@ -183,7 +184,7 @@ TEST(ModelRegistry, WarmStartFromSerializedModule) {
 
   Tensor input = SampleInput(7);
   Tensor expected = compiled.Run(input);
-  Tensor served = entry->VariantFor(1).executor->Run(input, nullptr);
+  Tensor served = entry->VariantFor(1)->executor->Run(input, nullptr);
   EXPECT_EQ(Tensor::MaxAbsDiff(served, expected), 0.0);
   std::remove(path.c_str());
 }
@@ -222,6 +223,105 @@ TEST(ServingStats, ReservoirKeepsCountAndBoundsMemory) {
 TEST(ModelRegistry, MissingFileReturnsNull) {
   ModelRegistry registry;
   EXPECT_EQ(registry.RegisterFromFile("nope", "/nonexistent/path.neoc"), nullptr);
+}
+
+TEST(ModelEntry, ServesReboundVariantThenHotSwapsBatchTunedOne) {
+  // The acceptance scenario: compiled at batch 1, first served at batch 8 via the
+  // instant rebound variant (still batch-1-tuned), then hot-swapped to a variant whose
+  // schedules were searched for batch 8.
+  ModelRegistry registry;
+  ModelEntry* entry = registry.Register("tiny", Compile(BuildTinyCnn()));
+
+  ModelEntry::VariantPtr first = entry->VariantFor(8);
+  EXPECT_EQ(first->model->graph().node(0).out_dims[0], 8);
+  EXPECT_EQ(first->model->stats().tuned_batch, 1);  // rebound stopgap
+
+  entry->WaitForRetunes();
+  ModelEntry::VariantPtr tuned = entry->VariantFor(8);
+  EXPECT_EQ(tuned->model->stats().tuned_batch, 8);
+  EXPECT_TRUE(tuned->model->stats().retuned);
+
+  const EntryTuningStats stats = entry->TuningStats();
+  EXPECT_EQ(stats.retunes_started, 1u);
+  EXPECT_EQ(stats.retunes_completed, 1u);
+  EXPECT_EQ(stats.retunes_failed, 0u);
+
+  // The pinned first variant stays usable after the hot swap, and both variants
+  // compute the same function.
+  Tensor input = SampleInput(55);
+  std::vector<Tensor> batch_in(8, input);
+  Tensor stacked = StackBatch(batch_in);
+  Tensor from_old = first->executor->Run(stacked, nullptr);
+  Tensor from_new = tuned->executor->Run(stacked, nullptr);
+  EXPECT_LT(Tensor::MaxAbsDiff(from_old, from_new), 1e-4f);
+}
+
+TEST(ModelEntry, ConcurrentFirstUseOfOneBatchYieldsOneVariant) {
+  ModelRegistry registry;
+  ModelEntry* entry = registry.Register("tiny", Compile(BuildTinyCnn()));
+
+  constexpr int kThreads = 8;
+  std::vector<ModelEntry::VariantPtr> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([entry, &seen, i] { seen[static_cast<std::size_t>(i)] = entry->VariantFor(4); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  // Every thread got a batch-4 variant, and the slot was materialized once: the only
+  // distinct pointers possible are the one rebound variant and (if the background
+  // re-tune already landed mid-test) the one tuned replacement.
+  std::set<const ModelEntry::Variant*> distinct;
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_NE(seen[static_cast<std::size_t>(i)], nullptr);
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)]->model->graph().node(0).out_dims[0], 4);
+    distinct.insert(seen[static_cast<std::size_t>(i)].get());
+  }
+  EXPECT_LE(distinct.size(), 2u);
+  entry->WaitForRetunes();
+  EXPECT_LE(entry->TuningStats().retunes_started, 1u);
+  EXPECT_EQ(entry->TuningStats().retunes_completed, entry->TuningStats().retunes_started);
+  EXPECT_EQ(entry->VariantFor(4)->model->stats().tuned_batch, 4);
+}
+
+TEST(ModelEntry, WarmStartRestoresBatchTuningsWithoutResearch) {
+  // Serve batch 8 once (forcing its re-tune), save the module, restart into a fresh
+  // registry: the restored cache must satisfy the batch-8 re-tune without a single
+  // local-search miss.
+  ModelRegistry registry;
+  ModelEntry* entry = registry.Register("tiny", Compile(BuildTinyCnn()));
+  entry->VariantFor(8);
+  entry->WaitForRetunes();
+  ASSERT_EQ(entry->VariantFor(8)->model->stats().tuned_batch, 8);
+
+  const std::string path = ::testing::TempDir() + "/tiny_cnn_warm_tuned.neoc";
+  ASSERT_TRUE(SaveModule(*entry->VariantFor(1)->model, path));
+
+  ModelRegistry restarted;
+  ModelEntry* warm = restarted.RegisterFromFile("tiny", path);
+  ASSERT_NE(warm, nullptr);
+  const TuningCacheStats before = warm->tuning_cache()->Stats();
+  warm->VariantFor(8);
+  warm->WaitForRetunes();
+  ModelEntry::VariantPtr tuned = warm->VariantFor(8);
+  EXPECT_EQ(tuned->model->stats().tuned_batch, 8);
+  const TuningCacheStats after = warm->tuning_cache()->Stats();
+  EXPECT_EQ(after.misses, before.misses);  // no re-search: every workload was restored
+  EXPECT_GT(after.hits, before.hits);
+  std::remove(path.c_str());
+}
+
+TEST(ModelEntry, RetuneDisabledKeepsReboundVariant) {
+  ModelRegistry registry;
+  RetuneOptions retune;
+  retune.enabled = false;
+  registry.ConfigureRetune(retune);
+  ModelEntry* entry = registry.Register("tiny", Compile(BuildTinyCnn()));
+  entry->VariantFor(8);
+  entry->WaitForRetunes();
+  EXPECT_EQ(entry->TuningStats().retunes_started, 0u);
+  EXPECT_EQ(entry->VariantFor(8)->model->stats().tuned_batch, 1);
 }
 
 // The acceptance-criteria test: many client threads submit concurrently; every result

@@ -1,0 +1,252 @@
+// Tests for the batch-aware tuning subsystem: WorkloadKey identity and text
+// round-trips, TuningCache hit/miss accounting, versioned persistence, concurrent
+// access, and the compiler-level per-batch plumbing (CompileStats, RetuneForBatch,
+// module serialization of multi-batch caches).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/base/rng.h"
+#include "src/core/compiler.h"
+#include "src/core/serialization.h"
+#include "src/models/model_zoo.h"
+#include "src/serve/batch_util.h"
+#include "src/tuning/local_search.h"
+#include "src/tuning/tuning_cache.h"
+#include "src/tuning/workload_key.h"
+
+namespace neocpu {
+namespace {
+
+Conv2dParams TestConv(std::int64_t batch = 1) {
+  return Conv2dParams{batch, 32, 14, 14, 64, 3, 3, 1, 1, 1, 1};
+}
+
+LocalSearchResult SearchFor(const Conv2dParams& params, const Target& target) {
+  return LocalSearchConv(params, target, CostMode::kAnalytic, /*quick_space=*/true);
+}
+
+TEST(WorkloadKey, DistinguishesEveryIdentityField) {
+  const WorkloadKey base =
+      WorkloadKey::Of(TestConv(1), Target::SkylakeAvx512(), CostMode::kAnalytic, true);
+  WorkloadKey batch = base;
+  batch.conv.batch = 8;
+  WorkloadKey target = base;
+  target.target = Target::EpycAvx2().name;
+  WorkloadKey mode = base;
+  mode.cost_mode = CostMode::kMeasured;
+  WorkloadKey space = base;
+  space.quick_space = false;
+  for (const WorkloadKey& other : {batch, target, mode, space}) {
+    EXPECT_NE(base, other);
+    EXPECT_NE(base.ToString(), other.ToString());
+  }
+}
+
+TEST(WorkloadKey, ToStringParseRoundTrip) {
+  const WorkloadKey key =
+      WorkloadKey::Of(TestConv(8), Target::ArmA72Neon(), CostMode::kMeasured, false);
+  WorkloadKey parsed;
+  ASSERT_TRUE(WorkloadKey::Parse(key.ToString(), &parsed));
+  EXPECT_EQ(key, parsed);
+}
+
+TEST(WorkloadKey, ParseRejectsMalformedText) {
+  WorkloadKey parsed;
+  EXPECT_FALSE(WorkloadKey::Parse("", &parsed));
+  EXPECT_FALSE(WorkloadKey::Parse("avx512|garbage|analytic|quick", &parsed));
+  EXPECT_FALSE(WorkloadKey::Parse("avx512|1_32_14x14_64_3x3_1x1_1x1|warp|quick", &parsed));
+  EXPECT_FALSE(WorkloadKey::Parse("avx512|1_32_14x14_64_3x3_1x1_1x1|analytic|sideways",
+                                  &parsed));
+  EXPECT_FALSE(WorkloadKey::Parse("too|many|fields|in|here", &parsed));
+  const WorkloadKey valid =
+      WorkloadKey::Of(TestConv(), Target::SkylakeAvx512(), CostMode::kAnalytic, true);
+  ASSERT_TRUE(WorkloadKey::Parse(valid.ToString(), &parsed));
+}
+
+TEST(TuningCache, HitMissAccounting) {
+  TuningCache cache;
+  const Target t = Target::SkylakeAvx512();
+  const WorkloadKey key1 = WorkloadKey::Of(TestConv(1), t, CostMode::kAnalytic, true);
+  const WorkloadKey key8 = WorkloadKey::Of(TestConv(8), t, CostMode::kAnalytic, true);
+
+  EXPECT_EQ(cache.Find(key1), nullptr);
+  cache.Insert(key1, SearchFor(TestConv(1), t));
+  EXPECT_NE(cache.Find(key1), nullptr);
+  EXPECT_EQ(cache.Find(key8), nullptr);  // batch 8 is a different workload
+
+  const TuningCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_NEAR(stats.HitRate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TuningCache, SaveLoadRoundTripAcrossBatches) {
+  TuningCache cache;
+  const Target t = Target::EpycAvx2();
+  for (std::int64_t batch : {1, 4, 8}) {
+    cache.Insert(WorkloadKey::Of(TestConv(batch), t, CostMode::kAnalytic, true),
+                 SearchFor(TestConv(batch), t));
+  }
+  const std::string path = ::testing::TempDir() + "/neocpu_tuning_cache_test.txt";
+  ASSERT_TRUE(cache.SaveToFile(path));
+
+  TuningCache loaded;
+  ASSERT_TRUE(loaded.LoadFromFile(path));
+  EXPECT_EQ(loaded.size(), 3u);
+  for (std::int64_t batch : {1, 4, 8}) {
+    const WorkloadKey key = WorkloadKey::Of(TestConv(batch), t, CostMode::kAnalytic, true);
+    auto original = cache.Find(key);
+    auto restored = loaded.Find(key);
+    ASSERT_NE(restored, nullptr) << "batch " << batch;
+    EXPECT_EQ(restored->ranked.size(), original->ranked.size());
+    EXPECT_EQ(restored->best().schedule, original->best().schedule);
+    EXPECT_NEAR(restored->best().ms, original->best().ms, 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TuningCache, RejectsWrongVersionAndGarbage) {
+  TuningCache cache;
+  std::istringstream wrong_version("neocpu-tuning-cache 1 0\n");
+  EXPECT_FALSE(cache.Deserialize(wrong_version));
+  std::istringstream garbage("not-a-cache at all\n");
+  EXPECT_FALSE(cache.Deserialize(garbage));
+  std::istringstream truncated(
+      "neocpu-tuning-cache 2 1\nworkload avx512|1_32_14x14_64_3x3_1x1_1x1|analytic|quick "
+      "3\n16 16 8 1 0.5\n");
+  EXPECT_FALSE(cache.Deserialize(truncated));
+  EXPECT_EQ(cache.size(), 0u);  // failures leave the cache untouched
+}
+
+TEST(TuningCache, ConcurrentLookupsAndInsertsAreSafe) {
+  TuningCache cache;
+  const Target t = Target::SkylakeAvx512();
+  constexpr int kThreads = 8;
+  constexpr int kBatchesPerThread = 16;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&cache, &t, i] {
+      for (int b = 1; b <= kBatchesPerThread; ++b) {
+        const WorkloadKey key = WorkloadKey::Of(TestConv(b), t, CostMode::kAnalytic, true);
+        if (auto hit = cache.Find(key)) {
+          EXPECT_FALSE(hit->ranked.empty());
+        } else {
+          cache.Insert(key, SearchFor(TestConv(b), t));
+        }
+        (void)i;
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kBatchesPerThread));
+  for (int b = 1; b <= kBatchesPerThread; ++b) {
+    EXPECT_NE(cache.Find(WorkloadKey::Of(TestConv(b), t, CostMode::kAnalytic, true)),
+              nullptr);
+  }
+}
+
+TEST(Compile, RecordsTunedBatchAndCacheTraffic) {
+  auto cache = std::make_shared<TuningCache>();
+  CompileOptions opts;
+  opts.tuning_cache = cache;
+  CompiledModel first = Compile(BuildTinyCnn(), opts);
+  EXPECT_EQ(first.stats().tuned_batch, 1);
+  EXPECT_FALSE(first.stats().retuned);
+  EXPECT_GT(first.stats().tuning_cache_misses, 0u);
+  EXPECT_TRUE(first.has_source());
+  EXPECT_EQ(first.tuning().get(), cache.get());
+
+  // Same model, same cache: every workload is already tuned.
+  CompiledModel second = Compile(BuildTinyCnn(), opts);
+  EXPECT_EQ(second.stats().tuning_cache_misses, 0u);
+  EXPECT_GT(second.stats().tuning_cache_hits, 0u);
+}
+
+TEST(RetuneForBatch, ProducesBatchTunedModelFromSource) {
+  CompiledModel base = Compile(BuildTinyCnn());
+  ASSERT_TRUE(base.has_source());
+  EXPECT_EQ(base.stats().tuned_batch, 1);
+
+  CompiledModel tuned;
+  ASSERT_TRUE(RetuneForBatch(base, 8, nullptr, &tuned));
+  EXPECT_EQ(tuned.stats().tuned_batch, 8);
+  EXPECT_TRUE(tuned.stats().retuned);
+  EXPECT_EQ(tuned.graph().node(0).out_dims[0], 8);
+
+  // The batch-8 workloads landed in the shared cache; a second re-tune of the same
+  // batch is a pure table lookup.
+  CompiledModel again;
+  ASSERT_TRUE(RetuneForBatch(base, 8, nullptr, &again));
+  EXPECT_EQ(again.stats().tuning_cache_misses, 0u);
+
+  // Correctness: the batch-8-tuned model computes the same function as N serial runs.
+  Rng rng(3);
+  std::vector<Tensor> samples;
+  std::vector<Tensor> expected;
+  for (int i = 0; i < 8; ++i) {
+    samples.push_back(Tensor::Random({1, 3, 32, 32}, rng, 0.0f, 1.0f, Layout::NCHW()));
+    expected.push_back(base.Run(samples.back()));
+  }
+  std::vector<Tensor> stacked_out = {tuned.Run(StackBatch(samples))};
+  std::vector<Tensor> parts = SplitBatch(stacked_out[0], 8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_LT(Tensor::MaxAbsDiff(parts[static_cast<std::size_t>(i)],
+                                 expected[static_cast<std::size_t>(i)]),
+              1e-4f)
+        << "sample " << i;
+  }
+}
+
+TEST(RetuneForBatch, FailsWithoutSourceGraph) {
+  CompiledModel base = Compile(BuildTinyCnn());
+  CompiledModel stripped(Graph(base.graph()), base.stats());  // source-less copy
+  CompiledModel out;
+  EXPECT_FALSE(RetuneForBatch(stripped, 4, nullptr, &out));
+}
+
+TEST(Serialization, ModuleRoundTripsTuningStateForAllBatches) {
+  auto cache = std::make_shared<TuningCache>();
+  CompileOptions opts;
+  opts.tuning_cache = cache;
+  CompiledModel model = Compile(BuildTinyCnn(), opts);
+
+  // Populate the cache with two more batch variants before saving.
+  CompiledModel tuned4;
+  CompiledModel tuned8;
+  ASSERT_TRUE(RetuneForBatch(model, 4, nullptr, &tuned4));
+  ASSERT_TRUE(RetuneForBatch(model, 8, nullptr, &tuned8));
+  const std::size_t entries_before = cache->size();
+  EXPECT_GT(entries_before, 0u);
+
+  const std::string path = ::testing::TempDir() + "/tiny_cnn_tuning_state.neoc";
+  ASSERT_TRUE(SaveModule(model, path));
+
+  CompiledModel loaded;
+  ASSERT_TRUE(LoadModule(path, &loaded));
+  ASSERT_TRUE(loaded.has_source());
+  ASSERT_NE(loaded.tuning(), nullptr);
+  EXPECT_EQ(loaded.tuning()->size(), entries_before);
+  EXPECT_EQ(loaded.stats().tuned_batch, 1);
+  EXPECT_EQ(loaded.config().layout_mode, model.config().layout_mode);
+  EXPECT_EQ(loaded.config().target.name, model.config().target.name);
+  EXPECT_EQ(loaded.config().quick_space, model.config().quick_space);
+
+  // Warm start: re-tuning batch 8 out of the restored module re-searches nothing.
+  CompiledModel warm8;
+  ASSERT_TRUE(RetuneForBatch(loaded, 8, nullptr, &warm8));
+  EXPECT_EQ(warm8.stats().tuning_cache_misses, 0u);
+  EXPECT_GT(warm8.stats().tuning_cache_hits, 0u);
+  EXPECT_EQ(warm8.stats().tuned_batch, 8);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace neocpu

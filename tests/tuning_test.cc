@@ -1,13 +1,17 @@
 // Tests for the tuning stack: schedule space (paper §3.3.1 candidate lists), analytic
-// cost model properties, measured search, and the tuning database.
+// cost model properties, measured search, and tuning-cache memoization. (The cache's
+// own behaviour — keys, persistence, concurrency — lives in tuning_cache_test.cc.)
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 
+#include "src/base/cpu_info.h"
 #include "src/core/target.h"
 #include "src/tuning/cost_model.h"
 #include "src/tuning/local_search.h"
 #include "src/tuning/schedule_space.h"
+#include "src/tuning/tuning_cache.h"
 
 namespace neocpu {
 namespace {
@@ -107,9 +111,21 @@ TEST(MeasuredCost, PrefersRegisterBlockingOverNone) {
   // reg_n=8 should comfortably beat reg_n=2's weight-reload-per-two-outputs on a
   // compute-bound workload. (Measured on the real kernel: this is the core Figure 1
   // claim that register blocking matters.)
+  if (HostCpuInfo().physical_cores < 2) {
+    // On a single-core host every concurrently running test perturbs the measurement;
+    // the ranking claim is unverifiable noise there, not a kernel property.
+    GTEST_SKIP() << "measured-cost ranking is unreliable on single-core hosts";
+  }
   Conv2dParams p{1, 64, 28, 28, 64, 3, 3, 1, 1, 1, 1};
-  const double blocked = MeasureConvMs(p, ConvSchedule{16, 16, 8, true}, nullptr, 3);
-  const double minimal = MeasureConvMs(p, ConvSchedule{16, 16, 2, true}, nullptr, 3);
+  // Best-of-N: each MeasureConvMs already takes the min over its runs, and repeating
+  // the whole measurement N times shakes off scheduler noise bursts (ctest runs suites
+  // in parallel).
+  double blocked = 1e30;
+  double minimal = 1e30;
+  for (int trial = 0; trial < 5; ++trial) {
+    blocked = std::min(blocked, MeasureConvMs(p, ConvSchedule{16, 16, 8, true}, nullptr, 3));
+    minimal = std::min(minimal, MeasureConvMs(p, ConvSchedule{16, 16, 2, true}, nullptr, 3));
+  }
   EXPECT_LT(blocked, minimal * 1.15);  // allow noise; blocked must not be slower
 }
 
@@ -147,47 +163,35 @@ TEST(LocalSearch, AnalyticBestIsReasonableUnderMeasurement) {
       << measured.best().schedule.ToString();
 }
 
-TEST(TuningDatabase, MemoizesSearches) {
-  TuningDatabase db;
+TEST(LocalSearch, MemoizesThroughTuningCache) {
+  TuningCache cache;
   Conv2dParams p{1, 32, 14, 14, 32, 3, 3, 1, 1, 1, 1};
   const Target t = Target::SkylakeAvx512();
-  LocalSearchResult first = LocalSearchConv(p, t, CostMode::kAnalytic, true, nullptr, &db);
-  EXPECT_EQ(db.size(), 1u);
-  LocalSearchResult second = LocalSearchConv(p, t, CostMode::kAnalytic, true, nullptr, &db);
-  EXPECT_EQ(db.size(), 1u);
+  LocalSearchResult first =
+      LocalSearchConv(p, t, CostMode::kAnalytic, true, nullptr, &cache);
+  EXPECT_EQ(cache.size(), 1u);
+  LocalSearchResult second =
+      LocalSearchConv(p, t, CostMode::kAnalytic, true, nullptr, &cache);
+  EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(first.ranked.size(), second.ranked.size());
   EXPECT_EQ(first.best().schedule, second.best().schedule);
+  const TuningCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
 }
 
-TEST(TuningDatabase, SaveLoadRoundTrip) {
-  TuningDatabase db;
-  Conv2dParams p{1, 32, 14, 14, 64, 3, 3, 1, 1, 1, 1};
-  const Target t = Target::EpycAvx2();
-  LocalSearchConv(p, t, CostMode::kAnalytic, true, nullptr, &db);
-  const std::string path = ::testing::TempDir() + "/neocpu_tuning_db_test.txt";
-  ASSERT_TRUE(db.SaveToFile(path));
-  TuningDatabase loaded;
-  ASSERT_TRUE(loaded.LoadFromFile(path));
-  EXPECT_EQ(loaded.size(), db.size());
-  const std::string key = TuningDatabase::Key(p, t, CostMode::kAnalytic, true);
-  const LocalSearchResult* a = db.Find(key);
-  const LocalSearchResult* b = loaded.Find(key);
-  ASSERT_NE(a, nullptr);
-  ASSERT_NE(b, nullptr);
-  EXPECT_EQ(a->best().schedule, b->best().schedule);
-  EXPECT_NEAR(a->best().ms, b->best().ms, 1e-9);
-  std::remove(path.c_str());
-}
-
-TEST(TuningDatabase, KeyDistinguishesTargetAndMode) {
-  Conv2dParams p{1, 32, 14, 14, 64, 3, 3, 1, 1, 1, 1};
-  const std::string a = TuningDatabase::Key(p, Target::SkylakeAvx512(), CostMode::kAnalytic,
-                                            true);
-  const std::string b = TuningDatabase::Key(p, Target::EpycAvx2(), CostMode::kAnalytic, true);
-  const std::string c = TuningDatabase::Key(p, Target::SkylakeAvx512(), CostMode::kMeasured,
-                                            true);
-  EXPECT_NE(a, b);
-  EXPECT_NE(a, c);
+TEST(LocalSearch, BatchIsPartOfTheWorkloadIdentity) {
+  // The same conv shape at batch 1 and batch 8 must occupy two cache entries: batch
+  // changes the parallelism grain and footprint, so the tunings are not interchangeable.
+  TuningCache cache;
+  const Target t = Target::SkylakeAvx512();
+  Conv2dParams batch1{1, 32, 14, 14, 32, 3, 3, 1, 1, 1, 1};
+  Conv2dParams batch8 = batch1;
+  batch8.batch = 8;
+  LocalSearchConv(batch1, t, CostMode::kAnalytic, true, nullptr, &cache);
+  LocalSearchConv(batch8, t, CostMode::kAnalytic, true, nullptr, &cache);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Stats().misses, 2u);
 }
 
 TEST(Target, ByNameRoundTrip) {
