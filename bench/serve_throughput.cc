@@ -31,11 +31,14 @@ struct ConfigResult {
   std::int64_t max_batch = 0;
   double throughput_rps = 0.0;
   ServerStats stats;
-  // Cache traffic attributable to THIS configuration (a before/after delta). The swept
-  // servers share one TuningCache (every registered model is a copy of the same
-  // compile), so the ServerStats counters are cumulative across the sweep; deltas are
-  // what a cross-PR trend can compare.
+  // Cache traffic attributable to THIS configuration: a before/after delta on the
+  // registry-wide shared TuningCache (registration re-points every model at it, so
+  // that cache — not the caller's compile-time one — sees all serving-side lookups).
   TuningCacheStats cache_delta;
+  // Memory-planner observability: owning tensor-buffer heap allocations per inference
+  // during the timed section (the planned path collapses this to ~1 — the escaping
+  // output — plus batch staging), and the plan's arena footprint.
+  double heap_allocs_per_request = 0.0;
 };
 
 ConfigResult RunConfig(const CompiledModel& model, const std::string& model_name,
@@ -47,7 +50,7 @@ ConfigResult RunConfig(const CompiledModel& model, const std::string& model_name
   options.batching.max_delay_ms = 2.0;
   InferenceServer server(options);
   ModelEntry* entry = server.RegisterModel(model_name, model);
-  const std::shared_ptr<TuningCache> cache = model.tuning();
+  const std::shared_ptr<TuningCache> cache = server.registry().shared_tuning_cache();
   const TuningCacheStats cache_before = cache != nullptr ? cache->Stats() : TuningCacheStats{};
 
   Rng rng(99);
@@ -62,10 +65,18 @@ ConfigResult RunConfig(const CompiledModel& model, const std::string& model_name
     entry->VariantFor(max_batch);
   }
   server.WaitForRetunes();
+  // Freeze re-tuning for the timed section: a straggler partial batch (1 < n <
+  // max_batch) materializing mid-run would otherwise kick off a background re-tune
+  // whose search allocations land inside the heap_allocs_per_request window and whose
+  // compute competes with serving.
+  RetuneOptions frozen;
+  frozen.enabled = false;
+  server.registry().ConfigureRetune(frozen);
 
   std::vector<std::thread> clients;
   std::vector<std::vector<std::future<Tensor>>> futures(
       static_cast<std::size_t>(num_clients));
+  const std::uint64_t allocs_before = TensorHeapAllocCount();
   Timer timer;
   for (int c = 0; c < num_clients; ++c) {
     clients.emplace_back([&, c] {
@@ -84,12 +95,15 @@ ConfigResult RunConfig(const CompiledModel& model, const std::string& model_name
     }
   }
   const double seconds = timer.Seconds();
+  const std::uint64_t allocs_after = TensorHeapAllocCount();
 
   ConfigResult result;
   result.pool_width = pool_width;
   result.max_batch = max_batch;
   result.throughput_rps = static_cast<double>(num_requests) / seconds;
   result.stats = server.Stats();
+  result.heap_allocs_per_request =
+      static_cast<double>(allocs_after - allocs_before) / num_requests;
   if (cache != nullptr) {
     const TuningCacheStats cache_after = cache->Stats();
     result.cache_delta.hits = cache_after.hits - cache_before.hits;
@@ -115,6 +129,14 @@ int main() {
   CompileOptions copts;
   copts.cost_mode = bench::BenchCostMode();
   CompiledModel model = Compile(BuildModel(model_name), copts);
+  const std::size_t arena_bytes = model.stats().arena_bytes;
+  const std::size_t naive_arena_bytes = model.stats().naive_arena_bytes;
+  std::printf("memory plan: arena %zu B (naive sum-of-intermediates %zu B, %.1f%% saved)\n",
+              arena_bytes, naive_arena_bytes,
+              naive_arena_bytes == 0
+                  ? 0.0
+                  : 100.0 * (1.0 - static_cast<double>(arena_bytes) /
+                                       static_cast<double>(naive_arena_bytes)));
 
   std::vector<int> widths = {1, 2};
   if (HostCpuInfo().physical_cores >= 8) {
@@ -122,17 +144,17 @@ int main() {
   }
   const std::vector<std::int64_t> batches = {1, 4, 8};
 
-  std::printf("%-6s %-10s %12s %10s %10s %10s %11s\n", "pool", "max_batch", "thruput r/s",
-              "p50 ms", "p99 ms", "mean ms", "mean batch");
+  std::printf("%-6s %-10s %12s %10s %10s %10s %11s %11s\n", "pool", "max_batch",
+              "thruput r/s", "p50 ms", "p99 ms", "mean ms", "mean batch", "allocs/req");
   std::vector<ConfigResult> results;
   for (int width : widths) {
     for (std::int64_t max_batch : batches) {
       ConfigResult r =
           RunConfig(model, model_name, width, max_batch, num_clients, num_requests);
-      std::printf("%-6d %-10lld %12.1f %10.3f %10.3f %10.3f %11.2f\n", r.pool_width,
+      std::printf("%-6d %-10lld %12.1f %10.3f %10.3f %10.3f %11.2f %11.2f\n", r.pool_width,
                   static_cast<long long>(r.max_batch), r.throughput_rps,
                   r.stats.latency.p50_ms, r.stats.latency.p99_ms, r.stats.latency.mean_ms,
-                  r.stats.mean_batch_size);
+                  r.stats.mean_batch_size, r.heap_allocs_per_request);
       results.push_back(r);
     }
   }
@@ -168,6 +190,8 @@ int main() {
   json << "  \"requests\": " << num_requests << ",\n";
   json << "  \"clients\": " << num_clients << ",\n";
   json << "  \"physical_cores\": " << HostCpuInfo().physical_cores << ",\n";
+  json << "  \"arena_bytes\": " << arena_bytes << ",\n";
+  json << "  \"naive_arena_bytes\": " << naive_arena_bytes << ",\n";
   json << "  \"configs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ConfigResult& r = results[i];
@@ -182,7 +206,8 @@ int main() {
          << ", \"retunes_completed\": " << s.retunes_completed
          << ", \"tuning_cache_hits\": " << r.cache_delta.hits
          << ", \"tuning_cache_misses\": " << r.cache_delta.misses
-         << ", \"tuning_cache_hit_rate\": " << r.cache_delta.HitRate() << "}"
+         << ", \"tuning_cache_hit_rate\": " << r.cache_delta.HitRate()
+         << ", \"heap_allocs_per_request\": " << r.heap_allocs_per_request << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
   json << "  ]\n";

@@ -6,6 +6,7 @@
 
 #include "src/base/logging.h"
 #include "src/base/timer.h"
+#include "src/core/memory_plan.h"
 #include "src/graph/passes/passes.h"
 #include "src/graph/shape_infer.h"
 #include "src/tuning/global_search.h"
@@ -150,18 +151,26 @@ CompiledModel Compile(const Graph& model, const CompileOptions& options) {
   CompileStats stats;
   stats.tuned_batch = GraphBatch(source);
   Graph g = LowerFusedGraph(source, opts, &stats);
-  stats.compile_seconds = total_timer.Seconds();
-  if (opts.verbose) {
-    LOG(INFO) << "compiled " << g.name << " [" << LayoutModeName(opts.layout_mode) << "/"
-              << opts.target.name << "] batch " << stats.tuned_batch << ": "
-              << stats.num_convs << " convs, " << stats.num_layout_transforms
-              << " runtime layout transforms, tuning " << stats.tuning_seconds
-              << "s (cache " << stats.tuning_cache_hits << " hits / "
-              << stats.tuning_cache_misses << " misses), search " << stats.search_seconds
-              << "s";
+  std::shared_ptr<const ExecutionPlan> plan;
+  if (opts.plan_memory) {
+    plan = std::make_shared<const ExecutionPlan>(PlanMemory(g));
   }
-  return CompiledModel(std::move(g), stats, std::move(source),
-                       static_cast<const CompileConfig&>(opts), opts.tuning_cache);
+  stats.compile_seconds = total_timer.Seconds();
+  CompiledModel compiled(std::move(g), stats, std::move(source),
+                         static_cast<const CompileConfig&>(opts), opts.tuning_cache);
+  compiled.AttachPlan(std::move(plan));
+  if (opts.verbose) {
+    LOG(INFO) << "compiled " << compiled.graph().name << " ["
+              << LayoutModeName(opts.layout_mode) << "/" << opts.target.name << "] batch "
+              << stats.tuned_batch << ": " << stats.num_convs << " convs, "
+              << stats.num_layout_transforms << " runtime layout transforms, tuning "
+              << stats.tuning_seconds << "s (cache " << stats.tuning_cache_hits
+              << " hits / " << stats.tuning_cache_misses << " misses), search "
+              << stats.search_seconds << "s, arena "
+              << compiled.stats().arena_bytes << "B (naive "
+              << compiled.stats().naive_arena_bytes << "B)";
+  }
+  return compiled;
 }
 
 bool RebindBatch(const CompiledModel& model, std::int64_t batch, CompiledModel* out) {
@@ -169,17 +178,26 @@ bool RebindBatch(const CompiledModel& model, std::int64_t batch, CompiledModel* 
   if (!RebindBatchDim(&g, batch)) {
     return false;
   }
+  // Every batch variant needs its own plan: shapes changed, so offsets and the arena
+  // footprint change with them. Re-planning is pure graph analysis (microseconds).
+  const bool replan = model.plan() != nullptr;
   if (model.has_source()) {
     Graph source = model.source_graph();
     if (RebindBatchDim(&source, batch)) {
       *out = CompiledModel(std::move(g), model.stats(), std::move(source), model.config(),
                            model.tuning());
+      if (replan) {
+        out->AttachPlan(std::make_shared<const ExecutionPlan>(PlanMemory(out->graph())));
+      }
       return true;
     }
     // The executable graph rebinds but the source does not (should not happen — they
     // describe the same computation); degrade to a source-less, non-retunable model.
   }
   *out = CompiledModel(std::move(g), model.stats());
+  if (replan) {
+    out->AttachPlan(std::make_shared<const ExecutionPlan>(PlanMemory(out->graph())));
+  }
   return true;
 }
 
@@ -208,6 +226,9 @@ bool RetuneForBatch(const CompiledModel& model, std::int64_t batch, ThreadEngine
   stats.compile_seconds = total_timer.Seconds();
   *out = CompiledModel(std::move(g), stats, std::move(source), model.config(),
                        opts.tuning_cache);
+  if (model.config().plan_memory) {
+    out->AttachPlan(std::make_shared<const ExecutionPlan>(PlanMemory(out->graph())));
+  }
   return true;
 }
 

@@ -28,7 +28,9 @@
 #include <memory>
 #include <string>
 
+#include "src/base/logging.h"
 #include "src/core/executor.h"
+#include "src/core/memory_plan.h"
 #include "src/core/target.h"
 #include "src/graph/graph.h"
 #include "src/tuning/tuning_cache.h"
@@ -50,6 +52,10 @@ struct CompileConfig {
   CostMode cost_mode = CostMode::kAnalytic;
   bool quick_space = true;  // prune channel-factor candidates (see schedule_space.h)
   std::size_t max_dp_table_entries = 1 << 22;
+  // Static memory planning (core/memory_plan): place intermediates and workspaces in
+  // one reusable arena so steady-state Run allocates nothing. Off = the classic
+  // allocate-and-release executor path.
+  bool plan_memory = true;
 };
 
 struct CompileOptions : CompileConfig {
@@ -78,6 +84,14 @@ struct CompileStats {
   // TuningCache traffic attributable to this compilation's local searches.
   std::uint64_t tuning_cache_hits = 0;
   std::uint64_t tuning_cache_misses = 0;
+
+  // Static memory planning (core/memory_plan). arena_bytes is the planned peak arena
+  // footprint; naive_arena_bytes is what the allocating executor would malloc per Run
+  // for the same buffers (sum of intermediates + workspaces, no reuse). arena_bytes <=
+  // naive_arena_bytes always; the gap is the planner's buffer-reuse win.
+  bool memory_planned = false;
+  std::size_t arena_bytes = 0;
+  std::size_t naive_arena_bytes = 0;
 };
 
 class CompiledModel {
@@ -100,11 +114,11 @@ class CompiledModel {
 
   // Runs inference. `engine` is borrowed; null runs serially.
   Tensor Run(const Tensor& input, ThreadEngine* engine = nullptr) const {
-    return Executor(&graph_, engine).Run(input);
+    return Executor(&graph_, engine, plan_).Run(input);
   }
   std::vector<Tensor> RunAll(const std::vector<Tensor>& inputs,
                              ThreadEngine* engine = nullptr) const {
-    return Executor(&graph_, engine).Run(inputs);
+    return Executor(&graph_, engine, plan_).Run(inputs);
   }
 
   const Graph& graph() const { return graph_; }
@@ -118,6 +132,24 @@ class CompiledModel {
   // Null only for source-less models.
   const std::shared_ptr<TuningCache>& tuning() const { return tuning_; }
 
+  // Static memory plan for this model's executable graph (one per batch variant; see
+  // core/memory_plan). Null when compiled with plan_memory=false or for hand-built
+  // legacy models. Attach recomputes stats' footprint fields.
+  const std::shared_ptr<const ExecutionPlan>& plan() const { return plan_; }
+  void AttachPlan(std::shared_ptr<const ExecutionPlan> plan) {
+    plan_ = std::move(plan);
+    stats_.memory_planned = plan_ != nullptr && plan_->UsesArena();
+    stats_.arena_bytes = plan_ != nullptr ? plan_->arena_bytes : 0;
+    stats_.naive_arena_bytes = plan_ != nullptr ? plan_->naive_bytes : 0;
+  }
+
+  // Re-points the model at a different schedule cache (the serving registry's shared
+  // per-registry cache). Only meaningful for models that carry tuning state.
+  void ReplaceTuningCache(std::shared_ptr<TuningCache> cache) {
+    NEOCPU_CHECK(has_source_) << "source-less models carry no tuning state";
+    tuning_ = std::move(cache);
+  }
+
  private:
   Graph graph_;
   CompileStats stats_;
@@ -125,6 +157,7 @@ class CompiledModel {
   bool has_source_ = false;
   CompileConfig config_;
   std::shared_ptr<TuningCache> tuning_;
+  std::shared_ptr<const ExecutionPlan> plan_;
 };
 
 CompiledModel Compile(const Graph& model, const CompileOptions& options = {});

@@ -1,11 +1,15 @@
 #include "src/core/executor.h"
 
+#include <optional>
+
 #include "src/base/logging.h"
 #include "src/core/op_dispatch.h"
 
 namespace neocpu {
 
-Executor::Executor(const Graph* graph, ThreadEngine* engine) : graph_(graph), engine_(engine) {
+Executor::Executor(const Graph* graph, ThreadEngine* engine,
+                   std::shared_ptr<const ExecutionPlan> plan)
+    : graph_(graph), engine_(engine), plan_(std::move(plan)) {
   use_counts_.assign(static_cast<std::size_t>(graph->num_nodes()), 0);
   for (int id = 0; id < graph->num_nodes(); ++id) {
     const Node& node = graph->node(id);
@@ -19,14 +23,24 @@ Executor::Executor(const Graph* graph, ThreadEngine* engine) : graph_(graph), en
   for (int out : graph->outputs()) {
     ++use_counts_[static_cast<std::size_t>(out)];
   }
+  if (plan_ != nullptr) {
+    NEOCPU_CHECK_EQ(static_cast<int>(plan_->nodes.size()), graph->num_nodes())
+        << "execution plan does not match the graph";
+    planned_ = plan_->UsesArena();
+  }
 }
 
 std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs) const {
-  return Run(inputs, engine_);
+  return Run(inputs, engine_, nullptr);
 }
 
 std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs,
                                   ThreadEngine* engine) const {
+  return Run(inputs, engine, nullptr);
+}
+
+std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs, ThreadEngine* engine,
+                                  Arena* arena) const {
   NEOCPU_CHECK_EQ(inputs.size(), input_nodes_.size())
       << "graph expects " << input_nodes_.size() << " inputs";
   std::vector<Tensor> values(static_cast<std::size_t>(graph_->num_nodes()));
@@ -47,6 +61,17 @@ std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs,
     values[static_cast<std::size_t>(input_nodes_[i])] = inputs[i];
   }
 
+  // One lease per Run: a warm per-partition arena when the caller owns one (serving
+  // pool), else the process-wide pool. Stack-held (the lease handle itself must not
+  // malloc on the path whose point is zero allocations) and lazy, so unplanned graphs
+  // never touch the pool.
+  std::optional<ArenaLease> lease;
+  float* arena_base = nullptr;
+  if (planned_) {
+    lease.emplace(arena, &ArenaPool::Global(), plan_->arena_bytes);
+    arena_base = lease->data();
+  }
+
   std::vector<Tensor> node_inputs;
   for (int id = 0; id < graph_->num_nodes(); ++id) {
     const Node& node = graph_->node(id);
@@ -63,7 +88,20 @@ std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs,
           << node.name << ": input " << input << " not materialized";
       node_inputs.push_back(values[static_cast<std::size_t>(input)]);
     }
-    values[static_cast<std::size_t>(id)] = ExecuteNode(node, node_inputs, engine);
+    const NodePlan* np =
+        planned_ ? &plan_->nodes[static_cast<std::size_t>(id)] : nullptr;
+    if (np != nullptr && np->placement == BufferPlacement::kArena) {
+      // Zero-allocation path: output and workspace are views at the planned offsets.
+      Tensor out = Tensor::FromExternal(
+          arena_base + np->offset / sizeof(float), np->dims, np->layout);
+      float* workspace = np->workspace_bytes > 0
+                             ? arena_base + np->workspace_offset / sizeof(float)
+                             : nullptr;
+      ExecuteNodeInto(node, node_inputs, &out, workspace, engine);
+      values[static_cast<std::size_t>(id)] = std::move(out);
+    } else {
+      values[static_cast<std::size_t>(id)] = ExecuteNode(node, node_inputs, engine);
+    }
     // Liveness: release inputs whose last consumer just ran.
     for (int input : node.inputs) {
       if (--remaining[static_cast<std::size_t>(input)] == 0) {
@@ -75,15 +113,21 @@ std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs,
   std::vector<Tensor> outputs;
   outputs.reserve(graph_->outputs().size());
   for (int out : graph_->outputs()) {
+    // Planned graphs place escaping buffers on the heap, so outputs own their storage
+    // and stay valid after the arena lease is returned.
     outputs.push_back(values[static_cast<std::size_t>(out)]);
   }
   return outputs;
 }
 
-Tensor Executor::Run(const Tensor& input) const { return Run(input, engine_); }
+Tensor Executor::Run(const Tensor& input) const { return Run(input, engine_, nullptr); }
 
 Tensor Executor::Run(const Tensor& input, ThreadEngine* engine) const {
-  std::vector<Tensor> outputs = Run(std::vector<Tensor>{input}, engine);
+  return Run(input, engine, nullptr);
+}
+
+Tensor Executor::Run(const Tensor& input, ThreadEngine* engine, Arena* arena) const {
+  std::vector<Tensor> outputs = Run(std::vector<Tensor>{input}, engine, arena);
   NEOCPU_CHECK_EQ(outputs.size(), 1u);
   return outputs[0];
 }

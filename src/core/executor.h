@@ -1,14 +1,26 @@
 // Graph executor: runs a graph's nodes in topological order on a ThreadEngine.
 //
-// Memory management: a node's output tensor is released as soon as its last consumer has
-// executed (liveness-based buffer release), which bounds peak activation memory — the
-// property that lets VGG-class models (hundreds of MB of weights) run on small hosts.
+// Memory management has two modes:
+//   * Planned (an ExecutionPlan from core/memory_plan is attached): every intermediate
+//     tensor and kernel workspace is a view into one pre-faulted arena at the offsets
+//     the compile-time planner chose; steady-state Run performs zero heap allocations
+//     for intermediates/workspaces (graph outputs still own their storage — they
+//     escape the call). The arena comes from a caller-supplied warm Arena (the serving
+//     pool passes one per executor-pool partition so pages stay local to the cores
+//     that touch them) or, by default, from the process-wide ArenaPool.
+//   * Allocating (no plan): a node's output tensor is freshly allocated and released as
+//     soon as its last consumer has executed (liveness-based buffer release), which
+//     bounds peak activation memory — the property that lets VGG-class models run on
+//     small hosts. This remains the reference path and the fallback.
 #ifndef NEOCPU_SRC_CORE_EXECUTOR_H_
 #define NEOCPU_SRC_CORE_EXECUTOR_H_
 
+#include <memory>
 #include <vector>
 
+#include "src/core/memory_plan.h"
 #include "src/graph/graph.h"
+#include "src/runtime/arena_pool.h"
 #include "src/runtime/thread_engine.h"
 #include "src/tensor/tensor.h"
 
@@ -17,26 +29,39 @@ namespace neocpu {
 class Executor {
  public:
   // `graph` and `engine` are borrowed and must outlive the executor. A null engine runs
-  // serially.
-  explicit Executor(const Graph* graph, ThreadEngine* engine = nullptr);
+  // serially. `plan` (shared, may be null) must have been computed for exactly `graph`;
+  // a null plan or one with no arena placements selects the allocating path.
+  explicit Executor(const Graph* graph, ThreadEngine* engine = nullptr,
+                    std::shared_ptr<const ExecutionPlan> plan = nullptr);
 
   // `inputs` are bound to the graph's kInput nodes in node-id order. Returns the tensors
   // of the graph's output nodes. Run is stateless and const: one executor instance can
   // serve concurrent Run calls from many threads (the serving executor pool relies on
-  // this to reuse a single executor per compiled model across the whole pool).
+  // this to reuse a single executor per compiled model across the whole pool); each
+  // planned Run leases its own arena.
   std::vector<Tensor> Run(const std::vector<Tensor>& inputs) const;
 
   // As above, but runs on `engine` instead of the engine bound at construction. A null
-  // engine runs serially.
+  // engine runs serially. A non-null `arena` backs the planned execution instead of the
+  // global pool (it is grown to the plan's footprint and must not be used by another
+  // Run concurrently).
   std::vector<Tensor> Run(const std::vector<Tensor>& inputs, ThreadEngine* engine) const;
+  std::vector<Tensor> Run(const std::vector<Tensor>& inputs, ThreadEngine* engine,
+                          Arena* arena) const;
 
   // Convenience for single-input single-output graphs.
   Tensor Run(const Tensor& input) const;
   Tensor Run(const Tensor& input, ThreadEngine* engine) const;
+  Tensor Run(const Tensor& input, ThreadEngine* engine, Arena* arena) const;
+
+  // The attached plan; null when executing on the allocating path.
+  const ExecutionPlan* plan() const { return planned_ ? plan_.get() : nullptr; }
 
  private:
   const Graph* graph_;
   ThreadEngine* engine_;
+  std::shared_ptr<const ExecutionPlan> plan_;
+  bool planned_ = false;  // plan_ is non-null AND places at least one buffer
   std::vector<int> input_nodes_;
   std::vector<int> use_counts_;  // consumer count + output multiplicity per node
 };

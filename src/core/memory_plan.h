@@ -1,0 +1,78 @@
+// Ahead-of-time static memory planning (the compile-time side of the paper's §3.3
+// "graph-level optimization decides data placement ahead of execution").
+//
+// PlanMemory runs liveness analysis over an executable graph — generalizing the
+// executor's use-count logic to full def/last-use intervals with alias tracking — sizes
+// every intermediate tensor and per-op kernel workspace (im2col column buffers), and
+// greedily assigns byte offsets into ONE contiguous arena, reusing the space of buffers
+// whose last consumer has already run (best-fit over freed intervals, with coalescing).
+// The executor then runs the whole graph inside a single pooled, pre-faulted arena
+// (runtime/arena_pool): steady-state inference performs zero heap allocations for
+// intermediates and workspaces.
+//
+// Placement classes:
+//   kArena — materializing op the dispatcher can execute-into; offset/size are final.
+//   kAlias — the output is a view of an input's buffer (reshape/flatten/dropout,
+//            identity layout transforms); shares the producer's placement and extends
+//            its live interval.
+//   kHeap  — buffers that must own their storage: graph outputs (and anything they
+//            alias — they escape the Run and outlive the arena lease) plus the few ops
+//            without an into-form (unfolded BatchNorm, multibox detection).
+//
+// The plan is a pure function of the graph: every batch variant gets its own plan, and
+// module loading recomputes plans rather than trusting serialized offsets (the artifact
+// carries only summary metadata as a cross-check).
+#ifndef NEOCPU_SRC_CORE_MEMORY_PLAN_H_
+#define NEOCPU_SRC_CORE_MEMORY_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/tensor/layout.h"
+
+namespace neocpu {
+
+enum class BufferPlacement : std::uint8_t { kHeap, kArena, kAlias };
+
+struct NodePlan {
+  BufferPlacement placement = BufferPlacement::kHeap;
+  int alias_of = -1;                 // kAlias: node id whose buffer this output shares
+  std::size_t offset = 0;            // kArena: byte offset of the output in the arena
+  std::size_t size_bytes = 0;        // kArena: aligned output size
+  std::size_t workspace_offset = 0;  // kArena with workspace_bytes > 0
+  std::size_t workspace_bytes = 0;
+  // Physical dims/layout of the output view (kArena), precomputed so Run builds views
+  // without re-deriving shapes.
+  std::vector<std::int64_t> dims;
+  Layout layout;
+};
+
+struct ExecutionPlan {
+  std::vector<NodePlan> nodes;    // indexed by node id
+  std::size_t arena_bytes = 0;    // peak arena footprint (what the executor reserves)
+  std::size_t naive_bytes = 0;    // sum of all planned buffers + workspaces: the bytes
+                                  // the allocating path mallocs per Run for the same set
+  int arena_nodes = 0;            // outputs placed in the arena
+  int alias_nodes = 0;
+  int heap_nodes = 0;             // materializing nodes left on the allocating path
+
+  bool UsesArena() const { return arena_nodes > 0; }
+  std::string ToString() const;  // human-readable placement table (debugging)
+};
+
+// Plans `graph`. Always succeeds; a graph with nothing plannable yields a plan with
+// arena_nodes == 0 which the executor treats as "no plan".
+ExecutionPlan PlanMemory(const Graph& graph);
+
+// Validation used by tests: true iff no two concurrently-live arena intervals overlap,
+// every interval fits in arena_bytes, and alias/heap classification matches the
+// dispatcher's capabilities. Appends human-readable problems to `errors` if non-null.
+bool ValidatePlan(const Graph& graph, const ExecutionPlan& plan,
+                  std::vector<std::string>* errors = nullptr);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_CORE_MEMORY_PLAN_H_

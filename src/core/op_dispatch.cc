@@ -16,51 +16,71 @@
 namespace neocpu {
 namespace {
 
-Tensor ExecuteConv(const Node& node, const std::vector<Tensor>& in, ThreadEngine* engine) {
+// Runs the convolution kernel bound to `node` writing into the preallocated `*out`;
+// `workspace` backs the im2col column buffer (null on the allocating path).
+void ExecuteConvInto(const Node& node, const std::vector<Tensor>& in, Tensor* out,
+                     float* workspace, ThreadEngine* engine) {
   const Conv2dParams& p = node.attrs.conv;
   const ConvEpilogue& epi = node.attrs.epilogue;
   const Tensor* bias = epi.bias ? &in[2] : nullptr;
   const Tensor* residual = epi.residual_add ? &in.back() : nullptr;
   switch (node.attrs.kernel) {
-    case ConvKernelKind::kDirectNCHW: {
-      Tensor out = Tensor::Empty({p.batch, p.out_c, p.OutH(), p.OutW()}, Layout::NCHW());
-      ConvRefNCHW(p, in[0], in[1], bias, residual, epi, &out, engine);
-      return out;
-    }
-    case ConvKernelKind::kIm2col: {
-      Tensor out = Tensor::Empty({p.batch, p.out_c, p.OutH(), p.OutW()}, Layout::NCHW());
-      ConvIm2col(p, in[0], in[1], bias, residual, epi, &out, engine);
-      return out;
-    }
-    case ConvKernelKind::kNCHWc: {
-      const ConvSchedule& s = node.attrs.schedule;
-      Tensor out = Tensor::Empty({p.batch, p.out_c / s.oc_bn, p.OutH(), p.OutW(), s.oc_bn},
-                                 Layout::NCHWc(s.oc_bn));
-      ConvNCHWc(p, s, in[0], in[1], bias, residual, epi, &out, engine);
-      return out;
-    }
+    case ConvKernelKind::kDirectNCHW:
+      ConvRefNCHW(p, in[0], in[1], bias, residual, epi, out, engine);
+      return;
+    case ConvKernelKind::kIm2col:
+      ConvIm2col(p, in[0], in[1], bias, residual, epi, out, engine, workspace);
+      return;
+    case ConvKernelKind::kNCHWc:
+      ConvNCHWc(p, node.attrs.schedule, in[0], in[1], bias, residual, epi, out, engine);
+      return;
   }
   LOG(FATAL) << "unreachable";
-  return {};
+}
+
+Tensor ExecuteConv(const Node& node, const std::vector<Tensor>& in, ThreadEngine* engine) {
+  const Conv2dParams& p = node.attrs.conv;
+  Tensor out;
+  if (node.attrs.kernel == ConvKernelKind::kNCHWc) {
+    const ConvSchedule& s = node.attrs.schedule;
+    out = Tensor::Empty({p.batch, p.out_c / s.oc_bn, p.OutH(), p.OutW(), s.oc_bn},
+                        Layout::NCHWc(s.oc_bn));
+  } else {
+    out = Tensor::Empty({p.batch, p.out_c, p.OutH(), p.OutW()}, Layout::NCHW());
+  }
+  ExecuteConvInto(node, in, &out, nullptr, engine);
+  return out;
+}
+
+// Concatenate {N, C_i} (or flat {C_i}) tensors along the last axis into `*out`.
+void ConcatFlatInto(const std::vector<Tensor>& in, Tensor* out) {
+  const std::int64_t rows = in[0].ndim() >= 2 ? in[0].dim(0) : 1;
+  std::int64_t total_cols = 0;
+  for (const Tensor& t : in) {
+    total_cols += t.NumElements() / rows;
+  }
+  NEOCPU_CHECK(out != nullptr && out->defined());
+  NEOCPU_CHECK_EQ(out->NumElements(), rows * total_cols)
+      << "flat concat output mismatch: " << out->DebugString();
+  std::int64_t col_off = 0;
+  for (const Tensor& t : in) {
+    const std::int64_t cols = t.NumElements() / rows;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      std::memcpy(out->data() + r * total_cols + col_off, t.data() + r * cols,
+                  static_cast<std::size_t>(cols) * sizeof(float));
+    }
+    col_off += cols;
+  }
 }
 
 Tensor ConcatFlat(const std::vector<Tensor>& in) {
-  // Concatenate {N, C_i} (or flat {C_i}) tensors along the last axis.
   const std::int64_t rows = in[0].ndim() >= 2 ? in[0].dim(0) : 1;
   std::int64_t total_cols = 0;
   for (const Tensor& t : in) {
     total_cols += t.NumElements() / rows;
   }
   Tensor out = Tensor::Empty({rows, total_cols}, Layout::Flat());
-  std::int64_t col_off = 0;
-  for (const Tensor& t : in) {
-    const std::int64_t cols = t.NumElements() / rows;
-    for (std::int64_t r = 0; r < rows; ++r) {
-      std::memcpy(out.data() + r * total_cols + col_off, t.data() + r * cols,
-                  static_cast<std::size_t>(cols) * sizeof(float));
-    }
-    col_off += cols;
-  }
+  ConcatFlatInto(in, &out);
   return out;
 }
 
@@ -122,6 +142,129 @@ Tensor ExecuteNode(const Node& node, const std::vector<Tensor>& in, ThreadEngine
   }
   LOG(FATAL) << "unreachable";
   return {};
+}
+
+void ExecuteNodeInto(const Node& node, const std::vector<Tensor>& in, Tensor* out,
+                     float* workspace, ThreadEngine* engine) {
+  NEOCPU_CHECK(out != nullptr && out->defined());
+  switch (node.type) {
+    case OpType::kConv2d:
+      ExecuteConvInto(node, in, out, workspace, engine);
+      return;
+    case OpType::kScaleShift:
+      if (in[0].ndim() == 5) {
+        ScaleShiftNCHWc(in[0], in[1], in[2], node.attrs.relu, out, engine);
+      } else {
+        ScaleShiftNCHW(in[0], in[1], in[2], node.attrs.relu, out, engine);
+      }
+      return;
+    case OpType::kRelu:
+      Relu(in[0], out, engine);
+      return;
+    case OpType::kMaxPool:
+    case OpType::kAvgPool:
+      if (in[0].ndim() == 5) {
+        PoolNCHWc(node.attrs.pool, in[0], out, engine);
+      } else {
+        PoolNCHW(node.attrs.pool, in[0], out, engine);
+      }
+      return;
+    case OpType::kGlobalAvgPool:
+      if (in[0].ndim() == 5) {
+        GlobalAvgPoolNCHWc(in[0], out, engine);
+      } else {
+        GlobalAvgPoolNCHW(in[0], out, engine);
+      }
+      return;
+    case OpType::kDense:
+      Dense(in[0], in[1], in.size() > 2 ? &in[2] : nullptr, node.attrs.relu, out, engine);
+      return;
+    case OpType::kSoftmax:
+      Softmax(in[0], out, engine);
+      return;
+    case OpType::kElemAdd:
+      AddElementwise(in[0], in[1], node.attrs.relu, out, engine);
+      return;
+    case OpType::kConcat:
+      if (in[0].ndim() >= 4) {
+        ConcatChannels(in, out, engine);
+      } else {
+        ConcatFlatInto(in, out);
+      }
+      return;
+    case OpType::kFlattenNHWC: {
+      // The planner sizes the flat {N, C*H*W} output; the permutation writes straight
+      // into it through an NHWC-shaped view of the same bytes.
+      Tensor nhwc = Tensor::FromExternal(
+          out->data(), {in[0].dim(0), in[0].dim(2), in[0].dim(3), in[0].dim(1)},
+          Layout::NHWC());
+      NCHWToNHWC(in[0], &nhwc, engine);
+      return;
+    }
+    case OpType::kLayoutTransform:
+      TransformLayout(in[0], node.attrs.dst_layout, out, engine);
+      return;
+    default:
+      break;
+  }
+  LOG(FATAL) << "ExecuteNodeInto: unsupported op " << OpTypeName(node.type) << " ("
+             << node.name << ")";
+}
+
+int AliasedInput(const Node& node, const Graph& graph) {
+  switch (node.type) {
+    case OpType::kReshape:
+    case OpType::kFlatten:
+    case OpType::kDropout:
+      return 0;
+    case OpType::kLayoutTransform:
+      // Identity transforms (source already in the destination layout) return their
+      // input unchanged at runtime; the planner must treat them as views.
+      return graph.node(node.inputs[0]).out_layout == node.attrs.dst_layout ? 0 : -1;
+    default:
+      return -1;
+  }
+}
+
+bool SupportsExecuteInto(const Node& node, const Graph& graph) {
+  switch (node.type) {
+    case OpType::kInput:
+    case OpType::kConstant:
+    case OpType::kBatchNorm:          // reference-only: folds statistics on the fly
+    case OpType::kMultiboxDetection:  // detection head allocates internally
+    case OpType::kReshape:
+    case OpType::kFlatten:
+    case OpType::kDropout:
+      return false;
+    case OpType::kLayoutTransform:
+      return AliasedInput(node, graph) < 0;
+    default:
+      return true;
+  }
+}
+
+std::size_t NodeWorkspaceBytes(const Node& node) {
+  if (node.type == OpType::kConv2d && node.attrs.kernel == ConvKernelKind::kIm2col) {
+    return ConvIm2colWorkspaceBytes(node.attrs.conv);
+  }
+  return 0;
+}
+
+std::vector<std::int64_t> PlannedOutputDims(const Node& node) {
+  if (node.out_layout.kind == LayoutKind::kNCHWc) {
+    NEOCPU_CHECK_EQ(node.out_dims.size(), 4u)
+        << node.name << ": blocked layout on non-4D logical shape";
+    const std::int64_t x = node.out_layout.c_block;
+    NEOCPU_CHECK_GT(x, 0);
+    NEOCPU_CHECK_EQ(node.out_dims[1] % x, 0)
+        << node.name << ": channels " << node.out_dims[1] << " not divisible by " << x;
+    return {node.out_dims[0], node.out_dims[1] / x, node.out_dims[2], node.out_dims[3], x};
+  }
+  return node.out_dims;
+}
+
+Layout PlannedOutputLayout(const Node& node) {
+  return node.out_dims.size() >= 4 ? node.out_layout : Layout::Flat();
 }
 
 }  // namespace neocpu

@@ -2,9 +2,20 @@
 // kernel library. Layout-tolerant operations pick their NCHW / NCHW[x]c variant from the
 // incoming tensor's rank, so the same dispatch serves the reference executor and every
 // optimized configuration.
+//
+// Two execution forms:
+//   * ExecuteNode — allocating: the kernel materializes a fresh output tensor (and any
+//     scratch it needs). The reference path, and the fallback for graphs without a
+//     memory plan.
+//   * ExecuteNodeInto — zero-allocation: output and workspace are caller-provided (arena
+//     slices placed by core/memory_plan). Only valid for nodes where
+//     SupportsExecuteInto() is true; the planner and the executor agree on that set.
+// The planner-facing queries below are the single source of truth for which nodes
+// materialize, which alias an input's buffer, and how much scratch each kernel needs.
 #ifndef NEOCPU_SRC_CORE_OP_DISPATCH_H_
 #define NEOCPU_SRC_CORE_OP_DISPATCH_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "src/graph/graph.h"
@@ -15,6 +26,36 @@ namespace neocpu {
 
 Tensor ExecuteNode(const Node& node, const std::vector<Tensor>& inputs,
                    ThreadEngine* engine);
+
+// Executes `node` writing its result into `*out` (a preallocated tensor whose physical
+// dims/layout match PlannedOutputDims/node.out_layout) using `workspace` for kernel
+// scratch (null iff NodeWorkspaceBytes(node) == 0). Dies if the node does not support
+// the into-form.
+void ExecuteNodeInto(const Node& node, const std::vector<Tensor>& inputs, Tensor* out,
+                     float* workspace, ThreadEngine* engine);
+
+// True when ExecuteNodeInto can run this node. False for ops whose output is a view of
+// an input (see AliasedInput), for inputs/constants, and for the few ops that keep the
+// allocating path (unfolded BatchNorm, multibox detection).
+bool SupportsExecuteInto(const Node& node, const Graph& graph);
+
+// If the node's output shares its input's buffer (reshape, flatten, dropout, identity
+// layout transforms), the index into node.inputs of the aliased producer; -1 otherwise.
+int AliasedInput(const Node& node, const Graph& graph);
+
+// Bytes of kernel scratch one execution of `node` needs (im2col column buffer; 0 for
+// everything else on the dispatch path).
+std::size_t NodeWorkspaceBytes(const Node& node);
+
+// Physical dims of the node's output tensor: node.out_dims reinterpreted under
+// node.out_layout (NCHW[x]c feature maps materialize as 5-D {N, C/x, H, W, x}).
+std::vector<std::int64_t> PlannedOutputDims(const Node& node);
+
+// Layout tag the node's kernel actually produces. node.out_layout is authoritative for
+// feature maps (4-D+), but flat outputs (dense, softmax rows, flattened heads) keep the
+// Node-default NCHW tag — the kernels label those Flat, and the planner's views must
+// match what the kernels check.
+Layout PlannedOutputLayout(const Node& node);
 
 }  // namespace neocpu
 

@@ -13,7 +13,8 @@ namespace {
 
 constexpr char kMagic[4] = {'N', 'E', 'O', 'C'};
 // v1: executable graph only. v2: + source graph, CompileConfig, tuned_batch, TuningCache.
-constexpr std::uint32_t kVersion = 2;
+// v3: + plan_memory config flag and memory-plan summary metadata.
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kMinVersion = 1;
 
 void WriteU32(std::ostream& out, std::uint32_t v) {
@@ -222,9 +223,10 @@ void WriteConfig(std::ostream& out, const CompileConfig& config) {
   WriteU32(out, static_cast<std::uint32_t>(config.cost_mode));
   WriteU32(out, config.quick_space ? 1 : 0);
   WriteU64(out, config.max_dp_table_entries);
+  WriteU32(out, config.plan_memory ? 1 : 0);  // v3+
 }
 
-CompileConfig ReadConfig(std::istream& in) {
+CompileConfig ReadConfig(std::istream& in, std::uint32_t version) {
   CompileConfig config;
   config.layout_mode = static_cast<LayoutMode>(ReadU32(in));
   config.nchw_kernel = static_cast<ConvKernelKind>(ReadU32(in));
@@ -242,6 +244,9 @@ CompileConfig ReadConfig(std::istream& in) {
   config.cost_mode = static_cast<CostMode>(ReadU32(in));
   config.quick_space = ReadU32(in) != 0;
   config.max_dp_table_entries = static_cast<std::size_t>(ReadU64(in));
+  if (version >= 3) {
+    config.plan_memory = ReadU32(in) != 0;
+  }
   return config;
 }
 
@@ -268,6 +273,13 @@ bool SaveModule(const CompiledModel& model, const std::string& path) {
     std::ostringstream cache_text;
     model.tuning()->Serialize(cache_text);
     WriteString(out, cache_text.str());
+  }
+  // v3: memory-plan summary metadata (the per-node plan is recomputed at load).
+  const bool has_plan = model.plan() != nullptr;
+  WriteU32(out, has_plan ? 1 : 0);
+  if (has_plan) {
+    WriteU64(out, model.plan()->arena_bytes);
+    WriteU64(out, model.plan()->naive_bytes);
   }
   return static_cast<bool>(out);
 }
@@ -302,7 +314,7 @@ bool LoadModule(const std::string& path, CompiledModel* model) {
   if (has_source) {
     source = ReadGraph(in, path);
   }
-  CompileConfig config = ReadConfig(in);
+  CompileConfig config = ReadConfig(in, version);
   stats.tuned_batch = ReadI64(in);
   const bool has_cache = ReadU32(in) != 0;
   auto cache = std::make_shared<TuningCache>();
@@ -311,13 +323,36 @@ bool LoadModule(const std::string& path, CompiledModel* model) {
     NEOCPU_CHECK(cache->Deserialize(cache_text))
         << "corrupt tuning cache in module file " << path;
   }
+  bool has_plan = config.plan_memory;  // v2 modules: plan per today's default config
+  std::uint64_t stored_arena_bytes = 0;
+  bool check_stored_plan = false;
+  if (version >= 3) {
+    has_plan = ReadU32(in) != 0;
+    if (has_plan) {
+      stored_arena_bytes = ReadU64(in);
+      ReadU64(in);  // naive_arena_bytes: informational, recomputed below
+      check_stored_plan = true;
+    }
+  }
   NEOCPU_CHECK(static_cast<bool>(in)) << "truncated module file " << path;
 
+  const bool plan_memory = config.plan_memory;
   if (has_source) {
     *model = CompiledModel(std::move(g), stats, std::move(source), std::move(config),
                            std::move(cache));
   } else {
     *model = CompiledModel(std::move(g), stats);
+  }
+  if (has_plan && plan_memory) {
+    // Plans are derived artifacts: recompute from the loaded graph rather than trusting
+    // file offsets (defense against artifact corruption AND planner-version drift).
+    auto plan = std::make_shared<const ExecutionPlan>(PlanMemory(model->graph()));
+    if (check_stored_plan && plan->arena_bytes != stored_arena_bytes) {
+      LOG(WARNING) << path << ": stored arena footprint " << stored_arena_bytes
+                   << "B differs from recomputed " << plan->arena_bytes
+                   << "B (planner changed since the module was saved)";
+    }
+    model->AttachPlan(std::move(plan));
   }
   return true;
 }

@@ -19,10 +19,15 @@
 //   executable graph (name, outputs, node records: type, name, inputs, POD attribute
 //   block, dims, layout, optional payload),
 //   v2+: u32 has_source [+ source graph], config block (layout mode, NCHW kernel,
-//   target profile, cost mode, space mode, DP budget), i64 tuned_batch,
-//   u32 has_cache [+ length-prefixed TuningCache text serialization].
-// Version-1 files (executable graph only) still load; they yield a model without
-// source/config/cache, which serves but cannot re-tune.
+//   target profile, cost mode, space mode, DP budget; v3 adds the plan_memory flag),
+//   i64 tuned_batch, u32 has_cache [+ length-prefixed TuningCache text serialization],
+//   v3+: u32 has_plan [+ u64 arena_bytes, u64 naive_arena_bytes] — the memory plan's
+//   summary metadata. The plan itself (per-node offsets) is a pure function of the
+//   executable graph, so LoadModule recomputes it instead of trusting file offsets;
+//   the stored summary is a cross-check that warns on planner drift.
+// Version-1 files (executable graph only) and version-2 files (no plan metadata; plans
+// are computed at load) still load; v1 yields a model without source/config/cache,
+// which serves but cannot re-tune.
 #ifndef NEOCPU_SRC_CORE_SERIALIZATION_H_
 #define NEOCPU_SRC_CORE_SERIALIZATION_H_
 

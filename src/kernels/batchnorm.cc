@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/base/logging.h"
+#include "src/tensor/tensor_check.h"
 
 namespace neocpu {
 namespace {
@@ -28,16 +29,16 @@ void ComputeBnScaleShift(const Tensor& gamma, const Tensor& beta, const Tensor& 
   }
 }
 
-Tensor ScaleShiftNCHW(const Tensor& input, const Tensor& scale, const Tensor& shift, bool relu,
-                      ThreadEngine* engine) {
+void ScaleShiftNCHW(const Tensor& input, const Tensor& scale, const Tensor& shift, bool relu,
+                    Tensor* out, ThreadEngine* engine) {
   NEOCPU_CHECK_EQ(input.ndim(), 4);
   const std::int64_t n = input.dim(0), c = input.dim(1), plane = input.dim(2) * input.dim(3);
   NEOCPU_CHECK_EQ(scale.NumElements(), c);
-  Tensor out = Tensor::Empty(input.dims(), input.layout());
+  CheckKernelOutput(out, input.dims(), input.layout(), "scale_shift");
   const float* in_base = input.data();
   const float* sc = scale.data();
   const float* sh = shift.data();
-  float* out_base = out.data();
+  float* out_base = out->data();
   ParallelFor(Engine(engine), n * c, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t idx = begin; idx < end; ++idx) {
       const std::int64_t ch = idx % c;
@@ -54,20 +55,26 @@ Tensor ScaleShiftNCHW(const Tensor& input, const Tensor& scale, const Tensor& sh
       }
     }
   });
+}
+
+Tensor ScaleShiftNCHW(const Tensor& input, const Tensor& scale, const Tensor& shift, bool relu,
+                      ThreadEngine* engine) {
+  Tensor out = Tensor::Empty(input.dims(), input.layout());
+  ScaleShiftNCHW(input, scale, shift, relu, &out, engine);
   return out;
 }
 
-Tensor ScaleShiftNCHWc(const Tensor& input, const Tensor& scale, const Tensor& shift,
-                       bool relu, ThreadEngine* engine) {
+void ScaleShiftNCHWc(const Tensor& input, const Tensor& scale, const Tensor& shift,
+                     bool relu, Tensor* out, ThreadEngine* engine) {
   NEOCPU_CHECK_EQ(input.ndim(), 5);
   const std::int64_t n = input.dim(0), cb = input.dim(1), plane = input.dim(2) * input.dim(3),
                      x = input.dim(4);
   NEOCPU_CHECK_EQ(scale.NumElements(), cb * x);
-  Tensor out = Tensor::Empty(input.dims(), input.layout());
+  CheckKernelOutput(out, input.dims(), input.layout(), "scale_shift");
   const float* in_base = input.data();
   const float* sc = scale.data();
   const float* sh = shift.data();
-  float* out_base = out.data();
+  float* out_base = out->data();
   ParallelFor(Engine(engine), n * cb, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t idx = begin; idx < end; ++idx) {
       const std::int64_t cb_idx = idx % cb;
@@ -86,6 +93,12 @@ Tensor ScaleShiftNCHWc(const Tensor& input, const Tensor& scale, const Tensor& s
       }
     }
   });
+}
+
+Tensor ScaleShiftNCHWc(const Tensor& input, const Tensor& scale, const Tensor& shift,
+                       bool relu, ThreadEngine* engine) {
+  Tensor out = Tensor::Empty(input.dims(), input.layout());
+  ScaleShiftNCHWc(input, scale, shift, relu, &out, engine);
   return out;
 }
 

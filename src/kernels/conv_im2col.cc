@@ -40,9 +40,14 @@ void Im2col(const Conv2dParams& p, const float* in, float* col, ThreadEngine& en
 
 }  // namespace
 
+std::size_t ConvIm2colWorkspaceBytes(const Conv2dParams& p) {
+  const std::int64_t k = p.in_c * p.kernel_h * p.kernel_w;
+  return static_cast<std::size_t>(k * p.OutH() * p.OutW()) * sizeof(float);
+}
+
 void ConvIm2col(const Conv2dParams& p, const Tensor& input, const Tensor& weight,
                 const Tensor* bias, const Tensor* residual, const ConvEpilogue& epilogue,
-                Tensor* output, ThreadEngine* engine) {
+                Tensor* output, ThreadEngine* engine, float* workspace) {
   NEOCPU_CHECK(output != nullptr);
   SerialEngine serial;
   ThreadEngine& eng = engine != nullptr ? *engine : static_cast<ThreadEngine&>(serial);
@@ -50,7 +55,12 @@ void ConvIm2col(const Conv2dParams& p, const Tensor& input, const Tensor& weight
   const std::int64_t ow_count = p.OutW();
   const std::int64_t out_plane = oh_count * ow_count;
   const std::int64_t k = p.in_c * p.kernel_h * p.kernel_w;
-  Tensor col = Tensor::Empty({k, out_plane});
+  Tensor col_owned;  // fallback when the caller supplies no planned workspace
+  float* col = workspace;
+  if (col == nullptr) {
+    col_owned = Tensor::Empty({k, out_plane});
+    col = col_owned.data();
+  }
   const float* bias_base = epilogue.bias && bias != nullptr ? bias->data() : nullptr;
   const float* res_base =
       epilogue.residual_add && residual != nullptr ? residual->data() : nullptr;
@@ -58,8 +68,8 @@ void ConvIm2col(const Conv2dParams& p, const Tensor& input, const Tensor& weight
   for (std::int64_t n = 0; n < p.batch; ++n) {
     const float* in_n = input.data() + n * p.in_c * p.in_h * p.in_w;
     float* out_n = output->data() + n * p.out_c * out_plane;
-    Im2col(p, in_n, col.data(), eng);
-    Gemm(p.out_c, out_plane, k, weight.data(), col.data(), out_n, /*accumulate=*/false, &eng);
+    Im2col(p, in_n, col, eng);
+    Gemm(p.out_c, out_plane, k, weight.data(), col, out_n, /*accumulate=*/false, &eng);
 
     ParallelFor(eng, p.out_c, [&](std::int64_t begin, std::int64_t end) {
       for (std::int64_t oc = begin; oc < end; ++oc) {

@@ -13,10 +13,16 @@
 
 namespace neocpu {
 
-// input NCHW; weight OIHW; output preallocated NCHW.
+// Workspace-size query hook for the memory planner: bytes of column-buffer scratch one
+// ConvIm2col call needs (the {IC*KH*KW, OH*OW} materialization, reused across batch
+// images).
+std::size_t ConvIm2colWorkspaceBytes(const Conv2dParams& params);
+
+// input NCHW; weight OIHW; output preallocated NCHW. `workspace` (optional) must hold
+// ConvIm2colWorkspaceBytes(params); when null the kernel allocates its column buffer.
 void ConvIm2col(const Conv2dParams& params, const Tensor& input, const Tensor& weight,
                 const Tensor* bias, const Tensor* residual, const ConvEpilogue& epilogue,
-                Tensor* output, ThreadEngine* engine = nullptr);
+                Tensor* output, ThreadEngine* engine = nullptr, float* workspace = nullptr);
 
 Tensor ConvIm2col(const Conv2dParams& params, const Tensor& input, const Tensor& weight,
                   const Tensor* bias = nullptr, const Tensor* residual = nullptr,

@@ -54,8 +54,13 @@ void ConvRefNCHW(const Conv2dParams& p, const Tensor& input, const Tensor& weigh
               // Valid out_width range for this kw (unguarded, vectorizable inner loop).
               const std::int64_t lo =
                   std::max<std::int64_t>(0, (p.pad_w - kw + p.stride_w - 1) / p.stride_w);
-              const std::int64_t hi = std::min<std::int64_t>(
-                  ow_count, (p.in_w - 1 + p.pad_w - kw) / p.stride_w + 1);
+              // Guard the numerator: truncation-toward-zero on a negative value would
+              // yield hi=1 instead of 0 and read one element past the input row.
+              const std::int64_t hi_num = p.in_w - 1 + p.pad_w - kw;
+              const std::int64_t hi =
+                  hi_num < 0
+                      ? 0
+                      : std::min<std::int64_t>(ow_count, hi_num / p.stride_w + 1);
               if (p.stride_w == 1) {
                 const float* in_shift = in_row - p.pad_w + kw;
                 for (std::int64_t ow = lo; ow < hi; ++ow) {

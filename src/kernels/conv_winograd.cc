@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/base/logging.h"
+#include "src/tensor/tensor_check.h"
 
 namespace neocpu {
 namespace {
@@ -59,33 +60,59 @@ Tensor WinogradTransformWeights(const Tensor& w) {
   return u;
 }
 
-Tensor ConvWinograd(const Conv2dParams& p, const Tensor& input, const Tensor& u,
-                    const Tensor* bias, const ConvEpilogue& epilogue, ThreadEngine* engine) {
+std::size_t WinogradWorkspaceBytes(const Conv2dParams& p, int num_workers) {
+  const std::size_t per_worker = 16 * static_cast<std::size_t>(p.in_c + p.out_c);
+  return per_worker * static_cast<std::size_t>(num_workers < 1 ? 1 : num_workers) *
+         sizeof(float);
+}
+
+void ConvWinograd(const Conv2dParams& p, const Tensor& input, const Tensor& u,
+                  const Tensor* bias, const ConvEpilogue& epilogue, Tensor* output,
+                  ThreadEngine* engine, float* workspace) {
   NEOCPU_CHECK(WinogradApplicable(p)) << p.ToString();
   NEOCPU_CHECK(!epilogue.residual_add) << "winograd path does not fuse residuals";
   NEOCPU_CHECK_EQ(u.ndim(), 4);
   NEOCPU_CHECK_EQ(u.dim(2), p.out_c);
   NEOCPU_CHECK_EQ(u.dim(3), p.in_c);
   const std::int64_t oh = p.OutH(), ow = p.OutW();
-  Tensor out = Tensor::Empty({p.batch, p.out_c, oh, ow}, Layout::NCHW());
+  CheckKernelOutput(output, {p.batch, p.out_c, oh, ow}, Layout::NCHW(), "winograd");
 
   const std::int64_t tiles_h = (oh + 1) / 2;
   const std::int64_t tiles_w = (ow + 1) / 2;
   const float* in_base = input.data();
   const float* u_base = u.data();
   const float* bias_base = epilogue.bias && bias != nullptr ? bias->data() : nullptr;
-  float* out_base = out.data();
+  float* out_base = output->data();
   const std::int64_t in_plane = p.in_h * p.in_w;
   const std::int64_t out_plane = oh * ow;
 
   SerialEngine serial;
   ThreadEngine& eng = engine != nullptr ? *engine : static_cast<ThreadEngine&>(serial);
 
-  // Parallelize over (batch, tile row); each worker owns scratch for one tile row:
-  // V[16][IC] (transform-major to match U's plane layout).
-  ParallelFor(eng, p.batch * tiles_h, [&](std::int64_t begin, std::int64_t end) {
-    std::vector<float> v(16 * static_cast<std::size_t>(p.in_c));
-    std::vector<float> m(16 * static_cast<std::size_t>(p.out_c));
+  // Parallelize over (batch, tile row) as one fork-join region with an explicit task
+  // index, so each worker's V[16][IC] / M[16][OC] scratch (transform-major to match U's
+  // plane layout) can be a disjoint slice of the planner-provided workspace.
+  const std::int64_t total_rows = p.batch * tiles_h;
+  const int workers = eng.NumWorkers() < 1 ? 1 : eng.NumWorkers();
+  const std::int64_t chunks = std::min<std::int64_t>(workers, total_rows < 1 ? 1 : total_rows);
+  const std::size_t v_count = 16 * static_cast<std::size_t>(p.in_c);
+  const std::size_t m_count = 16 * static_cast<std::size_t>(p.out_c);
+  eng.ParallelRun(static_cast<int>(chunks), [&](int task, int num_tasks) {
+    const std::int64_t begin = total_rows * task / num_tasks;
+    const std::int64_t end = total_rows * (task + 1) / num_tasks;
+    if (begin >= end) {
+      return;
+    }
+    std::vector<float> scratch;
+    float* vm;
+    if (workspace != nullptr) {
+      vm = workspace + static_cast<std::size_t>(task) * (v_count + m_count);
+    } else {
+      scratch.resize(v_count + m_count);
+      vm = scratch.data();
+    }
+    float* v = vm;
+    float* m = vm + v_count;
     for (std::int64_t row = begin; row < end; ++row) {
       const std::int64_t n = row / tiles_h;
       const std::int64_t th = row % tiles_h;
@@ -125,8 +152,8 @@ Tensor ConvWinograd(const Conv2dParams& p, const Tensor& input, const Tensor& u,
         // M[xi][oc] = sum_ic U[xi][oc][ic] * V[xi][ic]: 16 independent (OC x IC) GEMVs.
         for (int xi = 0; xi < 16; ++xi) {
           const float* u_plane = u_base + static_cast<std::int64_t>(xi) * p.out_c * p.in_c;
-          const float* v_vec = v.data() + static_cast<std::size_t>(xi) * p.in_c;
-          float* m_vec = m.data() + static_cast<std::size_t>(xi) * p.out_c;
+          const float* v_vec = v + static_cast<std::size_t>(xi) * p.in_c;
+          float* m_vec = m + static_cast<std::size_t>(xi) * p.out_c;
           for (std::int64_t o = 0; o < p.out_c; ++o) {
             const float* __restrict u_row = u_plane + o * p.in_c;
             float partial[8] = {};
@@ -188,6 +215,12 @@ Tensor ConvWinograd(const Conv2dParams& p, const Tensor& input, const Tensor& u,
       }
     }
   });
+}
+
+Tensor ConvWinograd(const Conv2dParams& p, const Tensor& input, const Tensor& u,
+                    const Tensor* bias, const ConvEpilogue& epilogue, ThreadEngine* engine) {
+  Tensor out = Tensor::Empty({p.batch, p.out_c, p.OutH(), p.OutW()}, Layout::NCHW());
+  ConvWinograd(p, input, u, bias, epilogue, &out, engine, nullptr);
   return out;
 }
 

@@ -26,11 +26,24 @@ bool WinogradApplicable(const Conv2dParams& params);
 // per-tile accumulation streams contiguous (oc, ic) planes). Computed at compile time.
 Tensor WinogradTransformWeights(const Tensor& weight_oihw);
 
+// Workspace-size query hook for the memory planner: bytes of V/M tile scratch one
+// ConvWinograd call needs when run on an engine with `num_workers` workers (each worker
+// owns a disjoint V[16, IC] + M[16, OC] slice).
+std::size_t WinogradWorkspaceBytes(const Conv2dParams& params, int num_workers);
+
 // input NCHW; transformed weights from WinogradTransformWeights; bias flat {OC} or
 // null. Returns NCHW output.
 Tensor ConvWinograd(const Conv2dParams& params, const Tensor& input,
                     const Tensor& transformed_weights, const Tensor* bias,
                     const ConvEpilogue& epilogue, ThreadEngine* engine = nullptr);
+
+// Execute-into form: output preallocated NCHW; `workspace` (optional) must hold
+// WinogradWorkspaceBytes(params, engine workers) — when null, each worker allocates its
+// own tile scratch.
+void ConvWinograd(const Conv2dParams& params, const Tensor& input,
+                  const Tensor& transformed_weights, const Tensor* bias,
+                  const ConvEpilogue& epilogue, Tensor* output,
+                  ThreadEngine* engine = nullptr, float* workspace = nullptr);
 
 }  // namespace neocpu
 

@@ -1,24 +1,25 @@
 #include "src/kernels/dense.h"
 
 #include "src/base/logging.h"
+#include "src/tensor/tensor_check.h"
 
 namespace neocpu {
 
-Tensor Dense(const Tensor& input, const Tensor& weight, const Tensor* bias, bool relu,
-             ThreadEngine* engine) {
+void Dense(const Tensor& input, const Tensor& weight, const Tensor* bias, bool relu,
+           Tensor* out, ThreadEngine* engine) {
   NEOCPU_CHECK_EQ(input.ndim(), 2);
   NEOCPU_CHECK_EQ(weight.ndim(), 2);
   const std::int64_t n = input.dim(0);
   const std::int64_t in_dim = input.dim(1);
   const std::int64_t out_dim = weight.dim(0);
   NEOCPU_CHECK_EQ(weight.dim(1), in_dim);
-  Tensor out = Tensor::Empty({n, out_dim}, Layout::Flat());
+  CheckKernelOutput(out, {n, out_dim}, Layout::Flat(), "dense");
   SerialEngine serial;
   ThreadEngine& eng = engine != nullptr ? *engine : static_cast<ThreadEngine&>(serial);
   const float* in_base = input.data();
   const float* w_base = weight.data();
   const float* b_base = bias != nullptr ? bias->data() : nullptr;
-  float* out_base = out.data();
+  float* out_base = out->data();
 
   for (std::int64_t ni = 0; ni < n; ++ni) {
     const float* x = in_base + ni * in_dim;
@@ -53,6 +54,12 @@ Tensor Dense(const Tensor& input, const Tensor& weight, const Tensor* bias, bool
       }
     });
   }
+}
+
+Tensor Dense(const Tensor& input, const Tensor& weight, const Tensor* bias, bool relu,
+             ThreadEngine* engine) {
+  Tensor out = Tensor::Empty({input.dim(0), weight.dim(0)}, Layout::Flat());
+  Dense(input, weight, bias, relu, &out, engine);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/base/logging.h"
+#include "src/tensor/tensor_check.h"
 
 namespace neocpu {
 namespace {
@@ -14,27 +15,33 @@ ThreadEngine& Engine(ThreadEngine* engine) { return engine ? *engine : g_serial;
 
 }  // namespace
 
-Tensor Relu(const Tensor& input, ThreadEngine* engine) {
-  Tensor out = Tensor::Empty(input.dims(), input.layout());
+void Relu(const Tensor& input, Tensor* out, ThreadEngine* engine) {
+  CheckKernelOutput(out, input.dims(), input.layout(), "relu");
   const float* src = input.data();
-  float* dst = out.data();
+  float* dst = out->data();
   ParallelFor(Engine(engine), input.NumElements(), [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t i = begin; i < end; ++i) {
       dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
     }
   });
+}
+
+Tensor Relu(const Tensor& input, ThreadEngine* engine) {
+  Tensor out = Tensor::Empty(input.dims(), input.layout());
+  Relu(input, &out, engine);
   return out;
 }
 
-Tensor AddElementwise(const Tensor& a, const Tensor& b, bool relu, ThreadEngine* engine) {
+void AddElementwise(const Tensor& a, const Tensor& b, bool relu, Tensor* out,
+                    ThreadEngine* engine) {
   NEOCPU_CHECK(a.dims() == b.dims()) << a.DebugString() << " vs " << b.DebugString();
   NEOCPU_CHECK(a.layout() == b.layout())
       << "elementwise add requires identical layouts: " << a.layout().ToString() << " vs "
       << b.layout().ToString();
-  Tensor out = Tensor::Empty(a.dims(), a.layout());
+  CheckKernelOutput(out, a.dims(), a.layout(), "elem_add");
   const float* pa = a.data();
   const float* pb = b.data();
-  float* dst = out.data();
+  float* dst = out->data();
   ParallelFor(Engine(engine), a.NumElements(), [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t i = begin; i < end; ++i) {
       float v = pa[i] + pb[i];
@@ -44,11 +51,17 @@ Tensor AddElementwise(const Tensor& a, const Tensor& b, bool relu, ThreadEngine*
       dst[i] = v;
     }
   });
+}
+
+Tensor AddElementwise(const Tensor& a, const Tensor& b, bool relu, ThreadEngine* engine) {
+  Tensor out = Tensor::Empty(a.dims(), a.layout());
+  AddElementwise(a, b, relu, &out, engine);
   return out;
 }
 
-Tensor ConcatChannels(const std::vector<Tensor>& inputs, ThreadEngine* engine) {
+void ConcatChannels(const std::vector<Tensor>& inputs, Tensor* out, ThreadEngine* engine) {
   NEOCPU_CHECK(!inputs.empty());
+  NEOCPU_CHECK(out != nullptr);
   const Tensor& first = inputs.front();
   const LayoutKind kind = first.layout().kind;
   NEOCPU_CHECK(kind == LayoutKind::kNCHW || kind == LayoutKind::kNCHWc);
@@ -63,21 +76,21 @@ Tensor ConcatChannels(const std::vector<Tensor>& inputs, ThreadEngine* engine) {
       NEOCPU_CHECK_EQ(t.dim(3), w);
       total_c += t.dim(1);
     }
-    Tensor out = Tensor::Empty({n, total_c, h, w}, Layout::NCHW());
+    CheckKernelOutput(out, {n, total_c, h, w}, Layout::NCHW(), "concat");
     const std::int64_t plane = h * w;
     std::int64_t c_off = 0;
     for (const Tensor& t : inputs) {
       const std::int64_t c = t.dim(1);
       ParallelFor(Engine(engine), n, [&](std::int64_t begin, std::int64_t end) {
         for (std::int64_t ni = begin; ni < end; ++ni) {
-          std::memcpy(out.data() + (ni * total_c + c_off) * plane,
+          std::memcpy(out->data() + (ni * total_c + c_off) * plane,
                       t.data() + ni * c * plane,
                       static_cast<std::size_t>(c * plane) * sizeof(float));
         }
       });
       c_off += c;
     }
-    return out;
+    return;
   }
 
   // NCHWc: all inputs must share the block size; blocks are concatenated along C/x.
@@ -92,29 +105,50 @@ Tensor ConcatChannels(const std::vector<Tensor>& inputs, ThreadEngine* engine) {
     NEOCPU_CHECK_EQ(t.dim(3), w);
     total_cb += t.dim(1);
   }
-  Tensor out = Tensor::Empty({n, total_cb, h, w, x}, Layout::NCHWc(x));
+  CheckKernelOutput(out, {n, total_cb, h, w, x}, Layout::NCHWc(x), "concat");
   const std::int64_t plane = h * w * x;
   std::int64_t cb_off = 0;
   for (const Tensor& t : inputs) {
     const std::int64_t cb = t.dim(1);
     ParallelFor(Engine(engine), n, [&](std::int64_t begin, std::int64_t end) {
       for (std::int64_t ni = begin; ni < end; ++ni) {
-        std::memcpy(out.data() + (ni * total_cb + cb_off) * plane,
+        std::memcpy(out->data() + (ni * total_cb + cb_off) * plane,
                     t.data() + ni * cb * plane,
                     static_cast<std::size_t>(cb * plane) * sizeof(float));
       }
     });
     cb_off += cb;
   }
+}
+
+Tensor ConcatChannels(const std::vector<Tensor>& inputs, ThreadEngine* engine) {
+  NEOCPU_CHECK(!inputs.empty());
+  const Tensor& first = inputs.front();
+  Tensor out;
+  if (first.layout().kind == LayoutKind::kNCHW) {
+    std::int64_t total_c = 0;
+    for (const Tensor& t : inputs) {
+      total_c += t.dim(1);
+    }
+    out = Tensor::Empty({first.dim(0), total_c, first.dim(2), first.dim(3)}, Layout::NCHW());
+  } else {
+    std::int64_t total_cb = 0;
+    for (const Tensor& t : inputs) {
+      total_cb += t.dim(1);
+    }
+    out = Tensor::Empty({first.dim(0), total_cb, first.dim(2), first.dim(3), first.dim(4)},
+                        Layout::NCHWc(first.dim(4)));
+  }
+  ConcatChannels(inputs, &out, engine);
   return out;
 }
 
-Tensor Softmax(const Tensor& input, ThreadEngine* engine) {
+void Softmax(const Tensor& input, Tensor* out, ThreadEngine* engine) {
+  CheckKernelOutput(out, input.dims(), input.layout(), "softmax");
   const std::int64_t rows = input.ndim() >= 2 ? input.dim(0) : 1;
   const std::int64_t cols = input.NumElements() / rows;
-  Tensor out = Tensor::Empty(input.dims(), input.layout());
   const float* src = input.data();
-  float* dst = out.data();
+  float* dst = out->data();
   ParallelFor(Engine(engine), rows, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t r = begin; r < end; ++r) {
       const float* in_row = src + r * cols;
@@ -134,6 +168,11 @@ Tensor Softmax(const Tensor& input, ThreadEngine* engine) {
       }
     }
   });
+}
+
+Tensor Softmax(const Tensor& input, ThreadEngine* engine) {
+  Tensor out = Tensor::Empty(input.dims(), input.layout());
+  Softmax(input, &out, engine);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/base/logging.h"
+#include "src/tensor/tensor_check.h"
 
 namespace neocpu {
 namespace {
@@ -23,13 +24,14 @@ std::int64_t Pool2dParams::OutDim(std::int64_t in, std::int64_t k, std::int64_t 
   return numer / s + 1;
 }
 
-Tensor PoolNCHW(const Pool2dParams& p, const Tensor& input, ThreadEngine* engine) {
+void PoolNCHW(const Pool2dParams& p, const Tensor& input, Tensor* out,
+              ThreadEngine* engine) {
   NEOCPU_CHECK_EQ(input.ndim(), 4);
   const std::int64_t n = input.dim(0), c = input.dim(1), ih = input.dim(2), iw = input.dim(3);
   const std::int64_t oh = p.OutH(ih), ow = p.OutW(iw);
-  Tensor out = Tensor::Empty({n, c, oh, ow}, Layout::NCHW());
+  CheckKernelOutput(out, {n, c, oh, ow}, Layout::NCHW(), "pool");
   const float* in_base = input.data();
-  float* out_base = out.data();
+  float* out_base = out->data();
   ParallelFor(Engine(engine), n * c, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t idx = begin; idx < end; ++idx) {
       const float* in_ch = in_base + idx * ih * iw;
@@ -68,17 +70,25 @@ Tensor PoolNCHW(const Pool2dParams& p, const Tensor& input, ThreadEngine* engine
       }
     }
   });
+}
+
+Tensor PoolNCHW(const Pool2dParams& p, const Tensor& input, ThreadEngine* engine) {
+  Tensor out = Tensor::Empty(
+      {input.dim(0), input.dim(1), p.OutH(input.dim(2)), p.OutW(input.dim(3))},
+      Layout::NCHW());
+  PoolNCHW(p, input, &out, engine);
   return out;
 }
 
-Tensor PoolNCHWc(const Pool2dParams& p, const Tensor& input, ThreadEngine* engine) {
+void PoolNCHWc(const Pool2dParams& p, const Tensor& input, Tensor* out,
+               ThreadEngine* engine) {
   NEOCPU_CHECK_EQ(input.ndim(), 5);
   const std::int64_t n = input.dim(0), cb = input.dim(1), ih = input.dim(2), iw = input.dim(3),
                      x = input.dim(4);
   const std::int64_t oh = p.OutH(ih), ow = p.OutW(iw);
-  Tensor out = Tensor::Empty({n, cb, oh, ow, x}, input.layout());
+  CheckKernelOutput(out, {n, cb, oh, ow, x}, input.layout(), "pool");
   const float* in_base = input.data();
-  float* out_base = out.data();
+  float* out_base = out->data();
   ParallelFor(Engine(engine), n * cb, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t idx = begin; idx < end; ++idx) {
       const float* in_ch = in_base + idx * ih * iw * x;
@@ -128,15 +138,22 @@ Tensor PoolNCHWc(const Pool2dParams& p, const Tensor& input, ThreadEngine* engin
       }
     }
   });
+}
+
+Tensor PoolNCHWc(const Pool2dParams& p, const Tensor& input, ThreadEngine* engine) {
+  Tensor out = Tensor::Empty({input.dim(0), input.dim(1), p.OutH(input.dim(2)),
+                              p.OutW(input.dim(3)), input.dim(4)},
+                             input.layout());
+  PoolNCHWc(p, input, &out, engine);
   return out;
 }
 
-Tensor GlobalAvgPoolNCHW(const Tensor& input, ThreadEngine* engine) {
+void GlobalAvgPoolNCHW(const Tensor& input, Tensor* out, ThreadEngine* engine) {
   NEOCPU_CHECK_EQ(input.ndim(), 4);
   const std::int64_t n = input.dim(0), c = input.dim(1), plane = input.dim(2) * input.dim(3);
-  Tensor out = Tensor::Empty({n, c, 1, 1}, Layout::NCHW());
+  CheckKernelOutput(out, {n, c, 1, 1}, Layout::NCHW(), "global_avg_pool");
   const float* in_base = input.data();
-  float* out_base = out.data();
+  float* out_base = out->data();
   ParallelFor(Engine(engine), n * c, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t idx = begin; idx < end; ++idx) {
       const float* src = in_base + idx * plane;
@@ -147,16 +164,21 @@ Tensor GlobalAvgPoolNCHW(const Tensor& input, ThreadEngine* engine) {
       out_base[idx] = sum / static_cast<float>(plane);
     }
   });
+}
+
+Tensor GlobalAvgPoolNCHW(const Tensor& input, ThreadEngine* engine) {
+  Tensor out = Tensor::Empty({input.dim(0), input.dim(1), 1, 1}, Layout::NCHW());
+  GlobalAvgPoolNCHW(input, &out, engine);
   return out;
 }
 
-Tensor GlobalAvgPoolNCHWc(const Tensor& input, ThreadEngine* engine) {
+void GlobalAvgPoolNCHWc(const Tensor& input, Tensor* out, ThreadEngine* engine) {
   NEOCPU_CHECK_EQ(input.ndim(), 5);
   const std::int64_t n = input.dim(0), cb = input.dim(1), plane = input.dim(2) * input.dim(3),
                      x = input.dim(4);
-  Tensor out = Tensor::Empty({n, cb, 1, 1, x}, input.layout());
+  CheckKernelOutput(out, {n, cb, 1, 1, x}, input.layout(), "global_avg_pool");
   const float* in_base = input.data();
-  float* out_base = out.data();
+  float* out_base = out->data();
   ParallelFor(Engine(engine), n * cb, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t idx = begin; idx < end; ++idx) {
       const float* src = in_base + idx * plane * x;
@@ -175,6 +197,12 @@ Tensor GlobalAvgPoolNCHWc(const Tensor& input, ThreadEngine* engine) {
       }
     }
   });
+}
+
+Tensor GlobalAvgPoolNCHWc(const Tensor& input, ThreadEngine* engine) {
+  Tensor out =
+      Tensor::Empty({input.dim(0), input.dim(1), 1, 1, input.dim(4)}, input.layout());
+  GlobalAvgPoolNCHWc(input, &out, engine);
   return out;
 }
 

@@ -20,11 +20,13 @@
 #include "src/base/timer.h"
 #include "src/core/compiler.h"
 #include "src/core/executor.h"
+#include "src/core/memory_plan.h"
 #include "src/core/presets.h"
 #include "src/core/target.h"
 #include "src/graph/builder.h"
 #include "src/graph/graph.h"
 #include "src/models/model_zoo.h"
+#include "src/runtime/arena_pool.h"
 #include "src/runtime/omp_pool.h"
 #include "src/runtime/partition.h"
 #include "src/runtime/thread_pool.h"

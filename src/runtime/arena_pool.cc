@@ -1,0 +1,86 @@
+#include "src/runtime/arena_pool.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace neocpu {
+
+void Arena::Reserve(std::size_t bytes) {
+  if (bytes <= capacity_) {
+    return;
+  }
+  storage_ = AlignedPtr<unsigned char>(
+      static_cast<unsigned char*>(AlignedAlloc(bytes, kSimdAlignBytes)));
+  NEOCPU_CHECK(storage_ != nullptr) << "arena allocation of " << bytes << " bytes failed";
+  // Pre-fault: writing the whole block maps every page now, off the inference hot path.
+  std::memset(storage_.get(), 0, bytes);
+  capacity_ = bytes;
+}
+
+std::unique_ptr<Arena> ArenaPool::Acquire(std::size_t min_bytes) {
+  std::unique_ptr<Arena> arena;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++acquired_;
+    if (!free_.empty()) {
+      arena = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      ++created_;
+    }
+  }
+  if (arena == nullptr) {
+    arena = std::make_unique<Arena>();
+  }
+  arena->Reserve(min_bytes);
+  return arena;
+}
+
+void ArenaPool::Release(std::unique_ptr<Arena> arena) {
+  if (arena == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(arena));
+}
+
+ArenaPoolStats ArenaPool::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ArenaPoolStats stats;
+  stats.acquired = acquired_;
+  stats.created = created_;
+  stats.pooled = free_.size();
+  return stats;
+}
+
+void ArenaPool::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.clear();
+}
+
+ArenaPool& ArenaPool::Global() {
+  static ArenaPool* pool = new ArenaPool();  // leaked: outlives every static executor
+  return *pool;
+}
+
+ArenaLease::ArenaLease(Arena* external, ArenaPool* pool, std::size_t min_bytes) {
+  if (external != nullptr) {
+    external->Reserve(min_bytes);
+    arena_ = external;
+  } else {
+    NEOCPU_CHECK(pool != nullptr);
+    pool_ = pool;
+    owned_ = pool->Acquire(min_bytes);
+    arena_ = owned_.get();
+  }
+}
+
+ArenaLease::~ArenaLease() {
+  if (pool_ != nullptr) {
+    pool_->Release(std::move(owned_));
+  }
+}
+
+}  // namespace neocpu

@@ -1,0 +1,105 @@
+// Reusable, pre-faulted execution arenas.
+//
+// The memory planner (core/memory_plan) decides at compile time where every
+// intermediate tensor and per-op workspace of a graph lives inside one contiguous
+// block; this module supplies that block at runtime. An Arena is a SIMD-aligned,
+// grow-only buffer whose pages are touched at allocation time, so steady-state
+// inference never pays malloc, free, or first-touch page faults. Arenas are reused two
+// ways:
+//   * the serving executor pool keeps one warm arena per pool worker (one per core
+//     partition), so the pages a partition's kernels write stay resident and local to
+//     the cores that touch them across requests;
+//   * everything else leases from the process-wide ArenaPool, a thread-safe free list
+//     that grows to the peak concurrency of planned Executor::Run calls and then stops
+//     allocating entirely.
+#ifndef NEOCPU_SRC_RUNTIME_ARENA_POOL_H_
+#define NEOCPU_SRC_RUNTIME_ARENA_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/base/align.h"
+
+namespace neocpu {
+
+// One aligned, grow-only scratch block. Not thread-safe: an arena serves one
+// Executor::Run at a time (the pool and the per-worker ownership both guarantee this).
+class Arena {
+ public:
+  Arena() = default;
+  explicit Arena(std::size_t bytes) { Reserve(bytes); }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Ensures capacity for `bytes`; newly mapped pages are pre-faulted (written once) so
+  // kernels never take a first-touch fault on the hot path. Contents are scratch and
+  // are NOT preserved across a growing Reserve.
+  void Reserve(std::size_t bytes);
+
+  float* data() { return reinterpret_cast<float*>(storage_.get()); }
+  std::size_t capacity_bytes() const { return capacity_; }
+
+ private:
+  AlignedPtr<unsigned char> storage_;
+  std::size_t capacity_ = 0;
+};
+
+struct ArenaPoolStats {
+  std::uint64_t acquired = 0;  // total Acquire calls
+  std::uint64_t created = 0;   // Acquires that had to build a fresh arena
+  std::size_t pooled = 0;      // arenas currently idle in the free list
+};
+
+// Thread-safe LIFO free list of arenas. LIFO keeps the most-recently-used (hottest)
+// arena cycling under steady load while extra arenas created during a concurrency burst
+// go cold at the bottom.
+class ArenaPool {
+ public:
+  ArenaPool() = default;
+  ArenaPool(const ArenaPool&) = delete;
+  ArenaPool& operator=(const ArenaPool&) = delete;
+
+  // Never returns null: reuses a pooled arena (grown to `min_bytes` if needed) or
+  // creates one.
+  std::unique_ptr<Arena> Acquire(std::size_t min_bytes);
+  void Release(std::unique_ptr<Arena> arena);
+
+  ArenaPoolStats Stats() const;
+  void Clear();  // drops all idle arenas (tests; memory-pressure response)
+
+  // The process-wide pool used by planned Executor::Run calls that were not handed an
+  // explicit arena.
+  static ArenaPool& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Arena>> free_;
+  std::uint64_t acquired_ = 0;
+  std::uint64_t created_ = 0;
+};
+
+// RAII handle used by the executor: borrows a caller-supplied arena when one is given
+// (the serving pool's per-partition warm arena), otherwise leases from a pool and
+// returns the arena on destruction.
+class ArenaLease {
+ public:
+  // Exactly one of `external` / `pool` is used: external wins when non-null.
+  ArenaLease(Arena* external, ArenaPool* pool, std::size_t min_bytes);
+  ~ArenaLease();
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+
+  float* data() { return arena_->data(); }
+
+ private:
+  Arena* arena_ = nullptr;            // whichever arena backs this lease
+  ArenaPool* pool_ = nullptr;         // non-null only for pooled leases
+  std::unique_ptr<Arena> owned_;      // the pooled arena, returned in ~ArenaLease
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_RUNTIME_ARENA_POOL_H_

@@ -5,6 +5,7 @@
 
 #include "src/base/cpu_info.h"
 #include "src/base/logging.h"
+#include "src/runtime/arena_pool.h"
 #include "src/runtime/thread_pool.h"
 #include "src/serve/batch_util.h"
 
@@ -91,6 +92,12 @@ void InferenceServer::WorkerLoop(const CorePartition& partition, bool pooled) {
   }
   ThreadEngine* engine = owned.get();
 
+  // One warm arena per pool worker: planned executions reuse this block request after
+  // request, so its pages are faulted once and stay resident and local to this
+  // partition's cores (the partition's own threads do the first touch). It grows to
+  // the largest plan this worker ever runs and then never allocates again.
+  Arena arena;
+
   std::vector<ServeRequest> batch;
   while (batcher_.PopBatch(&batch)) {
     ModelEntry* entry = registry_.Find(batch[0].model);
@@ -101,7 +108,7 @@ void InferenceServer::WorkerLoop(const CorePartition& partition, bool pooled) {
     if (n == 1) {
       // The shared_ptr pins the variant across a concurrent re-tune hot swap.
       const ModelEntry::VariantPtr variant = entry->VariantFor(1);
-      results.push_back(variant->executor->Run(batch[0].input, engine));
+      results.push_back(variant->executor->Run(batch[0].input, engine, &arena));
     } else {
       std::vector<Tensor> samples;
       samples.reserve(batch.size());
@@ -110,7 +117,7 @@ void InferenceServer::WorkerLoop(const CorePartition& partition, bool pooled) {
       }
       const ModelEntry::VariantPtr variant = entry->VariantFor(n);
       Tensor stacked = StackBatch(samples);
-      results = SplitBatch(variant->executor->Run(stacked, engine), n);
+      results = SplitBatch(variant->executor->Run(stacked, engine, &arena), n);
     }
 
     // Stats first, promises last: a client that sees its future ready must also see the

@@ -49,7 +49,10 @@ ModelEntry::~ModelEntry() { WaitForRetunes(); }
 ModelEntry::VariantPtr ModelEntry::MakeVariant(CompiledModel model) {
   auto variant = std::make_shared<Variant>();
   variant->model = std::make_unique<CompiledModel>(std::move(model));
-  variant->executor = std::make_unique<Executor>(&variant->model->graph());
+  // The variant's memory plan rides along: pool workers execute this batch size inside
+  // their partition's warm arena with zero per-request allocations.
+  variant->executor = std::make_unique<Executor>(&variant->model->graph(),
+                                                 /*engine=*/nullptr, variant->model->plan());
   return variant;
 }
 
@@ -175,6 +178,14 @@ std::shared_ptr<TuningCache> ModelEntry::tuning_cache() const {
 }
 
 ModelEntry* ModelRegistry::Register(std::string name, CompiledModel model) {
+  // Fold the model's own tuning into the registry-wide cache and serve from that one
+  // cache from here on: re-tunes for workloads any registered model already searched
+  // become pure lookups.
+  if (model.has_source() && model.tuning() != nullptr &&
+      model.tuning() != shared_cache_) {
+    shared_cache_->MergeFrom(*model.tuning());
+    model.ReplaceTuningCache(shared_cache_);
+  }
   auto entry = std::make_unique<ModelEntry>(name, std::move(model));
   ModelEntry* raw = entry.get();
   std::lock_guard<std::mutex> lock(mutex_);

@@ -117,7 +117,15 @@ class ModelRegistry {
  public:
   // Registers under `name`; replaces any existing entry with that name. Returns the
   // entry (stable address for the registry's lifetime).
+  //
+  // Cache sharing: every registered model that carries tuning state is re-pointed at
+  // ONE registry-wide TuningCache (its own cache's entries are merged in first), so
+  // identical conv workloads across models are searched once — model B's background
+  // re-tune of a batch model A already tuned is a pure cache lookup.
   ModelEntry* Register(std::string name, CompiledModel model);
+
+  // The registry-wide schedule cache shared by all entries with tuning state.
+  std::shared_ptr<TuningCache> shared_tuning_cache() const { return shared_cache_; }
 
   // Warm start from a serialized module (SaveModule artifact). Returns nullptr on I/O
   // failure.
@@ -141,6 +149,9 @@ class ModelRegistry {
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<ModelEntry>> entries_;
+  // One schedule cache for the whole registry (created eagerly; immutable pointer, so
+  // it is safe to hand out without the mutex).
+  const std::shared_ptr<TuningCache> shared_cache_ = std::make_shared<TuningCache>();
   RetuneOptions retune_options_;
   // Entries displaced by a same-name Register. Kept alive for the registry's lifetime:
   // in-flight requests (and pool workers mid-batch) hold raw ModelEntry pointers, so

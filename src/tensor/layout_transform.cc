@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/base/logging.h"
+#include "src/tensor/tensor_check.h"
 
 namespace neocpu {
 namespace {
@@ -13,15 +14,15 @@ ThreadEngine& Engine(ThreadEngine* engine) { return engine ? *engine : g_serial;
 
 }  // namespace
 
-Tensor NCHWToNCHWc(const Tensor& src, std::int64_t x, ThreadEngine* engine) {
+void NCHWToNCHWc(const Tensor& src, std::int64_t x, Tensor* dst, ThreadEngine* engine) {
   NEOCPU_CHECK_EQ(src.ndim(), 4);
   const std::int64_t n = src.dim(0), c = src.dim(1), h = src.dim(2), w = src.dim(3);
   NEOCPU_CHECK_GT(x, 0);
   NEOCPU_CHECK_EQ(c % x, 0) << "channels " << c << " not divisible by block " << x;
   const std::int64_t cb = c / x;
-  Tensor dst = Tensor::Empty({n, cb, h, w, x}, Layout::NCHWc(x));
+  CheckKernelOutput(dst, {n, cb, h, w, x}, Layout::NCHWc(x), "layout_transform");
   const float* s = src.data();
-  float* d = dst.data();
+  float* d = dst->data();
   const std::int64_t hw = h * w;
   ParallelFor(Engine(engine), n * cb, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t ncb = begin; ncb < end; ++ncb) {
@@ -36,16 +37,26 @@ Tensor NCHWToNCHWc(const Tensor& src, std::int64_t x, ThreadEngine* engine) {
       }
     }
   });
+}
+
+Tensor NCHWToNCHWc(const Tensor& src, std::int64_t x, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(src.ndim(), 4);
+  NEOCPU_CHECK_GT(x, 0);
+  NEOCPU_CHECK_EQ(src.dim(1) % x, 0)
+      << "channels " << src.dim(1) << " not divisible by block " << x;
+  Tensor dst = Tensor::Empty({src.dim(0), src.dim(1) / x, src.dim(2), src.dim(3), x},
+                             Layout::NCHWc(x));
+  NCHWToNCHWc(src, x, &dst, engine);
   return dst;
 }
 
-Tensor NCHWcToNCHW(const Tensor& src, ThreadEngine* engine) {
+void NCHWcToNCHW(const Tensor& src, Tensor* dst, ThreadEngine* engine) {
   NEOCPU_CHECK_EQ(src.ndim(), 5);
   const std::int64_t n = src.dim(0), cb = src.dim(1), h = src.dim(2), w = src.dim(3),
                      x = src.dim(4);
-  Tensor dst = Tensor::Empty({n, cb * x, h, w}, Layout::NCHW());
+  CheckKernelOutput(dst, {n, cb * x, h, w}, Layout::NCHW(), "layout_transform");
   const float* s = src.data();
-  float* d = dst.data();
+  float* d = dst->data();
   const std::int64_t hw = h * w;
   ParallelFor(Engine(engine), n * cb, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t ncb = begin; ncb < end; ++ncb) {
@@ -60,22 +71,28 @@ Tensor NCHWcToNCHW(const Tensor& src, ThreadEngine* engine) {
       }
     }
   });
+}
+
+Tensor NCHWcToNCHW(const Tensor& src, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(src.ndim(), 5);
+  Tensor dst = Tensor::Empty(
+      {src.dim(0), src.dim(1) * src.dim(4), src.dim(2), src.dim(3)}, Layout::NCHW());
+  NCHWcToNCHW(src, &dst, engine);
   return dst;
 }
 
-Tensor NCHWcToNCHWc(const Tensor& src, std::int64_t new_x, ThreadEngine* engine) {
+void NCHWcToNCHWc(const Tensor& src, std::int64_t new_x, Tensor* dst,
+                  ThreadEngine* engine) {
   NEOCPU_CHECK_EQ(src.ndim(), 5);
   const std::int64_t n = src.dim(0), cb = src.dim(1), h = src.dim(2), w = src.dim(3),
                      x = src.dim(4);
   const std::int64_t c = cb * x;
-  if (new_x == x) {
-    return src;
-  }
+  NEOCPU_CHECK(new_x != x) << "identity re-block is a view, not a copy";
   NEOCPU_CHECK_EQ(c % new_x, 0);
   const std::int64_t new_cb = c / new_x;
-  Tensor dst = Tensor::Empty({n, new_cb, h, w, new_x}, Layout::NCHWc(new_x));
+  CheckKernelOutput(dst, {n, new_cb, h, w, new_x}, Layout::NCHWc(new_x), "layout_transform");
   const float* s = src.data();
-  float* d = dst.data();
+  float* d = dst->data();
   const std::int64_t hw = h * w;
   ParallelFor(Engine(engine), n * new_cb, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t ncb = begin; ncb < end; ++ncb) {
@@ -91,15 +108,27 @@ Tensor NCHWcToNCHWc(const Tensor& src, std::int64_t new_x, ThreadEngine* engine)
       }
     }
   });
+}
+
+Tensor NCHWcToNCHWc(const Tensor& src, std::int64_t new_x, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(src.ndim(), 5);
+  if (new_x == src.dim(4)) {
+    return src;
+  }
+  const std::int64_t c = src.dim(1) * src.dim(4);
+  NEOCPU_CHECK_EQ(c % new_x, 0);
+  Tensor dst = Tensor::Empty({src.dim(0), c / new_x, src.dim(2), src.dim(3), new_x},
+                             Layout::NCHWc(new_x));
+  NCHWcToNCHWc(src, new_x, &dst, engine);
   return dst;
 }
 
-Tensor NCHWToNHWC(const Tensor& src, ThreadEngine* engine) {
+void NCHWToNHWC(const Tensor& src, Tensor* dst, ThreadEngine* engine) {
   NEOCPU_CHECK_EQ(src.ndim(), 4);
   const std::int64_t n = src.dim(0), c = src.dim(1), h = src.dim(2), w = src.dim(3);
-  Tensor dst = Tensor::Empty({n, h, w, c}, Layout::NHWC());
+  CheckKernelOutput(dst, {n, h, w, c}, Layout::NHWC(), "layout_transform");
   const float* s = src.data();
-  float* d = dst.data();
+  float* d = dst->data();
   const std::int64_t hw = h * w;
   ParallelFor(Engine(engine), n, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t ni = begin; ni < end; ++ni) {
@@ -112,15 +141,22 @@ Tensor NCHWToNHWC(const Tensor& src, ThreadEngine* engine) {
       }
     }
   });
+}
+
+Tensor NCHWToNHWC(const Tensor& src, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(src.ndim(), 4);
+  Tensor dst = Tensor::Empty({src.dim(0), src.dim(2), src.dim(3), src.dim(1)},
+                             Layout::NHWC());
+  NCHWToNHWC(src, &dst, engine);
   return dst;
 }
 
-Tensor NHWCToNCHW(const Tensor& src, ThreadEngine* engine) {
+void NHWCToNCHW(const Tensor& src, Tensor* dst, ThreadEngine* engine) {
   NEOCPU_CHECK_EQ(src.ndim(), 4);
   const std::int64_t n = src.dim(0), h = src.dim(1), w = src.dim(2), c = src.dim(3);
-  Tensor dst = Tensor::Empty({n, c, h, w}, Layout::NCHW());
+  CheckKernelOutput(dst, {n, c, h, w}, Layout::NCHW(), "layout_transform");
   const float* s = src.data();
-  float* d = dst.data();
+  float* d = dst->data();
   const std::int64_t hw = h * w;
   ParallelFor(Engine(engine), n, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t ni = begin; ni < end; ++ni) {
@@ -133,6 +169,13 @@ Tensor NHWCToNCHW(const Tensor& src, ThreadEngine* engine) {
       }
     }
   });
+}
+
+Tensor NHWCToNCHW(const Tensor& src, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(src.ndim(), 4);
+  Tensor dst = Tensor::Empty({src.dim(0), src.dim(3), src.dim(1), src.dim(2)},
+                             Layout::NCHW());
+  NHWCToNCHW(src, &dst, engine);
   return dst;
 }
 
@@ -189,6 +232,35 @@ Tensor TransformLayout(const Tensor& src, const Layout& dst_layout, ThreadEngine
   LOG(FATAL) << "unsupported layout transform " << from.ToString() << " -> "
              << dst_layout.ToString();
   return {};
+}
+
+void TransformLayout(const Tensor& src, const Layout& dst_layout, Tensor* dst,
+                     ThreadEngine* engine) {
+  const Layout& from = src.layout();
+  NEOCPU_CHECK(!(from == dst_layout))
+      << "identity transform reached the into-path; the planner aliases these";
+  if (from.kind == LayoutKind::kNCHW && dst_layout.kind == LayoutKind::kNCHWc) {
+    NCHWToNCHWc(src, dst_layout.c_block, dst, engine);
+    return;
+  }
+  if (from.kind == LayoutKind::kNCHWc && dst_layout.kind == LayoutKind::kNCHW) {
+    NCHWcToNCHW(src, dst, engine);
+    return;
+  }
+  if (from.kind == LayoutKind::kNCHWc && dst_layout.kind == LayoutKind::kNCHWc) {
+    NCHWcToNCHWc(src, dst_layout.c_block, dst, engine);
+    return;
+  }
+  if (from.kind == LayoutKind::kNCHW && dst_layout.kind == LayoutKind::kNHWC) {
+    NCHWToNHWC(src, dst, engine);
+    return;
+  }
+  if (from.kind == LayoutKind::kNHWC && dst_layout.kind == LayoutKind::kNCHW) {
+    NHWCToNCHW(src, dst, engine);
+    return;
+  }
+  LOG(FATAL) << "unsupported layout transform " << from.ToString() << " -> "
+             << dst_layout.ToString();
 }
 
 std::int64_t TransformBytes(const Tensor& src) {

@@ -1,6 +1,7 @@
 #include "src/tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -21,7 +22,13 @@ std::int64_t Product(const std::vector<std::int64_t>& dims) {
   return n;
 }
 
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
 }  // namespace
+
+std::uint64_t TensorHeapAllocCount() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
 
 Tensor Tensor::Empty(std::vector<std::int64_t> dims, Layout layout) {
   Tensor t;
@@ -30,6 +37,20 @@ Tensor Tensor::Empty(std::vector<std::int64_t> dims, Layout layout) {
       static_cast<float*>(AlignedAlloc(static_cast<std::size_t>(count) * sizeof(float))),
       AlignedDeleter());
   NEOCPU_CHECK(count == 0 || t.data_ != nullptr) << "allocation of " << count << " floats failed";
+  if (count > 0) {
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  t.dims_ = std::move(dims);
+  t.layout_ = layout;
+  return t;
+}
+
+Tensor Tensor::FromExternal(float* data, std::vector<std::int64_t> dims, Layout layout) {
+  NEOCPU_CHECK(data != nullptr || Product(dims) == 0);
+  Tensor t;
+  // Aliasing constructor with an empty owner: the view shares no lifetime with the
+  // underlying storage and its destruction frees nothing.
+  t.data_ = std::shared_ptr<float[]>(std::shared_ptr<void>(), data);
   t.dims_ = std::move(dims);
   t.layout_ = layout;
   return t;

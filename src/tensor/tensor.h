@@ -16,11 +16,23 @@
 
 namespace neocpu {
 
+// Process-wide count of owning tensor-buffer heap allocations (Tensor::Empty and its
+// derivatives). Non-owning views (Tensor::FromExternal) do not count. The memory-planner
+// tests use the delta across an Executor::Run to prove the steady state allocates
+// nothing for intermediates or workspaces.
+std::uint64_t TensorHeapAllocCount();
+
 class Tensor {
  public:
   Tensor() = default;
 
   static Tensor Empty(std::vector<std::int64_t> dims, Layout layout = Layout::Flat());
+
+  // Non-owning view over externally managed storage (an arena slice): the tensor reads
+  // and writes `data` but never frees it. The caller guarantees `data` holds at least
+  // product(dims) floats, SIMD-aligned, and outlives every copy of the view.
+  static Tensor FromExternal(float* data, std::vector<std::int64_t> dims,
+                             Layout layout = Layout::Flat());
   static Tensor Zeros(std::vector<std::int64_t> dims, Layout layout = Layout::Flat());
   static Tensor Full(std::vector<std::int64_t> dims, float value,
                      Layout layout = Layout::Flat());

@@ -13,6 +13,19 @@ namespace {
 constexpr char kFileTag[] = "neocpu-tuning-cache";
 }  // namespace
 
+void TuningCache::TouchLocked(const Entry& entry) const {
+  lru_.splice(lru_.begin(), lru_, entry.recency);
+}
+
+void TuningCache::EvictOverCapacityLocked() {
+  while (capacity_ > 0 && entries_.size() > capacity_) {
+    NEOCPU_CHECK(!lru_.empty());
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
 std::shared_ptr<const LocalSearchResult> TuningCache::Find(const WorkloadKey& key) const {
   const std::string text = key.ToString();
   std::lock_guard<std::mutex> lock(mutex_);
@@ -22,7 +35,8 @@ std::shared_ptr<const LocalSearchResult> TuningCache::Find(const WorkloadKey& ke
     return nullptr;
   }
   ++hits_;
-  return it->second;
+  TouchLocked(it->second);
+  return it->second.result;
 }
 
 void TuningCache::Insert(const WorkloadKey& key, LocalSearchResult result) {
@@ -35,8 +49,51 @@ void TuningCache::Insert(const WorkloadKey& key,
       << "inserting empty result for " << key.ToString();
   std::string text = key.ToString();
   std::lock_guard<std::mutex> lock(mutex_);
-  entries_[std::move(text)] = std::move(result);
+  InsertLocked(std::move(text), std::move(result));
+}
+
+void TuningCache::InsertLocked(std::string text,
+                               std::shared_ptr<const LocalSearchResult> result) {
+  auto it = entries_.find(text);
+  if (it != entries_.end()) {
+    it->second.result = std::move(result);
+    TouchLocked(it->second);
+  } else {
+    lru_.push_front(text);
+    entries_.emplace(std::move(text), Entry{std::move(result), lru_.begin()});
+  }
   ++inserts_;
+  EvictOverCapacityLocked();
+}
+
+void TuningCache::SetCapacity(std::size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = max_entries;
+  EvictOverCapacityLocked();
+}
+
+std::size_t TuningCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void TuningCache::MergeFrom(const TuningCache& other) {
+  if (&other == this) {
+    return;
+  }
+  // Snapshot under the source lock, insert under ours: no lock is ever held twice.
+  std::vector<std::pair<std::string, std::shared_ptr<const LocalSearchResult>>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    snapshot.reserve(other.entries_.size());
+    for (const auto& [text, entry] : other.entries_) {
+      snapshot.emplace_back(text, entry.result);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [text, result] : snapshot) {
+    InsertLocked(std::move(text), std::move(result));
+  }
 }
 
 std::size_t TuningCache::size() const {
@@ -50,7 +107,9 @@ TuningCacheStats TuningCache::Stats() const {
   stats.hits = hits_;
   stats.misses = misses_;
   stats.inserts = inserts_;
+  stats.evictions = evictions_;
   stats.entries = entries_.size();
+  stats.capacity = capacity_;
   return stats;
 }
 
@@ -58,7 +117,7 @@ std::vector<WorkloadKey> TuningCache::Keys() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<WorkloadKey> keys;
   keys.reserve(entries_.size());
-  for (const auto& [text, result] : entries_) {
+  for (const auto& [text, entry] : entries_) {
     WorkloadKey key;
     NEOCPU_CHECK(WorkloadKey::Parse(text, &key)) << "unparseable cache key " << text;
     keys.push_back(std::move(key));
@@ -70,16 +129,16 @@ void TuningCache::Serialize(std::ostream& out) const {
   std::lock_guard<std::mutex> lock(mutex_);
   out << kFileTag << " " << kFormatVersion << " " << entries_.size() << "\n";
   out << std::setprecision(17);
-  for (const auto& [text, result] : entries_) {
-    out << "workload " << text << " " << result->ranked.size() << "\n";
-    for (const ScheduleCost& sc : result->ranked) {
+  for (const auto& [text, entry] : entries_) {
+    out << "workload " << text << " " << entry.result->ranked.size() << "\n";
+    for (const ScheduleCost& sc : entry.result->ranked) {
       out << sc.schedule.ic_bn << " " << sc.schedule.oc_bn << " " << sc.schedule.reg_n
           << " " << (sc.schedule.unroll_ker ? 1 : 0) << " " << sc.ms << "\n";
     }
   }
 }
 
-bool TuningCache::ParseStream(std::istream& in, EntryMap* entries) {
+bool TuningCache::ParseStream(std::istream& in, ParsedMap* entries) {
   std::string tag;
   std::uint32_t version = 0;
   std::size_t entry_count = 0;
@@ -121,13 +180,13 @@ bool TuningCache::ParseStream(std::istream& in, EntryMap* entries) {
 }
 
 bool TuningCache::Deserialize(std::istream& in) {
-  EntryMap entries;
+  ParsedMap entries;
   if (!ParseStream(in, &entries)) {
     return false;
   }
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [text, result] : entries) {
-    entries_[text] = std::move(result);
+    InsertLocked(text, std::move(result));
   }
   return true;
 }

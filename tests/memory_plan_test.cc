@@ -1,0 +1,298 @@
+// Static memory planning: plan invariants, planned-vs-allocating bitwise equivalence
+// across the model zoo, the interval-overlap (aliasing) regression, and the
+// zero-allocation guarantee of the steady-state execution path.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/core/compiler.h"
+#include "src/core/memory_plan.h"
+#include "src/core/op_dispatch.h"
+#include "src/core/presets.h"
+#include "src/core/serialization.h"
+#include "src/graph/builder.h"
+#include "src/models/model_zoo.h"
+#include "src/runtime/arena_pool.h"
+#include "src/runtime/thread_pool.h"
+
+namespace neocpu {
+namespace {
+
+Tensor InputFor(const Graph& model, std::uint64_t seed = 17) {
+  Rng rng(seed);
+  for (int i = 0; i < model.num_nodes(); ++i) {
+    if (model.node(i).type == OpType::kInput) {
+      return Tensor::Random(model.node(i).out_dims, rng, -1.0f, 1.0f, Layout::NCHW());
+    }
+  }
+  ADD_FAILURE() << "no input node";
+  return {};
+}
+
+// Runs the same executable graph through the allocating executor and the planned one;
+// identical kernels in identical order must agree bit for bit.
+void ExpectPlannedMatchesAllocatingBitwise(const CompiledModel& compiled,
+                                           const Tensor& input, const std::string& label) {
+  ASSERT_NE(compiled.plan(), nullptr) << label;
+  std::vector<std::string> errors;
+  EXPECT_TRUE(ValidatePlan(compiled.graph(), *compiled.plan(), &errors))
+      << label << ":\n"
+      << (errors.empty() ? "" : errors.front()) << "\n"
+      << compiled.plan()->ToString();
+
+  const Executor allocating(&compiled.graph());
+  const Executor planned(&compiled.graph(), nullptr, compiled.plan());
+  const Tensor expected = allocating.Run(input);
+  const Tensor got = planned.Run(input);
+  EXPECT_EQ(Tensor::MaxAbsDiff(expected, got), 0.0) << label;
+  // And again on the same pooled arena (a reused arena holds the previous run's
+  // garbage: stale bytes must never leak into results).
+  const Tensor again = planned.Run(input);
+  EXPECT_EQ(Tensor::MaxAbsDiff(expected, again), 0.0) << label << " (arena reuse)";
+}
+
+struct ZooCase {
+  std::string label;
+  Graph (*build)();
+};
+
+Graph TinyResNet18() { return BuildResNet(18, 1, 64); }
+Graph TinyResNet50() { return BuildResNet(50, 1, 64); }
+Graph TinyVgg11() { return BuildVgg(11, 1, 64); }
+Graph TinyDenseNet121() { return BuildDenseNet(121, 1, 64); }
+Graph TinyInception() { return BuildInceptionV3(1, 139); }
+Graph TinySsd() { return BuildSsdResNet50(1, 128, 5); }
+Graph TinyCnn() { return BuildTinyCnn(1, 32); }
+
+class ZooPlanEquivalence : public ::testing::TestWithParam<ZooCase> {};
+
+// Every model-zoo model: planned-arena execution must be bitwise identical to the seed
+// allocating executor, the plan must pass interval validation, and reuse must beat (or
+// match) the naive sum-of-intermediates footprint.
+TEST_P(ZooPlanEquivalence, PlannedExecutionIsBitwiseIdentical) {
+  Graph model = GetParam().build();
+  Tensor input = InputFor(model);
+  CompiledModel compiled = Compile(model, NeoCpuOptions(Target::Host()));
+
+  ASSERT_NE(compiled.plan(), nullptr);
+  EXPECT_TRUE(compiled.stats().memory_planned) << GetParam().label;
+  EXPECT_GT(compiled.plan()->arena_nodes, 0) << GetParam().label;
+  EXPECT_GT(compiled.stats().arena_bytes, 0u) << GetParam().label;
+  EXPECT_LE(compiled.stats().arena_bytes, compiled.stats().naive_arena_bytes)
+      << GetParam().label;
+
+  ExpectPlannedMatchesAllocatingBitwise(compiled, input, GetParam().label);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooPlanEquivalence,
+                         ::testing::Values(ZooCase{"tiny_cnn", &TinyCnn},
+                                           ZooCase{"resnet18", &TinyResNet18},
+                                           ZooCase{"resnet50", &TinyResNet50},
+                                           ZooCase{"vgg11", &TinyVgg11},
+                                           ZooCase{"densenet121", &TinyDenseNet121},
+                                           ZooCase{"inception", &TinyInception},
+                                           ZooCase{"ssd", &TinySsd}),
+                         [](const ::testing::TestParamInfo<ZooCase>& info) {
+                           return info.param.label;
+                         });
+
+// The im2col baseline exercises the planner's workspace placement (the column buffer
+// coexists with the conv's inputs and output).
+TEST(MemoryPlan, Im2colWorkspaceIsPlanned) {
+  Graph model = BuildTinyCnn(1, 32);
+  Tensor input = InputFor(model);
+  CompileOptions opts;
+  opts.layout_mode = LayoutMode::kNCHW;
+  opts.nchw_kernel = ConvKernelKind::kIm2col;
+  CompiledModel compiled = Compile(model, opts);
+
+  ASSERT_NE(compiled.plan(), nullptr);
+  bool saw_workspace = false;
+  for (const NodePlan& np : compiled.plan()->nodes) {
+    saw_workspace |= np.workspace_bytes > 0;
+  }
+  EXPECT_TRUE(saw_workspace) << "im2col convs should plan column-buffer workspaces";
+  ExpectPlannedMatchesAllocatingBitwise(compiled, input, "im2col");
+}
+
+// Regression for interval-overlap bugs: `a` is consumed again long after intermediate
+// buffers came and went. A planner that released `a` after its first consumer would
+// hand its bytes to `b` or `c`, and the late add would read clobbered data.
+TEST(MemoryPlan, LongLivedBufferSurvivesReuseChurn) {
+  GraphBuilder b("alias-hazard");
+  int x = b.Input({1, 8, 16, 16});
+  int a = b.Relu(x);
+  int c1 = b.Conv(a, 8, 3, 1, 1, /*bias=*/false, "c1");
+  int c2 = b.Conv(c1, 8, 3, 1, 1, /*bias=*/false, "c2");
+  int c3 = b.Conv(c2, 8, 3, 1, 1, /*bias=*/false, "c3");
+  int d = b.Add(a, c3);  // `a` must still be intact here
+  int out = b.Relu(d);
+  Graph g = b.Finish({out});
+
+  ExecutionPlan plan = PlanMemory(g);
+  std::vector<std::string> errors;
+  EXPECT_TRUE(ValidatePlan(g, plan, &errors)) << (errors.empty() ? "" : errors.front());
+
+  Tensor input = InputFor(g);
+  const Tensor expected = Executor(&g).Run(input);
+  auto shared = std::make_shared<const ExecutionPlan>(plan);
+  const Tensor got = Executor(&g, nullptr, shared).Run(input);
+  EXPECT_EQ(Tensor::MaxAbsDiff(expected, got), 0.0);
+}
+
+// Same hazard through an alias: the reshape view of `a` keeps `a`'s bytes live even
+// though `a` itself has no further direct consumers.
+TEST(MemoryPlan, AliasExtendsRootLifetime) {
+  GraphBuilder b("alias-chain");
+  int x = b.Input({1, 4, 8, 8});
+  int a = b.Relu(x);
+  int flat = b.Reshape(a, {1, 4 * 8 * 8});  // view of a's buffer
+  int c1 = b.Conv(x, 4, 3, 1, 1, /*bias=*/false, "c1");
+  int c2 = b.Conv(c1, 4, 3, 1, 1, /*bias=*/false, "c2");
+  int flat2 = b.Reshape(c2, {1, 4 * 8 * 8});
+  int cat = b.Concat({flat, flat2});  // reads a's bytes through the view
+  Graph g = b.Finish({cat});
+
+  ExecutionPlan plan = PlanMemory(g);
+  EXPECT_EQ(plan.nodes[static_cast<std::size_t>(flat)].placement, BufferPlacement::kAlias);
+  std::vector<std::string> errors;
+  EXPECT_TRUE(ValidatePlan(g, plan, &errors)) << (errors.empty() ? "" : errors.front());
+
+  Tensor input = InputFor(g);
+  const Tensor expected = Executor(&g).Run(input);
+  auto shared = std::make_shared<const ExecutionPlan>(plan);
+  EXPECT_EQ(Tensor::MaxAbsDiff(expected, Executor(&g, nullptr, shared).Run(input)), 0.0);
+}
+
+// The acceptance criterion: steady-state planned Run performs ZERO heap allocations for
+// intermediates and workspaces. The only owning allocations left are the escaping graph
+// outputs (one per heap-placed node).
+TEST(MemoryPlan, SteadyStateRunAllocatesOnlyOutputs) {
+  Graph model = BuildTinyCnn(1, 32);
+  Tensor input = InputFor(model);
+  CompiledModel compiled = Compile(model, NeoCpuOptions(Target::Host()));
+  ASSERT_NE(compiled.plan(), nullptr);
+  const Executor planned(&compiled.graph(), nullptr, compiled.plan());
+
+  planned.Run(input);  // warm-up: faults the pooled arena, fills the pool
+  const std::uint64_t before = TensorHeapAllocCount();
+  constexpr std::uint64_t kRuns = 5;
+  for (std::uint64_t i = 0; i < kRuns; ++i) {
+    planned.Run(input);
+  }
+  // Exact total, so even one stray allocation across the window fails.
+  EXPECT_EQ(TensorHeapAllocCount() - before,
+            kRuns * static_cast<std::uint64_t>(compiled.plan()->heap_nodes))
+      << "intermediates/workspaces must come from the arena, not the heap\n"
+      << compiled.plan()->ToString();
+  // For this single-output model that means exactly one owning allocation per Run.
+  EXPECT_EQ(compiled.plan()->heap_nodes, 1);
+
+  // The allocating path, for contrast, allocates every intermediate.
+  const Executor allocating(&compiled.graph());
+  const std::uint64_t alloc_before = TensorHeapAllocCount();
+  allocating.Run(input);
+  EXPECT_GT(TensorHeapAllocCount() - alloc_before, static_cast<std::uint64_t>(1));
+}
+
+// A caller-owned warm arena (the serving pool's per-partition mode) works identically
+// and grows to the plan's footprint.
+TEST(MemoryPlan, ExplicitArenaRunMatches) {
+  Graph model = BuildTinyCnn(1, 32);
+  Tensor input = InputFor(model);
+  CompiledModel compiled = Compile(model, NeoCpuOptions(Target::Host()));
+  ASSERT_NE(compiled.plan(), nullptr);
+  const Executor planned(&compiled.graph(), nullptr, compiled.plan());
+  const Tensor expected = Executor(&compiled.graph()).Run(input);
+
+  Arena arena;
+  const Tensor got = planned.Run(input, nullptr, &arena);
+  EXPECT_EQ(Tensor::MaxAbsDiff(expected, got), 0.0);
+  EXPECT_GE(arena.capacity_bytes(), compiled.plan()->arena_bytes);
+  const Tensor again = planned.Run(input, nullptr, &arena);
+  EXPECT_EQ(Tensor::MaxAbsDiff(expected, again), 0.0);
+}
+
+TEST(MemoryPlan, ArenaPoolReusesArenas) {
+  ArenaPool pool;
+  auto a = pool.Acquire(1024);
+  float* base = a->data();
+  pool.Release(std::move(a));
+  auto b = pool.Acquire(512);  // smaller request reuses the pooled arena
+  EXPECT_EQ(b->data(), base);
+  pool.Release(std::move(b));
+  const ArenaPoolStats stats = pool.Stats();
+  EXPECT_EQ(stats.acquired, 2u);
+  EXPECT_EQ(stats.created, 1u);
+  EXPECT_EQ(stats.pooled, 1u);
+}
+
+// Batch variants re-plan: shapes changed, so the footprint scales and execution stays
+// exact.
+TEST(MemoryPlan, RebindBatchReplans) {
+  Graph model = BuildTinyCnn(1, 32);
+  CompiledModel compiled = Compile(model, NeoCpuOptions(Target::Host()));
+  ASSERT_NE(compiled.plan(), nullptr);
+
+  CompiledModel rebound;
+  ASSERT_TRUE(RebindBatch(compiled, 4, &rebound));
+  ASSERT_NE(rebound.plan(), nullptr);
+  EXPECT_GT(rebound.plan()->arena_bytes, compiled.plan()->arena_bytes);
+  std::vector<std::string> errors;
+  EXPECT_TRUE(ValidatePlan(rebound.graph(), *rebound.plan(), &errors))
+      << (errors.empty() ? "" : errors.front());
+
+  Rng rng(23);
+  Tensor input = Tensor::Random({4, 3, 32, 32}, rng, -1.0f, 1.0f, Layout::NCHW());
+  const Tensor expected = Executor(&rebound.graph()).Run(input);
+  EXPECT_EQ(Tensor::MaxAbsDiff(expected, rebound.Run(input)), 0.0);
+}
+
+// Module round trip: a v3 artifact records plan metadata and loads with a working
+// (recomputed) plan of the same footprint.
+TEST(MemoryPlan, SerializationRoundTripsPlan) {
+  Graph model = BuildTinyCnn(1, 32);
+  Tensor input = InputFor(model);
+  CompiledModel compiled = Compile(model, NeoCpuOptions(Target::Host()));
+  ASSERT_NE(compiled.plan(), nullptr);
+
+  const std::string path = ::testing::TempDir() + "/memory_plan_module.neoc";
+  ASSERT_TRUE(SaveModule(compiled, path));
+  CompiledModel loaded;
+  ASSERT_TRUE(LoadModule(path, &loaded));
+  ASSERT_NE(loaded.plan(), nullptr);
+  EXPECT_EQ(loaded.plan()->arena_bytes, compiled.plan()->arena_bytes);
+  EXPECT_EQ(loaded.stats().arena_bytes, compiled.stats().arena_bytes);
+  EXPECT_EQ(Tensor::MaxAbsDiff(compiled.Run(input), loaded.Run(input)), 0.0);
+}
+
+// Disabling planning falls back to the classic allocating executor.
+TEST(MemoryPlan, PlanMemoryOffCompilesWithoutPlan) {
+  Graph model = BuildTinyCnn(1, 32);
+  CompileOptions opts = NeoCpuOptions(Target::Host());
+  opts.plan_memory = false;
+  CompiledModel compiled = Compile(model, opts);
+  EXPECT_EQ(compiled.plan(), nullptr);
+  EXPECT_FALSE(compiled.stats().memory_planned);
+  Tensor input = InputFor(model);
+  EXPECT_EQ(Tensor::MaxAbsDiff(Executor(&compiled.graph()).Run(input), compiled.Run(input)),
+            0.0);
+}
+
+// Threaded planned execution matches serial planned execution exactly (kernels
+// partition work identically regardless of where the output bytes live).
+TEST(MemoryPlan, ThreadedPlannedMatchesSerial) {
+  Graph model = BuildTinyCnn(1, 32);
+  Tensor input = InputFor(model);
+  CompiledModel compiled = Compile(model, NeoCpuOptions(Target::Host()));
+  ASSERT_NE(compiled.plan(), nullptr);
+  const Tensor serial = compiled.Run(input);
+  NeoThreadPool pool(3, /*bind_threads=*/false);
+  const Tensor threaded = compiled.Run(input, &pool);
+  EXPECT_EQ(Tensor::MaxAbsDiff(serial, threaded), 0.0);
+}
+
+}  // namespace
+}  // namespace neocpu

@@ -312,6 +312,60 @@ TEST(ModelEntry, WarmStartRestoresBatchTuningsWithoutResearch) {
   std::remove(path.c_str());
 }
 
+TEST(ModelRegistry, SharesOneTuningCacheAcrossModels) {
+  // Two models with identical conv workloads: after registration both entries serve
+  // from the registry-wide cache, so a batch one model already re-tuned is a pure
+  // lookup for the other.
+  ModelRegistry registry;
+  ModelEntry* a = registry.Register("tiny-a", Compile(BuildTinyCnn()));
+  ModelEntry* b = registry.Register("tiny-b", Compile(BuildTinyCnn()));
+  ASSERT_NE(a->tuning_cache(), nullptr);
+  EXPECT_EQ(a->tuning_cache().get(), registry.shared_tuning_cache().get());
+  EXPECT_EQ(b->tuning_cache().get(), registry.shared_tuning_cache().get());
+
+  a->VariantFor(8);
+  a->WaitForRetunes();
+  ASSERT_EQ(a->VariantFor(8)->model->stats().tuned_batch, 8);
+
+  const TuningCacheStats before = registry.shared_tuning_cache()->Stats();
+  b->VariantFor(8);
+  b->WaitForRetunes();
+  EXPECT_EQ(b->VariantFor(8)->model->stats().tuned_batch, 8);
+  const TuningCacheStats after = registry.shared_tuning_cache()->Stats();
+  EXPECT_EQ(after.misses, before.misses)  // model A already searched every workload
+      << "cross-model re-tune should be pure cache hits";
+  EXPECT_GT(after.hits, before.hits);
+
+  // Aggregate stats count the shared cache once, not per entry.
+  EXPECT_EQ(registry.AggregateTuningStats().cache.entries, after.entries);
+}
+
+TEST(InferenceServer, PlannedServingAllocatesOnlyOutputs) {
+  // Steady-state serving on the planned path: per-request heap allocations collapse to
+  // the escaping output tensor plus the batch staging the serving tier itself does.
+  CompiledModel compiled = Compile(BuildTinyCnn());
+  ASSERT_NE(compiled.plan(), nullptr);
+  ServerOptions options;
+  options.num_executors = 1;
+  options.batching.max_batch_size = 1;
+  options.bind_threads = false;
+  options.background_retune = false;
+  InferenceServer server(options);
+  server.RegisterModel("tiny", compiled);
+  Tensor input = SampleInput(3);
+  server.Submit("tiny", input).get();  // warm-up: faults the worker's arena
+
+  const std::uint64_t before = TensorHeapAllocCount();
+  constexpr std::uint64_t kRequests = 8;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    server.Submit("tiny", input).get();
+  }
+  // At most one owning allocation per request — the escaping model output; nothing for
+  // intermediates or workspaces. (Single-sample requests skip StackBatch/SplitBatch
+  // staging.) Asserted on the total so a single stray allocation anywhere fails.
+  EXPECT_LE(TensorHeapAllocCount() - before, kRequests);
+}
+
 TEST(ModelEntry, RetuneDisabledKeepsReboundVariant) {
   ModelRegistry registry;
   RetuneOptions retune;

@@ -86,6 +86,30 @@ TEST(Winograd, ThreadedMatchesSerial) {
   EXPECT_EQ(Tensor::MaxAbsDiff(serial, threaded), 0.0);
 }
 
+// The planner-facing workspace form: caller-provided V/M scratch sized by the query
+// hook, serial and threaded, bitwise identical to the self-allocating form.
+TEST(Winograd, CallerProvidedWorkspaceMatches) {
+  Conv2dParams p{2, 16, 9, 9, 8, 3, 3, 1, 1, 1, 1};
+  Rng rng(6);
+  Tensor in = Tensor::Random({2, 16, 9, 9}, rng, -1, 1, Layout::NCHW());
+  Tensor w = Tensor::Random({8, 16, 3, 3}, rng, -0.5f, 0.5f, Layout::OIHW());
+  Tensor u = WinogradTransformWeights(w);
+  const Tensor expected = ConvWinograd(p, in, u, nullptr, {});
+
+  SerialEngine serial;
+  NeoThreadPool pool(3, /*bind_threads=*/false);
+  for (ThreadEngine* engine : {static_cast<ThreadEngine*>(&serial),
+                               static_cast<ThreadEngine*>(&pool)}) {
+    const std::size_t ws_bytes = WinogradWorkspaceBytes(p, engine->NumWorkers());
+    EXPECT_EQ(ws_bytes,
+              16u * (8u + 16u) * sizeof(float) * static_cast<std::size_t>(engine->NumWorkers()));
+    Tensor workspace = Tensor::Empty({static_cast<std::int64_t>(ws_bytes / sizeof(float))});
+    Tensor out = Tensor::Empty({p.batch, p.out_c, p.OutH(), p.OutW()}, Layout::NCHW());
+    ConvWinograd(p, in, u, nullptr, {}, &out, engine, workspace.data());
+    EXPECT_EQ(Tensor::MaxAbsDiff(expected, out), 0.0) << engine->Name();
+  }
+}
+
 TEST(Winograd, RejectsNonApplicableWorkloads) {
   Conv2dParams p{1, 8, 8, 8, 8, 3, 3, 2, 2, 1, 1};
   Rng rng(5);
