@@ -9,6 +9,7 @@
 #include "src/core/memory_plan.h"
 #include "src/graph/passes/passes.h"
 #include "src/graph/shape_infer.h"
+#include "src/kernels/conv_winograd.h"
 #include "src/tuning/global_search.h"
 #include "src/tuning/schedule_space.h"
 
@@ -41,6 +42,10 @@ std::int64_t PickFixedBlock(const LocalSearchResult& result, bool input_side,
   std::int64_t best_leq = 0;
   std::int64_t smallest = std::numeric_limits<std::int64_t>::max();
   for (const ScheduleCost& sc : result.ranked) {
+    if (!sc.schedule.IsDirect()) {
+      continue;  // algorithm candidates carry no blocking; the fixed-x modes are
+                 // layout ablations and only pick among blocked schedules
+    }
     const std::int64_t block = input_side ? sc.schedule.ic_bn : sc.schedule.oc_bn;
     smallest = std::min(smallest, block);
     if (block <= prefer) {
@@ -48,6 +53,26 @@ std::int64_t PickFixedBlock(const LocalSearchResult& result, bool input_side,
     }
   }
   return best_leq > 0 ? best_leq : smallest;
+}
+
+// True when `algo` can execute `node`'s convolution including its fused epilogue.
+bool AlgoLegalFor(ConvAlgo algo, const Node& node) {
+  if (algo == ConvAlgo::kWinograd) {
+    return WinogradLegal(node.attrs.conv, node.attrs.epilogue);
+  }
+  return true;
+}
+
+// Cheapest ranked schedule whose algorithm is legal for `node` (the greedy per-conv
+// optimum of LayoutMode::kNCHWcLocal).
+const ConvSchedule& BestLegalSchedule(const LocalSearchResult& result, const Node& node) {
+  for (const ScheduleCost& sc : result.ranked) {
+    if (AlgoLegalFor(sc.schedule.algo, node)) {
+      return sc.schedule;
+    }
+  }
+  LOG(FATAL) << "no legal schedule for " << node.attrs.conv.ToString();
+  return result.best().schedule;
 }
 
 // Leading dim of the graph's (first) input: the batch size its conv workloads carry.
@@ -111,7 +136,7 @@ Graph LowerFusedGraph(const Graph& source, const CompileOptions& opts,
     }
     case LayoutMode::kNCHWcLocal: {
       for (auto& [id, result] : locals) {
-        schedules[id] = result->best().schedule;
+        schedules[id] = BestLegalSchedule(*result, source.node(id));
       }
       break;
     }
@@ -128,6 +153,24 @@ Graph LowerFusedGraph(const Graph& source, const CompileOptions& opts,
     }
     default:
       LOG(FATAL) << "unreachable";
+  }
+
+  if (opts.force_algo) {
+    // Override the searched choice wherever the forced algorithm is legal; illegal
+    // convs keep what the search picked so the graph always compiles.
+    for (auto& [id, sched] : schedules) {
+      const Node& node = source.node(id);
+      if (!AlgoLegalFor(opts.forced_algo, node)) {
+        continue;
+      }
+      if (opts.forced_algo == ConvAlgo::kDirectNCHWc) {
+        const ScheduleCost* best = locals.at(id)->BestForAlgo(ConvAlgo::kDirectNCHWc);
+        NEOCPU_CHECK(best != nullptr);
+        sched = best->schedule;
+      } else {
+        sched = AlgoSchedule(opts.forced_algo);
+      }
+    }
   }
 
   const LayoutPlacement placement = opts.layout_mode == LayoutMode::kNCHWcPerOp

@@ -56,6 +56,12 @@ struct CompileConfig {
   // one reusable arena so steady-state Run allocates nothing. Off = the classic
   // allocate-and-release executor path.
   bool plan_memory = true;
+  // Forced convolution algorithm (ablation / testing): under the NCHWc layout modes,
+  // every conv that can legally execute `forced_algo` uses it instead of the searched
+  // choice; convs where it is illegal (Winograd on non-3x3-s1 shapes or fused residual
+  // adds) keep their searched schedule. kNCHW mode keeps `nchw_kernel`.
+  bool force_algo = false;
+  ConvAlgo forced_algo = ConvAlgo::kDirectNCHWc;
 };
 
 struct CompileOptions : CompileConfig {

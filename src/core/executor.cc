@@ -97,7 +97,7 @@ std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs, ThreadEngin
       float* workspace = np->workspace_bytes > 0
                              ? arena_base + np->workspace_offset / sizeof(float)
                              : nullptr;
-      ExecuteNodeInto(node, node_inputs, &out, workspace, engine);
+      ExecuteNodeInto(node, node_inputs, &out, workspace, np->workspace_bytes, engine);
       values[static_cast<std::size_t>(id)] = std::move(out);
     } else {
       values[static_cast<std::size_t>(id)] = ExecuteNode(node, node_inputs, engine);

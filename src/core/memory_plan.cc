@@ -146,13 +146,13 @@ ExecutionPlan PlanMemory(const Graph& g) {
       continue;
     }
     np.placement = BufferPlacement::kArena;
-    np.dims = PlannedOutputDims(node);
+    np.dims = MakeSharedDims(PlannedOutputDims(node));
     np.layout = PlannedOutputLayout(node);
-    np.size_bytes = AlignUp(OutputBytes(np.dims));
+    np.size_bytes = AlignUp(OutputBytes(*np.dims));
     np.workspace_bytes = AlignUp(NodeWorkspaceBytes(node));
     if (np.size_bytes == 0) {  // degenerate zero-element output; keep it owning
       np.placement = BufferPlacement::kHeap;
-      np.dims.clear();
+      np.dims.reset();
       np.workspace_bytes = 0;
       ++plan.heap_nodes;
       continue;

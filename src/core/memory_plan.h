@@ -32,6 +32,7 @@
 
 #include "src/graph/graph.h"
 #include "src/tensor/layout.h"
+#include "src/tensor/tensor.h"
 
 namespace neocpu {
 
@@ -44,9 +45,10 @@ struct NodePlan {
   std::size_t size_bytes = 0;        // kArena: aligned output size
   std::size_t workspace_offset = 0;  // kArena with workspace_bytes > 0
   std::size_t workspace_bytes = 0;
-  // Physical dims/layout of the output view (kArena), precomputed so Run builds views
-  // without re-deriving shapes.
-  std::vector<std::int64_t> dims;
+  // Physical dims/layout of the output view (kArena), precomputed and immutable-shared
+  // so every Run builds its view without re-deriving shapes OR allocating a dims vector
+  // (Tensor::FromExternal adopts the SharedDims by refcount).
+  SharedDims dims;
   Layout layout;
 };
 

@@ -1,12 +1,14 @@
 #include "src/core/op_dispatch.h"
 
 #include <cstring>
+#include <thread>
 
 #include "src/base/logging.h"
 #include "src/kernels/batchnorm.h"
 #include "src/kernels/conv_im2col.h"
 #include "src/kernels/conv_nchwc.h"
 #include "src/kernels/conv_ref.h"
+#include "src/kernels/conv_winograd.h"
 #include "src/kernels/dense.h"
 #include "src/kernels/elementwise.h"
 #include "src/kernels/multibox.h"
@@ -17,9 +19,10 @@ namespace neocpu {
 namespace {
 
 // Runs the convolution kernel bound to `node` writing into the preallocated `*out`;
-// `workspace` backs the im2col column buffer (null on the allocating path).
+// `workspace` backs kernel scratch — the im2col column buffer or Winograd's per-worker
+// tile buffers (null on the allocating path, which lets the kernels self-allocate).
 void ExecuteConvInto(const Node& node, const std::vector<Tensor>& in, Tensor* out,
-                     float* workspace, ThreadEngine* engine) {
+                     float* workspace, std::size_t workspace_bytes, ThreadEngine* engine) {
   const Conv2dParams& p = node.attrs.conv;
   const ConvEpilogue& epi = node.attrs.epilogue;
   const Tensor* bias = epi.bias ? &in[2] : nullptr;
@@ -33,6 +36,10 @@ void ExecuteConvInto(const Node& node, const std::vector<Tensor>& in, Tensor* ou
       return;
     case ConvKernelKind::kNCHWc:
       ConvNCHWc(p, node.attrs.schedule, in[0], in[1], bias, residual, epi, out, engine);
+      return;
+    case ConvKernelKind::kWinograd:
+      ConvWinograd(p, in[0], in[1], bias, epi, out, engine, workspace,
+                   workspace_bytes / sizeof(float));
       return;
   }
   LOG(FATAL) << "unreachable";
@@ -48,7 +55,7 @@ Tensor ExecuteConv(const Node& node, const std::vector<Tensor>& in, ThreadEngine
   } else {
     out = Tensor::Empty({p.batch, p.out_c, p.OutH(), p.OutW()}, Layout::NCHW());
   }
-  ExecuteConvInto(node, in, &out, nullptr, engine);
+  ExecuteConvInto(node, in, &out, nullptr, 0, engine);
   return out;
 }
 
@@ -145,11 +152,11 @@ Tensor ExecuteNode(const Node& node, const std::vector<Tensor>& in, ThreadEngine
 }
 
 void ExecuteNodeInto(const Node& node, const std::vector<Tensor>& in, Tensor* out,
-                     float* workspace, ThreadEngine* engine) {
+                     float* workspace, std::size_t workspace_bytes, ThreadEngine* engine) {
   NEOCPU_CHECK(out != nullptr && out->defined());
   switch (node.type) {
     case OpType::kConv2d:
-      ExecuteConvInto(node, in, out, workspace, engine);
+      ExecuteConvInto(node, in, out, workspace, workspace_bytes, engine);
       return;
     case OpType::kScaleShift:
       if (in[0].ndim() == 5) {
@@ -243,11 +250,26 @@ bool SupportsExecuteInto(const Node& node, const Graph& graph) {
   }
 }
 
+int MaxPlannedWorkers() {
+  static const int workers = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return workers;
+}
+
 std::size_t NodeWorkspaceBytes(const Node& node) {
-  if (node.type == OpType::kConv2d && node.attrs.kernel == ConvKernelKind::kIm2col) {
-    return ConvIm2colWorkspaceBytes(node.attrs.conv);
+  if (node.type != OpType::kConv2d) {
+    return 0;
   }
-  return 0;
+  switch (node.attrs.kernel) {
+    case ConvKernelKind::kIm2col:
+      return ConvIm2colWorkspaceBytes(node.attrs.conv);
+    case ConvKernelKind::kWinograd:
+      return WinogradWorkspaceBytes(node.attrs.conv, MaxPlannedWorkers());
+    default:
+      return 0;
+  }
 }
 
 std::vector<std::int64_t> PlannedOutputDims(const Node& node) {

@@ -29,10 +29,12 @@ Tensor ExecuteNode(const Node& node, const std::vector<Tensor>& inputs,
 
 // Executes `node` writing its result into `*out` (a preallocated tensor whose physical
 // dims/layout match PlannedOutputDims/node.out_layout) using `workspace` for kernel
-// scratch (null iff NodeWorkspaceBytes(node) == 0). Dies if the node does not support
-// the into-form.
+// scratch (null iff NodeWorkspaceBytes(node) == 0). `workspace_bytes` is the workspace's
+// capacity — kernels whose scratch scales with parallelism (Winograd's per-worker tile
+// buffers) clamp their fan-out to what the workspace backs. Dies if the node does not
+// support the into-form.
 void ExecuteNodeInto(const Node& node, const std::vector<Tensor>& inputs, Tensor* out,
-                     float* workspace, ThreadEngine* engine);
+                     float* workspace, std::size_t workspace_bytes, ThreadEngine* engine);
 
 // True when ExecuteNodeInto can run this node. False for ops whose output is a view of
 // an input (see AliasedInput), for inputs/constants, and for the few ops that keep the
@@ -43,9 +45,14 @@ bool SupportsExecuteInto(const Node& node, const Graph& graph);
 // layout transforms), the index into node.inputs of the aliased producer; -1 otherwise.
 int AliasedInput(const Node& node, const Graph& graph);
 
-// Bytes of kernel scratch one execution of `node` needs (im2col column buffer; 0 for
-// everything else on the dispatch path).
+// Bytes of kernel scratch one execution of `node` needs: im2col column buffer, Winograd
+// per-worker V/M tile scratch (sized for MaxPlannedWorkers so the plan stays valid under
+// any engine); 0 for everything else on the dispatch path.
 std::size_t NodeWorkspaceBytes(const Node& node);
+
+// Worker count the planner sizes parallelism-scaled workspaces for: the host's hardware
+// concurrency. Engines wider than this are clamped by the kernels at execute time.
+int MaxPlannedWorkers();
 
 // Physical dims of the node's output tensor: node.out_dims reinterpreted under
 // node.out_layout (NCHW[x]c feature maps materialize as 5-D {N, C/x, H, W, x}).

@@ -14,7 +14,10 @@ namespace {
 constexpr char kMagic[4] = {'N', 'E', 'O', 'C'};
 // v1: executable graph only. v2: + source graph, CompileConfig, tuned_batch, TuningCache.
 // v3: + plan_memory config flag and memory-plan summary metadata.
-constexpr std::uint32_t kVersion = 3;
+// v4: + per-conv algorithm tag in the schedule block and forced-algo config fields;
+//     embedded tuning caches carry algorithm-tagged entries (cache format v3).
+// docs/module_format.md is the authoritative spec.
+constexpr std::uint32_t kVersion = 4;
 constexpr std::uint32_t kMinVersion = 1;
 
 void WriteU32(std::ostream& out, std::uint32_t v) {
@@ -99,12 +102,26 @@ Layout ReadLayout(std::istream& in) {
   return layout;
 }
 
+// Explicit POD mirror of ConvSchedule. Byte-compatible with the pre-v4 layout (three
+// int64 blocks + a bool padded to 32 bytes): `algo` occupies what used to be struct
+// padding, so one AttrBlock shape reads every version — pre-v4 files just carry
+// meaningless bytes there, which the loader overwrites with kDirectNCHWc.
+struct ScheduleBlock {
+  std::int64_t ic_bn;
+  std::int64_t oc_bn;
+  std::int64_t reg_n;
+  std::uint8_t unroll_ker;
+  std::uint8_t pad[3];
+  std::uint32_t algo;  // v4+
+};
+static_assert(sizeof(ScheduleBlock) == 32, "on-disk schedule block layout drifted");
+
 // The fixed-size portion of NodeAttrs, mirrored as an explicit POD so the on-disk
 // format stays stable regardless of struct layout changes.
 struct AttrBlock {
   Conv2dParams conv;
   ConvEpilogue epilogue;
-  ConvSchedule schedule;
+  ScheduleBlock schedule;
   std::uint32_t kernel;
   Pool2dParams pool;
   float epsilon;
@@ -130,7 +147,11 @@ void WriteGraph(std::ostream& out, const Graph& g) {
     AttrBlock block{};
     block.conv = node.attrs.conv;
     block.epilogue = node.attrs.epilogue;
-    block.schedule = node.attrs.schedule;
+    block.schedule.ic_bn = node.attrs.schedule.ic_bn;
+    block.schedule.oc_bn = node.attrs.schedule.oc_bn;
+    block.schedule.reg_n = node.attrs.schedule.reg_n;
+    block.schedule.unroll_ker = node.attrs.schedule.unroll_ker ? 1 : 0;
+    block.schedule.algo = static_cast<std::uint32_t>(node.attrs.schedule.algo);
     block.kernel = static_cast<std::uint32_t>(node.attrs.kernel);
     block.pool = node.attrs.pool;
     block.epsilon = node.attrs.epsilon;
@@ -152,7 +173,7 @@ void WriteGraph(std::ostream& out, const Graph& g) {
   }
 }
 
-Graph ReadGraph(std::istream& in, const std::string& path) {
+Graph ReadGraph(std::istream& in, const std::string& path, std::uint32_t version) {
   Graph g;
   g.name = ReadString(in);
   std::vector<int> outputs;
@@ -172,7 +193,13 @@ Graph ReadGraph(std::istream& in, const std::string& path) {
     NodeAttrs attrs;
     attrs.conv = block.conv;
     attrs.epilogue = block.epilogue;
-    attrs.schedule = block.schedule;
+    attrs.schedule.ic_bn = block.schedule.ic_bn;
+    attrs.schedule.oc_bn = block.schedule.oc_bn;
+    attrs.schedule.reg_n = block.schedule.reg_n;
+    attrs.schedule.unroll_ker = block.schedule.unroll_ker != 0;
+    // Pre-v4 modules predate the algorithm tag; those bytes were struct padding.
+    attrs.schedule.algo =
+        version >= 4 ? static_cast<ConvAlgo>(block.schedule.algo) : ConvAlgo::kDirectNCHWc;
     attrs.kernel = static_cast<ConvKernelKind>(block.kernel);
     attrs.pool = block.pool;
     attrs.epsilon = block.epsilon;
@@ -223,7 +250,9 @@ void WriteConfig(std::ostream& out, const CompileConfig& config) {
   WriteU32(out, static_cast<std::uint32_t>(config.cost_mode));
   WriteU32(out, config.quick_space ? 1 : 0);
   WriteU64(out, config.max_dp_table_entries);
-  WriteU32(out, config.plan_memory ? 1 : 0);  // v3+
+  WriteU32(out, config.plan_memory ? 1 : 0);        // v3+
+  WriteU32(out, config.force_algo ? 1 : 0);         // v4+
+  WriteU32(out, static_cast<std::uint32_t>(config.forced_algo));
 }
 
 CompileConfig ReadConfig(std::istream& in, std::uint32_t version) {
@@ -246,6 +275,10 @@ CompileConfig ReadConfig(std::istream& in, std::uint32_t version) {
   config.max_dp_table_entries = static_cast<std::size_t>(ReadU64(in));
   if (version >= 3) {
     config.plan_memory = ReadU32(in) != 0;
+  }
+  if (version >= 4) {
+    config.force_algo = ReadU32(in) != 0;
+    config.forced_algo = static_cast<ConvAlgo>(ReadU32(in));
   }
   return config;
 }
@@ -298,7 +331,7 @@ bool LoadModule(const std::string& path, CompiledModel* model) {
   NEOCPU_CHECK(version >= kMinVersion && version <= kVersion)
       << "unsupported module version " << version;
 
-  Graph g = ReadGraph(in, path);
+  Graph g = ReadGraph(in, path, version);
   CompileStats stats;
   stats.num_convs = g.CountNodes(OpType::kConv2d);
   stats.num_layout_transforms = g.CountNodes(OpType::kLayoutTransform);
@@ -312,7 +345,7 @@ bool LoadModule(const std::string& path, CompiledModel* model) {
   const bool has_source = ReadU32(in) != 0;
   Graph source;
   if (has_source) {
-    source = ReadGraph(in, path);
+    source = ReadGraph(in, path, version);
   }
   CompileConfig config = ReadConfig(in, version);
   stats.tuned_batch = ReadI64(in);

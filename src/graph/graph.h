@@ -45,10 +45,12 @@ enum class OpType {
 const char* OpTypeName(OpType type);
 
 // How a convolution node executes (bound by the compiler, not the model author).
+// Enumerator values appear in serialized modules — append only.
 enum class ConvKernelKind {
   kDirectNCHW,  // reference/baseline direct convolution in NCHW
   kIm2col,      // im2col + GEMM in NCHW (framework-default baseline)
   kNCHWc,       // Algorithm 1 template in NCHW[x]c
+  kWinograd,    // F(2x2, 3x3) in NCHW; weights pre-transformed to {4, 4, OC, IC}
 };
 
 // One attribute bag serves all op types; only the fields relevant to a node's OpType are

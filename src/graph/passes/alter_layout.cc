@@ -16,6 +16,7 @@
 #include "src/graph/passes/passes.h"
 #include "src/graph/passes/rewriter.h"
 #include "src/graph/shape_infer.h"
+#include "src/kernels/conv_winograd.h"
 #include "src/tensor/layout_transform.h"
 
 namespace neocpu {
@@ -92,6 +93,42 @@ Graph AlterConvLayout(const Graph& graph, const std::map<int, ConvSchedule>& sch
           break;
         }
         const ConvSchedule& sched = it->second;
+        if (!sched.IsDirect()) {
+          // An NCHW-layout algorithm won the search for this conv: the data (and any
+          // residual) must arrive in NCHW, the output stays NCHW, and the kernel kind
+          // dispatches the chosen algorithm. Winograd additionally pre-transforms the
+          // weight constant to the {4, 4, OC, IC} Winograd domain at compile time.
+          const int data = ensure_layout(rw.Lookup(node.inputs[0]), Layout::NCHW());
+          std::vector<int> inputs = {data};
+          if (sched.algo == ConvAlgo::kWinograd) {
+            NEOCPU_CHECK(WinogradLegal(node.attrs.conv, node.attrs.epilogue))
+                << node.name << ": winograd assigned to an illegal conv";
+            const Tensor& w = graph.node(node.inputs[1]).payload;
+            NEOCPU_CHECK(w.defined()) << node.name << ": conv weight must be constant";
+            inputs.push_back(
+                rw.dst().AddConstant(WinogradTransformWeights(w), node.name + ".wino"));
+          } else {
+            inputs.push_back(rw.Lookup(node.inputs[1]));
+          }
+          std::size_t next_input = 2;
+          if (node.attrs.epilogue.bias) {
+            inputs.push_back(rw.Lookup(node.inputs[static_cast<int>(next_input)]));
+            ++next_input;
+          }
+          if (node.attrs.epilogue.residual_add) {
+            inputs.push_back(ensure_layout(rw.Lookup(node.inputs.back()), Layout::NCHW()));
+          }
+          NodeAttrs attrs = node.attrs;
+          attrs.kernel = sched.algo == ConvAlgo::kWinograd ? ConvKernelKind::kWinograd
+                         : sched.algo == ConvAlgo::kIm2col ? ConvKernelKind::kIm2col
+                                                           : ConvKernelKind::kDirectNCHW;
+          attrs.schedule = sched;
+          const int new_id = rw.dst().AddNode(OpType::kConv2d, std::move(inputs),
+                                              std::move(attrs), node.name);
+          rw.dst().node(new_id).out_layout = Layout::NCHW();
+          rw.MapTo(id, new_id);
+          break;
+        }
         const int data =
             ensure_layout(rw.Lookup(node.inputs[0]), Layout::NCHWc(sched.ic_bn));
         // Pre-transform the weight constant at compile time (Figure 2's

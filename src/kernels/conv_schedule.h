@@ -1,11 +1,19 @@
-// The convolution schedule tuple of paper §3.3.1.
+// The convolution schedule tuple of paper §3.3.1, extended with the algorithm choice.
 //
-//   (ic_bn, oc_bn, reg_n, unroll_ker)
+//   (algo; ic_bn, oc_bn, reg_n, unroll_ker)
 //
 // ic_bn / oc_bn are the input/output channel split factors (the x and y in NCHW[x]c and
 // OIHW[x]i[y]o), reg_n is the number of output-width elements accumulated in SIMD
 // registers simultaneously (register blocking, Figure 1), and unroll_ker chooses whether
 // the kernel-entry loop is unrolled.
+//
+// `algo` makes the convolution *algorithm* part of the searched schedule: the paper's
+// named future work ("extending to other convolution computation algorithms such as
+// Winograd and FFT") plus follow-up benchmarking (Galvez et al.) show the winner among
+// direct / im2col / Winograd flips with the layer shape, so the choice is scored by the
+// cost model and settled by the global search like any other schedule knob. The blocking
+// fields are only meaningful for kDirectNCHWc; the NCHW-layout algorithms store zeros
+// there so pair-keyed selection never confuses them with blocked schedules.
 #ifndef NEOCPU_SRC_KERNELS_CONV_SCHEDULE_H_
 #define NEOCPU_SRC_KERNELS_CONV_SCHEDULE_H_
 
@@ -14,16 +22,39 @@
 
 namespace neocpu {
 
+// How a convolution is computed. Enumerator values are part of the serialized module
+// and tuning-cache formats — append only.
+enum class ConvAlgo : std::uint8_t {
+  kDirectNCHWc = 0,  // Algorithm 1 template in NCHW[x]c (the paper's §3.1 kernel)
+  kIm2col = 1,       // im2col + GEMM in NCHW (framework-default baseline)
+  kWinograd = 2,     // F(2x2, 3x3) minimal filtering in NCHW; 3x3 s1 only
+  kReference = 3,    // naive direct NCHW loop nest (correctness baseline)
+};
+
+const char* ConvAlgoName(ConvAlgo algo);
+
 struct ConvSchedule {
   std::int64_t ic_bn = 16;
   std::int64_t oc_bn = 16;
   std::int64_t reg_n = 8;
   bool unroll_ker = true;
+  ConvAlgo algo = ConvAlgo::kDirectNCHWc;
 
   bool operator==(const ConvSchedule&) const = default;
 
+  bool IsDirect() const { return algo == ConvAlgo::kDirectNCHWc; }
+
+  // Channel blocks of the layouts this schedule consumes/produces, as seen by the
+  // global search's transform edges: kDirectNCHWc reads NCHW[ic_bn]c and writes
+  // NCHW[oc_bn]c; every other algorithm reads and writes plain NCHW, encoded as block 0.
+  std::int64_t InBlock() const { return IsDirect() ? ic_bn : 0; }
+  std::int64_t OutBlock() const { return IsDirect() ? oc_bn : 0; }
+
   std::string ToString() const;
 };
+
+// Canonical schedule entry for a non-blocked algorithm (blocking fields zeroed).
+ConvSchedule AlgoSchedule(ConvAlgo algo);
 
 // Upper bounds accepted by the kernels (stack accumulator sizing).
 inline constexpr std::int64_t kMaxRegN = 32;

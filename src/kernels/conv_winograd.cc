@@ -28,6 +28,10 @@ bool WinogradApplicable(const Conv2dParams& p) {
   return p.kernel_h == 3 && p.kernel_w == 3 && p.stride_h == 1 && p.stride_w == 1;
 }
 
+bool WinogradLegal(const Conv2dParams& p, const ConvEpilogue& epilogue) {
+  return WinogradApplicable(p) && !epilogue.residual_add;
+}
+
 Tensor WinogradTransformWeights(const Tensor& w) {
   NEOCPU_CHECK_EQ(w.ndim(), 4);
   const std::int64_t oc = w.dim(0), ic = w.dim(1);
@@ -68,7 +72,7 @@ std::size_t WinogradWorkspaceBytes(const Conv2dParams& p, int num_workers) {
 
 void ConvWinograd(const Conv2dParams& p, const Tensor& input, const Tensor& u,
                   const Tensor* bias, const ConvEpilogue& epilogue, Tensor* output,
-                  ThreadEngine* engine, float* workspace) {
+                  ThreadEngine* engine, float* workspace, std::size_t workspace_floats) {
   NEOCPU_CHECK(WinogradApplicable(p)) << p.ToString();
   NEOCPU_CHECK(!epilogue.residual_add) << "winograd path does not fuse residuals";
   NEOCPU_CHECK_EQ(u.ndim(), 4);
@@ -94,9 +98,17 @@ void ConvWinograd(const Conv2dParams& p, const Tensor& input, const Tensor& u,
   // plane layout) can be a disjoint slice of the planner-provided workspace.
   const std::int64_t total_rows = p.batch * tiles_h;
   const int workers = eng.NumWorkers() < 1 ? 1 : eng.NumWorkers();
-  const std::int64_t chunks = std::min<std::int64_t>(workers, total_rows < 1 ? 1 : total_rows);
+  std::int64_t chunks = std::min<std::int64_t>(workers, total_rows < 1 ? 1 : total_rows);
   const std::size_t v_count = 16 * static_cast<std::size_t>(p.in_c);
   const std::size_t m_count = 16 * static_cast<std::size_t>(p.out_c);
+  if (workspace != nullptr && workspace_floats > 0) {
+    // A planner-provided workspace bounds how many disjoint per-worker slices exist;
+    // never fan out wider than the slices it can back.
+    const std::int64_t backed =
+        static_cast<std::int64_t>(workspace_floats / (v_count + m_count));
+    NEOCPU_CHECK_GE(backed, 1) << "winograd workspace smaller than one worker slice";
+    chunks = std::min(chunks, backed);
+  }
   eng.ParallelRun(static_cast<int>(chunks), [&](int task, int num_tasks) {
     const std::int64_t begin = total_rows * task / num_tasks;
     const std::int64_t end = total_rows * (task + 1) / num_tasks;
@@ -220,7 +232,7 @@ void ConvWinograd(const Conv2dParams& p, const Tensor& input, const Tensor& u,
 Tensor ConvWinograd(const Conv2dParams& p, const Tensor& input, const Tensor& u,
                     const Tensor* bias, const ConvEpilogue& epilogue, ThreadEngine* engine) {
   Tensor out = Tensor::Empty({p.batch, p.out_c, p.OutH(), p.OutW()}, Layout::NCHW());
-  ConvWinograd(p, input, u, bias, epilogue, &out, engine, nullptr);
+  ConvWinograd(p, input, u, bias, epilogue, &out, engine, nullptr, 0);
   return out;
 }
 

@@ -22,6 +22,11 @@ namespace neocpu {
 // True when the workload is in Winograd's domain (3x3, stride 1).
 bool WinogradApplicable(const Conv2dParams& params);
 
+// Graph-dispatch legality: the workload is applicable AND the fused epilogue is one the
+// kernel supports (bias/ReLU yes, residual add no — the tuner must not pick Winograd
+// for a conv that fused a shortcut).
+bool WinogradLegal(const Conv2dParams& params, const ConvEpilogue& epilogue);
+
 // Weight transform: OIHW {OC, IC, 3, 3} -> {4, 4, OC, IC} (transform-major so the
 // per-tile accumulation streams contiguous (oc, ic) planes). Computed at compile time.
 Tensor WinogradTransformWeights(const Tensor& weight_oihw);
@@ -37,13 +42,17 @@ Tensor ConvWinograd(const Conv2dParams& params, const Tensor& input,
                     const Tensor& transformed_weights, const Tensor* bias,
                     const ConvEpilogue& epilogue, ThreadEngine* engine = nullptr);
 
-// Execute-into form: output preallocated NCHW; `workspace` (optional) must hold
-// WinogradWorkspaceBytes(params, engine workers) — when null, each worker allocates its
-// own tile scratch.
+// Execute-into form: output preallocated NCHW; `workspace` (optional) holds per-worker
+// V/M tile scratch — when null, each worker allocates its own. `workspace_floats` is the
+// workspace's capacity in floats (0 = trust the caller to have sized it for this
+// engine's worker count); when the capacity covers fewer workers than the engine offers,
+// the kernel clamps its parallelism to the workers the workspace can back, so a plan
+// sized for N workers stays safe under any engine.
 void ConvWinograd(const Conv2dParams& params, const Tensor& input,
                   const Tensor& transformed_weights, const Tensor* bias,
                   const ConvEpilogue& epilogue, Tensor* output,
-                  ThreadEngine* engine = nullptr, float* workspace = nullptr);
+                  ThreadEngine* engine = nullptr, float* workspace = nullptr,
+                  std::size_t workspace_floats = 0);
 
 }  // namespace neocpu
 

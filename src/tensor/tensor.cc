@@ -30,6 +30,10 @@ std::uint64_t TensorHeapAllocCount() {
   return g_heap_allocs.load(std::memory_order_relaxed);
 }
 
+SharedDims MakeSharedDims(std::vector<std::int64_t> dims) {
+  return std::make_shared<const std::vector<std::int64_t>>(std::move(dims));
+}
+
 Tensor Tensor::Empty(std::vector<std::int64_t> dims, Layout layout) {
   Tensor t;
   std::int64_t count = Product(dims);
@@ -40,13 +44,17 @@ Tensor Tensor::Empty(std::vector<std::int64_t> dims, Layout layout) {
   if (count > 0) {
     g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   }
-  t.dims_ = std::move(dims);
+  t.dims_ = MakeSharedDims(std::move(dims));
   t.layout_ = layout;
   return t;
 }
 
 Tensor Tensor::FromExternal(float* data, std::vector<std::int64_t> dims, Layout layout) {
-  NEOCPU_CHECK(data != nullptr || Product(dims) == 0);
+  return FromExternal(data, MakeSharedDims(std::move(dims)), layout);
+}
+
+Tensor Tensor::FromExternal(float* data, SharedDims dims, Layout layout) {
+  NEOCPU_CHECK(data != nullptr || dims == nullptr || Product(*dims) == 0);
   Tensor t;
   // Aliasing constructor with an empty owner: the view shares no lifetime with the
   // underlying storage and its destruction frees nothing.
@@ -79,10 +87,10 @@ Tensor Tensor::Random(std::vector<std::int64_t> dims, Rng& rng, float lo, float 
   return t;
 }
 
-std::int64_t Tensor::NumElements() const { return Product(dims_); }
+std::int64_t Tensor::NumElements() const { return Product(dims()); }
 
 Tensor Tensor::Clone() const {
-  Tensor t = Empty(dims_, layout_);
+  Tensor t = Empty(dims(), layout_);
   std::memcpy(t.data(), data(), SizeBytes());
   return t;
 }
@@ -90,7 +98,7 @@ Tensor Tensor::Clone() const {
 Tensor Tensor::Reshaped(std::vector<std::int64_t> dims, Layout layout) const {
   NEOCPU_CHECK_EQ(Product(dims), NumElements()) << "reshape must preserve element count";
   Tensor t = *this;
-  t.dims_ = std::move(dims);
+  t.dims_ = MakeSharedDims(std::move(dims));
   t.layout_ = layout;
   return t;
 }
@@ -144,7 +152,7 @@ double Tensor::AllCloseViolation(const Tensor& a, const Tensor& b, double rtol, 
 }
 
 std::string Tensor::DebugString() const {
-  std::string dims = JoinMapped(dims_, "x", [](std::int64_t d) {
+  std::string dims = JoinMapped(this->dims(), "x", [](std::int64_t d) {
     return StrFormat("%lld", static_cast<long long>(d));
   });
   return StrFormat("Tensor<%s,%s>", dims.c_str(), layout_.ToString().c_str());

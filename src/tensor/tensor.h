@@ -22,6 +22,13 @@ namespace neocpu {
 // nothing for intermediates or workspaces.
 std::uint64_t TensorHeapAllocCount();
 
+// Immutable, shareable dimension storage. Tensors hold their dims through this handle:
+// copying a tensor (or building a view from a precomputed SharedDims — the memory
+// planner caches one per node) bumps a refcount instead of allocating a vector, which
+// keeps the planned execution path free of per-node dims mallocs.
+using SharedDims = std::shared_ptr<const std::vector<std::int64_t>>;
+SharedDims MakeSharedDims(std::vector<std::int64_t> dims);
+
 class Tensor {
  public:
   Tensor() = default;
@@ -33,6 +40,9 @@ class Tensor {
   // product(dims) floats, SIMD-aligned, and outlives every copy of the view.
   static Tensor FromExternal(float* data, std::vector<std::int64_t> dims,
                              Layout layout = Layout::Flat());
+  // Allocation-free variant: adopts caller-shared immutable dims (the planned executor
+  // passes each node's precomputed SharedDims on every Run).
+  static Tensor FromExternal(float* data, SharedDims dims, Layout layout = Layout::Flat());
   static Tensor Zeros(std::vector<std::int64_t> dims, Layout layout = Layout::Flat());
   static Tensor Full(std::vector<std::int64_t> dims, float value,
                      Layout layout = Layout::Flat());
@@ -44,9 +54,12 @@ class Tensor {
   float* data() { return data_.get(); }
   const float* data() const { return data_.get(); }
 
-  const std::vector<std::int64_t>& dims() const { return dims_; }
-  std::int64_t dim(int i) const { return dims_[static_cast<std::size_t>(i)]; }
-  int ndim() const { return static_cast<int>(dims_.size()); }
+  const std::vector<std::int64_t>& dims() const {
+    static const std::vector<std::int64_t> kEmptyDims;
+    return dims_ != nullptr ? *dims_ : kEmptyDims;
+  }
+  std::int64_t dim(int i) const { return dims()[static_cast<std::size_t>(i)]; }
+  int ndim() const { return static_cast<int>(dims().size()); }
   std::int64_t NumElements() const;
   std::size_t SizeBytes() const { return static_cast<std::size_t>(NumElements()) * sizeof(float); }
 
@@ -74,7 +87,7 @@ class Tensor {
 
  private:
   std::shared_ptr<float[]> data_;
-  std::vector<std::int64_t> dims_;
+  SharedDims dims_;  // null means rank 0 (default-constructed tensor)
   Layout layout_;
 };
 

@@ -4,6 +4,7 @@
 
 #include "src/base/logging.h"
 #include "src/base/timer.h"
+#include "src/kernels/conv_winograd.h"
 #include "src/tuning/cost_model.h"
 
 namespace neocpu {
@@ -63,10 +64,13 @@ PbqpProblem GlobalProblem::ToPbqp() const {
     pe.matrix.resize(oa.size() * ob.size(), 0.0);
     for (std::size_t i = 0; i < oa.size(); ++i) {
       for (std::size_t j = 0; j < ob.size(); ++j) {
-        const std::int64_t out_block = oa[i].schedule.oc_bn;
+        // Blocks are taken through In/OutBlock so NCHW-layout algorithms (Winograd,
+        // im2col: block 0) pay a transform against blocked neighbours but compose for
+        // free with each other and with graph inputs/outputs.
+        const std::int64_t out_block = oa[i].schedule.OutBlock();
         const std::int64_t in_block = e.kind == LayoutEdgeKind::kProducerConsumer
-                                          ? ob[j].schedule.ic_bn
-                                          : ob[j].schedule.oc_bn;
+                                          ? ob[j].schedule.InBlock()
+                                          : ob[j].schedule.OutBlock();
         if (out_block != in_block) {
           pe.matrix[i * ob.size() + j] = e.transform_ms;
         }
@@ -91,13 +95,20 @@ GlobalProblem ExtractGlobalProblem(const Graph& graph, const LocalSearchMap& loc
     }
     const auto it = locals.find(id);
     NEOCPU_CHECK(it != locals.end()) << "missing local search result for conv " << id;
-    // One option per (ic_bn, oc_bn) pair: the pair's cheapest schedule. Transform costs
-    // only see the pair, so cheaper same-pair schedules dominate.
+    // One option per (algo, ic_bn, oc_bn) combination: the combination's cheapest
+    // schedule. Transform costs only see algo + pair, so cheaper same-combination
+    // schedules dominate. Winograd options are dropped for convs whose fused epilogue
+    // the kernel cannot execute (residual adds).
     std::vector<ScheduleCost> options;
     for (const ScheduleCost& sc : it->second->ranked) {
+      if (sc.schedule.algo == ConvAlgo::kWinograd &&
+          !WinogradLegal(node.attrs.conv, node.attrs.epilogue)) {
+        continue;
+      }
       bool seen = false;
       for (const ScheduleCost& kept : options) {
-        if (kept.schedule.ic_bn == sc.schedule.ic_bn &&
+        if (kept.schedule.algo == sc.schedule.algo &&
+            kept.schedule.ic_bn == sc.schedule.ic_bn &&
             kept.schedule.oc_bn == sc.schedule.oc_bn) {
           seen = true;
           break;

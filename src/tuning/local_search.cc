@@ -10,8 +10,18 @@ namespace neocpu {
 const ScheduleCost* LocalSearchResult::BestForPair(std::int64_t ic_bn,
                                                    std::int64_t oc_bn) const {
   for (const ScheduleCost& sc : ranked) {
-    if (sc.schedule.ic_bn == ic_bn && sc.schedule.oc_bn == oc_bn) {
+    if (sc.schedule.IsDirect() && sc.schedule.ic_bn == ic_bn &&
+        sc.schedule.oc_bn == oc_bn) {
       return &sc;  // ranked ascending: first hit is the pair's best
+    }
+  }
+  return nullptr;
+}
+
+const ScheduleCost* LocalSearchResult::BestForAlgo(ConvAlgo algo) const {
+  for (const ScheduleCost& sc : ranked) {
+    if (sc.schedule.algo == algo) {
+      return &sc;
     }
   }
   return nullptr;
@@ -26,6 +36,34 @@ std::shared_ptr<const LocalSearchResult> LocalSearchConvShared(
   }
   if (cache != nullptr) {
     if (std::shared_ptr<const LocalSearchResult> cached = cache->Find(key)) {
+      // Entries restored from pre-algorithm caches (format v2) rank only direct
+      // blockings. Score the missing algorithm candidates now and re-insert the
+      // widened result, so a warm start never silently forecloses the algorithm
+      // choice for exactly the workloads it covers.
+      std::vector<ConvSchedule> missing;
+      for (const ConvSchedule& extra : EnumerateAlgoCandidates(params)) {
+        if (cached->BestForAlgo(extra.algo) == nullptr) {
+          missing.push_back(extra);
+        }
+      }
+      if (!missing.empty()) {
+        LocalSearchResult widened = *cached;
+        for (const ConvSchedule& schedule : missing) {
+          const double ms = mode == CostMode::kAnalytic
+                                ? AnalyticConvMs(params, schedule, target)
+                                : MeasureConvMs(params, schedule, engine);
+          widened.ranked.push_back(ScheduleCost{schedule, ms});
+        }
+        std::stable_sort(
+            widened.ranked.begin(), widened.ranked.end(),
+            [](const ScheduleCost& a, const ScheduleCost& b) { return a.ms < b.ms; });
+        auto shared = std::make_shared<const LocalSearchResult>(std::move(widened));
+        cache->Insert(key, shared);
+        if (cache_hit != nullptr) {
+          *cache_hit = true;
+        }
+        return shared;
+      }
       if (cache_hit != nullptr) {
         *cache_hit = true;
       }
@@ -33,7 +71,13 @@ std::shared_ptr<const LocalSearchResult> LocalSearchConvShared(
     }
   }
   LocalSearchResult result;
-  for (const ConvSchedule& schedule : EnumerateSchedules(params, target, quick_space)) {
+  std::vector<ConvSchedule> candidates = EnumerateSchedules(params, target, quick_space);
+  // Algorithm alternatives (im2col; Winograd where applicable) are ranked in the same
+  // list: the local search scores *how to compute* the conv, not just how to block it.
+  for (const ConvSchedule& extra : EnumerateAlgoCandidates(params)) {
+    candidates.push_back(extra);
+  }
+  for (const ConvSchedule& schedule : candidates) {
     const double ms = mode == CostMode::kAnalytic
                           ? AnalyticConvMs(params, schedule, target)
                           : MeasureConvMs(params, schedule, engine);

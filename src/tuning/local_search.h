@@ -27,8 +27,12 @@ struct LocalSearchResult {
   std::vector<ScheduleCost> ranked;  // ascending by ms; never empty after a search
 
   const ScheduleCost& best() const { return ranked.front(); }
-  // Cheapest schedule for a given (ic_bn, oc_bn) pair; nullptr if the pair is absent.
+  // Cheapest direct-NCHWc schedule for a given (ic_bn, oc_bn) pair; nullptr if the pair
+  // is absent. Non-direct algorithm entries (which carry zeroed blocks) never match.
   const ScheduleCost* BestForPair(std::int64_t ic_bn, std::int64_t oc_bn) const;
+  // Cheapest entry computed with `algo`; nullptr if none was ranked (e.g. Winograd for
+  // a non-3x3 workload).
+  const ScheduleCost* BestForAlgo(ConvAlgo algo) const;
 };
 
 // Conv node id -> its local-search result (the compiler's and global search's working

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/logging.h"
+#include "src/kernels/conv_winograd.h"
 
 namespace neocpu {
 
@@ -49,6 +50,15 @@ std::vector<ConvSchedule> EnumerateSchedules(const Conv2dParams& p, const Target
         }
       }
     }
+  }
+  return out;
+}
+
+std::vector<ConvSchedule> EnumerateAlgoCandidates(const Conv2dParams& p) {
+  std::vector<ConvSchedule> out;
+  out.push_back(AlgoSchedule(ConvAlgo::kIm2col));
+  if (WinogradApplicable(p)) {
+    out.push_back(AlgoSchedule(ConvAlgo::kWinograd));
   }
   return out;
 }

@@ -23,9 +23,17 @@ std::vector<std::int64_t> Factors(std::int64_t n, std::int64_t cap);
 // The full §3.3.1 space for one workload on one target. With quick_space, the channel
 // factors are pruned to the neighbourhood of the target's preferred block (half / one /
 // two vectors), which keeps measured search affordable; the full space is what the
-// paper's offline multi-hour search walks.
+// paper's offline multi-hour search walks. Direct-NCHWc schedules only; the algorithm
+// alternatives below ride along in the local search's candidate list.
 std::vector<ConvSchedule> EnumerateSchedules(const Conv2dParams& params, const Target& target,
                                              bool quick_space = false);
+
+// Algorithm alternatives for one workload: one im2col candidate always, one Winograd
+// candidate when the workload is in Winograd's domain (3x3 stride-1). These join the
+// direct schedules in the local search so the cost model ranks *algorithms* alongside
+// blocking tuples; fused-epilogue legality (Winograd cannot absorb a residual add) is
+// the selection layer's job — the cached ranked list is keyed by shape alone.
+std::vector<ConvSchedule> EnumerateAlgoCandidates(const Conv2dParams& params);
 
 inline const std::vector<std::int64_t>& RegNCandidates() {
   static const std::vector<std::int64_t> kCandidates = {32, 16, 8, 4, 2};

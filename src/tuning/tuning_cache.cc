@@ -133,7 +133,8 @@ void TuningCache::Serialize(std::ostream& out) const {
     out << "workload " << text << " " << entry.result->ranked.size() << "\n";
     for (const ScheduleCost& sc : entry.result->ranked) {
       out << sc.schedule.ic_bn << " " << sc.schedule.oc_bn << " " << sc.schedule.reg_n
-          << " " << (sc.schedule.unroll_ker ? 1 : 0) << " " << sc.ms << "\n";
+          << " " << (sc.schedule.unroll_ker ? 1 : 0) << " "
+          << static_cast<unsigned>(sc.schedule.algo) << " " << sc.ms << "\n";
     }
   }
 }
@@ -146,9 +147,9 @@ bool TuningCache::ParseStream(std::istream& in, ParsedMap* entries) {
   if (!in || tag != kFileTag) {
     return false;
   }
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     LOG(ERROR) << "tuning cache version " << version << " unsupported (expected "
-               << kFormatVersion << ")";
+               << kMinFormatVersion << ".." << kFormatVersion << ")";
     return false;
   }
   for (std::size_t e = 0; e < entry_count; ++e) {
@@ -167,9 +168,18 @@ bool TuningCache::ParseStream(std::istream& in, ParsedMap* entries) {
     result.ranked.resize(count);
     for (std::size_t i = 0; i < count; ++i) {
       int unroll = 0;
+      unsigned algo = static_cast<unsigned>(ConvAlgo::kDirectNCHWc);
       ScheduleCost& sc = result.ranked[i];
-      in >> sc.schedule.ic_bn >> sc.schedule.oc_bn >> sc.schedule.reg_n >> unroll >> sc.ms;
+      in >> sc.schedule.ic_bn >> sc.schedule.oc_bn >> sc.schedule.reg_n >> unroll;
+      if (version >= 3) {  // v2 lines predate the algorithm tag: direct NCHWc
+        in >> algo;
+        if (algo > static_cast<unsigned>(ConvAlgo::kReference)) {
+          return false;
+        }
+      }
+      in >> sc.ms;
       sc.schedule.unroll_ker = unroll != 0;
+      sc.schedule.algo = static_cast<ConvAlgo>(algo);
     }
     if (!in) {
       return false;

@@ -47,9 +47,12 @@ struct TuningCacheStats {
 
 class TuningCache {
  public:
-  // Bumped whenever the on-disk layout changes; Load/Deserialize reject other versions
-  // instead of misreading them.
-  static constexpr std::uint32_t kFormatVersion = 2;
+  // Bumped whenever the on-disk layout changes. v3 appends the convolution-algorithm
+  // tag to every schedule line; v2 (pre-algorithm) files still load, their entries
+  // defaulting to the direct NCHW[x]c algorithm. Older/unknown versions are rejected
+  // instead of misread.
+  static constexpr std::uint32_t kFormatVersion = 3;
+  static constexpr std::uint32_t kMinFormatVersion = 2;
 
   TuningCache() = default;
   TuningCache(const TuningCache&) = delete;
@@ -93,7 +96,7 @@ class TuningCache {
   // Versioned text file:
   //   neocpu-tuning-cache <version> <entry-count>
   //   workload <key> <num-schedules>
-  //   <ic_bn> <oc_bn> <reg_n> <unroll> <ms>
+  //   <ic_bn> <oc_bn> <reg_n> <unroll> <algo> <ms>     (v2 lines omit <algo>)
   //   ...
   bool SaveToFile(const std::string& path) const;
   // Merges the file's entries into the cache. False on I/O failure, version mismatch or

@@ -52,11 +52,12 @@ TEST(ExtractGlobalProblem, ChainProducesChainEdges) {
     EXPECT_EQ(e.kind, LayoutEdgeKind::kProducerConsumer);
     EXPECT_GT(e.transform_ms, 0.0);
   }
-  // Options are unique per (ic_bn, oc_bn) pair.
+  // Options are unique per (algo, ic_bn, oc_bn) combination.
   for (const auto& options : p.options) {
     for (std::size_t i = 0; i < options.size(); ++i) {
       for (std::size_t j = i + 1; j < options.size(); ++j) {
-        EXPECT_FALSE(options[i].schedule.ic_bn == options[j].schedule.ic_bn &&
+        EXPECT_FALSE(options[i].schedule.algo == options[j].schedule.algo &&
+                     options[i].schedule.ic_bn == options[j].schedule.ic_bn &&
                      options[i].schedule.oc_bn == options[j].schedule.oc_bn);
       }
     }

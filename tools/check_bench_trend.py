@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Serving-throughput trend gate for CI.
+
+Compares a freshly produced BENCH_serve.json against the committed baseline
+(bench/BENCH_serve.baseline.json) and fails when peak throughput regressed by
+more than the tolerance (default 20%, override with NEOCPU_TREND_TOLERANCE).
+
+Throughput only compares across identical hardware shapes: when the current
+host's physical core count differs from the baseline's, the numeric gate
+downgrades to a warning (a 1-core dev-container baseline says nothing about a
+4-core CI runner) and only structural sanity is enforced. To (re)arm the gate
+for a runner class, regenerate the baseline on that hardware:
+
+    NEOCPU_SERVE_REQUESTS=16 NEOCPU_SERVE_CLIENTS=4 \
+        NEOCPU_BENCH_JSON=bench/BENCH_serve.baseline.json ./build/bench_serve_throughput
+
+Usage: check_bench_trend.py <current.json> [<baseline.json>]
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def peak_rps(report):
+    return max(c["throughput_rps"] for c in report["configs"])
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    current_path = argv[1]
+    baseline_path = argv[2] if len(argv) > 2 else "bench/BENCH_serve.baseline.json"
+    tolerance = float(os.environ.get("NEOCPU_TREND_TOLERANCE", "0.20"))
+
+    try:
+        current = load(current_path)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot read current report {current_path}: {e}")
+        return 1
+    try:
+        baseline = load(baseline_path)
+    except (OSError, json.JSONDecodeError) as e:
+        print(
+            f"FAIL: cannot read baseline {baseline_path}: {e}\n"
+            "Regenerate and commit it per the protocol in this script's docstring."
+        )
+        return 1
+
+    # Structural sanity: both reports must carry real measurements.
+    if not current.get("configs"):
+        print(f"FAIL: {current_path} has no benchmark configs")
+        return 1
+    if not baseline.get("configs"):
+        print(f"FAIL: baseline {baseline_path} has no benchmark configs")
+        return 1
+    cur_peak = peak_rps(current)
+    if cur_peak <= 0:
+        print(f"FAIL: non-positive peak throughput {cur_peak}")
+        return 1
+
+    base_peak = peak_rps(baseline)
+    cur_cores = current.get("physical_cores")
+    base_cores = baseline.get("physical_cores")
+    ratio = cur_peak / base_peak if base_peak > 0 else float("inf")
+    print(
+        f"peak throughput: current {cur_peak:.1f} rps ({cur_cores} cores) vs "
+        f"baseline {base_peak:.1f} rps ({base_cores} cores) -> ratio {ratio:.3f}"
+    )
+
+    if cur_cores != base_cores:
+        print(
+            f"WARN: hardware shape mismatch ({cur_cores} vs {base_cores} physical "
+            "cores): throughput gate skipped; regenerate the baseline on this runner "
+            "class to arm it"
+        )
+        return 0
+
+    if ratio < 1.0 - tolerance:
+        print(
+            f"FAIL: throughput regressed {100 * (1 - ratio):.1f}% "
+            f"(tolerance {100 * tolerance:.0f}%)"
+        )
+        return 1
+    print(f"OK: within {100 * tolerance:.0f}% tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
