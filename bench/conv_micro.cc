@@ -7,6 +7,7 @@
 #include "src/base/rng.h"
 #include "src/kernels/conv_im2col.h"
 #include "src/kernels/conv_nchwc.h"
+#include "src/kernels/conv_nchwc_int8.h"
 #include "src/kernels/conv_ref.h"
 #include "src/kernels/conv_winograd.h"
 #include "src/tensor/layout_transform.h"
@@ -134,6 +135,114 @@ void BM_Ablation_UnrollKer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Ablation_UnrollKer)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------- int8
+// s8-vs-f32 sweep: the quantized direct template against the fp32 one on the same
+// workloads and block sizes. Two uses: (a) the headline comparison — on a multi-lane
+// profile with a full s8 vector block (oc_bn=64) the s8 kernel should clear ~2x over
+// the fp32 template on a resnet-style 3x3 layer; (b) calibration data for the
+// analytic s8 cost model (AnalyticDirectNchwcS8Ms models efficiency as the filled
+// fraction of the s8 vector — the block sweep below measures exactly that curve).
+// The reported "isa" counter-label shows which runtime-dispatched variant executed.
+
+struct BlockedS8Setup {
+  Conv2dParams p;
+  ConvSchedule s;
+  Tensor in, w, mult, out;
+};
+
+BlockedS8Setup MakeBlockedS8(const Conv2dParams& p, std::int64_t block, std::int64_t reg_n) {
+  auto factor = [](std::int64_t c, std::int64_t want) {
+    std::int64_t best = 1;
+    for (std::int64_t f = 1; f <= want && f <= c; ++f) {
+      if (c % f == 0) {
+        best = f;
+      }
+    }
+    return best;
+  };
+  BlockedS8Setup setup;
+  setup.p = p;
+  setup.s = ConvSchedule{factor(p.in_c, block), factor(p.out_c, block), reg_n, true};
+  setup.s.dtype = DType::kS8;
+  const ConvSchedule& s = setup.s;
+  setup.in = Tensor::Empty({p.batch, p.in_c / s.ic_bn, p.in_h, p.in_w, s.ic_bn},
+                           Layout::NCHWc(s.ic_bn), DType::kS8);
+  setup.w = Tensor::Empty(
+      {p.out_c / s.oc_bn, p.in_c / s.ic_bn, p.kernel_h, p.kernel_w, s.ic_bn, s.oc_bn},
+      Layout::OIHWio(s.ic_bn, s.oc_bn), DType::kS8);
+  std::int8_t* in = setup.in.data_as<std::int8_t>();
+  for (std::int64_t i = 0; i < setup.in.NumElements(); ++i) {
+    in[i] = static_cast<std::int8_t>(i % 251 - 125);
+  }
+  std::int8_t* w = setup.w.data_as<std::int8_t>();
+  for (std::int64_t i = 0; i < setup.w.NumElements(); ++i) {
+    w[i] = static_cast<std::int8_t>(i % 241 - 120);
+  }
+  setup.mult = Tensor::Full({p.out_c}, 1e-3f);
+  setup.out = Tensor::Empty({p.batch, p.out_c / s.oc_bn, p.OutH(), p.OutW(), s.oc_bn},
+                            Layout::NCHWc(s.oc_bn), DType::kS8);
+  return setup;
+}
+
+void BM_ConvNCHWcS8(benchmark::State& state) {
+  const Conv2dParams& p = kWorkloads[state.range(0)];
+  // Full s8 vector block on the avx512 profile (Target::PreferredBlockS8() == 64).
+  BlockedS8Setup setup = MakeBlockedS8(p, 64, 8);
+  for (auto _ : state) {
+    ConvNCHWcS8(setup.p, setup.s, setup.in, setup.w, nullptr, setup.mult, {}, true,
+                &setup.out);
+  }
+  state.SetLabel(ConvNCHWcS8IsaName());
+  state.counters["GMACS"] =
+      benchmark::Counter(p.Macs(), benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_ConvNCHWcS8)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+// Block sweep on the resnet-style 3x3 layer: the vector-fill efficiency curve the s8
+// analytic cost model is calibrated against (compare with BM_Ablation_Block's fp32
+// numbers at the same blocks).
+void BM_Ablation_S8Block(benchmark::State& state) {
+  Conv2dParams p{1, 128, 28, 28, 128, 3, 3, 1, 1, 1, 1};
+  BlockedS8Setup setup = MakeBlockedS8(p, state.range(0), 8);
+  for (auto _ : state) {
+    ConvNCHWcS8(setup.p, setup.s, setup.in, setup.w, nullptr, setup.mult, {}, true,
+                &setup.out);
+  }
+  state.SetLabel(ConvNCHWcS8IsaName());
+}
+BENCHMARK(BM_Ablation_S8Block)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// The acceptance comparison, in one benchmark pair: fp32 direct NCHWc vs s8 direct
+// NCHWc on the same resnet-style 3x3 layer (batch 1, 128c, 28x28), each at its
+// profile-preferred block (fp32: one fp32 vector = 16; s8: one s8 vector = 64).
+void BM_S8VsF32_Resnet3x3_F32(benchmark::State& state) {
+  Conv2dParams p{1, 128, 28, 28, 128, 3, 3, 1, 1, 1, 1};
+  BlockedSetup setup = MakeBlocked(p, ConvSchedule{16, 16, 8, true});
+  for (auto _ : state) {
+    ConvNCHWc(setup.p, setup.s, setup.in, setup.w, nullptr, nullptr, {}, &setup.out);
+  }
+  state.counters["GMACS"] =
+      benchmark::Counter(p.Macs(), benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_S8VsF32_Resnet3x3_F32)->Unit(benchmark::kMillisecond);
+
+void BM_S8VsF32_Resnet3x3_S8(benchmark::State& state) {
+  Conv2dParams p{1, 128, 28, 28, 128, 3, 3, 1, 1, 1, 1};
+  BlockedS8Setup setup = MakeBlockedS8(p, 64, 8);
+  for (auto _ : state) {
+    ConvNCHWcS8(setup.p, setup.s, setup.in, setup.w, nullptr, setup.mult, {}, true,
+                &setup.out);
+  }
+  state.SetLabel(ConvNCHWcS8IsaName());
+  state.counters["GMACS"] =
+      benchmark::Counter(p.Macs(), benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_S8VsF32_Resnet3x3_S8)->Unit(benchmark::kMillisecond);
 
 // Winograd F(2x2,3x3) vs the direct template on the same workload (the paper's named
 // future-work algorithm; arithmetic drops 2.25x, transforms eat part of it back).

@@ -29,6 +29,7 @@ namespace {
 struct ConfigResult {
   int pool_width = 0;
   std::int64_t max_batch = 0;
+  const char* dtype = "f32";  // execution dtype of the served model ("f32" / "int8")
   double throughput_rps = 0.0;
   ServerStats stats;
   // Cache traffic attributable to THIS configuration: a before/after delta on the
@@ -138,24 +139,46 @@ int main() {
                   : 100.0 * (1.0 - static_cast<double>(arena_bytes) /
                                        static_cast<double>(naive_arena_bytes)));
 
+  // int8 leg: the same model force-quantized (every int8-legal conv takes its best s8
+  // schedule), served side-by-side so the perf record tracks the quantized serving
+  // path per (pool_width x max_batch x dtype) config. NEOCPU_SERVE_INT8=0 disables.
+  const char* int8_env = std::getenv("NEOCPU_SERVE_INT8");
+  const bool serve_int8 = int8_env == nullptr || std::string(int8_env) != "0";
+  CompiledModel model_q;
+  if (serve_int8) {
+    CompileOptions qopts = copts;
+    qopts.quantize = true;
+    qopts.force_quantize = true;
+    model_q = Compile(BuildModel(model_name), qopts);
+    std::printf("int8 model: %d/%d convs quantized, arena %zu B\n",
+                model_q.stats().num_quantized_convs, model_q.stats().num_convs,
+                model_q.stats().arena_bytes);
+  }
+
   std::vector<int> widths = {1, 2};
   if (HostCpuInfo().physical_cores >= 8) {
     widths.push_back(4);
   }
   const std::vector<std::int64_t> batches = {1, 4, 8};
 
-  std::printf("%-6s %-10s %12s %10s %10s %10s %11s %11s\n", "pool", "max_batch",
-              "thruput r/s", "p50 ms", "p99 ms", "mean ms", "mean batch", "allocs/req");
+  std::printf("%-6s %-10s %-5s %12s %10s %10s %10s %11s %11s\n", "pool", "max_batch",
+              "dtype", "thruput r/s", "p50 ms", "p99 ms", "mean ms", "mean batch",
+              "allocs/req");
   std::vector<ConfigResult> results;
   for (int width : widths) {
     for (std::int64_t max_batch : batches) {
-      ConfigResult r =
-          RunConfig(model, model_name, width, max_batch, num_clients, num_requests);
-      std::printf("%-6d %-10lld %12.1f %10.3f %10.3f %10.3f %11.2f %11.2f\n", r.pool_width,
-                  static_cast<long long>(r.max_batch), r.throughput_rps,
-                  r.stats.latency.p50_ms, r.stats.latency.p99_ms, r.stats.latency.mean_ms,
-                  r.stats.mean_batch_size, r.heap_allocs_per_request);
-      results.push_back(r);
+      for (int leg = 0; leg < (serve_int8 ? 2 : 1); ++leg) {
+        const bool int8_leg = leg == 1;
+        ConfigResult r = RunConfig(int8_leg ? model_q : model, model_name, width,
+                                   max_batch, num_clients, num_requests);
+        r.dtype = int8_leg ? "int8" : "f32";
+        std::printf("%-6d %-10lld %-5s %12.1f %10.3f %10.3f %10.3f %11.2f %11.2f\n",
+                    r.pool_width, static_cast<long long>(r.max_batch), r.dtype,
+                    r.throughput_rps, r.stats.latency.p50_ms, r.stats.latency.p99_ms,
+                    r.stats.latency.mean_ms, r.stats.mean_batch_size,
+                    r.heap_allocs_per_request);
+        results.push_back(r);
+      }
     }
   }
 
@@ -163,6 +186,9 @@ int main() {
   const ConfigResult* one = nullptr;
   const ConfigResult* two = nullptr;
   for (const ConfigResult& r : results) {
+    if (std::string(r.dtype) != "f32") {
+      continue;
+    }
     if (r.max_batch == 1 && r.pool_width == 1) {
       one = &r;
     }
@@ -197,6 +223,7 @@ int main() {
     const ConfigResult& r = results[i];
     const ServerStats& s = r.stats;
     json << "    {\"pool_width\": " << r.pool_width << ", \"max_batch\": " << r.max_batch
+         << ", \"dtype\": \"" << r.dtype << "\""
          << ", \"throughput_rps\": " << r.throughput_rps
          << ", \"p50_ms\": " << s.latency.p50_ms << ", \"p99_ms\": " << s.latency.p99_ms
          << ", \"mean_ms\": " << s.latency.mean_ms

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/base/rng.h"
 #include "src/base/timer.h"
 #include "src/core/memory_plan.h"
 #include "src/graph/passes/passes.h"
@@ -63,11 +64,22 @@ bool AlgoLegalFor(ConvAlgo algo, const Node& node) {
   return true;
 }
 
-// Cheapest ranked schedule whose algorithm is legal for `node` (the greedy per-conv
-// optimum of LayoutMode::kNCHWcLocal).
+// Schedule-level legality: algorithm legality plus the int8 window (quantized entries
+// only appear in merged lists of quantize-legal convs, but re-check the epilogue).
+bool ScheduleLegalFor(const ConvSchedule& s, const Node& node) {
+  if (s.IsQuantized() && node.attrs.epilogue.residual_add) {
+    return false;
+  }
+  return AlgoLegalFor(s.algo, node);
+}
+
+// Cheapest ranked schedule that is legal for `node` (the greedy per-conv optimum of
+// LayoutMode::kNCHWcLocal); on merged fp32+s8 lists this IS the greedy fp32-vs-int8
+// choice, boundary costs ignored — the pitfall §3.3.1 warns about, kept as the
+// ablation.
 const ConvSchedule& BestLegalSchedule(const LocalSearchResult& result, const Node& node) {
   for (const ScheduleCost& sc : result.ranked) {
-    if (AlgoLegalFor(sc.schedule.algo, node)) {
+    if (ScheduleLegalFor(sc.schedule, node)) {
       return sc.schedule;
     }
   }
@@ -87,9 +99,12 @@ std::int64_t GraphBatch(const Graph& g) {
 
 // Schedule selection + layout lowering for an already simplified+fused graph. Every
 // per-conv decision is keyed by the conv's WorkloadKey (its params carry the graph's
-// batch), memoized through opts.tuning_cache. Fills the tuning/search fields of *stats.
+// batch), memoized through opts.tuning_cache. `calibration` (null = no quantization)
+// gates the int8 side: quantize-legal convs get the s8 space ranked into their
+// candidate list and the selection decides fp32-vs-int8 per conv. Fills the
+// tuning/search fields of *stats.
 Graph LowerFusedGraph(const Graph& source, const CompileOptions& opts,
-                      CompileStats* stats) {
+                      const CalibrationTable* calibration, CompileStats* stats) {
   if (opts.layout_mode == LayoutMode::kNCHW) {
     Graph g = BindNchwKernels(source, opts.nchw_kernel);
     stats->num_convs = g.CountNodes(OpType::kConv2d);
@@ -99,19 +114,44 @@ Graph LowerFusedGraph(const Graph& source, const CompileOptions& opts,
   TuningCache* cache = opts.tuning_cache.get();
   NEOCPU_CHECK(cache != nullptr);
 
+  // int8 only plays under the searched modes: the fixed-block modes are fp32 paper
+  // ablations.
+  const bool quantizing = opts.quantize && calibration != nullptr &&
+                          opts.target.int8_dot &&
+                          (opts.layout_mode == LayoutMode::kNCHWcGlobal ||
+                           opts.layout_mode == LayoutMode::kNCHWcLocal);
+
   // Local search per convolution workload, memoized through the shared cache. Hit/miss
   // attribution is counted per call (not via cache-counter deltas): concurrent compiles
-  // and re-tunes share one cache, so global deltas would mix their traffic.
+  // and re-tunes share one cache, so global deltas would mix their traffic. Under
+  // quantization, int8-legal convs additionally search the s8 space (its own cache key)
+  // and the two ranked lists merge into one candidate list.
   Timer tuning_timer;
   LocalSearchMap locals;
   for (int id = 0; id < source.num_nodes(); ++id) {
     const Node& node = source.node(id);
-    if (node.IsConv()) {
-      bool cache_hit = false;
-      locals[id] = LocalSearchConvShared(node.attrs.conv, opts.target, opts.cost_mode,
-                                         opts.quick_space, opts.engine, cache, &cache_hit);
-      ++(cache_hit ? stats->tuning_cache_hits : stats->tuning_cache_misses);
+    if (!node.IsConv()) {
+      continue;
     }
+    bool cache_hit = false;
+    std::shared_ptr<const LocalSearchResult> result =
+        LocalSearchConvShared(node.attrs.conv, opts.target, opts.cost_mode,
+                              opts.quick_space, opts.engine, cache, &cache_hit);
+    ++(cache_hit ? stats->tuning_cache_hits : stats->tuning_cache_misses);
+    if (quantizing && QuantizeLegal(source, id, *calibration)) {
+      bool s8_hit = false;
+      std::shared_ptr<const LocalSearchResult> s8 = LocalSearchConvShared(
+          node.attrs.conv, opts.target, opts.cost_mode, opts.quick_space, opts.engine,
+          cache, &s8_hit, DType::kS8);
+      ++(s8_hit ? stats->tuning_cache_hits : stats->tuning_cache_misses);
+      LocalSearchResult merged = *result;
+      merged.ranked.insert(merged.ranked.end(), s8->ranked.begin(), s8->ranked.end());
+      std::stable_sort(
+          merged.ranked.begin(), merged.ranked.end(),
+          [](const ScheduleCost& a, const ScheduleCost& b) { return a.ms < b.ms; });
+      result = std::make_shared<const LocalSearchResult>(std::move(merged));
+    }
+    locals[id] = std::move(result);
   }
   stats->tuning_seconds = tuning_timer.Seconds();
   stats->num_convs = static_cast<int>(locals.size());
@@ -172,13 +212,62 @@ Graph LowerFusedGraph(const Graph& source, const CompileOptions& opts,
       }
     }
   }
+  if (quantizing && opts.force_quantize) {
+    // Accuracy/CI mode: every int8-legal conv takes its best s8 schedule regardless of
+    // the cost comparison (applied last, so it also overrides force_algo).
+    for (auto& [id, sched] : schedules) {
+      const ScheduleCost* best = locals.at(id)->BestQuantized();
+      if (best != nullptr) {
+        sched = best->schedule;
+      }
+    }
+  }
+
+  if (quantizing) {
+    for (const auto& [id, sched] : schedules) {
+      if (sched.IsQuantized()) {
+        ++stats->num_quantized_convs;
+      }
+    }
+  }
 
   const LayoutPlacement placement = opts.layout_mode == LayoutMode::kNCHWcPerOp
                                         ? LayoutPlacement::kPerOp
                                         : LayoutPlacement::kPropagate;
-  Graph g = AlterConvLayout(source, schedules, placement);
+  Graph lowered_source = source;
+  if (quantizing && stats->num_quantized_convs > 0) {
+    lowered_source = QuantizeGraph(source, *calibration, &schedules);
+  }
+  Graph g = AlterConvLayout(lowered_source, schedules, placement);
   stats->num_layout_transforms = g.CountNodes(OpType::kLayoutTransform);
   return g;
+}
+
+// Runs the fp32 source graph over the calibration inputs (or one deterministic
+// synthetic batch) with a range observer attached — the "sample inputs recorded by a
+// CalibrationObserver on the executor" side of post-training quantization.
+CalibrationTable CalibrateGraph(const Graph& source, const CompileOptions& opts) {
+  CalibrationObserver observer;
+  Executor executor(&source, opts.engine);
+  executor.SetObserver(&observer);
+  if (!opts.calibration_inputs.empty()) {
+    // Each entry is one sample batch for the graph's (single) input; ranges across
+    // batches merge in the observer.
+    for (const Tensor& sample : opts.calibration_inputs) {
+      executor.Run(std::vector<Tensor>{sample});
+    }
+  } else {
+    Rng rng(0xC0DE);
+    std::vector<Tensor> inputs;
+    for (int id = 0; id < source.num_nodes(); ++id) {
+      if (source.node(id).type == OpType::kInput) {
+        inputs.push_back(
+            Tensor::Random(source.node(id).out_dims, rng, -1.0f, 1.0f, Layout::NCHW()));
+      }
+    }
+    executor.Run(inputs);
+  }
+  return observer.TakeTable();
 }
 
 }  // namespace
@@ -193,7 +282,11 @@ CompiledModel Compile(const Graph& model, const CompileOptions& options) {
   Graph source = FuseOps(SimplifyInference(model));
   CompileStats stats;
   stats.tuned_batch = GraphBatch(source);
-  Graph g = LowerFusedGraph(source, opts, &stats);
+  CalibrationTable calibration;
+  if (opts.quantize) {
+    calibration = CalibrateGraph(source, opts);
+  }
+  Graph g = LowerFusedGraph(source, opts, opts.quantize ? &calibration : nullptr, &stats);
   std::shared_ptr<const ExecutionPlan> plan;
   if (opts.plan_memory) {
     plan = std::make_shared<const ExecutionPlan>(PlanMemory(g));
@@ -202,10 +295,12 @@ CompiledModel Compile(const Graph& model, const CompileOptions& options) {
   CompiledModel compiled(std::move(g), stats, std::move(source),
                          static_cast<const CompileConfig&>(opts), opts.tuning_cache);
   compiled.AttachPlan(std::move(plan));
+  compiled.SetCalibration(std::move(calibration));
   if (opts.verbose) {
     LOG(INFO) << "compiled " << compiled.graph().name << " ["
               << LayoutModeName(opts.layout_mode) << "/" << opts.target.name << "] batch "
-              << stats.tuned_batch << ": " << stats.num_convs << " convs, "
+              << stats.tuned_batch << ": " << stats.num_convs << " convs ("
+              << stats.num_quantized_convs << " int8), "
               << stats.num_layout_transforms << " runtime layout transforms, tuning "
               << stats.tuning_seconds << "s (cache " << stats.tuning_cache_hits
               << " hits / " << stats.tuning_cache_misses << " misses), search "
@@ -229,6 +324,7 @@ bool RebindBatch(const CompiledModel& model, std::int64_t batch, CompiledModel* 
     if (RebindBatchDim(&source, batch)) {
       *out = CompiledModel(std::move(g), model.stats(), std::move(source), model.config(),
                            model.tuning());
+      out->SetCalibration(model.calibration());
       if (replan) {
         out->AttachPlan(std::make_shared<const ExecutionPlan>(PlanMemory(out->graph())));
       }
@@ -265,10 +361,16 @@ bool RetuneForBatch(const CompiledModel& model, std::int64_t batch, ThreadEngine
   CompileStats stats;
   stats.tuned_batch = batch;
   stats.retuned = true;
-  Graph g = LowerFusedGraph(source, opts, &stats);
+  // Re-tunes reuse the compile-time calibration: per-tensor activation ranges are a
+  // property of the data distribution, not the batch size, and the source graph's node
+  // ids (the table's keys) survive batch rebinding unchanged.
+  const CalibrationTable& calibration = model.calibration();
+  const bool quantize = model.config().quantize && !calibration.empty();
+  Graph g = LowerFusedGraph(source, opts, quantize ? &calibration : nullptr, &stats);
   stats.compile_seconds = total_timer.Seconds();
   *out = CompiledModel(std::move(g), stats, std::move(source), model.config(),
                        opts.tuning_cache);
+  out->SetCalibration(calibration);
   if (model.config().plan_memory) {
     out->AttachPlan(std::make_shared<const ExecutionPlan>(PlanMemory(out->graph())));
   }

@@ -62,6 +62,17 @@ struct CompileConfig {
   // adds) keep their searched schedule. kNCHW mode keeps `nchw_kernel`.
   bool force_algo = false;
   ConvAlgo forced_algo = ConvAlgo::kDirectNCHWc;
+  // Post-training int8 quantization. With `quantize`, compilation calibrates the fused
+  // source graph on sample inputs (CompileOptions::calibration_inputs, or a
+  // deterministic synthetic batch), ranks the s8 schedule space next to fp32 in every
+  // local search, and lets the global/local selection choose fp32-vs-int8 per conv
+  // under quantize/dequantize boundary costs. Only the kNCHWcGlobal and kNCHWcLocal
+  // modes quantize (the fixed-block modes are fp32 paper ablations). `force_quantize`
+  // overrides the cost comparison: every int8-legal conv takes its best s8 schedule
+  // (accuracy testing, int8 CI zoo). Serving re-tunes inherit both flags through the
+  // persisted config, so per-batch re-tunes re-select quantized schedules.
+  bool quantize = false;
+  bool force_quantize = false;
 };
 
 struct CompileOptions : CompileConfig {
@@ -70,6 +81,10 @@ struct CompileOptions : CompileConfig {
   std::shared_ptr<TuningCache> tuning_cache;
   ThreadEngine* engine = nullptr;  // used for measured tuning during compilation
   bool verbose = false;
+  // Sample inputs for quantization calibration (ignored unless `quantize`): each is run
+  // through the fp32 source graph with a range observer. Empty = one deterministic
+  // synthetic batch per graph input.
+  std::vector<Tensor> calibration_inputs;
 };
 
 struct CompileStats {
@@ -80,6 +95,7 @@ struct CompileStats {
   bool used_exact_dp = false;    // false + used_global_search => PBQP approximation
   int num_convs = 0;
   int num_layout_transforms = 0;  // runtime transform nodes left in the final graph
+  int num_quantized_convs = 0;    // convs the selection assigned an s8 schedule
   double predicted_cost_ms = 0.0;  // global-search objective value (model units)
 
   // Per-batch tuning record: the batch size the chosen schedules were actually searched
@@ -156,6 +172,13 @@ class CompiledModel {
     tuning_ = std::move(cache);
   }
 
+  // Calibration ranges recorded at compile time, keyed by source-graph node id. Carried
+  // (and serialized, module format v5) so RetuneForBatch can re-run the fp32-vs-int8
+  // selection for a new batch size without re-observing activations; empty for models
+  // compiled without quantization.
+  const CalibrationTable& calibration() const { return calibration_; }
+  void SetCalibration(CalibrationTable table) { calibration_ = std::move(table); }
+
  private:
   Graph graph_;
   CompileStats stats_;
@@ -164,6 +187,7 @@ class CompiledModel {
   CompileConfig config_;
   std::shared_ptr<TuningCache> tuning_;
   std::shared_ptr<const ExecutionPlan> plan_;
+  CalibrationTable calibration_;
 };
 
 CompiledModel Compile(const Graph& model, const CompileOptions& options = {});

@@ -7,6 +7,24 @@
 
 namespace neocpu {
 
+void CalibrationObserver::Observe(int id, const Tensor& value) {
+  if (value.dtype() != DType::kF32 || value.NumElements() == 0) {
+    return;
+  }
+  const float* p = value.data();
+  const std::int64_t n = value.NumElements();
+  float lo = p[0];
+  float hi = p[0];
+  for (std::int64_t i = 1; i < n; ++i) {
+    lo = p[i] < lo ? p[i] : lo;
+    hi = p[i] > hi ? p[i] : hi;
+  }
+  auto [it, inserted] = table_.emplace(id, TensorRange{lo, hi});
+  if (!inserted) {
+    it->second.Merge(TensorRange{lo, hi});
+  }
+}
+
 Executor::Executor(const Graph* graph, ThreadEngine* engine,
                    std::shared_ptr<const ExecutionPlan> plan)
     : graph_(graph), engine_(engine), plan_(std::move(plan)) {
@@ -59,6 +77,9 @@ std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs, ThreadEngin
           << inputs[i].DebugString();
     }
     values[static_cast<std::size_t>(input_nodes_[i])] = inputs[i];
+    if (observer_ != nullptr) {
+      observer_->Observe(input_nodes_[i], inputs[i]);
+    }
   }
 
   // One lease per Run: a warm per-partition arena when the caller owns one (serving
@@ -91,9 +112,11 @@ std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs, ThreadEngin
     const NodePlan* np =
         planned_ ? &plan_->nodes[static_cast<std::size_t>(id)] : nullptr;
     if (np != nullptr && np->placement == BufferPlacement::kArena) {
-      // Zero-allocation path: output and workspace are views at the planned offsets.
+      // Zero-allocation path: output and workspace are views at the planned offsets
+      // (offsets are SIMD-aligned, so the float-granular pointer arithmetic is exact
+      // for every element size).
       Tensor out = Tensor::FromExternal(
-          arena_base + np->offset / sizeof(float), np->dims, np->layout);
+          arena_base + np->offset / sizeof(float), np->dims, np->layout, np->dtype);
       float* workspace = np->workspace_bytes > 0
                              ? arena_base + np->workspace_offset / sizeof(float)
                              : nullptr;
@@ -101,6 +124,9 @@ std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs, ThreadEngin
       values[static_cast<std::size_t>(id)] = std::move(out);
     } else {
       values[static_cast<std::size_t>(id)] = ExecuteNode(node, node_inputs, engine);
+    }
+    if (observer_ != nullptr) {
+      observer_->Observe(id, values[static_cast<std::size_t>(id)]);
     }
     // Liveness: release inputs whose last consumer just ran.
     for (int input : node.inputs) {

@@ -20,11 +20,30 @@
 
 #include "src/core/memory_plan.h"
 #include "src/graph/graph.h"
+#include "src/graph/passes/passes.h"
 #include "src/runtime/arena_pool.h"
 #include "src/runtime/thread_engine.h"
 #include "src/tensor/tensor.h"
 
 namespace neocpu {
+
+// Records per-node output ranges while a graph executes — the calibration side of
+// post-training quantization: the compiler runs the fp32 source graph over sample
+// inputs with an observer attached, and QuantizeGraph turns the observed ranges into
+// symmetric s8 scales. Not thread-safe; attach to a dedicated executor and run
+// calibration batches sequentially.
+class CalibrationObserver {
+ public:
+  // Folds `value`'s min/max into the running range of node `id` (fp32 tensors only;
+  // non-f32 values are ignored).
+  void Observe(int id, const Tensor& value);
+
+  const CalibrationTable& table() const { return table_; }
+  CalibrationTable TakeTable() { return std::move(table_); }
+
+ private:
+  CalibrationTable table_;
+};
 
 class Executor {
  public:
@@ -57,11 +76,18 @@ class Executor {
   // The attached plan; null when executing on the allocating path.
   const ExecutionPlan* plan() const { return planned_ ? plan_.get() : nullptr; }
 
+  // Attaches a calibration observer: every subsequent Run reports each input and
+  // materialized node output to it. Calibration runs are offline (compile time), so
+  // the observer is not synchronized — do not share an observed executor across
+  // threads.
+  void SetObserver(CalibrationObserver* observer) { observer_ = observer; }
+
  private:
   const Graph* graph_;
   ThreadEngine* engine_;
   std::shared_ptr<const ExecutionPlan> plan_;
   bool planned_ = false;  // plan_ is non-null AND places at least one buffer
+  CalibrationObserver* observer_ = nullptr;
   std::vector<int> input_nodes_;
   std::vector<int> use_counts_;  // consumer count + output multiplicity per node
 };

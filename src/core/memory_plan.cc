@@ -77,12 +77,25 @@ class IntervalAllocator {
   std::size_t peak_ = 0;
 };
 
-std::size_t OutputBytes(const std::vector<std::int64_t>& dims) {
+std::size_t OutputBytes(const std::vector<std::int64_t>& dims, DType dtype) {
   std::int64_t count = 1;
   for (std::int64_t d : dims) {
     count *= d;
   }
-  return static_cast<std::size_t>(count) * sizeof(float);
+  return static_cast<std::size_t>(count) * ElemSizeBytes(dtype);
+}
+
+// Elementwise ops that may write their output over their (dying, same-size) first
+// input: same-index reads and writes, no reordering, no __restrict in the kernels.
+bool SupportsInPlace(const Node& node) {
+  switch (node.type) {
+    case OpType::kRelu:
+    case OpType::kScaleShift:
+    case OpType::kElemAdd:
+      return true;
+    default:
+      return false;
+  }
 }
 
 struct Liveness {
@@ -148,7 +161,8 @@ ExecutionPlan PlanMemory(const Graph& g) {
     np.placement = BufferPlacement::kArena;
     np.dims = MakeSharedDims(PlannedOutputDims(node));
     np.layout = PlannedOutputLayout(node);
-    np.size_bytes = AlignUp(OutputBytes(*np.dims));
+    np.dtype = node.out_dtype;
+    np.size_bytes = AlignUp(OutputBytes(*np.dims, np.dtype));
     np.workspace_bytes = AlignUp(NodeWorkspaceBytes(node));
     if (np.size_bytes == 0) {  // degenerate zero-element output; keep it owning
       np.placement = BufferPlacement::kHeap;
@@ -163,11 +177,37 @@ ExecutionPlan PlanMemory(const Graph& g) {
   // Greedy offset assignment in execution (topological id) order. Within one node's
   // timestep the output, the workspace, and every input buffer coexist; inputs whose
   // last consumer is this node are released only after it runs.
+  //
+  // In-place elementwise: a ReLU/ScaleShift/ElemAdd whose first input is an
+  // arena-placed buffer of identical size that DIES at this node writes straight over
+  // it — the input's interval transfers to the output instead of being freed, which
+  // shaves one live buffer off the peak exactly where elementwise chains would
+  // otherwise double-buffer.
   IntervalAllocator alloc;
+  std::vector<char> transferred(static_cast<std::size_t>(n), 0);
   for (int id = 0; id < n; ++id) {
+    const Node& node = g.node(id);
     NodePlan& np = plan.nodes[static_cast<std::size_t>(id)];
     if (np.placement == BufferPlacement::kArena) {
-      np.offset = alloc.Alloc(np.size_bytes);
+      int reuse = -1;
+      if (SupportsInPlace(node)) {
+        const int r = live.root[static_cast<std::size_t>(node.inputs[0])];
+        const NodePlan& rp = plan.nodes[static_cast<std::size_t>(r)];
+        if (rp.placement == BufferPlacement::kArena &&
+            !transferred[static_cast<std::size_t>(r)] &&
+            live.last_use[static_cast<std::size_t>(r)] == id &&
+            rp.size_bytes == np.size_bytes) {
+          reuse = r;
+        }
+      }
+      if (reuse >= 0) {
+        np.offset = plan.nodes[static_cast<std::size_t>(reuse)].offset;
+        np.in_place_of = reuse;
+        transferred[static_cast<std::size_t>(reuse)] = 1;
+        ++plan.in_place_nodes;
+      } else {
+        np.offset = alloc.Alloc(np.size_bytes);
+      }
       plan.naive_bytes += np.size_bytes;
       if (np.workspace_bytes > 0) {
         np.workspace_offset = alloc.Alloc(np.workspace_bytes);
@@ -175,12 +215,17 @@ ExecutionPlan PlanMemory(const Graph& g) {
       }
     }
     // The workspace dies with the node; the output dies when its last consumer ran.
+    // Buffers whose interval was transferred to an in-place successor are freed by
+    // that successor's own release, not here.
     if (np.placement == BufferPlacement::kArena && np.workspace_bytes > 0) {
       alloc.Free(np.workspace_offset, np.workspace_bytes);
     }
+    // A transferred buffer is never freed directly: its bytes free when the in-place
+    // chain's final owner dies (same offset and size along the whole chain).
     for (int r = 0; r <= id; ++r) {
       const NodePlan& rp = plan.nodes[static_cast<std::size_t>(r)];
       if (rp.placement == BufferPlacement::kArena &&
+          !transferred[static_cast<std::size_t>(r)] &&
           std::max(live.last_use[static_cast<std::size_t>(r)], r) == id) {
         alloc.Free(rp.offset, rp.size_bytes);
       }
@@ -230,6 +275,27 @@ bool ValidatePlan(const Graph& g, const ExecutionPlan& plan,
           fail(StrFormat("node %d output [%zu, %zu) exceeds arena of %zu bytes", id,
                          np.offset, np.offset + np.size_bytes, plan.arena_bytes));
         }
+        if (np.in_place_of >= 0) {
+          // In-place reuse is only sound when the op tolerates output==input, the
+          // reused buffer dies exactly here, and the byte ranges coincide.
+          const NodePlan& rp = plan.nodes[static_cast<std::size_t>(np.in_place_of)];
+          if (!SupportsInPlace(node)) {
+            fail(StrFormat("node %d (%s) claims in-place but op cannot alias its input",
+                           id, node.name.c_str()));
+          }
+          if (live.root[static_cast<std::size_t>(node.inputs[0])] != np.in_place_of) {
+            fail(StrFormat("node %d in-place target %d is not its first input's buffer",
+                           id, np.in_place_of));
+          }
+          if (live.last_use[static_cast<std::size_t>(np.in_place_of)] != id) {
+            fail(StrFormat("node %d overwrites buffer %d which outlives it", id,
+                           np.in_place_of));
+          }
+          if (rp.offset != np.offset || rp.size_bytes != np.size_bytes) {
+            fail(StrFormat("node %d in-place bytes differ from buffer %d's", id,
+                           np.in_place_of));
+          }
+        }
         const int release = std::max(live.last_use[static_cast<std::size_t>(id)], id);
         intervals.push_back({id, release, np.offset, np.size_bytes, id});
         if (np.workspace_bytes > 0) {
@@ -258,13 +324,17 @@ bool ValidatePlan(const Graph& g, const ExecutionPlan& plan,
   // simultaneously live when their [def, release] ranges intersect — a buffer released
   // at timestep t and one defined at t DO coexist (the consumer reads the former while
   // the latter is its output), which is exactly the aliasing hazard this guards.
+  auto in_place_pair = [&](int a, int b) {
+    return plan.nodes[static_cast<std::size_t>(a)].in_place_of == b ||
+           plan.nodes[static_cast<std::size_t>(b)].in_place_of == a;
+  };
   for (std::size_t a = 0; a < intervals.size(); ++a) {
     for (std::size_t b = a + 1; b < intervals.size(); ++b) {
       const LiveInterval& x = intervals[a];
       const LiveInterval& y = intervals[b];
       const bool time_overlap = x.def <= y.release && y.def <= x.release;
       const bool byte_overlap = x.offset < y.offset + y.bytes && y.offset < x.offset + x.bytes;
-      if (time_overlap && byte_overlap) {
+      if (time_overlap && byte_overlap && !in_place_pair(x.node, y.node)) {
         fail(StrFormat("nodes %d and %d: live intervals overlap in the arena", x.node,
                        y.node));
       }
@@ -274,13 +344,17 @@ bool ValidatePlan(const Graph& g, const ExecutionPlan& plan,
 }
 
 std::string ExecutionPlan::ToString() const {
-  std::string out = StrFormat("ExecutionPlan: arena=%zu naive=%zu (%d arena, %d alias, %d heap)\n",
-                              arena_bytes, naive_bytes, arena_nodes, alias_nodes, heap_nodes);
+  std::string out = StrFormat(
+      "ExecutionPlan: arena=%zu naive=%zu (%d arena [%d in-place], %d alias, %d heap)\n",
+      arena_bytes, naive_bytes, arena_nodes, in_place_nodes, alias_nodes, heap_nodes);
   for (std::size_t id = 0; id < nodes.size(); ++id) {
     const NodePlan& np = nodes[id];
     switch (np.placement) {
       case BufferPlacement::kArena:
         out += StrFormat("  %3zu arena [%zu, %zu)", id, np.offset, np.offset + np.size_bytes);
+        if (np.in_place_of >= 0) {
+          out += StrFormat(" in-place of %d", np.in_place_of);
+        }
         if (np.workspace_bytes > 0) {
           out += StrFormat(" ws [%zu, %zu)", np.workspace_offset,
                            np.workspace_offset + np.workspace_bytes);

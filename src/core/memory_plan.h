@@ -41,15 +41,21 @@ enum class BufferPlacement : std::uint8_t { kHeap, kArena, kAlias };
 struct NodePlan {
   BufferPlacement placement = BufferPlacement::kHeap;
   int alias_of = -1;                 // kAlias: node id whose buffer this output shares
+  // kArena: node id whose arena bytes this output REUSES in place (an elementwise op
+  // writing over its dying input: ReLU/ScaleShift/ElemAdd with a last-use first input
+  // of identical size). -1 for ordinary arena placements. Unlike kAlias the node still
+  // executes; it just writes where it read.
+  int in_place_of = -1;
   std::size_t offset = 0;            // kArena: byte offset of the output in the arena
   std::size_t size_bytes = 0;        // kArena: aligned output size
   std::size_t workspace_offset = 0;  // kArena with workspace_bytes > 0
   std::size_t workspace_bytes = 0;
-  // Physical dims/layout of the output view (kArena), precomputed and immutable-shared
-  // so every Run builds its view without re-deriving shapes OR allocating a dims vector
-  // (Tensor::FromExternal adopts the SharedDims by refcount).
+  // Physical dims/layout/dtype of the output view (kArena), precomputed and
+  // immutable-shared so every Run builds its view without re-deriving shapes OR
+  // allocating a dims vector (Tensor::FromExternal adopts the SharedDims by refcount).
   SharedDims dims;
   Layout layout;
+  DType dtype = DType::kF32;
 };
 
 struct ExecutionPlan {
@@ -60,6 +66,7 @@ struct ExecutionPlan {
   int arena_nodes = 0;            // outputs placed in the arena
   int alias_nodes = 0;
   int heap_nodes = 0;             // materializing nodes left on the allocating path
+  int in_place_nodes = 0;         // arena nodes that overwrite their dying input
 
   bool UsesArena() const { return arena_nodes > 0; }
   std::string ToString() const;  // human-readable placement table (debugging)

@@ -7,12 +7,14 @@
 #include "src/kernels/batchnorm.h"
 #include "src/kernels/conv_im2col.h"
 #include "src/kernels/conv_nchwc.h"
+#include "src/kernels/conv_nchwc_int8.h"
 #include "src/kernels/conv_ref.h"
 #include "src/kernels/conv_winograd.h"
 #include "src/kernels/dense.h"
 #include "src/kernels/elementwise.h"
 #include "src/kernels/multibox.h"
 #include "src/kernels/pooling.h"
+#include "src/kernels/quantize.h"
 #include "src/tensor/layout_transform.h"
 
 namespace neocpu {
@@ -41,6 +43,12 @@ void ExecuteConvInto(const Node& node, const std::vector<Tensor>& in, Tensor* ou
       ConvWinograd(p, in[0], in[1], bias, epi, out, engine, workspace,
                    workspace_bytes / sizeof(float));
       return;
+    case ConvKernelKind::kNCHWcS8:
+      // Inputs: {data s8, weight s8, [bias s32], multiplier f32} — the multiplier is
+      // always the last input; residual epilogues are illegal in int8.
+      ConvNCHWcS8(p, node.attrs.schedule, in[0], in[1], bias, in.back(), epi,
+                  node.attrs.qconv.requant, out, engine);
+      return;
   }
   LOG(FATAL) << "unreachable";
 }
@@ -52,6 +60,11 @@ Tensor ExecuteConv(const Node& node, const std::vector<Tensor>& in, ThreadEngine
     const ConvSchedule& s = node.attrs.schedule;
     out = Tensor::Empty({p.batch, p.out_c / s.oc_bn, p.OutH(), p.OutW(), s.oc_bn},
                         Layout::NCHWc(s.oc_bn));
+  } else if (node.attrs.kernel == ConvKernelKind::kNCHWcS8) {
+    const ConvSchedule& s = node.attrs.schedule;
+    out = Tensor::Empty({p.batch, p.out_c / s.oc_bn, p.OutH(), p.OutW(), s.oc_bn},
+                        Layout::NCHWc(s.oc_bn),
+                        node.attrs.qconv.requant ? DType::kS8 : DType::kF32);
   } else {
     out = Tensor::Empty({p.batch, p.out_c, p.OutH(), p.OutW()}, Layout::NCHW());
   }
@@ -146,6 +159,11 @@ Tensor ExecuteNode(const Node& node, const std::vector<Tensor>& in, ThreadEngine
       return TransformLayout(in[0], node.attrs.dst_layout, engine);
     case OpType::kMultiboxDetection:
       return MultiboxDetection(node.attrs.det, in[0], in[1], in[2], engine);
+    case OpType::kQuantize:
+      return Quantize(in[0], node.attrs.qscale, node.attrs.qzero, node.attrs.qdtype,
+                      engine);
+    case OpType::kDequantize:
+      return Dequantize(in[0], node.attrs.qscale, node.attrs.qzero, engine);
   }
   LOG(FATAL) << "unreachable";
   return {};
@@ -210,6 +228,13 @@ void ExecuteNodeInto(const Node& node, const std::vector<Tensor>& in, Tensor* ou
     }
     case OpType::kLayoutTransform:
       TransformLayout(in[0], node.attrs.dst_layout, out, engine);
+      return;
+    case OpType::kQuantize:
+      Quantize(in[0], node.attrs.qscale, node.attrs.qzero, node.attrs.qdtype, out,
+               engine);
+      return;
+    case OpType::kDequantize:
+      Dequantize(in[0], node.attrs.qscale, node.attrs.qzero, out, engine);
       return;
     default:
       break;

@@ -16,8 +16,12 @@ constexpr char kMagic[4] = {'N', 'E', 'O', 'C'};
 // v3: + plan_memory config flag and memory-plan summary metadata.
 // v4: + per-conv algorithm tag in the schedule block and forced-algo config fields;
 //     embedded tuning caches carry algorithm-tagged entries (cache format v3).
+// v5: quantized path — per-node quant block (ConvQuant + Q/DQ attrs + schedule dtype)
+//     and output dtype, dtyped constant payloads (s8 weights, s32 biases), quantize
+//     config flags + Target::int8_dot, and the calibration table; embedded tuning
+//     caches carry dtype-tagged entries (cache format v4).
 // docs/module_format.md is the authoritative spec.
-constexpr std::uint32_t kVersion = 4;
+constexpr std::uint32_t kVersion = 5;
 constexpr std::uint32_t kMinVersion = 1;
 
 void WriteU32(std::ostream& out, std::uint32_t v) {
@@ -33,6 +37,10 @@ void WriteI64(std::ostream& out, std::int64_t v) {
 }
 
 void WriteF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteF32(std::ostream& out, float v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
@@ -75,6 +83,12 @@ std::int64_t ReadI64(std::istream& in) {
 
 double ReadF64(std::istream& in) {
   double v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+float ReadF32(std::istream& in) {
+  float v = 0;
   in.read(reinterpret_cast<char*>(&v), sizeof(v));
   return v;
 }
@@ -129,6 +143,21 @@ struct AttrBlock {
   MultiboxDetectionParams det;
 };
 
+// v5 extension, written as a second POD after every AttrBlock: the quantization
+// attributes plus the schedule's execution dtype (which predates no padding slot in
+// ScheduleBlock that v1-v4 readers would tolerate).
+struct QuantBlock {
+  std::uint8_t q_enabled;
+  std::uint8_t q_requant;
+  std::uint8_t qdtype;
+  std::uint8_t schedule_dtype;
+  float in_scale;
+  float out_scale;
+  float qscale;
+  std::int32_t qzero;
+};
+static_assert(sizeof(QuantBlock) == 20, "on-disk quant block layout drifted");
+
 void WriteGraph(std::ostream& out, const Graph& g) {
   WriteString(out, g.name);
   {
@@ -158,13 +187,25 @@ void WriteGraph(std::ostream& out, const Graph& g) {
     block.relu = node.attrs.relu ? 1 : 0;
     block.det = node.attrs.det;
     out.write(reinterpret_cast<const char*>(&block), sizeof(block));
+    QuantBlock quant{};
+    quant.q_enabled = node.attrs.qconv.enabled ? 1 : 0;
+    quant.q_requant = node.attrs.qconv.requant ? 1 : 0;
+    quant.qdtype = static_cast<std::uint8_t>(node.attrs.qdtype);
+    quant.schedule_dtype = static_cast<std::uint8_t>(node.attrs.schedule.dtype);
+    quant.in_scale = node.attrs.qconv.in_scale;
+    quant.out_scale = node.attrs.qconv.out_scale;
+    quant.qscale = node.attrs.qscale;
+    quant.qzero = node.attrs.qzero;
+    out.write(reinterpret_cast<const char*>(&quant), sizeof(quant));
     WriteLayout(out, node.attrs.dst_layout);
     WriteI64Vec(out, node.attrs.reshape_dims);
     WriteI64Vec(out, node.out_dims);
     WriteLayout(out, node.out_layout);
+    WriteU32(out, static_cast<std::uint32_t>(node.out_dtype));
     const bool has_payload = node.payload.defined();
     WriteU32(out, has_payload ? 1 : 0);
     if (has_payload) {
+      WriteU32(out, static_cast<std::uint32_t>(node.payload.dtype()));
       WriteI64Vec(out, node.payload.dims());
       WriteLayout(out, node.payload.layout());
       out.write(reinterpret_cast<const char*>(node.payload.data()),
@@ -205,10 +246,24 @@ Graph ReadGraph(std::istream& in, const std::string& path, std::uint32_t version
     attrs.epsilon = block.epsilon;
     attrs.relu = block.relu != 0;
     attrs.det = block.det;
+    if (version >= 5) {
+      QuantBlock quant{};
+      in.read(reinterpret_cast<char*>(&quant), sizeof(quant));
+      attrs.qconv.enabled = quant.q_enabled != 0;
+      attrs.qconv.requant = quant.q_requant != 0;
+      attrs.qconv.in_scale = quant.in_scale;
+      attrs.qconv.out_scale = quant.out_scale;
+      attrs.qdtype = static_cast<DType>(quant.qdtype);
+      attrs.qscale = quant.qscale;
+      attrs.qzero = quant.qzero;
+      attrs.schedule.dtype = static_cast<DType>(quant.schedule_dtype);
+    }
     attrs.dst_layout = ReadLayout(in);
     attrs.reshape_dims = ReadI64Vec(in);
     const std::vector<std::int64_t> out_dims = ReadI64Vec(in);
     const Layout out_layout = ReadLayout(in);
+    const DType out_dtype =
+        version >= 5 ? static_cast<DType>(ReadU32(in)) : DType::kF32;
     const bool has_payload = ReadU32(in) != 0;
 
     int id;
@@ -216,9 +271,11 @@ Graph ReadGraph(std::istream& in, const std::string& path, std::uint32_t version
       id = g.AddInput(out_dims, name);
     } else if (type == OpType::kConstant) {
       NEOCPU_CHECK(has_payload) << "constant node without payload";
+      const DType payload_dtype =
+          version >= 5 ? static_cast<DType>(ReadU32(in)) : DType::kF32;
       std::vector<std::int64_t> dims = ReadI64Vec(in);
       Layout layout = ReadLayout(in);
-      Tensor payload = Tensor::Empty(std::move(dims), layout);
+      Tensor payload = Tensor::Empty(std::move(dims), layout, payload_dtype);
       in.read(reinterpret_cast<char*>(payload.data()),
               static_cast<std::streamsize>(payload.SizeBytes()));
       id = g.AddConstant(std::move(payload), name);
@@ -228,6 +285,7 @@ Graph ReadGraph(std::istream& in, const std::string& path, std::uint32_t version
     }
     g.node(id).out_dims = out_dims;
     g.node(id).out_layout = out_layout;
+    g.node(id).out_dtype = out_dtype;
     NEOCPU_CHECK_EQ(id, static_cast<int>(i)) << "node ids must be dense in " << path;
   }
   g.SetOutputs(std::move(outputs));
@@ -253,6 +311,9 @@ void WriteConfig(std::ostream& out, const CompileConfig& config) {
   WriteU32(out, config.plan_memory ? 1 : 0);        // v3+
   WriteU32(out, config.force_algo ? 1 : 0);         // v4+
   WriteU32(out, static_cast<std::uint32_t>(config.forced_algo));
+  WriteU32(out, config.quantize ? 1 : 0);           // v5+
+  WriteU32(out, config.force_quantize ? 1 : 0);
+  WriteU32(out, config.target.int8_dot ? 1 : 0);
 }
 
 CompileConfig ReadConfig(std::istream& in, std::uint32_t version) {
@@ -279,6 +340,11 @@ CompileConfig ReadConfig(std::istream& in, std::uint32_t version) {
   if (version >= 4) {
     config.force_algo = ReadU32(in) != 0;
     config.forced_algo = static_cast<ConvAlgo>(ReadU32(in));
+  }
+  if (version >= 5) {
+    config.quantize = ReadU32(in) != 0;
+    config.force_quantize = ReadU32(in) != 0;
+    config.target.int8_dot = ReadU32(in) != 0;
   }
   return config;
 }
@@ -314,6 +380,15 @@ bool SaveModule(const CompiledModel& model, const std::string& path) {
     WriteU64(out, model.plan()->arena_bytes);
     WriteU64(out, model.plan()->naive_bytes);
   }
+  // v5: calibration table (source-graph node id -> observed activation range), so a
+  // warm-started server can re-run fp32-vs-int8 selection for new batch sizes.
+  const CalibrationTable& calibration = model.calibration();
+  WriteU32(out, static_cast<std::uint32_t>(calibration.size()));
+  for (const auto& [id, range] : calibration) {
+    WriteI64(out, id);
+    WriteF32(out, range.min);
+    WriteF32(out, range.max);
+  }
   return static_cast<bool>(out);
 }
 
@@ -335,6 +410,11 @@ bool LoadModule(const std::string& path, CompiledModel* model) {
   CompileStats stats;
   stats.num_convs = g.CountNodes(OpType::kConv2d);
   stats.num_layout_transforms = g.CountNodes(OpType::kLayoutTransform);
+  for (int id = 0; id < g.num_nodes(); ++id) {
+    if (g.node(id).IsConv() && g.node(id).attrs.schedule.IsQuantized()) {
+      ++stats.num_quantized_convs;
+    }
+  }
 
   if (version < 2) {
     NEOCPU_CHECK(static_cast<bool>(in)) << "truncated module file " << path;
@@ -367,12 +447,24 @@ bool LoadModule(const std::string& path, CompiledModel* model) {
       check_stored_plan = true;
     }
   }
+  CalibrationTable calibration;
+  if (version >= 5) {
+    const std::uint32_t entries = ReadU32(in);
+    for (std::uint32_t i = 0; i < entries; ++i) {
+      const int id = static_cast<int>(ReadI64(in));
+      TensorRange range;
+      range.min = ReadF32(in);
+      range.max = ReadF32(in);
+      calibration.emplace(id, range);
+    }
+  }
   NEOCPU_CHECK(static_cast<bool>(in)) << "truncated module file " << path;
 
   const bool plan_memory = config.plan_memory;
   if (has_source) {
     *model = CompiledModel(std::move(g), stats, std::move(source), std::move(config),
                            std::move(cache));
+    model->SetCalibration(std::move(calibration));
   } else {
     *model = CompiledModel(std::move(g), stats);
   }

@@ -26,10 +26,25 @@ struct Target {
   std::size_t l2_bytes = 1024 * 1024;
   std::size_t l3_bytes = 24ull * 1024 * 1024;
 
+  // Whether the schedule space admits s8 (quantized) convolution schedules on this
+  // ISA profile. All built-in profiles support it (the s8 kernel is portable); tests
+  // flip it off to verify the gating.
+  bool int8_dot = true;
+
   // Natural channel block: one vector register of fp32 lanes.
   std::int64_t PreferredBlock() const { return vector_lanes; }
   // Largest channel block the schedule space admits for this ISA.
   std::int64_t MaxBlock() const { return 2ll * vector_lanes; }
+  // s8 elements per vector register: 4x the fp32 lane count. The s8 kernel's MAC
+  // density scales with how much of a full s8 vector the oc block fills, so the s8
+  // schedule space prefers (and admits up to) these wider blocks.
+  std::int64_t PreferredBlockS8() const {
+    const std::int64_t b = 4ll * vector_lanes;
+    return b < kMaxS8Block ? b : kMaxS8Block;
+  }
+  std::int64_t MaxBlockS8() const { return PreferredBlockS8(); }
+
+  static constexpr std::int64_t kMaxS8Block = 64;  // == kMaxChannelBlock
 
   // The host this binary was compiled for.
   static Target Host();

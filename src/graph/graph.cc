@@ -45,6 +45,10 @@ const char* OpTypeName(OpType type) {
       return "layout_transform";
     case OpType::kMultiboxDetection:
       return "multibox_detection";
+    case OpType::kQuantize:
+      return "quantize";
+    case OpType::kDequantize:
+      return "dequantize";
   }
   return "?";
 }

@@ -40,6 +40,8 @@ enum class OpType {
   kDropout,      // identity at inference; removed by simplification
   kLayoutTransform,
   kMultiboxDetection,
+  kQuantize,     // f32 -> s8/u8 with a per-tensor scale (+ zero point for u8)
+  kDequantize,   // s8/u8 -> f32
 };
 
 const char* OpTypeName(OpType type);
@@ -51,6 +53,21 @@ enum class ConvKernelKind {
   kIm2col,      // im2col + GEMM in NCHW (framework-default baseline)
   kNCHWc,       // Algorithm 1 template in NCHW[x]c
   kWinograd,    // F(2x2, 3x3) in NCHW; weights pre-transformed to {4, 4, OC, IC}
+  kNCHWcS8,     // quantized s8xs8->s32 template in NCHW[x]c with fused (re/de)quant
+};
+
+// Quantization annotation of a conv node (set by the QuantizeGraph pass; consumed by
+// AlterConvLayout's weight pre-quantization and the runtime dispatch). Scales follow
+// the symmetric s8 convention of kernels/quantize.h.
+struct ConvQuant {
+  bool enabled = false;
+  float in_scale = 1.0f;   // scale of the s8 data input
+  float out_scale = 1.0f;  // requantization scale of the s8 output (iff requant)
+  // true: the conv re-quantizes to s8 (an s8 consumer chain follows); false: the
+  // epilogue dequantizes straight to f32 (no separate kDequantize node needed).
+  bool requant = true;
+
+  bool operator==(const ConvQuant&) const = default;
 };
 
 // One attribute bag serves all op types; only the fields relevant to a node's OpType are
@@ -61,6 +78,10 @@ struct NodeAttrs {
   ConvEpilogue epilogue;
   ConvSchedule schedule;
   ConvKernelKind kernel = ConvKernelKind::kDirectNCHW;
+  ConvQuant qconv;          // kConv2d under the quantized path
+  float qscale = 1.0f;      // kQuantize / kDequantize per-tensor scale
+  std::int32_t qzero = 0;   // zero point (0 for s8; meaningful for u8)
+  DType qdtype = DType::kS8;  // kQuantize target dtype
   Pool2dParams pool;
   float epsilon = 1e-5f;
   bool relu = false;  // fused ReLU for kScaleShift / kElemAdd / kDense
@@ -78,9 +99,11 @@ struct Node {
   Tensor payload;  // kConstant only
 
   // Filled by shape/layout inference. out_dims are logical dims (NCHW semantics for
-  // feature maps); out_layout describes the physical arrangement at runtime.
+  // feature maps); out_layout describes the physical arrangement at runtime; out_dtype
+  // the element type flowing out (s8 inside quantized conv chains, f32 elsewhere).
   std::vector<std::int64_t> out_dims;
   Layout out_layout = Layout::NCHW();
+  DType out_dtype = DType::kF32;
 
   bool IsConv() const { return type == OpType::kConv2d; }
 };

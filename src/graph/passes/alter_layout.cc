@@ -17,6 +17,7 @@
 #include "src/graph/passes/rewriter.h"
 #include "src/graph/shape_infer.h"
 #include "src/kernels/conv_winograd.h"
+#include "src/kernels/quantize.h"
 #include "src/tensor/layout_transform.h"
 
 namespace neocpu {
@@ -31,6 +32,8 @@ bool IsLayoutTolerant(OpType type) {
     case OpType::kAvgPool:
     case OpType::kGlobalAvgPool:
     case OpType::kDropout:
+    case OpType::kQuantize:    // elementwise: the blocked layout flows through
+    case OpType::kDequantize:
       return true;
     default:
       return false;
@@ -126,6 +129,46 @@ Graph AlterConvLayout(const Graph& graph, const std::map<int, ConvSchedule>& sch
           const int new_id = rw.dst().AddNode(OpType::kConv2d, std::move(inputs),
                                               std::move(attrs), node.name);
           rw.dst().node(new_id).out_layout = Layout::NCHW();
+          rw.MapTo(id, new_id);
+          break;
+        }
+        if (sched.IsQuantized()) {
+          // Quantized direct template: the s8 data input blocks like the fp32 one;
+          // the fp32 weight constant is per-output-channel quantized and blocked at
+          // compile time, the bias folds to s32 in the accumulation domain, and the
+          // epilogue's per-channel multiplier becomes a constant input.
+          NEOCPU_CHECK(node.attrs.qconv.enabled)
+              << node.name << ": s8 schedule on an unquantized conv";
+          const int data =
+              ensure_layout(rw.Lookup(node.inputs[0]), Layout::NCHWc(sched.ic_bn));
+          const Tensor& w = graph.node(node.inputs[1]).payload;
+          NEOCPU_CHECK(w.defined()) << node.name << ": conv weight must be constant";
+          Tensor w_s8;
+          std::vector<float> w_scales;
+          QuantizeConvWeightsPerOC(w, &w_s8, &w_scales);
+          Tensor w_blocked = OIHWToOIHWio(w_s8, sched.ic_bn, sched.oc_bn);
+          std::vector<int> inputs = {
+              data, rw.dst().AddConstant(std::move(w_blocked), node.name + ".w8")};
+          if (node.attrs.epilogue.bias) {
+            const Tensor& bias = graph.node(node.inputs[2]).payload;
+            NEOCPU_CHECK(bias.defined()) << node.name << ": conv bias must be constant";
+            inputs.push_back(rw.dst().AddConstant(
+                QuantizeBiasS32(bias, node.attrs.qconv.in_scale, w_scales),
+                node.name + ".b32"));
+          }
+          Tensor mult = Tensor::Empty({node.attrs.conv.out_c}, Layout::Flat());
+          const float denom =
+              node.attrs.qconv.requant ? node.attrs.qconv.out_scale : 1.0f;
+          for (std::size_t o = 0; o < w_scales.size(); ++o) {
+            mult.data()[o] = node.attrs.qconv.in_scale * w_scales[o] / denom;
+          }
+          inputs.push_back(rw.dst().AddConstant(std::move(mult), node.name + ".m"));
+          NodeAttrs attrs = node.attrs;
+          attrs.kernel = ConvKernelKind::kNCHWcS8;
+          attrs.schedule = sched;
+          const int new_id = rw.dst().AddNode(OpType::kConv2d, std::move(inputs),
+                                              std::move(attrs), node.name);
+          rw.dst().node(new_id).out_layout = Layout::NCHWc(sched.oc_bn);
           rw.MapTo(id, new_id);
           break;
         }

@@ -20,12 +20,50 @@
 #include <map>
 
 #include "src/graph/graph.h"
+#include "src/kernels/conv_schedule.h"
 
 namespace neocpu {
 
 Graph SimplifyInference(const Graph& graph);
 
 Graph FuseOps(const Graph& graph);
+
+// Observed activation range of one tensor (node output), recorded by the executor's
+// CalibrationObserver on sample inputs and consumed by QuantizeGraph.
+struct TensorRange {
+  float min = 0.0f;
+  float max = 0.0f;
+
+  void Merge(const TensorRange& other) {
+    min = other.min < min ? other.min : min;
+    max = other.max > max ? other.max : max;
+  }
+};
+
+// Node id (in the fused pre-layout source graph) -> observed output range.
+using CalibrationTable = std::map<int, TensorRange>;
+
+// True when `node` (a conv in the fused source graph) can execute the quantized s8
+// kernel: constant weight, no fused residual add (int8's legality window, like
+// Winograd's), and calibrated ranges for both its data input and its output.
+bool QuantizeLegal(const Graph& graph, int id, const CalibrationTable& calibration);
+
+// Post-training quantization rewrite. `schedules` maps conv node id -> chosen schedule
+// (keyed against `graph`); convs whose schedule carries dtype s8 are rewritten to the
+// quantized form:
+//   * a kQuantize node (symmetric s8, scale from the calibrated input range) feeds the
+//     conv unless the producer already yields s8 at the same scale — chains of
+//     quantized convs stay in int8 with no Q/DQ pair between them (the DQ->Q
+//     cancellation, done constructively);
+//   * the conv keeps its fp32 weight constant but gains ConvQuant attrs (in/out scale);
+//     AlterConvLayout later pre-quantizes the weights per output channel and folds the
+//     bias to s32;
+//   * consumers that need fp32 read a kDequantize of the conv's s8 output; when NO
+//     consumer can stay s8 the dequantization fuses into the conv epilogue instead
+//     (ConvQuant::requant = false) and no kDequantize node is emitted.
+// On return *schedules is re-keyed to the rewritten graph's conv ids.
+Graph QuantizeGraph(const Graph& graph, const CalibrationTable& calibration,
+                    std::map<int, ConvSchedule>* schedules);
 
 // Layout placement strategy for AlterConvLayout.
 enum class LayoutPlacement {

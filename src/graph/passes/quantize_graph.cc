@@ -1,0 +1,153 @@
+// Post-training quantization pass (see passes.h for the contract).
+//
+// The pass runs AFTER schedule selection: the local search ranked an s8 space next to
+// the fp32 spaces, and the global DP/PBQP weighed per-conv s8 gains against quantize/
+// dequantize boundary costs — so by the time we are here, "which convs run int8" is
+// simply "whose chosen schedule says dtype s8". The rewrite inserts the minimal Q/DQ
+// boundary ops: Q only where fp32 actually enters a quantized conv, DQ only where s8
+// actually leaves one (fused into the conv's epilogue when nothing downstream stays
+// s8). Adjacent quantized convs connect directly in s8 — the DQ->Q cancellation of
+// IntelCaffe's pipeline, performed constructively instead of as a peephole.
+#include "src/base/logging.h"
+#include "src/graph/passes/passes.h"
+#include "src/graph/passes/rewriter.h"
+#include "src/graph/shape_infer.h"
+#include "src/kernels/quantize.h"
+
+namespace neocpu {
+
+bool QuantizeLegal(const Graph& graph, int id, const CalibrationTable& calibration) {
+  const Node& node = graph.node(id);
+  if (!node.IsConv() || node.attrs.epilogue.residual_add) {
+    return false;
+  }
+  const Node& weight = graph.node(node.inputs[1]);
+  if (!weight.payload.defined() || weight.payload.dtype() != DType::kF32) {
+    return false;
+  }
+  return calibration.count(node.inputs[0]) > 0 && calibration.count(id) > 0;
+}
+
+Graph QuantizeGraph(const Graph& graph, const CalibrationTable& calibration,
+                    std::map<int, ConvSchedule>* schedules) {
+  NEOCPU_CHECK(schedules != nullptr);
+  const auto consumers = graph.BuildConsumerIndex();
+  std::vector<char> escapes(static_cast<std::size_t>(graph.num_nodes()), 0);
+  for (int out : graph.outputs()) {
+    escapes[static_cast<std::size_t>(out)] = 1;
+  }
+
+  // The quantized set: convs whose chosen schedule is s8 AND that are legal (the
+  // selection layers only offer s8 options to legal convs; re-check defensively).
+  auto quantized = [&](int id) {
+    const auto it = schedules->find(id);
+    return it != schedules->end() && it->second.IsQuantized() &&
+           QuantizeLegal(graph, id, calibration);
+  };
+
+  GraphRewriter rw(graph);
+  std::map<int, ConvSchedule> remapped;
+  // One kQuantize per (fp32 source, scale): quantized convs sharing a producer (and
+  // therefore a calibrated scale) share the quantize pass and its s8 buffer instead of
+  // re-converting the feature map per branch (inception-style fan-out).
+  std::map<std::pair<int, float>, int> quantize_nodes;
+  for (int id = 0; id < graph.num_nodes(); ++id) {
+    const Node& node = graph.node(id);
+    if (!node.IsConv() || !quantized(id)) {
+      const int new_id = rw.CopyNode(node);
+      const auto it = schedules->find(id);
+      if (it != schedules->end()) {
+        remapped[new_id] = it->second;
+      }
+      continue;
+    }
+
+    const float in_scale = SymmetricScale(calibration.at(node.inputs[0]).min,
+                                          calibration.at(node.inputs[0]).max);
+    const float out_scale =
+        SymmetricScale(calibration.at(id).min, calibration.at(id).max);
+
+    // Data input: reuse an s8 producer at the same scale (the producing quantized
+    // conv's requantized output — both scales derive from the calibration range of the
+    // same tensor, so they agree by construction), unwrapping the producer's
+    // dequantize when it has mixed consumers; only genuinely-fp32 sources get a
+    // kQuantize inserted.
+    int data = rw.Lookup(node.inputs[0]);
+    {
+      auto s8_producer = [&](int candidate) {
+        const Node& m = rw.dst().node(candidate);
+        return m.type == OpType::kConv2d && m.attrs.qconv.enabled &&
+               m.attrs.qconv.requant && m.attrs.qconv.out_scale == in_scale;
+      };
+      const Node& mapped = rw.dst().node(data);
+      if (s8_producer(data)) {
+        // direct s8 chain: nothing to insert
+      } else if (mapped.type == OpType::kDequantize && s8_producer(mapped.inputs[0])) {
+        data = mapped.inputs[0];  // bypass the DQ: the DQ->Q pair cancels
+      } else if (auto it = quantize_nodes.find({data, in_scale});
+                 it != quantize_nodes.end()) {
+        data = it->second;  // a sibling quantized conv already quantized this tensor
+      } else {
+        const Layout src_layout = mapped.out_layout;
+        NodeAttrs qattrs;
+        qattrs.qscale = in_scale;
+        qattrs.qzero = 0;
+        qattrs.qdtype = DType::kS8;
+        const int q = rw.dst().AddNode(OpType::kQuantize, {data}, std::move(qattrs),
+                                       node.name + ".q");
+        rw.dst().node(q).out_layout = src_layout;
+        quantize_nodes.emplace(std::make_pair(data, in_scale), q);
+        data = q;
+      }
+    }
+
+    // Does anything downstream stay s8? Only a quantized conv reading this value as
+    // its data input does; everything else (other ops, residual reads, graph outputs)
+    // needs fp32.
+    bool has_s8_consumer = false;
+    bool needs_f32 = escapes[static_cast<std::size_t>(id)] != 0;
+    for (int c : consumers[static_cast<std::size_t>(id)]) {
+      const Node& cn = graph.node(c);
+      if (cn.IsConv() && cn.inputs[0] == id && quantized(c)) {
+        has_s8_consumer = true;
+      } else {
+        needs_f32 = true;
+      }
+    }
+
+    NodeAttrs attrs = node.attrs;
+    attrs.qconv.enabled = true;
+    attrs.qconv.in_scale = in_scale;
+    attrs.qconv.out_scale = out_scale;
+    attrs.qconv.requant = has_s8_consumer;  // no s8 reader: dequant fuses into the conv
+    std::vector<int> inputs = {data};
+    for (std::size_t i = 1; i < node.inputs.size(); ++i) {
+      inputs.push_back(rw.Lookup(node.inputs[static_cast<int>(i)]));
+    }
+    const int conv_id =
+        rw.dst().AddNode(OpType::kConv2d, std::move(inputs), std::move(attrs), node.name);
+    rw.dst().node(conv_id).out_layout = node.out_layout;
+    remapped[conv_id] = schedules->at(id);
+
+    if (has_s8_consumer && needs_f32) {
+      // Mixed consumers: s8 readers take the conv directly (the already_s8 peephole
+      // above), fp32 readers go through an explicit dequantize.
+      NodeAttrs dqattrs;
+      dqattrs.qscale = out_scale;
+      dqattrs.qzero = 0;
+      const int dq = rw.dst().AddNode(OpType::kDequantize, {conv_id}, std::move(dqattrs),
+                                      node.name + ".dq");
+      rw.dst().node(dq).out_layout = node.out_layout;
+      rw.MapTo(id, dq);
+    } else {
+      rw.MapTo(id, conv_id);
+    }
+  }
+
+  Graph out = rw.Finish();
+  InferShapes(&out);
+  *schedules = std::move(remapped);
+  return out;
+}
+
+}  // namespace neocpu

@@ -98,6 +98,44 @@ void InferNodeShape(Graph* graph, int id) {
       case OpType::kMultiboxDetection:
         node.out_dims = {node.attrs.det.keep_top_k, 6};
         break;
+      case OpType::kQuantize:
+      case OpType::kDequantize:
+        node.out_dims = in_dims(0);
+        break;
+    }
+  }
+  // Dtype inference: s8 enters at kQuantize (or a quantized conv's requantizing
+  // epilogue), leaves at kDequantize (or a dequantizing epilogue), and flows through
+  // layout transforms; every other op produces f32.
+  {
+    Node& node = graph->node(id);
+    auto in_dtype = [&](int i) {
+      return graph->node(node.inputs[static_cast<std::size_t>(i)]).out_dtype;
+    };
+    switch (node.type) {
+      case OpType::kInput:
+        node.out_dtype = DType::kF32;
+        break;
+      case OpType::kConstant:
+        node.out_dtype = node.payload.dtype();
+        break;
+      case OpType::kQuantize:
+        node.out_dtype = node.attrs.qdtype;
+        break;
+      case OpType::kDequantize:
+        node.out_dtype = DType::kF32;
+        break;
+      case OpType::kConv2d:
+        node.out_dtype = node.attrs.qconv.enabled && node.attrs.qconv.requant
+                             ? DType::kS8
+                             : DType::kF32;
+        break;
+      case OpType::kLayoutTransform:
+        node.out_dtype = in_dtype(0);
+        break;
+      default:
+        node.out_dtype = DType::kF32;
+        break;
     }
   }
 }

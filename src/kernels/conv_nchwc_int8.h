@@ -1,0 +1,45 @@
+// Direct s8xs8 -> s32 convolution in the blocked NCHW[x]c layout.
+//
+// The int8 sibling of conv_nchwc.cc (Algorithm 1): the same disjoint-output-chunk
+// parallelization and reg_n x oc_bn register blocking, with s32 accumulators and the
+// quantization epilogue fused in — per-output-channel multiplier (in_scale * w_scale[oc]
+// [/ out_scale]), s32 bias, ReLU in the integer domain, and either a requantize store to
+// s8 or a dequantize store to f32.
+//
+// Portability: the kernel source is plain loops + `omp simd` (no intrinsics, no VNNI
+// requirement). Because the library builds at the portable baseline ISA, the translation
+// unit is additionally compiled under -mavx2/-mavx512bw (when the toolchain supports
+// them) and the entry point picks the widest variant the *running* CPU exposes — the
+// oneDNN/IntelCaffe structure of ISA-dispatched int8 kernels, with identical integer
+// results from every variant. Schedule-space admission is gated by Target::int8_dot.
+#ifndef NEOCPU_SRC_KERNELS_CONV_NCHWC_INT8_H_
+#define NEOCPU_SRC_KERNELS_CONV_NCHWC_INT8_H_
+
+#include "src/kernels/conv_params.h"
+#include "src/kernels/conv_schedule.h"
+#include "src/runtime/thread_engine.h"
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+
+// input:      s8 NCHW[ic_bn]c, dims {N, IC/ic_bn, IH, IW, ic_bn}
+// weight:     s8 OIHW[ic_bn]i[oc_bn]o, dims {OC/oc_bn, IC/ic_bn, KH, KW, ic_bn, oc_bn}
+// bias:       s32 flat {OC} (required iff epilogue.bias), pre-folded to the accumulation
+//             domain (QuantizeBiasS32)
+// multiplier: f32 flat {OC}: in_scale * w_scale[oc] / out_scale when requantizing to s8,
+//             in_scale * w_scale[oc] when dequantizing to f32
+// output:     preallocated NCHW[oc_bn]c: s8 when `requant`, f32 otherwise
+// Residual epilogues are not supported in int8 (quantization legality excludes them,
+// like Winograd); epilogue.relu applies in the integer domain before the store.
+void ConvNCHWcS8(const Conv2dParams& params, const ConvSchedule& schedule,
+                 const Tensor& input, const Tensor& weight, const Tensor* bias,
+                 const Tensor& multiplier, const ConvEpilogue& epilogue, bool requant,
+                 Tensor* output, ThreadEngine* engine = nullptr);
+
+// Name of the ISA variant the dispatcher would run on this host ("baseline", "avx2",
+// "avx512") — surfaced by benches and tests.
+const char* ConvNCHWcS8IsaName();
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_KERNELS_CONV_NCHWC_INT8_H_

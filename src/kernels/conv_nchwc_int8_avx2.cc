@@ -1,0 +1,6 @@
+// AVX2 instantiation of the s8 NCHWc convolution row driver. Compiled with
+// -mavx2 -mfma (CMake sets the per-file flags and skips this TU on toolchains without
+// them); selected at runtime only when the host CPU reports AVX2.
+#define NEOCPU_S8_VARIANT_NS s8_avx2
+#define NEOCPU_S8_ROW_FN ConvS8RowAvx2
+#include "src/kernels/conv_nchwc_int8_impl.h"

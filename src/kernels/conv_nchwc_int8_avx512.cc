@@ -1,0 +1,7 @@
+// AVX-512 instantiation of the s8 NCHWc convolution row driver. Compiled with
+// -mavx512f -mavx512bw -mavx512vl -mavx512dq (CMake sets the per-file flags and skips
+// this TU on toolchains without them); selected at runtime only when the host CPU
+// reports AVX-512BW.
+#define NEOCPU_S8_VARIANT_NS s8_avx512
+#define NEOCPU_S8_ROW_FN ConvS8RowAvx512
+#include "src/kernels/conv_nchwc_int8_impl.h"

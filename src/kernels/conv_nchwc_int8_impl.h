@@ -1,0 +1,311 @@
+// Implementation body of the s8 NCHWc direct convolution, compiled once per ISA
+// variant: the including translation unit defines NEOCPU_S8_VARIANT_NS (a unique
+// namespace, so multiple instantiations coexist without ODR collisions) and
+// NEOCPU_S8_ROW_FN (the exported row-driver symbol), then includes this header.
+//
+// IMPORTANT: everything in the variant body is raw-pointer arithmetic on the POD
+// argument block — no shared inline library functions — so a TU compiled with wider
+// vector flags can never leak wide code into vague-linkage symbols another TU also
+// emits. Threading stays in the baseline-compiled dispatcher (conv_nchwc_int8.cc),
+// which calls the row driver through a function pointer.
+#ifndef NEOCPU_SRC_KERNELS_CONV_NCHWC_INT8_IMPL_COMMON_
+#define NEOCPU_SRC_KERNELS_CONV_NCHWC_INT8_IMPL_COMMON_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/kernels/conv_schedule.h"
+
+namespace neocpu {
+namespace detail {
+
+// Resolved dims/strides plus the fused-epilogue description; plain data only.
+struct S8ConvArgs {
+  std::int64_t n, icb_count, ih, iw, icb;  // input physical dims
+  std::int64_t ocb_count, oh, ow, ocb;     // output physical dims
+  std::int64_t kh, kw, sh, sw, ph, pw;
+  std::int64_t in_sn, in_sc, in_sh;  // input strides (innermost stride is icb)
+  std::int64_t w_so, w_sc;           // weight strides per oc-block / ic-block
+  std::int64_t out_sn, out_sc, out_sh;
+  std::int64_t reg_n = 8;
+  bool unroll_ker = true;
+  std::int64_t ow_lo = 0, ow_hi = 0;  // interior out-width range (no horizontal checks)
+
+  const std::int8_t* in = nullptr;
+  const std::int8_t* w = nullptr;
+  const std::int32_t* bias = nullptr;  // null when no bias epilogue
+  const float* mult = nullptr;         // per-output-channel epilogue multiplier, {OC}
+  bool relu = false;
+  bool requant = false;  // true: out is s8; false: out is f32
+  void* out = nullptr;
+};
+
+using S8RowFn = void (*)(const S8ConvArgs&, std::int64_t row);
+
+}  // namespace detail
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_KERNELS_CONV_NCHWC_INT8_IMPL_COMMON_
+
+namespace neocpu {
+namespace detail {
+namespace NEOCPU_S8_VARIANT_NS {
+
+// Interior micro-kernel: REGN consecutive out-width positions of one (n, oc_block, oh)
+// row, no horizontal bounds checks.
+//
+// The multiply-accumulate runs in 16-bit, pairwise: an s8*s8 product is exact in s16
+// (|p| <= 127*127) and the sum of TWO such products still fits (2*16129 < 32767), so
+// each input-channel pair contributes `sext32(p0 + p1)` to the s32 accumulators. The
+// vectorizer lowers the j loop to one 16-lane (or 32-lane under AVX-512BW) vpmullw pair
+// + vpaddw + one widening add — twice the MAC density of a widened 32-bit multiply, and
+// the pattern the pmaddwd/VNNI family accelerates, without requiring either.
+template <int OCB, int REGN, bool UNROLL>
+void MicroInterior(const S8ConvArgs& a, const std::int8_t* __restrict in_n,
+                   const std::int8_t* __restrict w_o, std::int64_t oh, std::int64_t ow0,
+                   std::int32_t* __restrict out_acc) {
+  std::int32_t acc[REGN][OCB];
+  for (int r = 0; r < REGN; ++r) {
+#pragma omp simd
+    for (int j = 0; j < OCB; ++j) {
+      acc[r][j] = 0;
+    }
+  }
+  const std::int64_t iw0 = ow0 * a.sw - a.pw;
+  const std::int64_t icb = a.icb;
+  const std::int64_t w_kstride = icb * OCB;
+
+  for (std::int64_t ico = 0; ico < a.icb_count; ++ico) {
+    const std::int8_t* in_c = in_n + ico * a.in_sc;
+    const std::int8_t* w_c = w_o + ico * a.w_sc;
+    for (std::int64_t kh = 0; kh < a.kh; ++kh) {
+      const std::int64_t ih = oh * a.sh - a.ph + kh;
+      if (ih < 0 || ih >= a.ih) {
+        continue;
+      }
+      const std::int8_t* in_h = in_c + ih * a.in_sh + iw0 * icb;
+      const std::int8_t* w_h = w_c + kh * a.kw * w_kstride;
+      auto kw_body = [&](std::int64_t kw) {
+        const std::int8_t* __restrict w_k = w_h + kw * w_kstride;
+        const std::int8_t* __restrict in_w = in_h + kw * icb;
+        std::int64_t ici = 0;
+        for (; ici + 2 <= icb; ici += 2) {
+          const std::int8_t* __restrict wv0 = w_k + ici * OCB;
+          const std::int8_t* __restrict wv1 = wv0 + OCB;
+#pragma GCC unroll 32
+          for (int r = 0; r < REGN; ++r) {
+            const std::int64_t in_at = static_cast<std::int64_t>(r) * a.sw * icb + ici;
+            const std::int16_t iv0 = in_w[in_at];
+            const std::int16_t iv1 = in_w[in_at + 1];
+#pragma omp simd
+            for (int j = 0; j < OCB; ++j) {
+              const std::int16_t p0 = static_cast<std::int16_t>(iv0 * wv0[j]);
+              const std::int16_t p1 = static_cast<std::int16_t>(iv1 * wv1[j]);
+              acc[r][j] += static_cast<std::int16_t>(p0 + p1);
+            }
+          }
+        }
+        if (ici < icb) {  // odd input-channel block tail
+          const std::int8_t* __restrict wv = w_k + ici * OCB;
+#pragma GCC unroll 32
+          for (int r = 0; r < REGN; ++r) {
+            const std::int16_t iv =
+                in_w[static_cast<std::int64_t>(r) * a.sw * icb + ici];
+#pragma omp simd
+            for (int j = 0; j < OCB; ++j) {
+              acc[r][j] += static_cast<std::int16_t>(iv * wv[j]);
+            }
+          }
+        }
+      };
+      if constexpr (UNROLL) {
+#pragma GCC unroll 8
+        for (std::int64_t kw = 0; kw < a.kw; ++kw) {
+          kw_body(kw);
+        }
+      } else {
+#pragma GCC unroll 1
+        for (std::int64_t kw = 0; kw < a.kw; ++kw) {
+          kw_body(kw);
+        }
+      }
+    }
+  }
+  for (int r = 0; r < REGN; ++r) {
+#pragma omp simd
+    for (int j = 0; j < OCB; ++j) {
+      out_acc[r * OCB + j] = acc[r][j];
+    }
+  }
+}
+
+// Generic guarded micro-kernel: runtime block sizes, per-element horizontal checks
+// (image edges, out-width tails, uncommon oc_bn values).
+inline void MicroEdge(const S8ConvArgs& a, const std::int8_t* in_n, const std::int8_t* w_o,
+                      std::int64_t oh, std::int64_t ow0, std::int64_t count,
+                      std::int32_t* acc) {
+  const std::int64_t ocb = a.ocb;
+  const std::int64_t icb = a.icb;
+  for (std::int64_t r = 0; r < count; ++r) {
+    for (std::int64_t j = 0; j < ocb; ++j) {
+      acc[r * ocb + j] = 0;
+    }
+  }
+  const std::int64_t w_kstride = icb * ocb;
+  for (std::int64_t ico = 0; ico < a.icb_count; ++ico) {
+    const std::int8_t* in_c = in_n + ico * a.in_sc;
+    const std::int8_t* w_c = w_o + ico * a.w_sc;
+    for (std::int64_t kh = 0; kh < a.kh; ++kh) {
+      const std::int64_t ih = oh * a.sh - a.ph + kh;
+      if (ih < 0 || ih >= a.ih) {
+        continue;
+      }
+      const std::int8_t* in_h = in_c + ih * a.in_sh;
+      const std::int8_t* w_h = w_c + kh * a.kw * w_kstride;
+      for (std::int64_t kw = 0; kw < a.kw; ++kw) {
+        const std::int8_t* w_k = w_h + kw * w_kstride;
+        for (std::int64_t r = 0; r < count; ++r) {
+          const std::int64_t iw = (ow0 + r) * a.sw - a.pw + kw;
+          if (iw < 0 || iw >= a.iw) {
+            continue;
+          }
+          const std::int8_t* in_w = in_h + iw * icb;
+          for (std::int64_t ici = 0; ici < icb; ++ici) {
+            const std::int32_t iv = in_w[ici];
+            const std::int8_t* wv = w_k + ici * ocb;
+            for (std::int64_t j = 0; j < ocb; ++j) {
+              acc[r * ocb + j] += iv * static_cast<std::int32_t>(wv[j]);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Epilogue for `count` positions starting at ow0: bias add, integer ReLU, per-channel
+// scale, store to s8 (requant) or f32 (dequant).
+inline void StoreSegment(const S8ConvArgs& a, const std::int32_t* acc,
+                         const std::int32_t* bias_o, const float* mult_o, void* out_row,
+                         std::int64_t ow0, std::int64_t count) {
+  const std::int64_t ocb = a.ocb;
+  for (std::int64_t r = 0; r < count; ++r) {
+    for (std::int64_t j = 0; j < ocb; ++j) {
+      std::int32_t v = acc[r * ocb + j];
+      if (bias_o != nullptr) {
+        v += bias_o[j];
+      }
+      if (a.relu && v < 0) {
+        v = 0;
+      }
+      const float scaled = static_cast<float>(v) * mult_o[j];
+      const std::int64_t at = (ow0 + r) * ocb + j;
+      if (a.requant) {
+        std::int32_t q = static_cast<std::int32_t>(std::lrintf(scaled));
+        q = q > 127 ? 127 : (q < -127 ? -127 : q);
+        static_cast<std::int8_t*>(out_row)[at] = static_cast<std::int8_t>(q);
+      } else {
+        static_cast<float*>(out_row)[at] = scaled;
+      }
+    }
+  }
+}
+
+using MicroFn = void (*)(const S8ConvArgs&, const std::int8_t* __restrict,
+                         const std::int8_t* __restrict, std::int64_t, std::int64_t,
+                         std::int32_t* __restrict);
+
+template <int OCB, bool UNROLL>
+MicroFn SelectByRegN(std::int64_t reg_n) {
+  switch (reg_n) {
+    case 2:
+      return &MicroInterior<OCB, 2, UNROLL>;
+    case 4:
+      return &MicroInterior<OCB, 4, UNROLL>;
+    case 8:
+      return &MicroInterior<OCB, 8, UNROLL>;
+    case 16:
+      return &MicroInterior<OCB, 16, UNROLL>;
+    case 32:
+      return &MicroInterior<OCB, 32, UNROLL>;
+    default:
+      return nullptr;
+  }
+}
+
+template <int OCB>
+MicroFn SelectByUnroll(std::int64_t reg_n, bool unroll) {
+  return unroll ? SelectByRegN<OCB, true>(reg_n) : SelectByRegN<OCB, false>(reg_n);
+}
+
+inline MicroFn SelectMicro(std::int64_t ocb, std::int64_t reg_n, bool unroll) {
+  switch (ocb) {
+    case 4:
+      return SelectByUnroll<4>(reg_n, unroll);
+    case 8:
+      return SelectByUnroll<8>(reg_n, unroll);
+    case 16:
+      return SelectByUnroll<16>(reg_n, unroll);
+    case 32:
+      return SelectByUnroll<32>(reg_n, unroll);
+    case 64:
+      return SelectByUnroll<64>(reg_n, unroll);
+    default:
+      return nullptr;  // uncommon blocks fall back to MicroEdge
+  }
+}
+
+}  // namespace NEOCPU_S8_VARIANT_NS
+
+// Row driver: one (n, oc_block, oh) output row — left edge, interior register blocks,
+// tail — exported per ISA variant and invoked by the dispatcher's ParallelFor.
+void NEOCPU_S8_ROW_FN(const S8ConvArgs& a, std::int64_t row) {
+  namespace v = NEOCPU_S8_VARIANT_NS;
+  const std::int64_t oh = row % a.oh;
+  const std::int64_t rest = row / a.oh;
+  const std::int64_t oco = rest % a.ocb_count;
+  const std::int64_t n = rest / a.ocb_count;
+
+  const std::int8_t* in_n = a.in + n * a.in_sn;
+  const std::int8_t* w_o = a.w + oco * a.w_so;
+  const std::int32_t* bias_o = a.bias != nullptr ? a.bias + oco * a.ocb : nullptr;
+  const float* mult_o = a.mult + oco * a.ocb;
+  const std::int64_t out_off = n * a.out_sn + oco * a.out_sc + oh * a.out_sh;
+  void* out_row = a.requant
+                      ? static_cast<void*>(static_cast<std::int8_t*>(a.out) + out_off)
+                      : static_cast<void*>(static_cast<float*>(a.out) + out_off);
+
+  std::int32_t acc[kMaxRegN * kMaxChannelBlock];
+  const v::MicroFn fast = v::SelectMicro(a.ocb, a.reg_n, a.unroll_ker);
+
+  std::int64_t ow = 0;
+  // Left edge (horizontal padding).
+  if (ow < a.ow_lo) {
+    const std::int64_t limit = a.ow_lo < a.ow ? a.ow_lo : a.ow;
+    const std::int64_t count = limit - ow;
+    for (std::int64_t c = 0; c < count; c += a.reg_n) {
+      const std::int64_t take = a.reg_n < count - c ? a.reg_n : count - c;
+      v::MicroEdge(a, in_n, w_o, oh, ow + c, take, acc);
+      v::StoreSegment(a, acc, bias_o, mult_o, out_row, ow + c, take);
+    }
+    ow += count;
+  }
+  // Interior: full reg_n register blocks through the template instantiation.
+  if (fast != nullptr) {
+    while (ow + a.reg_n <= a.ow_hi) {
+      fast(a, in_n, w_o, oh, ow, acc);
+      v::StoreSegment(a, acc, bias_o, mult_o, out_row, ow, a.reg_n);
+      ow += a.reg_n;
+    }
+  }
+  // Interior tail + right edge.
+  while (ow < a.ow) {
+    const std::int64_t count = a.reg_n < a.ow - ow ? a.reg_n : a.ow - ow;
+    v::MicroEdge(a, in_n, w_o, oh, ow, count, acc);
+    v::StoreSegment(a, acc, bias_o, mult_o, out_row, ow, count);
+    ow += count;
+  }
+}
+
+}  // namespace detail
+}  // namespace neocpu

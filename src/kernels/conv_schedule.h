@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/tensor/dtype.h"
+
 namespace neocpu {
 
 // How a convolution is computed. Enumerator values are part of the serialized module
@@ -39,10 +41,16 @@ struct ConvSchedule {
   std::int64_t reg_n = 8;
   bool unroll_ker = true;
   ConvAlgo algo = ConvAlgo::kDirectNCHWc;
+  // Execution dtype: kF32 runs the paper's fp32 pipeline, kS8 the quantized direct
+  // NCHWc kernel (s8 is only valid with kDirectNCHWc). The dtype is part of the
+  // searched schedule — the global search weighs fp32-vs-int8 per conv against
+  // quantize/dequantize boundary costs exactly like layout-transform costs.
+  DType dtype = DType::kF32;
 
   bool operator==(const ConvSchedule&) const = default;
 
   bool IsDirect() const { return algo == ConvAlgo::kDirectNCHWc; }
+  bool IsQuantized() const { return dtype == DType::kS8; }
 
   // Channel blocks of the layouts this schedule consumes/produces, as seen by the
   // global search's transform edges: kDirectNCHWc reads NCHW[ic_bn]c and writes
@@ -50,7 +58,16 @@ struct ConvSchedule {
   std::int64_t InBlock() const { return IsDirect() ? ic_bn : 0; }
   std::int64_t OutBlock() const { return IsDirect() ? oc_bn : 0; }
 
+  // Interface signatures for the global search's pairwise costs: block + dtype. Two
+  // adjacent convs compose for free only when both the physical block AND the element
+  // dtype agree; an fp32/s8 boundary costs a quantize or dequantize pass just like a
+  // relayout costs a transform.
+  std::int64_t InSig() const { return InBlock() | (IsQuantized() ? kS8SigBit : 0); }
+  std::int64_t OutSig() const { return OutBlock() | (IsQuantized() ? kS8SigBit : 0); }
+
   std::string ToString() const;
+
+  static constexpr std::int64_t kS8SigBit = std::int64_t{1} << 32;
 };
 
 // Canonical schedule entry for a non-blocked algorithm (blocking fields zeroed).

@@ -1,0 +1,142 @@
+#include "src/kernels/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/logging.h"
+#include "src/tensor/tensor_check.h"
+
+namespace neocpu {
+namespace {
+
+SerialEngine g_serial;
+
+ThreadEngine& Engine(ThreadEngine* engine) { return engine ? *engine : g_serial; }
+
+template <typename Q>
+void QuantizeImpl(const Tensor& input, float scale, std::int32_t zero_point, Tensor* out,
+                  ThreadEngine* engine, std::int32_t lo, std::int32_t hi) {
+  const float inv = 1.0f / scale;
+  const float* src = input.data_as<float>();
+  Q* dst = out->template data_as<Q>();
+  ParallelFor(Engine(engine), input.NumElements(), [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      const std::int32_t q = static_cast<std::int32_t>(std::lrintf(src[i] * inv)) + zero_point;
+      dst[i] = static_cast<Q>(std::clamp(q, lo, hi));
+    }
+  });
+}
+
+}  // namespace
+
+float SymmetricScale(float lo, float hi) {
+  const float amax = std::max(std::fabs(lo), std::fabs(hi));
+  return std::max(amax, 1e-8f) / static_cast<float>(kS8QuantMax);
+}
+
+void Quantize(const Tensor& input, float scale, std::int32_t zero_point, DType dtype,
+              Tensor* out, ThreadEngine* engine) {
+  NEOCPU_CHECK(input.dtype() == DType::kF32) << "quantize reads f32, got "
+                                             << input.DebugString();
+  NEOCPU_CHECK_GT(scale, 0.0f);
+  CheckKernelOutput(out, input.dims(), input.layout(), "quantize");
+  if (dtype == DType::kS8) {
+    NEOCPU_CHECK_EQ(zero_point, 0) << "s8 quantization is symmetric";
+    NEOCPU_CHECK(out->dtype() == DType::kS8) << out->DebugString();
+    QuantizeImpl<std::int8_t>(input, scale, zero_point, out, engine, -kS8QuantMax,
+                              kS8QuantMax);
+  } else {
+    NEOCPU_CHECK(dtype == DType::kU8) << "quantize targets s8 or u8";
+    NEOCPU_CHECK(out->dtype() == DType::kU8) << out->DebugString();
+    QuantizeImpl<std::uint8_t>(input, scale, zero_point, out, engine, 0, 255);
+  }
+}
+
+Tensor Quantize(const Tensor& input, float scale, std::int32_t zero_point, DType dtype,
+                ThreadEngine* engine) {
+  Tensor out = Tensor::Empty(input.dims(), input.layout(), dtype);
+  Quantize(input, scale, zero_point, dtype, &out, engine);
+  return out;
+}
+
+void Dequantize(const Tensor& input, float scale, std::int32_t zero_point, Tensor* out,
+                ThreadEngine* engine) {
+  NEOCPU_CHECK_GT(scale, 0.0f);
+  CheckKernelOutput(out, input.dims(), input.layout(), "dequantize");
+  NEOCPU_CHECK(out->dtype() == DType::kF32) << out->DebugString();
+  float* dst = out->data_as<float>();
+  auto run = [&](auto* src) {
+    ParallelFor(Engine(engine), input.NumElements(),
+                [&](std::int64_t begin, std::int64_t end) {
+                  for (std::int64_t i = begin; i < end; ++i) {
+                    dst[i] = scale * static_cast<float>(static_cast<std::int32_t>(src[i]) -
+                                                        zero_point);
+                  }
+                });
+  };
+  switch (input.dtype()) {
+    case DType::kS8:
+      run(input.data_as<std::int8_t>());
+      return;
+    case DType::kU8:
+      run(input.data_as<std::uint8_t>());
+      return;
+    case DType::kS32:
+      run(input.data_as<std::int32_t>());
+      return;
+    case DType::kF32:
+      break;
+  }
+  LOG(FATAL) << "dequantize reads s8/u8/s32, got " << input.DebugString();
+}
+
+Tensor Dequantize(const Tensor& input, float scale, std::int32_t zero_point,
+                  ThreadEngine* engine) {
+  Tensor out = Tensor::Empty(input.dims(), input.layout(), DType::kF32);
+  Dequantize(input, scale, zero_point, &out, engine);
+  return out;
+}
+
+void QuantizeConvWeightsPerOC(const Tensor& w_oihw, Tensor* w_s8,
+                              std::vector<float>* scales) {
+  NEOCPU_CHECK(w_s8 != nullptr && scales != nullptr);
+  NEOCPU_CHECK(w_oihw.dtype() == DType::kF32);
+  NEOCPU_CHECK_EQ(w_oihw.ndim(), 4) << w_oihw.DebugString();
+  const std::int64_t oc = w_oihw.dim(0);
+  const std::int64_t per_oc = w_oihw.NumElements() / oc;
+  *w_s8 = Tensor::Empty(w_oihw.dims(), w_oihw.layout(), DType::kS8);
+  scales->assign(static_cast<std::size_t>(oc), 0.0f);
+  const float* src = w_oihw.data_as<float>();
+  std::int8_t* dst = w_s8->data_as<std::int8_t>();
+  for (std::int64_t o = 0; o < oc; ++o) {
+    const float* row = src + o * per_oc;
+    float amax = 0.0f;
+    for (std::int64_t i = 0; i < per_oc; ++i) {
+      amax = std::max(amax, std::fabs(row[i]));
+    }
+    const float scale = std::max(amax, 1e-8f) / static_cast<float>(kS8QuantMax);
+    (*scales)[static_cast<std::size_t>(o)] = scale;
+    const float inv = 1.0f / scale;
+    std::int8_t* qrow = dst + o * per_oc;
+    for (std::int64_t i = 0; i < per_oc; ++i) {
+      const std::int32_t q = static_cast<std::int32_t>(std::lrintf(row[i] * inv));
+      qrow[i] = static_cast<std::int8_t>(std::clamp(q, -kS8QuantMax, kS8QuantMax));
+    }
+  }
+}
+
+Tensor QuantizeBiasS32(const Tensor& bias_f32, float in_scale,
+                       const std::vector<float>& w_scales) {
+  NEOCPU_CHECK(bias_f32.dtype() == DType::kF32);
+  NEOCPU_CHECK_EQ(bias_f32.NumElements(), static_cast<std::int64_t>(w_scales.size()));
+  Tensor out = Tensor::Empty(bias_f32.dims(), bias_f32.layout(), DType::kS32);
+  const float* src = bias_f32.data_as<float>();
+  std::int32_t* dst = out.data_as<std::int32_t>();
+  for (std::size_t o = 0; o < w_scales.size(); ++o) {
+    const double acc_scale = static_cast<double>(in_scale) * w_scales[o];
+    dst[o] = static_cast<std::int32_t>(std::llrint(src[o] / acc_scale));
+  }
+  return out;
+}
+
+}  // namespace neocpu

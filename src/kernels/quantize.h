@@ -1,0 +1,57 @@
+// Quantization kernels and scale helpers for the int8 inference path.
+//
+// Convention (IntelCaffe-style, PAPERS.md "Highly Efficient 8-bit Low Precision
+// Inference"): activations are per-tensor symmetric s8 (zero point 0, clamp [-127,127]);
+// u8 with an explicit zero point is supported by the standalone Q/DQ kernels (and the
+// property fuzz) but the conv path is pure s8. Weights are per-output-channel symmetric
+// s8; bias constants fold to s32 in the conv's accumulation domain; the per-channel
+// (de)requantization multiplier fuses into the conv epilogue (conv_nchwc_int8).
+//
+// Every runtime kernel has an allocating form and an execute-into form (arena views on
+// the memory-planned path).
+#ifndef NEOCPU_SRC_KERNELS_QUANTIZE_H_
+#define NEOCPU_SRC_KERNELS_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/thread_engine.h"
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+
+// Quantized s8/u8 values cover [-127, 127] / [0, 255]: s8 keeps the symmetric +/-127
+// range so scale * 127 == max|x| exactly round-trips the range endpoints.
+inline constexpr std::int32_t kS8QuantMax = 127;
+
+// Symmetric s8 scale covering an observed activation range: max(|lo|, |hi|) / 127,
+// floored away from zero so a degenerate all-zero range stays invertible.
+float SymmetricScale(float lo, float hi);
+
+// f32 -> `dtype` (kS8 or kU8): q = clamp(round(x / scale) + zero_point). Rounding is
+// lrintf (round-to-nearest-even, the hardware cvtps2dq mode). zero_point must be 0 for
+// kS8 (symmetric convention).
+Tensor Quantize(const Tensor& input, float scale, std::int32_t zero_point, DType dtype,
+                ThreadEngine* engine = nullptr);
+void Quantize(const Tensor& input, float scale, std::int32_t zero_point, DType dtype,
+              Tensor* out, ThreadEngine* engine = nullptr);
+
+// s8/u8 -> f32: x = scale * (q - zero_point).
+Tensor Dequantize(const Tensor& input, float scale, std::int32_t zero_point,
+                  ThreadEngine* engine = nullptr);
+void Dequantize(const Tensor& input, float scale, std::int32_t zero_point, Tensor* out,
+                ThreadEngine* engine = nullptr);
+
+// Per-output-channel symmetric weight quantization: OIHW f32 -> OIHW s8 plus one scale
+// per output channel (scales[o] = max|w[o,...]| / 127).
+void QuantizeConvWeightsPerOC(const Tensor& w_oihw, Tensor* w_s8,
+                              std::vector<float>* scales);
+
+// Bias fold into the conv's s32 accumulation domain:
+//   b_s32[oc] = round(b_f32[oc] / (in_scale * w_scales[oc])).
+Tensor QuantizeBiasS32(const Tensor& bias_f32, float in_scale,
+                       const std::vector<float>& w_scales);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_KERNELS_QUANTIZE_H_

@@ -9,6 +9,38 @@
 
 namespace neocpu {
 
+bool RetuneBudget::TryAcquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (max_concurrent_ > 0 && in_flight_ >= max_concurrent_) {
+    ++deferred_;
+    return false;
+  }
+  ++in_flight_;
+  peak_ = in_flight_ > peak_ ? in_flight_ : peak_;
+  return true;
+}
+
+void RetuneBudget::Release() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NEOCPU_CHECK_GT(in_flight_, 0);
+  --in_flight_;
+}
+
+int RetuneBudget::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
+int RetuneBudget::peak_in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_;
+}
+
+std::uint64_t RetuneBudget::deferred() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return deferred_;
+}
+
 ModelEntry::ModelEntry(std::string name, CompiledModel model) : name_(std::move(name)) {
   const Graph& g = model.graph();
   int num_inputs = 0;
@@ -80,16 +112,30 @@ ModelEntry::VariantPtr ModelEntry::VariantFor(std::int64_t batch) {
     Slot& slot = it->second;
     if (!slot.tuned && !slot.retune_inflight && retune_options_.enabled && batchable_ &&
         slot.current->model->has_source()) {
-      // With nothing in flight, every thread in the vector has finished its work;
-      // reap them (joins return ~immediately) so a long-lived server does not
-      // accumulate one unjoined thread per batch size ever seen.
-      if (retunes_inflight_ == 0) {
-        finished.swap(retune_threads_);
+      // Registry-wide concurrency budget: when spent, DEFER rather than queue — the
+      // slot stays untuned and the next request for this batch size retries, so hot
+      // batch sizes naturally win the budget under churn. (Duplicate in-flight
+      // re-tunes for one (model, batch) are already coalesced by retune_inflight.)
+      const std::shared_ptr<RetuneBudget> budget = retune_options_.budget;
+      if (budget != nullptr && !budget->TryAcquire()) {
+        retunes_deferred_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // With nothing in flight, every thread in the vector has finished its work;
+        // reap them (joins return ~immediately) so a long-lived server does not
+        // accumulate one unjoined thread per batch size ever seen.
+        if (retunes_inflight_ == 0) {
+          finished.swap(retune_threads_);
+        }
+        slot.retune_inflight = true;
+        ++retunes_inflight_;
+        retunes_started_.fetch_add(1, std::memory_order_relaxed);
+        retune_threads_.emplace_back([this, batch, budget] {
+          RetuneSlot(batch);
+          if (budget != nullptr) {
+            budget->Release();
+          }
+        });
       }
-      slot.retune_inflight = true;
-      ++retunes_inflight_;
-      retunes_started_.fetch_add(1, std::memory_order_relaxed);
-      retune_threads_.emplace_back([this, batch] { RetuneSlot(batch); });
     }
     result = slot.current;
   }
@@ -166,6 +212,7 @@ EntryTuningStats ModelEntry::TuningStats() const {
   stats.retunes_started = retunes_started_.load(std::memory_order_relaxed);
   stats.retunes_completed = retunes_completed_.load(std::memory_order_relaxed);
   stats.retunes_failed = retunes_failed_.load(std::memory_order_relaxed);
+  stats.retunes_deferred = retunes_deferred_.load(std::memory_order_relaxed);
   if (std::shared_ptr<TuningCache> cache = tuning_cache()) {
     stats.cache = cache->Stats();
   }
@@ -226,8 +273,13 @@ std::vector<std::string> ModelRegistry::ModelNames() const {
 void ModelRegistry::ConfigureRetune(const RetuneOptions& options) {
   std::lock_guard<std::mutex> lock(mutex_);
   retune_options_ = options;
+  // One budget shared by every entry (current and future): the cap is registry-wide.
+  if (retune_options_.max_concurrent_retunes > 0 && retune_options_.budget == nullptr) {
+    retune_options_.budget =
+        std::make_shared<RetuneBudget>(retune_options_.max_concurrent_retunes);
+  }
   for (const auto& [name, entry] : entries_) {
-    entry->ConfigureRetune(options);
+    entry->ConfigureRetune(retune_options_);
   }
 }
 
@@ -249,6 +301,7 @@ EntryTuningStats ModelRegistry::AggregateTuningStats() const {
     total.retunes_started += stats.retunes_started;
     total.retunes_completed += stats.retunes_completed;
     total.retunes_failed += stats.retunes_failed;
+    total.retunes_deferred += stats.retunes_deferred;
     const std::shared_ptr<TuningCache> cache = entry->tuning_cache();
     if (cache != nullptr && seen_caches.insert(cache.get()).second) {
       total.cache.hits += stats.cache.hits;

@@ -32,6 +32,31 @@
 
 namespace neocpu {
 
+// Concurrency budget shared by every entry of one registry: caps how many background
+// re-tunes run simultaneously so a batch-size churn storm (many models x many new
+// batch sizes at once) cannot fan out into unbounded tuning threads. A re-tune that
+// finds the budget exhausted is DEFERRED, not queued: the slot stays untuned and the
+// next request for that batch size retries — re-tunes are traffic-driven, so hot batch
+// sizes win the budget.
+class RetuneBudget {
+ public:
+  explicit RetuneBudget(int max_concurrent) : max_concurrent_(max_concurrent) {}
+
+  bool TryAcquire();
+  void Release();
+
+  int in_flight() const;
+  int peak_in_flight() const;
+  std::uint64_t deferred() const;
+
+ private:
+  mutable std::mutex mutex_;
+  const int max_concurrent_;
+  int in_flight_ = 0;
+  int peak_ = 0;
+  std::uint64_t deferred_ = 0;
+};
+
 // How a ModelEntry runs background per-batch re-tunes.
 struct RetuneOptions {
   bool enabled = true;
@@ -43,6 +68,11 @@ struct RetuneOptions {
   // bind_threads; unpinned re-tunes timeshare politely.
   int core_offset = 0;
   bool bind_threads = false;
+  // Registry-wide cap on concurrent re-tunes (0 = unlimited). ModelRegistry
+  // materializes `budget` from this when it configures its entries; standalone
+  // ModelEntry users may share a budget across entries themselves.
+  int max_concurrent_retunes = 0;
+  std::shared_ptr<RetuneBudget> budget;
 };
 
 // Per-entry tuning observability (see also TuningCache::Stats for cache traffic).
@@ -50,6 +80,7 @@ struct EntryTuningStats {
   std::uint64_t retunes_started = 0;
   std::uint64_t retunes_completed = 0;
   std::uint64_t retunes_failed = 0;
+  std::uint64_t retunes_deferred = 0;  // skipped because the registry budget was spent
   TuningCacheStats cache;  // zeroed when the model carries no tuning cache
 };
 
@@ -111,6 +142,7 @@ class ModelEntry {
   std::atomic<std::uint64_t> retunes_started_{0};
   std::atomic<std::uint64_t> retunes_completed_{0};
   std::atomic<std::uint64_t> retunes_failed_{0};
+  std::atomic<std::uint64_t> retunes_deferred_{0};
 };
 
 class ModelRegistry {

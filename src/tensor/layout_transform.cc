@@ -12,24 +12,22 @@ SerialEngine g_serial;
 
 ThreadEngine& Engine(ThreadEngine* engine) { return engine ? *engine : g_serial; }
 
-}  // namespace
-
-void NCHWToNCHWc(const Tensor& src, std::int64_t x, Tensor* dst, ThreadEngine* engine) {
-  NEOCPU_CHECK_EQ(src.ndim(), 4);
+// The NCHW<->NCHW[x]c family is dtype-generic (pure index permutation): the fp32
+// pipeline moves floats, the quantized path moves s8 activations between differently
+// blocked convolutions. Each public entry dispatches on the source dtype.
+template <typename T>
+void NCHWToNCHWcT(const Tensor& src, std::int64_t x, Tensor* dst, ThreadEngine* engine) {
   const std::int64_t n = src.dim(0), c = src.dim(1), h = src.dim(2), w = src.dim(3);
-  NEOCPU_CHECK_GT(x, 0);
-  NEOCPU_CHECK_EQ(c % x, 0) << "channels " << c << " not divisible by block " << x;
   const std::int64_t cb = c / x;
-  CheckKernelOutput(dst, {n, cb, h, w, x}, Layout::NCHWc(x), "layout_transform");
-  const float* s = src.data();
-  float* d = dst->data();
+  const T* s = src.data_as<T>();
+  T* d = dst->data_as<T>();
   const std::int64_t hw = h * w;
   ParallelFor(Engine(engine), n * cb, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t ncb = begin; ncb < end; ++ncb) {
       const std::int64_t ni = ncb / cb;
       const std::int64_t co = ncb % cb;
-      float* dp = d + ncb * hw * x;
-      const float* sp = s + (ni * c + co * x) * hw;
+      T* dp = d + ncb * hw * x;
+      const T* sp = s + (ni * c + co * x) * hw;
       for (std::int64_t p = 0; p < hw; ++p) {
         for (std::int64_t ci = 0; ci < x; ++ci) {
           dp[p * x + ci] = sp[ci * hw + p];
@@ -39,31 +37,19 @@ void NCHWToNCHWc(const Tensor& src, std::int64_t x, Tensor* dst, ThreadEngine* e
   });
 }
 
-Tensor NCHWToNCHWc(const Tensor& src, std::int64_t x, ThreadEngine* engine) {
-  NEOCPU_CHECK_EQ(src.ndim(), 4);
-  NEOCPU_CHECK_GT(x, 0);
-  NEOCPU_CHECK_EQ(src.dim(1) % x, 0)
-      << "channels " << src.dim(1) << " not divisible by block " << x;
-  Tensor dst = Tensor::Empty({src.dim(0), src.dim(1) / x, src.dim(2), src.dim(3), x},
-                             Layout::NCHWc(x));
-  NCHWToNCHWc(src, x, &dst, engine);
-  return dst;
-}
-
-void NCHWcToNCHW(const Tensor& src, Tensor* dst, ThreadEngine* engine) {
-  NEOCPU_CHECK_EQ(src.ndim(), 5);
+template <typename T>
+void NCHWcToNCHWT(const Tensor& src, Tensor* dst, ThreadEngine* engine) {
   const std::int64_t n = src.dim(0), cb = src.dim(1), h = src.dim(2), w = src.dim(3),
                      x = src.dim(4);
-  CheckKernelOutput(dst, {n, cb * x, h, w}, Layout::NCHW(), "layout_transform");
-  const float* s = src.data();
-  float* d = dst->data();
+  const T* s = src.data_as<T>();
+  T* d = dst->data_as<T>();
   const std::int64_t hw = h * w;
   ParallelFor(Engine(engine), n * cb, [&](std::int64_t begin, std::int64_t end) {
     for (std::int64_t ncb = begin; ncb < end; ++ncb) {
       const std::int64_t ni = ncb / cb;
       const std::int64_t co = ncb % cb;
-      const float* sp = s + ncb * hw * x;
-      float* dp = d + (ni * cb * x + co * x) * hw;
+      const T* sp = s + ncb * hw * x;
+      T* dp = d + (ni * cb * x + co * x) * hw;
       for (std::int64_t p = 0; p < hw; ++p) {
         for (std::int64_t ci = 0; ci < x; ++ci) {
           dp[ci * hw + p] = sp[p * x + ci];
@@ -73,10 +59,84 @@ void NCHWcToNCHW(const Tensor& src, Tensor* dst, ThreadEngine* engine) {
   });
 }
 
+template <typename T>
+void NCHWcToNCHWcT(const Tensor& src, std::int64_t new_x, Tensor* dst,
+                   ThreadEngine* engine) {
+  const std::int64_t n = src.dim(0), cb = src.dim(1), h = src.dim(2), w = src.dim(3),
+                     x = src.dim(4);
+  const std::int64_t c = cb * x;
+  const std::int64_t new_cb = c / new_x;
+  const T* s = src.data_as<T>();
+  T* d = dst->data_as<T>();
+  const std::int64_t hw = h * w;
+  ParallelFor(Engine(engine), n * new_cb, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t ncb = begin; ncb < end; ++ncb) {
+      const std::int64_t ni = ncb / new_cb;
+      const std::int64_t co = ncb % new_cb;
+      T* dp = d + ncb * hw * new_x;
+      for (std::int64_t ci = 0; ci < new_x; ++ci) {
+        const std::int64_t ch = co * new_x + ci;  // global channel index
+        const T* sp = s + ((ni * cb + ch / x) * hw) * x + (ch % x);
+        for (std::int64_t p = 0; p < hw; ++p) {
+          dp[p * new_x + ci] = sp[p * x];
+        }
+      }
+    }
+  });
+}
+
+void CheckSameDtype(const Tensor& src, const Tensor* dst) {
+  NEOCPU_CHECK(dst->dtype() == src.dtype())
+      << "layout transform cannot change dtype: " << src.DebugString() << " -> "
+      << dst->DebugString();
+  NEOCPU_CHECK(src.dtype() == DType::kF32 || src.dtype() == DType::kS8)
+      << "layout transforms support f32 and s8 feature maps, got " << src.DebugString();
+}
+
+}  // namespace
+
+void NCHWToNCHWc(const Tensor& src, std::int64_t x, Tensor* dst, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(src.ndim(), 4);
+  const std::int64_t n = src.dim(0), c = src.dim(1), h = src.dim(2), w = src.dim(3);
+  NEOCPU_CHECK_GT(x, 0);
+  NEOCPU_CHECK_EQ(c % x, 0) << "channels " << c << " not divisible by block " << x;
+  CheckKernelOutput(dst, {n, c / x, h, w, x}, Layout::NCHWc(x), "layout_transform");
+  CheckSameDtype(src, dst);
+  if (src.dtype() == DType::kS8) {
+    NCHWToNCHWcT<std::int8_t>(src, x, dst, engine);
+  } else {
+    NCHWToNCHWcT<float>(src, x, dst, engine);
+  }
+}
+
+Tensor NCHWToNCHWc(const Tensor& src, std::int64_t x, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(src.ndim(), 4);
+  NEOCPU_CHECK_GT(x, 0);
+  NEOCPU_CHECK_EQ(src.dim(1) % x, 0)
+      << "channels " << src.dim(1) << " not divisible by block " << x;
+  Tensor dst = Tensor::Empty({src.dim(0), src.dim(1) / x, src.dim(2), src.dim(3), x},
+                             Layout::NCHWc(x), src.dtype());
+  NCHWToNCHWc(src, x, &dst, engine);
+  return dst;
+}
+
+void NCHWcToNCHW(const Tensor& src, Tensor* dst, ThreadEngine* engine) {
+  NEOCPU_CHECK_EQ(src.ndim(), 5);
+  const std::int64_t n = src.dim(0), cb = src.dim(1), h = src.dim(2), w = src.dim(3),
+                     x = src.dim(4);
+  CheckKernelOutput(dst, {n, cb * x, h, w}, Layout::NCHW(), "layout_transform");
+  CheckSameDtype(src, dst);
+  if (src.dtype() == DType::kS8) {
+    NCHWcToNCHWT<std::int8_t>(src, dst, engine);
+  } else {
+    NCHWcToNCHWT<float>(src, dst, engine);
+  }
+}
+
 Tensor NCHWcToNCHW(const Tensor& src, ThreadEngine* engine) {
   NEOCPU_CHECK_EQ(src.ndim(), 5);
-  Tensor dst = Tensor::Empty(
-      {src.dim(0), src.dim(1) * src.dim(4), src.dim(2), src.dim(3)}, Layout::NCHW());
+  Tensor dst = Tensor::Empty({src.dim(0), src.dim(1) * src.dim(4), src.dim(2), src.dim(3)},
+                             Layout::NCHW(), src.dtype());
   NCHWcToNCHW(src, &dst, engine);
   return dst;
 }
@@ -89,25 +149,14 @@ void NCHWcToNCHWc(const Tensor& src, std::int64_t new_x, Tensor* dst,
   const std::int64_t c = cb * x;
   NEOCPU_CHECK(new_x != x) << "identity re-block is a view, not a copy";
   NEOCPU_CHECK_EQ(c % new_x, 0);
-  const std::int64_t new_cb = c / new_x;
-  CheckKernelOutput(dst, {n, new_cb, h, w, new_x}, Layout::NCHWc(new_x), "layout_transform");
-  const float* s = src.data();
-  float* d = dst->data();
-  const std::int64_t hw = h * w;
-  ParallelFor(Engine(engine), n * new_cb, [&](std::int64_t begin, std::int64_t end) {
-    for (std::int64_t ncb = begin; ncb < end; ++ncb) {
-      const std::int64_t ni = ncb / new_cb;
-      const std::int64_t co = ncb % new_cb;
-      float* dp = d + ncb * hw * new_x;
-      for (std::int64_t ci = 0; ci < new_x; ++ci) {
-        const std::int64_t ch = co * new_x + ci;  // global channel index
-        const float* sp = s + ((ni * cb + ch / x) * hw) * x + (ch % x);
-        for (std::int64_t p = 0; p < hw; ++p) {
-          dp[p * new_x + ci] = sp[p * x];
-        }
-      }
-    }
-  });
+  CheckKernelOutput(dst, {n, c / new_x, h, w, new_x}, Layout::NCHWc(new_x),
+                    "layout_transform");
+  CheckSameDtype(src, dst);
+  if (src.dtype() == DType::kS8) {
+    NCHWcToNCHWcT<std::int8_t>(src, new_x, dst, engine);
+  } else {
+    NCHWcToNCHWcT<float>(src, new_x, dst, engine);
+  }
 }
 
 Tensor NCHWcToNCHWc(const Tensor& src, std::int64_t new_x, ThreadEngine* engine) {
@@ -118,7 +167,7 @@ Tensor NCHWcToNCHWc(const Tensor& src, std::int64_t new_x, ThreadEngine* engine)
   const std::int64_t c = src.dim(1) * src.dim(4);
   NEOCPU_CHECK_EQ(c % new_x, 0);
   Tensor dst = Tensor::Empty({src.dim(0), c / new_x, src.dim(2), src.dim(3), new_x},
-                             Layout::NCHWc(new_x));
+                             Layout::NCHWc(new_x), src.dtype());
   NCHWcToNCHWc(src, new_x, &dst, engine);
   return dst;
 }
@@ -179,16 +228,15 @@ Tensor NHWCToNCHW(const Tensor& src, ThreadEngine* engine) {
   return dst;
 }
 
-Tensor OIHWToOIHWio(const Tensor& src, std::int64_t x, std::int64_t y) {
-  NEOCPU_CHECK_EQ(src.ndim(), 4);
+namespace {
+
+template <typename T>
+void OIHWToOIHWioT(const Tensor& src, std::int64_t x, std::int64_t y, Tensor* dst) {
   const std::int64_t o = src.dim(0), i = src.dim(1), kh = src.dim(2), kw = src.dim(3);
-  NEOCPU_CHECK_EQ(i % x, 0);
-  NEOCPU_CHECK_EQ(o % y, 0);
   const std::int64_t ob = o / y;
   const std::int64_t ib = i / x;
-  Tensor dst = Tensor::Empty({ob, ib, kh, kw, x, y}, Layout::OIHWio(x, y));
-  const float* s = src.data();
-  float* d = dst.data();
+  const T* s = src.data_as<T>();
+  T* d = dst->data_as<T>();
   const std::int64_t khw = kh * kw;
   for (std::int64_t oo = 0; oo < ob; ++oo) {
     for (std::int64_t ii = 0; ii < ib; ++ii) {
@@ -196,12 +244,29 @@ Tensor OIHWToOIHWio(const Tensor& src, std::int64_t x, std::int64_t y) {
         for (std::int64_t xi = 0; xi < x; ++xi) {
           for (std::int64_t yi = 0; yi < y; ++yi) {
             const std::int64_t src_idx = ((oo * y + yi) * i + (ii * x + xi)) * khw + k;
-            float* dp = d + ((((oo * ib + ii) * khw + k) * x + xi) * y + yi);
+            T* dp = d + ((((oo * ib + ii) * khw + k) * x + xi) * y + yi);
             *dp = s[src_idx];
           }
         }
       }
     }
+  }
+}
+
+}  // namespace
+
+Tensor OIHWToOIHWio(const Tensor& src, std::int64_t x, std::int64_t y) {
+  NEOCPU_CHECK_EQ(src.ndim(), 4);
+  const std::int64_t o = src.dim(0), i = src.dim(1), kh = src.dim(2), kw = src.dim(3);
+  NEOCPU_CHECK_EQ(i % x, 0);
+  NEOCPU_CHECK_EQ(o % y, 0);
+  Tensor dst = Tensor::Empty({o / y, i / x, kh, kw, x, y}, Layout::OIHWio(x, y),
+                             src.dtype());
+  if (src.dtype() == DType::kS8) {
+    OIHWToOIHWioT<std::int8_t>(src, x, y, &dst);
+  } else {
+    NEOCPU_CHECK(src.dtype() == DType::kF32) << src.DebugString();
+    OIHWToOIHWioT<float>(src, x, y, &dst);
   }
   return dst;
 }

@@ -34,26 +34,30 @@ SharedDims MakeSharedDims(std::vector<std::int64_t> dims) {
   return std::make_shared<const std::vector<std::int64_t>>(std::move(dims));
 }
 
-Tensor Tensor::Empty(std::vector<std::int64_t> dims, Layout layout) {
+Tensor Tensor::Empty(std::vector<std::int64_t> dims, Layout layout, DType dtype) {
   Tensor t;
   std::int64_t count = Product(dims);
   t.data_ = std::shared_ptr<float[]>(
-      static_cast<float*>(AlignedAlloc(static_cast<std::size_t>(count) * sizeof(float))),
+      static_cast<float*>(
+          AlignedAlloc(static_cast<std::size_t>(count) * ElemSizeBytes(dtype))),
       AlignedDeleter());
-  NEOCPU_CHECK(count == 0 || t.data_ != nullptr) << "allocation of " << count << " floats failed";
+  NEOCPU_CHECK(count == 0 || t.data_ != nullptr)
+      << "allocation of " << count << " " << DTypeName(dtype) << " elements failed";
   if (count > 0) {
     g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   }
   t.dims_ = MakeSharedDims(std::move(dims));
   t.layout_ = layout;
+  t.dtype_ = dtype;
   return t;
 }
 
-Tensor Tensor::FromExternal(float* data, std::vector<std::int64_t> dims, Layout layout) {
-  return FromExternal(data, MakeSharedDims(std::move(dims)), layout);
+Tensor Tensor::FromExternal(float* data, std::vector<std::int64_t> dims, Layout layout,
+                            DType dtype) {
+  return FromExternal(data, MakeSharedDims(std::move(dims)), layout, dtype);
 }
 
-Tensor Tensor::FromExternal(float* data, SharedDims dims, Layout layout) {
+Tensor Tensor::FromExternal(float* data, SharedDims dims, Layout layout, DType dtype) {
   NEOCPU_CHECK(data != nullptr || dims == nullptr || Product(*dims) == 0);
   Tensor t;
   // Aliasing constructor with an empty owner: the view shares no lifetime with the
@@ -61,11 +65,12 @@ Tensor Tensor::FromExternal(float* data, SharedDims dims, Layout layout) {
   t.data_ = std::shared_ptr<float[]>(std::shared_ptr<void>(), data);
   t.dims_ = std::move(dims);
   t.layout_ = layout;
+  t.dtype_ = dtype;
   return t;
 }
 
-Tensor Tensor::Zeros(std::vector<std::int64_t> dims, Layout layout) {
-  Tensor t = Empty(std::move(dims), layout);
+Tensor Tensor::Zeros(std::vector<std::int64_t> dims, Layout layout, DType dtype) {
+  Tensor t = Empty(std::move(dims), layout, dtype);
   t.FillZero();
   return t;
 }
@@ -90,7 +95,7 @@ Tensor Tensor::Random(std::vector<std::int64_t> dims, Rng& rng, float lo, float 
 std::int64_t Tensor::NumElements() const { return Product(dims()); }
 
 Tensor Tensor::Clone() const {
-  Tensor t = Empty(dims(), layout_);
+  Tensor t = Empty(dims(), layout_, dtype_);
   std::memcpy(t.data(), data(), SizeBytes());
   return t;
 }
@@ -106,13 +111,15 @@ Tensor Tensor::Reshaped(std::vector<std::int64_t> dims, Layout layout) const {
 void Tensor::FillZero() { std::memset(data(), 0, SizeBytes()); }
 
 void Tensor::Fill(float value) {
-  float* p = data();
+  float* p = data_as<float>();
   const std::int64_t n = NumElements();
   std::fill(p, p + n, value);
 }
 
 double Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
   NEOCPU_CHECK_EQ(a.NumElements(), b.NumElements());
+  NEOCPU_CHECK(a.dtype() == DType::kF32 && b.dtype() == DType::kF32)
+      << "element comparisons are fp32-only";
   double worst = 0.0;
   const float* pa = a.data();
   const float* pb = b.data();
@@ -155,7 +162,22 @@ std::string Tensor::DebugString() const {
   std::string dims = JoinMapped(this->dims(), "x", [](std::int64_t d) {
     return StrFormat("%lld", static_cast<long long>(d));
   });
-  return StrFormat("Tensor<%s,%s>", dims.c_str(), layout_.ToString().c_str());
+  return StrFormat("Tensor<%s,%s,%s>", dims.c_str(), layout_.ToString().c_str(),
+                   DTypeName(dtype_));
+}
+
+const char* DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return "f32";
+    case DType::kS8:
+      return "s8";
+    case DType::kU8:
+      return "u8";
+    case DType::kS32:
+      return "s32";
+  }
+  return "?";
 }
 
 }  // namespace neocpu

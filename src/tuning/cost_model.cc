@@ -11,6 +11,7 @@
 #include "src/base/timer.h"
 #include "src/kernels/conv_im2col.h"
 #include "src/kernels/conv_nchwc.h"
+#include "src/kernels/conv_nchwc_int8.h"
 #include "src/kernels/conv_ref.h"
 #include "src/kernels/conv_winograd.h"
 #include "src/tensor/tensor.h"
@@ -148,9 +149,79 @@ double AnalyticReferenceMs(const Conv2dParams& p, const Target& t) {
   return 2.0 * p.Macs() / scalar_macs_per_ms;
 }
 
+// The s8xs8->s32 NCHWc template (conv_nchwc_int8). The s16 pairwise multiply path
+// sustains ~2x the fp32 FMA MAC rate *when the oc block fills a whole s8 vector*
+// (4x the fp32 lanes); narrower blocks waste lanes in every vpmullw, so efficiency
+// scales with the filled fraction — the dominant term bench/conv_micro's s8 sweep
+// measures (oc_bn=64 ~2.3x fp32, 32 ~1.0x, 16 ~0.55x on an AVX-512 host). Secondary
+// terms mirror the fp32 model where the loop structure is shared.
+double AnalyticDirectNchwcS8Ms(const Conv2dParams& p, const ConvSchedule& s,
+                               const Target& t) {
+  const double macs = p.Macs();
+  const double lanes_f32 = static_cast<double>(t.vector_lanes);
+  const double s8_block = static_cast<double>(t.PreferredBlockS8());
+  const double peak_macs_per_ns =
+      2.0 * t.freq_ghz * lanes_f32 * static_cast<double>(t.fma_per_cycle);
+  double ms = macs / (peak_macs_per_ns * 1e6);
+
+  // Vector-fill efficiency: the s16 multiply path only pays off on wide oc blocks.
+  const double fill = std::min(1.0, static_cast<double>(s.oc_bn) / s8_block);
+  ms /= std::max(fill, 0.05);
+
+  // Only blocks with template instantiations hit the register-blocked fast path.
+  const bool fast_ocb = s.oc_bn == 4 || s.oc_bn == 8 || s.oc_bn == 16 || s.oc_bn == 32 ||
+                        s.oc_bn == 64;
+  const bool fast_regn =
+      s.reg_n == 2 || s.reg_n == 4 || s.reg_n == 8 || s.reg_n == 16 || s.reg_n == 32;
+  if (!fast_ocb || !fast_regn) {
+    ms *= 2.5;
+  }
+
+  // Accumulator pressure: reg_n x (oc_bn / s8 lanes-per-s32-vector) s32 registers.
+  const double oc_vectors = std::ceil(static_cast<double>(s.oc_bn) / lanes_f32);
+  const double regs_used = static_cast<double>(s.reg_n) * oc_vectors + 2.0;
+  const double regs_avail = static_cast<double>(t.num_vector_registers);
+  if (regs_used > regs_avail) {
+    ms *= 1.0 + 0.25 * (regs_used - regs_avail) / regs_avail;
+  }
+
+  // Weight-vector reuse across reg_n, ici-pair loop overhead for tiny input blocks.
+  ms *= 1.0 + 1.0 / static_cast<double>(std::max<std::int64_t>(s.reg_n, 1));
+  ms *= 1.0 + 1.6 / static_cast<double>(std::max<std::int64_t>(s.ic_bn, 1));
+
+  // Out-width tail fraction (guarded edge kernel, ~3x).
+  const std::int64_t ow = p.OutW();
+  const std::int64_t ow_lo = p.pad_w == 0 ? 0 : (p.pad_w + p.stride_w - 1) / p.stride_w;
+  const std::int64_t ow_hi =
+      std::min<std::int64_t>(ow, (p.in_w + p.pad_w - p.kernel_w) / p.stride_w + 1);
+  const std::int64_t interior =
+      std::max<std::int64_t>(ow_hi - ow_lo, 0) / s.reg_n * s.reg_n;
+  const double tail_frac =
+      1.0 - static_cast<double>(interior) / static_cast<double>(std::max<std::int64_t>(ow, 1));
+  ms *= 1.0 + 2.0 * tail_frac;
+
+  // Quantization epilogue: one scale-and-store pass over the output.
+  const double out_elems = static_cast<double>(p.batch * p.out_c) *
+                           static_cast<double>(p.OutH() * p.OutW());
+  const double scalar_per_ms = t.freq_ghz * 1e6;
+  ms += out_elems / (scalar_per_ms * 4.0);
+
+  // Cache: s8 weights are 4x smaller than fp32, so the L2 overflow penalty arms later.
+  const double weight_block_bytes =
+      static_cast<double>(p.in_c * p.kernel_h * p.kernel_w * s.oc_bn) * 1.0;
+  if (weight_block_bytes > static_cast<double>(t.l2_bytes)) {
+    ms *= 1.15;
+  }
+  return ms;
+}
+
 }  // namespace
 
 double AnalyticConvMs(const Conv2dParams& p, const ConvSchedule& s, const Target& t) {
+  if (s.IsQuantized()) {
+    NEOCPU_CHECK(s.IsDirect()) << "s8 schedules are direct-NCHWc only";
+    return AnalyticDirectNchwcS8Ms(p, s, t);
+  }
   switch (s.algo) {
     case ConvAlgo::kDirectNCHWc:
       return AnalyticDirectNchwcMs(p, s, t);
@@ -230,8 +301,48 @@ double MeasureNchwAlgoMs(const Conv2dParams& p, ConvAlgo algo, ThreadEngine* eng
 
 }  // namespace
 
+namespace {
+
+// Times the quantized direct template on deterministic synthetic s8 tensors.
+double MeasureDirectNchwcS8Ms(const Conv2dParams& p, const ConvSchedule& s,
+                              ThreadEngine* engine, int runs) {
+  Tensor input = Tensor::Empty({p.batch, p.in_c / s.ic_bn, p.in_h, p.in_w, s.ic_bn},
+                               Layout::NCHWc(s.ic_bn), DType::kS8);
+  Tensor weight = Tensor::Empty(
+      {p.out_c / s.oc_bn, p.in_c / s.ic_bn, p.kernel_h, p.kernel_w, s.ic_bn, s.oc_bn},
+      Layout::OIHWio(s.ic_bn, s.oc_bn), DType::kS8);
+  std::int8_t* in = input.data_as<std::int8_t>();
+  for (std::int64_t i = 0; i < input.NumElements(); ++i) {
+    in[i] = static_cast<std::int8_t>(i % 251 - 125);
+  }
+  std::int8_t* w = weight.data_as<std::int8_t>();
+  for (std::int64_t i = 0; i < weight.NumElements(); ++i) {
+    w[i] = static_cast<std::int8_t>(i % 241 - 120);
+  }
+  Tensor mult = Tensor::Full({p.out_c}, 1e-3f);
+  Tensor out = Tensor::Empty({p.batch, p.out_c / s.oc_bn, p.OutH(), p.OutW(), s.oc_bn},
+                             Layout::NCHWc(s.oc_bn), DType::kS8);
+  ConvEpilogue epilogue;  // bare conv: the schedule choice is epilogue-independent
+  double best = 1e30;
+  for (int i = 0; i < runs + 1; ++i) {
+    Timer timer;
+    ConvNCHWcS8(p, s, input, weight, nullptr, mult, epilogue, /*requant=*/true, &out,
+                engine);
+    const double ms = timer.Millis();
+    if (i > 0 || runs == 1) {
+      best = std::min(best, ms);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
 double MeasureConvMs(const Conv2dParams& p, const ConvSchedule& s, ThreadEngine* engine,
                      int runs) {
+  if (s.IsQuantized()) {
+    return MeasureDirectNchwcS8Ms(p, s, engine, runs);
+  }
   if (s.algo != ConvAlgo::kDirectNCHWc) {
     return MeasureNchwAlgoMs(p, s.algo, engine, runs);
   }
@@ -262,6 +373,13 @@ double TransformMs(std::int64_t tensor_bytes) {
   // A relayout reads and writes the tensor once, in a cache-unfriendly gather order:
   // charge 2x the streaming-copy cost.
   return 2.0 * static_cast<double>(2 * tensor_bytes) / CalibratedCopyBytesPerMs();
+}
+
+double QdqMs(std::int64_t f32_bytes) {
+  // One sequential f32-side stream + a quarter-size s8-side stream; the convert itself
+  // is cheap but not free (clamp + round), folded into a 1.5x factor.
+  const double traffic = 1.25 * static_cast<double>(f32_bytes);
+  return 1.5 * traffic / CalibratedCopyBytesPerMs();
 }
 
 }  // namespace neocpu

@@ -36,6 +36,13 @@ double MeasureConvMs(const Conv2dParams& params, const ConvSchedule& schedule,
 // using the host's measured copy bandwidth (calibrated once per process).
 double TransformMs(std::int64_t tensor_bytes);
 
+// Estimated milliseconds for a quantize or dequantize pass over a feature map whose
+// fp32 representation is `f32_bytes`: one f32-side stream plus one quarter-size s8-side
+// stream, with convert overhead folded in. These are the boundary costs the global
+// search charges when adjacent convs disagree on dtype (the fp32<->int8 analogue of a
+// layout transform).
+double QdqMs(std::int64_t f32_bytes);
+
 // Measured host bandwidth in bytes/ms (exposed for tests/benches).
 double CalibratedCopyBytesPerMs();
 

@@ -64,14 +64,17 @@ PbqpProblem GlobalProblem::ToPbqp() const {
     pe.matrix.resize(oa.size() * ob.size(), 0.0);
     for (std::size_t i = 0; i < oa.size(); ++i) {
       for (std::size_t j = 0; j < ob.size(); ++j) {
-        // Blocks are taken through In/OutBlock so NCHW-layout algorithms (Winograd,
-        // im2col: block 0) pay a transform against blocked neighbours but compose for
-        // free with each other and with graph inputs/outputs.
-        const std::int64_t out_block = oa[i].schedule.OutBlock();
-        const std::int64_t in_block = e.kind == LayoutEdgeKind::kProducerConsumer
-                                          ? ob[j].schedule.InBlock()
-                                          : ob[j].schedule.OutBlock();
-        if (out_block != in_block) {
+        // Interface signatures combine the channel block with the execution dtype
+        // (ConvSchedule::In/OutSig): NCHW-layout algorithms (Winograd, im2col: block 0)
+        // pay a transform against blocked neighbours but compose for free with each
+        // other and with graph inputs/outputs, and an fp32/s8 boundary costs a
+        // quantize/dequantize pass charged at the same per-edge rate as a relayout
+        // (both are one gather pass over the feature map).
+        const std::int64_t out_sig = oa[i].schedule.OutSig();
+        const std::int64_t in_sig = e.kind == LayoutEdgeKind::kProducerConsumer
+                                        ? ob[j].schedule.InSig()
+                                        : ob[j].schedule.OutSig();
+        if (out_sig != in_sig) {
           pe.matrix[i * ob.size() + j] = e.transform_ms;
         }
       }
@@ -88,6 +91,11 @@ double GlobalProblem::Evaluate(const std::vector<int>& selection) const {
 GlobalProblem ExtractGlobalProblem(const Graph& graph, const LocalSearchMap& locals) {
   GlobalProblem problem;
   std::map<int, int> var_of_conv;
+  const auto consumers = graph.BuildConsumerIndex();
+  std::vector<char> escapes(static_cast<std::size_t>(graph.num_nodes()), 0);
+  for (int out : graph.outputs()) {
+    escapes[static_cast<std::size_t>(out)] = 1;
+  }
   for (int id = 0; id < graph.num_nodes(); ++id) {
     const Node& node = graph.node(id);
     if (!node.IsConv()) {
@@ -95,19 +103,49 @@ GlobalProblem ExtractGlobalProblem(const Graph& graph, const LocalSearchMap& loc
     }
     const auto it = locals.find(id);
     NEOCPU_CHECK(it != locals.end()) << "missing local search result for conv " << id;
-    // One option per (algo, ic_bn, oc_bn) combination: the combination's cheapest
-    // schedule. Transform costs only see algo + pair, so cheaper same-combination
-    // schedules dominate. Winograd options are dropped for convs whose fused epilogue
-    // the kernel cannot execute (residual adds).
+
+    // Boundary costs an s8 option pays regardless of its neighbours' choices: a
+    // quantize pass unless the data comes DIRECTLY from another conv (QuantizeGraph
+    // only chains s8 across direct conv->conv data edges — any intervening op, even a
+    // layout-tolerant pool, runs fp32 and forces a fresh kQuantize), and a dequantize
+    // pass when the output reaches any consumer that cannot stay s8 (non-conv ops,
+    // residual/sibling reads, graph outputs). Direct conv-to-conv boundaries are the
+    // edges' job.
+    double s8_boundary_ms = 0.0;
+    const int data = node.inputs[0];
+    if (!graph.node(data).IsConv()) {
+      s8_boundary_ms += QdqMs(FeatureMapBytes(graph.node(data).out_dims));
+    }
+    bool needs_f32_out = escapes[static_cast<std::size_t>(id)];
+    for (int c : consumers[static_cast<std::size_t>(id)]) {
+      const Node& cn = graph.node(c);
+      if (!(cn.IsConv() && cn.inputs[0] == id)) {
+        needs_f32_out = true;
+        break;
+      }
+    }
+    if (needs_f32_out) {
+      s8_boundary_ms += QdqMs(FeatureMapBytes(node.out_dims));
+    }
+
+    // One option per (dtype, algo, ic_bn, oc_bn) combination: the combination's
+    // cheapest schedule. Transform costs only see the combination, so cheaper
+    // same-combination schedules dominate. Winograd options are dropped for convs
+    // whose fused epilogue the kernel cannot execute (residual adds); quantized
+    // options are likewise dropped where int8 is illegal.
     std::vector<ScheduleCost> options;
     for (const ScheduleCost& sc : it->second->ranked) {
       if (sc.schedule.algo == ConvAlgo::kWinograd &&
           !WinogradLegal(node.attrs.conv, node.attrs.epilogue)) {
         continue;
       }
+      if (sc.schedule.IsQuantized() && node.attrs.epilogue.residual_add) {
+        continue;
+      }
       bool seen = false;
       for (const ScheduleCost& kept : options) {
         if (kept.schedule.algo == sc.schedule.algo &&
+            kept.schedule.dtype == sc.schedule.dtype &&
             kept.schedule.ic_bn == sc.schedule.ic_bn &&
             kept.schedule.oc_bn == sc.schedule.oc_bn) {
           seen = true;
@@ -115,7 +153,11 @@ GlobalProblem ExtractGlobalProblem(const Graph& graph, const LocalSearchMap& loc
         }
       }
       if (!seen) {
-        options.push_back(sc);
+        ScheduleCost option = sc;
+        if (option.schedule.IsQuantized()) {
+          option.ms += s8_boundary_ms;
+        }
+        options.push_back(option);
       }
     }
     var_of_conv[id] = static_cast<int>(problem.conv_ids.size());

@@ -10,8 +10,8 @@ namespace neocpu {
 const ScheduleCost* LocalSearchResult::BestForPair(std::int64_t ic_bn,
                                                    std::int64_t oc_bn) const {
   for (const ScheduleCost& sc : ranked) {
-    if (sc.schedule.IsDirect() && sc.schedule.ic_bn == ic_bn &&
-        sc.schedule.oc_bn == oc_bn) {
+    if (!sc.schedule.IsQuantized() && sc.schedule.IsDirect() &&
+        sc.schedule.ic_bn == ic_bn && sc.schedule.oc_bn == oc_bn) {
       return &sc;  // ranked ascending: first hit is the pair's best
     }
   }
@@ -20,7 +20,16 @@ const ScheduleCost* LocalSearchResult::BestForPair(std::int64_t ic_bn,
 
 const ScheduleCost* LocalSearchResult::BestForAlgo(ConvAlgo algo) const {
   for (const ScheduleCost& sc : ranked) {
-    if (sc.schedule.algo == algo) {
+    if (!sc.schedule.IsQuantized() && sc.schedule.algo == algo) {
+      return &sc;
+    }
+  }
+  return nullptr;
+}
+
+const ScheduleCost* LocalSearchResult::BestQuantized() const {
+  for (const ScheduleCost& sc : ranked) {
+    if (sc.schedule.IsQuantized()) {
       return &sc;
     }
   }
@@ -29,8 +38,8 @@ const ScheduleCost* LocalSearchResult::BestForAlgo(ConvAlgo algo) const {
 
 std::shared_ptr<const LocalSearchResult> LocalSearchConvShared(
     const Conv2dParams& params, const Target& target, CostMode mode, bool quick_space,
-    ThreadEngine* engine, TuningCache* cache, bool* cache_hit) {
-  const WorkloadKey key = WorkloadKey::Of(params, target, mode, quick_space);
+    ThreadEngine* engine, TuningCache* cache, bool* cache_hit, DType dtype) {
+  const WorkloadKey key = WorkloadKey::Of(params, target, mode, quick_space, dtype);
   if (cache_hit != nullptr) {
     *cache_hit = false;
   }
@@ -39,11 +48,14 @@ std::shared_ptr<const LocalSearchResult> LocalSearchConvShared(
       // Entries restored from pre-algorithm caches (format v2) rank only direct
       // blockings. Score the missing algorithm candidates now and re-insert the
       // widened result, so a warm start never silently forecloses the algorithm
-      // choice for exactly the workloads it covers.
+      // choice for exactly the workloads it covers. (s8 spaces post-date the algorithm
+      // tag, so only fp32 entries ever need widening.)
       std::vector<ConvSchedule> missing;
-      for (const ConvSchedule& extra : EnumerateAlgoCandidates(params)) {
-        if (cached->BestForAlgo(extra.algo) == nullptr) {
-          missing.push_back(extra);
+      if (dtype == DType::kF32) {
+        for (const ConvSchedule& extra : EnumerateAlgoCandidates(params)) {
+          if (cached->BestForAlgo(extra.algo) == nullptr) {
+            missing.push_back(extra);
+          }
         }
       }
       if (!missing.empty()) {
@@ -71,11 +83,18 @@ std::shared_ptr<const LocalSearchResult> LocalSearchConvShared(
     }
   }
   LocalSearchResult result;
-  std::vector<ConvSchedule> candidates = EnumerateSchedules(params, target, quick_space);
-  // Algorithm alternatives (im2col; Winograd where applicable) are ranked in the same
-  // list: the local search scores *how to compute* the conv, not just how to block it.
-  for (const ConvSchedule& extra : EnumerateAlgoCandidates(params)) {
-    candidates.push_back(extra);
+  std::vector<ConvSchedule> candidates;
+  if (dtype == DType::kS8) {
+    candidates = EnumerateS8Schedules(params, target, quick_space);
+    NEOCPU_CHECK(!candidates.empty())
+        << "s8 search on an int8-disabled target for " << params.ToString();
+  } else {
+    candidates = EnumerateSchedules(params, target, quick_space);
+    // Algorithm alternatives (im2col; Winograd where applicable) are ranked in the same
+    // list: the local search scores *how to compute* the conv, not just how to block it.
+    for (const ConvSchedule& extra : EnumerateAlgoCandidates(params)) {
+      candidates.push_back(extra);
+    }
   }
   for (const ConvSchedule& schedule : candidates) {
     const double ms = mode == CostMode::kAnalytic
@@ -95,9 +114,9 @@ std::shared_ptr<const LocalSearchResult> LocalSearchConvShared(
 
 LocalSearchResult LocalSearchConv(const Conv2dParams& params, const Target& target,
                                   CostMode mode, bool quick_space, ThreadEngine* engine,
-                                  TuningCache* cache, bool* cache_hit) {
+                                  TuningCache* cache, bool* cache_hit, DType dtype) {
   return *LocalSearchConvShared(params, target, mode, quick_space, engine, cache,
-                                cache_hit);
+                                cache_hit, dtype);
 }
 
 }  // namespace neocpu

@@ -27,34 +27,41 @@ struct LocalSearchResult {
   std::vector<ScheduleCost> ranked;  // ascending by ms; never empty after a search
 
   const ScheduleCost& best() const { return ranked.front(); }
-  // Cheapest direct-NCHWc schedule for a given (ic_bn, oc_bn) pair; nullptr if the pair
-  // is absent. Non-direct algorithm entries (which carry zeroed blocks) never match.
+  // Cheapest fp32 direct-NCHWc schedule for a given (ic_bn, oc_bn) pair; nullptr if the
+  // pair is absent. Non-direct algorithm entries (zeroed blocks) and quantized entries
+  // (merged candidate lists) never match.
   const ScheduleCost* BestForPair(std::int64_t ic_bn, std::int64_t oc_bn) const;
-  // Cheapest entry computed with `algo`; nullptr if none was ranked (e.g. Winograd for
-  // a non-3x3 workload).
+  // Cheapest fp32 entry computed with `algo`; nullptr if none was ranked (e.g. Winograd
+  // for a non-3x3 workload).
   const ScheduleCost* BestForAlgo(ConvAlgo algo) const;
+  // Cheapest s8 (quantized) entry; nullptr when the list carries none (pure fp32
+  // searches, int8-disabled targets).
+  const ScheduleCost* BestQuantized() const;
 };
 
 // Conv node id -> its local-search result (the compiler's and global search's working
 // set; shared_ptr so cache hits are pointer copies, never ranked-list copies).
 using LocalSearchMap = std::map<int, std::shared_ptr<const LocalSearchResult>>;
 
-// Walks the §3.3.1 candidate space for one workload. `cache` (optional) is consulted
-// first and populated with the result on a miss. `cache_hit` (optional) reports whether
-// this call was served from the cache — callers attribute cache traffic to themselves
-// through it, since the cache's own counters are shared across concurrent searches.
-// A hit hands back the cache's own immutable result; no copy is made.
+// Walks the §3.3.1 candidate space for one workload. `dtype` selects the space: kF32
+// ranks the fp32 blockings plus the NCHW algorithm alternatives; kS8 ranks the
+// quantized direct-NCHWc space (EnumerateS8Schedules) and caches under the s8-tagged
+// WorkloadKey. `cache` (optional) is consulted first and populated with the result on a
+// miss. `cache_hit` (optional) reports whether this call was served from the cache —
+// callers attribute cache traffic to themselves through it, since the cache's own
+// counters are shared across concurrent searches. A hit hands back the cache's own
+// immutable result; no copy is made.
 std::shared_ptr<const LocalSearchResult> LocalSearchConvShared(
     const Conv2dParams& params, const Target& target, CostMode mode, bool quick_space,
     ThreadEngine* engine = nullptr, TuningCache* cache = nullptr,
-    bool* cache_hit = nullptr);
+    bool* cache_hit = nullptr, DType dtype = DType::kF32);
 
 // Convenience by-value form for standalone callers (examples, tests).
 LocalSearchResult LocalSearchConv(const Conv2dParams& params, const Target& target,
                                   CostMode mode, bool quick_space,
                                   ThreadEngine* engine = nullptr,
                                   TuningCache* cache = nullptr,
-                                  bool* cache_hit = nullptr);
+                                  bool* cache_hit = nullptr, DType dtype = DType::kF32);
 
 }  // namespace neocpu
 

@@ -63,4 +63,48 @@ std::vector<ConvSchedule> EnumerateAlgoCandidates(const Conv2dParams& p) {
   return out;
 }
 
+std::vector<ConvSchedule> EnumerateS8Schedules(const Conv2dParams& p, const Target& t,
+                                               bool quick_space) {
+  if (!t.int8_dot) {
+    return {};
+  }
+  // s8 blocks run up to a full s8 vector (4x the fp32 lanes): the quantized kernel's
+  // MAC density scales with the filled fraction of the vector, so the space leans on
+  // the widest admissible factors.
+  const std::int64_t cap = std::min<std::int64_t>(t.MaxBlockS8(), kMaxChannelBlock);
+  std::vector<std::int64_t> ic = Factors(p.in_c, cap);
+  std::vector<std::int64_t> oc = Factors(p.out_c, cap);
+  if (quick_space) {
+    auto prune = [&](std::vector<std::int64_t>& v) {
+      const std::int64_t full = t.PreferredBlockS8();
+      std::vector<std::int64_t> keep;
+      for (std::int64_t f : v) {
+        if (f == full || f == full / 2 || f == full / 4 || f == v.back()) {
+          keep.push_back(f);
+        }
+      }
+      if (keep.empty()) {
+        keep.push_back(v.back());
+      }
+      v = std::move(keep);
+    };
+    prune(ic);
+    prune(oc);
+  }
+  std::vector<ConvSchedule> out;
+  out.reserve(ic.size() * oc.size() * RegNCandidates().size() * 2);
+  for (std::int64_t i : ic) {
+    for (std::int64_t o : oc) {
+      for (std::int64_t r : RegNCandidates()) {
+        for (bool u : {true, false}) {
+          ConvSchedule s{i, o, r, u};
+          s.dtype = DType::kS8;
+          out.push_back(s);
+        }
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace neocpu

@@ -35,6 +35,16 @@ std::vector<ConvSchedule> EnumerateSchedules(const Conv2dParams& params, const T
 // the selection layer's job — the cached ranked list is keyed by shape alone.
 std::vector<ConvSchedule> EnumerateAlgoCandidates(const Conv2dParams& params);
 
+// The quantized (dtype s8) direct-NCHWc space for one workload: same tuple structure,
+// but channel blocks run up to the target's full s8 vector (4x the fp32 lanes — the s8
+// kernel's throughput scales with the filled vector fraction) and quick_space prunes to
+// the {full, half, quarter} s8-vector neighbourhood. Empty when the target profile
+// disables int8 (Target::int8_dot) — the "ISA gated by Target" switch. Cached under the
+// s8-dtype WorkloadKey, separate from the fp32 entries.
+std::vector<ConvSchedule> EnumerateS8Schedules(const Conv2dParams& params,
+                                               const Target& target,
+                                               bool quick_space = false);
+
 inline const std::vector<std::int64_t>& RegNCandidates() {
   static const std::vector<std::int64_t> kCandidates = {32, 16, 8, 4, 2};
   return kCandidates;

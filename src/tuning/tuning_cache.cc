@@ -134,7 +134,8 @@ void TuningCache::Serialize(std::ostream& out) const {
     for (const ScheduleCost& sc : entry.result->ranked) {
       out << sc.schedule.ic_bn << " " << sc.schedule.oc_bn << " " << sc.schedule.reg_n
           << " " << (sc.schedule.unroll_ker ? 1 : 0) << " "
-          << static_cast<unsigned>(sc.schedule.algo) << " " << sc.ms << "\n";
+          << static_cast<unsigned>(sc.schedule.algo) << " "
+          << static_cast<unsigned>(sc.schedule.dtype) << " " << sc.ms << "\n";
     }
   }
 }
@@ -169,6 +170,7 @@ bool TuningCache::ParseStream(std::istream& in, ParsedMap* entries) {
     for (std::size_t i = 0; i < count; ++i) {
       int unroll = 0;
       unsigned algo = static_cast<unsigned>(ConvAlgo::kDirectNCHWc);
+      unsigned dtype = static_cast<unsigned>(DType::kF32);
       ScheduleCost& sc = result.ranked[i];
       in >> sc.schedule.ic_bn >> sc.schedule.oc_bn >> sc.schedule.reg_n >> unroll;
       if (version >= 3) {  // v2 lines predate the algorithm tag: direct NCHWc
@@ -177,9 +179,16 @@ bool TuningCache::ParseStream(std::istream& in, ParsedMap* entries) {
           return false;
         }
       }
+      if (version >= 4) {  // v3 lines predate the dtype column: fp32
+        in >> dtype;
+        if (dtype > static_cast<unsigned>(DType::kS32)) {
+          return false;
+        }
+      }
       in >> sc.ms;
       sc.schedule.unroll_ker = unroll != 0;
       sc.schedule.algo = static_cast<ConvAlgo>(algo);
+      sc.schedule.dtype = static_cast<DType>(dtype);
     }
     if (!in) {
       return false;

@@ -48,10 +48,11 @@ struct TuningCacheStats {
 class TuningCache {
  public:
   // Bumped whenever the on-disk layout changes. v3 appends the convolution-algorithm
-  // tag to every schedule line; v2 (pre-algorithm) files still load, their entries
-  // defaulting to the direct NCHW[x]c algorithm. Older/unknown versions are rejected
-  // instead of misread.
-  static constexpr std::uint32_t kFormatVersion = 3;
+  // tag to every schedule line; v4 appends the execution dtype (s8 entries live under
+  // s8-tagged workload keys). v2/v3 files still load, their entries defaulting to the
+  // direct NCHW[x]c algorithm / fp32. Older/unknown versions are rejected instead of
+  // misread.
+  static constexpr std::uint32_t kFormatVersion = 4;
   static constexpr std::uint32_t kMinFormatVersion = 2;
 
   TuningCache() = default;
@@ -96,7 +97,8 @@ class TuningCache {
   // Versioned text file:
   //   neocpu-tuning-cache <version> <entry-count>
   //   workload <key> <num-schedules>
-  //   <ic_bn> <oc_bn> <reg_n> <unroll> <algo> <ms>     (v2 lines omit <algo>)
+  //   <ic_bn> <oc_bn> <reg_n> <unroll> <algo> <dtype> <ms>
+  //   (v2 lines omit <algo> and <dtype>; v3 lines omit <dtype>)
   //   ...
   bool SaveToFile(const std::string& path) const;
   // Merges the file's entries into the cache. False on I/O failure, version mismatch or

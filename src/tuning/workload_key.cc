@@ -5,23 +5,44 @@
 namespace neocpu {
 
 std::string WorkloadKey::ToString() const {
-  return StrFormat("%s|%s|%s|%s", target.c_str(), conv.CacheKey().c_str(),
-                   CostModeName(cost_mode), quick_space ? "quick" : "full");
+  std::string text = StrFormat("%s|%s|%s|%s", target.c_str(), conv.CacheKey().c_str(),
+                               CostModeName(cost_mode), quick_space ? "quick" : "full");
+  if (dtype != DType::kF32) {
+    // fp32 keys keep the historical 4-token form (pre-dtype caches keep hitting); only
+    // quantized keys carry the fifth token.
+    text += StrFormat("|%s", DTypeName(dtype));
+  }
+  return text;
 }
 
 bool WorkloadKey::Parse(const std::string& text, WorkloadKey* key) {
-  // target|conv-cache-key|mode|space — target names never contain '|'.
+  // target|conv-cache-key|mode|space[|dtype] — target names never contain '|'.
   const std::size_t a = text.find('|');
   const std::size_t b = a == std::string::npos ? a : text.find('|', a + 1);
   const std::size_t c = b == std::string::npos ? b : text.find('|', b + 1);
-  if (c == std::string::npos || text.find('|', c + 1) != std::string::npos) {
+  if (c == std::string::npos) {
+    return false;
+  }
+  const std::size_t d = text.find('|', c + 1);
+  if (d != std::string::npos && text.find('|', d + 1) != std::string::npos) {
     return false;
   }
   WorkloadKey parsed;
   parsed.target = text.substr(0, a);
   const std::string conv_text = text.substr(a + 1, b - a - 1);
   const std::string mode_text = text.substr(b + 1, c - b - 1);
-  const std::string space_text = text.substr(c + 1);
+  const std::string space_text =
+      d == std::string::npos ? text.substr(c + 1) : text.substr(c + 1, d - c - 1);
+  if (d != std::string::npos) {
+    const std::string dtype_text = text.substr(d + 1);
+    if (dtype_text == "s8") {
+      parsed.dtype = DType::kS8;
+    } else if (dtype_text == "u8") {
+      parsed.dtype = DType::kU8;
+    } else {
+      return false;  // f32 keys never spell the dtype token
+    }
+  }
 
   if (!Conv2dParams::ParseCacheKey(conv_text, &parsed.conv)) {
     return false;

@@ -25,6 +25,7 @@
 
 #include "src/core/target.h"
 #include "src/kernels/conv_params.h"
+#include "src/tensor/dtype.h"
 #include "src/tuning/cost_model.h"
 
 namespace neocpu {
@@ -34,16 +35,23 @@ struct WorkloadKey {
   std::string target = "host";
   CostMode cost_mode = CostMode::kAnalytic;
   bool quick_space = true;
+  // Execution dtype the space was searched for: the s8 schedule space (different block
+  // caps, different kernel) caches under its own key, so fp32 and quantized tunings of
+  // one shape coexist — exactly like distinct batches.
+  DType dtype = DType::kF32;
 
   static WorkloadKey Of(const Conv2dParams& params, const Target& target, CostMode mode,
-                        bool quick_space) {
-    return WorkloadKey{params, target.name, mode, quick_space};
+                        bool quick_space, DType dtype = DType::kF32) {
+    return WorkloadKey{params, target.name, mode, quick_space, dtype};
   }
 
   bool operator==(const WorkloadKey&) const = default;
 
   // Stable single-token text form, e.g.
-  //   "avx512|8_64_28x28_64_3x3_1x1_1x1|analytic|quick"
+  //   "avx512|8_64_28x28_64_3x3_1x1_1x1|analytic|quick"       (fp32; the pre-dtype form)
+  //   "avx512|8_64_28x28_64_3x3_1x1_1x1|analytic|quick|s8"    (quantized)
+  // fp32 keys keep the historical 4-token spelling so caches persisted before the
+  // quantized path still hit.
   std::string ToString() const;
 
   // Inverse of ToString. Returns false (leaving *key untouched) on malformed input.

@@ -98,6 +98,63 @@ INSTANTIATE_TEST_SUITE_P(Zoo, ZooPlanEquivalence,
                            return info.param.label;
                          });
 
+// In-place elementwise: a ReLU (or ScaleShift/ElemAdd) whose input dies at that node
+// writes over the input's arena slot instead of claiming a second buffer — the peak
+// footprint regression this guards is "elementwise chains must not double-buffer".
+TEST(MemoryPlan, InPlaceElementwiseShrinksPeak) {
+  // conv1 -> relu -> conv2 built directly (FuseOps would absorb the relu; the planner
+  // must handle standalone elementwise nodes, which survive fusion after ElemAdd and
+  // in pre-activation stacks).
+  GraphBuilder b("inplace");
+  int x = b.Input({1, 8, 16, 16});
+  int c1 = b.Conv(x, 8, 3, 1, 1, /*bias=*/false, "c1");
+  int r = b.Relu(c1);
+  int c2 = b.Conv(r, 8, 3, 1, 1, /*bias=*/false, "c2");
+  Graph g = b.Finish({c2});
+
+  ExecutionPlan plan = PlanMemory(g);
+  std::vector<std::string> errors;
+  ASSERT_TRUE(ValidatePlan(g, plan, &errors)) << (errors.empty() ? "" : errors.front());
+  EXPECT_EQ(plan.in_place_nodes, 1) << plan.ToString();
+  EXPECT_EQ(plan.nodes[static_cast<std::size_t>(r)].in_place_of, c1) << plan.ToString();
+  EXPECT_EQ(plan.nodes[static_cast<std::size_t>(r)].offset,
+            plan.nodes[static_cast<std::size_t>(c1)].offset);
+  // Peak = two feature maps (conv1's output reused by the relu + conv2's... conv2 is
+  // the escaping output, heap-placed), i.e. exactly ONE buffer beyond the relu chain:
+  // the arena holds conv1/relu's shared slot while conv2 writes to the heap. Without
+  // in-place reuse the peak would be two slots.
+  const std::size_t one_map = plan.nodes[static_cast<std::size_t>(c1)].size_bytes;
+  EXPECT_EQ(plan.arena_bytes, one_map) << plan.ToString();
+
+  // Numerics are unchanged: planned (in-place) == allocating, bit for bit.
+  Tensor input = InputFor(g);
+  const Tensor expected = Executor(&g).Run(input);
+  auto shared = std::make_shared<const ExecutionPlan>(plan);
+  EXPECT_EQ(Tensor::MaxAbsDiff(expected, Executor(&g, nullptr, shared).Run(input)), 0.0);
+}
+
+// In-place is refused when the input outlives the elementwise node (a second consumer
+// reads it later): correctness beats footprint.
+TEST(MemoryPlan, InPlaceRefusedWhenInputOutlives) {
+  GraphBuilder b("inplace-hazard");
+  int x = b.Input({1, 8, 16, 16});
+  int c1 = b.Conv(x, 8, 3, 1, 1, /*bias=*/false, "c1");
+  int r = b.Relu(c1);
+  int c2 = b.Conv(r, 8, 3, 1, 1, /*bias=*/false, "c2");
+  int late = b.Add(c1, c2);  // c1 is read again AFTER the relu
+  Graph g = b.Finish({late});
+
+  ExecutionPlan plan = PlanMemory(g);
+  std::vector<std::string> errors;
+  ASSERT_TRUE(ValidatePlan(g, plan, &errors)) << (errors.empty() ? "" : errors.front());
+  EXPECT_EQ(plan.nodes[static_cast<std::size_t>(r)].in_place_of, -1) << plan.ToString();
+
+  Tensor input = InputFor(g);
+  const Tensor expected = Executor(&g).Run(input);
+  auto shared = std::make_shared<const ExecutionPlan>(plan);
+  EXPECT_EQ(Tensor::MaxAbsDiff(expected, Executor(&g, nullptr, shared).Run(input)), 0.0);
+}
+
 // The im2col baseline exercises the planner's workspace placement (the column buffer
 // coexists with the conv's inputs and output).
 TEST(MemoryPlan, Im2colWorkspaceIsPlanned) {

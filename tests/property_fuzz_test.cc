@@ -4,6 +4,7 @@
 // pooling, pre/post-activation BN) that the hand-written tests cannot enumerate.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <tuple>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "src/core/compiler.h"
 #include "src/core/presets.h"
 #include "src/graph/builder.h"
+#include "src/kernels/quantize.h"
 
 namespace neocpu {
 namespace {
@@ -137,6 +139,66 @@ TEST_P(FuzzProfileEquivalence, NeonProfileMatchesReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProfileEquivalence,
                          ::testing::Values<std::uint64_t>(7, 11, 17, 23, 29, 41));
+
+// Quantize/dequantize round-trip properties on random tensors: the reconstruction
+// error of one Q->DQ pass is bounded by half a quantization step (plus range clamping,
+// which the scale choice rules out here), and a second pass is exact — DQ(Q(x)) is a
+// fixed point, the property the graph-level DQ->Q cancellation relies on.
+class FuzzQdqRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzQdqRoundTrip, ReconstructionWithinHalfStepAndIdempotent) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 977);
+  const std::int64_t n = 64 + static_cast<std::int64_t>(rng.NextBounded(2000));
+  const float amax = 0.05f + 8.0f * rng.NextFloat(0.0f, 1.0f);
+  Tensor x = Tensor::Random({n}, rng, -amax, amax);
+  const float scale = SymmetricScale(-amax, amax);
+
+  for (DType dtype : {DType::kS8, DType::kU8}) {
+    const std::int32_t zero_point = dtype == DType::kU8 ? 128 : 0;
+    Tensor q = Quantize(x, scale, zero_point, dtype);
+    EXPECT_EQ(q.dtype(), dtype);
+    Tensor back = Dequantize(q, scale, zero_point);
+    // |x - DQ(Q(x))| <= scale/2 everywhere (no clamping: scale covers [-amax, amax]).
+    EXPECT_LE(Tensor::MaxAbsDiff(x, back), scale * 0.5 + 1e-7)
+        << "seed=" << seed << " dtype=" << DTypeName(dtype);
+    // Idempotence: re-quantizing the dequantized tensor reproduces q bit for bit.
+    Tensor q2 = Quantize(back, scale, zero_point, dtype);
+    EXPECT_EQ(std::memcmp(q.data(), q2.data(), static_cast<std::size_t>(n)), 0)
+        << "seed=" << seed << " dtype=" << DTypeName(dtype);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzQdqRoundTrip,
+                         ::testing::Values<std::uint64_t>(3, 9, 27, 81, 243, 729));
+
+// Quantized compilation on random structures: forced-int8 compiles of random CNNs stay
+// within a loose-but-meaningful tolerance of the fp32 reference (s8 error compounds
+// through depth; the bound here is the per-layer-calibrated regime's, not fp32's).
+class FuzzQuantized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzQuantized, ForcedInt8TracksReference) {
+  Graph model = RandomCnn(GetParam());
+  Rng rng(GetParam() * 131);
+  Tensor input = Tensor::Random(model.node(0).out_dims, rng, -1.0f, 1.0f, Layout::NCHW());
+  Tensor expected = Executor(&model).Run(input);
+
+  CompileOptions opts = NeoCpuOptions(Target::SkylakeAvx512());
+  opts.quantize = true;
+  opts.force_quantize = true;
+  opts.calibration_inputs = {input};
+  CompiledModel compiled = Compile(model, opts);
+  Tensor got = compiled.Run(input);
+  // The classifier head ends in a softmax, so outputs are probabilities: an absolute
+  // tolerance is the meaningful comparison.
+  EXPECT_LE(Tensor::MaxAbsDiff(got, expected), 0.05)
+      << "seed=" << GetParam() << " quantized " << compiled.stats().num_quantized_convs
+      << "/" << compiled.stats().num_convs << "\n"
+      << model.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzQuantized,
+                         ::testing::Values<std::uint64_t>(1, 2, 5, 13, 34, 89));
 
 }  // namespace
 }  // namespace neocpu

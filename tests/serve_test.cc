@@ -475,6 +475,61 @@ TEST(InferenceServer, RejectsWrongShapeAndUnknownModel) {
   EXPECT_DEATH(server.Submit("absent", SampleInput(1)), "unregistered");
 }
 
+TEST(ModelEntry, RetuneBudgetCapsAndDefersUnderBatchChurn) {
+  // Registry-wide re-tune rate limiting: with the one-slot budget held, a burst of new
+  // batch sizes defers every background re-tune instead of spawning a thread per batch
+  // — and once the slot frees, traffic-driven retries tune everything, never more than
+  // one re-tune in flight.
+  ModelRegistry registry;
+  auto budget = std::make_shared<RetuneBudget>(1);
+  RetuneOptions opts;
+  opts.max_concurrent_retunes = 1;
+  opts.budget = budget;
+  registry.ConfigureRetune(opts);
+  ModelEntry* entry = registry.Register("tiny", Compile(BuildTinyCnn()));
+
+  ASSERT_TRUE(budget->TryAcquire());  // occupy the only slot
+  const std::vector<std::int64_t> batches = {2, 3, 4, 5};
+  for (std::int64_t b : batches) {
+    entry->VariantFor(b);  // untuned rebind; its re-tune must defer
+  }
+  EntryTuningStats stats = entry->TuningStats();
+  EXPECT_EQ(stats.retunes_started, 0u);
+  EXPECT_EQ(stats.retunes_deferred, batches.size());
+  EXPECT_EQ(budget->deferred(), batches.size());
+  budget->Release();
+
+  // Traffic retries until every batch is tuned; the budget proves <= 1 ran at a time.
+  for (std::int64_t b : batches) {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      if (entry->VariantFor(b)->model->stats().tuned_batch == b) {
+        break;
+      }
+      entry->WaitForRetunes();
+    }
+    EXPECT_EQ(entry->VariantFor(b)->model->stats().tuned_batch, b) << "batch " << b;
+  }
+  EXPECT_EQ(budget->peak_in_flight(), 1);
+  EXPECT_EQ(budget->in_flight(), 0);
+
+  stats = entry->TuningStats();
+  EXPECT_EQ(stats.retunes_started, batches.size());
+  EXPECT_EQ(stats.retunes_completed, batches.size());
+
+  // Duplicate coalescing rides along: hammering ONE untuned batch from many threads
+  // starts exactly one more re-tune.
+  const std::uint64_t started_before = stats.retunes_started;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([entry] { entry->VariantFor(16); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  entry->WaitForRetunes();
+  EXPECT_EQ(entry->TuningStats().retunes_started, started_before + 1);
+}
+
 TEST(InferenceServer, ShutdownDrainsPendingRequests) {
   ServerOptions options;
   options.num_executors = 2;

@@ -85,9 +85,13 @@ TEST(Tensor, MaxAbsAndRelDiff) {
   EXPECT_DOUBLE_EQ(Tensor::MaxAbsDiff(a, a), 0.0);
 }
 
-TEST(Tensor, DebugStringMentionsDimsAndLayout) {
+TEST(Tensor, DebugStringMentionsDimsLayoutAndDtype) {
   Tensor t = Tensor::Empty({1, 2, 3, 4, 16}, Layout::NCHWc(16));
-  EXPECT_EQ(t.DebugString(), "Tensor<1x2x3x4x16,NCHW16c>");
+  EXPECT_EQ(t.DebugString(), "Tensor<1x2x3x4x16,NCHW16c,f32>");
+  Tensor q = Tensor::Empty({8}, Layout::Flat(), DType::kS8);
+  EXPECT_EQ(q.DebugString(), "Tensor<8,flat,s8>");
+  EXPECT_EQ(q.SizeBytes(), 8u);
+  EXPECT_EQ(Tensor::Empty({8}, Layout::Flat(), DType::kS32).SizeBytes(), 32u);
 }
 
 }  // namespace

@@ -2,13 +2,21 @@
 """Serving-throughput trend gate for CI.
 
 Compares a freshly produced BENCH_serve.json against the committed baseline
-(bench/BENCH_serve.baseline.json) and fails when peak throughput regressed by
-more than the tolerance (default 20%, override with NEOCPU_TREND_TOLERANCE).
+(bench/BENCH_serve.baseline.json) and fails when throughput regressed by more
+than the tolerance (default 20%, override with NEOCPU_TREND_TOLERANCE).
+
+Two gates run:
+  * peak gate — max throughput across configs (the original check);
+  * per-config gate — each (pool_width x max_batch x dtype) config is compared
+    against the baseline config with the same key, so a regression confined to
+    one corner (say int8 at max_batch=8) cannot hide behind an unchanged peak.
+    Configs present on only one side are reported but do not fail the gate
+    (sweeps grow as the system grows).
 
 Throughput only compares across identical hardware shapes: when the current
-host's physical core count differs from the baseline's, the numeric gate
-downgrades to a warning (a 1-core dev-container baseline says nothing about a
-4-core CI runner) and only structural sanity is enforced. To (re)arm the gate
+host's physical core count differs from the baseline's, the numeric gates
+downgrade to warnings (a 1-core dev-container baseline says nothing about a
+4-core CI runner) and only structural sanity is enforced. To (re)arm the gates
 for a runner class, regenerate the baseline on that hardware:
 
     NEOCPU_SERVE_REQUESTS=16 NEOCPU_SERVE_CLIENTS=4 \
@@ -29,6 +37,11 @@ def load(path):
 
 def peak_rps(report):
     return max(c["throughput_rps"] for c in report["configs"])
+
+
+def config_key(config):
+    # dtype is absent from pre-int8 baselines; those configs were all fp32.
+    return (config["pool_width"], config["max_batch"], config.get("dtype", "f32"))
 
 
 def main(argv):
@@ -77,16 +90,48 @@ def main(argv):
     if cur_cores != base_cores:
         print(
             f"WARN: hardware shape mismatch ({cur_cores} vs {base_cores} physical "
-            "cores): throughput gate skipped; regenerate the baseline on this runner "
-            "class to arm it"
+            "cores): throughput gates skipped; regenerate the baseline on this runner "
+            "class to arm them"
         )
         return 0
 
+    failed = False
     if ratio < 1.0 - tolerance:
         print(
-            f"FAIL: throughput regressed {100 * (1 - ratio):.1f}% "
+            f"FAIL: peak throughput regressed {100 * (1 - ratio):.1f}% "
             f"(tolerance {100 * tolerance:.0f}%)"
         )
+        failed = True
+
+    # Per-config gate.
+    base_by_key = {config_key(c): c for c in baseline["configs"]}
+    cur_by_key = {config_key(c): c for c in current["configs"]}
+    for key, cur_cfg in sorted(cur_by_key.items()):
+        base_cfg = base_by_key.get(key)
+        label = f"pool={key[0]} max_batch={key[1]} dtype={key[2]}"
+        if base_cfg is None:
+            print(f"NOTE: config {label} has no baseline entry (new config)")
+            continue
+        base_rps = base_cfg["throughput_rps"]
+        if base_rps <= 0:
+            continue
+        cfg_ratio = cur_cfg["throughput_rps"] / base_rps
+        status = "ok"
+        if cfg_ratio < 1.0 - tolerance:
+            status = "FAIL"
+            failed = True
+        print(
+            f"{status}: {label}: {cur_cfg['throughput_rps']:.1f} vs "
+            f"{base_rps:.1f} rps -> ratio {cfg_ratio:.3f}"
+        )
+    for key in sorted(set(base_by_key) - set(cur_by_key)):
+        print(
+            f"NOTE: baseline config pool={key[0]} max_batch={key[1]} "
+            f"dtype={key[2]} missing from the current run"
+        )
+
+    if failed:
+        print(f"FAIL: regression beyond {100 * tolerance:.0f}% tolerance")
         return 1
     print(f"OK: within {100 * tolerance:.0f}% tolerance")
     return 0
