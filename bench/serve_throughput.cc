@@ -12,6 +12,12 @@
 //   NEOCPU_SERVE_REQUESTS  requests per configuration         (default 64)
 //   NEOCPU_SERVE_CLIENTS   client threads generating traffic  (default 8)
 //   NEOCPU_BENCH_JSON      machine-readable output path       (default BENCH_serve.json)
+//   NEOCPU_SERVE_PROFILE   per-node profile sample rate, 0=off (default 0); the last
+//                          configuration's per-op breakdown is printed
+//   NEOCPU_SERVE_DOT       with profiling on: write the annotated DOT (heat overlay
+//                          from the last configuration's profile) to this path
+//   NEOCPU_SERVE_TRACE     write a chrome://tracing JSON of the whole sweep here
+//   NEOCPU_SERVE_METRICS   dump the metrics registry on exit ("json" | "prometheus")
 //
 // Besides the human-readable table, every run writes the full sweep as JSON (one record
 // per configuration: throughput, p50/p99/mean latency, batching counters, background
@@ -40,15 +46,20 @@ struct ConfigResult {
   // during the timed section (the planned path collapses this to ~1 — the escaping
   // output — plus batch staging), and the plan's arena footprint.
   double heap_allocs_per_request = 0.0;
+  // Per-node profile of this configuration's serving (empty unless profiling is on).
+  NodeProfileSnapshot profile;
 };
 
 ConfigResult RunConfig(const CompiledModel& model, const std::string& model_name,
                        int pool_width, std::int64_t max_batch, int num_clients,
-                       int num_requests) {
+                       int num_requests, std::uint32_t profile_rate,
+                       TraceRecorder* tracer) {
   ServerOptions options;
   options.num_executors = pool_width;
   options.batching.max_batch_size = max_batch;
   options.batching.max_delay_ms = 2.0;
+  options.profile_sample_rate = profile_rate;
+  options.tracer = tracer;
   InferenceServer server(options);
   ModelEntry* entry = server.RegisterModel(model_name, model);
   const std::shared_ptr<TuningCache> cache = server.registry().shared_tuning_cache();
@@ -105,6 +116,9 @@ ConfigResult RunConfig(const CompiledModel& model, const std::string& model_name
   result.stats = server.Stats();
   result.heap_allocs_per_request =
       static_cast<double>(allocs_after - allocs_before) / num_requests;
+  if (profile_rate > 0) {
+    result.profile = entry->ProfileSnapshot();
+  }
   if (cache != nullptr) {
     const TuningCacheStats cache_after = cache->Stats();
     result.cache_delta.hits = cache_after.hits - cache_before.hits;
@@ -122,6 +136,11 @@ int main() {
   const std::string model_name = model_env != nullptr ? model_env : "tiny-cnn";
   const int num_requests = static_cast<int>(EnvSizeT("NEOCPU_SERVE_REQUESTS", 64));
   const int num_clients = static_cast<int>(EnvSizeT("NEOCPU_SERVE_CLIENTS", 8));
+  const std::uint32_t profile_rate =
+      static_cast<std::uint32_t>(EnvSizeT("NEOCPU_SERVE_PROFILE", 0));
+  const char* trace_env = std::getenv("NEOCPU_SERVE_TRACE");
+  TraceRecorder tracer;
+  TraceRecorder* tracer_ptr = trace_env != nullptr ? &tracer : nullptr;
 
   bench::PrintHeader("Serving throughput: pool width x dynamic batch size");
   std::printf("model=%s requests=%d clients=%d\n\n", model_name.c_str(), num_requests,
@@ -170,7 +189,8 @@ int main() {
       for (int leg = 0; leg < (serve_int8 ? 2 : 1); ++leg) {
         const bool int8_leg = leg == 1;
         ConfigResult r = RunConfig(int8_leg ? model_q : model, model_name, width,
-                                   max_batch, num_clients, num_requests);
+                                   max_batch, num_clients, num_requests, profile_rate,
+                                   tracer_ptr);
         r.dtype = int8_leg ? "int8" : "f32";
         std::printf("%-6d %-10lld %-5s %12.1f %10.3f %10.3f %10.3f %11.2f %11.2f\n",
                     r.pool_width, static_cast<long long>(r.max_batch), r.dtype,
@@ -200,6 +220,32 @@ int main() {
     std::printf("\nbatch-1 traffic: pool=2 %.1f r/s vs pool=1 %.1f r/s (%+.1f%%)\n",
                 two->throughput_rps, one->throughput_rps,
                 100.0 * (two->throughput_rps / one->throughput_rps - 1.0));
+  }
+
+  // Observability artifacts (opt-in; see the env knobs above).
+  if (profile_rate > 0 && !results.empty() && !results.back().profile.empty()) {
+    const NodeProfileSnapshot& profile = results.back().profile;
+    std::printf("\nper-node profile (last config, sample rate %u):\n%s", profile_rate,
+                profile.ToString().c_str());
+    const char* dot_env = std::getenv("NEOCPU_SERVE_DOT");
+    if (dot_env != nullptr) {
+      std::ofstream dot(dot_env);
+      dot << CompiledModelToDot(serve_int8 ? model_q : model, &profile);
+      std::printf("wrote %s\n", dot_env);
+    }
+  }
+  if (tracer_ptr != nullptr) {
+    if (tracer.WriteFile(trace_env)) {
+      std::printf("wrote %s (%zu trace events, %llu dropped)\n", trace_env, tracer.size(),
+                  static_cast<unsigned long long>(tracer.dropped()));
+    }
+  }
+  const char* metrics_env = std::getenv("NEOCPU_SERVE_METRICS");
+  if (metrics_env != nullptr) {
+    const MetricsFormat format = std::string(metrics_env) == "prometheus"
+                                     ? MetricsFormat::kPrometheus
+                                     : MetricsFormat::kJson;
+    std::printf("\nmetrics registry:\n%s", MetricsExport(format).c_str());
   }
 
   // Machine-readable record for cross-PR perf tracking.

@@ -7,7 +7,14 @@
 // executor pool runs them on disjoint core partitions. Every served result is compared
 // against a serial Executor::Run of the same input — the demo prints whether all
 // results were bit-identical, then the serving stats (throughput, batching, p50/p99).
+//
+// Observability (opt-in via environment):
+//   NEOCPU_DEMO_PROFILE  per-node profile sample rate (0=off); prints the hottest ops
+//   NEOCPU_DEMO_DOT      write the annotated DOT graph (heat overlay when profiling)
+//   NEOCPU_DEMO_TRACE    write a chrome://tracing JSON of the run
+//   NEOCPU_DEMO_METRICS  dump the metrics registry ("json" | "prometheus")
 #include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "src/neocpu.h"
@@ -17,6 +24,11 @@ int main(int argc, char** argv) {
   const std::string model_name = argc > 1 ? argv[1] : "tiny-cnn";
   const int num_clients = argc > 2 ? std::atoi(argv[2]) : 4;
   const int per_client = argc > 3 ? std::atoi(argv[3]) : 8;
+  const char* profile_env = std::getenv("NEOCPU_DEMO_PROFILE");
+  const std::uint32_t profile_rate =
+      profile_env != nullptr ? static_cast<std::uint32_t>(std::atoi(profile_env)) : 0;
+  const char* trace_env = std::getenv("NEOCPU_DEMO_TRACE");
+  TraceRecorder tracer;
 
   std::printf("Compiling %s...\n", model_name.c_str());
   CompiledModel compiled = Compile(BuildModel(model_name));
@@ -37,8 +49,10 @@ int main(int argc, char** argv) {
   ServerOptions options;
   options.batching.max_batch_size = 8;
   options.batching.max_delay_ms = 2.0;
+  options.profile_sample_rate = profile_rate;
+  options.tracer = trace_env != nullptr ? &tracer : nullptr;
   InferenceServer server(options);
-  server.RegisterModel(model_name, std::move(compiled));
+  ModelEntry* entry = server.RegisterModel(model_name, std::move(compiled));
   std::printf("Serving with %d executor partition(s) on %d core(s); %d clients x %d "
               "requests...\n",
               server.num_executors(), HostCpuInfo().physical_cores, num_clients,
@@ -80,5 +94,27 @@ int main(int argc, char** argv) {
   std::printf("%s\n", stats.ToString().c_str());
   std::printf("bit-identical to serial Executor::Run: %s\n",
               mismatches == 0 ? "YES (all requests)" : "NO");
+
+  if (profile_rate > 0) {
+    const NodeProfileSnapshot profile = entry->ProfileSnapshot();
+    std::printf("\nper-node profile (sample rate %u):\n%s", profile_rate,
+                profile.ToString().c_str());
+    const char* dot_env = std::getenv("NEOCPU_DEMO_DOT");
+    if (dot_env != nullptr) {
+      std::ofstream dot(dot_env);
+      dot << CompiledModelToDot(*entry->VariantFor(1)->model, &profile);
+      std::printf("wrote %s\n", dot_env);
+    }
+  }
+  if (trace_env != nullptr && tracer.WriteFile(trace_env)) {
+    std::printf("wrote %s (%zu trace events)\n", trace_env, tracer.size());
+  }
+  const char* metrics_env = std::getenv("NEOCPU_DEMO_METRICS");
+  if (metrics_env != nullptr) {
+    const MetricsFormat format = std::string(metrics_env) == "prometheus"
+                                     ? MetricsFormat::kPrometheus
+                                     : MetricsFormat::kJson;
+    std::printf("\nmetrics registry:\n%s", MetricsExport(format).c_str());
+  }
   return mismatches == 0 ? 0 : 1;
 }

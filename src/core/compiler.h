@@ -33,6 +33,7 @@
 #include "src/core/memory_plan.h"
 #include "src/core/target.h"
 #include "src/graph/graph.h"
+#include "src/obs/node_profiler.h"
 #include "src/tuning/tuning_cache.h"
 
 namespace neocpu {
@@ -136,11 +137,31 @@ class CompiledModel {
 
   // Runs inference. `engine` is borrowed; null runs serially.
   Tensor Run(const Tensor& input, ThreadEngine* engine = nullptr) const {
-    return Executor(&graph_, engine, plan_).Run(input);
+    Executor exec(&graph_, engine, plan_);
+    exec.SetProfiler(profiler_.get());
+    return exec.Run(input);
   }
   std::vector<Tensor> RunAll(const std::vector<Tensor>& inputs,
                              ThreadEngine* engine = nullptr) const {
-    return Executor(&graph_, engine, plan_).Run(inputs);
+    Executor exec(&graph_, engine, plan_);
+    exec.SetProfiler(profiler_.get());
+    return exec.Run(inputs);
+  }
+
+  // Per-node profiling for the convenience Run paths above (serving builds its own
+  // per-variant profilers against long-lived executors instead). Every sample_rate-th
+  // Run is timed node by node; Snapshot() aggregates. The profiler is shared, so
+  // RebindBatch-style copies of the model keep feeding the same aggregate.
+  void EnableProfiling(std::uint32_t sample_rate = 1) {
+    auto profiler = std::make_shared<NodeProfiler>(sample_rate);
+    profiler->RegisterGraph(graph_);
+    profiler_ = std::move(profiler);
+  }
+  void DisableProfiling() { profiler_.reset(); }
+  NodeProfiler* profiler() const { return profiler_.get(); }
+  // Empty snapshot when profiling was never enabled.
+  NodeProfileSnapshot ProfileSnapshot() const {
+    return profiler_ != nullptr ? profiler_->Snapshot() : NodeProfileSnapshot{};
   }
 
   const Graph& graph() const { return graph_; }
@@ -188,6 +209,7 @@ class CompiledModel {
   std::shared_ptr<TuningCache> tuning_;
   std::shared_ptr<const ExecutionPlan> plan_;
   CalibrationTable calibration_;
+  std::shared_ptr<NodeProfiler> profiler_;
 };
 
 CompiledModel Compile(const Graph& model, const CompileOptions& options = {});

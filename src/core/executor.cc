@@ -1,9 +1,13 @@
 #include "src/core/executor.h"
 
+#include <chrono>
 #include <optional>
 
 #include "src/base/logging.h"
+#include "src/base/string_util.h"
 #include "src/core/op_dispatch.h"
+#include "src/obs/node_profiler.h"
+#include "src/obs/trace.h"
 
 namespace neocpu {
 
@@ -93,6 +97,13 @@ std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs, ThreadEngin
     arena_base = lease->data();
   }
 
+  // Observability: with neither hook attached this whole feature costs two relaxed
+  // loads per Run and one always-false branch per node — no clocks, no stores.
+  NodeProfiler* profiler = profiler_.load(std::memory_order_acquire);
+  const bool sampled = profiler != nullptr && profiler->BeginRun();
+  TraceRecorder* tracer = tracer_.load(std::memory_order_acquire);
+  const bool timed = sampled || tracer != nullptr;
+
   std::vector<Tensor> node_inputs;
   for (int id = 0; id < graph_->num_nodes(); ++id) {
     const Node& node = graph_->node(id);
@@ -108,6 +119,10 @@ std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs, ThreadEngin
       NEOCPU_CHECK(values[static_cast<std::size_t>(input)].defined())
           << node.name << ": input " << input << " not materialized";
       node_inputs.push_back(values[static_cast<std::size_t>(input)]);
+    }
+    std::chrono::steady_clock::time_point node_begin;
+    if (timed) {
+      node_begin = std::chrono::steady_clock::now();
     }
     const NodePlan* np =
         planned_ ? &plan_->nodes[static_cast<std::size_t>(id)] : nullptr;
@@ -125,6 +140,20 @@ std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs, ThreadEngin
     } else {
       values[static_cast<std::size_t>(id)] = ExecuteNode(node, node_inputs, engine);
     }
+    if (timed) {
+      const auto node_end = std::chrono::steady_clock::now();
+      if (sampled) {
+        profiler->RecordNode(
+            node, static_cast<std::uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(node_end -
+                                                                           node_begin)
+                          .count()));
+      }
+      if (tracer != nullptr) {
+        tracer->RecordSpan("node", node.name.empty() ? StrFormat("node%d", id) : node.name,
+                           node_begin, node_end);
+      }
+    }
     if (observer_ != nullptr) {
       observer_->Observe(id, values[static_cast<std::size_t>(id)]);
     }
@@ -134,6 +163,10 @@ std::vector<Tensor> Executor::Run(const std::vector<Tensor>& inputs, ThreadEngin
         values[static_cast<std::size_t>(input)] = Tensor();
       }
     }
+  }
+
+  if (sampled) {
+    profiler->EndSampledRun();
   }
 
   std::vector<Tensor> outputs;

@@ -15,6 +15,7 @@
 #ifndef NEOCPU_SRC_CORE_EXECUTOR_H_
 #define NEOCPU_SRC_CORE_EXECUTOR_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -26,6 +27,9 @@
 #include "src/tensor/tensor.h"
 
 namespace neocpu {
+
+class NodeProfiler;
+class TraceRecorder;
 
 // Records per-node output ranges while a graph executes — the calibration side of
 // post-training quantization: the compiler runs the fp32 source graph over sample
@@ -82,12 +86,33 @@ class Executor {
   // threads.
   void SetObserver(CalibrationObserver* observer) { observer_ = observer; }
 
+  // Observability hooks (src/obs). Both are atomics so they can be attached to an
+  // executor that concurrent Run calls are already flowing through (the serving
+  // registry enables profiling on live variants); the caller keeps ownership and must
+  // outlive the executor. Detached (the default) the hot path pays one relaxed load
+  // per Run and no clock reads.
+  //   * profiler: every sample_rate-th Run is timed per node (obs/node_profiler).
+  //     The profiler must have RegisterGraph()-ed this executor's graph.
+  //   * tracer: every Run emits one chrome-trace span per node (obs/trace) — heavier;
+  //     meant for bounded capture windows, not steady state.
+  void SetProfiler(NodeProfiler* profiler) {
+    profiler_.store(profiler, std::memory_order_release);
+  }
+  void SetTracer(TraceRecorder* tracer) {
+    tracer_.store(tracer, std::memory_order_release);
+  }
+  bool profiling_enabled() const {
+    return profiler_.load(std::memory_order_acquire) != nullptr;
+  }
+
  private:
   const Graph* graph_;
   ThreadEngine* engine_;
   std::shared_ptr<const ExecutionPlan> plan_;
   bool planned_ = false;  // plan_ is non-null AND places at least one buffer
   CalibrationObserver* observer_ = nullptr;
+  std::atomic<NodeProfiler*> profiler_{nullptr};
+  std::atomic<TraceRecorder*> tracer_{nullptr};
   std::vector<int> input_nodes_;
   std::vector<int> use_counts_;  // consumer count + output multiplicity per node
 };

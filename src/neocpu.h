@@ -26,6 +26,10 @@
 #include "src/graph/builder.h"
 #include "src/graph/graph.h"
 #include "src/models/model_zoo.h"
+#include "src/obs/graph_dot.h"
+#include "src/obs/metrics.h"
+#include "src/obs/node_profiler.h"
+#include "src/obs/trace.h"
 #include "src/runtime/arena_pool.h"
 #include "src/runtime/omp_pool.h"
 #include "src/runtime/partition.h"

@@ -1,0 +1,253 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/base/logging.h"
+#include "src/base/string_util.h"
+
+namespace neocpu {
+
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  auto head_ok = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!head_ok(name[0])) {
+    return false;
+  }
+  for (char c : name) {
+    if (!head_ok(c) && !(c >= '0' && c <= '9')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Renders a double without trailing noise: integers print as integers (JSON consumers
+// of counters-as-gauges appreciate it), everything else with enough digits.
+std::string NumberToString(double value) {
+  if (std::isfinite(value) && value == std::floor(value) && std::abs(value) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(value));
+  }
+  return StrFormat("%.17g", value);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  NEOCPU_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  NEOCPU_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricsRegistry::Metric* MetricsRegistry::FindOrCreate(const std::string& name, Kind kind,
+                                                       const std::string& help) {
+  NEOCPU_CHECK(ValidMetricName(name)) << "invalid metric name '" << name << "'";
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    NEOCPU_CHECK(it->second.kind == kind)
+        << "metric '" << name << "' re-registered with a different kind";
+    return &it->second;
+  }
+  Metric metric;
+  metric.kind = kind;
+  metric.help = help;
+  return &metrics_.emplace(name, std::move(metric)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, const std::string& help) {
+  Metric* metric = FindOrCreate(name, Kind::kCounter, help);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (metric->counter == nullptr) {
+    metric->counter = std::make_unique<Counter>();
+  }
+  return metric->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const std::string& help) {
+  Metric* metric = FindOrCreate(name, Kind::kGauge, help);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (metric->gauge == nullptr) {
+    metric->gauge = std::make_unique<Gauge>();
+  }
+  return metric->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds,
+                                         const std::string& help) {
+  Metric* metric = FindOrCreate(name, Kind::kHistogram, help);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (metric->histogram == nullptr) {
+    metric->histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return metric->histogram.get();
+}
+
+std::string MetricsRegistry::Export(MetricsFormat format) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  if (format == MetricsFormat::kJson) {
+    out << "{\n";
+    bool first = true;
+    for (const auto& [name, metric] : metrics_) {
+      if (!first) {
+        out << ",\n";
+      }
+      first = false;
+      out << "  \"" << JsonEscape(name) << "\": ";
+      switch (metric.kind) {
+        case Kind::kCounter:
+          out << metric.counter->Value();
+          break;
+        case Kind::kGauge:
+          out << NumberToString(metric.gauge->Value());
+          break;
+        case Kind::kHistogram: {
+          const HistogramSnapshot snap = metric.histogram->Snapshot();
+          out << "{\"count\": " << snap.count << ", \"sum\": " << NumberToString(snap.sum)
+              << ", \"buckets\": [";
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+            cumulative += snap.counts[i];
+            if (i > 0) {
+              out << ", ";
+            }
+            out << "{\"le\": ";
+            if (i < snap.bounds.size()) {
+              out << NumberToString(snap.bounds[i]);
+            } else {
+              out << "\"+Inf\"";
+            }
+            out << ", \"count\": " << cumulative << "}";
+          }
+          out << "]}";
+          break;
+        }
+      }
+    }
+    out << "\n}\n";
+    return out.str();
+  }
+
+  // Prometheus text exposition format.
+  for (const auto& [name, metric] : metrics_) {
+    if (!metric.help.empty()) {
+      out << "# HELP " << name << " " << metric.help << "\n";
+    }
+    switch (metric.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        out << name << " " << metric.counter->Value() << "\n";
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << " " << NumberToString(metric.gauge->Value()) << "\n";
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snap = metric.histogram->Snapshot();
+        out << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+          cumulative += snap.counts[i];
+          out << name << "_bucket{le=\""
+              << (i < snap.bounds.size() ? NumberToString(snap.bounds[i]) : "+Inf")
+              << "\"} " << cumulative << "\n";
+        }
+        out << name << "_sum " << NumberToString(snap.sum) << "\n";
+        out << name << "_count " << snap.count << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+void MetricsRegistry::ResetValuesForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, metric] : metrics_) {
+    if (metric.counter != nullptr) {
+      metric.counter->Reset();
+    }
+    if (metric.gauge != nullptr) {
+      metric.gauge->Reset();
+    }
+    if (metric.histogram != nullptr) {
+      metric.histogram->Reset();
+    }
+  }
+}
+
+std::string MetricsExport(MetricsFormat format) {
+  return MetricsRegistry::Global().Export(format);
+}
+
+}  // namespace neocpu

@@ -1,0 +1,139 @@
+// Unified process-wide metrics registry (the ROADMAP's "metrics endpoint" item).
+//
+// One registry holds every counter, gauge and histogram the system exports: the
+// dynamic batcher registers its queue depth and batch-size distribution, the tuning
+// cache its hit/miss/insert/eviction traffic, the model registry its re-tune activity,
+// and the arena allocator its reserved bytes. A future wire front end serves
+// MetricsExport() verbatim; until then the serving bench, the demo and tools/dump_model
+// print it.
+//
+// Design rules:
+//   * Handles are stable for the process lifetime — Get* returns a pointer that never
+//     moves or dies, so call sites fetch once (static local / member) and then update
+//     through plain atomics. The hot-path cost of a counter bump is one relaxed
+//     fetch_add.
+//   * Registration is idempotent: Get* with an existing name returns the existing
+//     metric (re-registering with a mismatched kind dies — that is a naming bug).
+//   * Export renders the whole registry as JSON (machine-readable, stable key order)
+//     or Prometheus text exposition format.
+#ifndef NEOCPU_SRC_OBS_METRICS_H_
+#define NEOCPU_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace neocpu {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Point-in-time value that can move both ways (queue depth, reserved bytes).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  // CAS loop instead of atomic<double>::fetch_add: gcc only grew the latter late, and
+  // gauge updates are far off any hot path.
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+  std::atomic<double> value_{0.0};
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;         // inclusive upper bounds; +inf bucket is implicit
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries (last = overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+// Fixed-bucket histogram (cumulative export, Prometheus-style). Observe is lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  void Reset();
+  const std::vector<double> bounds_;                    // ascending
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricsFormat { kJson, kPrometheus };
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every subsystem reports into.
+  static MetricsRegistry& Global();
+
+  // Names must match the Prometheus identifier grammar [a-zA-Z_:][a-zA-Z0-9_:]*
+  // (checked fatally — a bad name is a programming error). Idempotent per name; a kind
+  // mismatch with a previous registration dies.
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  // `bounds` must be ascending; ignored (the original buckets win) when the histogram
+  // already exists.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
+                          const std::string& help = "");
+
+  // Renders every registered metric. Keys are emitted in lexicographic name order, so
+  // the output is stable across runs.
+  std::string Export(MetricsFormat format) const;
+
+  // Zeroes every metric's value (registrations and handles stay valid). Tests only —
+  // the global registry outlives any one server/test.
+  void ResetValuesForTest();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Metric {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Metric* FindOrCreate(const std::string& name, Kind kind, const std::string& help);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Metric> metrics_;
+};
+
+// Export of the global registry — what the wire front end will eventually serve from
+// /metrics (Prometheus) and /metrics.json.
+std::string MetricsExport(MetricsFormat format = MetricsFormat::kJson);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_OBS_METRICS_H_

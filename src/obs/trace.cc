@@ -1,0 +1,142 @@
+#include "src/obs/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace neocpu {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t max_events)
+    : epoch_(Clock::now()), max_events_(max_events) {}
+
+int TraceRecorder::TidForLocked(std::thread::id id) {
+  auto it = tids_.find(id);
+  if (it != tids_.end()) {
+    return it->second;
+  }
+  const int tid = static_cast<int>(tids_.size()) + 1;
+  tids_.emplace(id, tid);
+  return tid;
+}
+
+void TraceRecorder::RecordSpan(const char* category, std::string name,
+                               Clock::time_point begin, Clock::time_point end,
+                               std::string args_json) {
+  Event event;
+  event.name = std::move(name);
+  event.category = category;
+  event.ts_us = MicrosSinceEpoch(begin);
+  event.dur_us = std::chrono::duration<double, std::micro>(end - begin).count();
+  event.phase = 'X';
+  event.args = std::move(args_json);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  event.tid = TidForLocked(std::this_thread::get_id());
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::RecordInstant(const char* category, std::string name,
+                                  std::string args_json) {
+  Event event;
+  event.name = std::move(name);
+  event.category = category;
+  event.ts_us = MicrosSinceEpoch(Clock::now());
+  event.phase = 'i';
+  event.args = std::move(args_json);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  event.tid = TidForLocked(std::this_thread::get_id());
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    events = events_;
+  }
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+  out << "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    out << "  {\"name\": \"" << JsonEscape(e.name) << "\", \"cat\": \"" << e.category
+        << "\", \"ph\": \"" << e.phase << "\", \"pid\": 1, \"tid\": " << e.tid
+        << ", \"ts\": " << e.ts_us;
+    if (e.phase == 'X') {
+      out << ", \"dur\": " << e.dur_us;
+    } else if (e.phase == 'i') {
+      out << ", \"s\": \"t\"";  // thread-scoped instant
+    }
+    if (!e.args.empty()) {
+      out << ", \"args\": {" << e.args << "}";
+    }
+    out << "}" << (i + 1 < events.size() ? "," : "") << "\n";
+  }
+  out << "], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+bool TraceRecorder::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << ToJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace neocpu

@@ -4,8 +4,28 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/obs/metrics.h"
 
 namespace neocpu {
+
+namespace {
+
+// Total bytes currently committed to execution arenas, across the pool and every
+// per-worker arena. Growth and destruction both pass through here, so the gauge tracks
+// the live footprint, not a high-water mark.
+Gauge* ArenaBytesMetric() {
+  static Gauge* gauge = MetricsRegistry::Global().GetGauge(
+      "neocpu_arena_bytes", "Bytes currently committed to execution arenas");
+  return gauge;
+}
+
+}  // namespace
+
+Arena::~Arena() {
+  if (capacity_ > 0) {
+    ArenaBytesMetric()->Add(-static_cast<double>(capacity_));
+  }
+}
 
 void Arena::Reserve(std::size_t bytes) {
   if (bytes <= capacity_) {
@@ -16,6 +36,7 @@ void Arena::Reserve(std::size_t bytes) {
   NEOCPU_CHECK(storage_ != nullptr) << "arena allocation of " << bytes << " bytes failed";
   // Pre-fault: writing the whole block maps every page now, off the inference hot path.
   std::memset(storage_.get(), 0, bytes);
+  ArenaBytesMetric()->Add(static_cast<double>(bytes - capacity_));
   capacity_ = bytes;
 }
 

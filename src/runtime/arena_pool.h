@@ -31,6 +31,7 @@ class Arena {
  public:
   Arena() = default;
   explicit Arena(std::size_t bytes) { Reserve(bytes); }
+  ~Arena();  // returns its footprint to the process-wide arena-bytes gauge
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
 

@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace neocpu {
+
+DynamicBatcher::DynamicBatcher(BatchingOptions options)
+    : options_(options),
+      queue_depth_metric_(MetricsRegistry::Global().GetGauge(
+          "neocpu_serve_queue_depth", "Requests waiting in the dynamic batcher")),
+      batch_size_metric_(MetricsRegistry::Global().GetHistogram(
+          "neocpu_serve_batch_size", {1, 2, 4, 8, 16, 32},
+          "Realized batch sizes popped by executor-pool workers")) {}
 
 bool DynamicBatcher::Compatible(const ServeRequest& a, const ServeRequest& b) {
   return a.batchable && b.batchable && a.model == b.model &&
@@ -16,6 +26,7 @@ bool DynamicBatcher::Push(ServeRequest request) {
       return false;
     }
     queue_.push_back(std::move(request));
+    queue_depth_metric_->Set(static_cast<double>(queue_.size()));
   }
   // notify_all, not notify_one: a push can both complete one worker's partial batch and
   // leave an incompatible request for another waiting worker.
@@ -53,6 +64,8 @@ bool DynamicBatcher::PopBatch(std::vector<ServeRequest>* out) {
         out->push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      queue_depth_metric_->Set(static_cast<double>(queue_.size()));
+      batch_size_metric_->Observe(static_cast<double>(run));
       return true;
     }
     // Partial batch: wait for batch-mates until the front request's deadline. A timeout

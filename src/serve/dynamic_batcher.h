@@ -38,9 +38,12 @@ struct BatchingOptions {
   double max_delay_ms = 2.0;  // max time a request may wait for batch-mates
 };
 
+class Gauge;
+class Histogram;
+
 class DynamicBatcher {
  public:
-  explicit DynamicBatcher(BatchingOptions options) : options_(options) {}
+  explicit DynamicBatcher(BatchingOptions options);
 
   DynamicBatcher(const DynamicBatcher&) = delete;
   DynamicBatcher& operator=(const DynamicBatcher&) = delete;
@@ -71,6 +74,11 @@ class DynamicBatcher {
   std::condition_variable ready_cv_;
   std::deque<ServeRequest> queue_;
   bool shutdown_ = false;
+  // Process-global metrics (obs/metrics), resolved once at construction: instantaneous
+  // queue depth and the realized batch-size distribution. Every batcher in the process
+  // feeds the same pair — the registry hands back the same instruments.
+  Gauge* queue_depth_metric_;
+  Histogram* batch_size_metric_;
 };
 
 }  // namespace neocpu

@@ -5,6 +5,9 @@
 
 #include "src/base/cpu_info.h"
 #include "src/base/logging.h"
+#include "src/base/string_util.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/arena_pool.h"
 #include "src/runtime/thread_pool.h"
 #include "src/serve/batch_util.h"
@@ -30,6 +33,13 @@ InferenceServer::InferenceServer(ServerOptions options)
   retune.core_offset = plan.empty() ? 0 : plan.back().core_offset;
   retune.bind_threads = false;
   registry_.ConfigureRetune(retune);
+
+  if (options_.profile_sample_rate > 0) {
+    registry_.ConfigureProfiling(options_.profile_sample_rate);
+  }
+  if (options_.tracer != nullptr) {
+    registry_.ConfigureTracing(options_.tracer);
+  }
 
   workers_.reserve(static_cast<std::size_t>(num_executors_));
   for (int i = 0; i < num_executors_; ++i) {
@@ -77,6 +87,13 @@ std::future<Tensor> InferenceServer::Submit(const std::string& model, Tensor inp
   NEOCPU_CHECK(batcher_.Push(std::move(request)))
       << "Submit after InferenceServer::Shutdown";
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry::Global()
+      .GetCounter("neocpu_serve_requests_total", "Requests accepted by Submit")
+      ->Increment();
+  if (options_.tracer != nullptr) {
+    options_.tracer->RecordInstant("request", "submit",
+                                   StrFormat("\"model\":\"%s\"", model.c_str()));
+  }
   return future;
 }
 
@@ -103,6 +120,14 @@ void InferenceServer::WorkerLoop(const CorePartition& partition, bool pooled) {
     ModelEntry* entry = registry_.Find(batch[0].model);
     NEOCPU_CHECK(entry != nullptr) << "model vanished: " << batch[0].model;
     const std::int64_t n = static_cast<std::int64_t>(batch.size());
+    TraceRecorder* tracer = options_.tracer;
+    const auto batch_begin = std::chrono::steady_clock::now();
+    if (tracer != nullptr) {
+      tracer->RecordInstant(
+          "serve", "batch formed",
+          StrFormat("\"model\":\"%s\",\"batch\":%lld", batch[0].model.c_str(),
+                    static_cast<long long>(n)));
+    }
     std::vector<Tensor> results;
     results.reserve(batch.size());
     if (n == 1) {
@@ -123,6 +148,15 @@ void InferenceServer::WorkerLoop(const CorePartition& partition, bool pooled) {
     // Stats first, promises last: a client that sees its future ready must also see the
     // request reflected in Stats().
     const auto now = std::chrono::steady_clock::now();
+    if (tracer != nullptr) {
+      // The batch span encloses the per-node spans the executor's tracer hook emitted.
+      tracer->RecordSpan(
+          "serve", StrFormat("batch %s x%lld", batch[0].model.c_str(),
+                             static_cast<long long>(n)),
+          batch_begin, now,
+          StrFormat("\"model\":\"%s\",\"batch\":%lld", batch[0].model.c_str(),
+                    static_cast<long long>(n)));
+    }
     for (const ServeRequest& r : batch) {
       latency_.Record(
           std::chrono::duration<double, std::milli>(now - r.enqueue_time).count());
@@ -167,11 +201,32 @@ ServerStats InferenceServer::Stats() const {
                                     static_cast<double>(stats.batch_runs);
   stats.latency = latency_.Snapshot();
 
+  stats.queue_depth_now = batcher_.PendingCount();
+
   const EntryTuningStats tuning = registry_.AggregateTuningStats();
   stats.retunes_started = tuning.retunes_started;
   stats.retunes_completed = tuning.retunes_completed;
   stats.retunes_failed = tuning.retunes_failed;
+  stats.retunes_deferred = tuning.retunes_deferred;
   stats.tuning_cache = tuning.cache;
+
+  for (const std::string& name : registry_.ModelNames()) {
+    ModelEntry* entry = registry_.Find(name);
+    if (entry == nullptr) {
+      continue;  // racing a re-registration
+    }
+    const EntryTuningStats entry_tuning = entry->TuningStats();
+    ModelServeStats model;
+    model.name = name;
+    model.retunes_started = entry_tuning.retunes_started;
+    model.retunes_completed = entry_tuning.retunes_completed;
+    model.retunes_failed = entry_tuning.retunes_failed;
+    model.retunes_deferred = entry_tuning.retunes_deferred;
+    const NodeProfileSnapshot profile = entry->ProfileSnapshot();
+    model.profiled_runs = profile.runs_sampled;
+    model.profile_ms_per_run = profile.PerRunMs();
+    stats.per_model.push_back(std::move(model));
+  }
   return stats;
 }
 

@@ -47,6 +47,14 @@ struct ServerOptions {
   bool background_retune = true;
   int retune_workers = 1;
   BatchingOptions batching;
+  // Per-node profiling across every registered model: one Run in `profile_sample_rate`
+  // is timed node by node (0 = off; 1 = every Run). Snapshots surface per model in
+  // Stats().per_model and via registry() entries. Keep the rate >= ~16 in production;
+  // a sampled run pays two clock reads per node.
+  std::uint32_t profile_sample_rate = 0;
+  // Chrome-trace capture (obs/trace): request lifecycle instants/spans plus one span
+  // per executed node. Borrowed; must outlive the server. Null = off.
+  TraceRecorder* tracer = nullptr;
 };
 
 class InferenceServer {

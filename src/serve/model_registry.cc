@@ -5,6 +5,8 @@
 
 #include "src/base/logging.h"
 #include "src/core/serialization.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/runtime/thread_pool.h"
 
 namespace neocpu {
@@ -107,6 +109,7 @@ ModelEntry::VariantPtr ModelEntry::VariantFor(std::int64_t batch) {
       // exactly this batch size (or there is no tuning state to improve it with).
       slot.tuned = rebound.stats().tuned_batch == batch || !rebound.has_source();
       slot.current = MakeVariant(std::move(rebound));
+      AttachObservabilityLocked(*slot.current);
       it = variants_.emplace(batch, std::move(slot)).first;
     }
     Slot& slot = it->second;
@@ -119,6 +122,10 @@ ModelEntry::VariantPtr ModelEntry::VariantFor(std::int64_t batch) {
       const std::shared_ptr<RetuneBudget> budget = retune_options_.budget;
       if (budget != nullptr && !budget->TryAcquire()) {
         retunes_deferred_.fetch_add(1, std::memory_order_relaxed);
+        MetricsRegistry::Global()
+            .GetCounter("neocpu_retunes_deferred_total",
+                        "Re-tunes skipped because the registry budget was spent")
+            ->Increment();
       } else {
         // With nothing in flight, every thread in the vector has finished its work;
         // reap them (joins return ~immediately) so a long-lived server does not
@@ -176,17 +183,69 @@ void ModelEntry::RetuneSlot(std::int64_t batch) {
   --retunes_inflight_;
   if (ok) {
     slot.current = std::move(replacement);  // hot swap; old variant drains via shared_ptr
+    AttachObservabilityLocked(*slot.current);
     slot.tuned = true;
     retunes_completed_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::Global()
+        .GetCounter("neocpu_retunes_completed_total",
+                    "Background per-batch re-tunes that hot-swapped a variant")
+        ->Increment();
   } else {
     slot.tuned = true;  // don't retry a model that cannot be re-tuned
     retunes_failed_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::Global()
+        .GetCounter("neocpu_retunes_failed_total",
+                    "Background per-batch re-tunes that could not produce a variant")
+        ->Increment();
   }
 }
 
 void ModelEntry::ConfigureRetune(const RetuneOptions& options) {
   std::lock_guard<std::mutex> lock(mutex_);
   retune_options_ = options;
+}
+
+void ModelEntry::AttachObservabilityLocked(const Variant& variant) {
+  // variant is shared as const, but its executor is reached through a const
+  // unique_ptr whose pointee stays mutable — and the hook setters are atomic
+  // stores, safe against Runs already in flight.
+  if (profile_sample_rate_ > 0) {
+    auto profiler = std::make_unique<NodeProfiler>(profile_sample_rate_);
+    profiler->RegisterGraph(variant.model->graph());
+    variant.executor->SetProfiler(profiler.get());
+    profilers_.push_back(std::move(profiler));
+  } else {
+    variant.executor->SetProfiler(nullptr);
+  }
+  variant.executor->SetTracer(tracer_);
+}
+
+void ModelEntry::ConfigureProfiling(std::uint32_t sample_rate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  profile_sample_rate_ = sample_rate;
+  for (auto& [batch, slot] : variants_) {
+    AttachObservabilityLocked(*slot.current);
+  }
+}
+
+void ModelEntry::ConfigureTracing(TraceRecorder* tracer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tracer_ = tracer;
+  for (auto& [batch, slot] : variants_) {
+    slot.current->executor->SetTracer(tracer_);
+  }
+}
+
+NodeProfileSnapshot ModelEntry::ProfileSnapshot() const {
+  std::vector<NodeProfileSnapshot> parts;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    parts.reserve(profilers_.size());
+    for (const std::unique_ptr<NodeProfiler>& profiler : profilers_) {
+      parts.push_back(profiler->Snapshot());
+    }
+  }
+  return MergeProfileSnapshots(parts);
 }
 
 void ModelEntry::WaitForRetunes() {
@@ -237,6 +296,12 @@ ModelEntry* ModelRegistry::Register(std::string name, CompiledModel model) {
   ModelEntry* raw = entry.get();
   std::lock_guard<std::mutex> lock(mutex_);
   entry->ConfigureRetune(retune_options_);
+  if (profile_sample_rate_ > 0) {
+    entry->ConfigureProfiling(profile_sample_rate_);
+  }
+  if (tracer_ != nullptr) {
+    entry->ConfigureTracing(tracer_);
+  }
   std::unique_ptr<ModelEntry>& slot = entries_[std::move(name)];
   if (slot != nullptr) {
     retired_.push_back(std::move(slot));  // may still be referenced by in-flight work
@@ -254,7 +319,7 @@ ModelEntry* ModelRegistry::RegisterFromFile(std::string name, const std::string&
   return Register(std::move(name), std::move(model));
 }
 
-ModelEntry* ModelRegistry::Find(const std::string& name) {
+ModelEntry* ModelRegistry::Find(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
   return it == entries_.end() ? nullptr : it->second.get();
@@ -280,6 +345,22 @@ void ModelRegistry::ConfigureRetune(const RetuneOptions& options) {
   }
   for (const auto& [name, entry] : entries_) {
     entry->ConfigureRetune(retune_options_);
+  }
+}
+
+void ModelRegistry::ConfigureProfiling(std::uint32_t sample_rate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  profile_sample_rate_ = sample_rate;
+  for (const auto& [name, entry] : entries_) {
+    entry->ConfigureProfiling(sample_rate);
+  }
+}
+
+void ModelRegistry::ConfigureTracing(TraceRecorder* tracer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tracer_ = tracer;
+  for (const auto& [name, entry] : entries_) {
+    entry->ConfigureTracing(tracer);
   }
 }
 

@@ -29,8 +29,11 @@
 
 #include "src/core/compiler.h"
 #include "src/core/executor.h"
+#include "src/obs/node_profiler.h"
 
 namespace neocpu {
+
+class TraceRecorder;
 
 // Concurrency budget shared by every entry of one registry: caps how many background
 // re-tunes run simultaneously so a batch-size churn storm (many models x many new
@@ -112,6 +115,18 @@ class ModelEntry {
 
   void ConfigureRetune(const RetuneOptions& options);
 
+  // Per-node profiling across every batch variant of this entry. `sample_rate` N times
+  // one Run in N per variant (0 disables). Takes effect immediately on live variants —
+  // executors mid-flight pick the profiler up on their next Run — and automatically
+  // covers variants materialized or hot-swapped later. Profilers for replaced variants
+  // are retained, so ProfileSnapshot() aggregates the entry's whole profiled history.
+  void ConfigureProfiling(std::uint32_t sample_rate);
+  // Chrome-trace spans for every node execution (obs/trace). `tracer` is borrowed and
+  // must outlive the entry or be detached with nullptr first.
+  void ConfigureTracing(TraceRecorder* tracer);
+  // Merged per-node profile over all variants (empty when profiling is off).
+  NodeProfileSnapshot ProfileSnapshot() const;
+
   // Blocks until every re-tune scheduled so far has finished (tests; graceful drain).
   void WaitForRetunes();
 
@@ -129,6 +144,9 @@ class ModelEntry {
   static VariantPtr MakeVariant(CompiledModel model);
   // Runs in a background thread: re-tunes `batch` and hot-swaps the slot on success.
   void RetuneSlot(std::int64_t batch);
+  // Attaches a fresh profiler (when profiling is on) and the tracer to a variant's
+  // executor. Call with mutex_ held, on every variant entering service.
+  void AttachObservabilityLocked(const Variant& variant);
 
   std::string name_;
   std::vector<std::int64_t> sample_dims_;
@@ -137,6 +155,10 @@ class ModelEntry {
   mutable std::mutex mutex_;
   std::map<std::int64_t, Slot> variants_;
   RetuneOptions retune_options_;
+  std::uint32_t profile_sample_rate_ = 0;  // 0 = profiling off; guarded by mutex_
+  TraceRecorder* tracer_ = nullptr;        // borrowed; guarded by mutex_
+  // One profiler per profiled variant, kept past hot swaps so snapshots cover history.
+  std::vector<std::unique_ptr<NodeProfiler>> profilers_;
   std::vector<std::thread> retune_threads_;
   std::uint64_t retunes_inflight_ = 0;  // guarded by mutex_; gates thread reaping
   std::atomic<std::uint64_t> retunes_started_{0};
@@ -164,13 +186,18 @@ class ModelRegistry {
   ModelEntry* RegisterFromFile(std::string name, const std::string& path);
 
   // Nullptr when unknown.
-  ModelEntry* Find(const std::string& name);
+  ModelEntry* Find(const std::string& name) const;
 
   std::vector<std::string> ModelNames() const;
 
   // Applied to every current and future entry (the server points re-tunes at a spare
   // partition once it knows its own core plan).
   void ConfigureRetune(const RetuneOptions& options);
+
+  // Per-node profiling / tracing applied to every current and future entry (see
+  // ModelEntry::ConfigureProfiling / ConfigureTracing).
+  void ConfigureProfiling(std::uint32_t sample_rate);
+  void ConfigureTracing(TraceRecorder* tracer);
 
   // Sum of per-entry tuning stats across all registered models.
   EntryTuningStats AggregateTuningStats() const;
@@ -185,6 +212,8 @@ class ModelRegistry {
   // it is safe to hand out without the mutex).
   const std::shared_ptr<TuningCache> shared_cache_ = std::make_shared<TuningCache>();
   RetuneOptions retune_options_;
+  std::uint32_t profile_sample_rate_ = 0;
+  TraceRecorder* tracer_ = nullptr;
   // Entries displaced by a same-name Register. Kept alive for the registry's lifetime:
   // in-flight requests (and pool workers mid-batch) hold raw ModelEntry pointers, so
   // destroying a displaced entry eagerly would be a use-after-free. Re-registration is

@@ -64,18 +64,32 @@ LatencySnapshot LatencyRecorder::Snapshot() const {
 }
 
 std::string ServerStats::ToString() const {
-  return StrFormat(
-      "submitted=%llu completed=%llu batch_runs=%llu mean_batch=%.2f max_batch=%lld "
-      "latency{p50=%.3fms p99=%.3fms mean=%.3fms} "
-      "tuning{retunes=%llu/%llu cache_hits=%llu cache_misses=%llu entries=%llu}",
+  std::string out = StrFormat(
+      "submitted=%llu completed=%llu queue_depth=%zu batch_runs=%llu mean_batch=%.2f "
+      "max_batch=%lld latency{p50=%.3fms p99=%.3fms mean=%.3fms} "
+      "tuning{retunes=%llu/%llu deferred=%llu cache_hits=%llu cache_misses=%llu "
+      "entries=%llu}",
       static_cast<unsigned long long>(submitted), static_cast<unsigned long long>(completed),
-      static_cast<unsigned long long>(batch_runs), mean_batch_size,
+      queue_depth_now, static_cast<unsigned long long>(batch_runs), mean_batch_size,
       static_cast<long long>(max_batch_size), latency.p50_ms, latency.p99_ms,
       latency.mean_ms, static_cast<unsigned long long>(retunes_completed),
       static_cast<unsigned long long>(retunes_started),
+      static_cast<unsigned long long>(retunes_deferred),
       static_cast<unsigned long long>(tuning_cache.hits),
       static_cast<unsigned long long>(tuning_cache.misses),
       static_cast<unsigned long long>(tuning_cache.entries));
+  for (const ModelServeStats& model : per_model) {
+    out += StrFormat("\n  model %s: retunes=%llu/%llu deferred=%llu", model.name.c_str(),
+                     static_cast<unsigned long long>(model.retunes_completed),
+                     static_cast<unsigned long long>(model.retunes_started),
+                     static_cast<unsigned long long>(model.retunes_deferred));
+    if (model.profiled_runs > 0) {
+      out += StrFormat(" profiled{runs=%llu %.3f ms/run}",
+                       static_cast<unsigned long long>(model.profiled_runs),
+                       model.profile_ms_per_run);
+    }
+  }
+  return out;
 }
 
 }  // namespace neocpu

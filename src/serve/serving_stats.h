@@ -41,6 +41,18 @@ class LatencyRecorder {
   std::uint64_t rng_state_ = 0x243f6a8885a308d3ull;  // splitmix64 state for the reservoir
 };
 
+// Per-model slice of a server's stats: the tuning counters of one registry entry plus,
+// when profiling is enabled, the entry's merged node-profile roll-up.
+struct ModelServeStats {
+  std::string name;
+  std::uint64_t retunes_started = 0;
+  std::uint64_t retunes_completed = 0;
+  std::uint64_t retunes_failed = 0;
+  std::uint64_t retunes_deferred = 0;
+  std::uint64_t profiled_runs = 0;      // Runs the per-node profiler actually timed
+  double profile_ms_per_run = 0.0;      // mean profiled wall time per Run
+};
+
 // Aggregate serving counters plus the request-latency distribution (submit → result).
 struct ServerStats {
   std::uint64_t submitted = 0;
@@ -49,6 +61,9 @@ struct ServerStats {
   std::uint64_t batched_samples = 0; // completed requests that shared a multi-request batch
   double mean_batch_size = 0.0;
   std::int64_t max_batch_size = 0;
+  // Requests sitting in the batcher at snapshot time — the instantaneous backlog, not a
+  // lifetime counter.
+  std::size_t queue_depth_now = 0;
   LatencySnapshot latency;
 
   // Batch-aware tuning activity, aggregated over every registered model: background
@@ -57,7 +72,11 @@ struct ServerStats {
   std::uint64_t retunes_started = 0;
   std::uint64_t retunes_completed = 0;
   std::uint64_t retunes_failed = 0;
+  std::uint64_t retunes_deferred = 0;
   TuningCacheStats tuning_cache;
+
+  // One slice per registered model, registry order.
+  std::vector<ModelServeStats> per_model;
 
   std::string ToString() const;
 };

@@ -1,16 +1,53 @@
 #include "src/tuning/tuning_cache.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/obs/metrics.h"
 
 namespace neocpu {
 
 namespace {
 constexpr char kFileTag[] = "neocpu-tuning-cache";
+
+std::atomic<TuningCache::SaveKillPoint> g_save_kill_point{
+    TuningCache::SaveKillPoint::kNone};
+
+// Process-global cache traffic, aggregated across every TuningCache instance (the
+// per-instance Stats() counters remain the per-cache view). Lazy function-local
+// statics: the registry lookup happens once, the hot path is one relaxed fetch_add.
+Counter* HitsMetric() {
+  static Counter* counter = MetricsRegistry::Global().GetCounter(
+      "neocpu_tuning_cache_hits_total", "Tuning-cache lookups served from the cache");
+  return counter;
+}
+
+Counter* MissesMetric() {
+  static Counter* counter = MetricsRegistry::Global().GetCounter(
+      "neocpu_tuning_cache_misses_total", "Tuning-cache lookups that required a search");
+  return counter;
+}
+
+Counter* InsertsMetric() {
+  static Counter* counter = MetricsRegistry::Global().GetCounter(
+      "neocpu_tuning_cache_inserts_total", "Tuning-cache entry inserts/replacements");
+  return counter;
+}
+
+Counter* EvictionsMetric() {
+  static Counter* counter = MetricsRegistry::Global().GetCounter(
+      "neocpu_tuning_cache_evictions_total", "Tuning-cache LRU evictions");
+  return counter;
+}
+
 }  // namespace
 
 void TuningCache::TouchLocked(const Entry& entry) const {
@@ -23,6 +60,7 @@ void TuningCache::EvictOverCapacityLocked() {
     entries_.erase(lru_.back());
     lru_.pop_back();
     ++evictions_;
+    EvictionsMetric()->Increment();
   }
 }
 
@@ -32,9 +70,11 @@ std::shared_ptr<const LocalSearchResult> TuningCache::Find(const WorkloadKey& ke
   auto it = entries_.find(text);
   if (it == entries_.end()) {
     ++misses_;
+    MissesMetric()->Increment();
     return nullptr;
   }
   ++hits_;
+  HitsMetric()->Increment();
   TouchLocked(it->second);
   return it->second.result;
 }
@@ -63,6 +103,7 @@ void TuningCache::InsertLocked(std::string text,
     entries_.emplace(std::move(text), Entry{std::move(result), lru_.begin()});
   }
   ++inserts_;
+  InsertsMetric()->Increment();
   EvictOverCapacityLocked();
 }
 
@@ -210,13 +251,47 @@ bool TuningCache::Deserialize(std::istream& in) {
   return true;
 }
 
+void TuningCache::SetSaveKillPointForTest(SaveKillPoint point) {
+  g_save_kill_point.store(point, std::memory_order_relaxed);
+}
+
 bool TuningCache::SaveToFile(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) {
+  // Crash-consistent write: serialize to <path>.tmp, fsync, then atomically rename(2)
+  // over the destination. A crash at any point leaves either the complete old file or
+  // the complete new file — never a truncated cache that a warm start would reject
+  // (or worse, a prefix of that would half-load).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    Serialize(out);
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (g_save_kill_point.load(std::memory_order_relaxed) ==
+      SaveKillPoint::kAfterTempWrite) {
+    return false;  // simulated crash: temp written, destination untouched
+  }
+  // ofstream flush only reaches the page cache; fsync makes the temp file's contents
+  // durable before the rename can commit the name to them.
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+  if (g_save_kill_point.load(std::memory_order_relaxed) == SaveKillPoint::kBeforeRename) {
+    return false;  // simulated crash: durable temp, destination untouched
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
     return false;
   }
-  Serialize(out);
-  return static_cast<bool>(out);
+  return true;
 }
 
 bool TuningCache::LoadFromFile(const std::string& path) {

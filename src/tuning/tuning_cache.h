@@ -100,10 +100,19 @@ class TuningCache {
   //   <ic_bn> <oc_bn> <reg_n> <unroll> <algo> <dtype> <ms>
   //   (v2 lines omit <algo> and <dtype>; v3 lines omit <dtype>)
   //   ...
+  // Crash-consistent: the cache is serialized to `<path>.tmp`, fsynced, and rename(2)d
+  // over `path`, so a reader never observes a torn file — a crash mid-save leaves the
+  // previous file (plus at worst an orphaned .tmp the next save overwrites).
   bool SaveToFile(const std::string& path) const;
   // Merges the file's entries into the cache. False on I/O failure, version mismatch or
   // malformed content; the in-memory cache is unchanged on failure.
   bool LoadFromFile(const std::string& path);
+
+  // Simulated-crash injection for SaveToFile (process-global; tests only). A save that
+  // reaches the armed point returns false exactly as a killed process would leave the
+  // filesystem: temp file written (possibly durable), destination untouched.
+  enum class SaveKillPoint { kNone, kAfterTempWrite, kBeforeRename };
+  static void SetSaveKillPointForTest(SaveKillPoint point);
 
  private:
   struct Entry {

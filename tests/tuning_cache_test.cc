@@ -111,6 +111,44 @@ TEST(TuningCache, SaveLoadRoundTripAcrossBatches) {
   std::remove(path.c_str());
 }
 
+TEST(TuningCache, SaveIsCrashConsistentAtEveryKillPoint) {
+  const Target t = Target::EpycAvx2();
+  const std::string path = ::testing::TempDir() + "/neocpu_tuning_cache_crash_test.txt";
+  const WorkloadKey key1 = WorkloadKey::Of(TestConv(1), t, CostMode::kAnalytic, true);
+  const WorkloadKey key8 = WorkloadKey::Of(TestConv(8), t, CostMode::kAnalytic, true);
+
+  // Establish a good on-disk generation with one entry.
+  TuningCache v1;
+  v1.Insert(key1, SearchFor(TestConv(1), t));
+  ASSERT_TRUE(v1.SaveToFile(path));
+
+  // A save of a bigger cache "crashes" at each kill point in turn. The destination
+  // must still hold the complete first generation afterwards — never a torn file.
+  TuningCache v2;
+  v2.Insert(key1, SearchFor(TestConv(1), t));
+  v2.Insert(key8, SearchFor(TestConv(8), t));
+  for (TuningCache::SaveKillPoint point : {TuningCache::SaveKillPoint::kAfterTempWrite,
+                                           TuningCache::SaveKillPoint::kBeforeRename}) {
+    TuningCache::SetSaveKillPointForTest(point);
+    EXPECT_FALSE(v2.SaveToFile(path));
+    TuningCache::SetSaveKillPointForTest(TuningCache::SaveKillPoint::kNone);
+
+    TuningCache survivor;
+    ASSERT_TRUE(survivor.LoadFromFile(path));
+    EXPECT_EQ(survivor.size(), 1u);  // old generation, intact
+    EXPECT_NE(survivor.Find(key1), nullptr);
+    EXPECT_EQ(survivor.Find(key8), nullptr);
+  }
+
+  // The next clean save recovers: it overwrites the orphaned temp and commits.
+  ASSERT_TRUE(v2.SaveToFile(path));
+  TuningCache recovered;
+  ASSERT_TRUE(recovered.LoadFromFile(path));
+  EXPECT_EQ(recovered.size(), 2u);
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
 TEST(TuningCache, RejectsWrongVersionAndGarbage) {
   TuningCache cache;
   std::istringstream wrong_version("neocpu-tuning-cache 1 0\n");

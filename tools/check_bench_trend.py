@@ -13,16 +13,25 @@ Two gates run:
     Configs present on only one side are reported but do not fail the gate
     (sweeps grow as the system grows).
 
-Throughput only compares across identical hardware shapes: when the current
-host's physical core count differs from the baseline's, the numeric gates
-downgrade to warnings (a 1-core dev-container baseline says nothing about a
-4-core CI runner) and only structural sanity is enforced. To (re)arm the gates
-for a runner class, regenerate the baseline on that hardware:
+Throughput only compares across identical hardware shapes. The baseline file
+holds one report per runner class, keyed by physical core count:
+
+    {"bench": "serve_throughput", "baselines": [<report for 1 core>, ...]}
+
+(a bare single report — the pre-multi-shape format — still works). The gate
+picks the entry matching the current host's physical_cores; when no entry
+matches, the numeric gates downgrade to warnings (a 1-core dev-container
+baseline says nothing about a 4-core CI runner) and only structural sanity is
+enforced. To arm the gates for a new runner class, generate a report on that
+hardware and append it to the "baselines" list:
 
     NEOCPU_SERVE_REQUESTS=16 NEOCPU_SERVE_CLIENTS=4 \
-        NEOCPU_BENCH_JSON=bench/BENCH_serve.baseline.json ./build/bench_serve_throughput
+        NEOCPU_BENCH_JSON=shape.json ./build/bench_serve_throughput
+    python3 tools/check_bench_trend.py --merge-baseline shape.json \
+        bench/BENCH_serve.baseline.json   # inserts/replaces the matching shape
 
 Usage: check_bench_trend.py <current.json> [<baseline.json>]
+       check_bench_trend.py --merge-baseline <report.json> [<baseline.json>]
 """
 
 import json
@@ -44,10 +53,52 @@ def config_key(config):
     return (config["pool_width"], config["max_batch"], config.get("dtype", "f32"))
 
 
+def baseline_reports(baseline):
+    """The per-runner-class reports in a baseline file (either format)."""
+    if "baselines" in baseline:
+        return baseline["baselines"]
+    return [baseline]  # pre-multi-shape format: the file IS the report
+
+
+def select_baseline(baseline, physical_cores):
+    for report in baseline_reports(baseline):
+        if report.get("physical_cores") == physical_cores:
+            return report
+    return None
+
+
+def merge_baseline(report_path, baseline_path):
+    """Inserts/replaces `report_path`'s runner shape in the baseline file."""
+    report = load(report_path)
+    cores = report.get("physical_cores")
+    if not report.get("configs") or cores is None:
+        print(f"FAIL: {report_path} is not a complete bench report")
+        return 1
+    try:
+        existing = baseline_reports(load(baseline_path))
+    except (OSError, json.JSONDecodeError):
+        existing = []
+    merged = [r for r in existing if r.get("physical_cores") != cores] + [report]
+    merged.sort(key=lambda r: r.get("physical_cores") or 0)
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        json.dump({"bench": "serve_throughput", "baselines": merged}, f, indent=1)
+        f.write("\n")
+    print(
+        f"OK: {baseline_path} now holds {len(merged)} runner shape(s): "
+        + ", ".join(str(r.get("physical_cores")) + " cores" for r in merged)
+    )
+    return 0
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__)
         return 2
+    if argv[1] == "--merge-baseline":
+        if len(argv) < 3:
+            print(__doc__)
+            return 2
+        return merge_baseline(argv[2], argv[3] if len(argv) > 3 else "bench/BENCH_serve.baseline.json")
     current_path = argv[1]
     baseline_path = argv[2] if len(argv) > 2 else "bench/BENCH_serve.baseline.json"
     tolerance = float(os.environ.get("NEOCPU_TREND_TOLERANCE", "0.20"))
@@ -66,11 +117,12 @@ def main(argv):
         )
         return 1
 
-    # Structural sanity: both reports must carry real measurements.
+    # Structural sanity: every report must carry real measurements.
     if not current.get("configs"):
         print(f"FAIL: {current_path} has no benchmark configs")
         return 1
-    if not baseline.get("configs"):
+    shapes = baseline_reports(baseline)
+    if not shapes or any(not r.get("configs") for r in shapes):
         print(f"FAIL: baseline {baseline_path} has no benchmark configs")
         return 1
     cur_peak = peak_rps(current)
@@ -78,22 +130,25 @@ def main(argv):
         print(f"FAIL: non-positive peak throughput {cur_peak}")
         return 1
 
-    base_peak = peak_rps(baseline)
     cur_cores = current.get("physical_cores")
+    matched = select_baseline(baseline, cur_cores)
+    if matched is None:
+        available = ", ".join(str(r.get("physical_cores")) for r in shapes)
+        print(
+            f"WARN: no baseline for this hardware shape ({cur_cores} physical cores; "
+            f"baseline has {available}): throughput gates skipped; add this runner "
+            "class with --merge-baseline to arm them"
+        )
+        return 0
+    baseline = matched
+
+    base_peak = peak_rps(baseline)
     base_cores = baseline.get("physical_cores")
     ratio = cur_peak / base_peak if base_peak > 0 else float("inf")
     print(
         f"peak throughput: current {cur_peak:.1f} rps ({cur_cores} cores) vs "
         f"baseline {base_peak:.1f} rps ({base_cores} cores) -> ratio {ratio:.3f}"
     )
-
-    if cur_cores != base_cores:
-        print(
-            f"WARN: hardware shape mismatch ({cur_cores} vs {base_cores} physical "
-            "cores): throughput gates skipped; regenerate the baseline on this runner "
-            "class to arm them"
-        )
-        return 0
 
     failed = False
     if ratio < 1.0 - tolerance:

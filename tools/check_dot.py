@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Structural validator for NeoCPU's annotated DOT exports.
+
+Works without graphviz: the exporter's first line is a machine-readable header
+
+    /* neocpu-dot nodes=N edges=M */
+
+and this script re-counts the node statements ("  nI [label=..."), edge
+statements ("  nA -> nB;") and brace balance in the body, failing on any
+mismatch. Optionally asserts that annotation markers (algo=, dtype=, arena)
+appear, which every compiled zoo model must carry.
+
+Usage: check_dot.py <file.dot> [--require-annotations] [--min-nodes N]
+"""
+
+import re
+import sys
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    path = argv[1]
+    require_annotations = "--require-annotations" in argv
+    min_nodes = 0
+    if "--min-nodes" in argv:
+        min_nodes = int(argv[argv.index("--min-nodes") + 1])
+
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+
+    header = re.match(r"/\* neocpu-dot nodes=(\d+) edges=(\d+) \*/", text)
+    if not header:
+        print(f"FAIL: {path}: missing '/* neocpu-dot nodes=N edges=M */' header")
+        return 1
+    declared_nodes, declared_edges = int(header.group(1)), int(header.group(2))
+
+    node_lines = sum(
+        1 for line in text.splitlines() if re.match(r"^  n\d+ \[label=", line)
+    )
+    edge_lines = sum(
+        1 for line in text.splitlines() if re.match(r"^  n\d+ -> n\d+;", line)
+    )
+    braces = text.count("{") - text.count("}")
+
+    failed = False
+    if braces != 0:
+        print(f"FAIL: {path}: unbalanced braces (delta {braces})")
+        failed = True
+    if node_lines != declared_nodes:
+        print(f"FAIL: {path}: header declares {declared_nodes} nodes, body has {node_lines}")
+        failed = True
+    if edge_lines != declared_edges:
+        print(f"FAIL: {path}: header declares {declared_edges} edges, body has {edge_lines}")
+        failed = True
+    if min_nodes and declared_nodes < min_nodes:
+        print(f"FAIL: {path}: only {declared_nodes} nodes (expected >= {min_nodes})")
+        failed = True
+    if require_annotations:
+        for marker in ("algo=", "dtype=", "arena +"):
+            if marker not in text:
+                print(f"FAIL: {path}: annotation marker '{marker}' missing")
+                failed = True
+
+    if failed:
+        return 1
+    print(f"OK: {path}: {declared_nodes} nodes, {declared_edges} edges, braces balanced")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

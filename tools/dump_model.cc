@@ -1,0 +1,203 @@
+// dump_model: inspect a compiled NeoCPU model from the command line.
+//
+//   dump_model --zoo tiny-cnn --dot model.dot --profile-runs 8
+//   dump_model --module resnet18.neoc --dot - --metrics prometheus
+//
+// Loads a serialized module (--module) or compiles a zoo model in-process (--zoo),
+// prints a compile/plan summary, and optionally:
+//   --dot PATH           write the annotated Graphviz export ("-" = stdout); includes
+//                        the profile heat overlay when --profile-runs ran
+//   --profile-runs N     run N inferences with per-node profiling and print the
+//                        hottest ops/nodes
+//   --trace PATH         write a chrome://tracing JSON of the profiled runs
+//   --metrics FORMAT     dump the process metrics registry (json | prometheus)
+//   --batch N            batch size for --zoo compilation        (default 1)
+//   --quantize           force-quantize the --zoo model (int8 serving path)
+//
+// Exit status: 0 on success, 1 on bad usage or I/O failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/base/rng.h"
+#include "src/core/compiler.h"
+#include "src/core/serialization.h"
+#include "src/models/model_zoo.h"
+#include "src/obs/graph_dot.h"
+#include "src/obs/metrics.h"
+#include "src/obs/node_profiler.h"
+#include "src/obs/trace.h"
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--module PATH | --zoo NAME) [--batch N] [--quantize]\n"
+               "          [--dot PATH] [--profile-runs N] [--trace PATH]\n"
+               "          [--metrics json|prometheus]\n",
+               argv0);
+  return 1;
+}
+
+// The graph's single input, as a deterministic random tensor.
+Tensor MakeInput(const Graph& graph) {
+  for (int id = 0; id < graph.num_nodes(); ++id) {
+    const Node& node = graph.node(id);
+    if (node.type == OpType::kInput) {
+      Rng rng(7);
+      return Tensor::Random(node.out_dims, rng, 0.0f, 1.0f, node.out_layout);
+    }
+  }
+  LOG(FATAL) << "graph has no input node";
+  return Tensor();
+}
+
+void PrintSummary(const CompiledModel& model) {
+  const Graph& graph = model.graph();
+  const CompileStats& stats = model.stats();
+  int convs = 0, transforms = 0, constants = 0;
+  for (int id = 0; id < graph.num_nodes(); ++id) {
+    const Node& node = graph.node(id);
+    convs += node.IsConv() ? 1 : 0;
+    transforms += node.type == OpType::kLayoutTransform ? 1 : 0;
+    constants += node.type == OpType::kConstant ? 1 : 0;
+  }
+  std::printf("model: %s\n", graph.name.empty() ? "(unnamed)" : graph.name.c_str());
+  std::printf("  nodes: %d (%d convs, %d layout transforms, %d constants)\n",
+              graph.num_nodes(), convs, transforms, constants);
+  std::printf("  quantized convs: %d/%d\n", stats.num_quantized_convs, stats.num_convs);
+  std::printf("  tuned batch: %lld%s\n", static_cast<long long>(stats.tuned_batch),
+              stats.retuned ? " (retuned)" : "");
+  if (model.plan() != nullptr && model.plan()->UsesArena()) {
+    const ExecutionPlan& plan = *model.plan();
+    std::printf("  memory plan: arena %zu B (naive %zu B), %d arena / %d alias / %d heap\n",
+                plan.arena_bytes, plan.naive_bytes, plan.arena_nodes, plan.alias_nodes,
+                plan.heap_nodes);
+  } else {
+    std::printf("  memory plan: none (allocating executor path)\n");
+  }
+  std::printf("  re-tunable: %s\n", model.has_source() ? "yes" : "no (no source graph)");
+}
+
+}  // namespace
+}  // namespace neocpu
+
+int main(int argc, char** argv) {
+  using namespace neocpu;
+
+  std::string module_path, zoo_name, dot_path, trace_path, metrics_format;
+  long long batch = 1;
+  int profile_runs = 0;
+  bool quantize = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        std::exit(Usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--module") {
+      module_path = next();
+    } else if (arg == "--zoo") {
+      zoo_name = next();
+    } else if (arg == "--batch") {
+      batch = std::atoll(next());
+    } else if (arg == "--quantize") {
+      quantize = true;
+    } else if (arg == "--dot") {
+      dot_path = next();
+    } else if (arg == "--profile-runs") {
+      profile_runs = std::atoi(next());
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--metrics") {
+      metrics_format = next();
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (module_path.empty() == zoo_name.empty()) {  // exactly one source required
+    return Usage(argv[0]);
+  }
+
+  CompiledModel model;
+  if (!module_path.empty()) {
+    if (!LoadModule(module_path, &model)) {
+      std::fprintf(stderr, "failed to load module '%s'\n", module_path.c_str());
+      return 1;
+    }
+  } else {
+    CompileOptions options;
+    if (quantize) {
+      options.quantize = true;
+      options.force_quantize = true;
+    }
+    model = Compile(BuildModel(zoo_name, batch), options);
+  }
+
+  PrintSummary(model);
+
+  NodeProfileSnapshot profile;
+  TraceRecorder tracer;
+  if (profile_runs > 0) {
+    model.EnableProfiling(/*sample_rate=*/1);
+    // A dedicated executor so the trace hook rides along with the profiler.
+    Executor executor(&model.graph(), /*engine=*/nullptr, model.plan());
+    executor.SetProfiler(model.profiler());
+    if (!trace_path.empty()) {
+      executor.SetTracer(&tracer);
+    }
+    const Tensor input = MakeInput(model.graph());
+    for (int r = 0; r < profile_runs; ++r) {
+      executor.Run(input);
+    }
+    profile = model.ProfileSnapshot();
+    std::printf("\n%s", profile.ToString().c_str());
+  }
+
+  if (!dot_path.empty()) {
+    const std::string dot =
+        CompiledModelToDot(model, profile.empty() ? nullptr : &profile);
+    if (dot_path == "-") {
+      std::fputs(dot.c_str(), stdout);
+    } else {
+      std::ofstream out(dot_path);
+      if (!out) {
+        std::fprintf(stderr, "failed to open '%s'\n", dot_path.c_str());
+        return 1;
+      }
+      out << dot;
+      if (!out.flush()) {
+        std::fprintf(stderr, "failed to write '%s'\n", dot_path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", dot_path.c_str());
+    }
+  }
+
+  if (!trace_path.empty()) {
+    if (profile_runs <= 0) {
+      std::fprintf(stderr, "--trace requires --profile-runs\n");
+      return 1;
+    }
+    if (!tracer.WriteFile(trace_path)) {
+      std::fprintf(stderr, "failed to write '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu events)\n", trace_path.c_str(), tracer.size());
+  }
+
+  if (!metrics_format.empty()) {
+    const MetricsFormat format = metrics_format == "prometheus"
+                                     ? MetricsFormat::kPrometheus
+                                     : MetricsFormat::kJson;
+    std::fputs(MetricsExport(format).c_str(), stdout);
+  }
+  return 0;
+}
