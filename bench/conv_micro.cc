@@ -10,6 +10,7 @@
 #include "src/kernels/conv_nchwc_int8.h"
 #include "src/kernels/conv_ref.h"
 #include "src/kernels/conv_winograd.h"
+#include "src/kernels/quantize.h"
 #include "src/tensor/layout_transform.h"
 
 namespace neocpu {
@@ -243,6 +244,117 @@ void BM_S8VsF32_Resnet3x3_S8(benchmark::State& state) {
                          benchmark::Counter::kIs1000);
 }
 BENCHMARK(BM_S8VsF32_Resnet3x3_S8)->Unit(benchmark::kMillisecond);
+
+// u8-activation variant of the blocked setup: u8 input with a 128 zero point,
+// VNNI-packed s8 weights (the u8 kernels read the [ic_bn/4][oc_bn][4] inner tile),
+// u8 requantized output. Requires ic_bn % 4 == 0, which every block the sweeps use
+// satisfies (8/16/32/64).
+BlockedS8Setup MakeBlockedU8(const Conv2dParams& p, std::int64_t block,
+                             std::int64_t reg_n) {
+  BlockedS8Setup setup = MakeBlockedS8(p, block, reg_n);
+  setup.s.dtype = DType::kU8;
+  setup.in = Tensor::Empty(setup.in.dims(), setup.in.layout(), DType::kU8);
+  std::uint8_t* in = setup.in.data_as<std::uint8_t>();
+  for (std::int64_t i = 0; i < setup.in.NumElements(); ++i) {
+    in[i] = static_cast<std::uint8_t>(i % 251);
+  }
+  setup.w = PackWeightsVnni(setup.w);
+  setup.out = Tensor::Empty(setup.out.dims(), setup.out.layout(), DType::kU8);
+  return setup;
+}
+
+// u8 counterpart of the BM_ConvNCHWcS8 workload sweep: same shapes, same block, the
+// u8 row drivers (vpdpbusd on the VNNI tier, s16 pairwise widening below it). The
+// stem (workload 0, ic=3) has no quad-divisible ic_bn, so it falls to ic_bn=1 blocks
+// in real compiles — skip it here rather than bench an illegal packing.
+//
+// reg_n differs from the s8 sweep on purpose: the VNNI micro-kernel keeps
+// reg_n * oc_bn/16 zmm accumulators live plus oc_bn/16 weight vectors, so at
+// oc_bn=64 only reg_n=2 fits the 32-register file (2*4 + 4 + 1 broadcast = 13);
+// reg_n=8 spills every accumulator and runs ~2x slower. The tuner's measured mode
+// lands on the same point (reg_n=2 is in RegNCandidates()).
+void BM_ConvNCHWcU8(benchmark::State& state) {
+  const Conv2dParams& p = kWorkloads[state.range(0)];
+  BlockedS8Setup setup = MakeBlockedU8(p, 64, 2);
+  for (auto _ : state) {
+    ConvNCHWcS8(setup.p, setup.s, setup.in, setup.w, nullptr, setup.mult, {}, true,
+                &setup.out, nullptr, /*out_zero=*/128, /*in_zero=*/128);
+  }
+  state.SetLabel(ConvNCHWcS8IsaName());
+  state.counters["GMACS"] =
+      benchmark::Counter(p.Macs(), benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_ConvNCHWcU8)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+// Third leg of the acceptance comparison: u8 activations on the same resnet-style
+// 3x3 layer as BM_S8VsF32_Resnet3x3_{F32,S8}, each dtype at its preferred schedule
+// (s8: reg_n=8 for the autovectorized pairwise path; u8: reg_n=2 to keep the VNNI
+// accumulator tile in registers). On a VNNI host vpdpbusd does 4 MACs/byte-lane in
+// one op vs the s8 path's widen+pairwise sequence, so u8 should match or beat s8.
+void BM_S8VsF32_Resnet3x3_U8(benchmark::State& state) {
+  Conv2dParams p{1, 128, 28, 28, 128, 3, 3, 1, 1, 1, 1};
+  BlockedS8Setup setup = MakeBlockedU8(p, 64, 2);
+  for (auto _ : state) {
+    ConvNCHWcS8(setup.p, setup.s, setup.in, setup.w, nullptr, setup.mult, {}, true,
+                &setup.out, nullptr, /*out_zero=*/128, /*in_zero=*/128);
+  }
+  state.SetLabel(ConvNCHWcS8IsaName());
+  state.counters["GMACS"] =
+      benchmark::Counter(p.Macs(), benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_S8VsF32_Resnet3x3_U8)->Unit(benchmark::kMillisecond);
+
+// VNNI-vs-pairwise ablation: the same u8 workload pinned to each compiled ISA tier
+// via SetConvNCHWcS8IsaOverride. Arg indexes kIsaTiers; tiers the binary/CPU lacks
+// are skipped (the override refuses them). On VNNI hardware the avx512vnni row is
+// the vpdpbusd driver and avx512 is the s16-pairwise fallback — the delta between
+// those two rows is the headline "VNNI beats pairwise" number.
+const char* const kIsaTiers[] = {"baseline", "avx2", "avx512", "avx512vnni"};
+
+void BM_Ablation_U8Isa(benchmark::State& state) {
+  const char* tier = kIsaTiers[state.range(0)];
+  if (!SetConvNCHWcS8IsaOverride(tier)) {
+    state.SkipWithError("isa tier not available on this host");
+    return;
+  }
+  Conv2dParams p{1, 128, 28, 28, 128, 3, 3, 1, 1, 1, 1};
+  BlockedS8Setup setup = MakeBlockedU8(p, 64, 2);
+  for (auto _ : state) {
+    ConvNCHWcS8(setup.p, setup.s, setup.in, setup.w, nullptr, setup.mult, {}, true,
+                &setup.out, nullptr, /*out_zero=*/128, /*in_zero=*/128);
+  }
+  state.SetLabel(tier);
+  state.counters["GMACS"] =
+      benchmark::Counter(p.Macs(), benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+  SetConvNCHWcS8IsaOverride(nullptr);
+}
+BENCHMARK(BM_Ablation_U8Isa)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+// Same ablation for s8 activations (no VNNI benefit expected — vpdpbusd wants u8·s8,
+// so the s8 path stays on the pairwise driver at every tier; this row pair documents
+// that u8 is where the VNNI win lives).
+void BM_Ablation_S8Isa(benchmark::State& state) {
+  const char* tier = kIsaTiers[state.range(0)];
+  if (!SetConvNCHWcS8IsaOverride(tier)) {
+    state.SkipWithError("isa tier not available on this host");
+    return;
+  }
+  Conv2dParams p{1, 128, 28, 28, 128, 3, 3, 1, 1, 1, 1};
+  BlockedS8Setup setup = MakeBlockedS8(p, 64, 8);
+  for (auto _ : state) {
+    ConvNCHWcS8(setup.p, setup.s, setup.in, setup.w, nullptr, setup.mult, {}, true,
+                &setup.out);
+  }
+  state.SetLabel(tier);
+  state.counters["GMACS"] =
+      benchmark::Counter(p.Macs(), benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+  SetConvNCHWcS8IsaOverride(nullptr);
+}
+BENCHMARK(BM_Ablation_S8Isa)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 
 // Winograd F(2x2,3x3) vs the direct template on the same workload (the paper's named
 // future-work algorithm; arithmetic drops 2.25x, transforms eat part of it back).

@@ -32,6 +32,12 @@ CpuInfo Detect() {
 #if defined(__FMA__) || defined(__ARM_FEATURE_FMA)
   info.has_fma = true;
 #endif
+#if defined(__x86_64__) || defined(__i386__)
+  // Runtime (not compile-time) capability: the binary is built portable and picks the
+  // int8 kernel tier via cpuid, so the Target profile must reflect the machine it is
+  // running on, not the flags it was compiled with.
+  info.has_vnni = __builtin_cpu_supports("avx512vnni") != 0;
+#endif
 
   unsigned hw = std::thread::hardware_concurrency();
   info.physical_cores = hw == 0 ? 1 : static_cast<int>(hw);
@@ -51,15 +57,20 @@ CpuInfo Detect() {
   }
   std::ifstream cpuinfo("/proc/cpuinfo");
   std::string line;
+  bool constant_tsc = false, nonstop_tsc = false;
   while (std::getline(cpuinfo, line)) {
-    if (line.rfind("model name", 0) == 0) {
+    if (info.brand.empty() && line.rfind("model name", 0) == 0) {
       std::size_t colon = line.find(':');
       if (colon != std::string::npos) {
         info.brand = line.substr(colon + 2);
       }
-      break;
+    } else if (line.rfind("flags", 0) == 0) {
+      constant_tsc = line.find(" constant_tsc") != std::string::npos;
+      nonstop_tsc = line.find(" nonstop_tsc") != std::string::npos;
+      break;  // flags follow the model name; one logical CPU is representative
     }
   }
+  info.has_invariant_tsc = constant_tsc && nonstop_tsc;
 #endif
   return info;
 }

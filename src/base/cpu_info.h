@@ -24,6 +24,10 @@ struct CpuInfo {
   std::size_t l2_bytes = 1024 * 1024;
   std::size_t l3_bytes = 8 * 1024 * 1024;
   bool has_fma = false;
+  bool has_vnni = false;          // AVX-512 VNNI (vpdpbusd), detected at runtime
+  // Invariant TSC: rdtsc ticks at a constant rate across frequency scaling and sleep
+  // states, so it can back cycle-accurate node timing (constant_tsc + nonstop_tsc).
+  bool has_invariant_tsc = false;
   std::string brand;
 
   int VectorLanesF32() const { return vector_bits / 32; }

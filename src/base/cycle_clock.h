@@ -1,0 +1,41 @@
+// Serialized TSC reads for cycle-accurate node timing.
+//
+// steady_clock costs ~20ns per read through the vDSO; a serialized rdtsc is ~10ns and
+// — more importantly — counts *cycles*, which is the unit kernel cost models reason
+// in. The reads are serialized (lfence; rdtsc) so the timestamp cannot drift into the
+// middle of the measured region on an out-of-order core.
+//
+// Only meaningful where the TSC is invariant (constant rate across P-states, keeps
+// counting in deep C-states — the `constant_tsc nonstop_tsc` cpuid flags): on other
+// hosts, or on non-x86 builds, Supported() is false and callers fall back to
+// steady_clock. Cycles convert to nanos through a one-time calibration of the TSC
+// frequency against steady_clock (the kernel does not export it portably).
+#ifndef NEOCPU_SRC_BASE_CYCLE_CLOCK_H_
+#define NEOCPU_SRC_BASE_CYCLE_CLOCK_H_
+
+#include <cstdint>
+
+namespace neocpu {
+
+class CycleClock {
+ public:
+  // True when serialized TSC reads are available AND invariant on this host.
+  // Constant after the first call.
+  static bool Supported();
+
+  // Serialized cycle counter read. Call only when Supported().
+  static std::uint64_t Now();
+
+  // Nanoseconds per TSC cycle, calibrated once against steady_clock (~2ms spin on
+  // first use). 0.0 when !Supported().
+  static double NanosPerCycle();
+
+  // Convenience: elapsed nanos between two Now() reads.
+  static std::uint64_t CyclesToNanos(std::uint64_t cycles) {
+    return static_cast<std::uint64_t>(static_cast<double>(cycles) * NanosPerCycle());
+  }
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_BASE_CYCLE_CLOCK_H_

@@ -139,13 +139,31 @@ Graph LowerFusedGraph(const Graph& source, const CompileOptions& opts,
                               opts.quick_space, opts.engine, cache, &cache_hit);
     ++(cache_hit ? stats->tuning_cache_hits : stats->tuning_cache_misses);
     if (quantizing && QuantizeLegal(source, id, *calibration)) {
-      bool s8_hit = false;
-      std::shared_ptr<const LocalSearchResult> s8 = LocalSearchConvShared(
-          node.attrs.conv, opts.target, opts.cost_mode, opts.quick_space, opts.engine,
-          cache, &s8_hit, DType::kS8);
-      ++(s8_hit ? stats->tuning_cache_hits : stats->tuning_cache_misses);
+      // The u8 space exists only for quad-divisible channel blockings (VNNI packs 4
+      // input channels per lane); pre-check so the search never CHECK-fails on an
+      // empty candidate list. A forced dtype narrows which spaces join the merge —
+      // forced u8 still falls back to s8 where no legal u8 blocking exists.
+      const bool u8_possible =
+          opts.force_quant_dtype != DType::kS8 &&
+          !EnumerateS8Schedules(node.attrs.conv, opts.target, opts.quick_space,
+                                DType::kU8)
+               .empty();
+      const bool s8_wanted = opts.force_quant_dtype != DType::kU8 || !u8_possible;
       LocalSearchResult merged = *result;
-      merged.ranked.insert(merged.ranked.end(), s8->ranked.begin(), s8->ranked.end());
+      auto merge_space = [&](DType dtype) {
+        bool hit = false;
+        std::shared_ptr<const LocalSearchResult> q = LocalSearchConvShared(
+            node.attrs.conv, opts.target, opts.cost_mode, opts.quick_space, opts.engine,
+            cache, &hit, dtype);
+        ++(hit ? stats->tuning_cache_hits : stats->tuning_cache_misses);
+        merged.ranked.insert(merged.ranked.end(), q->ranked.begin(), q->ranked.end());
+      };
+      if (s8_wanted) {
+        merge_space(DType::kS8);
+      }
+      if (u8_possible) {
+        merge_space(DType::kU8);
+      }
       std::stable_sort(
           merged.ranked.begin(), merged.ranked.end(),
           [](const ScheduleCost& a, const ScheduleCost& b) { return a.ms < b.ms; });
@@ -236,7 +254,9 @@ Graph LowerFusedGraph(const Graph& source, const CompileOptions& opts,
                                         : LayoutPlacement::kPropagate;
   Graph lowered_source = source;
   if (quantizing && stats->num_quantized_convs > 0) {
-    lowered_source = QuantizeGraph(source, *calibration, &schedules);
+    QuantizeGraphOptions qopts;
+    qopts.quantize_dense = opts.quantize_dense;
+    lowered_source = QuantizeGraph(source, *calibration, &schedules, qopts);
   }
   Graph g = AlterConvLayout(lowered_source, schedules, placement);
   stats->num_layout_transforms = g.CountNodes(OpType::kLayoutTransform);
@@ -245,29 +265,39 @@ Graph LowerFusedGraph(const Graph& source, const CompileOptions& opts,
 
 // Runs the fp32 source graph over the calibration inputs (or one deterministic
 // synthetic batch) with a range observer attached — the "sample inputs recorded by a
-// CalibrationObserver on the executor" side of post-training quantization.
+// CalibrationObserver on the executor" side of post-training quantization. The
+// clipping policies (percentile, entropy) replay the identical samples a second time
+// to fill the observer's histograms before Finalize reduces them (the synthetic batch
+// re-seeds its Rng, so both passes see the same data).
 CalibrationTable CalibrateGraph(const Graph& source, const CompileOptions& opts) {
   CalibrationObserver observer;
   Executor executor(&source, opts.engine);
   executor.SetObserver(&observer);
-  if (!opts.calibration_inputs.empty()) {
-    // Each entry is one sample batch for the graph's (single) input; ranges across
-    // batches merge in the observer.
-    for (const Tensor& sample : opts.calibration_inputs) {
-      executor.Run(std::vector<Tensor>{sample});
-    }
-  } else {
-    Rng rng(0xC0DE);
-    std::vector<Tensor> inputs;
-    for (int id = 0; id < source.num_nodes(); ++id) {
-      if (source.node(id).type == OpType::kInput) {
-        inputs.push_back(
-            Tensor::Random(source.node(id).out_dims, rng, -1.0f, 1.0f, Layout::NCHW()));
+  auto run_samples = [&]() {
+    if (!opts.calibration_inputs.empty()) {
+      // Each entry is one sample batch for the graph's (single) input; ranges across
+      // batches merge in the observer.
+      for (const Tensor& sample : opts.calibration_inputs) {
+        executor.Run(std::vector<Tensor>{sample});
       }
+    } else {
+      Rng rng(0xC0DE);
+      std::vector<Tensor> inputs;
+      for (int id = 0; id < source.num_nodes(); ++id) {
+        if (source.node(id).type == OpType::kInput) {
+          inputs.push_back(
+              Tensor::Random(source.node(id).out_dims, rng, -1.0f, 1.0f, Layout::NCHW()));
+        }
+      }
+      executor.Run(inputs);
     }
-    executor.Run(inputs);
+  };
+  run_samples();
+  if (opts.calibration_policy != CalibrationPolicy::kMinMax) {
+    observer.BeginHistogramPhase();
+    run_samples();
   }
-  return observer.TakeTable();
+  return observer.Finalize(opts.calibration_policy);
 }
 
 }  // namespace

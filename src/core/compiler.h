@@ -74,6 +74,18 @@ struct CompileConfig {
   // persisted config, so per-batch re-tunes re-select quantized schedules.
   bool quantize = false;
   bool force_quantize = false;
+  // How activation ranges observed during calibration become quantization ranges:
+  // straight min/max, a percentile clip (drops the extreme 0.1% tail mass), or an
+  // entropy (KL) scan that picks the clip threshold losing the least information.
+  CalibrationPolicy calibration_policy = CalibrationPolicy::kMinMax;
+  // Also quantize dense (fully-connected) layers through the s8 GEMM epilogue. Off by
+  // default: the classifier head is small and accuracy-sensitive.
+  bool quantize_dense = false;
+  // Pins the activation dtype of quantized convs. kF32 (the default) lets the search
+  // rank s8 and u8 spaces side by side; kS8 searches only the s8 space; kU8 prefers
+  // u8-with-zero-point wherever a legal quad-divisible blocking exists (falling back
+  // to s8 for channel counts with none, e.g. the 3-channel image stem).
+  DType force_quant_dtype = DType::kF32;
 };
 
 struct CompileOptions : CompileConfig {

@@ -33,20 +33,42 @@ class TraceRecorder;
 
 // Records per-node output ranges while a graph executes — the calibration side of
 // post-training quantization: the compiler runs the fp32 source graph over sample
-// inputs with an observer attached, and QuantizeGraph turns the observed ranges into
-// symmetric s8 scales. Not thread-safe; attach to a dedicated executor and run
-// calibration batches sequentially.
+// inputs with an observer attached, and QuantizeGraph turns the resulting ranges into
+// s8/u8 scales. Min/max calibration needs a single pass; the clipping policies
+// (percentile, entropy) need a second pass over the SAME samples that bins |x| into a
+// per-node histogram whose support [0, absmax] comes from the first pass' ranges —
+// call BeginHistogramPhase() between the passes and Finalize(policy) at the end. Not
+// thread-safe; attach to a dedicated executor and run calibration batches
+// sequentially.
 class CalibrationObserver {
  public:
-  // Folds `value`'s min/max into the running range of node `id` (fp32 tensors only;
-  // non-f32 values are ignored).
+  static constexpr int kHistogramBins = 512;
+
+  // Phase 1: folds `value`'s min/max into the running range of node `id`. Phase 2
+  // (after BeginHistogramPhase): bins |value| into node `id`'s histogram instead.
+  // fp32 tensors only; non-f32 values are ignored.
   void Observe(int id, const Tensor& value);
+
+  void BeginHistogramPhase() { histogram_phase_ = true; }
+
+  // Reduces the observations under `policy` and returns (moves out) the table:
+  //   * kMinMax      — the phase-1 ranges verbatim;
+  //   * kPercentile  — clips each range to the threshold retaining 99.9% of the
+  //                    observed |x| mass (outlier spikes stop dictating the scale);
+  //   * kEntropy     — scans clip candidates and keeps the one whose 256-level
+  //                    quantization of the clipped distribution loses the least
+  //                    information (smallest KL divergence), TVM-style.
+  // Nodes without a histogram (policy kMinMax, or all-zero activations) keep their
+  // min/max range.
+  CalibrationTable Finalize(CalibrationPolicy policy);
 
   const CalibrationTable& table() const { return table_; }
   CalibrationTable TakeTable() { return std::move(table_); }
 
  private:
   CalibrationTable table_;
+  bool histogram_phase_ = false;
+  std::map<int, std::vector<std::uint64_t>> hist_;  // |x| histogram over [0, absmax]
 };
 
 class Executor {

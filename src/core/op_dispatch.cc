@@ -20,15 +20,54 @@
 namespace neocpu {
 namespace {
 
+// f32 staging bytes for a conv's fused integer residual (0 when it has none): the
+// dequantized residual is materialized here rather than heap-allocated so the planned
+// executor stays zero-alloc. 64-byte aligned so kernel scratch that follows it in the
+// shared workspace keeps SIMD alignment.
+std::size_t ResidualStagingBytes(const Node& node) {
+  if (node.type != OpType::kConv2d || !node.attrs.epilogue.residual_add ||
+      node.attrs.qin_scales.empty()) {
+    return 0;
+  }
+  std::int64_t elems = 1;
+  for (std::int64_t d : node.out_dims) {
+    elems *= d;
+  }
+  return (static_cast<std::size_t>(elems) * sizeof(float) + 63) & ~std::size_t{63};
+}
+
 // Runs the convolution kernel bound to `node` writing into the preallocated `*out`;
 // `workspace` backs kernel scratch — the im2col column buffer or Winograd's per-worker
-// tile buffers (null on the allocating path, which lets the kernels self-allocate).
+// tile buffers (null on the allocating path, which lets the kernels self-allocate) —
+// prefixed by the fused-residual staging region when ResidualStagingBytes > 0.
 void ExecuteConvInto(const Node& node, const std::vector<Tensor>& in, Tensor* out,
                      float* workspace, std::size_t workspace_bytes, ThreadEngine* engine) {
   const Conv2dParams& p = node.attrs.conv;
   const ConvEpilogue& epi = node.attrs.epilogue;
   const Tensor* bias = epi.bias ? &in[2] : nullptr;
   const Tensor* residual = epi.residual_add ? &in.back() : nullptr;
+  Tensor residual_f32;
+  if (residual != nullptr && residual->dtype() != DType::kF32) {
+    // Fused integer residual (QuantizeGraph's sum fusion): the producer stayed in the
+    // integer domain for its other consumers; this conv rescales the codes back to
+    // f32 on the way into its epilogue add.
+    const std::size_t staging = ResidualStagingBytes(node);
+    if (workspace != nullptr && staging > 0 && workspace_bytes >= staging) {
+      residual_f32 = Tensor::FromExternal(workspace, residual->dims(),
+                                          residual->layout(), DType::kF32);
+      workspace += staging / sizeof(float);
+      workspace_bytes -= staging;
+      if (workspace_bytes == 0) {
+        workspace = nullptr;
+      }
+      Dequantize(*residual, node.attrs.qin_scales.at(0), node.attrs.qin_zeros.at(0),
+                 &residual_f32, engine);
+    } else {
+      residual_f32 = Dequantize(*residual, node.attrs.qin_scales.at(0),
+                                node.attrs.qin_zeros.at(0), engine);
+    }
+    residual = &residual_f32;
+  }
   switch (node.attrs.kernel) {
     case ConvKernelKind::kDirectNCHW:
       ConvRefNCHW(p, in[0], in[1], bias, residual, epi, out, engine);
@@ -44,10 +83,11 @@ void ExecuteConvInto(const Node& node, const std::vector<Tensor>& in, Tensor* ou
                    workspace_bytes / sizeof(float));
       return;
     case ConvKernelKind::kNCHWcS8:
-      // Inputs: {data s8, weight s8, [bias s32], multiplier f32} — the multiplier is
+      // Inputs: {data s8/u8, weight s8, [bias s32], multiplier f32} — the multiplier is
       // always the last input; residual epilogues are illegal in int8.
       ConvNCHWcS8(p, node.attrs.schedule, in[0], in[1], bias, in.back(), epi,
-                  node.attrs.qconv.requant, out, engine);
+                  node.attrs.qconv.requant, out, engine, node.attrs.qconv.out_zero,
+                  node.attrs.qconv.in_zero);
       return;
   }
   LOG(FATAL) << "unreachable";
@@ -64,7 +104,8 @@ Tensor ExecuteConv(const Node& node, const std::vector<Tensor>& in, ThreadEngine
     const ConvSchedule& s = node.attrs.schedule;
     out = Tensor::Empty({p.batch, p.out_c / s.oc_bn, p.OutH(), p.OutW(), s.oc_bn},
                         Layout::NCHWc(s.oc_bn),
-                        node.attrs.qconv.requant ? DType::kS8 : DType::kF32);
+                        node.attrs.qconv.requant ? node.attrs.qconv.out_dtype
+                                                 : DType::kF32);
   } else {
     out = Tensor::Empty({p.batch, p.out_c, p.OutH(), p.OutW()}, Layout::NCHW());
   }
@@ -129,18 +170,31 @@ Tensor ExecuteNode(const Node& node, const std::vector<Tensor>& in, ThreadEngine
       return Relu(in[0], engine);
     case OpType::kMaxPool:
     case OpType::kAvgPool:
+      if (in[0].dtype() == DType::kS8 || in[0].dtype() == DType::kU8) {
+        return PoolNCHWcInt(node.attrs.pool, in[0], node.attrs.qzero, engine);
+      }
       return in[0].ndim() == 5 ? PoolNCHWc(node.attrs.pool, in[0], engine)
                                : PoolNCHW(node.attrs.pool, in[0], engine);
     case OpType::kGlobalAvgPool:
       return in[0].ndim() == 5 ? GlobalAvgPoolNCHWc(in[0], engine)
                                : GlobalAvgPoolNCHW(in[0], engine);
     case OpType::kDense:
+      if (node.attrs.qconv.enabled) {
+        // Inputs: {data s8, weight s8, [bias s32], multiplier f32} — same convention
+        // as the quantized conv (multiplier last).
+        return DenseS8(in[0], in[1], in.size() > 3 ? &in[2] : nullptr, in.back(),
+                       node.attrs.relu, engine);
+      }
       return Dense(in[0], in[1], in.size() > 2 ? &in[2] : nullptr, node.attrs.relu, engine);
     case OpType::kSoftmax:
       return Softmax(in[0], engine);
     case OpType::kElemAdd:
       return AddElementwise(in[0], in[1], node.attrs.relu, engine);
     case OpType::kConcat:
+      if (in[0].dtype() == DType::kS8 || in[0].dtype() == DType::kU8) {
+        return ConcatChannelsInt(in, node.attrs.qin_scales, node.attrs.qin_zeros,
+                                 node.attrs.qscale, node.attrs.qzero, engine);
+      }
       return in[0].ndim() >= 4 ? ConcatChannels(in, engine) : ConcatFlat(in);
     case OpType::kFlatten:
       return FlattenNCHW(in[0]);
@@ -188,7 +242,9 @@ void ExecuteNodeInto(const Node& node, const std::vector<Tensor>& in, Tensor* ou
       return;
     case OpType::kMaxPool:
     case OpType::kAvgPool:
-      if (in[0].ndim() == 5) {
+      if (in[0].dtype() == DType::kS8 || in[0].dtype() == DType::kU8) {
+        PoolNCHWcInt(node.attrs.pool, in[0], node.attrs.qzero, out, engine);
+      } else if (in[0].ndim() == 5) {
         PoolNCHWc(node.attrs.pool, in[0], out, engine);
       } else {
         PoolNCHW(node.attrs.pool, in[0], out, engine);
@@ -202,7 +258,13 @@ void ExecuteNodeInto(const Node& node, const std::vector<Tensor>& in, Tensor* ou
       }
       return;
     case OpType::kDense:
-      Dense(in[0], in[1], in.size() > 2 ? &in[2] : nullptr, node.attrs.relu, out, engine);
+      if (node.attrs.qconv.enabled) {
+        DenseS8(in[0], in[1], in.size() > 3 ? &in[2] : nullptr, in.back(),
+                node.attrs.relu, out, engine);
+      } else {
+        Dense(in[0], in[1], in.size() > 2 ? &in[2] : nullptr, node.attrs.relu, out,
+              engine);
+      }
       return;
     case OpType::kSoftmax:
       Softmax(in[0], out, engine);
@@ -211,7 +273,10 @@ void ExecuteNodeInto(const Node& node, const std::vector<Tensor>& in, Tensor* ou
       AddElementwise(in[0], in[1], node.attrs.relu, out, engine);
       return;
     case OpType::kConcat:
-      if (in[0].ndim() >= 4) {
+      if (in[0].dtype() == DType::kS8 || in[0].dtype() == DType::kU8) {
+        ConcatChannelsInt(in, node.attrs.qin_scales, node.attrs.qin_zeros,
+                          node.attrs.qscale, node.attrs.qzero, out, engine);
+      } else if (in[0].ndim() >= 4) {
         ConcatChannels(in, out, engine);
       } else {
         ConcatFlatInto(in, out);
@@ -287,14 +352,18 @@ std::size_t NodeWorkspaceBytes(const Node& node) {
   if (node.type != OpType::kConv2d) {
     return 0;
   }
+  std::size_t bytes = ResidualStagingBytes(node);
   switch (node.attrs.kernel) {
     case ConvKernelKind::kIm2col:
-      return ConvIm2colWorkspaceBytes(node.attrs.conv);
+      bytes += ConvIm2colWorkspaceBytes(node.attrs.conv);
+      break;
     case ConvKernelKind::kWinograd:
-      return WinogradWorkspaceBytes(node.attrs.conv, MaxPlannedWorkers());
+      bytes += WinogradWorkspaceBytes(node.attrs.conv, MaxPlannedWorkers());
+      break;
     default:
-      return 0;
+      break;
   }
+  return bytes;
 }
 
 std::vector<std::int64_t> PlannedOutputDims(const Node& node) {

@@ -20,8 +20,11 @@ constexpr char kMagic[4] = {'N', 'E', 'O', 'C'};
 //     and output dtype, dtyped constant payloads (s8 weights, s32 biases), quantize
 //     config flags + Target::int8_dot, and the calibration table; embedded tuning
 //     caches carry dtype-tagged entries (cache format v4).
+// v6: u8 activations — per-node quant extension block (activation/output dtype with
+//     zero points, integer concat per-input rescale params), calibration-policy /
+//     quantize-dense / forced-dtype config fields, and Target::vnni_dot.
 // docs/module_format.md is the authoritative spec.
-constexpr std::uint32_t kVersion = 5;
+constexpr std::uint32_t kVersion = 6;
 constexpr std::uint32_t kMinVersion = 1;
 
 void WriteU32(std::ostream& out, std::uint32_t v) {
@@ -158,6 +161,19 @@ struct QuantBlock {
 };
 static_assert(sizeof(QuantBlock) == 20, "on-disk quant block layout drifted");
 
+// v6 extension, written after every QuantBlock: the u8-activation state — which dtype
+// the conv reads/writes and the zero points that go with it. The integer-concat
+// per-input rescale vectors follow as explicit length-prefixed arrays (variable size,
+// so not part of the POD).
+struct QuantExtBlock {
+  std::uint8_t adtype;
+  std::uint8_t out_dtype;
+  std::uint8_t pad[2];
+  std::int32_t in_zero;
+  std::int32_t out_zero;
+};
+static_assert(sizeof(QuantExtBlock) == 12, "on-disk quant ext block layout drifted");
+
 void WriteGraph(std::ostream& out, const Graph& g) {
   WriteString(out, g.name);
   {
@@ -197,6 +213,20 @@ void WriteGraph(std::ostream& out, const Graph& g) {
     quant.qscale = node.attrs.qscale;
     quant.qzero = node.attrs.qzero;
     out.write(reinterpret_cast<const char*>(&quant), sizeof(quant));
+    QuantExtBlock ext{};
+    ext.adtype = static_cast<std::uint8_t>(node.attrs.qconv.adtype);
+    ext.out_dtype = static_cast<std::uint8_t>(node.attrs.qconv.out_dtype);
+    ext.in_zero = node.attrs.qconv.in_zero;
+    ext.out_zero = node.attrs.qconv.out_zero;
+    out.write(reinterpret_cast<const char*>(&ext), sizeof(ext));
+    WriteU32(out, static_cast<std::uint32_t>(node.attrs.qin_scales.size()));
+    for (float s : node.attrs.qin_scales) {
+      WriteF32(out, s);
+    }
+    WriteU32(out, static_cast<std::uint32_t>(node.attrs.qin_zeros.size()));
+    for (std::int32_t z : node.attrs.qin_zeros) {
+      WriteU32(out, static_cast<std::uint32_t>(z));
+    }
     WriteLayout(out, node.attrs.dst_layout);
     WriteI64Vec(out, node.attrs.reshape_dims);
     WriteI64Vec(out, node.out_dims);
@@ -258,6 +288,24 @@ Graph ReadGraph(std::istream& in, const std::string& path, std::uint32_t version
       attrs.qzero = quant.qzero;
       attrs.schedule.dtype = static_cast<DType>(quant.schedule_dtype);
     }
+    if (version >= 6) {
+      QuantExtBlock ext{};
+      in.read(reinterpret_cast<char*>(&ext), sizeof(ext));
+      attrs.qconv.adtype = static_cast<DType>(ext.adtype);
+      attrs.qconv.out_dtype = static_cast<DType>(ext.out_dtype);
+      attrs.qconv.in_zero = ext.in_zero;
+      attrs.qconv.out_zero = ext.out_zero;
+      attrs.qin_scales.resize(ReadU32(in));
+      for (float& s : attrs.qin_scales) {
+        s = ReadF32(in);
+      }
+      attrs.qin_zeros.resize(ReadU32(in));
+      for (std::int32_t& z : attrs.qin_zeros) {
+        z = static_cast<std::int32_t>(ReadU32(in));
+      }
+    }
+    // v5 modules predate u8 activations: every quantized conv there is s8-in/s8-out
+    // with zero zero-points, which is exactly ConvQuant's default state.
     attrs.dst_layout = ReadLayout(in);
     attrs.reshape_dims = ReadI64Vec(in);
     const std::vector<std::int64_t> out_dims = ReadI64Vec(in);
@@ -314,6 +362,10 @@ void WriteConfig(std::ostream& out, const CompileConfig& config) {
   WriteU32(out, config.quantize ? 1 : 0);           // v5+
   WriteU32(out, config.force_quantize ? 1 : 0);
   WriteU32(out, config.target.int8_dot ? 1 : 0);
+  WriteU32(out, static_cast<std::uint32_t>(config.calibration_policy));  // v6+
+  WriteU32(out, config.quantize_dense ? 1 : 0);
+  WriteU32(out, static_cast<std::uint32_t>(config.force_quant_dtype));
+  WriteU32(out, config.target.vnni_dot ? 1 : 0);
 }
 
 CompileConfig ReadConfig(std::istream& in, std::uint32_t version) {
@@ -345,6 +397,12 @@ CompileConfig ReadConfig(std::istream& in, std::uint32_t version) {
     config.quantize = ReadU32(in) != 0;
     config.force_quantize = ReadU32(in) != 0;
     config.target.int8_dot = ReadU32(in) != 0;
+  }
+  if (version >= 6) {
+    config.calibration_policy = static_cast<CalibrationPolicy>(ReadU32(in));
+    config.quantize_dense = ReadU32(in) != 0;
+    config.force_quant_dtype = static_cast<DType>(ReadU32(in));
+    config.target.vnni_dot = ReadU32(in) != 0;
   }
   return config;
 }

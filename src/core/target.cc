@@ -16,6 +16,7 @@ Target Target::Host() {
   t.l2_bytes = info.l2_bytes;
   t.l3_bytes = info.l3_bytes;
   t.fma_per_cycle = info.has_fma ? 2 : 1;
+  t.vnni_dot = info.has_vnni;
   return t;
 }
 
@@ -61,12 +62,24 @@ Target Target::ArmA72Neon() {
   return t;
 }
 
+Target Target::CascadeLakeVnni() {
+  // Same core/cache shape as the Skylake profile (Cascade Lake is its refresh); the
+  // schedule-space difference is the fused u8·s8 dot product.
+  Target t = SkylakeAvx512();
+  t.name = "vnni";
+  t.vnni_dot = true;
+  return t;
+}
+
 Target Target::ByName(const std::string& name) {
   if (name == "host") {
     return Host();
   }
   if (name == "avx512" || name == "skylake") {
     return SkylakeAvx512();
+  }
+  if (name == "vnni" || name == "cascadelake") {
+    return CascadeLakeVnni();
   }
   if (name == "avx2" || name == "epyc") {
     return EpycAvx2();

@@ -31,6 +31,13 @@ struct Target {
   // flip it off to verify the gating.
   bool int8_dot = true;
 
+  // Whether this profile has a fused u8·s8 dot-product instruction (AVX-512 VNNI
+  // vpdpbusd). The u8 cost model credits the fused MAC chain only when this is set;
+  // without it the u8 path pays the overflow-safe s32 accumulation (the IntelCaffe
+  // s16-overflow workaround) and rarely beats s8. Host() detects it via cpuid; the
+  // CascadeLakeVnni profile pins it for tests.
+  bool vnni_dot = false;
+
   // Natural channel block: one vector register of fp32 lanes.
   std::int64_t PreferredBlock() const { return vector_lanes; }
   // Largest channel block the schedule space admits for this ISA.
@@ -52,7 +59,9 @@ struct Target {
   static Target SkylakeAvx512();
   static Target EpycAvx2();
   static Target ArmA72Neon();
-  // "host", "avx512", "avx2", "neon".
+  // Skylake's server successor with AVX-512 VNNI (the IntelCaffe evaluation class).
+  static Target CascadeLakeVnni();
+  // "host", "avx512", "avx2", "neon", "vnni".
   static Target ByName(const std::string& name);
 };
 

@@ -56,16 +56,24 @@ enum class ConvKernelKind {
   kNCHWcS8,     // quantized s8xs8->s32 template in NCHW[x]c with fused (re/de)quant
 };
 
-// Quantization annotation of a conv node (set by the QuantizeGraph pass; consumed by
-// AlterConvLayout's weight pre-quantization and the runtime dispatch). Scales follow
-// the symmetric s8 convention of kernels/quantize.h.
+// Quantization annotation of a conv (or dense) node (set by the QuantizeGraph pass;
+// consumed by AlterConvLayout's weight pre-quantization and the runtime dispatch).
+// Scales follow kernels/quantize.h: symmetric for s8 (zero point 0), affine for u8
+// (q = clamp(round(x/scale) + zp, 0, 255)). The input zero point never reaches the
+// kernel's inner loop — AlterConvLayout folds the correction term
+// (bias'[oc] -= in_zero * sum(w_s8[oc,...])) into the s32 bias constant.
 struct ConvQuant {
   bool enabled = false;
-  float in_scale = 1.0f;   // scale of the s8 data input
-  float out_scale = 1.0f;  // requantization scale of the s8 output (iff requant)
-  // true: the conv re-quantizes to s8 (an s8 consumer chain follows); false: the
-  // epilogue dequantizes straight to f32 (no separate kDequantize node needed).
+  float in_scale = 1.0f;   // scale of the integer data input
+  float out_scale = 1.0f;  // requantization scale of the integer output (iff requant)
+  // true: the conv re-quantizes to an integer output (an integer consumer chain
+  // follows); false: the epilogue dequantizes straight to f32 (no separate
+  // kDequantize node needed).
   bool requant = true;
+  DType adtype = DType::kS8;       // activation (data-input) dtype: kS8 or kU8
+  std::int32_t in_zero = 0;        // input zero point (0 for s8 activations)
+  DType out_dtype = DType::kS8;    // requantized output dtype (iff requant)
+  std::int32_t out_zero = 0;       // output zero point (0 for s8 outputs)
 
   bool operator==(const ConvQuant&) const = default;
 };
@@ -78,10 +86,15 @@ struct NodeAttrs {
   ConvEpilogue epilogue;
   ConvSchedule schedule;
   ConvKernelKind kernel = ConvKernelKind::kDirectNCHW;
-  ConvQuant qconv;          // kConv2d under the quantized path
-  float qscale = 1.0f;      // kQuantize / kDequantize per-tensor scale
+  ConvQuant qconv;          // kConv2d / kDense under the quantized path
+  float qscale = 1.0f;      // kQuantize / kDequantize per-tensor scale; for integer
+                            // pooling/concat, the scale of the integer OUTPUT
   std::int32_t qzero = 0;   // zero point (0 for s8; meaningful for u8)
   DType qdtype = DType::kS8;  // kQuantize target dtype
+  // Integer concat only: per-input (scale, zero point) of the incoming integer
+  // tensors; the concat kernel rescales each input to (qscale, qzero) while copying.
+  std::vector<float> qin_scales;
+  std::vector<std::int32_t> qin_zeros;
   Pool2dParams pool;
   float epsilon = 1e-5f;
   bool relu = false;  // fused ReLU for kScaleShift / kElemAdd / kDense

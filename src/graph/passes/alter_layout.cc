@@ -133,12 +133,17 @@ Graph AlterConvLayout(const Graph& graph, const std::map<int, ConvSchedule>& sch
           break;
         }
         if (sched.IsQuantized()) {
-          // Quantized direct template: the s8 data input blocks like the fp32 one;
+          // Quantized direct template: the s8/u8 data input blocks like the fp32 one;
           // the fp32 weight constant is per-output-channel quantized and blocked at
-          // compile time, the bias folds to s32 in the accumulation domain, and the
-          // epilogue's per-channel multiplier becomes a constant input.
+          // compile time, the bias folds to s32 in the accumulation domain (plus the
+          // u8 zero-point correction -in_zero * sum(w)), and the epilogue's
+          // per-channel multiplier becomes a constant input. u8 activations
+          // additionally VNNI-pack the blocked weight tiles (AFTER the bias fold,
+          // which walks the standard tile order).
           NEOCPU_CHECK(node.attrs.qconv.enabled)
               << node.name << ": s8 schedule on an unquantized conv";
+          const bool u8 = node.attrs.qconv.adtype == DType::kU8;
+          const std::int32_t in_zero = u8 ? node.attrs.qconv.in_zero : 0;
           const int data =
               ensure_layout(rw.Lookup(node.inputs[0]), Layout::NCHWc(sched.ic_bn));
           const Tensor& w = graph.node(node.inputs[1]).payload;
@@ -147,14 +152,29 @@ Graph AlterConvLayout(const Graph& graph, const std::map<int, ConvSchedule>& sch
           std::vector<float> w_scales;
           QuantizeConvWeightsPerOC(w, &w_s8, &w_scales);
           Tensor w_blocked = OIHWToOIHWio(w_s8, sched.ic_bn, sched.oc_bn);
-          std::vector<int> inputs = {
-              data, rw.dst().AddConstant(std::move(w_blocked), node.name + ".w8")};
+          NodeAttrs attrs = node.attrs;
+          Tensor bias_s32;
           if (node.attrs.epilogue.bias) {
             const Tensor& bias = graph.node(node.inputs[2]).payload;
             NEOCPU_CHECK(bias.defined()) << node.name << ": conv bias must be constant";
-            inputs.push_back(rw.dst().AddConstant(
-                QuantizeBiasS32(bias, node.attrs.qconv.in_scale, w_scales),
-                node.name + ".b32"));
+            bias_s32 = QuantizeBiasS32(bias, node.attrs.qconv.in_scale, w_scales);
+          } else if (in_zero != 0) {
+            // The zero-point correction needs a bias to live in: synthesize zeros.
+            bias_s32 = Tensor::Zeros({node.attrs.conv.out_c}, Layout::Flat(),
+                                     DType::kS32);
+            attrs.epilogue.bias = true;
+          }
+          if (in_zero != 0) {
+            FoldZeroPointIntoBias(w_blocked, in_zero, &bias_s32);
+          }
+          if (u8) {
+            w_blocked = PackWeightsVnni(w_blocked);
+          }
+          std::vector<int> inputs = {
+              data, rw.dst().AddConstant(std::move(w_blocked), node.name + ".w8")};
+          if (bias_s32.defined()) {
+            inputs.push_back(
+                rw.dst().AddConstant(std::move(bias_s32), node.name + ".b32"));
           }
           Tensor mult = Tensor::Empty({node.attrs.conv.out_c}, Layout::Flat());
           const float denom =
@@ -163,7 +183,6 @@ Graph AlterConvLayout(const Graph& graph, const std::map<int, ConvSchedule>& sch
             mult.data()[o] = node.attrs.qconv.in_scale * w_scales[o] / denom;
           }
           inputs.push_back(rw.dst().AddConstant(std::move(mult), node.name + ".m"));
-          NodeAttrs attrs = node.attrs;
           attrs.kernel = ConvKernelKind::kNCHWcS8;
           attrs.schedule = sched;
           const int new_id = rw.dst().AddNode(OpType::kConv2d, std::move(inputs),
@@ -199,6 +218,53 @@ Graph AlterConvLayout(const Graph& graph, const std::map<int, ConvSchedule>& sch
         if (placement == LayoutPlacement::kPerOp) {
           new_id = ensure_layout(new_id, Layout::NCHW());
         }
+        rw.MapTo(id, new_id);
+        break;
+      }
+      case OpType::kDense: {
+        if (!node.attrs.qconv.enabled) {
+          // Plain dense: ordinary layout-dependent handling (data back to NCHW-order
+          // flat; dense inputs are 2-D so no transform is needed in practice).
+          std::vector<int> inputs;
+          for (std::size_t i = 0; i < node.inputs.size(); ++i) {
+            int mapped = rw.Lookup(node.inputs[i]);
+            if (i == 0 && graph.node(node.inputs[0]).out_dims.size() == 4) {
+              mapped = ensure_layout(mapped, Layout::NCHW());
+            }
+            inputs.push_back(mapped);
+          }
+          const int new_id = rw.dst().AddNode(OpType::kDense, std::move(inputs),
+                                              node.attrs, node.name);
+          rw.dst().node(new_id).out_layout = Layout::Flat();
+          rw.MapTo(id, new_id);
+          break;
+        }
+        // Quantized dense (s8 GEMM): the {Out, In} weight is per-row quantized, the
+        // bias folds to s32, and the dequantizing per-row multiplier becomes a
+        // constant input — the conv convention with a 2-D weight.
+        const Tensor& w = graph.node(node.inputs[1]).payload;
+        NEOCPU_CHECK(w.defined()) << node.name << ": dense weight must be constant";
+        Tensor w_s8;
+        std::vector<float> w_scales;
+        QuantizeConvWeightsPerOC(w, &w_s8, &w_scales);
+        std::vector<int> inputs = {
+            rw.Lookup(node.inputs[0]),
+            rw.dst().AddConstant(std::move(w_s8), node.name + ".w8")};
+        if (node.inputs.size() > 2) {
+          const Tensor& bias = graph.node(node.inputs[2]).payload;
+          NEOCPU_CHECK(bias.defined()) << node.name << ": dense bias must be constant";
+          inputs.push_back(rw.dst().AddConstant(
+              QuantizeBiasS32(bias, node.attrs.qconv.in_scale, w_scales),
+              node.name + ".b32"));
+        }
+        Tensor mult = Tensor::Empty({w.dim(0)}, Layout::Flat());
+        for (std::size_t o = 0; o < w_scales.size(); ++o) {
+          mult.data()[o] = node.attrs.qconv.in_scale * w_scales[o];
+        }
+        inputs.push_back(rw.dst().AddConstant(std::move(mult), node.name + ".m"));
+        const int new_id =
+            rw.dst().AddNode(OpType::kDense, std::move(inputs), node.attrs, node.name);
+        rw.dst().node(new_id).out_layout = Layout::Flat();
         rw.MapTo(id, new_id);
         break;
       }

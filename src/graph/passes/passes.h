@@ -43,27 +43,56 @@ struct TensorRange {
 // Node id (in the fused pre-layout source graph) -> observed output range.
 using CalibrationTable = std::map<int, TensorRange>;
 
+// How the calibration observer reduces observed activations to a quantization range.
+// Enumerator values appear in serialized modules — append only.
+enum class CalibrationPolicy {
+  kMinMax = 0,      // exact observed min/max (one pass; outlier-sensitive)
+  kPercentile = 1,  // clip to the central 99.9% of observed mass (histogram pass)
+  kEntropy = 2,     // KL-divergence-minimizing clip (TensorRT-style; histogram pass)
+};
+
+const char* CalibrationPolicyName(CalibrationPolicy policy);
+
 // True when `node` (a conv in the fused source graph) can execute the quantized s8
 // kernel: constant weight, no fused residual add (int8's legality window, like
 // Winograd's), and calibrated ranges for both its data input and its output.
 bool QuantizeLegal(const Graph& graph, int id, const CalibrationTable& calibration);
 
+struct QuantizeGraphOptions {
+  // Quantize kDense nodes with constant weights via the s8 GEMM epilogue (DenseS8).
+  // Off by default: dense layers end the network where the fp32 tolerance of the
+  // pre-existing zoo contracts is tightest.
+  bool quantize_dense = false;
+};
+
 // Post-training quantization rewrite. `schedules` maps conv node id -> chosen schedule
-// (keyed against `graph`); convs whose schedule carries dtype s8 are rewritten to the
-// quantized form:
-//   * a kQuantize node (symmetric s8, scale from the calibrated input range) feeds the
-//     conv unless the producer already yields s8 at the same scale — chains of
-//     quantized convs stay in int8 with no Q/DQ pair between them (the DQ->Q
+// (keyed against `graph`); convs whose schedule carries an integer dtype (s8 or u8) are
+// rewritten to the quantized form:
+//   * a kQuantize node (symmetric s8 / affine u8, range from the calibrated input)
+//     feeds the conv unless the producer already yields an integer tensor — chains of
+//     quantized convs stay integer with no Q/DQ pair between them (the DQ->Q
 //     cancellation, done constructively);
-//   * the conv keeps its fp32 weight constant but gains ConvQuant attrs (in/out scale);
-//     AlterConvLayout later pre-quantizes the weights per output channel and folds the
-//     bias to s32;
-//   * consumers that need fp32 read a kDequantize of the conv's s8 output; when NO
-//     consumer can stay s8 the dequantization fuses into the conv epilogue instead
-//     (ConvQuant::requant = false) and no kDequantize node is emitted.
+//   * pooling and concat between quantized convs execute natively in the integer
+//     domain (max pool compares raw codes — quantization is monotonic; avg pool
+//     accumulates in s32; concat rescales each input to the concat's own calibrated range
+//     while copying), so chains survive structural ops instead of bouncing through
+//     DQ->Q pairs. An integer pool/concat is emitted only when an integer consumer
+//     actually follows — otherwise the producing conv keeps its free fused-dequantize
+//     epilogue;
+//   * the conv keeps its fp32 weight constant but gains ConvQuant attrs (in/out
+//     scale/zero-point/dtype); AlterConvLayout later pre-quantizes the weights per
+//     output channel, VNNI-packs them for u8 activations, and folds the bias (and the
+//     u8 zero-point correction) to s32;
+//   * consumers that need fp32 read a kDequantize of the conv's integer output; when
+//     NO consumer stays integer the dequantization fuses into the conv epilogue
+//     instead (ConvQuant::requant = false) and no kDequantize node is emitted.
+// A conv's requantized OUTPUT dtype follows what its integer consumers demand (falling
+// back to s8 on disagreement), independent of its own activation dtype — so an s8 stem
+// conv can feed a u8 chain and vice versa.
 // On return *schedules is re-keyed to the rewritten graph's conv ids.
 Graph QuantizeGraph(const Graph& graph, const CalibrationTable& calibration,
-                    std::map<int, ConvSchedule>* schedules);
+                    std::map<int, ConvSchedule>* schedules,
+                    const QuantizeGraphOptions& options = {});
 
 // Layout placement strategy for AlterConvLayout.
 enum class LayoutPlacement {

@@ -104,9 +104,11 @@ void InferNodeShape(Graph* graph, int id) {
         break;
     }
   }
-  // Dtype inference: s8 enters at kQuantize (or a quantized conv's requantizing
+  // Dtype inference: s8/u8 enters at kQuantize (or a quantized conv's requantizing
   // epilogue), leaves at kDequantize (or a dequantizing epilogue), and flows through
-  // layout transforms; every other op produces f32.
+  // layout transforms and the integer-native structural ops (pooling, concat — the
+  // QuantizeGraph pass only routes integer tensors into them when it rewrote them to
+  // execute in the integer domain); every other op produces f32.
   {
     Node& node = graph->node(id);
     auto in_dtype = [&](int i) {
@@ -127,10 +129,13 @@ void InferNodeShape(Graph* graph, int id) {
         break;
       case OpType::kConv2d:
         node.out_dtype = node.attrs.qconv.enabled && node.attrs.qconv.requant
-                             ? DType::kS8
+                             ? node.attrs.qconv.out_dtype
                              : DType::kF32;
         break;
       case OpType::kLayoutTransform:
+      case OpType::kMaxPool:
+      case OpType::kAvgPool:
+      case OpType::kConcat:
         node.out_dtype = in_dtype(0);
         break;
       default:

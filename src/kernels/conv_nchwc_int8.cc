@@ -6,6 +6,8 @@
 #define NEOCPU_S8_ROW_FN ConvS8RowBaseline
 #include "src/kernels/conv_nchwc_int8_impl.h"
 
+#include <string_view>
+
 #include "src/base/logging.h"
 #include "src/kernels/conv_nchwc_int8.h"
 
@@ -18,6 +20,9 @@ void ConvS8RowAvx2(const S8ConvArgs&, std::int64_t);
 #ifdef NEOCPU_S8_HAVE_AVX512
 void ConvS8RowAvx512(const S8ConvArgs&, std::int64_t);
 #endif
+#ifdef NEOCPU_S8_HAVE_AVX512VNNI
+void ConvS8RowAvx512Vnni(const S8ConvArgs&, std::int64_t);
+#endif
 
 namespace {
 
@@ -26,28 +31,51 @@ struct S8Dispatch {
   const char* name = "baseline";
 };
 
-S8Dispatch PickDispatch() {
-  S8Dispatch d;
+// Every tier the running CPU can execute, widest first. The auto pick is the front;
+// the override hook (parity tests, bench ablations) selects any listed tier by name.
+struct S8Tiers {
+  S8Dispatch tiers[4];
+  int count = 0;
+};
+
+S8Tiers EnumerateTiers() {
+  S8Tiers t;
 #if defined(__x86_64__) && defined(__GNUC__)
   __builtin_cpu_init();
+#ifdef NEOCPU_S8_HAVE_AVX512VNNI
+  if (__builtin_cpu_supports("avx512vnni") && __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512vl") && __builtin_cpu_supports("avx512dq")) {
+    t.tiers[t.count++] = {&ConvS8RowAvx512Vnni, "avx512vnni"};
+  }
+#endif
 #ifdef NEOCPU_S8_HAVE_AVX512
   if (__builtin_cpu_supports("avx512bw") && __builtin_cpu_supports("avx512vl") &&
       __builtin_cpu_supports("avx512dq")) {
-    return {&ConvS8RowAvx512, "avx512"};
+    t.tiers[t.count++] = {&ConvS8RowAvx512, "avx512"};
   }
 #endif
 #ifdef NEOCPU_S8_HAVE_AVX2
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
-    return {&ConvS8RowAvx2, "avx2"};
+    t.tiers[t.count++] = {&ConvS8RowAvx2, "avx2"};
   }
 #endif
 #endif
-  return d;
+  t.tiers[t.count++] = {&ConvS8RowBaseline, "baseline"};
+  return t;
 }
 
+const S8Tiers& Tiers() {
+  static const S8Tiers t = EnumerateTiers();
+  return t;
+}
+
+// -1: auto (widest tier). Otherwise an index into Tiers() pinned by the override hook.
+int g_isa_override = -1;
+
 const S8Dispatch& Dispatch() {
-  static const S8Dispatch d = PickDispatch();
-  return d;
+  const S8Tiers& t = Tiers();
+  const int at = g_isa_override >= 0 ? g_isa_override : 0;
+  return t.tiers[at];
 }
 
 }  // namespace
@@ -55,15 +83,40 @@ const S8Dispatch& Dispatch() {
 
 const char* ConvNCHWcS8IsaName() { return detail::Dispatch().name; }
 
+bool SetConvNCHWcS8IsaOverride(const char* name) {
+  if (name == nullptr || name[0] == '\0') {
+    detail::g_isa_override = -1;
+    return true;
+  }
+  const detail::S8Tiers& t = detail::Tiers();
+  for (int i = 0; i < t.count; ++i) {
+    if (std::string_view(t.tiers[i].name) == name) {
+      detail::g_isa_override = i;
+      return true;
+    }
+  }
+  return false;
+}
+
 void ConvNCHWcS8(const Conv2dParams& p, const ConvSchedule& s, const Tensor& input,
                  const Tensor& weight, const Tensor* bias, const Tensor& multiplier,
                  const ConvEpilogue& epilogue, bool requant, Tensor* output,
-                 ThreadEngine* engine) {
+                 ThreadEngine* engine, std::int32_t out_zero, std::int32_t in_zero) {
   NEOCPU_CHECK(output != nullptr);
-  NEOCPU_CHECK(input.dtype() == DType::kS8) << input.DebugString();
+  const bool src_u8 = input.dtype() == DType::kU8;
+  NEOCPU_CHECK(input.dtype() == DType::kS8 || src_u8) << input.DebugString();
   NEOCPU_CHECK(weight.dtype() == DType::kS8) << weight.DebugString();
-  NEOCPU_CHECK(output->dtype() == (requant ? DType::kS8 : DType::kF32))
-      << output->DebugString();
+  if (requant) {
+    NEOCPU_CHECK(output->dtype() == DType::kS8 || output->dtype() == DType::kU8)
+        << output->DebugString();
+  } else {
+    NEOCPU_CHECK(output->dtype() == DType::kF32) << output->DebugString();
+  }
+  // u8 activations pair with VNNI-packed weights: 4 consecutive input channels feed
+  // one dot-product lane, so the channel block must split into quads.
+  if (src_u8) {
+    NEOCPU_CHECK_EQ(s.ic_bn % 4, 0) << "u8 conv requires ic_bn % 4 == 0";
+  }
   NEOCPU_CHECK(multiplier.dtype() == DType::kF32);
   NEOCPU_CHECK_EQ(multiplier.NumElements(), p.out_c);
   NEOCPU_CHECK_EQ(input.ndim(), 5);
@@ -113,14 +166,17 @@ void ConvNCHWcS8(const Conv2dParams& p, const ConvSchedule& s, const Tensor& inp
   const std::int64_t ow_hi_incl = (a.iw + a.pw - a.kw) / a.sw;
   a.ow_hi = a.ow < ow_hi_incl + 1 ? a.ow : ow_hi_incl + 1;
 
-  a.in = input.data_as<std::int8_t>();
+  a.in = reinterpret_cast<const std::int8_t*>(input.data());
   a.w = weight.data_as<std::int8_t>();
   a.bias = epilogue.bias ? bias->data_as<std::int32_t>() : nullptr;
   a.mult = multiplier.data_as<float>();
   a.relu = epilogue.relu;
   a.requant = requant;
-  a.out = requant ? static_cast<void*>(output->data_as<std::int8_t>())
-                  : static_cast<void*>(output->data_as<float>());
+  a.src_u8 = src_u8;
+  a.in_zero = src_u8 ? in_zero : 0;
+  a.out_u8 = requant && output->dtype() == DType::kU8;
+  a.out_zero = a.out_u8 ? out_zero : 0;
+  a.out = output->data();
 
   const detail::S8RowFn row_fn = detail::Dispatch().fn;
   SerialEngine serial;

@@ -22,23 +22,37 @@
 
 namespace neocpu {
 
-// input:      s8 NCHW[ic_bn]c, dims {N, IC/ic_bn, IH, IW, ic_bn}
-// weight:     s8 OIHW[ic_bn]i[oc_bn]o, dims {OC/oc_bn, IC/ic_bn, KH, KW, ic_bn, oc_bn}
+// input:      s8 or u8 NCHW[ic_bn]c, dims {N, IC/ic_bn, IH, IW, ic_bn}
+// weight:     s8 OIHW[ic_bn]i[oc_bn]o, dims {OC/oc_bn, IC/ic_bn, KH, KW, ic_bn, oc_bn}.
+//             For u8 input the inner [ic_bn][oc_bn] tile must be VNNI-packed to
+//             [ic_bn/4][oc_bn][4] (PackWeightsVnni) and ic_bn % 4 == 0.
 // bias:       s32 flat {OC} (required iff epilogue.bias), pre-folded to the accumulation
-//             domain (QuantizeBiasS32)
-// multiplier: f32 flat {OC}: in_scale * w_scale[oc] / out_scale when requantizing to s8,
+//             domain (QuantizeBiasS32); for u8 input the zero-point correction
+//             -in_zero * sum(w[oc,...]) must already be folded in.
+// multiplier: f32 flat {OC}: in_scale * w_scale[oc] / out_scale when requantizing,
 //             in_scale * w_scale[oc] when dequantizing to f32
-// output:     preallocated NCHW[oc_bn]c: s8 when `requant`, f32 otherwise
+// output:     preallocated NCHW[oc_bn]c: s8 or u8 when `requant` (u8 stores add
+//             `out_zero` before the 0..255 clamp), f32 otherwise
 // Residual epilogues are not supported in int8 (quantization legality excludes them,
 // like Winograd); epilogue.relu applies in the integer domain before the store.
+// `in_zero` is the u8 input's zero point: the kernel reads a virtual `in_zero` byte at
+// padded positions (f32 zero == the zero point) so the whole-tap bias fold stays exact
+// on borders. Ignored for s8 input.
 void ConvNCHWcS8(const Conv2dParams& params, const ConvSchedule& schedule,
                  const Tensor& input, const Tensor& weight, const Tensor* bias,
                  const Tensor& multiplier, const ConvEpilogue& epilogue, bool requant,
-                 Tensor* output, ThreadEngine* engine = nullptr);
+                 Tensor* output, ThreadEngine* engine = nullptr,
+                 std::int32_t out_zero = 0, std::int32_t in_zero = 0);
 
 // Name of the ISA variant the dispatcher would run on this host ("baseline", "avx2",
-// "avx512") — surfaced by benches and tests.
+// "avx512", "avx512vnni") — surfaced by benches and tests.
 const char* ConvNCHWcS8IsaName();
+
+// Pin the int8 row-driver dispatch to a named tier the running CPU supports (parity
+// tests and bench ablations). Returns false — and leaves the dispatch untouched — when
+// the tier was not compiled in or the CPU lacks it. nullptr/"" restores auto dispatch.
+// Not thread-safe against concurrent ConvNCHWcS8 calls.
+bool SetConvNCHWcS8IsaOverride(const char* name);
 
 }  // namespace neocpu
 

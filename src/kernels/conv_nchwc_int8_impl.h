@@ -14,6 +14,10 @@
 #include <cmath>
 #include <cstdint>
 
+#if defined(__AVX512VNNI__) && defined(__AVX512VL__)
+#include <immintrin.h>
+#endif
+
 #include "src/kernels/conv_schedule.h"
 
 namespace neocpu {
@@ -36,7 +40,21 @@ struct S8ConvArgs {
   const std::int32_t* bias = nullptr;  // null when no bias epilogue
   const float* mult = nullptr;         // per-output-channel epilogue multiplier, {OC}
   bool relu = false;
-  bool requant = false;  // true: out is s8; false: out is f32
+  bool requant = false;  // true: out is s8/u8; false: out is f32
+  // u8-activation mode: `in` bytes are u8 (the zero-point correction is pre-folded
+  // into `bias`, so the kernel multiplies raw bytes), and the weights are VNNI-packed:
+  // the inner [ici][ocb] tile is reordered to [ici/4][ocb][4] so one vpdpbusd lane
+  // reads 4 consecutive ici weights. All ISA tiers read this layout (scalar tiers just
+  // index it differently), which keeps the cross-ISA accumulators bitwise identical.
+  // Requires icb % 4 == 0.
+  bool src_u8 = false;
+  // Input zero point (u8 mode). The bias fold subtracts in_zero * sum(w) over ALL
+  // kernel taps, so the u8 micro-kernels must read a virtual `in_zero` byte at padded
+  // positions (an f32 zero quantizes to the zero point) — skipping them like the s8
+  // path does would over-correct border pixels.
+  std::int32_t in_zero = 0;
+  bool out_u8 = false;          // requantized output dtype is u8 (else s8)
+  std::int32_t out_zero = 0;    // output zero point (u8 requant only)
   void* out = nullptr;
 };
 
@@ -183,6 +201,192 @@ inline void MicroEdge(const S8ConvArgs& a, const std::int8_t* in_n, const std::i
   }
 }
 
+// ---------------------------------------------------------------------------------
+// u8-activation micro-kernels (IntelCaffe u8·s8 form). A u8*s8 product reaches
+// 255*127 = 32385, so the s16 pairwise trick above would overflow on the pair sum
+// (2*32385 > 32767) — the IntelCaffe s16-overflow hazard. The portable tiers
+// therefore accumulate every 4-product group directly in s32 (exact, no saturation);
+// the AVX-512 VNNI tier lowers the identical 4-wide group to one vpdpbusd, whose
+// internal s16 products and s32 horizontal add are also exact — so every tier
+// produces bitwise-identical accumulators.
+//
+// Weights are VNNI-packed per (ic_block, kh, kw) tile: [ici/4][ocb][4].
+
+// Interior u8 micro-kernel: REGN positions, no horizontal checks. icb % 4 == 0.
+template <int OCB, int REGN, bool UNROLL>
+void MicroInteriorU8(const S8ConvArgs& a, const std::int8_t* __restrict in_n,
+                     const std::int8_t* __restrict w_o, std::int64_t oh,
+                     std::int64_t ow0, std::int32_t* __restrict out_acc) {
+  const std::uint8_t* __restrict u_n = reinterpret_cast<const std::uint8_t*>(in_n);
+  const std::int64_t iw0 = ow0 * a.sw - a.pw;
+  const std::int64_t icb = a.icb;
+  const std::int64_t w_kstride = icb * OCB;
+
+#if defined(__AVX512VNNI__) && defined(__AVX512VL__)
+  if constexpr (OCB % 16 == 0) {
+    constexpr int OCV = OCB / 16;
+    __m512i acc[REGN][OCV];
+    for (int r = 0; r < REGN; ++r) {
+      for (int v = 0; v < OCV; ++v) {
+        acc[r][v] = _mm512_setzero_si512();
+      }
+    }
+    const std::uint32_t zp_quad =
+        static_cast<std::uint32_t>(a.in_zero) * 0x01010101u;
+    for (std::int64_t ico = 0; ico < a.icb_count; ++ico) {
+      const std::uint8_t* in_c = u_n + ico * a.in_sc;
+      const std::int8_t* w_c = w_o + ico * a.w_sc;
+      for (std::int64_t kh = 0; kh < a.kh; ++kh) {
+        const std::int64_t ih = oh * a.sh - a.ph + kh;
+        const bool pad_row = ih < 0 || ih >= a.ih;
+        if (pad_row && a.in_zero == 0) {
+          continue;  // a zero-point of 0 makes virtual padding contribute nothing
+        }
+        const std::uint8_t* in_h =
+            pad_row ? nullptr : in_c + ih * a.in_sh + iw0 * icb;
+        const std::int8_t* w_h = w_c + kh * a.kw * w_kstride;
+        for (std::int64_t kw = 0; kw < a.kw; ++kw) {
+          const std::int8_t* __restrict w_k = w_h + kw * w_kstride;
+          const std::uint8_t* __restrict in_w = pad_row ? nullptr : in_h + kw * icb;
+          for (std::int64_t ici = 0; ici < icb; ici += 4) {
+            // One [ocb][4] weight tile = OCV contiguous 64-byte vectors.
+            const std::int8_t* __restrict wt = w_k + ici * OCB;
+            __m512i b[OCV];
+            for (int v = 0; v < OCV; ++v) {
+              b[v] = _mm512_loadu_si512(wt + v * 64);
+            }
+#pragma GCC unroll 32
+            for (int r = 0; r < REGN; ++r) {
+              std::uint32_t quad = zp_quad;
+              if (!pad_row) {
+                __builtin_memcpy(
+                    &quad, in_w + static_cast<std::int64_t>(r) * a.sw * icb + ici, 4);
+              }
+              const __m512i av = _mm512_set1_epi32(static_cast<int>(quad));
+              for (int v = 0; v < OCV; ++v) {
+                acc[r][v] = _mm512_dpbusd_epi32(acc[r][v], av, b[v]);
+              }
+            }
+          }
+        }
+      }
+    }
+    for (int r = 0; r < REGN; ++r) {
+      for (int v = 0; v < OCV; ++v) {
+        _mm512_storeu_si512(out_acc + r * OCB + v * 16, acc[r][v]);
+      }
+    }
+    return;
+  }
+#endif  // __AVX512VNNI__ && __AVX512VL__
+
+  std::int32_t acc[REGN][OCB];
+  for (int r = 0; r < REGN; ++r) {
+#pragma omp simd
+    for (int j = 0; j < OCB; ++j) {
+      acc[r][j] = 0;
+    }
+  }
+  for (std::int64_t ico = 0; ico < a.icb_count; ++ico) {
+    const std::uint8_t* in_c = u_n + ico * a.in_sc;
+    const std::int8_t* w_c = w_o + ico * a.w_sc;
+    for (std::int64_t kh = 0; kh < a.kh; ++kh) {
+      const std::int64_t ih = oh * a.sh - a.ph + kh;
+      const bool pad_row = ih < 0 || ih >= a.ih;
+      if (pad_row && a.in_zero == 0) {
+        continue;
+      }
+      const std::uint8_t* in_h = pad_row ? nullptr : in_c + ih * a.in_sh + iw0 * icb;
+      const std::int8_t* w_h = w_c + kh * a.kw * w_kstride;
+      auto kw_body = [&](std::int64_t kw) {
+        const std::int8_t* __restrict w_k = w_h + kw * w_kstride;
+        const std::uint8_t* __restrict in_w = pad_row ? nullptr : in_h + kw * icb;
+        for (std::int64_t ici = 0; ici < icb; ici += 4) {
+          const std::int8_t* __restrict wt = w_k + ici * OCB;
+#pragma GCC unroll 32
+          for (int r = 0; r < REGN; ++r) {
+            const std::int64_t in_at = static_cast<std::int64_t>(r) * a.sw * icb + ici;
+            const std::int32_t iv0 = pad_row ? a.in_zero : in_w[in_at];
+            const std::int32_t iv1 = pad_row ? a.in_zero : in_w[in_at + 1];
+            const std::int32_t iv2 = pad_row ? a.in_zero : in_w[in_at + 2];
+            const std::int32_t iv3 = pad_row ? a.in_zero : in_w[in_at + 3];
+#pragma omp simd
+            for (int j = 0; j < OCB; ++j) {
+              acc[r][j] += iv0 * wt[j * 4] + iv1 * wt[j * 4 + 1] +
+                           iv2 * wt[j * 4 + 2] + iv3 * wt[j * 4 + 3];
+            }
+          }
+        }
+      };
+      if constexpr (UNROLL) {
+#pragma GCC unroll 8
+        for (std::int64_t kw = 0; kw < a.kw; ++kw) {
+          kw_body(kw);
+        }
+      } else {
+#pragma GCC unroll 1
+        for (std::int64_t kw = 0; kw < a.kw; ++kw) {
+          kw_body(kw);
+        }
+      }
+    }
+  }
+  for (int r = 0; r < REGN; ++r) {
+#pragma omp simd
+    for (int j = 0; j < OCB; ++j) {
+      out_acc[r * OCB + j] = acc[r][j];
+    }
+  }
+}
+
+// Generic guarded u8 micro-kernel: runtime block sizes, per-element horizontal checks.
+// Handles any ici against the packed [ici/4][ocb][4] layout, so it needs no icb
+// divisibility beyond the dispatcher-checked icb % 4 == 0.
+inline void MicroEdgeU8(const S8ConvArgs& a, const std::int8_t* in_n,
+                        const std::int8_t* w_o, std::int64_t oh, std::int64_t ow0,
+                        std::int64_t count, std::int32_t* acc) {
+  const std::uint8_t* u_n = reinterpret_cast<const std::uint8_t*>(in_n);
+  const std::int64_t ocb = a.ocb;
+  const std::int64_t icb = a.icb;
+  for (std::int64_t r = 0; r < count; ++r) {
+    for (std::int64_t j = 0; j < ocb; ++j) {
+      acc[r * ocb + j] = 0;
+    }
+  }
+  const std::int64_t w_kstride = icb * ocb;
+  for (std::int64_t ico = 0; ico < a.icb_count; ++ico) {
+    const std::uint8_t* in_c = u_n + ico * a.in_sc;
+    const std::int8_t* w_c = w_o + ico * a.w_sc;
+    for (std::int64_t kh = 0; kh < a.kh; ++kh) {
+      const std::int64_t ih = oh * a.sh - a.ph + kh;
+      const bool pad_row = ih < 0 || ih >= a.ih;
+      if (pad_row && a.in_zero == 0) {
+        continue;
+      }
+      const std::uint8_t* in_h = pad_row ? nullptr : in_c + ih * a.in_sh;
+      const std::int8_t* w_h = w_c + kh * a.kw * w_kstride;
+      for (std::int64_t kw = 0; kw < a.kw; ++kw) {
+        const std::int8_t* w_k = w_h + kw * w_kstride;
+        for (std::int64_t r = 0; r < count; ++r) {
+          const std::int64_t iw = (ow0 + r) * a.sw - a.pw + kw;
+          const bool pad = pad_row || iw < 0 || iw >= a.iw;
+          if (pad && a.in_zero == 0) {
+            continue;
+          }
+          const std::uint8_t* in_w = pad ? nullptr : in_h + iw * icb;
+          for (std::int64_t ici = 0; ici < icb; ++ici) {
+            const std::int32_t iv = pad ? a.in_zero : in_w[ici];
+            const std::int8_t* wv = w_k + (ici / 4) * ocb * 4 + (ici % 4);
+            for (std::int64_t j = 0; j < ocb; ++j) {
+              acc[r * ocb + j] += iv * static_cast<std::int32_t>(wv[j * 4]);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 // Epilogue for `count` positions starting at ow0: bias add, integer ReLU, per-channel
 // scale, store to s8 (requant) or f32 (dequant).
 inline void StoreSegment(const S8ConvArgs& a, const std::int32_t* acc,
@@ -202,8 +406,14 @@ inline void StoreSegment(const S8ConvArgs& a, const std::int32_t* acc,
       const std::int64_t at = (ow0 + r) * ocb + j;
       if (a.requant) {
         std::int32_t q = static_cast<std::int32_t>(std::lrintf(scaled));
-        q = q > 127 ? 127 : (q < -127 ? -127 : q);
-        static_cast<std::int8_t*>(out_row)[at] = static_cast<std::int8_t>(q);
+        if (a.out_u8) {
+          q += a.out_zero;
+          q = q > 255 ? 255 : (q < 0 ? 0 : q);
+          static_cast<std::uint8_t*>(out_row)[at] = static_cast<std::uint8_t>(q);
+        } else {
+          q = q > 127 ? 127 : (q < -127 ? -127 : q);
+          static_cast<std::int8_t*>(out_row)[at] = static_cast<std::int8_t>(q);
+        }
       } else {
         static_cast<float*>(out_row)[at] = scaled;
       }
@@ -215,44 +425,50 @@ using MicroFn = void (*)(const S8ConvArgs&, const std::int8_t* __restrict,
                          const std::int8_t* __restrict, std::int64_t, std::int64_t,
                          std::int32_t* __restrict);
 
-template <int OCB, bool UNROLL>
+template <bool U8, int OCB, bool UNROLL>
 MicroFn SelectByRegN(std::int64_t reg_n) {
   switch (reg_n) {
     case 2:
-      return &MicroInterior<OCB, 2, UNROLL>;
+      return U8 ? &MicroInteriorU8<OCB, 2, UNROLL> : &MicroInterior<OCB, 2, UNROLL>;
     case 4:
-      return &MicroInterior<OCB, 4, UNROLL>;
+      return U8 ? &MicroInteriorU8<OCB, 4, UNROLL> : &MicroInterior<OCB, 4, UNROLL>;
     case 8:
-      return &MicroInterior<OCB, 8, UNROLL>;
+      return U8 ? &MicroInteriorU8<OCB, 8, UNROLL> : &MicroInterior<OCB, 8, UNROLL>;
     case 16:
-      return &MicroInterior<OCB, 16, UNROLL>;
+      return U8 ? &MicroInteriorU8<OCB, 16, UNROLL> : &MicroInterior<OCB, 16, UNROLL>;
     case 32:
-      return &MicroInterior<OCB, 32, UNROLL>;
+      return U8 ? &MicroInteriorU8<OCB, 32, UNROLL> : &MicroInterior<OCB, 32, UNROLL>;
     default:
       return nullptr;
   }
 }
 
-template <int OCB>
+template <bool U8, int OCB>
 MicroFn SelectByUnroll(std::int64_t reg_n, bool unroll) {
-  return unroll ? SelectByRegN<OCB, true>(reg_n) : SelectByRegN<OCB, false>(reg_n);
+  return unroll ? SelectByRegN<U8, OCB, true>(reg_n)
+                : SelectByRegN<U8, OCB, false>(reg_n);
 }
 
-inline MicroFn SelectMicro(std::int64_t ocb, std::int64_t reg_n, bool unroll) {
+template <bool U8>
+MicroFn SelectMicroFor(std::int64_t ocb, std::int64_t reg_n, bool unroll) {
   switch (ocb) {
     case 4:
-      return SelectByUnroll<4>(reg_n, unroll);
+      return SelectByUnroll<U8, 4>(reg_n, unroll);
     case 8:
-      return SelectByUnroll<8>(reg_n, unroll);
+      return SelectByUnroll<U8, 8>(reg_n, unroll);
     case 16:
-      return SelectByUnroll<16>(reg_n, unroll);
+      return SelectByUnroll<U8, 16>(reg_n, unroll);
     case 32:
-      return SelectByUnroll<32>(reg_n, unroll);
+      return SelectByUnroll<U8, 32>(reg_n, unroll);
     case 64:
-      return SelectByUnroll<64>(reg_n, unroll);
+      return SelectByUnroll<U8, 64>(reg_n, unroll);
     default:
       return nullptr;  // uncommon blocks fall back to MicroEdge
   }
+}
+
+inline MicroFn SelectMicro(std::int64_t ocb, std::int64_t reg_n, bool unroll) {
+  return SelectMicroFor<false>(ocb, reg_n, unroll);
 }
 
 }  // namespace NEOCPU_S8_VARIANT_NS
@@ -276,7 +492,9 @@ void NEOCPU_S8_ROW_FN(const S8ConvArgs& a, std::int64_t row) {
                       : static_cast<void*>(static_cast<float*>(a.out) + out_off);
 
   std::int32_t acc[kMaxRegN * kMaxChannelBlock];
-  const v::MicroFn fast = v::SelectMicro(a.ocb, a.reg_n, a.unroll_ker);
+  const v::MicroFn fast = a.src_u8 ? v::SelectMicroFor<true>(a.ocb, a.reg_n, a.unroll_ker)
+                                   : v::SelectMicroFor<false>(a.ocb, a.reg_n, a.unroll_ker);
+  const auto edge = a.src_u8 ? &v::MicroEdgeU8 : &v::MicroEdge;
 
   std::int64_t ow = 0;
   // Left edge (horizontal padding).
@@ -285,7 +503,7 @@ void NEOCPU_S8_ROW_FN(const S8ConvArgs& a, std::int64_t row) {
     const std::int64_t count = limit - ow;
     for (std::int64_t c = 0; c < count; c += a.reg_n) {
       const std::int64_t take = a.reg_n < count - c ? a.reg_n : count - c;
-      v::MicroEdge(a, in_n, w_o, oh, ow + c, take, acc);
+      edge(a, in_n, w_o, oh, ow + c, take, acc);
       v::StoreSegment(a, acc, bias_o, mult_o, out_row, ow + c, take);
     }
     ow += count;
@@ -301,7 +519,7 @@ void NEOCPU_S8_ROW_FN(const S8ConvArgs& a, std::int64_t row) {
   // Interior tail + right edge.
   while (ow < a.ow) {
     const std::int64_t count = a.reg_n < a.ow - ow ? a.reg_n : a.ow - ow;
-    v::MicroEdge(a, in_n, w_o, oh, ow, count, acc);
+    edge(a, in_n, w_o, oh, ow, count, acc);
     v::StoreSegment(a, acc, bias_o, mult_o, out_row, ow, count);
     ow += count;
   }

@@ -32,10 +32,10 @@ std::string ConvSchedule::ToString() const {
   if (!IsDirect()) {
     return StrFormat("(%s)", ConvAlgoName(algo));
   }
-  return StrFormat("(ic_bn=%lld oc_bn=%lld reg_n=%lld unroll=%s%s)",
+  return StrFormat("(ic_bn=%lld oc_bn=%lld reg_n=%lld unroll=%s%s%s)",
                    static_cast<long long>(ic_bn), static_cast<long long>(oc_bn),
                    static_cast<long long>(reg_n), unroll_ker ? "T" : "F",
-                   IsQuantized() ? " s8" : "");
+                   IsQuantized() ? " " : "", IsQuantized() ? DTypeName(dtype) : "");
 }
 
 }  // namespace neocpu

@@ -1,7 +1,9 @@
 #include "src/kernels/elementwise.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "src/base/logging.h"
 #include "src/tensor/tensor_check.h"
@@ -140,6 +142,113 @@ Tensor ConcatChannels(const std::vector<Tensor>& inputs, ThreadEngine* engine) {
                         Layout::NCHWc(first.dim(4)));
   }
   ConcatChannels(inputs, &out, engine);
+  return out;
+}
+
+namespace {
+
+template <typename Q>
+void ConcatRescaleCopy(const Tensor& t, float rel_scale, std::int32_t in_zero,
+                       std::int32_t out_zero, std::int64_t n, std::int64_t total_cb,
+                       std::int64_t cb_off, std::int64_t plane, Tensor* out,
+                       ThreadEngine* engine) {
+  const std::int64_t cb = t.dim(1);
+  const Q* src_base = reinterpret_cast<const Q*>(t.data());
+  Q* dst_base = reinterpret_cast<Q*>(out->data());
+  constexpr std::int32_t kLo = std::numeric_limits<Q>::min();
+  constexpr std::int32_t kHi = std::numeric_limits<Q>::max();
+  // Same params on both sides: the "rescale" is the identity, copy bytes.
+  const bool identity = rel_scale == 1.0f && in_zero == out_zero;
+  ParallelFor(Engine(engine), n, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t ni = begin; ni < end; ++ni) {
+      Q* dst = dst_base + (ni * total_cb + cb_off) * plane;
+      const Q* src = src_base + ni * cb * plane;
+      if (identity) {
+        std::memcpy(dst, src, static_cast<std::size_t>(cb * plane) * sizeof(Q));
+        continue;
+      }
+      for (std::int64_t i = 0; i < cb * plane; ++i) {
+        const float v = rel_scale * static_cast<float>(
+                                        static_cast<std::int32_t>(src[i]) - in_zero);
+        const std::int32_t q =
+            static_cast<std::int32_t>(std::lrintf(v)) + out_zero;
+        dst[i] = static_cast<Q>(std::clamp(q, kLo, kHi));
+      }
+    }
+  });
+}
+
+}  // namespace
+
+void ConcatChannelsInt(const std::vector<Tensor>& inputs,
+                       const std::vector<float>& in_scales,
+                       const std::vector<std::int32_t>& in_zeros, float out_scale,
+                       std::int32_t out_zero, Tensor* out, ThreadEngine* engine) {
+  NEOCPU_CHECK(!inputs.empty());
+  NEOCPU_CHECK(out != nullptr);
+  NEOCPU_CHECK_EQ(inputs.size(), in_scales.size());
+  NEOCPU_CHECK_EQ(inputs.size(), in_zeros.size());
+  NEOCPU_CHECK_GT(out_scale, 0.0f);
+  const Tensor& first = inputs.front();
+  const bool blocked = first.layout().kind == LayoutKind::kNCHWc;
+  NEOCPU_CHECK(blocked || first.ndim() == 4) << first.DebugString();
+  const DType dt = first.dtype();
+  NEOCPU_CHECK(dt == DType::kS8 || dt == DType::kU8) << first.DebugString();
+  // NCHW is the x == 1 case of the blocked walk: per sample, each input contributes
+  // one contiguous [cb * plane] run at a channel offset.
+  const std::int64_t x = blocked ? first.dim(4) : 1;
+  const std::int64_t n = first.dim(0), h = first.dim(2), w = first.dim(3);
+  std::int64_t total_cb = 0;
+  for (const Tensor& t : inputs) {
+    NEOCPU_CHECK_EQ(t.ndim(), blocked ? 5 : 4);
+    NEOCPU_CHECK(t.dtype() == dt) << t.DebugString();
+    if (blocked) {
+      NEOCPU_CHECK_EQ(t.dim(4), x) << "concat requires one common channel block";
+    }
+    NEOCPU_CHECK_EQ(t.dim(0), n);
+    NEOCPU_CHECK_EQ(t.dim(2), h);
+    NEOCPU_CHECK_EQ(t.dim(3), w);
+    total_cb += t.dim(1);
+  }
+  if (blocked) {
+    CheckKernelOutput(out, {n, total_cb, h, w, x}, Layout::NCHWc(x), "concat_int");
+  } else {
+    CheckKernelOutput(out, {n, total_cb, h, w}, Layout::NCHW(), "concat_int");
+  }
+  NEOCPU_CHECK(out->dtype() == dt) << out->DebugString();
+  const std::int64_t plane = h * w * x;
+  std::int64_t cb_off = 0;
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    const float rel = in_scales[k] / out_scale;
+    if (dt == DType::kS8) {
+      ConcatRescaleCopy<std::int8_t>(inputs[k], rel, in_zeros[k], out_zero, n,
+                                     total_cb, cb_off, plane, out, engine);
+    } else {
+      ConcatRescaleCopy<std::uint8_t>(inputs[k], rel, in_zeros[k], out_zero, n,
+                                      total_cb, cb_off, plane, out, engine);
+    }
+    cb_off += inputs[k].dim(1);
+  }
+}
+
+Tensor ConcatChannelsInt(const std::vector<Tensor>& inputs,
+                         const std::vector<float>& in_scales,
+                         const std::vector<std::int32_t>& in_zeros, float out_scale,
+                         std::int32_t out_zero, ThreadEngine* engine) {
+  NEOCPU_CHECK(!inputs.empty());
+  const Tensor& first = inputs.front();
+  std::int64_t total_cb = 0;
+  for (const Tensor& t : inputs) {
+    total_cb += t.dim(1);
+  }
+  Tensor out =
+      first.layout().kind == LayoutKind::kNCHWc
+          ? Tensor::Empty({first.dim(0), total_cb, first.dim(2), first.dim(3),
+                           first.dim(4)},
+                          Layout::NCHWc(first.dim(4)), first.dtype())
+          : Tensor::Empty({first.dim(0), total_cb, first.dim(2), first.dim(3)},
+                          Layout::NCHW(), first.dtype());
+  ConcatChannelsInt(inputs, in_scales, in_zeros, out_scale, out_zero, &out, engine);
   return out;
 }
 

@@ -7,6 +7,7 @@
 #ifndef NEOCPU_SRC_KERNELS_ELEMENTWISE_H_
 #define NEOCPU_SRC_KERNELS_ELEMENTWISE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/runtime/thread_engine.h"
@@ -34,6 +35,22 @@ void AddElementwise(const Tensor& a, const Tensor& b, bool relu, Tensor* out,
 Tensor ConcatChannels(const std::vector<Tensor>& inputs, ThreadEngine* engine = nullptr);
 void ConcatChannels(const std::vector<Tensor>& inputs, Tensor* out,
                     ThreadEngine* engine = nullptr);
+
+// Integer-domain channel concat over s8/u8 NCHW[x]c inputs: each input is rescaled
+// inline during the copy from its own quantization params (in_scales[i], in_zeros[i])
+// to the common output params (out_scale, out_zero) —
+//   q_out = clamp(round((in_scale/out_scale) * (q_in - in_zero)) + out_zero).
+// Inputs whose params already equal the output's degrade to a memcpy. All inputs and
+// the output share one dtype.
+Tensor ConcatChannelsInt(const std::vector<Tensor>& inputs,
+                         const std::vector<float>& in_scales,
+                         const std::vector<std::int32_t>& in_zeros, float out_scale,
+                         std::int32_t out_zero, ThreadEngine* engine = nullptr);
+void ConcatChannelsInt(const std::vector<Tensor>& inputs,
+                       const std::vector<float>& in_scales,
+                       const std::vector<std::int32_t>& in_zeros, float out_scale,
+                       std::int32_t out_zero, Tensor* out,
+                       ThreadEngine* engine = nullptr);
 
 // Row-wise softmax on a {N, C} (or flat {C}) tensor.
 Tensor Softmax(const Tensor& input, ThreadEngine* engine = nullptr);

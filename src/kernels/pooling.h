@@ -49,6 +49,19 @@ Tensor PoolNCHWc(const Pool2dParams& params, const Tensor& input,
 void PoolNCHWc(const Pool2dParams& params, const Tensor& input, Tensor* out,
                ThreadEngine* engine = nullptr);
 
+// Integer-domain pooling over s8 or u8 tensors, NCHW[x]c or plain NCHW (the x == 1
+// case — layout fallbacks around concat groups can demote integer tensors to NCHW).
+// The output keeps the input dtype
+// and quantization params, so no Q/DQ pair is needed around the node). Max pooling is
+// an integer compare — quantization is monotonic, so the result is bitwise the same
+// element the f32 pool would have picked. Average pooling accumulates in s32 and
+// rounds once; `zero_point` is the input's zero point (s8: 0), which padded cells
+// contribute under count_include_pad because a padded f32 cell holds real 0.0.
+Tensor PoolNCHWcInt(const Pool2dParams& params, const Tensor& input,
+                    std::int32_t zero_point, ThreadEngine* engine = nullptr);
+void PoolNCHWcInt(const Pool2dParams& params, const Tensor& input,
+                  std::int32_t zero_point, Tensor* out, ThreadEngine* engine = nullptr);
+
 // Global average pooling: NCHW -> {N, C, 1, 1}; NCHWc -> {N, C/x, 1, 1, x}.
 Tensor GlobalAvgPoolNCHW(const Tensor& input, ThreadEngine* engine = nullptr);
 void GlobalAvgPoolNCHW(const Tensor& input, Tensor* out, ThreadEngine* engine = nullptr);

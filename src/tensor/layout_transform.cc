@@ -89,8 +89,9 @@ void CheckSameDtype(const Tensor& src, const Tensor* dst) {
   NEOCPU_CHECK(dst->dtype() == src.dtype())
       << "layout transform cannot change dtype: " << src.DebugString() << " -> "
       << dst->DebugString();
-  NEOCPU_CHECK(src.dtype() == DType::kF32 || src.dtype() == DType::kS8)
-      << "layout transforms support f32 and s8 feature maps, got " << src.DebugString();
+  NEOCPU_CHECK(src.dtype() == DType::kF32 || src.dtype() == DType::kS8 ||
+               src.dtype() == DType::kU8)
+      << "layout transforms support f32/s8/u8 feature maps, got " << src.DebugString();
 }
 
 }  // namespace
@@ -104,6 +105,8 @@ void NCHWToNCHWc(const Tensor& src, std::int64_t x, Tensor* dst, ThreadEngine* e
   CheckSameDtype(src, dst);
   if (src.dtype() == DType::kS8) {
     NCHWToNCHWcT<std::int8_t>(src, x, dst, engine);
+  } else if (src.dtype() == DType::kU8) {
+    NCHWToNCHWcT<std::uint8_t>(src, x, dst, engine);
   } else {
     NCHWToNCHWcT<float>(src, x, dst, engine);
   }
@@ -128,6 +131,8 @@ void NCHWcToNCHW(const Tensor& src, Tensor* dst, ThreadEngine* engine) {
   CheckSameDtype(src, dst);
   if (src.dtype() == DType::kS8) {
     NCHWcToNCHWT<std::int8_t>(src, dst, engine);
+  } else if (src.dtype() == DType::kU8) {
+    NCHWcToNCHWT<std::uint8_t>(src, dst, engine);
   } else {
     NCHWcToNCHWT<float>(src, dst, engine);
   }
@@ -154,6 +159,8 @@ void NCHWcToNCHWc(const Tensor& src, std::int64_t new_x, Tensor* dst,
   CheckSameDtype(src, dst);
   if (src.dtype() == DType::kS8) {
     NCHWcToNCHWcT<std::int8_t>(src, new_x, dst, engine);
+  } else if (src.dtype() == DType::kU8) {
+    NCHWcToNCHWcT<std::uint8_t>(src, new_x, dst, engine);
   } else {
     NCHWcToNCHWcT<float>(src, new_x, dst, engine);
   }
@@ -264,6 +271,8 @@ Tensor OIHWToOIHWio(const Tensor& src, std::int64_t x, std::int64_t y) {
                              src.dtype());
   if (src.dtype() == DType::kS8) {
     OIHWToOIHWioT<std::int8_t>(src, x, y, &dst);
+  } else if (src.dtype() == DType::kU8) {
+    OIHWToOIHWioT<std::uint8_t>(src, x, y, &dst);
   } else {
     NEOCPU_CHECK(src.dtype() == DType::kF32) << src.DebugString();
     OIHWToOIHWioT<float>(src, x, y, &dst);

@@ -168,6 +168,15 @@ double AnalyticDirectNchwcS8Ms(const Conv2dParams& p, const ConvSchedule& s,
   const double fill = std::min(1.0, static_cast<double>(s.oc_bn) / s8_block);
   ms /= std::max(fill, 0.05);
 
+  // Activation dtype. u8 on a VNNI target runs vpdpbusd — one instruction per
+  // 4-channel group where the s16 pairwise path needs a multiply + two widening adds,
+  // roughly doubling the sustained MAC rate. Without VNNI the portable u8 tiers
+  // accumulate each quad straight into s32 (the s16-overflow guard), which is SLOWER
+  // than s8's pairwise trick — the model must steer the search back to s8 there.
+  if (s.dtype == DType::kU8) {
+    ms *= t.vnni_dot ? 0.5 : 1.4;
+  }
+
   // Only blocks with template instantiations hit the register-blocked fast path.
   const bool fast_ocb = s.oc_bn == 4 || s.oc_bn == 8 || s.oc_bn == 16 || s.oc_bn == 32 ||
                         s.oc_bn == 64;
@@ -303,17 +312,27 @@ double MeasureNchwAlgoMs(const Conv2dParams& p, ConvAlgo algo, ThreadEngine* eng
 
 namespace {
 
-// Times the quantized direct template on deterministic synthetic s8 tensors.
+// Times the quantized direct template on deterministic synthetic tensors. s.dtype
+// picks the activation path: s8 symmetric, or u8 with a zero point (the weight bytes
+// stand in for the VNNI-packed constant — packing permutes bytes, not the workload).
 double MeasureDirectNchwcS8Ms(const Conv2dParams& p, const ConvSchedule& s,
                               ThreadEngine* engine, int runs) {
+  const bool u8 = s.dtype == DType::kU8;
   Tensor input = Tensor::Empty({p.batch, p.in_c / s.ic_bn, p.in_h, p.in_w, s.ic_bn},
-                               Layout::NCHWc(s.ic_bn), DType::kS8);
+                               Layout::NCHWc(s.ic_bn), u8 ? DType::kU8 : DType::kS8);
   Tensor weight = Tensor::Empty(
       {p.out_c / s.oc_bn, p.in_c / s.ic_bn, p.kernel_h, p.kernel_w, s.ic_bn, s.oc_bn},
       Layout::OIHWio(s.ic_bn, s.oc_bn), DType::kS8);
-  std::int8_t* in = input.data_as<std::int8_t>();
-  for (std::int64_t i = 0; i < input.NumElements(); ++i) {
-    in[i] = static_cast<std::int8_t>(i % 251 - 125);
+  if (u8) {
+    std::uint8_t* in = reinterpret_cast<std::uint8_t*>(input.data());
+    for (std::int64_t i = 0; i < input.NumElements(); ++i) {
+      in[i] = static_cast<std::uint8_t>(i % 256);
+    }
+  } else {
+    std::int8_t* in = input.data_as<std::int8_t>();
+    for (std::int64_t i = 0; i < input.NumElements(); ++i) {
+      in[i] = static_cast<std::int8_t>(i % 251 - 125);
+    }
   }
   std::int8_t* w = weight.data_as<std::int8_t>();
   for (std::int64_t i = 0; i < weight.NumElements(); ++i) {
@@ -321,13 +340,13 @@ double MeasureDirectNchwcS8Ms(const Conv2dParams& p, const ConvSchedule& s,
   }
   Tensor mult = Tensor::Full({p.out_c}, 1e-3f);
   Tensor out = Tensor::Empty({p.batch, p.out_c / s.oc_bn, p.OutH(), p.OutW(), s.oc_bn},
-                             Layout::NCHWc(s.oc_bn), DType::kS8);
+                             Layout::NCHWc(s.oc_bn), u8 ? DType::kU8 : DType::kS8);
   ConvEpilogue epilogue;  // bare conv: the schedule choice is epilogue-independent
   double best = 1e30;
   for (int i = 0; i < runs + 1; ++i) {
     Timer timer;
     ConvNCHWcS8(p, s, input, weight, nullptr, mult, epilogue, /*requant=*/true, &out,
-                engine);
+                engine, /*out_zero=*/u8 ? 128 : 0, /*in_zero=*/u8 ? 128 : 0);
     const double ms = timer.Millis();
     if (i > 0 || runs == 1) {
       best = std::min(best, ms);

@@ -1,6 +1,7 @@
 #include "src/tuning/global_search.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "src/base/logging.h"
 #include "src/base/timer.h"
@@ -96,6 +97,28 @@ GlobalProblem ExtractGlobalProblem(const Graph& graph, const LocalSearchMap& loc
   for (int out : graph.outputs()) {
     escapes[static_cast<std::size_t>(out)] = 1;
   }
+  // QuantizeGraph executes pooling natively in the integer domain, so a value "stays
+  // integer" when it neither escapes nor reaches a consumer outside {conv data reads,
+  // pools that themselves stay integer}. Concat also has an integer form, but it
+  // additionally needs its own calibrated range and one common input dtype — unknown
+  // at costing time, so it stays a (conservative) boundary here.
+  std::function<bool(int)> stays_int = [&](int v) -> bool {
+    if (escapes[static_cast<std::size_t>(v)] != 0) {
+      return false;
+    }
+    for (int c : consumers[static_cast<std::size_t>(v)]) {
+      const Node& cn = graph.node(c);
+      if (cn.IsConv() && cn.inputs[0] == v) {
+        continue;
+      }
+      if ((cn.type == OpType::kMaxPool || cn.type == OpType::kAvgPool) &&
+          stays_int(c)) {
+        continue;
+      }
+      return false;
+    }
+    return true;
+  };
   for (int id = 0; id < graph.num_nodes(); ++id) {
     const Node& node = graph.node(id);
     if (!node.IsConv()) {
@@ -105,26 +128,22 @@ GlobalProblem ExtractGlobalProblem(const Graph& graph, const LocalSearchMap& loc
     NEOCPU_CHECK(it != locals.end()) << "missing local search result for conv " << id;
 
     // Boundary costs an s8 option pays regardless of its neighbours' choices: a
-    // quantize pass unless the data comes DIRECTLY from another conv (QuantizeGraph
-    // only chains s8 across direct conv->conv data edges — any intervening op, even a
-    // layout-tolerant pool, runs fp32 and forces a fresh kQuantize), and a dequantize
-    // pass when the output reaches any consumer that cannot stay s8 (non-conv ops,
-    // residual/sibling reads, graph outputs). Direct conv-to-conv boundaries are the
-    // edges' job.
+    // quantize pass unless the data arrives from another conv — possibly through a
+    // pooling chain, which QuantizeGraph keeps in the integer domain — and a
+    // dequantize pass when the output reaches any consumer that cannot stay integer
+    // (non-conv non-pool ops, residual/sibling reads, graph outputs). Direct
+    // conv-to-conv boundaries are the edges' job.
     double s8_boundary_ms = 0.0;
     const int data = node.inputs[0];
-    if (!graph.node(data).IsConv()) {
+    int p_walk = data;
+    while (graph.node(p_walk).type == OpType::kMaxPool ||
+           graph.node(p_walk).type == OpType::kAvgPool) {
+      p_walk = graph.node(p_walk).inputs[0];
+    }
+    if (!graph.node(p_walk).IsConv()) {
       s8_boundary_ms += QdqMs(FeatureMapBytes(graph.node(data).out_dims));
     }
-    bool needs_f32_out = escapes[static_cast<std::size_t>(id)];
-    for (int c : consumers[static_cast<std::size_t>(id)]) {
-      const Node& cn = graph.node(c);
-      if (!(cn.IsConv() && cn.inputs[0] == id)) {
-        needs_f32_out = true;
-        break;
-      }
-    }
-    if (needs_f32_out) {
+    if (!stays_int(id)) {
       s8_boundary_ms += QdqMs(FeatureMapBytes(node.out_dims));
     }
 

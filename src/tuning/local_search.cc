@@ -84,10 +84,11 @@ std::shared_ptr<const LocalSearchResult> LocalSearchConvShared(
   }
   LocalSearchResult result;
   std::vector<ConvSchedule> candidates;
-  if (dtype == DType::kS8) {
-    candidates = EnumerateS8Schedules(params, target, quick_space);
+  if (dtype == DType::kS8 || dtype == DType::kU8) {
+    candidates = EnumerateS8Schedules(params, target, quick_space, dtype);
     NEOCPU_CHECK(!candidates.empty())
-        << "s8 search on an int8-disabled target for " << params.ToString();
+        << "int8 search found no candidates (disabled target or no legal u8 blocking) "
+        << "for " << params.ToString();
   } else {
     candidates = EnumerateSchedules(params, target, quick_space);
     // Algorithm alternatives (im2col; Winograd where applicable) are ranked in the same

@@ -64,7 +64,8 @@ std::vector<ConvSchedule> EnumerateAlgoCandidates(const Conv2dParams& p) {
 }
 
 std::vector<ConvSchedule> EnumerateS8Schedules(const Conv2dParams& p, const Target& t,
-                                               bool quick_space) {
+                                               bool quick_space, DType dtype) {
+  NEOCPU_CHECK(dtype == DType::kS8 || dtype == DType::kU8);
   if (!t.int8_dot) {
     return {};
   }
@@ -91,6 +92,16 @@ std::vector<ConvSchedule> EnumerateS8Schedules(const Conv2dParams& p, const Targ
     prune(ic);
     prune(oc);
   }
+  if (dtype == DType::kU8) {
+    // u8 activations pair 4 input channels per vpdpbusd lane (and the portable tiers
+    // mirror that grouping), so only quad-divisible ic blocks are admissible.
+    ic.erase(std::remove_if(ic.begin(), ic.end(),
+                            [](std::int64_t f) { return f % 4 != 0; }),
+             ic.end());
+    if (ic.empty()) {
+      return {};  // no legal u8 blocking for this channel count
+    }
+  }
   std::vector<ConvSchedule> out;
   out.reserve(ic.size() * oc.size() * RegNCandidates().size() * 2);
   for (std::int64_t i : ic) {
@@ -98,7 +109,7 @@ std::vector<ConvSchedule> EnumerateS8Schedules(const Conv2dParams& p, const Targ
       for (std::int64_t r : RegNCandidates()) {
         for (bool u : {true, false}) {
           ConvSchedule s{i, o, r, u};
-          s.dtype = DType::kS8;
+          s.dtype = dtype;
           out.push_back(s);
         }
       }

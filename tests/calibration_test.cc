@@ -1,0 +1,186 @@
+// Calibration policies (min-max, percentile, entropy) at the observer level —
+// synthetic activation distributions with known outlier structure — and end to end:
+// zoo models must stay within the documented int8 tolerance under every policy. Also
+// covers the rdtsc cycle clock the profiler uses for per-node timing.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "src/base/cycle_clock.h"
+#include "src/base/rng.h"
+#include "src/core/compiler.h"
+#include "src/core/executor.h"
+#include "src/core/presets.h"
+#include "src/models/model_zoo.h"
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+namespace {
+
+Tensor InputFor(const Graph& model, std::uint64_t seed = 17) {
+  Rng rng(seed);
+  for (int i = 0; i < model.num_nodes(); ++i) {
+    if (model.node(i).type == OpType::kInput) {
+      return Tensor::Random(model.node(i).out_dims, rng, -1.0f, 1.0f, Layout::NCHW());
+    }
+  }
+  ADD_FAILURE() << "no input node";
+  return {};
+}
+
+// Bulk in [-1, 1] plus one +100 outlier: the distribution where min-max and the
+// clipping policies must disagree.
+Tensor OutlierTensor() {
+  Tensor t = Tensor::Empty({10001}, Layout::Flat());
+  Rng rng(3);
+  for (std::int64_t i = 0; i < 10000; ++i) {
+    t.data()[i] = static_cast<float>(rng.NextBounded(2001)) / 1000.0f - 1.0f;
+  }
+  t.data()[10000] = 100.0f;
+  return t;
+}
+
+// Runs the two-phase protocol over `sample` for node 0 and returns the final range.
+TensorRange CalibrateOne(const Tensor& sample, CalibrationPolicy policy) {
+  CalibrationObserver observer;
+  observer.Observe(0, sample);
+  if (policy != CalibrationPolicy::kMinMax) {
+    observer.BeginHistogramPhase();
+    observer.Observe(0, sample);
+  }
+  CalibrationTable table = observer.Finalize(policy);
+  EXPECT_EQ(table.size(), 1u);
+  return table[0];
+}
+
+// ------------------------------------------------------------------ observer level
+
+TEST(CalibrationObserver, MinMaxKeepsExactExtrema) {
+  const Tensor sample = OutlierTensor();
+  const TensorRange range = CalibrateOne(sample, CalibrationPolicy::kMinMax);
+  float lo = sample.data()[0], hi = sample.data()[0];
+  for (std::int64_t i = 0; i < sample.NumElements(); ++i) {
+    lo = std::min(lo, sample.data()[i]);
+    hi = std::max(hi, sample.data()[i]);
+  }
+  EXPECT_EQ(range.min, std::min(lo, 0.0f));  // ranges fold in 0 via default init
+  EXPECT_EQ(range.max, 100.0f);
+}
+
+// Percentile keeps 99.9% of the |x| mass: one outlier in 10001 samples cannot
+// dictate the scale, so the clip lands near the bulk's edge, far below 100.
+TEST(CalibrationObserver, PercentileClipsTheOutlier) {
+  const TensorRange range = CalibrateOne(OutlierTensor(), CalibrationPolicy::kPercentile);
+  EXPECT_LE(range.max, 2.0f);
+  EXPECT_GE(range.max, 0.5f);   // but never clips into the bulk itself
+  EXPECT_GE(range.min, -2.0f);  // symmetric threshold applies to the negative side
+  EXPECT_LE(range.min, -0.5f);
+}
+
+// Entropy picks the KL-minimizing clip: with all information in the bulk, the chosen
+// threshold is strictly below the outlier.
+TEST(CalibrationObserver, EntropyClipsBelowTheOutlier) {
+  const TensorRange range = CalibrateOne(OutlierTensor(), CalibrationPolicy::kEntropy);
+  EXPECT_LT(range.max, 99.0f);
+  EXPECT_GE(range.max, 0.5f);
+}
+
+// A clipping policy without a histogram phase (or a node whose activations never hit
+// the histogram) degrades to the min-max range instead of failing.
+TEST(CalibrationObserver, ClippingPolicyWithoutHistogramKeepsMinMax) {
+  CalibrationObserver observer;
+  const Tensor sample = OutlierTensor();
+  observer.Observe(0, sample);  // phase 1 only; no BeginHistogramPhase
+  CalibrationTable table = observer.Finalize(CalibrationPolicy::kPercentile);
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0].max, 100.0f);
+}
+
+// Non-f32 tensors are ignored (quantized intermediates flow through the same
+// executor during re-calibration runs).
+TEST(CalibrationObserver, IgnoresNonF32Tensors) {
+  CalibrationObserver observer;
+  Tensor s8 = Tensor::Empty({16}, Layout::Flat(), DType::kS8);
+  observer.Observe(0, s8);
+  EXPECT_TRUE(observer.table().empty());
+}
+
+// ------------------------------------------------------------------ end to end
+
+struct PolicyCase {
+  std::string label;
+  Graph (*build)();
+  CalibrationPolicy policy;
+};
+
+Graph TinyCnn() { return BuildTinyCnn(1, 32); }
+Graph TinyResNet18() { return BuildResNet(18, 1, 64); }
+
+class ZooCalibrated : public ::testing::TestWithParam<PolicyCase> {};
+
+// Forced-int8 compiles under every calibration policy stay within the documented
+// 0.05 max-abs-error tolerance of fp32 (the clipping policies saturate rare
+// outliers in exchange for finer resolution of the bulk — on these distributions
+// that trade must not cost accuracy).
+TEST_P(ZooCalibrated, TracksFp32WithinTolerance) {
+  Graph model = GetParam().build();
+  Tensor input = InputFor(model);
+  const Tensor expected = Executor(&model).Run(input);
+
+  CompileOptions opts = NeoCpuOptions(Target::SkylakeAvx512());
+  opts.quantize = true;
+  opts.force_quantize = true;
+  opts.calibration_policy = GetParam().policy;
+  CompiledModel compiled = Compile(model, opts);
+  EXPECT_GT(compiled.stats().num_quantized_convs, 0) << GetParam().label;
+  EXPECT_LE(Tensor::MaxAbsDiff(compiled.Run(input), expected), 0.05)
+      << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooCalibrated,
+    ::testing::Values(
+        PolicyCase{"tiny_cnn_minmax", &TinyCnn, CalibrationPolicy::kMinMax},
+        PolicyCase{"tiny_cnn_percentile", &TinyCnn, CalibrationPolicy::kPercentile},
+        PolicyCase{"tiny_cnn_entropy", &TinyCnn, CalibrationPolicy::kEntropy},
+        PolicyCase{"resnet18_percentile", &TinyResNet18, CalibrationPolicy::kPercentile},
+        PolicyCase{"resnet18_entropy", &TinyResNet18, CalibrationPolicy::kEntropy}),
+    [](const ::testing::TestParamInfo<PolicyCase>& info) { return info.param.label; });
+
+// ------------------------------------------------------------------ cycle clock
+
+TEST(CycleClock, ReportsConsistentSupport) {
+  // Supported() is a stable property of the host; both answers are valid, but the
+  // accessors must be coherent with it.
+  if (!CycleClock::Supported()) {
+    EXPECT_EQ(CycleClock::Now(), 0u);
+    return;
+  }
+  EXPECT_GT(CycleClock::NanosPerCycle(), 0.0);
+  EXPECT_LT(CycleClock::NanosPerCycle(), 100.0);  // no sub-10MHz TSCs
+}
+
+TEST(CycleClock, MonotonicAndCalibratedAgainstWallClock) {
+  if (!CycleClock::Supported()) {
+    GTEST_SKIP() << "no invariant TSC on this host";
+  }
+  const std::uint64_t t0 = CycleClock::Now();
+  const auto wall0 = std::chrono::steady_clock::now();
+  // Busy-wait ~20ms of wall time.
+  while (std::chrono::steady_clock::now() - wall0 < std::chrono::milliseconds(20)) {
+  }
+  const std::uint64_t t1 = CycleClock::Now();
+  const auto wall1 = std::chrono::steady_clock::now();
+  ASSERT_GT(t1, t0);
+  const double measured_ns = static_cast<double>(CycleClock::CyclesToNanos(t1 - t0));
+  const double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall1 - wall0).count());
+  // Loose agreement: the conversion must be in the right ballpark (within 2x), not
+  // cycle-exact — CI hosts throttle and migrate.
+  EXPECT_GT(measured_ns, wall_ns * 0.5);
+  EXPECT_LT(measured_ns, wall_ns * 2.0);
+}
+
+}  // namespace
+}  // namespace neocpu

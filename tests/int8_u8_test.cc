@@ -1,0 +1,595 @@
+// The u8-activation half of the int8 path: kernel-level exactness with zero points
+// and virtual padding, cross-ISA bitwise parity via the dispatch override, VNNI
+// weight packing and the zero-point bias fold, u8 graph-pass structure (integer
+// pooling, sum fusion, forced-dtype selection), zoo accuracy under forced u8, the
+// quantized dense path, and the v6 module / u8 cache round trips.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/core/compiler.h"
+#include "src/core/memory_plan.h"
+#include "src/core/presets.h"
+#include "src/core/serialization.h"
+#include "src/graph/builder.h"
+#include "src/kernels/conv_nchwc_int8.h"
+#include "src/kernels/dense.h"
+#include "src/kernels/quantize.h"
+#include "src/models/model_zoo.h"
+#include "src/tensor/layout_transform.h"
+#include "src/tuning/schedule_space.h"
+#include "src/tuning/tuning_cache.h"
+
+namespace neocpu {
+namespace {
+
+Tensor InputFor(const Graph& model, std::uint64_t seed = 17) {
+  Rng rng(seed);
+  for (int i = 0; i < model.num_nodes(); ++i) {
+    if (model.node(i).type == OpType::kInput) {
+      return Tensor::Random(model.node(i).out_dims, rng, -1.0f, 1.0f, Layout::NCHW());
+    }
+  }
+  ADD_FAILURE() << "no input node";
+  return {};
+}
+
+CompileOptions QuantizedOptions(DType forced = DType::kF32) {
+  CompileOptions opts = NeoCpuOptions(Target::SkylakeAvx512());
+  opts.quantize = true;
+  opts.force_quantize = true;
+  opts.force_quant_dtype = forced;
+  return opts;
+}
+
+// A u8-activation conv problem with horizontal+vertical padding, a nontrivial zero
+// point, bias and ReLU — everything the zero-point fold must get right on borders.
+struct U8Case {
+  Conv2dParams p;
+  ConvSchedule s;
+  Tensor in, w_blocked, w_packed, bias, mult;
+  std::int32_t in_zero = 131;  // deliberately != 128 to catch hardcoded midpoints
+};
+
+U8Case MakeU8Case() {
+  U8Case c;
+  c.p = Conv2dParams{2, 8, 9, 11, 16, 3, 3, 1, 1, 1, 1};
+  c.s = ConvSchedule{8, 16, 8, true};
+  c.s.dtype = DType::kU8;
+  Rng rng(11);
+  c.in = Tensor::Empty({c.p.batch, c.p.in_c / c.s.ic_bn, c.p.in_h, c.p.in_w, c.s.ic_bn},
+                       Layout::NCHWc(c.s.ic_bn), DType::kU8);
+  for (std::int64_t i = 0; i < c.in.NumElements(); ++i) {
+    c.in.data_as<std::uint8_t>()[i] = static_cast<std::uint8_t>(rng.NextBounded(256));
+  }
+  c.w_blocked = Tensor::Empty({c.p.out_c / c.s.oc_bn, c.p.in_c / c.s.ic_bn, c.p.kernel_h,
+                               c.p.kernel_w, c.s.ic_bn, c.s.oc_bn},
+                              Layout::OIHWio(c.s.ic_bn, c.s.oc_bn), DType::kS8);
+  for (std::int64_t i = 0; i < c.w_blocked.NumElements(); ++i) {
+    c.w_blocked.data_as<std::int8_t>()[i] =
+        static_cast<std::int8_t>(rng.NextBounded(255)) - 127;
+  }
+  c.bias = Tensor::Empty({c.p.out_c}, Layout::Flat(), DType::kS32);
+  for (std::int64_t o = 0; o < c.p.out_c; ++o) {
+    c.bias.data_as<std::int32_t>()[o] =
+        static_cast<std::int32_t>(rng.NextBounded(2000)) - 1000;
+  }
+  // The lowering order AlterConvLayout uses: fold the zero-point correction against
+  // the standard tile order, THEN pack for VNNI.
+  FoldZeroPointIntoBias(c.w_blocked, c.in_zero, &c.bias);
+  c.w_packed = PackWeightsVnni(c.w_blocked);
+  c.mult = Tensor::Empty({c.p.out_c}, Layout::Flat());
+  for (std::int64_t o = 0; o < c.p.out_c; ++o) {
+    c.mult.data()[o] = 1e-4f * (1.0f + static_cast<float>(o));
+  }
+  return c;
+}
+
+// ------------------------------------------------------------------ kernel level
+
+// The u8 kernel against a scalar reference computing sum((u8 - zp) * w) over ALL
+// kernel taps (padded positions read a virtual `zp` byte, contributing zero): with
+// the zero-point correction pre-folded into the bias the two must agree BIT FOR BIT.
+TEST(ConvNCHWcU8, MatchesScalarReferenceWithZeroPointAndPadding) {
+  U8Case c = MakeU8Case();
+  ConvEpilogue epi;
+  epi.bias = true;
+  epi.relu = true;
+  Tensor out = Tensor::Empty(
+      {c.p.batch, c.p.out_c / c.s.oc_bn, c.p.OutH(), c.p.OutW(), c.s.oc_bn},
+      Layout::NCHWc(c.s.oc_bn), DType::kF32);
+  ConvNCHWcS8(c.p, c.s, c.in, c.w_packed, &c.bias, c.mult, epi, /*requant=*/false,
+              &out, nullptr, /*out_zero=*/0, c.in_zero);
+
+  const std::int64_t icb = c.s.ic_bn, ocb = c.s.oc_bn;
+  for (std::int64_t n = 0; n < c.p.batch; ++n) {
+    for (std::int64_t oc = 0; oc < c.p.out_c; ++oc) {
+      for (std::int64_t oh = 0; oh < c.p.OutH(); ++oh) {
+        for (std::int64_t ow = 0; ow < c.p.OutW(); ++ow) {
+          std::int64_t acc = 0;
+          for (std::int64_t ic = 0; ic < c.p.in_c; ++ic) {
+            for (std::int64_t kh = 0; kh < c.p.kernel_h; ++kh) {
+              for (std::int64_t kw = 0; kw < c.p.kernel_w; ++kw) {
+                const std::int64_t ih = oh * c.p.stride_h - c.p.pad_h + kh;
+                const std::int64_t iw = ow * c.p.stride_w - c.p.pad_w + kw;
+                const bool pad = ih < 0 || ih >= c.p.in_h || iw < 0 || iw >= c.p.in_w;
+                const std::int64_t in_at =
+                    ((((n * (c.p.in_c / icb) + ic / icb) * c.p.in_h + ih) * c.p.in_w +
+                      iw) *
+                     icb) +
+                    ic % icb;
+                const std::int32_t val =
+                    pad ? c.in_zero
+                        : static_cast<std::int32_t>(c.in.data_as<std::uint8_t>()[in_at]);
+                const std::int64_t w_at =
+                    ((((((oc / ocb) * (c.p.in_c / icb) + ic / icb) * c.p.kernel_h + kh) *
+                           c.p.kernel_w +
+                       kw) *
+                          icb +
+                      ic % icb) *
+                     ocb) +
+                    oc % ocb;
+                acc += (val - c.in_zero) *
+                       static_cast<std::int32_t>(c.w_blocked.data_as<std::int8_t>()[w_at]);
+              }
+            }
+          }
+          // The kernel computes sum(val*w) + folded_bias where folded = raw -
+          // zp*sum(w); the reference computed sum((val-zp)*w) = sum(val*w) -
+          // zp*sum(w), so adding folded + zp*sum(w) (= the raw bias) makes the two
+          // sides identical.
+          acc += c.bias.data_as<std::int32_t>()[oc] +
+                 [&] {
+                   std::int64_t wsum = 0;
+                   for (std::int64_t ic = 0; ic < c.p.in_c; ++ic) {
+                     for (std::int64_t kh = 0; kh < c.p.kernel_h; ++kh) {
+                       for (std::int64_t kw = 0; kw < c.p.kernel_w; ++kw) {
+                         const std::int64_t w_at =
+                             ((((((oc / ocb) * (c.p.in_c / icb) + ic / icb) *
+                                     c.p.kernel_h +
+                                 kh) *
+                                    c.p.kernel_w +
+                                kw) *
+                                   icb +
+                               ic % icb) *
+                              ocb) +
+                             oc % ocb;
+                         wsum += c.w_blocked.data_as<std::int8_t>()[w_at];
+                       }
+                     }
+                   }
+                   return static_cast<std::int64_t>(c.in_zero) * wsum;
+                 }();
+          if (acc < 0) {
+            acc = 0;
+          }
+          const float expect = static_cast<float>(acc) * c.mult.data()[oc];
+          const std::int64_t out_at =
+              ((((n * (c.p.out_c / ocb) + oc / ocb) * c.p.OutH() + oh) * c.p.OutW() +
+                ow) *
+               ocb) +
+              oc % ocb;
+          ASSERT_EQ(out.data()[out_at], expect)
+              << "n=" << n << " oc=" << oc << " oh=" << oh << " ow=" << ow;
+        }
+      }
+    }
+  }
+}
+
+// Every compiled-in ISA tier the host supports must produce byte-identical
+// requantized output — the cross-ISA parity contract that makes tuning results and
+// serialized modules portable across deployment hosts.
+TEST(ConvNCHWcU8, CrossIsaBitwiseParity) {
+  U8Case c = MakeU8Case();
+  ConvEpilogue epi;
+  epi.bias = true;
+  epi.relu = true;
+  auto run = [&]() {
+    Tensor out = Tensor::Empty(
+        {c.p.batch, c.p.out_c / c.s.oc_bn, c.p.OutH(), c.p.OutW(), c.s.oc_bn},
+        Layout::NCHWc(c.s.oc_bn), DType::kU8);
+    ConvNCHWcS8(c.p, c.s, c.in, c.w_packed, &c.bias, c.mult, epi, /*requant=*/true,
+                &out, nullptr, /*out_zero=*/128, c.in_zero);
+    return out;
+  };
+  const Tensor reference = run();  // auto dispatch
+  int tiers_run = 0;
+  for (const char* tier : {"baseline", "avx2", "avx512", "avx512vnni"}) {
+    if (!SetConvNCHWcS8IsaOverride(tier)) {
+      continue;  // tier not compiled in or CPU lacks it
+    }
+    EXPECT_STREQ(ConvNCHWcS8IsaName(), tier);
+    const Tensor out = run();
+    EXPECT_EQ(std::memcmp(out.data_as<std::uint8_t>(),
+                          reference.data_as<std::uint8_t>(),
+                          static_cast<std::size_t>(out.NumElements())),
+              0)
+        << "tier " << tier << " diverged from auto dispatch";
+    ++tiers_run;
+  }
+  SetConvNCHWcS8IsaOverride(nullptr);
+  EXPECT_GE(tiers_run, 1) << "at least the baseline tier must always be available";
+}
+
+// Same parity contract for the s8 path (no zero point, unpacked weights).
+TEST(ConvNCHWcS8, CrossIsaBitwiseParity) {
+  const Conv2dParams p{1, 16, 13, 15, 32, 3, 3, 1, 1, 1, 1};
+  ConvSchedule s{16, 32, 8, true};
+  s.dtype = DType::kS8;
+  Tensor in = Tensor::Empty({1, 1, 13, 15, 16}, Layout::NCHWc(16), DType::kS8);
+  Tensor w = Tensor::Empty({1, 1, 3, 3, 16, 32}, Layout::OIHWio(16, 32), DType::kS8);
+  for (std::int64_t i = 0; i < in.NumElements(); ++i) {
+    in.data_as<std::int8_t>()[i] = static_cast<std::int8_t>((i * 7) % 200 - 100);
+  }
+  for (std::int64_t i = 0; i < w.NumElements(); ++i) {
+    w.data_as<std::int8_t>()[i] = static_cast<std::int8_t>((i * 13) % 180 - 90);
+  }
+  Tensor mult = Tensor::Full({32}, 3e-4f);
+  auto run = [&]() {
+    Tensor out = Tensor::Empty({1, 1, 13, 15, 32}, Layout::NCHWc(32), DType::kS8);
+    ConvNCHWcS8(p, s, in, w, nullptr, mult, {}, /*requant=*/true, &out);
+    return out;
+  };
+  const Tensor reference = run();
+  for (const char* tier : {"baseline", "avx2", "avx512", "avx512vnni"}) {
+    if (!SetConvNCHWcS8IsaOverride(tier)) {
+      continue;
+    }
+    const Tensor out = run();
+    EXPECT_EQ(std::memcmp(out.data_as<std::int8_t>(), reference.data_as<std::int8_t>(),
+                          static_cast<std::size_t>(out.NumElements())),
+              0)
+        << "tier " << tier;
+  }
+  SetConvNCHWcS8IsaOverride(nullptr);
+}
+
+// PackWeightsVnni is a pure intra-tile permutation: element (o, i, kh, kw, ici, ocj)
+// moves to packed offset [ici/4][ocj][4] within the same tile.
+TEST(PackWeightsVnni, ReordersInnerTileOnly) {
+  const std::int64_t icb = 8, ocb = 4;
+  Tensor w = Tensor::Empty({2, 3, 1, 1, icb, ocb}, Layout::OIHWio(icb, ocb), DType::kS8);
+  for (std::int64_t i = 0; i < w.NumElements(); ++i) {
+    w.data_as<std::int8_t>()[i] = static_cast<std::int8_t>(i % 127);
+  }
+  Tensor packed = PackWeightsVnni(w);
+  ASSERT_EQ(packed.NumElements(), w.NumElements());
+  const std::int64_t tile = icb * ocb;
+  for (std::int64_t t = 0; t < w.NumElements() / tile; ++t) {
+    for (std::int64_t ici = 0; ici < icb; ++ici) {
+      for (std::int64_t ocj = 0; ocj < ocb; ++ocj) {
+        const std::int8_t orig = w.data_as<std::int8_t>()[t * tile + ici * ocb + ocj];
+        const std::int64_t packed_at =
+            t * tile + (ici / 4) * ocb * 4 + ocj * 4 + (ici % 4);
+        ASSERT_EQ(packed.data_as<std::int8_t>()[packed_at], orig)
+            << "tile " << t << " ici " << ici << " ocj " << ocj;
+      }
+    }
+  }
+}
+
+// The s8 GEMM epilogue against a scalar integer reference.
+TEST(DenseS8, MatchesScalarIntegerReference) {
+  const std::int64_t batch = 3, in_f = 17, units = 5;
+  Tensor in = Tensor::Empty({batch, in_f}, Layout::Flat(), DType::kS8);
+  Tensor w = Tensor::Empty({units, in_f}, Layout::Flat(), DType::kS8);
+  Tensor bias = Tensor::Empty({units}, Layout::Flat(), DType::kS32);
+  Tensor mult = Tensor::Empty({units}, Layout::Flat());
+  for (std::int64_t i = 0; i < in.NumElements(); ++i) {
+    in.data_as<std::int8_t>()[i] = static_cast<std::int8_t>((i * 5) % 250 - 125);
+  }
+  for (std::int64_t i = 0; i < w.NumElements(); ++i) {
+    w.data_as<std::int8_t>()[i] = static_cast<std::int8_t>((i * 11) % 240 - 120);
+  }
+  for (std::int64_t u = 0; u < units; ++u) {
+    bias.data_as<std::int32_t>()[u] = static_cast<std::int32_t>(u * 37 - 70);
+    mult.data()[u] = 2e-4f * (1.0f + static_cast<float>(u));
+  }
+  const Tensor out = DenseS8(in, w, &bias, mult, /*relu=*/true);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t u = 0; u < units; ++u) {
+      std::int64_t acc = bias.data_as<std::int32_t>()[u];
+      for (std::int64_t f = 0; f < in_f; ++f) {
+        acc += static_cast<std::int32_t>(in.data_as<std::int8_t>()[b * in_f + f]) *
+               static_cast<std::int32_t>(w.data_as<std::int8_t>()[u * in_f + f]);
+      }
+      if (acc < 0) {
+        acc = 0;
+      }
+      ASSERT_EQ(out.data()[b * units + u], static_cast<float>(acc) * mult.data()[u])
+          << "b=" << b << " u=" << u;
+    }
+  }
+}
+
+// u8 feature maps relayout exactly like s8 ones (same byte-permutation path).
+TEST(LayoutTransformU8, BlockedRoundTrip) {
+  Tensor x = Tensor::Empty({2, 8, 5, 5}, Layout::NCHW(), DType::kU8);
+  for (std::int64_t i = 0; i < x.NumElements(); ++i) {
+    x.data_as<std::uint8_t>()[i] = static_cast<std::uint8_t>(i % 251);
+  }
+  Tensor blocked = NCHWToNCHWc(x, 4);
+  EXPECT_EQ(blocked.dtype(), DType::kU8);
+  Tensor back = NCHWcToNCHW(NCHWcToNCHWc(blocked, 8));
+  ASSERT_EQ(back.NumElements(), x.NumElements());
+  for (std::int64_t i = 0; i < x.NumElements(); ++i) {
+    ASSERT_EQ(back.data_as<std::uint8_t>()[i], x.data_as<std::uint8_t>()[i]) << i;
+  }
+}
+
+// ------------------------------------------------------------------ schedule space
+
+// u8 admission: only quad-divisible ic blocks are legal (4 input channels per
+// dot-product group), so a 3-channel stem has no u8 space at all.
+TEST(U8ScheduleSpace, RequiresQuadDivisibleIcBlocks) {
+  const Target t = Target::SkylakeAvx512();
+  const Conv2dParams stem{1, 3, 32, 32, 64, 7, 7, 2, 2, 3, 3};
+  EXPECT_TRUE(EnumerateS8Schedules(stem, t, false, DType::kU8).empty());
+  EXPECT_FALSE(EnumerateS8Schedules(stem, t, false, DType::kS8).empty());
+
+  const Conv2dParams wide{1, 64, 14, 14, 64, 3, 3, 1, 1, 1, 1};
+  const auto u8_space = EnumerateS8Schedules(wide, t, false, DType::kU8);
+  ASSERT_FALSE(u8_space.empty());
+  for (const ConvSchedule& s : u8_space) {
+    EXPECT_EQ(s.dtype, DType::kU8);
+    EXPECT_EQ(s.ic_bn % 4, 0) << s.ic_bn;
+  }
+}
+
+// ------------------------------------------------------------------ pass structure
+
+// conv -> maxpool -> conv stays one integer region: the pool runs natively on the
+// quantized dtype, so there is exactly one entry quantize and no dequantize at all
+// (the exit fuses into the last conv).
+TEST(QuantizeGraphU8, PoolingStaysInsideIntegerRegion) {
+  GraphBuilder b("pool_chain");
+  int x = b.Input({1, 32, 16, 16});
+  x = b.Conv(x, 32, 3, 1, 1, /*bias=*/true, "c1");
+  x = b.Relu(x);
+  x = b.MaxPool(x, 2, 2, 0);
+  x = b.Conv(x, 32, 3, 1, 1, /*bias=*/true, "c2");
+  Graph model = b.Finish({x});
+
+  CompiledModel compiled = Compile(model, QuantizedOptions());
+  EXPECT_EQ(compiled.stats().num_quantized_convs, 2);
+  const Graph& g = compiled.graph();
+  EXPECT_EQ(g.CountNodes(OpType::kQuantize), 1);
+  EXPECT_EQ(g.CountNodes(OpType::kDequantize), 0);
+  bool integer_pool = false;
+  for (int id = 0; id < g.num_nodes(); ++id) {
+    if (g.node(id).type == OpType::kMaxPool && g.node(id).out_dtype != DType::kF32) {
+      integer_pool = true;
+    }
+  }
+  EXPECT_TRUE(integer_pool) << "maxpool should execute on the quantized dtype";
+
+  Tensor input = InputFor(model);
+  const Tensor expected = Executor(&model).Run(input);
+  EXPECT_LE(Tensor::MaxAbsDiff(compiled.Run(input), expected), 0.05);
+}
+
+// Forcing u8 rewires every conv with a legal quad blocking to u8 activations with a
+// nonzero zero point; the requantized outputs feeding them are u8 too.
+TEST(QuantizeGraphU8, ForcedU8SelectsU8Schedules) {
+  GraphBuilder b("u8_chain");
+  int x = b.Input({1, 32, 16, 16});
+  x = b.Conv(x, 32, 3, 1, 1, /*bias=*/true, "c1");
+  x = b.Relu(x);
+  x = b.Conv(x, 32, 3, 1, 1, /*bias=*/true, "c2");
+  x = b.Relu(x);
+  x = b.Conv(x, 32, 1, 1, 0, /*bias=*/true, "c3");
+  Graph model = b.Finish({x});
+
+  CompiledModel compiled = Compile(model, QuantizedOptions(DType::kU8));
+  EXPECT_EQ(compiled.stats().num_quantized_convs, 3);
+  int u8_convs = 0;
+  for (int id = 0; id < compiled.graph().num_nodes(); ++id) {
+    const Node& node = compiled.graph().node(id);
+    if (node.IsConv() && node.attrs.qconv.enabled) {
+      EXPECT_EQ(node.attrs.qconv.adtype, DType::kU8) << node.name;
+      EXPECT_EQ(node.attrs.schedule.dtype, DType::kU8) << node.name;
+      EXPECT_EQ(node.attrs.schedule.ic_bn % 4, 0) << node.name;
+      if (node.attrs.qconv.requant) {
+        EXPECT_EQ(node.attrs.qconv.out_dtype, DType::kU8) << node.name;
+      }
+      ++u8_convs;
+    }
+  }
+  EXPECT_EQ(u8_convs, 3);
+
+  Tensor input = InputFor(model);
+  const Tensor expected = Executor(&model).Run(input);
+  EXPECT_LE(Tensor::MaxAbsDiff(compiled.Run(input), expected), 0.05);
+}
+
+// resnet18's quantized boundary structure: the integer maxpool and the sum-fused
+// residual conv keep the stem's integer region intact, so the whole net needs 8
+// quantizes and ZERO standalone dequantizes — strictly fewer boundary nodes than the
+// 9 the pre-u8 pass emitted (where the residual read forced a dequantize).
+TEST(QuantizeGraphU8, ResNet18BoundaryStructure) {
+  Graph model = BuildResNet(18, 1, 64);
+  CompiledModel compiled = Compile(model, QuantizedOptions());
+  EXPECT_EQ(compiled.stats().num_quantized_convs, 12);
+  const Graph& g = compiled.graph();
+  const int q = g.CountNodes(OpType::kQuantize);
+  const int dq = g.CountNodes(OpType::kDequantize);
+  EXPECT_EQ(q, 8);
+  EXPECT_EQ(dq, 0);
+  EXPECT_LT(q + dq, 9);  // the acceptance bar: strictly fewer than before sum fusion
+
+  // The fused-residual conv reads the integer tensor directly, carrying its rescale
+  // params; the stem maxpool runs integer.
+  int fused_residual = 0, integer_pools = 0;
+  for (int id = 0; id < g.num_nodes(); ++id) {
+    const Node& node = g.node(id);
+    if (node.IsConv() && node.attrs.epilogue.residual_add &&
+        !node.attrs.qin_scales.empty()) {
+      ASSERT_FALSE(node.inputs.empty());
+      EXPECT_NE(g.node(node.inputs.back()).out_dtype, DType::kF32) << node.name;
+      EXPECT_EQ(node.attrs.qin_scales.size(), node.attrs.qin_zeros.size());
+      ++fused_residual;
+    }
+    if ((node.type == OpType::kMaxPool || node.type == OpType::kAvgPool) &&
+        node.out_dtype != DType::kF32) {
+      ++integer_pools;
+    }
+  }
+  EXPECT_GE(fused_residual, 1);
+  EXPECT_GE(integer_pools, 1);
+
+  Tensor input = InputFor(model);
+  const Tensor expected = Executor(&model).Run(input);
+  EXPECT_LE(Tensor::MaxAbsDiff(compiled.Run(input), expected), 0.05);
+}
+
+// ------------------------------------------------------------------ zoo accuracy
+
+struct ZooCase {
+  std::string label;
+  Graph (*build)();
+};
+
+Graph TinyCnn() { return BuildTinyCnn(1, 32); }
+Graph TinyResNet18() { return BuildResNet(18, 1, 64); }
+Graph TinyInception() { return BuildInceptionV3(1, 139); }
+
+class ZooForcedU8 : public ::testing::TestWithParam<ZooCase> {};
+
+// Forced-u8 compiles: accuracy within the documented tolerance, at least one u8
+// conv actually selected (the stem may stay s8 — 3 channels have no quad blocking),
+// planned-vs-allocating bitwise equality and the zero-heap-alloc steady state.
+// Inception exercises the integer concat (per-input rescale) and 4-D pooling paths.
+TEST_P(ZooForcedU8, TracksFp32WithinToleranceAndStaysZeroAlloc) {
+  Graph model = GetParam().build();
+  Tensor input = InputFor(model);
+  const Tensor expected = Executor(&model).Run(input);
+
+  CompiledModel compiled = Compile(model, QuantizedOptions(DType::kU8));
+  EXPECT_GT(compiled.stats().num_quantized_convs, 0) << GetParam().label;
+  int u8_convs = 0;
+  for (int id = 0; id < compiled.graph().num_nodes(); ++id) {
+    const Node& node = compiled.graph().node(id);
+    u8_convs += node.IsConv() && node.attrs.qconv.enabled &&
+                node.attrs.qconv.adtype == DType::kU8;
+  }
+  EXPECT_GT(u8_convs, 0) << GetParam().label;
+
+  const Tensor got = compiled.Run(input);
+  EXPECT_LE(Tensor::MaxAbsDiff(got, expected), 0.05) << GetParam().label;
+
+  ASSERT_NE(compiled.plan(), nullptr) << GetParam().label;
+  std::vector<std::string> errors;
+  EXPECT_TRUE(ValidatePlan(compiled.graph(), *compiled.plan(), &errors))
+      << GetParam().label << ": " << (errors.empty() ? "" : errors.front());
+  const Executor allocating(&compiled.graph());
+  EXPECT_EQ(Tensor::MaxAbsDiff(allocating.Run(input), got), 0.0) << GetParam().label;
+
+  const Executor planned(&compiled.graph(), nullptr, compiled.plan());
+  planned.Run(input);
+  const std::uint64_t before = TensorHeapAllocCount();
+  planned.Run(input);
+  EXPECT_EQ(TensorHeapAllocCount() - before,
+            static_cast<std::uint64_t>(compiled.plan()->heap_nodes))
+      << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooForcedU8,
+                         ::testing::Values(ZooCase{"tiny_cnn", &TinyCnn},
+                                           ZooCase{"resnet18", &TinyResNet18},
+                                           ZooCase{"inception", &TinyInception}),
+                         [](const ::testing::TestParamInfo<ZooCase>& info) {
+                           return info.param.label;
+                         });
+
+// ------------------------------------------------------------------ dense path
+
+// quantize_dense routes constant-weight dense layers through the s8 GEMM epilogue.
+TEST(QuantizeDense, DenseLayersQuantizeWithinTolerance) {
+  Graph model = BuildTinyCnn(1, 32);
+  Tensor input = InputFor(model);
+  const Tensor expected = Executor(&model).Run(input);
+
+  CompileOptions opts = QuantizedOptions();
+  opts.quantize_dense = true;
+  CompiledModel compiled = Compile(model, opts);
+  int quantized_dense = 0;
+  for (int id = 0; id < compiled.graph().num_nodes(); ++id) {
+    const Node& node = compiled.graph().node(id);
+    quantized_dense += node.type == OpType::kDense && node.attrs.qconv.enabled;
+  }
+  EXPECT_GT(quantized_dense, 0);
+  EXPECT_LE(Tensor::MaxAbsDiff(compiled.Run(input), expected), 0.05);
+}
+
+// ------------------------------------------------------------------ persistence
+
+// Module format v6: a forced-u8 model (activation dtypes, zero points, per-input
+// rescale params, the new config fields) round-trips bit-exactly.
+TEST(U8Serialization, ModuleV6RoundTripsU8State) {
+  Graph model = BuildResNet(18, 1, 64);
+  Tensor input = InputFor(model);
+  CompileOptions opts = QuantizedOptions(DType::kU8);
+  opts.calibration_policy = CalibrationPolicy::kPercentile;
+  CompiledModel compiled = Compile(model, opts);
+  ASSERT_GT(compiled.stats().num_quantized_convs, 0);
+  const Tensor expected = compiled.Run(input);
+
+  const std::string path = ::testing::TempDir() + "/u8_module.neoc";
+  ASSERT_TRUE(SaveModule(compiled, path));
+  CompiledModel loaded;
+  ASSERT_TRUE(LoadModule(path, &loaded));
+  EXPECT_EQ(loaded.config().force_quant_dtype, DType::kU8);
+  EXPECT_EQ(loaded.config().calibration_policy, CalibrationPolicy::kPercentile);
+  EXPECT_EQ(loaded.config().quantize_dense, false);
+  ASSERT_EQ(loaded.graph().num_nodes(), compiled.graph().num_nodes());
+  for (int id = 0; id < compiled.graph().num_nodes(); ++id) {
+    const Node& a = compiled.graph().node(id);
+    const Node& b = loaded.graph().node(id);
+    EXPECT_EQ(a.attrs.qconv.adtype, b.attrs.qconv.adtype) << a.name;
+    EXPECT_EQ(a.attrs.qconv.in_zero, b.attrs.qconv.in_zero) << a.name;
+    EXPECT_EQ(a.attrs.qconv.out_dtype, b.attrs.qconv.out_dtype) << a.name;
+    EXPECT_EQ(a.attrs.qconv.out_zero, b.attrs.qconv.out_zero) << a.name;
+    EXPECT_EQ(a.attrs.qin_scales, b.attrs.qin_scales) << a.name;
+    EXPECT_EQ(a.attrs.qin_zeros, b.attrs.qin_zeros) << a.name;
+    EXPECT_EQ(a.out_dtype, b.out_dtype) << a.name;
+  }
+  EXPECT_EQ(Tensor::MaxAbsDiff(loaded.Run(input), expected), 0.0);
+}
+
+// u8 tuning-cache entries persist under u8-tagged workload keys, next to the s8 and
+// fp32 entries of the same shape.
+TEST(U8Serialization, TuningCacheRoundTripsU8Entries) {
+  const Conv2dParams conv{1, 64, 14, 14, 64, 3, 3, 1, 1, 1, 1};
+  const Target target = Target::SkylakeAvx512();
+  TuningCache cache;
+  LocalSearchConv(conv, target, CostMode::kAnalytic, true, nullptr, &cache);
+  LocalSearchConv(conv, target, CostMode::kAnalytic, true, nullptr, &cache, nullptr,
+                  DType::kS8);
+  LocalSearchConv(conv, target, CostMode::kAnalytic, true, nullptr, &cache, nullptr,
+                  DType::kU8);
+  EXPECT_EQ(cache.size(), 3u);
+
+  const std::string path = ::testing::TempDir() + "/u8_cache.v4";
+  ASSERT_TRUE(cache.SaveToFile(path));
+  TuningCache reloaded;
+  ASSERT_TRUE(reloaded.LoadFromFile(path));
+  EXPECT_EQ(reloaded.size(), 3u);
+
+  const WorkloadKey u8_key =
+      WorkloadKey::Of(conv, target, CostMode::kAnalytic, true, DType::kU8);
+  auto u8_entry = reloaded.Find(u8_key);
+  ASSERT_NE(u8_entry, nullptr);
+  EXPECT_EQ(u8_entry->best().schedule.dtype, DType::kU8);
+  EXPECT_EQ(u8_entry->best().schedule.ic_bn % 4, 0);
+
+  WorkloadKey parsed;
+  ASSERT_TRUE(WorkloadKey::Parse(u8_key.ToString(), &parsed));
+  EXPECT_EQ(parsed, u8_key);
+}
+
+}  // namespace
+}  // namespace neocpu

@@ -13,6 +13,10 @@
 //   --metrics FORMAT     dump the process metrics registry (json | prometheus)
 //   --batch N            batch size for --zoo compilation        (default 1)
 //   --quantize           force-quantize the --zoo model (int8 serving path)
+//   --policy P           calibration policy for --quantize: minmax | percentile |
+//                        entropy                                 (default minmax)
+//   --dtype D            forced quantized activation dtype: s8 | u8
+//   --quantize-dense     also quantize dense layers (s8 GEMM epilogue)
 //
 // Exit status: 0 on success, 1 on bad usage or I/O failure.
 #include <cstdio>
@@ -20,8 +24,10 @@
 #include <fstream>
 #include <string>
 
+#include "src/base/cycle_clock.h"
 #include "src/base/rng.h"
 #include "src/core/compiler.h"
+#include "src/kernels/conv_nchwc_int8.h"
 #include "src/core/serialization.h"
 #include "src/models/model_zoo.h"
 #include "src/obs/graph_dot.h"
@@ -69,6 +75,12 @@ void PrintSummary(const CompiledModel& model) {
   std::printf("  nodes: %d (%d convs, %d layout transforms, %d constants)\n",
               graph.num_nodes(), convs, transforms, constants);
   std::printf("  quantized convs: %d/%d\n", stats.num_quantized_convs, stats.num_convs);
+  if (model.has_source() && model.config().quantize) {
+    std::printf("  calibration policy: %s\n",
+                CalibrationPolicyName(model.config().calibration_policy));
+  }
+  std::printf("  int8 kernel tier: %s; cycle clock: %s\n", ConvNCHWcS8IsaName(),
+              CycleClock::Supported() ? "tsc" : "steady_clock");
   std::printf("  tuned batch: %lld%s\n", static_cast<long long>(stats.tuned_batch),
               stats.retuned ? " (retuned)" : "");
   if (model.plan() != nullptr && model.plan()->UsesArena()) {
@@ -82,6 +94,30 @@ void PrintSummary(const CompiledModel& model) {
   std::printf("  re-tunable: %s\n", model.has_source() ? "yes" : "no (no source graph)");
 }
 
+// Per-layer quantization detail: which dtype each quantized layer reads and writes,
+// with the zero points that go with them (s8 is symmetric, zero point 0; u8 carries
+// the affine offset the bias fold absorbed).
+void PrintQuantLayers(const CompiledModel& model) {
+  const Graph& graph = model.graph();
+  bool any = false;
+  for (int id = 0; id < graph.num_nodes(); ++id) {
+    const Node& node = graph.node(id);
+    if (!node.attrs.qconv.enabled) {
+      continue;
+    }
+    if (!any) {
+      std::printf("\nquantized layers (activation -> output):\n");
+      any = true;
+    }
+    const ConvQuant& q = node.attrs.qconv;
+    std::printf("  %-28s %s(zp=%d) -> %s(zp=%d)\n",
+                node.name.empty() ? "(unnamed)" : node.name.c_str(),
+                DTypeName(q.adtype), q.in_zero,
+                q.requant ? DTypeName(q.out_dtype) : "f32",
+                q.requant ? q.out_zero : 0);
+  }
+}
+
 }  // namespace
 }  // namespace neocpu
 
@@ -92,6 +128,8 @@ int main(int argc, char** argv) {
   long long batch = 1;
   int profile_runs = 0;
   bool quantize = false;
+  bool quantize_dense = false;
+  std::string policy, forced_dtype;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -109,6 +147,12 @@ int main(int argc, char** argv) {
       batch = std::atoll(next());
     } else if (arg == "--quantize") {
       quantize = true;
+    } else if (arg == "--policy") {
+      policy = next();
+    } else if (arg == "--dtype") {
+      forced_dtype = next();
+    } else if (arg == "--quantize-dense") {
+      quantize_dense = true;
     } else if (arg == "--dot") {
       dot_path = next();
     } else if (arg == "--profile-runs") {
@@ -137,11 +181,29 @@ int main(int argc, char** argv) {
     if (quantize) {
       options.quantize = true;
       options.force_quantize = true;
+      options.quantize_dense = quantize_dense;
+      if (policy == "percentile") {
+        options.calibration_policy = CalibrationPolicy::kPercentile;
+      } else if (policy == "entropy") {
+        options.calibration_policy = CalibrationPolicy::kEntropy;
+      } else if (!policy.empty() && policy != "minmax") {
+        std::fprintf(stderr, "unknown calibration policy: %s\n", policy.c_str());
+        return Usage(argv[0]);
+      }
+      if (forced_dtype == "s8") {
+        options.force_quant_dtype = DType::kS8;
+      } else if (forced_dtype == "u8") {
+        options.force_quant_dtype = DType::kU8;
+      } else if (!forced_dtype.empty()) {
+        std::fprintf(stderr, "unknown quantized dtype: %s\n", forced_dtype.c_str());
+        return Usage(argv[0]);
+      }
     }
     model = Compile(BuildModel(zoo_name, batch), options);
   }
 
   PrintSummary(model);
+  PrintQuantLayers(model);
 
   NodeProfileSnapshot profile;
   TraceRecorder tracer;
