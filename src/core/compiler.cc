@@ -171,6 +171,68 @@ Graph LowerFusedGraph(const Graph& source, const CompileOptions& opts,
     }
     locals[id] = std::move(result);
   }
+
+  // Dense (tuned packed-GEMM) schedule selection rides the same local-search +
+  // cache machinery under the searched modes. Dense nodes carry no layout edges
+  // (their inputs/outputs are flat), so in the global formulation each is an
+  // isolated variable: its per-layer f32-vs-u8 choice decomposes out of the DP
+  // objective exactly, and comparing best-f32 against best-u8 plus the Q/DQ
+  // boundary cost IS the global optimum for that variable.
+  std::map<int, GemmSchedule> dense_schedules;
+  if (opts.layout_mode == LayoutMode::kNCHWcLocal ||
+      opts.layout_mode == LayoutMode::kNCHWcGlobal) {
+    for (int id = 0; id < source.num_nodes(); ++id) {
+      const Node& node = source.node(id);
+      if (node.type != OpType::kDense || node.inputs.size() < 2) {
+        continue;
+      }
+      const Node& weight = source.node(node.inputs[1]);
+      if (!weight.payload.defined() || weight.payload.dtype() != DType::kF32 ||
+          weight.payload.dims().size() != 2) {
+        continue;
+      }
+      const auto& d = source.node(node.inputs[0]).out_dims;
+      if (d.size() != 2) {
+        continue;
+      }
+      const DenseParams p{d[0], weight.payload.dim(0), weight.payload.dim(1)};
+      bool hit = false;
+      std::shared_ptr<const LocalSearchResult> f32 =
+          LocalSearchDenseShared(p, opts.target, opts.cost_mode, opts.quick_space,
+                                 opts.engine, cache, &hit);
+      ++(hit ? stats->tuning_cache_hits : stats->tuning_cache_misses);
+      const DenseScheduleCost* best_f32 = f32->BestDense(DType::kF32);
+      if (best_f32 == nullptr) {
+        continue;
+      }
+      GemmSchedule chosen = best_f32->schedule;
+      if (quantizing && opts.quantize_dense &&
+          opts.force_quant_dtype != DType::kS8 &&
+          calibration->count(node.inputs[0]) > 0) {
+        bool qhit = false;
+        std::shared_ptr<const LocalSearchResult> u8 =
+            LocalSearchDenseShared(p, opts.target, opts.cost_mode, opts.quick_space,
+                                   opts.engine, cache, &qhit, DType::kU8);
+        ++(qhit ? stats->tuning_cache_hits : stats->tuning_cache_misses);
+        const DenseScheduleCost* best_u8 = u8->BestDense(DType::kU8);
+        if (best_u8 != nullptr) {
+          // Boundary cost: worst case both the input quantize and the output
+          // dequantize materialize (chained integer denses amortize them away).
+          const double boundary_ms =
+              QdqMs((p.m * p.k + p.m * p.n) *
+                    static_cast<std::int64_t>(sizeof(float)));
+          if (opts.force_quantize || best_u8->ms + boundary_ms < best_f32->ms) {
+            chosen = best_u8->schedule;
+          }
+        }
+      }
+      dense_schedules[id] = chosen;
+      ++stats->num_dense;
+      if (chosen.dtype == DType::kU8) {
+        ++stats->num_quantized_dense;
+      }
+    }
+  }
   stats->tuning_seconds = tuning_timer.Seconds();
   stats->num_convs = static_cast<int>(locals.size());
 
@@ -253,12 +315,15 @@ Graph LowerFusedGraph(const Graph& source, const CompileOptions& opts,
                                         ? LayoutPlacement::kPerOp
                                         : LayoutPlacement::kPropagate;
   Graph lowered_source = source;
-  if (quantizing && stats->num_quantized_convs > 0) {
+  if (quantizing &&
+      (stats->num_quantized_convs > 0 || stats->num_quantized_dense > 0 ||
+       (opts.quantize_dense && !dense_schedules.empty()))) {
     QuantizeGraphOptions qopts;
     qopts.quantize_dense = opts.quantize_dense;
-    lowered_source = QuantizeGraph(source, *calibration, &schedules, qopts);
+    lowered_source =
+        QuantizeGraph(source, *calibration, &schedules, qopts, &dense_schedules);
   }
-  Graph g = AlterConvLayout(lowered_source, schedules, placement);
+  Graph g = AlterConvLayout(lowered_source, schedules, placement, &dense_schedules);
   stats->num_layout_transforms = g.CountNodes(OpType::kLayoutTransform);
   return g;
 }

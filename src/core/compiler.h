@@ -78,8 +78,11 @@ struct CompileConfig {
   // straight min/max, a percentile clip (drops the extreme 0.1% tail mass), or an
   // entropy (KL) scan that picks the clip threshold losing the least information.
   CalibrationPolicy calibration_policy = CalibrationPolicy::kMinMax;
-  // Also quantize dense (fully-connected) layers through the s8 GEMM epilogue. Off by
-  // default: the classifier head is small and accuracy-sensitive.
+  // Also quantize dense (fully-connected) layers: dense nodes whose u8 packed-GEMM
+  // search beats their f32 one (plus the Q/DQ boundary cost) take the u8*s8 kernel
+  // with requantization; dense nodes without a tuned schedule fall back to the legacy
+  // s8 GEMM epilogue. Off by default: the classifier head is small and
+  // accuracy-sensitive.
   bool quantize_dense = false;
   // Pins the activation dtype of quantized convs. kF32 (the default) lets the search
   // rank s8 and u8 spaces side by side; kS8 searches only the s8 space; kU8 prefers
@@ -109,6 +112,8 @@ struct CompileStats {
   int num_convs = 0;
   int num_layout_transforms = 0;  // runtime transform nodes left in the final graph
   int num_quantized_convs = 0;    // convs the selection assigned an s8 schedule
+  int num_dense = 0;              // dense nodes assigned a tuned GEMM schedule
+  int num_quantized_dense = 0;    // of those, how many chose the u8 kernel
   double predicted_cost_ms = 0.0;  // global-search objective value (model units)
 
   // Per-batch tuning record: the batch size the chosen schedules were actually searched

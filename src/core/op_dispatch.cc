@@ -12,6 +12,9 @@
 #include "src/kernels/conv_winograd.h"
 #include "src/kernels/dense.h"
 #include "src/kernels/elementwise.h"
+#include "src/kernels/gemm_packed.h"
+#include "src/kernels/gemm_packed_int8.h"
+#include "src/kernels/transformer.h"
 #include "src/kernels/multibox.h"
 #include "src/kernels/pooling.h"
 #include "src/kernels/quantize.h"
@@ -145,6 +148,53 @@ Tensor ConcatFlat(const std::vector<Tensor>& in) {
   return out;
 }
 
+// Tuned packed-GEMM dense (attrs.has_gemm): the weight input is the pre-packed panel
+// constant; `workspace` (when the planned executor provides one) backs the packed-A
+// panels so the steady state allocates nothing.
+void ExecuteDenseGemmInto(const Node& node, const std::vector<Tensor>& in, Tensor* out,
+                          float* workspace, std::size_t workspace_bytes,
+                          ThreadEngine* engine) {
+  const GemmSchedule& s = node.attrs.gemm;
+  const DenseParams& p = node.attrs.dense;
+  const std::int64_t m = in[0].ndim() >= 2 ? in[0].dim(0) : 1;
+  if (s.dtype == DType::kU8) {
+    // Inputs: {data u8, packed weight s8, [bias s32], multiplier f32} (multiplier
+    // last, the quantized-conv convention).
+    const std::int32_t* bias = in.size() > 3 ? in[2].data_as<std::int32_t>() : nullptr;
+    const bool requant = node.attrs.qconv.requant;
+    const bool out_u8 = requant && node.attrs.qconv.out_dtype == DType::kU8;
+    std::uint8_t* ws = nullptr;
+    if (workspace != nullptr && workspace_bytes >= PackedAU8Bytes(m, p.k, s)) {
+      ws = reinterpret_cast<std::uint8_t*>(workspace);
+    }
+    GemmPackedU8S8(m, p.n, p.k, in[0].data_as<std::uint8_t>(),
+                   in[1].data_as<std::int8_t>(), bias, in.back().data(),
+                   node.attrs.relu, requant, out_u8, node.attrs.qconv.out_zero,
+                   static_cast<void*>(out->data()), s, ws, engine);
+    return;
+  }
+  const float* bias = in.size() > 2 ? in[2].data() : nullptr;
+  float* ws = nullptr;
+  if (workspace != nullptr &&
+      workspace_bytes >= PackedAF32Elems(m, p.k, s) * sizeof(float)) {
+    ws = workspace;
+  }
+  GemmPackedF32(m, p.n, p.k, in[0].data(), in[1].data(), bias, node.attrs.relu,
+                out->data(), s, ws, engine);
+}
+
+Tensor ExecuteDenseGemm(const Node& node, const std::vector<Tensor>& in,
+                        ThreadEngine* engine) {
+  const std::int64_t m = in[0].ndim() >= 2 ? in[0].dim(0) : 1;
+  DType out_dtype = DType::kF32;
+  if (node.attrs.gemm.dtype == DType::kU8 && node.attrs.qconv.requant) {
+    out_dtype = node.attrs.qconv.out_dtype;
+  }
+  Tensor out = Tensor::Empty({m, node.attrs.dense.n}, Layout::Flat(), out_dtype);
+  ExecuteDenseGemmInto(node, in, &out, nullptr, 0, engine);
+  return out;
+}
+
 }  // namespace
 
 Tensor ExecuteNode(const Node& node, const std::vector<Tensor>& in, ThreadEngine* engine) {
@@ -179,6 +229,9 @@ Tensor ExecuteNode(const Node& node, const std::vector<Tensor>& in, ThreadEngine
       return in[0].ndim() == 5 ? GlobalAvgPoolNCHWc(in[0], engine)
                                : GlobalAvgPoolNCHW(in[0], engine);
     case OpType::kDense:
+      if (node.attrs.has_gemm) {
+        return ExecuteDenseGemm(node, in, engine);
+      }
       if (node.attrs.qconv.enabled) {
         // Inputs: {data s8, weight s8, [bias s32], multiplier f32} — same convention
         // as the quantized conv (multiplier last).
@@ -218,6 +271,13 @@ Tensor ExecuteNode(const Node& node, const std::vector<Tensor>& in, ThreadEngine
                       engine);
     case OpType::kDequantize:
       return Dequantize(in[0], node.attrs.qscale, node.attrs.qzero, engine);
+    case OpType::kLayerNorm:
+      return LayerNormRows(in[0], in[1], in[2], node.attrs.epsilon, engine);
+    case OpType::kTranspose:
+      return Transpose2D(in[0], engine);
+    case OpType::kMultiHeadAttention:
+      return MultiHeadAttention(in[0], in[1], in[2], node.attrs.heads, node.attrs.seq,
+                                engine);
   }
   LOG(FATAL) << "unreachable";
   return {};
@@ -258,7 +318,9 @@ void ExecuteNodeInto(const Node& node, const std::vector<Tensor>& in, Tensor* ou
       }
       return;
     case OpType::kDense:
-      if (node.attrs.qconv.enabled) {
+      if (node.attrs.has_gemm) {
+        ExecuteDenseGemmInto(node, in, out, workspace, workspace_bytes, engine);
+      } else if (node.attrs.qconv.enabled) {
         DenseS8(in[0], in[1], in.size() > 3 ? &in[2] : nullptr, in.back(),
                 node.attrs.relu, out, engine);
       } else {
@@ -301,6 +363,27 @@ void ExecuteNodeInto(const Node& node, const std::vector<Tensor>& in, Tensor* ou
     case OpType::kDequantize:
       Dequantize(in[0], node.attrs.qscale, node.attrs.qzero, out, engine);
       return;
+    case OpType::kLayerNorm:
+      LayerNormRows(in[0], in[1], in[2], node.attrs.epsilon, out, engine);
+      return;
+    case OpType::kTranspose:
+      Transpose2D(in[0], out, engine);
+      return;
+    case OpType::kMultiHeadAttention: {
+      // Workspace backs the per-(batch, head) score tiles; null (allocating path)
+      // falls back to an internal buffer inside the kernel.
+      const std::int64_t rows = in[0].ndim() >= 2 ? in[0].dim(0) : 1;
+      float* ws = nullptr;
+      if (workspace != nullptr &&
+          workspace_bytes >= static_cast<std::size_t>(MhaWorkspaceFloats(
+                                 rows, node.attrs.seq, node.attrs.heads)) *
+                                 sizeof(float)) {
+        ws = workspace;
+      }
+      MultiHeadAttention(in[0], in[1], in[2], node.attrs.heads, node.attrs.seq, out,
+                         engine, ws);
+      return;
+    }
     default:
       break;
   }
@@ -349,6 +432,20 @@ int MaxPlannedWorkers() {
 }
 
 std::size_t NodeWorkspaceBytes(const Node& node) {
+  if (node.type == OpType::kDense && node.attrs.has_gemm) {
+    // Packed-A panel buffer for the tuned GEMM.
+    const DenseParams& p = node.attrs.dense;
+    return node.attrs.gemm.dtype == DType::kU8
+               ? PackedAU8Bytes(p.m, p.k, node.attrs.gemm)
+               : PackedAF32Elems(p.m, p.k, node.attrs.gemm) * sizeof(float);
+  }
+  if (node.type == OpType::kMultiHeadAttention) {
+    // Per-(batch, head) attention score tiles.
+    const std::int64_t rows = node.out_dims.size() >= 2 ? node.out_dims[0] : 1;
+    return static_cast<std::size_t>(
+               MhaWorkspaceFloats(rows, node.attrs.seq, node.attrs.heads)) *
+           sizeof(float);
+  }
   if (node.type != OpType::kConv2d) {
     return 0;
   }

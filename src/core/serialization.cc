@@ -23,8 +23,11 @@ constexpr char kMagic[4] = {'N', 'E', 'O', 'C'};
 // v6: u8 activations — per-node quant extension block (activation/output dtype with
 //     zero points, integer concat per-input rescale params), calibration-policy /
 //     quantize-dense / forced-dtype config fields, and Target::vnni_dot.
+// v7: tuned dense / transformer ops — per-node GEMM extension block (GemmSchedule
+//     tiles + dtype, DenseParams, attention heads/seq); embedded tuning caches carry
+//     dense records (cache format v5).
 // docs/module_format.md is the authoritative spec.
-constexpr std::uint32_t kVersion = 6;
+constexpr std::uint32_t kVersion = 7;
 constexpr std::uint32_t kMinVersion = 1;
 
 void WriteU32(std::ostream& out, std::uint32_t v) {
@@ -174,6 +177,26 @@ struct QuantExtBlock {
 };
 static_assert(sizeof(QuantExtBlock) == 12, "on-disk quant ext block layout drifted");
 
+// v7 extension, written after the QuantExtBlock arrays: the tuned-GEMM state for
+// dense nodes (schedule tiles + execution dtype + the frozen M/N/K the schedule was
+// searched for) and the attention geometry for multi_head_attention nodes.
+struct GemmExtBlock {
+  std::uint8_t has_gemm;
+  std::uint8_t gemm_dtype;
+  std::uint8_t pad[6];
+  std::int64_t mc;
+  std::int64_t nc;
+  std::int64_t kc;
+  std::int64_t mr;
+  std::int64_t nr;
+  std::int64_t dense_m;
+  std::int64_t dense_n;
+  std::int64_t dense_k;
+  std::int64_t heads;
+  std::int64_t seq;
+};
+static_assert(sizeof(GemmExtBlock) == 88, "on-disk gemm ext block layout drifted");
+
 void WriteGraph(std::ostream& out, const Graph& g) {
   WriteString(out, g.name);
   {
@@ -227,6 +250,20 @@ void WriteGraph(std::ostream& out, const Graph& g) {
     for (std::int32_t z : node.attrs.qin_zeros) {
       WriteU32(out, static_cast<std::uint32_t>(z));
     }
+    GemmExtBlock gemm{};
+    gemm.has_gemm = node.attrs.has_gemm ? 1 : 0;
+    gemm.gemm_dtype = static_cast<std::uint8_t>(node.attrs.gemm.dtype);
+    gemm.mc = node.attrs.gemm.mc;
+    gemm.nc = node.attrs.gemm.nc;
+    gemm.kc = node.attrs.gemm.kc;
+    gemm.mr = node.attrs.gemm.mr;
+    gemm.nr = node.attrs.gemm.nr;
+    gemm.dense_m = node.attrs.dense.m;
+    gemm.dense_n = node.attrs.dense.n;
+    gemm.dense_k = node.attrs.dense.k;
+    gemm.heads = node.attrs.heads;
+    gemm.seq = node.attrs.seq;
+    out.write(reinterpret_cast<const char*>(&gemm), sizeof(gemm));
     WriteLayout(out, node.attrs.dst_layout);
     WriteI64Vec(out, node.attrs.reshape_dims);
     WriteI64Vec(out, node.out_dims);
@@ -306,6 +343,24 @@ Graph ReadGraph(std::istream& in, const std::string& path, std::uint32_t version
     }
     // v5 modules predate u8 activations: every quantized conv there is s8-in/s8-out
     // with zero zero-points, which is exactly ConvQuant's default state.
+    if (version >= 7) {
+      GemmExtBlock gemm{};
+      in.read(reinterpret_cast<char*>(&gemm), sizeof(gemm));
+      attrs.has_gemm = gemm.has_gemm != 0;
+      attrs.gemm.dtype = static_cast<DType>(gemm.gemm_dtype);
+      attrs.gemm.mc = gemm.mc;
+      attrs.gemm.nc = gemm.nc;
+      attrs.gemm.kc = gemm.kc;
+      attrs.gemm.mr = gemm.mr;
+      attrs.gemm.nr = gemm.nr;
+      attrs.dense.m = gemm.dense_m;
+      attrs.dense.n = gemm.dense_n;
+      attrs.dense.k = gemm.dense_k;
+      attrs.heads = gemm.heads;
+      attrs.seq = gemm.seq;
+    }
+    // Pre-v7 modules predate tuned dense: every dense there carries a 2-D weight that
+    // the legacy executor reads directly, which is exactly NodeAttrs' default state.
     attrs.dst_layout = ReadLayout(in);
     attrs.reshape_dims = ReadI64Vec(in);
     const std::vector<std::int64_t> out_dims = ReadI64Vec(in);
@@ -471,6 +526,12 @@ bool LoadModule(const std::string& path, CompiledModel* model) {
   for (int id = 0; id < g.num_nodes(); ++id) {
     if (g.node(id).IsConv() && g.node(id).attrs.schedule.IsQuantized()) {
       ++stats.num_quantized_convs;
+    }
+    if (g.node(id).type == OpType::kDense && g.node(id).attrs.has_gemm) {
+      ++stats.num_dense;
+      if (g.node(id).attrs.gemm.IsQuantized()) {
+        ++stats.num_quantized_dense;
+      }
     }
   }
 

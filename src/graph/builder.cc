@@ -121,6 +121,30 @@ int GraphBuilder::Reshape(int in_id, std::vector<std::int64_t> dims) {
   return AddOp(OpType::kReshape, {in_id}, std::move(attrs));
 }
 
+int GraphBuilder::LayerNorm(int in_id, float epsilon, const std::string& name) {
+  const std::vector<std::int64_t> d = OutDimsOf(in_id);
+  NEOCPU_CHECK(!d.empty());
+  const std::int64_t cols = d.back();
+  std::vector<int> inputs = {
+      in_id, graph_.AddConstant(Tensor::Random({cols}, rng_, 0.5f, 1.5f)),   // gamma
+      graph_.AddConstant(Tensor::Random({cols}, rng_, -0.1f, 0.1f))};        // beta
+  NodeAttrs attrs;
+  attrs.epsilon = epsilon;
+  return AddOp(OpType::kLayerNorm, std::move(inputs), std::move(attrs), name);
+}
+
+int GraphBuilder::Transpose(int in_id, const std::string& name) {
+  return AddOp(OpType::kTranspose, {in_id}, {}, name);
+}
+
+int GraphBuilder::MultiHeadAttention(int q, int k, int v, std::int64_t heads,
+                                     std::int64_t seq, const std::string& name) {
+  NodeAttrs attrs;
+  attrs.heads = heads;
+  attrs.seq = seq;
+  return AddOp(OpType::kMultiHeadAttention, {q, k, v}, std::move(attrs), name);
+}
+
 int GraphBuilder::Constant(Tensor value, const std::string& name) {
   return graph_.AddConstant(std::move(value), name);
 }

@@ -51,6 +51,13 @@ class GraphBuilder {
   int Concat(std::vector<int> inputs);
   int Dropout(int in_id);
   int Reshape(int in_id, std::vector<std::int64_t> dims);
+  // Row-wise layer norm over a {M, D} value; creates the gamma/beta {D} constants.
+  int LayerNorm(int in_id, float epsilon = 1e-5f, const std::string& name = {});
+  // 2-D {M, N} -> {N, M} transpose.
+  int Transpose(int in_id, const std::string& name = {});
+  // Multi-head attention over already-projected {batch*seq, dim} q/k/v values.
+  int MultiHeadAttention(int q, int k, int v, std::int64_t heads, std::int64_t seq,
+                         const std::string& name = {});
   int Constant(Tensor value, const std::string& name = {});
   int MultiboxDetect(int cls_prob, int loc_pred, int anchors, MultiboxDetectionParams params);
 

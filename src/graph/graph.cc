@@ -49,6 +49,12 @@ const char* OpTypeName(OpType type) {
       return "quantize";
     case OpType::kDequantize:
       return "dequantize";
+    case OpType::kLayerNorm:
+      return "layer_norm";
+    case OpType::kTranspose:
+      return "transpose";
+    case OpType::kMultiHeadAttention:
+      return "multi_head_attention";
   }
   return "?";
 }

@@ -14,6 +14,8 @@
 
 #include "src/kernels/conv_params.h"
 #include "src/kernels/conv_schedule.h"
+#include "src/kernels/dense_params.h"
+#include "src/kernels/gemm_schedule.h"
 #include "src/kernels/multibox.h"
 #include "src/kernels/pooling.h"
 #include "src/tensor/tensor.h"
@@ -42,6 +44,9 @@ enum class OpType {
   kMultiboxDetection,
   kQuantize,     // f32 -> s8/u8 with a per-tensor scale (+ zero point for u8)
   kDequantize,   // s8/u8 -> f32
+  kLayerNorm,    // row-wise layer normalization with gamma/beta (transformer blocks)
+  kTranspose,    // 2-D {M, N} -> {N, M} transpose on flat tensors
+  kMultiHeadAttention,  // softmax(QK^T/sqrt(dh))V over {batch*seq, dim} Q/K/V inputs
 };
 
 const char* OpTypeName(OpType type);
@@ -101,6 +106,16 @@ struct NodeAttrs {
   Layout dst_layout;  // kLayoutTransform target
   std::vector<std::int64_t> reshape_dims;
   MultiboxDetectionParams det;
+  // kDense under the tuned packed-GEMM path (set by AlterConvLayout when the search
+  // assigned a schedule): the blocking tuple, the workload shape (workspace sizing,
+  // profiling), and the flag that routes dispatch to the packed kernels. Weights are
+  // pre-packed into the panel layout at compile time when has_gemm is set.
+  GemmSchedule gemm;
+  DenseParams dense;
+  bool has_gemm = false;
+  // kMultiHeadAttention: head count and sequence length (rows = batch * seq).
+  std::int64_t heads = 0;
+  std::int64_t seq = 0;
 };
 
 struct Node {

@@ -17,6 +17,8 @@
 #include "src/graph/passes/rewriter.h"
 #include "src/graph/shape_infer.h"
 #include "src/kernels/conv_winograd.h"
+#include "src/kernels/gemm_packed.h"
+#include "src/kernels/gemm_packed_int8.h"
 #include "src/kernels/quantize.h"
 #include "src/tensor/layout_transform.h"
 
@@ -48,6 +50,9 @@ bool IsLayoutDependent(OpType type) {
     case OpType::kReshape:
     case OpType::kSoftmax:
     case OpType::kMultiboxDetection:
+    case OpType::kLayerNorm:
+    case OpType::kTranspose:
+    case OpType::kMultiHeadAttention:
       return true;
     default:
       return false;
@@ -57,7 +62,8 @@ bool IsLayoutDependent(OpType type) {
 }  // namespace
 
 Graph AlterConvLayout(const Graph& graph, const std::map<int, ConvSchedule>& schedules,
-                      LayoutPlacement placement) {
+                      LayoutPlacement placement,
+                      const std::map<int, GemmSchedule>* dense_schedules) {
   GraphRewriter rw(graph);
 
   // Inserts a LayoutTransform in the rewritten graph unless `mapped` already produces
@@ -222,6 +228,99 @@ Graph AlterConvLayout(const Graph& graph, const std::map<int, ConvSchedule>& sch
         break;
       }
       case OpType::kDense: {
+        const auto dit = dense_schedules != nullptr ? dense_schedules->find(id)
+                                                    : std::map<int, GemmSchedule>::
+                                                          const_iterator{};
+        if (dense_schedules != nullptr && dit != dense_schedules->end()) {
+          // Tuned packed-GEMM dense: the {Out, In} weight constant is pre-packed into
+          // the kernel's [ceil(n/nr)][k][nr] panel layout at compile time (Figure 2's
+          // pre-transformed-kernel idea applied to GEMM), and the node carries the
+          // blocking schedule so dispatch needs no search.
+          const GemmSchedule& sched = dit->second;
+          const Tensor& w = graph.node(node.inputs[1]).payload;
+          NEOCPU_CHECK(w.defined()) << node.name << ": dense weight must be constant";
+          NEOCPU_CHECK_EQ(static_cast<int>(w.dims().size()), 2) << node.name;
+          const std::int64_t n = w.dim(0);
+          const std::int64_t kk = w.dim(1);
+          const std::int64_t m = graph.node(node.inputs[0]).out_dims[0];
+          NodeAttrs attrs = node.attrs;
+          attrs.gemm = sched;
+          attrs.dense = DenseParams{m, n, kk};
+          attrs.has_gemm = true;
+          int data = rw.Lookup(node.inputs[0]);
+          if (graph.node(node.inputs[0]).out_dims.size() == 4) {
+            data = ensure_layout(data, Layout::NCHW());
+          }
+          if (sched.dtype == DType::kU8) {
+            // u8 activations x s8 pre-packed weight, s32 accumulate. The conv
+            // convention with a 2-D weight: per-row quantization, bias folded to s32
+            // with the activation zero-point correction, per-column multiplier
+            // constant appended last.
+            NEOCPU_CHECK(attrs.qconv.enabled && attrs.qconv.adtype == DType::kU8)
+                << node.name << ": u8 gemm schedule on an unquantized dense";
+            Tensor w_s8;
+            std::vector<float> w_scales;
+            QuantizeConvWeightsPerOC(w, &w_s8, &w_scales);
+            Tensor bias_s32;
+            if (node.inputs.size() > 2) {
+              const Tensor& bias = graph.node(node.inputs[2]).payload;
+              NEOCPU_CHECK(bias.defined()) << node.name << ": dense bias must be constant";
+              bias_s32 = QuantizeBiasS32(bias, attrs.qconv.in_scale, w_scales);
+            } else if (attrs.qconv.in_zero != 0) {
+              bias_s32 = Tensor::Zeros({n}, Layout::Flat(), DType::kS32);
+            }
+            if (attrs.qconv.in_zero != 0) {
+              // bias'[o] -= in_zero * sum_k w_s8[o, k] (the u8 zero-point correction;
+              // the 2-D analogue of FoldZeroPointIntoBias's blocked-conv walk).
+              const std::int8_t* ws = w_s8.data_as<std::int8_t>();
+              std::int32_t* bs = bias_s32.data_as<std::int32_t>();
+              for (std::int64_t o = 0; o < n; ++o) {
+                std::int32_t sum = 0;
+                for (std::int64_t x = 0; x < kk; ++x) {
+                  sum += ws[o * kk + x];
+                }
+                bs[o] -= attrs.qconv.in_zero * sum;
+              }
+            }
+            Tensor packed = Tensor::Empty(
+                {static_cast<std::int64_t>(PackedBS8Bytes(n, kk, sched))},
+                Layout::Flat(), DType::kS8);
+            PackBS8FromTransposed(w_s8.data_as<std::int8_t>(), n, kk, sched,
+                                  packed.data_as<std::int8_t>());
+            std::vector<int> inputs = {
+                data, rw.dst().AddConstant(std::move(packed), node.name + ".w8p")};
+            if (bias_s32.defined()) {
+              inputs.push_back(
+                  rw.dst().AddConstant(std::move(bias_s32), node.name + ".b32"));
+            }
+            Tensor mult = Tensor::Empty({n}, Layout::Flat());
+            const float denom = attrs.qconv.requant ? attrs.qconv.out_scale : 1.0f;
+            for (std::size_t o = 0; o < w_scales.size(); ++o) {
+              mult.data()[o] = attrs.qconv.in_scale * w_scales[o] / denom;
+            }
+            inputs.push_back(rw.dst().AddConstant(std::move(mult), node.name + ".m"));
+            const int new_id = rw.dst().AddNode(OpType::kDense, std::move(inputs),
+                                                std::move(attrs), node.name);
+            rw.dst().node(new_id).out_layout = Layout::Flat();
+            rw.MapTo(id, new_id);
+            break;
+          }
+          NEOCPU_CHECK(sched.dtype == DType::kF32)
+              << node.name << ": unsupported gemm schedule dtype";
+          Tensor packed = Tensor::Empty(
+              {static_cast<std::int64_t>(PackedBF32Elems(n, kk, sched))}, Layout::Flat());
+          PackBF32FromTransposed(w.data(), n, kk, sched, packed.data());
+          std::vector<int> inputs = {
+              data, rw.dst().AddConstant(std::move(packed), node.name + ".wp")};
+          if (node.inputs.size() > 2) {
+            inputs.push_back(rw.Lookup(node.inputs[2]));
+          }
+          const int new_id = rw.dst().AddNode(OpType::kDense, std::move(inputs),
+                                              std::move(attrs), node.name);
+          rw.dst().node(new_id).out_layout = Layout::Flat();
+          rw.MapTo(id, new_id);
+          break;
+        }
         if (!node.attrs.qconv.enabled) {
           // Plain dense: ordinary layout-dependent handling (data back to NCHW-order
           // flat; dense inputs are 2-D so no transform is needed in practice).

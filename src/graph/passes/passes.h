@@ -21,6 +21,7 @@
 
 #include "src/graph/graph.h"
 #include "src/kernels/conv_schedule.h"
+#include "src/kernels/gemm_schedule.h"
 
 namespace neocpu {
 
@@ -59,9 +60,12 @@ const char* CalibrationPolicyName(CalibrationPolicy policy);
 bool QuantizeLegal(const Graph& graph, int id, const CalibrationTable& calibration);
 
 struct QuantizeGraphOptions {
-  // Quantize kDense nodes with constant weights via the s8 GEMM epilogue (DenseS8).
-  // Off by default: dense layers end the network where the fp32 tolerance of the
-  // pre-existing zoo contracts is tightest.
+  // Quantize kDense nodes with constant weights. Dense nodes carrying a u8 tuned-GEMM
+  // schedule (in `dense_schedules`) take the packed u8*s8 kernel with requantization,
+  // so Dense->Dense chains (transformer FFNs) stay integer end to end; dense nodes
+  // without one fall back to the legacy s8-in/f32-out DenseS8 epilogue. Off by
+  // default: dense layers end the network where the fp32 tolerance of the pre-existing
+  // zoo contracts is tightest.
   bool quantize_dense = false;
 };
 
@@ -89,10 +93,12 @@ struct QuantizeGraphOptions {
 // A conv's requantized OUTPUT dtype follows what its integer consumers demand (falling
 // back to s8 on disagreement), independent of its own activation dtype — so an s8 stem
 // conv can feed a u8 chain and vice versa.
-// On return *schedules is re-keyed to the rewritten graph's conv ids.
+// On return *schedules is re-keyed to the rewritten graph's conv ids, and
+// *dense_schedules (optional; dense node id -> tuned GEMM schedule) likewise.
 Graph QuantizeGraph(const Graph& graph, const CalibrationTable& calibration,
                     std::map<int, ConvSchedule>* schedules,
-                    const QuantizeGraphOptions& options = {});
+                    const QuantizeGraphOptions& options = {},
+                    std::map<int, GemmSchedule>* dense_schedules = nullptr);
 
 // Layout placement strategy for AlterConvLayout.
 enum class LayoutPlacement {
@@ -104,8 +110,13 @@ enum class LayoutPlacement {
 
 // `schedules` maps conv node id (in `graph`) to its chosen schedule. Convs not in the
 // map keep their NCHW kernel. Weight constants are pre-transformed in the result.
+// `dense_schedules` (optional) maps dense node id to its tuned GEMM schedule: those
+// dense nodes get their weight constant pre-packed into the kernel's panel layout
+// (f32, or per-row-quantized s8 with the bias folded to s32 for u8 schedules) and
+// execute through the packed GEMM family.
 Graph AlterConvLayout(const Graph& graph, const std::map<int, ConvSchedule>& schedules,
-                      LayoutPlacement placement);
+                      LayoutPlacement placement,
+                      const std::map<int, GemmSchedule>* dense_schedules = nullptr);
 
 // Assigns ConvKernelKind for NCHW execution (baseline paths; no layout change).
 Graph BindNchwKernels(const Graph& graph, ConvKernelKind kind);

@@ -78,9 +78,19 @@ void RangeParams(const TensorRange& range, DType dtype, float* scale,
 
 Graph QuantizeGraph(const Graph& graph, const CalibrationTable& calibration,
                     std::map<int, ConvSchedule>* schedules,
-                    const QuantizeGraphOptions& options) {
+                    const QuantizeGraphOptions& options,
+                    std::map<int, GemmSchedule>* dense_schedules) {
   NEOCPU_CHECK(schedules != nullptr);
   const int n = graph.num_nodes();
+
+  // Tuned-GEMM schedule of a dense node, if the search assigned one.
+  auto tuned_dense = [&](int id) -> const GemmSchedule* {
+    if (dense_schedules == nullptr) {
+      return nullptr;
+    }
+    const auto it = dense_schedules->find(id);
+    return it == dense_schedules->end() ? nullptr : &it->second;
+  };
 
   // The quantized set: convs whose chosen schedule is integer AND that are legal (the
   // selection layers only offer integer options to legal convs; re-check defensively).
@@ -142,6 +152,11 @@ Graph QuantizeGraph(const Graph& graph, const CalibrationTable& calibration,
     const Node& node = graph.node(id);
     if (node.IsConv() && quantized(id)) {
       contribute(node.inputs[0], schedules->at(id).dtype);
+    } else if (const GemmSchedule* gs = tuned_dense(id); gs != nullptr) {
+      // A u8 tuned dense consumes u8 activations; an f32 one demands nothing.
+      if (gs->dtype == DType::kU8 && dense_quantized(id)) {
+        contribute(node.inputs[0], DType::kU8);
+      }
     } else if (dense_quantized(id)) {
       contribute(node.inputs[0], DType::kS8);
     } else if ((node.type == OpType::kMaxPool || node.type == OpType::kAvgPool ||
@@ -169,6 +184,7 @@ Graph QuantizeGraph(const Graph& graph, const CalibrationTable& calibration,
 
   GraphRewriter rw(graph);
   std::map<int, ConvSchedule> remapped;
+  std::map<int, GemmSchedule> remapped_dense;
   // One kQuantize per (f32 source, target dtype): quantized convs sharing a producer
   // (and therefore a calibrated range) share the quantize pass and its integer buffer
   // instead of re-converting the feature map per branch (inception-style fan-out).
@@ -329,9 +345,88 @@ Graph QuantizeGraph(const Graph& graph, const CalibrationTable& calibration,
       }
     }
 
+    if (const GemmSchedule* gs = tuned_dense(id);
+        gs != nullptr && gs->dtype == DType::kF32) {
+      // Tuned f32 dense: executes in f32 (dequantize any integer inputs), but the
+      // schedule must follow the node to its rewritten id for AlterConvLayout.
+      for (int in : node.inputs) {
+        ensure_f32(in);
+      }
+      const int new_id = rw.CopyNode(node);
+      remapped_dense[new_id] = *gs;
+      continue;
+    }
+
+    if (const GemmSchedule* gs = tuned_dense(id);
+        gs != nullptr && gs->dtype == DType::kU8 && dense_quantized(id) &&
+        (qinfo[static_cast<std::size_t>(node.inputs[0])].dtype == DType::kF32 ||
+         qinfo[static_cast<std::size_t>(node.inputs[0])].dtype == DType::kU8)) {
+      // Tuned u8 dense (packed u8*s8 GEMM): u8 activations with an affine zero point,
+      // and — unlike the legacy s8 epilogue — a REQUANTIZING output when downstream
+      // demand is integer, so Dense->Dense chains (transformer FFNs, stacked QKV
+      // projections) stay in the integer domain end to end. An s8 integer producer
+      // falls through to the legacy path below instead (the kernel is u8-only).
+      const int src = node.inputs[0];
+      const QInfo& in_q = qinfo[static_cast<std::size_t>(src)];
+      float in_scale;
+      std::int32_t in_zero;
+      int data;
+      if (in_q.dtype == DType::kU8) {
+        in_scale = in_q.scale;
+        in_zero = in_q.zero;
+        data = in_q.int_id;
+      } else {
+        RangeParams(calibration.at(src), DType::kU8, &in_scale, &in_zero);
+        const int fsrc = rw.Lookup(src);
+        const auto key = std::make_pair(fsrc, static_cast<int>(DType::kU8));
+        if (const auto it = quantize_nodes.find(key); it != quantize_nodes.end()) {
+          data = it->second;
+        } else {
+          const Layout src_layout = rw.dst().node(fsrc).out_layout;
+          NodeAttrs qattrs;
+          qattrs.qscale = in_scale;
+          qattrs.qzero = in_zero;
+          qattrs.qdtype = DType::kU8;
+          data = rw.dst().AddNode(OpType::kQuantize, {fsrc}, std::move(qattrs),
+                                  node.name + ".q");
+          rw.dst().node(data).out_layout = src_layout;
+          quantize_nodes.emplace(key, data);
+        }
+      }
+      const DType dem = demand[sid];
+      const bool requant = dem != DType::kF32 && calibration.count(id) > 0;
+      NodeAttrs attrs = node.attrs;
+      attrs.qconv.enabled = true;
+      attrs.qconv.in_scale = in_scale;
+      attrs.qconv.adtype = DType::kU8;
+      attrs.qconv.in_zero = in_zero;
+      attrs.qconv.requant = requant;
+      float out_scale = 1.0f;
+      std::int32_t out_zero = 0;
+      if (requant) {
+        RangeParams(calibration.at(id), dem, &out_scale, &out_zero);
+        attrs.qconv.out_scale = out_scale;
+        attrs.qconv.out_dtype = dem;
+        attrs.qconv.out_zero = out_zero;
+      }
+      std::vector<int> inputs = {data};
+      for (std::size_t i = 1; i < node.inputs.size(); ++i) {
+        inputs.push_back(rw.Lookup(node.inputs[i]));
+      }
+      const int new_id = rw.dst().AddNode(OpType::kDense, std::move(inputs),
+                                          std::move(attrs), node.name);
+      rw.dst().node(new_id).out_layout = node.out_layout;
+      remapped_dense[new_id] = *gs;
+      rw.MapTo(id, new_id);
+      if (requant) {
+        qinfo[sid] = {dem, out_scale, out_zero, new_id, -1};
+      }
+      continue;
+    }
+
     if (dense_quantized(id)) {
-      // Quantized dense via the s8 GEMM epilogue: s8 in, f32 out (requant = false
-      // always — dense ends the integer region).
+      // Quantized dense via the s8 GEMM epilogue: s8 in, f32 out (requant = false:
+      // without a tuned u8 schedule, dense ends the integer region).
       const int src = node.inputs[0];
       const QInfo& in_q = qinfo[static_cast<std::size_t>(src)];
       float in_scale;
@@ -423,6 +518,9 @@ Graph QuantizeGraph(const Graph& graph, const CalibrationTable& calibration,
   Graph out = rw.Finish();
   InferShapes(&out);
   *schedules = std::move(remapped);
+  if (dense_schedules != nullptr) {
+    *dense_schedules = std::move(remapped_dense);
+  }
   return out;
 }
 

@@ -46,8 +46,15 @@ void InferNodeShape(Graph* graph, int id) {
       }
       case OpType::kDense: {
         const auto& d = in_dims(0);
-        const auto& w = in_dims(1);
         NEOCPU_CHECK_EQ(static_cast<int>(d.size()), 2) << node.name;
+        if (node.attrs.has_gemm) {
+          // Tuned packed-GEMM dense: the weight constant is a flat pre-packed panel
+          // buffer, so the logical {N, K} shape lives in attrs.dense instead.
+          NEOCPU_CHECK_EQ(d[1], node.attrs.dense.k) << node.name;
+          node.out_dims = {d[0], node.attrs.dense.n};
+          break;
+        }
+        const auto& w = in_dims(1);
         NEOCPU_CHECK_EQ(d[1], w[1]) << node.name;
         node.out_dims = {d[0], w[0]};
         break;
@@ -102,6 +109,16 @@ void InferNodeShape(Graph* graph, int id) {
       case OpType::kDequantize:
         node.out_dims = in_dims(0);
         break;
+      case OpType::kLayerNorm:
+      case OpType::kMultiHeadAttention:
+        node.out_dims = in_dims(0);
+        break;
+      case OpType::kTranspose: {
+        const auto& d = in_dims(0);
+        NEOCPU_CHECK_EQ(static_cast<int>(d.size()), 2) << node.name;
+        node.out_dims = {d[1], d[0]};
+        break;
+      }
     }
   }
   // Dtype inference: s8/u8 enters at kQuantize (or a quantized conv's requantizing
@@ -128,6 +145,7 @@ void InferNodeShape(Graph* graph, int id) {
         node.out_dtype = DType::kF32;
         break;
       case OpType::kConv2d:
+      case OpType::kDense:
         node.out_dtype = node.attrs.qconv.enabled && node.attrs.qconv.requant
                              ? node.attrs.qconv.out_dtype
                              : DType::kF32;
@@ -173,11 +191,14 @@ bool RebindBatchDim(Graph* graph, std::int64_t batch) {
         return false;  // emits {keep_top_k, 6} regardless of N; cannot batch
       case OpType::kReshape:
         // Rebinding scales every tensor's leading dim, so a reshape is only
-        // batch-preserving when its leading target dim IS the batch (then patching it
-        // keeps per-sample rows intact). Anything else would trip shape inference's
-        // element-count check fatally mid-serve; refuse up front instead. Inputs
-        // precede their consumers in topological order, so old_batch is known here.
-        if (node.attrs.reshape_dims.empty() || node.attrs.reshape_dims[0] != old_batch) {
+        // batch-preserving when its leading target dim carries the batch — i.e. is a
+        // multiple of it (then scaling it proportionally keeps per-sample rows intact;
+        // transformer graphs reshape {B, S*D} <-> {B*S, D} and both directions pass).
+        // Anything else would trip shape inference's element-count check fatally
+        // mid-serve; refuse up front instead. Inputs precede their consumers in
+        // topological order, so old_batch is known here.
+        if (node.attrs.reshape_dims.empty() ||
+            node.attrs.reshape_dims[0] % old_batch != 0) {
           return false;
         }
         break;
@@ -200,8 +221,12 @@ bool RebindBatchDim(Graph* graph, std::int64_t batch) {
       // not the incoming tensor, so the baked batch must follow the graph's.
       node.attrs.conv.batch = batch;
     } else if (node.type == OpType::kReshape && !node.attrs.reshape_dims.empty() &&
-               node.attrs.reshape_dims[0] == old_batch) {
-      node.attrs.reshape_dims[0] = batch;
+               node.attrs.reshape_dims[0] % old_batch == 0) {
+      node.attrs.reshape_dims[0] = node.attrs.reshape_dims[0] / old_batch * batch;
+    } else if (node.type == OpType::kDense && node.attrs.has_gemm) {
+      // Packed-dense row count follows the leading dim (rows are batch-proportional:
+      // either the batch itself or batch*seq inside a transformer block).
+      node.attrs.dense.m = node.attrs.dense.m / old_batch * batch;
     }
   }
   InferShapes(graph);

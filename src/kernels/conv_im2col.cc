@@ -3,7 +3,7 @@
 #include <cstring>
 
 #include "src/base/logging.h"
-#include "src/kernels/gemm.h"
+#include "src/kernels/gemm_packed.h"
 
 namespace neocpu {
 namespace {
@@ -38,11 +38,26 @@ void Im2col(const Conv2dParams& p, const float* in, float* col, ThreadEngine& en
   });
 }
 
+// The GEMM C[out_c, out_plane] = W[out_c, k] * col[k, out_plane] runs on the packed
+// kernel family at its default blocking — im2col is a baseline, so its GEMM is not
+// schedule-searched, but it shares the register micro-kernels and ISA dispatch with
+// the tuned dense path. ConvIm2colWorkspaceBytes and the kernel must agree on this
+// schedule: the workspace is carved as [col | packed B | packed A].
+GemmSchedule Im2colGemmSchedule() { return GemmSchedule{}; }
+
+std::int64_t ColElems(const Conv2dParams& p) {
+  return p.in_c * p.kernel_h * p.kernel_w * p.OutH() * p.OutW();
+}
+
 }  // namespace
 
 std::size_t ConvIm2colWorkspaceBytes(const Conv2dParams& p) {
+  const GemmSchedule s = Im2colGemmSchedule();
   const std::int64_t k = p.in_c * p.kernel_h * p.kernel_w;
-  return static_cast<std::size_t>(k * p.OutH() * p.OutW()) * sizeof(float);
+  const std::int64_t out_plane = p.OutH() * p.OutW();
+  return (static_cast<std::size_t>(ColElems(p)) + PackedBF32Elems(out_plane, k, s) +
+          PackedAF32Elems(p.out_c, k, s)) *
+         sizeof(float);
 }
 
 void ConvIm2col(const Conv2dParams& p, const Tensor& input, const Tensor& weight,
@@ -51,25 +66,39 @@ void ConvIm2col(const Conv2dParams& p, const Tensor& input, const Tensor& weight
   NEOCPU_CHECK(output != nullptr);
   SerialEngine serial;
   ThreadEngine& eng = engine != nullptr ? *engine : static_cast<ThreadEngine&>(serial);
+  const GemmSchedule s = Im2colGemmSchedule();
   const std::int64_t oh_count = p.OutH();
   const std::int64_t ow_count = p.OutW();
   const std::int64_t out_plane = oh_count * ow_count;
   const std::int64_t k = p.in_c * p.kernel_h * p.kernel_w;
-  Tensor col_owned;  // fallback when the caller supplies no planned workspace
-  float* col = workspace;
-  if (col == nullptr) {
-    col_owned = Tensor::Empty({k, out_plane});
-    col = col_owned.data();
+  Tensor ws_owned;  // fallback when the caller supplies no planned workspace
+  if (workspace == nullptr) {
+    ws_owned = Tensor::Empty(
+        {static_cast<std::int64_t>(ConvIm2colWorkspaceBytes(p) / sizeof(float))});
+    workspace = ws_owned.data();
   }
+  float* col = workspace;
+  float* packed_b = col + ColElems(p);
+  float* packed_a = packed_b + PackedBF32Elems(out_plane, k, s);
   const float* bias_base = epilogue.bias && bias != nullptr ? bias->data() : nullptr;
   const float* res_base =
       epilogue.residual_add && residual != nullptr ? residual->data() : nullptr;
+  // The conv bias is per output channel — a per-M broadcast, which the GEMM epilogue
+  // (per-N bias) cannot express; ReLU fuses into the GEMM only when it is the whole
+  // epilogue.
+  const bool fuse_relu = epilogue.relu && bias_base == nullptr && res_base == nullptr;
+  const bool post_pass = bias_base != nullptr || res_base != nullptr;
 
   for (std::int64_t n = 0; n < p.batch; ++n) {
     const float* in_n = input.data() + n * p.in_c * p.in_h * p.in_w;
     float* out_n = output->data() + n * p.out_c * out_plane;
     Im2col(p, in_n, col, eng);
-    Gemm(p.out_c, out_plane, k, weight.data(), col, out_n, /*accumulate=*/false, &eng);
+    PackBF32(col, out_plane, k, s, packed_b);
+    GemmPackedF32(p.out_c, out_plane, k, weight.data(), packed_b, nullptr, fuse_relu,
+                  out_n, s, packed_a, &eng);
+    if (!post_pass) {
+      continue;
+    }
 
     ParallelFor(eng, p.out_c, [&](std::int64_t begin, std::int64_t end) {
       for (std::int64_t oc = begin; oc < end; ++oc) {

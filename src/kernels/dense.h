@@ -19,8 +19,9 @@ void Dense(const Tensor& input, const Tensor& weight, const Tensor* bias, bool r
 // {N, In}, per-output-row symmetric s8 weights {Out, In}, pre-folded s32 bias {Out}
 // (or null), s32 accumulation, then the fused epilogue — integer ReLU and a
 // per-output-channel dequantize multiplier (in_scale * w_scale[o]) to an f32 {N, Out}
-// output. Dense ends the int8 region (it feeds softmax/argmax), so unlike the conv
-// there is no requantizing store.
+// output. This legacy path always dequantizes on the way out; the tuned u8 GEMM path
+// (gemm_packed_int8.h, reached via a dense GemmSchedule) can instead requantize to u8
+// and keep a Dense->Dense FFN chain inside the integer region.
 Tensor DenseS8(const Tensor& input, const Tensor& weight, const Tensor* bias,
                const Tensor& multiplier, bool relu, ThreadEngine* engine = nullptr);
 void DenseS8(const Tensor& input, const Tensor& weight, const Tensor* bias,

@@ -1,0 +1,35 @@
+#include "src/kernels/dense_params.h"
+
+#include <cstdio>
+
+#include "src/base/string_util.h"
+
+namespace neocpu {
+
+std::string DenseParams::ToString() const {
+  return StrFormat("dense m=%lld n=%lld k=%lld", static_cast<long long>(m),
+                   static_cast<long long>(n), static_cast<long long>(k));
+}
+
+std::string DenseParams::CacheKey() const {
+  return StrFormat("dense:%lld_%lld_%lld", static_cast<long long>(m),
+                   static_cast<long long>(n), static_cast<long long>(k));
+}
+
+bool DenseParams::ParseCacheKey(const std::string& text, DenseParams* params) {
+  long long m = 0, n = 0, k = 0;
+  int consumed = 0;
+  if (std::sscanf(text.c_str(), "dense:%lld_%lld_%lld%n", &m, &n, &k, &consumed) != 3 ||
+      static_cast<std::size_t>(consumed) != text.size()) {
+    return false;
+  }
+  if (m <= 0 || n <= 0 || k <= 0) {
+    return false;
+  }
+  params->m = m;
+  params->n = n;
+  params->k = k;
+  return true;
+}
+
+}  // namespace neocpu

@@ -1,0 +1,38 @@
+// Dense (fully-connected / GEMM) workload descriptor — the second workload class the
+// tuning stack understands, alongside Conv2dParams. A DenseParams value identifies one
+// tuned GEMM problem C[m,n] = A[m,k] * B[k,n]: for a dense layer m is the batch (rows
+// in flight — part of the workload identity exactly like a conv's batch), n the output
+// features and k the input features.
+#ifndef NEOCPU_SRC_KERNELS_DENSE_PARAMS_H_
+#define NEOCPU_SRC_KERNELS_DENSE_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace neocpu {
+
+struct DenseParams {
+  std::int64_t m = 0;  // rows (batch * sequence for transformer layers)
+  std::int64_t n = 0;  // output features
+  std::int64_t k = 0;  // input features (reduction depth)
+
+  bool operator==(const DenseParams&) const = default;
+
+  // Multiply-accumulate count (FLOPs = 2 * Macs).
+  double Macs() const {
+    return static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(k);
+  }
+
+  std::string ToString() const;
+  // Stable shape token inside a WorkloadKey: "dense:M_N_K". The "dense:" prefix is what
+  // routes WorkloadKey::Parse here instead of Conv2dParams::ParseCacheKey (and makes
+  // pre-dense readers reject the token cleanly rather than misparse it as a conv).
+  std::string CacheKey() const;
+  // Inverse of CacheKey. Returns false (leaving *params untouched) unless `text` is
+  // exactly what CacheKey() would produce.
+  static bool ParseCacheKey(const std::string& text, DenseParams* params);
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_KERNELS_DENSE_PARAMS_H_

@@ -1,7 +1,8 @@
-// Register-blocked single-precision GEMM (row-major), used by the im2col convolution
-// baseline and the dense (fully-connected) layer. Deliberately library-quality but not
-// schedule-searched: it stands in for the fixed vendor-library kernels the paper's
-// baselines call into.
+// Register-blocked single-precision GEMM (row-major), kept as the fixed-blocking
+// reference the gemm_micro bench ablates against: it stands in for the vendor-library
+// kernels the paper's baselines call into. Production matmul traffic (dense layers,
+// the im2col column GEMM) runs on the packed, schedule-searched family in
+// gemm_packed.h / gemm_packed_int8.h instead.
 #ifndef NEOCPU_SRC_KERNELS_GEMM_H_
 #define NEOCPU_SRC_KERNELS_GEMM_H_
 

@@ -1,0 +1,6 @@
+// AVX2+FMA instantiation of the packed fp32 GEMM tile driver. This TU is compiled
+// with -mavx2 -mfma (see CMakeLists.txt) and only ever entered after the dispatcher's
+// cpuid check.
+#define NEOCPU_GEMM_VARIANT_NS gemm_f32_avx2
+#define NEOCPU_GEMM_TILE_FN GemmF32TileAvx2
+#include "src/kernels/gemm_packed_impl.h"

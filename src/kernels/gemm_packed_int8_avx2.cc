@@ -1,0 +1,5 @@
+// AVX2+FMA instantiation of the packed u8·s8 GEMM tile driver. Compiled with
+// -mavx2 -mfma (see CMakeLists.txt); entered only after the dispatcher's cpuid check.
+#define NEOCPU_GEMM_S8_VARIANT_NS gemm_s8_avx2
+#define NEOCPU_GEMM_S8_TILE_FN GemmS8TileAvx2
+#include "src/kernels/gemm_packed_int8_impl.h"

@@ -1,0 +1,6 @@
+// AVX-512 (no VNNI) instantiation of the packed u8·s8 GEMM tile driver. Compiled with
+// -mavx512{f,bw,vl,dq} (see CMakeLists.txt); entered only after the dispatcher's cpuid
+// check.
+#define NEOCPU_GEMM_S8_VARIANT_NS gemm_s8_avx512
+#define NEOCPU_GEMM_S8_TILE_FN GemmS8TileAvx512
+#include "src/kernels/gemm_packed_int8_impl.h"

@@ -1,0 +1,7 @@
+// AVX-512 VNNI instantiation of the packed u8·s8 GEMM tile driver: the quad
+// accumulation lowers to one vpdpbusd per 16 columns. Compiled with
+// -mavx512{f,bw,vl,dq,vnni} (see CMakeLists.txt); entered only after the dispatcher's
+// cpuid check.
+#define NEOCPU_GEMM_S8_VARIANT_NS gemm_s8_avx512vnni
+#define NEOCPU_GEMM_S8_TILE_FN GemmS8TileAvx512Vnni
+#include "src/kernels/gemm_packed_int8_impl.h"

@@ -1,0 +1,14 @@
+#include "src/kernels/gemm_schedule.h"
+
+#include <sstream>
+
+namespace neocpu {
+
+std::string GemmSchedule::ToString() const {
+  std::ostringstream os;
+  os << "(mc=" << mc << ", nc=" << nc << ", kc=" << kc << ", mr=" << mr
+     << ", nr=" << nr << ", " << DTypeName(dtype) << ")";
+  return os.str();
+}
+
+}  // namespace neocpu

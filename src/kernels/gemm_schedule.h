@@ -1,0 +1,52 @@
+// The GEMM schedule tuple for the tuned, packed matrix-multiply family — the dense
+// analogue of ConvSchedule (§3.3.1 applied to the second workload class):
+//
+//   (mc, nc, kc; mr x nr; dtype)
+//
+// mc/nc/kc are the Goto-style cache tiles (rows of A per macro tile, columns of B per
+// macro tile, K-depth per packed panel pass) and mr x nr is the register micro-kernel:
+// mr rows of packed A broadcast against nr packed B columns held in SIMD accumulators.
+// A is packed into [ceil(m/mr)][k][mr] panels at run time (arena workspace); B is packed
+// into [ceil(n/nr)][k][nr] panels — at compile time for dense-layer weights, at run time
+// for the im2col column buffer.
+//
+// dtype selects the execution pipeline like ConvSchedule::dtype does for convs: kF32
+// runs the fp32 micro-kernel, kU8 the u8·s8→s32 integer micro-kernel (IntelCaffe form,
+// VNNI vpdpbusd on the widest tier) with quad-packed operands [..][ceil(k/4)][..][4].
+// The integer path keeps the whole K reduction in registers (kc is clamped to k), so
+// the fused requantizing epilogue needs no s32 staging and every ISA tier accumulates
+// the same s32 sums — bitwise-identical outputs across tiers.
+#ifndef NEOCPU_SRC_KERNELS_GEMM_SCHEDULE_H_
+#define NEOCPU_SRC_KERNELS_GEMM_SCHEDULE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/tensor/dtype.h"
+
+namespace neocpu {
+
+struct GemmSchedule {
+  std::int64_t mc = 64;   // A rows per macro tile
+  std::int64_t nc = 256;  // B columns per macro tile
+  std::int64_t kc = 256;  // K depth per packed-panel pass (f32; integer path uses k)
+  std::int64_t mr = 4;    // micro-kernel rows
+  std::int64_t nr = 16;   // micro-kernel columns (SIMD lanes x accumulator count)
+  // kF32 or kU8 (u8 activations · s8 weights, zero point folded into the s32 bias).
+  DType dtype = DType::kF32;
+
+  bool operator==(const GemmSchedule&) const = default;
+
+  bool IsQuantized() const { return dtype == DType::kU8; }
+
+  std::string ToString() const;
+};
+
+// Upper bounds accepted by the micro-kernels (stack accumulator sizing) and the
+// template instantiation grids.
+inline constexpr std::int64_t kMaxGemmMr = 8;
+inline constexpr std::int64_t kMaxGemmNr = 64;
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_KERNELS_GEMM_SCHEDULE_H_

@@ -9,6 +9,9 @@ Graph BuildModel(const std::string& name, std::int64_t batch) {
   if (name == "tiny-cnn") {
     return BuildTinyCnn(batch);
   }
+  if (name == "transformer-encoder") {
+    return BuildTransformerEncoder(batch);
+  }
   if (name == "resnet18") {
     return BuildResNet(18, batch);
   }
@@ -67,6 +70,9 @@ const std::vector<std::string>& ModelZooNames() {
 }
 
 std::vector<std::int64_t> ModelInputDims(const std::string& name, std::int64_t batch) {
+  if (name == "transformer-encoder") {
+    return {batch, 8 * 64};  // {N, S*D} token embeddings, pre-flattened
+  }
   std::int64_t image = 224;
   if (name == "inception-v3") {
     image = 299;

@@ -31,14 +31,24 @@ Graph BuildSsdResNet50(std::int64_t batch = 1, std::int64_t image = 512,
 // CI-friendly latencies.
 Graph BuildTinyCnn(std::int64_t batch = 1, std::int64_t image = 32);
 
+// A small transformer encoder (S=8 tokens of D=64, 4 heads, FFN 256, 2 layers, 10
+// classes). Also off-zoo: the paper predates transformer serving, but the tuned GEMM
+// family makes Dense a first-class workload, and this model is its end-to-end
+// exercise — every projection and FFN layer is a schedule-searched, pre-packed GEMM.
+Graph BuildTransformerEncoder(std::int64_t batch = 1, std::int64_t seq = 8,
+                              std::int64_t dim = 64, std::int64_t heads = 4,
+                              std::int64_t ffn = 256, int layers = 2,
+                              std::int64_t num_classes = 10);
+
 // By name: "resnet18".."resnet152", "vgg11".."vgg19", "densenet121".."densenet201",
-// "inception-v3", "ssd-resnet50", plus the off-zoo "tiny-cnn".
+// "inception-v3", "ssd-resnet50", plus the off-zoo "tiny-cnn" and
+// "transformer-encoder".
 Graph BuildModel(const std::string& name, std::int64_t batch = 1);
 
 // The 15 names in the paper's Table 2 order.
 const std::vector<std::string>& ModelZooNames();
 
-// {N, 3, H, W} for a model's expected input.
+// {N, 3, H, W} for a model's expected input ({N, S*D} for the transformer encoder).
 std::vector<std::int64_t> ModelInputDims(const std::string& name, std::int64_t batch = 1);
 
 }  // namespace neocpu

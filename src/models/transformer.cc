@@ -1,0 +1,42 @@
+#include "src/models/model_zoo.h"
+
+#include "src/graph/builder.h"
+
+namespace neocpu {
+
+// A compact pre-classifier transformer encoder: the dense-dominated counterpart to
+// tiny-cnn. Every FLOP-carrying op is a Dense (Q/K/V/out projections and the FFN), so
+// the model exercises the tuned GEMM path end to end — schedule search, compile-time B
+// packing, per-layer f32-vs-u8 selection — plus the attention/layer-norm runtime ops.
+//
+// Geometry is fixed small (S=8 tokens of D=64, 4 heads, FFN 256, 2 layers) so compiles
+// stay CI-friendly; the batch folds into the GEMM M dimension via the {B, S*D} ->
+// {B*S, D} reshape, which also makes the model batch-rebindable for serving.
+Graph BuildTransformerEncoder(std::int64_t batch, std::int64_t seq, std::int64_t dim,
+                              std::int64_t heads, std::int64_t ffn, int layers,
+                              std::int64_t num_classes) {
+  GraphBuilder b("transformer-encoder");
+  int x = b.Input({batch, seq * dim});
+  x = b.Reshape(x, {batch * seq, dim});
+  for (int layer = 0; layer < layers; ++layer) {
+    const std::string p = "enc" + std::to_string(layer) + ".";
+    // Self-attention block: post-norm residual, as in the original encoder.
+    int q = b.Dense(x, dim, false, p + "q");
+    int k = b.Dense(x, dim, false, p + "k");
+    int v = b.Dense(x, dim, false, p + "v");
+    int att = b.MultiHeadAttention(q, k, v, heads, seq, p + "attn");
+    att = b.Dense(att, dim, false, p + "proj");
+    x = b.LayerNorm(b.Add(att, x), 1e-5f, p + "ln1");
+    // Feed-forward block: D -> FFN (relu) -> D.
+    int ff = b.Dense(x, ffn, true, p + "ffn1");
+    ff = b.Dense(ff, dim, false, p + "ffn2");
+    x = b.LayerNorm(b.Add(ff, x), 1e-5f, p + "ln2");
+  }
+  // Classifier head over the flattened sequence.
+  x = b.Reshape(x, {batch, seq * dim});
+  x = b.Dense(x, num_classes, false, "head");
+  x = b.Softmax(x);
+  return b.Finish({x});
+}
+
+}  // namespace neocpu

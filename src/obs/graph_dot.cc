@@ -54,6 +54,11 @@ const char* KindColor(OpType type) {
     case OpType::kQuantize:
     case OpType::kDequantize:
       return "#d0f0d8";
+    case OpType::kMultiHeadAttention:
+      return "#f7d9e6";
+    case OpType::kLayerNorm:
+    case OpType::kTranspose:
+      return "#e6e0f7";
     default:
       return "#eaf2ea";
   }
@@ -117,6 +122,20 @@ std::string GraphToDot(const Graph& graph, const GraphDotOptions& options) {
                            static_cast<long long>(sched.reg_n),
                            sched.unroll_ker ? " unroll" : "");
       }
+    } else if (node.type == OpType::kDense && node.attrs.has_gemm) {
+      const GemmSchedule& gemm = node.attrs.gemm;
+      label += StrFormat("\\ngemm dtype=%s", DTypeName(gemm.dtype));
+      label += StrFormat("\\nmc=%lld nc=%lld kc=%lld mr=%lld nr=%lld",
+                         static_cast<long long>(gemm.mc),
+                         static_cast<long long>(gemm.nc),
+                         static_cast<long long>(gemm.kc),
+                         static_cast<long long>(gemm.mr),
+                         static_cast<long long>(gemm.nr));
+    } else if (node.type == OpType::kMultiHeadAttention) {
+      label += StrFormat("\\nheads=%lld seq=%lld dtype=%s",
+                         static_cast<long long>(node.attrs.heads),
+                         static_cast<long long>(node.attrs.seq),
+                         DTypeName(node.out_dtype));
     } else if (node.type != OpType::kConstant) {
       label += StrFormat("\\ndtype=%s", DTypeName(node.out_dtype));
     }

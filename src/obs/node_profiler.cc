@@ -12,10 +12,21 @@ namespace neocpu {
 
 namespace {
 
-// Aggregation key: op kind, with convolutions split by algorithm + dtype — the axes
-// the search actually decides per layer ("Conv2d/direct-nchwc-s8" vs
-// "Conv2d/winograd").
+// Aggregation key: op kind, with convolutions split by algorithm + dtype and dense
+// layers split by kernel family + dtype — the axes the search actually decides per
+// layer ("Conv2d/direct-nchwc-s8" vs "Conv2d/winograd", "dense/gemm-u8" vs the
+// legacy "dense/ref" path).
 std::string KindKey(const Node& node) {
+  if (node.type == OpType::kDense) {
+    std::string key = OpTypeName(node.type);
+    key += '/';
+    if (node.attrs.has_gemm) {
+      key += node.attrs.gemm.IsQuantized() ? "gemm-u8" : "gemm-f32";
+    } else {
+      key += node.attrs.qconv.enabled ? "ref-s8" : "ref";
+    }
+    return key;
+  }
   if (!node.IsConv()) {
     return OpTypeName(node.type);
   }

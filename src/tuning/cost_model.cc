@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <mutex>
+#include <vector>
 
 #include "src/base/align.h"
 #include "src/base/logging.h"
@@ -14,6 +15,8 @@
 #include "src/kernels/conv_nchwc_int8.h"
 #include "src/kernels/conv_ref.h"
 #include "src/kernels/conv_winograd.h"
+#include "src/kernels/gemm_packed.h"
+#include "src/kernels/gemm_packed_int8.h"
 #include "src/tensor/tensor.h"
 
 namespace neocpu {
@@ -366,6 +369,129 @@ double MeasureConvMs(const Conv2dParams& p, const ConvSchedule& s, ThreadEngine*
     return MeasureNchwAlgoMs(p, s.algo, engine, runs);
   }
   return MeasureDirectNchwcMs(p, s, engine, runs);
+}
+
+double AnalyticDenseMs(const DenseParams& p, const GemmSchedule& s, const Target& t) {
+  const double macs = p.Macs();
+  const double lanes = static_cast<double>(t.vector_lanes);
+  const double peak_macs_per_ms =
+      t.freq_ghz * lanes * static_cast<double>(t.fma_per_cycle) * 1e6;
+  double ms = macs / peak_macs_per_ms;
+
+  // Register-kernel vector fill: an nr that is not a lane multiple wastes lanes in
+  // every FMA of the micro kernel.
+  const double nr_vectors = std::ceil(static_cast<double>(s.nr) / lanes);
+  ms *= (nr_vectors * lanes) / static_cast<double>(s.nr);
+
+  // Dtype. On a VNNI target the u8*s8 kernel retires a 4-deep dot per lane per
+  // vpdpbusd — well past the fp32 FMA rate; without VNNI the portable quad fallback
+  // accumulates scalar s32 quads and loses to fp32 outright.
+  if (s.dtype == DType::kU8) {
+    ms *= t.vnni_dot ? 0.45 : 2.0;
+  }
+
+  // Off-grid register kernels fall back to the runtime-bounded edge micro kernel.
+  const bool fast_mr = s.mr == 1 || s.mr == 2 || s.mr == 4 || s.mr == 6 || s.mr == 8;
+  const bool fast_nr = s.nr == 8 || s.nr == 16 || s.nr == 32 || s.nr == 64;
+  if (!fast_mr || !fast_nr) {
+    ms *= 2.5;
+  }
+
+  // Accumulator pressure: mr x ceil(nr/lanes) accumulators + an A broadcast + a B load.
+  const double regs_used = static_cast<double>(s.mr) * nr_vectors + 2.0;
+  const double regs_avail = static_cast<double>(t.num_vector_registers);
+  if (regs_used > regs_avail) {
+    ms *= 1.0 + 0.35 * (regs_used - regs_avail) / regs_avail;
+  }
+
+  // Operand reuse in the inner loop: each k step issues mr broadcasts + nr_vectors
+  // loads feeding mr*nr_vectors FMAs.
+  ms *= 1.0 + (static_cast<double>(s.mr) + nr_vectors) /
+                  (static_cast<double>(s.mr) * nr_vectors);
+
+  // Tail fractions: rows/cols beyond the last full register tile run guarded stores
+  // (and the pad rows of the packed panels are computed then discarded).
+  const double m_pad = static_cast<double>((p.m + s.mr - 1) / s.mr * s.mr);
+  const double n_pad = static_cast<double>((p.n + s.nr - 1) / s.nr * s.nr);
+  ms *= (m_pad / static_cast<double>(p.m)) * (n_pad / static_cast<double>(p.n));
+
+  // Cache residency: the nr x kc B panel should sit in L1 across the mc rows; the
+  // mc x kc packed-A block should sit in L2 across the nc columns.
+  const double elem_bytes = s.dtype == DType::kU8 ? 1.0 : 4.0;
+  const double kc = static_cast<double>(std::min<std::int64_t>(s.kc, p.k));
+  if (static_cast<double>(s.nr) * kc * elem_bytes > static_cast<double>(t.l1d_bytes)) {
+    ms *= 1.2;
+  }
+  if (static_cast<double>(s.mc) * kc * elem_bytes > static_cast<double>(t.l2_bytes)) {
+    ms *= 1.15;
+  }
+
+  // Per-call A packing: one streaming read + write of A per kc pass.
+  const double a_bytes = static_cast<double>(p.m) * static_cast<double>(p.k) * elem_bytes;
+  const double kc_passes = std::ceil(static_cast<double>(p.k) / kc);
+  ms += kc_passes * 2.0 * a_bytes / CalibratedCopyBytesPerMs();
+  return ms;
+}
+
+namespace {
+
+double MeasureDenseF32Ms(const DenseParams& p, const GemmSchedule& s,
+                         ThreadEngine* engine, int runs) {
+  Rng rng(42);
+  std::vector<float> a(static_cast<std::size_t>(p.m * p.k));
+  std::vector<float> w(static_cast<std::size_t>(p.n * p.k));  // [n][k] dense weights
+  for (float& v : a) v = rng.NextFloat(-1.0f, 1.0f);
+  for (float& v : w) v = rng.NextFloat(-0.5f, 0.5f);
+  std::vector<float> bp(PackedBF32Elems(p.n, p.k, s));
+  PackBF32FromTransposed(w.data(), p.n, p.k, s, bp.data());
+  std::vector<float> ws(PackedAF32Elems(p.m, p.k, s));
+  std::vector<float> c(static_cast<std::size_t>(p.m * p.n));
+  double best = 1e30;
+  for (int i = 0; i < runs + 1; ++i) {
+    Timer timer;
+    GemmPackedF32(p.m, p.n, p.k, a.data(), bp.data(), /*bias=*/nullptr, /*relu=*/false,
+                  c.data(), s, ws.data(), engine);
+    const double ms = timer.Millis();
+    if (i > 0 || runs == 1) {
+      best = std::min(best, ms);
+    }
+  }
+  return best;
+}
+
+double MeasureDenseU8Ms(const DenseParams& p, const GemmSchedule& s,
+                        ThreadEngine* engine, int runs) {
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(p.m * p.k));
+  std::vector<std::int8_t> w(static_cast<std::size_t>(p.n * p.k));
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<std::uint8_t>(i % 256);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<std::int8_t>(i % 241 - 120);
+  }
+  std::vector<std::int8_t> bp(PackedBS8Bytes(p.n, p.k, s));
+  PackBS8FromTransposed(w.data(), p.n, p.k, s, bp.data());
+  std::vector<std::uint8_t> ws(PackedAU8Bytes(p.m, p.k, s));
+  std::vector<float> mult(static_cast<std::size_t>(p.n), 1e-3f);
+  std::vector<std::int8_t> c(static_cast<std::size_t>(p.m * p.n));
+  double best = 1e30;
+  for (int i = 0; i < runs + 1; ++i) {
+    Timer timer;
+    GemmPackedU8S8(p.m, p.n, p.k, a.data(), bp.data(), /*bias=*/nullptr, mult.data(),
+                   /*relu=*/false, /*requant=*/true, /*out_u8=*/false, /*out_zero=*/0,
+                   c.data(), s, ws.data(), engine);
+    const double ms = timer.Millis();
+    if (i > 0 || runs == 1) {
+      best = std::min(best, ms);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double MeasureDenseMs(const DenseParams& p, const GemmSchedule& s, ThreadEngine* engine,
+                      int runs) {
+  return s.dtype == DType::kU8 ? MeasureDenseU8Ms(p, s, engine, runs)
+                               : MeasureDenseF32Ms(p, s, engine, runs);
 }
 
 double CalibratedCopyBytesPerMs() {

@@ -16,6 +16,8 @@
 #include "src/core/target.h"
 #include "src/kernels/conv_params.h"
 #include "src/kernels/conv_schedule.h"
+#include "src/kernels/dense_params.h"
+#include "src/kernels/gemm_schedule.h"
 #include "src/runtime/thread_engine.h"
 
 namespace neocpu {
@@ -31,6 +33,20 @@ double AnalyticConvMs(const Conv2dParams& params, const ConvSchedule& schedule,
 // Times the real kernel on deterministic synthetic tensors (min of `runs`).
 double MeasureConvMs(const Conv2dParams& params, const ConvSchedule& schedule,
                      ThreadEngine* engine = nullptr, int runs = 2);
+
+// Single-core execution-time estimate for one tuned packed-GEMM (Dense) workload under
+// `schedule`: peak-FMA baseline adjusted for register-kernel vector fill, accumulator
+// pressure, m/n tail fractions and the L1/L2 residency of the packed panels — the GEMM
+// analogue of AnalyticConvMs. schedule.dtype == kU8 models the u8*s8 kernel (VNNI fast
+// path vs the slower portable quad fallback).
+double AnalyticDenseMs(const DenseParams& params, const GemmSchedule& schedule,
+                       const Target& target);
+
+// Times the real packed GEMM on deterministic synthetic operands (min of `runs`).
+// B is packed outside the timed region — it is a compile-time constant in the real
+// flow — while the per-call A packing is timed, exactly as execution pays it.
+double MeasureDenseMs(const DenseParams& params, const GemmSchedule& schedule,
+                      ThreadEngine* engine = nullptr, int runs = 2);
 
 // Estimated milliseconds to relayout a feature map of `bytes` bytes (read + write),
 // using the host's measured copy bandwidth (calibrated once per process).

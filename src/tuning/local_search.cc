@@ -36,6 +36,50 @@ const ScheduleCost* LocalSearchResult::BestQuantized() const {
   return nullptr;
 }
 
+const DenseScheduleCost* LocalSearchResult::BestDense(DType dtype) const {
+  for (const DenseScheduleCost& sc : dense_ranked) {
+    if (sc.schedule.dtype == dtype) {
+      return &sc;  // ranked ascending: first hit is the dtype's best
+    }
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const LocalSearchResult> LocalSearchDenseShared(
+    const DenseParams& params, const Target& target, CostMode mode, bool quick_space,
+    ThreadEngine* engine, TuningCache* cache, bool* cache_hit, DType dtype) {
+  const WorkloadKey key = WorkloadKey::OfDense(params, target, mode, quick_space, dtype);
+  if (cache_hit != nullptr) {
+    *cache_hit = false;
+  }
+  if (cache != nullptr) {
+    if (std::shared_ptr<const LocalSearchResult> cached = cache->Find(key)) {
+      if (cache_hit != nullptr) {
+        *cache_hit = true;
+      }
+      return cached;
+    }
+  }
+  LocalSearchResult result;
+  const std::vector<GemmSchedule> candidates =
+      EnumerateDenseSchedules(params, target, quick_space, dtype);
+  for (const GemmSchedule& schedule : candidates) {
+    const double ms = mode == CostMode::kAnalytic
+                          ? AnalyticDenseMs(params, schedule, target)
+                          : MeasureDenseMs(params, schedule, engine);
+    result.dense_ranked.push_back(DenseScheduleCost{schedule, ms});
+  }
+  std::stable_sort(result.dense_ranked.begin(), result.dense_ranked.end(),
+                   [](const DenseScheduleCost& a, const DenseScheduleCost& b) {
+                     return a.ms < b.ms;
+                   });
+  auto shared = std::make_shared<const LocalSearchResult>(std::move(result));
+  if (cache != nullptr && !shared->dense_ranked.empty()) {
+    cache->Insert(key, shared);
+  }
+  return shared;
+}
+
 std::shared_ptr<const LocalSearchResult> LocalSearchConvShared(
     const Conv2dParams& params, const Target& target, CostMode mode, bool quick_space,
     ThreadEngine* engine, TuningCache* cache, bool* cache_hit, DType dtype) {

@@ -23,8 +23,16 @@ struct ScheduleCost {
   double ms = 0.0;
 };
 
+struct DenseScheduleCost {
+  GemmSchedule schedule;
+  double ms = 0.0;
+};
+
 struct LocalSearchResult {
-  std::vector<ScheduleCost> ranked;  // ascending by ms; never empty after a search
+  std::vector<ScheduleCost> ranked;  // ascending by ms; never empty after a conv search
+  // Dense (tuned GEMM) workloads rank here instead; ascending by ms. Exactly one of
+  // `ranked` / `dense_ranked` is populated per result — the WorkloadKey knows which.
+  std::vector<DenseScheduleCost> dense_ranked;
 
   const ScheduleCost& best() const { return ranked.front(); }
   // Cheapest fp32 direct-NCHWc schedule for a given (ic_bn, oc_bn) pair; nullptr if the
@@ -37,6 +45,8 @@ struct LocalSearchResult {
   // Cheapest s8 (quantized) entry; nullptr when the list carries none (pure fp32
   // searches, int8-disabled targets).
   const ScheduleCost* BestQuantized() const;
+  // Cheapest dense entry of the given dtype; nullptr when none was ranked.
+  const DenseScheduleCost* BestDense(DType dtype = DType::kF32) const;
 };
 
 // Conv node id -> its local-search result (the compiler's and global search's working
@@ -53,6 +63,15 @@ using LocalSearchMap = std::map<int, std::shared_ptr<const LocalSearchResult>>;
 // immutable result; no copy is made.
 std::shared_ptr<const LocalSearchResult> LocalSearchConvShared(
     const Conv2dParams& params, const Target& target, CostMode mode, bool quick_space,
+    ThreadEngine* engine = nullptr, TuningCache* cache = nullptr,
+    bool* cache_hit = nullptr, DType dtype = DType::kF32);
+
+// Walks EnumerateDenseSchedules for one tuned-GEMM workload and ranks it into
+// dense_ranked, caching under the dense-spelled WorkloadKey ("dense:M_N_K" shape
+// token). `dtype` is kF32 or kU8; a u8 search on an int8-disabled target returns a
+// result with an empty dense_ranked (and caches nothing) so callers can fall back.
+std::shared_ptr<const LocalSearchResult> LocalSearchDenseShared(
+    const DenseParams& params, const Target& target, CostMode mode, bool quick_space,
     ThreadEngine* engine = nullptr, TuningCache* cache = nullptr,
     bool* cache_hit = nullptr, DType dtype = DType::kF32);
 

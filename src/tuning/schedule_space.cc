@@ -118,4 +118,51 @@ std::vector<ConvSchedule> EnumerateS8Schedules(const Conv2dParams& p, const Targ
   return out;
 }
 
+std::vector<GemmSchedule> EnumerateDenseSchedules(const DenseParams& p, const Target& t,
+                                                  bool quick_space, DType dtype) {
+  NEOCPU_CHECK(dtype == DType::kF32 || dtype == DType::kU8);
+  if (dtype == DType::kU8 && !t.int8_dot) {
+    return {};
+  }
+  const std::vector<std::int64_t> mrs =
+      quick_space ? std::vector<std::int64_t>{4, 6, 8} : std::vector<std::int64_t>{2, 4, 6, 8};
+  const std::vector<std::int64_t> nrs =
+      quick_space ? std::vector<std::int64_t>{16, 32, 64}
+                  : std::vector<std::int64_t>{8, 16, 32, 64};
+  const std::vector<std::int64_t> mcs =
+      quick_space ? std::vector<std::int64_t>{64} : std::vector<std::int64_t>{32, 64, 128};
+  const std::vector<std::int64_t> ncs =
+      quick_space ? std::vector<std::int64_t>{256}
+                  : std::vector<std::int64_t>{128, 256, 512};
+  const std::vector<std::int64_t> kcs =
+      dtype == DType::kU8 ? std::vector<std::int64_t>{p.k}
+      : quick_space       ? std::vector<std::int64_t>{256}
+                          : std::vector<std::int64_t>{128, 256};
+  std::vector<GemmSchedule> out;
+  out.reserve(mrs.size() * nrs.size() * mcs.size() * ncs.size() * kcs.size());
+  for (std::int64_t mr : mrs) {
+    for (std::int64_t nr : nrs) {
+      // Register kernels wider than the (padded) problem just redo the narrowest
+      // candidate's work with more tail masking — skip all but the narrowest such.
+      if (nr / 2 >= p.n && nr != nrs.front()) continue;
+      if (mr / 2 >= p.m && mr != mrs.front()) continue;
+      for (std::int64_t mc : mcs) {
+        for (std::int64_t nc : ncs) {
+          for (std::int64_t kc : kcs) {
+            GemmSchedule s;
+            s.mc = mc;
+            s.nc = nc;
+            s.kc = kc;
+            s.mr = mr;
+            s.nr = nr;
+            s.dtype = dtype;
+            out.push_back(s);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace neocpu

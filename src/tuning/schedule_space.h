@@ -14,6 +14,8 @@
 #include "src/core/target.h"
 #include "src/kernels/conv_params.h"
 #include "src/kernels/conv_schedule.h"
+#include "src/kernels/dense_params.h"
+#include "src/kernels/gemm_schedule.h"
 
 namespace neocpu {
 
@@ -48,6 +50,18 @@ std::vector<ConvSchedule> EnumerateS8Schedules(const Conv2dParams& params,
                                                const Target& target,
                                                bool quick_space = false,
                                                DType dtype = DType::kS8);
+
+// Blocking space for one tuned GEMM (Dense) workload: register kernel mr x nr crossed
+// with mc/nc/kc cache tiles. quick_space keeps the register-kernel neighbourhood that
+// wins on every shape we have measured (mr in {4,6,8}, nr in {16,32,64}) with one cache
+// tiling; the full space adds the small register kernels and sweeps the cache tiles.
+// The u8 space (dtype == kU8) pins kc = k — the quantized kernel accumulates the whole
+// reduction in s32 registers in a single K pass so the requant epilogue can fuse — and
+// is empty when the target profile disables int8 (Target::int8_dot).
+std::vector<GemmSchedule> EnumerateDenseSchedules(const DenseParams& params,
+                                                  const Target& target,
+                                                  bool quick_space = false,
+                                                  DType dtype = DType::kF32);
 
 inline const std::vector<std::int64_t>& RegNCandidates() {
   static const std::vector<std::int64_t> kCandidates = {32, 16, 8, 4, 2};

@@ -85,7 +85,8 @@ void TuningCache::Insert(const WorkloadKey& key, LocalSearchResult result) {
 
 void TuningCache::Insert(const WorkloadKey& key,
                          std::shared_ptr<const LocalSearchResult> result) {
-  NEOCPU_CHECK(result != nullptr && !result->ranked.empty())
+  NEOCPU_CHECK(result != nullptr &&
+               (!result->ranked.empty() || !result->dense_ranked.empty()))
       << "inserting empty result for " << key.ToString();
   std::string text = key.ToString();
   std::lock_guard<std::mutex> lock(mutex_);
@@ -171,6 +172,16 @@ void TuningCache::Serialize(std::ostream& out) const {
   out << kFileTag << " " << kFormatVersion << " " << entries_.size() << "\n";
   out << std::setprecision(17);
   for (const auto& [text, entry] : entries_) {
+    if (!entry.result->dense_ranked.empty()) {
+      // Dense (tuned GEMM) entry: v5 record tag, one blocking tuple per line.
+      out << "dense " << text << " " << entry.result->dense_ranked.size() << "\n";
+      for (const DenseScheduleCost& sc : entry.result->dense_ranked) {
+        out << sc.schedule.mc << " " << sc.schedule.nc << " " << sc.schedule.kc << " "
+            << sc.schedule.mr << " " << sc.schedule.nr << " "
+            << static_cast<unsigned>(sc.schedule.dtype) << " " << sc.ms << "\n";
+      }
+      continue;
+    }
     out << "workload " << text << " " << entry.result->ranked.size() << "\n";
     for (const ScheduleCost& sc : entry.result->ranked) {
       out << sc.schedule.ic_bn << " " << sc.schedule.oc_bn << " " << sc.schedule.reg_n
@@ -199,12 +210,36 @@ bool TuningCache::ParseStream(std::istream& in, ParsedMap* entries) {
     std::string key_text;
     std::size_t count = 0;
     in >> record_tag >> key_text >> count;
-    if (!in || record_tag != "workload" || count == 0) {
+    const bool dense_record = version >= 5 && record_tag == "dense";
+    if (!in || (record_tag != "workload" && !dense_record) || count == 0) {
       return false;
     }
     WorkloadKey key;
     if (!WorkloadKey::Parse(key_text, &key)) {
       return false;
+    }
+    if (dense_record != key.is_dense) {
+      return false;  // record tag and key spelling must agree
+    }
+    if (dense_record) {
+      LocalSearchResult result;
+      result.dense_ranked.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        unsigned dtype = static_cast<unsigned>(DType::kF32);
+        DenseScheduleCost& sc = result.dense_ranked[i];
+        in >> sc.schedule.mc >> sc.schedule.nc >> sc.schedule.kc >> sc.schedule.mr >>
+            sc.schedule.nr >> dtype >> sc.ms;
+        if (dtype > static_cast<unsigned>(DType::kS32)) {
+          return false;
+        }
+        sc.schedule.dtype = static_cast<DType>(dtype);
+      }
+      if (!in) {
+        return false;
+      }
+      (*entries)[key_text] =
+          std::make_shared<const LocalSearchResult>(std::move(result));
+      continue;
     }
     LocalSearchResult result;
     result.ranked.resize(count);

@@ -49,10 +49,11 @@ class TuningCache {
  public:
   // Bumped whenever the on-disk layout changes. v3 appends the convolution-algorithm
   // tag to every schedule line; v4 appends the execution dtype (s8 entries live under
-  // s8-tagged workload keys). v2/v3 files still load, their entries defaulting to the
-  // direct NCHW[x]c algorithm / fp32. Older/unknown versions are rejected instead of
-  // misread.
-  static constexpr std::uint32_t kFormatVersion = 4;
+  // s8-tagged workload keys); v5 adds `dense` records for tuned-GEMM workloads (keys
+  // spelled with a "dense:" shape token, lines carrying mc/nc/kc/mr/nr blocking
+  // tuples). v2..v4 files still load, their entries defaulting to the direct NCHW[x]c
+  // algorithm / fp32. Older/unknown versions are rejected instead of misread.
+  static constexpr std::uint32_t kFormatVersion = 5;
   static constexpr std::uint32_t kMinFormatVersion = 2;
 
   TuningCache() = default;

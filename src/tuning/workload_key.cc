@@ -5,7 +5,8 @@
 namespace neocpu {
 
 std::string WorkloadKey::ToString() const {
-  std::string text = StrFormat("%s|%s|%s|%s", target.c_str(), conv.CacheKey().c_str(),
+  const std::string shape = is_dense ? dense.CacheKey() : conv.CacheKey();
+  std::string text = StrFormat("%s|%s|%s|%s", target.c_str(), shape.c_str(),
                                CostModeName(cost_mode), quick_space ? "quick" : "full");
   if (dtype != DType::kF32) {
     // fp32 keys keep the historical 4-token form (pre-dtype caches keep hitting); only
@@ -44,7 +45,12 @@ bool WorkloadKey::Parse(const std::string& text, WorkloadKey* key) {
     }
   }
 
-  if (!Conv2dParams::ParseCacheKey(conv_text, &parsed.conv)) {
+  if (conv_text.rfind("dense:", 0) == 0) {
+    if (!DenseParams::ParseCacheKey(conv_text, &parsed.dense)) {
+      return false;
+    }
+    parsed.is_dense = true;
+  } else if (!Conv2dParams::ParseCacheKey(conv_text, &parsed.conv)) {
     return false;
   }
 

@@ -25,24 +25,46 @@
 
 #include "src/core/target.h"
 #include "src/kernels/conv_params.h"
+#include "src/kernels/dense_params.h"
 #include "src/tensor/dtype.h"
 #include "src/tuning/cost_model.h"
 
 namespace neocpu {
 
 struct WorkloadKey {
-  Conv2dParams conv;  // full workload shape, batch included
+  Conv2dParams conv;    // full workload shape, batch included (conv workloads)
+  DenseParams dense;    // GEMM workload shape (dense workloads; is_dense set)
+  bool is_dense = false;
   std::string target = "host";
   CostMode cost_mode = CostMode::kAnalytic;
   bool quick_space = true;
   // Execution dtype the space was searched for: the s8 schedule space (different block
   // caps, different kernel) caches under its own key, so fp32 and quantized tunings of
-  // one shape coexist — exactly like distinct batches.
+  // one shape coexist — exactly like distinct batches. Dense workloads use kF32 or kU8.
   DType dtype = DType::kF32;
 
   static WorkloadKey Of(const Conv2dParams& params, const Target& target, CostMode mode,
                         bool quick_space, DType dtype = DType::kF32) {
-    return WorkloadKey{params, target.name, mode, quick_space, dtype};
+    WorkloadKey key;
+    key.conv = params;
+    key.target = target.name;
+    key.cost_mode = mode;
+    key.quick_space = quick_space;
+    key.dtype = dtype;
+    return key;
+  }
+
+  static WorkloadKey OfDense(const DenseParams& params, const Target& target,
+                             CostMode mode, bool quick_space,
+                             DType dtype = DType::kF32) {
+    WorkloadKey key;
+    key.dense = params;
+    key.is_dense = true;
+    key.target = target.name;
+    key.cost_mode = mode;
+    key.quick_space = quick_space;
+    key.dtype = dtype;
+    return key;
   }
 
   bool operator==(const WorkloadKey&) const = default;
@@ -50,8 +72,10 @@ struct WorkloadKey {
   // Stable single-token text form, e.g.
   //   "avx512|8_64_28x28_64_3x3_1x1_1x1|analytic|quick"       (fp32; the pre-dtype form)
   //   "avx512|8_64_28x28_64_3x3_1x1_1x1|analytic|quick|s8"    (quantized)
+  //   "avx512|dense:64_256_64|analytic|quick|u8"              (dense GEMM workload)
   // fp32 keys keep the historical 4-token spelling so caches persisted before the
-  // quantized path still hit.
+  // quantized path still hit; dense workloads reuse the same frame with a "dense:"
+  // shape token (which pre-dense parsers reject cleanly).
   std::string ToString() const;
 
   // Inverse of ToString. Returns false (leaving *key untouched) on malformed input.

@@ -190,22 +190,50 @@ TEST(ModelRegistry, WarmStartFromSerializedModule) {
   std::remove(path.c_str());
 }
 
-TEST(RebindBatch, RefusesNonBatchReshape) {
-  // A reshape whose leading target dim is NOT the batch cannot be batch-rebound; the
-  // registry must mark such a model non-batchable instead of crashing mid-serve when
-  // the first multi-request batch forms.
+TEST(RebindBatch, ScalesBatchMergingReshape) {
+  // A reshape that merges the batch into its leading dim ({B, 3, 4, 4} -> {3B, 16})
+  // rebinds by scaling that dim proportionally: the flat buffer is batch-major, so
+  // per-sample row blocks stay contiguous and rowwise downstream ops see the same
+  // data as B independent runs. This is the shape the transformer encoder relies on
+  // ({B, S*D} -> {B*S, D}).
   GraphBuilder b("odd_reshape");
   int in = b.Input({1, 3, 4, 4});
   int r = b.Reshape(in, {3, 16});
   Graph g = b.Finish({b.Softmax(r)});
   CompiledModel compiled = Compile(g);
 
-  CompiledModel out;
-  EXPECT_FALSE(RebindBatch(compiled, 2, &out));
+  CompiledModel rebound;
+  ASSERT_TRUE(RebindBatch(compiled, 2, &rebound));
+  Rng rng(11);
+  Tensor one_a = Tensor::Random({1, 3, 4, 4}, rng, -1.0f, 1.0f, Layout::NCHW());
+  Tensor one_b = Tensor::Random({1, 3, 4, 4}, rng, -1.0f, 1.0f, Layout::NCHW());
+  Tensor both = Tensor::Empty({2, 3, 4, 4}, Layout::NCHW());
+  std::copy_n(one_a.data(), one_a.NumElements(), both.data());
+  std::copy_n(one_b.data(), one_b.NumElements(), both.data() + one_a.NumElements());
+  Tensor batched = rebound.Run(both);
+  Tensor ref_a = compiled.Run(one_a);
+  Tensor ref_b = compiled.Run(one_b);
+  ASSERT_EQ(batched.NumElements(), ref_a.NumElements() + ref_b.NumElements());
+  for (std::int64_t i = 0; i < ref_a.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(batched.data()[i], ref_a.data()[i]);
+    EXPECT_FLOAT_EQ(batched.data()[ref_a.NumElements() + i], ref_b.data()[i]);
+  }
+}
 
-  ModelRegistry registry;
-  ModelEntry* entry = registry.Register("odd", std::move(compiled));
-  EXPECT_FALSE(entry->batchable());
+TEST(RebindBatch, RefusesIndivisibleReshape) {
+  // When the leading reshape dim is not a multiple of the batch there is no
+  // proportional scaling that preserves per-sample blocks; the registry must mark
+  // such a model non-batchable instead of crashing mid-serve when the first
+  // multi-request batch forms.
+  GraphBuilder b("indivisible_reshape");
+  int in = b.Input({2, 3, 4, 4});
+  int r = b.Reshape(in, {3, 32});
+  Graph g = b.Finish({b.Softmax(r)});
+  CompiledModel compiled = Compile(g);
+
+  CompiledModel out;
+  EXPECT_FALSE(RebindBatch(compiled, 4, &out));
+  EXPECT_FALSE(RebindBatch(compiled, 1, &out));
 }
 
 TEST(ServingStats, ReservoirKeepsCountAndBoundsMemory) {

@@ -30,6 +30,13 @@ hardware and append it to the "baselines" list:
     python3 tools/check_bench_trend.py --merge-baseline shape.json \
         bench/BENCH_serve.baseline.json   # inserts/replaces the matching shape
 
+A second leg handles the tuned-GEMM micro-bench: pass a BENCH_gemm.json (the
+"bench" field dispatches) and hardware-relative invariants are gated instead of
+absolute throughput — the tuned f32 kernel must beat the legacy fixed-blocking
+Gemm by NEOCPU_GEMM_SPEEDUP (default 2.0x) on at least one shape, and wherever
+the VNNI tier ran, u8 must beat the best tuned f32 on at least one shape. An
+optional baseline file compares per-cell GFLOP/s under the same tolerance.
+
 Usage: check_bench_trend.py <current.json> [<baseline.json>]
        check_bench_trend.py --merge-baseline <report.json> [<baseline.json>]
 """
@@ -90,6 +97,86 @@ def merge_baseline(report_path, baseline_path):
     return 0
 
 
+def gemm_cell_key(cell):
+    return (cell["shape"], cell["kernel"], cell["isa"])
+
+
+def gemm_gate(current, current_path, baseline_path, tolerance):
+    """Invariant + trend gates for the gemm_micro bench report."""
+    cells = current.get("cells")
+    if not cells:
+        print(f"FAIL: {current_path} has no benchmark cells")
+        return 1
+    speedup_floor = float(os.environ.get("NEOCPU_GEMM_SPEEDUP", "2.0"))
+
+    by_shape = {}
+    for cell in cells:
+        by_shape.setdefault(cell["shape"], []).append(cell)
+
+    failed = False
+    tuned_beats_legacy = False
+    vnni_ran = False
+    vnni_beats_f32 = False
+    for shape, shape_cells in by_shape.items():
+        legacy = [c for c in shape_cells if c["kernel"] == "legacy"]
+        f32 = [c for c in shape_cells if c["kernel"] == "tuned_f32"]
+        vnni = [c for c in shape_cells
+                if c["kernel"] == "tuned_u8" and c["isa"] == "avx512vnni"]
+        if not legacy or not f32:
+            print(f"FAIL: shape {shape} is missing legacy or tuned_f32 cells")
+            failed = True
+            continue
+        best_f32 = min(c["ms"] for c in f32)
+        speedup = legacy[0]["ms"] / best_f32 if best_f32 > 0 else float("inf")
+        line = f"{shape}: tuned_f32 {speedup:.2f}x over legacy"
+        if speedup >= speedup_floor:
+            tuned_beats_legacy = True
+        if vnni:
+            vnni_ran = True
+            ratio = best_f32 / vnni[0]["ms"] if vnni[0]["ms"] > 0 else float("inf")
+            line += f", vnni u8 {ratio:.2f}x over tuned f32"
+            if ratio > 1.0:
+                vnni_beats_f32 = True
+        print(line)
+    if not tuned_beats_legacy:
+        print(f"FAIL: no shape reached the {speedup_floor:.1f}x tuned-vs-legacy floor")
+        failed = True
+    if vnni_ran and not vnni_beats_f32:
+        print("FAIL: the VNNI u8 tier never beat tuned f32")
+        failed = True
+    if not vnni_ran:
+        print("WARN: no avx512vnni cells (host lacks the tier); dtype gate skipped")
+
+    # Optional trend comparison against a committed gemm baseline.
+    if baseline_path is not None:
+        try:
+            baseline = load(baseline_path)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL: cannot read baseline {baseline_path}: {e}")
+            return 1
+        if baseline.get("physical_cores") != current.get("physical_cores"):
+            print("WARN: baseline is from a different hardware shape; trend skipped")
+        else:
+            base_by_key = {gemm_cell_key(c): c for c in baseline.get("cells", [])}
+            for cell in cells:
+                base = base_by_key.get(gemm_cell_key(cell))
+                if base is None or base.get("gflops", 0) <= 0:
+                    continue
+                ratio = cell["gflops"] / base["gflops"]
+                if ratio < 1.0 - tolerance:
+                    print(
+                        f"FAIL: {'/'.join(gemm_cell_key(cell))}: "
+                        f"{cell['gflops']:.1f} vs {base['gflops']:.1f} GFLOP/s "
+                        f"-> ratio {ratio:.3f}"
+                    )
+                    failed = True
+
+    if failed:
+        return 1
+    print("OK: gemm invariants hold")
+    return 0
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__)
@@ -100,7 +187,6 @@ def main(argv):
             return 2
         return merge_baseline(argv[2], argv[3] if len(argv) > 3 else "bench/BENCH_serve.baseline.json")
     current_path = argv[1]
-    baseline_path = argv[2] if len(argv) > 2 else "bench/BENCH_serve.baseline.json"
     tolerance = float(os.environ.get("NEOCPU_TREND_TOLERANCE", "0.20"))
 
     try:
@@ -108,6 +194,10 @@ def main(argv):
     except (OSError, json.JSONDecodeError) as e:
         print(f"FAIL: cannot read current report {current_path}: {e}")
         return 1
+    if current.get("bench") == "gemm_micro":
+        return gemm_gate(current, current_path,
+                         argv[2] if len(argv) > 2 else None, tolerance)
+    baseline_path = argv[2] if len(argv) > 2 else "bench/BENCH_serve.baseline.json"
     try:
         baseline = load(baseline_path)
     except (OSError, json.JSONDecodeError) as e:

@@ -7,8 +7,9 @@ Works without graphviz: the exporter's first line is a machine-readable header
 
 and this script re-counts the node statements ("  nI [label=..."), edge
 statements ("  nA -> nB;") and brace balance in the body, failing on any
-mismatch. Optionally asserts that annotation markers (algo=, dtype=, arena)
-appear, which every compiled zoo model must carry.
+mismatch. Optionally asserts that annotation markers appear, which every
+compiled zoo model must carry: a schedule marker ("algo=" on conv graphs,
+"gemm dtype=" on dense/transformer graphs), "dtype=", and arena offsets.
 
 Usage: check_dot.py <file.dot> [--require-annotations] [--min-nodes N]
 """
@@ -58,7 +59,10 @@ def main(argv):
         print(f"FAIL: {path}: only {declared_nodes} nodes (expected >= {min_nodes})")
         failed = True
     if require_annotations:
-        for marker in ("algo=", "dtype=", "arena +"):
+        if "algo=" not in text and "gemm dtype=" not in text:
+            print(f"FAIL: {path}: no schedule marker ('algo=' or 'gemm dtype=')")
+            failed = True
+        for marker in ("dtype=", "arena +"):
             if marker not in text:
                 print(f"FAIL: {path}: annotation marker '{marker}' missing")
                 failed = True

@@ -75,6 +75,10 @@ void PrintSummary(const CompiledModel& model) {
   std::printf("  nodes: %d (%d convs, %d layout transforms, %d constants)\n",
               graph.num_nodes(), convs, transforms, constants);
   std::printf("  quantized convs: %d/%d\n", stats.num_quantized_convs, stats.num_convs);
+  if (stats.num_dense > 0) {
+    std::printf("  tuned dense: %d (%d int8)\n", stats.num_dense,
+                stats.num_quantized_dense);
+  }
   if (model.has_source() && model.config().quantize) {
     std::printf("  calibration policy: %s\n",
                 CalibrationPolicyName(model.config().calibration_policy));
@@ -115,6 +119,28 @@ void PrintQuantLayers(const CompiledModel& model) {
                 DTypeName(q.adtype), q.in_zero,
                 q.requant ? DTypeName(q.out_dtype) : "f32",
                 q.requant ? q.out_zero : 0);
+  }
+}
+
+// Per-layer tuned-GEMM detail: the frozen M/N/K each dense was searched at and the
+// winning (mc, nc, kc; mr x nr; dtype) schedule it executes.
+void PrintDenseLayers(const CompiledModel& model) {
+  const Graph& graph = model.graph();
+  bool any = false;
+  for (int id = 0; id < graph.num_nodes(); ++id) {
+    const Node& node = graph.node(id);
+    if (node.type != OpType::kDense || !node.attrs.has_gemm) {
+      continue;
+    }
+    if (!any) {
+      std::printf("\ntuned dense layers (M x N x K -> schedule):\n");
+      any = true;
+    }
+    const DenseParams& d = node.attrs.dense;
+    std::printf("  %-28s %lldx%lldx%lld -> %s\n",
+                node.name.empty() ? "(unnamed)" : node.name.c_str(),
+                static_cast<long long>(d.m), static_cast<long long>(d.n),
+                static_cast<long long>(d.k), node.attrs.gemm.ToString().c_str());
   }
 }
 
@@ -203,6 +229,7 @@ int main(int argc, char** argv) {
   }
 
   PrintSummary(model);
+  PrintDenseLayers(model);
   PrintQuantLayers(model);
 
   NodeProfileSnapshot profile;
