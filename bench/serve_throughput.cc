@@ -19,15 +19,32 @@
 //   NEOCPU_SERVE_TRACE     write a chrome://tracing JSON of the whole sweep here
 //   NEOCPU_SERVE_METRICS   dump the metrics registry on exit ("json" | "prometheus")
 //
+// A second section exercises the wire front end (src/serve/frontend) end to end over
+// loopback TCP: a closed-loop leg (fixed client concurrency, zero think time) that
+// establishes the socket-path capacity, then open-loop legs with Poisson arrivals at
+// 0.5x and 2.0x that capacity against a small admission queue — the overload leg is
+// where shedding and the accepted-tail bound are measured (p50/p99/p999 + shed rate,
+// gated by tools/check_bench_trend.py). Knobs:
+//   NEOCPU_WIRE            "0" skips the wire section          (default on)
+//   NEOCPU_WIRE_REQUESTS   requests per wire leg               (default 240)
+//   NEOCPU_WIRE_CONNS      concurrent client connections       (default 6)
+//   NEOCPU_WIRE_QUEUE      admission queue_limit for the legs  (default 8)
+//
 // Besides the human-readable table, every run writes the full sweep as JSON (one record
 // per configuration: throughput, p50/p99/mean latency, batching counters, background
 // re-tunes and the tuning-cache hit rate) so CI can track the perf trajectory across
 // PRs.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <thread>
 
 #include "bench/bench_util.h"
+#include "src/serve/frontend/frontend_server.h"
+#include "src/serve/frontend/wire_client.h"
 
 namespace neocpu {
 namespace {
@@ -127,6 +144,166 @@ ConfigResult RunConfig(const CompiledModel& model, const std::string& model_name
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Wire front-end load generation (closed-loop and open-loop Poisson).
+// ---------------------------------------------------------------------------
+
+struct WireLegResult {
+  const char* mode = "closed";  // "closed" | "open"
+  double target_ratio = 0.0;    // open-loop offered rate as a multiple of capacity
+  double offered_rps = 0.0;     // arrival rate actually generated
+  double accepted_rps = 0.0;    // successful completions per second of wall time
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;  // transport or non-overload protocol errors
+  double shed_rate = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+};
+
+double WirePercentile(std::vector<double>* values, double pct) {
+  if (values->empty()) {
+    return 0.0;
+  }
+  std::sort(values->begin(), values->end());
+  const double rank = pct / 100.0 * static_cast<double>(values->size() - 1);
+  return (*values)[static_cast<std::size_t>(rank + 0.5)];
+}
+
+// Closed loop: `conns` clients, zero think time. Measures the socket path's capacity.
+WireLegResult RunWireClosedLoop(int port, const std::string& model_name,
+                                const Tensor& input, int conns, int total_requests) {
+  std::atomic<std::uint64_t> accepted{0}, shed{0}, errors{0};
+  std::mutex mutex;
+  std::vector<double> latencies;
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      WireClient client;
+      if (!client.Connect("127.0.0.1", port)) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      const int share = total_requests / conns + (c < total_requests % conns);
+      for (int i = 0; i < share; ++i) {
+        Timer timer;
+        WireResponse response =
+            client.Call({model_name, RequestLane::kLatency, input.Clone()});
+        const double ms = timer.Millis();
+        if (response.ok()) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(mutex);
+          latencies.push_back(ms);
+        } else if (response.error.code == WireErrorCode::kOverloaded) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const double seconds = wall.Seconds();
+  WireLegResult result;
+  result.mode = "closed";
+  result.accepted = accepted.load();
+  result.shed = shed.load();
+  result.errors = errors.load();
+  const std::uint64_t answered = result.accepted + result.shed;
+  result.offered_rps = seconds > 0 ? static_cast<double>(answered) / seconds : 0.0;
+  result.accepted_rps =
+      seconds > 0 ? static_cast<double>(result.accepted) / seconds : 0.0;
+  result.shed_rate =
+      answered > 0 ? static_cast<double>(result.shed) / static_cast<double>(answered)
+                   : 0.0;
+  result.p50_ms = WirePercentile(&latencies, 50.0);
+  result.p99_ms = WirePercentile(&latencies, 99.0);
+  result.p999_ms = WirePercentile(&latencies, 99.9);
+  return result;
+}
+
+// Open loop: Poisson arrivals at `rate_rps` spread across `conns` independent
+// connections. Latency is measured from each request's INTENDED arrival instant, so a
+// sender running late (its previous call still in flight) charges the delay to the
+// request instead of silently thinning the offered load (coordination-omission
+// correction); a closed-loop-style measurement under overload would hide exactly the
+// tail this leg exists to expose.
+WireLegResult RunWireOpenLoop(int port, const std::string& model_name,
+                              const Tensor& input, int conns, int total_requests,
+                              double rate_rps, double target_ratio) {
+  std::atomic<std::uint64_t> accepted{0}, shed{0}, errors{0};
+  std::mutex mutex;
+  std::vector<double> latencies;
+  const double per_conn_rate = rate_rps / conns;
+  Timer wall;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      WireClient client;
+      if (!client.Connect("127.0.0.1", port)) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      Rng rng(0xC0FFEE + static_cast<std::uint64_t>(c));
+      const int share = total_requests / conns + (c < total_requests % conns);
+      double next_arrival_s = 0.0;
+      for (int i = 0; i < share; ++i) {
+        // Exponential inter-arrival: -ln(U)/rate with U in (0, 1].
+        const double u =
+            (static_cast<double>(rng.NextU64() >> 11) + 1.0) / 9007199254740993.0;
+        next_arrival_s += -std::log(u) / per_conn_rate;
+        const auto intended =
+            start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(next_arrival_s));
+        std::this_thread::sleep_until(intended);
+        WireResponse response =
+            client.Call({model_name, RequestLane::kLatency, input.Clone()});
+        const double ms =
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                      intended)
+                .count();
+        if (response.ok()) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(mutex);
+          latencies.push_back(ms);
+        } else if (response.error.code == WireErrorCode::kOverloaded) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const double seconds = wall.Seconds();
+  WireLegResult result;
+  result.mode = "open";
+  result.target_ratio = target_ratio;
+  result.accepted = accepted.load();
+  result.shed = shed.load();
+  result.errors = errors.load();
+  const std::uint64_t answered = result.accepted + result.shed;
+  result.offered_rps = seconds > 0 ? static_cast<double>(answered) / seconds : 0.0;
+  result.accepted_rps =
+      seconds > 0 ? static_cast<double>(result.accepted) / seconds : 0.0;
+  result.shed_rate =
+      answered > 0 ? static_cast<double>(result.shed) / static_cast<double>(answered)
+                   : 0.0;
+  result.p50_ms = WirePercentile(&latencies, 50.0);
+  result.p99_ms = WirePercentile(&latencies, 99.0);
+  result.p999_ms = WirePercentile(&latencies, 99.9);
+  return result;
+}
+
 }  // namespace
 }  // namespace neocpu
 
@@ -222,6 +399,79 @@ int main() {
                 100.0 * (two->throughput_rps / one->throughput_rps - 1.0));
   }
 
+  // Wire front-end legs: closed-loop capacity, then open-loop Poisson at 0.5x and
+  // 2.0x of it against a deliberately small admission queue. The 2x leg is the
+  // overload acceptance measurement: it must shed (bounded queue) while the accepted
+  // tail stays a small multiple of the closed-loop latency.
+  const char* wire_env = std::getenv("NEOCPU_WIRE");
+  const bool run_wire = wire_env == nullptr || std::string(wire_env) != "0";
+  std::vector<WireLegResult> wire_legs;
+  const std::size_t wire_queue_limit = EnvSizeT("NEOCPU_WIRE_QUEUE", 8);
+  if (run_wire) {
+    const int wire_requests = static_cast<int>(EnvSizeT("NEOCPU_WIRE_REQUESTS", 240));
+    const int wire_conns = static_cast<int>(EnvSizeT("NEOCPU_WIRE_CONNS", 6));
+    ServerOptions options;
+    options.num_executors = 1;
+    options.background_retune = false;
+    options.batching.max_batch_size = 4;
+    options.batching.max_delay_ms = 1.0;
+    options.batching.queue_limit = wire_queue_limit;
+    options.batching.shed_retry_after_ms = 5.0;
+    InferenceServer server(options);
+    server.RegisterModel(model_name, model);
+    FrontendServer frontend(&server);
+    if (!frontend.Start()) {
+      std::fprintf(stderr, "wire front end failed to start: %s\n",
+                   frontend.last_error().c_str());
+      return 1;
+    }
+    Rng wire_rng(7);
+    Tensor wire_input =
+        Tensor::Random(ModelInputDims(model_name), wire_rng, 0.0f, 1.0f, Layout::NCHW());
+    // Warm-up through the socket path.
+    {
+      WireClient warm;
+      if (warm.Connect("127.0.0.1", frontend.port())) {
+        warm.Call({model_name, RequestLane::kLatency, wire_input.Clone()});
+      }
+    }
+    std::printf("\nwire front end (port %d, queue_limit %zu, %d conns):\n",
+                frontend.port(), wire_queue_limit, wire_conns);
+    std::printf("%-8s %-7s %12s %12s %9s %8s %8s %9s %9s\n", "mode", "ratio",
+                "offered r/s", "accepted r/s", "shed", "p50 ms", "p99 ms", "p999 ms",
+                "shed rate");
+    WireLegResult closed = RunWireClosedLoop(frontend.port(), model_name, wire_input,
+                                             wire_conns, wire_requests);
+    auto print_leg = [](const WireLegResult& leg) {
+      std::printf("%-8s %-7.2f %12.1f %12.1f %9llu %8.3f %8.3f %9.3f %9.4f\n", leg.mode,
+                  leg.target_ratio, leg.offered_rps, leg.accepted_rps,
+                  static_cast<unsigned long long>(leg.shed), leg.p50_ms, leg.p99_ms,
+                  leg.p999_ms, leg.shed_rate);
+    };
+    print_leg(closed);
+    wire_legs.push_back(closed);
+    const double capacity_rps = closed.accepted_rps;
+    // Open-loop legs need enough connections that the arrival process — not the
+    // per-connection round trip — limits server-side concurrency; otherwise the
+    // admission queue can never fill and the overload leg measures nothing.
+    const int open_conns =
+        std::max(wire_conns, static_cast<int>(2 * wire_queue_limit + 2));
+    for (const double ratio : {0.5, 2.0}) {
+      WireLegResult leg =
+          RunWireOpenLoop(frontend.port(), model_name, wire_input, open_conns,
+                          wire_requests, ratio * capacity_rps, ratio);
+      print_leg(leg);
+      wire_legs.push_back(leg);
+    }
+    frontend.Stop();
+    const ServerStats wire_stats = server.Stats();
+    std::printf("server view: shed %llu (queue %llu, arena %llu) of %llu submitted\n",
+                static_cast<unsigned long long>(wire_stats.requests_shed),
+                static_cast<unsigned long long>(wire_stats.requests_shed_queue_full),
+                static_cast<unsigned long long>(wire_stats.requests_shed_arena),
+                static_cast<unsigned long long>(wire_stats.submitted));
+  }
+
   // Observability artifacts (opt-in; see the env knobs above).
   if (profile_rate > 0 && !results.empty() && !results.back().profile.empty()) {
     const NodeProfileSnapshot& profile = results.back().profile;
@@ -283,8 +533,28 @@ int main() {
          << ", \"heap_allocs_per_request\": " << r.heap_allocs_per_request << "}"
          << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  json << "  ]\n";
-  json << "}\n";
-  std::printf("wrote %s (%zu configs)\n", json_path.c_str(), results.size());
+  json << "  ]";
+  if (!wire_legs.empty()) {
+    json << ",\n  \"wire\": {\n";
+    json << "    \"queue_limit\": " << wire_queue_limit << ",\n";
+    json << "    \"legs\": [\n";
+    for (std::size_t i = 0; i < wire_legs.size(); ++i) {
+      const WireLegResult& leg = wire_legs[i];
+      json << "      {\"mode\": \"" << leg.mode << "\""
+           << ", \"target_ratio\": " << leg.target_ratio
+           << ", \"offered_rps\": " << leg.offered_rps
+           << ", \"accepted_rps\": " << leg.accepted_rps
+           << ", \"accepted\": " << leg.accepted << ", \"shed\": " << leg.shed
+           << ", \"errors\": " << leg.errors << ", \"shed_rate\": " << leg.shed_rate
+           << ", \"p50_ms\": " << leg.p50_ms << ", \"p99_ms\": " << leg.p99_ms
+           << ", \"p999_ms\": " << leg.p999_ms << "}"
+           << (i + 1 < wire_legs.size() ? "," : "") << "\n";
+    }
+    json << "    ]\n";
+    json << "  }";
+  }
+  json << "\n}\n";
+  std::printf("wrote %s (%zu configs, %zu wire legs)\n", json_path.c_str(),
+              results.size(), wire_legs.size());
   return 0;
 }

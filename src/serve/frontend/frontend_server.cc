@@ -1,0 +1,414 @@
+#include "src/serve/frontend/frontend_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "src/base/string_util.h"
+#include "src/obs/metrics.h"
+
+namespace neocpu {
+
+namespace {
+
+std::uint32_t RetryAfterToWire(double retry_after_ms) {
+  if (retry_after_ms <= 0.0) {
+    return 0;
+  }
+  // Round up: a client that honors the hint exactly should land after the window.
+  return static_cast<std::uint32_t>(retry_after_ms + 0.999);
+}
+
+WireError ErrorFor(const SubmitTicket& ticket, const std::string& model) {
+  WireError err;
+  switch (ticket.status) {
+    case SubmitStatus::kOk:
+      break;
+    case SubmitStatus::kUnknownModel:
+      err.code = WireErrorCode::kUnknownModel;
+      err.message = "unknown model '" + model + "'";
+      break;
+    case SubmitStatus::kShapeMismatch:
+      err.code = WireErrorCode::kShapeMismatch;
+      err.message = "input dims do not match the model's sample dims";
+      break;
+    case SubmitStatus::kShedQueueFull:
+      err.code = WireErrorCode::kOverloaded;
+      err.retry_after_ms = RetryAfterToWire(ticket.retry_after_ms);
+      err.message = "shed: admission queue full";
+      break;
+    case SubmitStatus::kShedArenaBytes:
+      err.code = WireErrorCode::kOverloaded;
+      err.retry_after_ms = RetryAfterToWire(ticket.retry_after_ms);
+      err.message = "shed: in-flight arena byte cap";
+      break;
+    case SubmitStatus::kShuttingDown:
+      err.code = WireErrorCode::kShuttingDown;
+      err.message = "server is shutting down";
+      break;
+  }
+  return err;
+}
+
+std::string HttpResponse(int status, const char* reason, const std::string& content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+FrontendServer::FrontendServer(InferenceServer* server, FrontendOptions options)
+    : server_(server), options_(std::move(options)) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  frames_metric_ = registry.GetCounter("neocpu_frontend_frames_total",
+                                       "wire frames answered with a result");
+  errors_metric_ = registry.GetCounter("neocpu_frontend_errors_total",
+                                       "wire frames answered with a typed error");
+}
+
+FrontendServer::~FrontendServer() { Stop(); }
+
+bool FrontendServer::Start() {
+  if (listen_fd_ >= 0) {
+    return true;
+  }
+  stopping_.store(false, std::memory_order_release);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    last_error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    last_error_ = "inet_pton: bad bind address " + options_.bind_address;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    last_error_ = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    last_error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void FrontendServer::Stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    // shutdown (not close) reliably wakes a blocked accept().
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Wake every connection handler blocked in recv: they see EOF, answer what they
+  // already read (a typed shutting-down error for fresh frames) and exit.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const auto& [id, fd] : live_fds_) {
+      (void)id;
+      ::shutdown(fd, SHUT_RD);
+    }
+  }
+  for (;;) {
+    std::map<std::uint64_t, std::thread> handlers;
+    std::vector<std::thread> finished;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      handlers.swap(handlers_);
+      finished.swap(finished_);
+    }
+    if (handlers.empty() && finished.empty()) {
+      break;
+    }
+    for (auto& [id, thread] : handlers) {
+      (void)id;
+      if (thread.joinable()) {
+        thread.join();
+      }
+    }
+    for (auto& thread : finished) {
+      if (thread.joinable()) {
+        thread.join();
+      }
+    }
+  }
+}
+
+FrontendStats FrontendServer::Stats() const {
+  FrontendStats stats;
+  stats.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+  stats.connections_rejected = connections_rejected_.load(std::memory_order_relaxed);
+  stats.frames_ok = frames_ok_.load(std::memory_order_relaxed);
+  stats.frames_error = frames_error_.load(std::memory_order_relaxed);
+  stats.http_requests = http_requests_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void FrontendServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // listener shut down (Stop) or unrecoverable
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    if (open_connections_.load(std::memory_order_relaxed) >= options_.max_connections) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      WireError err;
+      err.code = WireErrorCode::kOverloaded;
+      err.message = "connection limit reached";
+      const std::vector<std::uint8_t> frame = EncodeErrorFrame(err);
+      SendAll(fd, frame.data(), frame.size());
+      ::close(fd);
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    const std::uint64_t id = next_conn_id_++;
+    live_fds_[id] = fd;
+    handlers_[id] = std::thread([this, id, fd] {
+      HandleConnection(fd);
+      ::close(fd);
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> inner(conn_mutex_);
+      live_fds_.erase(id);
+      auto it = handlers_.find(id);
+      if (it != handlers_.end()) {
+        // A thread cannot join itself; park the handle for Stop / later accepts.
+        finished_.push_back(std::move(it->second));
+        handlers_.erase(it);
+      }
+    });
+    // Reap handlers that already finished so long-lived servers don't accumulate
+    // joinable thread handles.
+    std::vector<std::thread> done;
+    done.swap(finished_);
+    for (auto& thread : done) {
+      if (thread.joinable()) {
+        thread.join();
+      }
+    }
+  }
+}
+
+void FrontendServer::HandleConnection(int fd) {
+  char peek[4] = {0, 0, 0, 0};
+  const ssize_t n = ::recv(fd, peek, sizeof(peek), MSG_PEEK);
+  if (n <= 0) {
+    return;
+  }
+  if (n == 4 && std::memcmp(peek, "GET ", 4) == 0) {
+    HandleHttp(fd);
+    return;
+  }
+  HandleBinary(fd);
+}
+
+bool FrontendServer::SendAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool FrontendServer::ReadExact(int fd, std::uint8_t* out, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, out + got, size - got, 0);
+    if (n == 0) {
+      return false;  // peer closed, or Stop() shut the read side down
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool FrontendServer::SendError(int fd, const WireError& error) {
+  frames_error_.fetch_add(1, std::memory_order_relaxed);
+  errors_metric_->Increment();
+  const std::vector<std::uint8_t> frame = EncodeErrorFrame(error);
+  if (!SendAll(fd, frame.data(), frame.size())) {
+    return false;
+  }
+  return WireErrorIsRecoverable(error.code);
+}
+
+void FrontendServer::HandleBinary(int fd) {
+  std::vector<std::uint8_t> body;
+  for (;;) {
+    std::uint8_t prefix[4];
+    if (!ReadExact(fd, prefix, sizeof(prefix))) {
+      return;  // clean EOF between frames, or transport failure
+    }
+    std::uint32_t body_len = 0;
+    for (int i = 0; i < 4; ++i) {
+      body_len |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+    }
+    if (body_len == 0) {
+      WireError err;
+      err.code = WireErrorCode::kMalformedFrame;
+      err.message = "zero-length frame body";
+      SendError(fd, err);
+      return;
+    }
+    if (body_len > options_.max_frame_bytes) {
+      // Never read the oversized body — reply and drop the connection.
+      WireError err;
+      err.code = WireErrorCode::kFrameTooLarge;
+      err.message = "frame body exceeds " + std::to_string(options_.max_frame_bytes) +
+                    " bytes";
+      SendError(fd, err);
+      return;
+    }
+    body.resize(body_len);
+    if (!ReadExact(fd, body.data(), body.size())) {
+      return;  // truncated frame: peer vanished mid-body; nothing sane to reply to
+    }
+    WireRequest request;
+    const WireError parse = DecodeRequestBody(body.data(), body.size(), &request);
+    if (!parse.ok()) {
+      if (!SendError(fd, parse)) {
+        return;
+      }
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      WireError err;
+      err.code = WireErrorCode::kShuttingDown;
+      err.message = "front end is shutting down";
+      SendError(fd, err);
+      return;
+    }
+    SubmitTicket ticket = server_->TrySubmit(request.model, std::move(request.input),
+                                             SubmitOptions{request.lane});
+    if (!ticket.ok()) {
+      if (!SendError(fd, ErrorFor(ticket, request.model))) {
+        return;
+      }
+      continue;
+    }
+    std::vector<std::uint8_t> reply;
+    try {
+      const Tensor result = ticket.result.get();
+      reply = EncodeResultFrame(result);
+    } catch (const std::exception& e) {
+      WireError err;
+      err.code = WireErrorCode::kInternal;
+      err.message = std::string("execution failed: ") + e.what();
+      if (!SendError(fd, err)) {
+        return;
+      }
+      continue;
+    }
+    frames_ok_.fetch_add(1, std::memory_order_relaxed);
+    frames_metric_->Increment();
+    if (!SendAll(fd, reply.data(), reply.size())) {
+      return;
+    }
+  }
+}
+
+void FrontendServer::HandleHttp(int fd) {
+  http_requests_.fetch_add(1, std::memory_order_relaxed);
+  // Read until the end of the request head; bodies are not supported (GET only).
+  std::string head;
+  char buf[1024];
+  while (head.find("\r\n\r\n") == std::string::npos && head.size() < 8192) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t path_begin = head.find(' ');
+  const std::size_t path_end =
+      path_begin == std::string::npos ? std::string::npos
+                                      : head.find(' ', path_begin + 1);
+  std::string path;
+  if (path_end != std::string::npos) {
+    path = head.substr(path_begin + 1, path_end - path_begin - 1);
+  }
+  std::string response;
+  if (path == "/healthz") {
+    response = HttpResponse(200, "OK", "text/plain", "ok\n");
+  } else if (path == "/metrics") {
+    response = HttpResponse(200, "OK", "text/plain; version=0.0.4",
+                            MetricsExport(MetricsFormat::kPrometheus));
+  } else if (path == "/metrics.json") {
+    response =
+        HttpResponse(200, "OK", "application/json", MetricsExport(MetricsFormat::kJson));
+  } else if (path == "/stats") {
+    response =
+        HttpResponse(200, "OK", "application/json", server_->Stats().ToJson() + "\n");
+  } else {
+    response = HttpResponse(404, "Not Found", "text/plain",
+                            "unknown path; try /healthz /metrics /metrics.json /stats\n");
+  }
+  SendAll(fd, reinterpret_cast<const std::uint8_t*>(response.data()), response.size());
+}
+
+}  // namespace neocpu

@@ -1,0 +1,118 @@
+// Socket-level front end over InferenceServer.
+//
+// One listener thread accepts TCP connections; each connection gets its own handler
+// thread. The first bytes of a connection select the dialect:
+//
+//   "GET "            → minimal HTTP/1.1: /healthz, /metrics (Prometheus),
+//                       /metrics.json, /stats (ServerStats JSON). One response,
+//                       Connection: close.
+//   anything else     → the length-prefixed binary protocol (wire_protocol.h), a
+//                       stream of infer-request frames answered in order.
+//
+// Error discipline on the binary path: recoverable conditions (unknown model, shape
+// mismatch, overload shed) get a typed error reply and the connection stays open —
+// the stream framing is still trustworthy. Malformed framing (bad magic/version,
+// length out of range, undecodable body) gets a typed reply and then the connection
+// is closed, because resynchronizing an untrusted stream is guesswork. Overload
+// replies carry the admission controller's retry-after hint.
+//
+// Shutdown drains cleanly: the listener stops, every open connection's read side is
+// shut down, handler threads answer their in-flight requests (or reply
+// shutting-down) and exit, and only then does Stop() return.
+#ifndef NEOCPU_SRC_SERVE_FRONTEND_FRONTEND_SERVER_H_
+#define NEOCPU_SRC_SERVE_FRONTEND_FRONTEND_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/frontend/wire_protocol.h"
+#include "src/serve/inference_server.h"
+
+namespace neocpu {
+
+class Counter;
+
+struct FrontendOptions {
+  // 0 = ephemeral (read the bound port back with port(); tests and benches do this).
+  int port = 0;
+  std::string bind_address = "127.0.0.1";
+  int backlog = 64;
+  // Connections beyond this are accepted and immediately closed after a typed
+  // overloaded reply, so a connection flood cannot exhaust handler threads.
+  int max_connections = 256;
+  std::size_t max_frame_bytes = kWireMaxFrameBytes;
+};
+
+struct FrontendStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_rejected = 0;  // over max_connections
+  std::uint64_t frames_ok = 0;
+  std::uint64_t frames_error = 0;  // typed error replies sent (any code)
+  std::uint64_t http_requests = 0;
+};
+
+class FrontendServer {
+ public:
+  // `server` is borrowed and must outlive the frontend. Call Start() to listen.
+  FrontendServer(InferenceServer* server, FrontendOptions options = {});
+  ~FrontendServer();
+
+  FrontendServer(const FrontendServer&) = delete;
+  FrontendServer& operator=(const FrontendServer&) = delete;
+
+  // Binds, listens, spawns the accept loop. Returns false (with the reason in
+  // last_error()) if the socket cannot be bound.
+  bool Start();
+  // Stops accepting, unblocks every connection handler, joins all threads.
+  // Idempotent; also run by the destructor.
+  void Stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  // The bound port (resolves port=0 to the kernel-assigned ephemeral port).
+  int port() const { return port_; }
+  const std::string& last_error() const { return last_error_; }
+
+  FrontendStats Stats() const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  void HandleBinary(int fd);
+  void HandleHttp(int fd);
+  // Sends a typed error frame; returns false when the connection should close.
+  bool SendError(int fd, const WireError& error);
+  bool SendAll(int fd, const std::uint8_t* data, std::size_t size);
+  bool ReadExact(int fd, std::uint8_t* out, std::size_t size);
+
+  InferenceServer* server_;
+  FrontendOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::string last_error_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mutex_;
+  std::map<std::uint64_t, int> live_fds_;          // open sockets, for Stop()'s SHUT_RD
+  std::map<std::uint64_t, std::thread> handlers_;  // joined on Stop / reaped lazily
+  std::vector<std::thread> finished_;              // handlers done but not yet joined
+  std::uint64_t next_conn_id_ = 0;
+  std::atomic<int> open_connections_{0};
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+  std::atomic<std::uint64_t> frames_ok_{0};
+  std::atomic<std::uint64_t> frames_error_{0};
+  std::atomic<std::uint64_t> http_requests_{0};
+  Counter* frames_metric_ = nullptr;
+  Counter* errors_metric_ = nullptr;
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_SERVE_FRONTEND_FRONTEND_SERVER_H_

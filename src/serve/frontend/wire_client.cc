@@ -1,0 +1,147 @@
+#include "src/serve/frontend/wire_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace neocpu {
+
+namespace {
+
+WireResponse TransportError(std::string message) {
+  WireResponse response;
+  response.type = WireType::kError;
+  response.error.code = WireErrorCode::kInternal;
+  response.error.message = std::move(message);
+  return response;
+}
+
+}  // namespace
+
+WireClient::~WireClient() { Close(); }
+
+bool WireClient::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    last_error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    last_error_ = "inet_pton: bad address " + host;
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    last_error_ = std::string("connect: ") + std::strerror(errno);
+    Close();
+    return false;
+  }
+  // Latency-bound request/response traffic: don't let Nagle hold small frames.
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+void WireClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool WireClient::SendRaw(const std::uint8_t* data, std::size_t size) {
+  if (fd_ < 0) {
+    last_error_ = "send on a closed client";
+    return false;
+  }
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a server that closed mid-write must surface as EPIPE, not SIGPIPE.
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      last_error_ = std::string("send: ") + std::strerror(errno);
+      Close();
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool WireClient::ReadExact(std::uint8_t* out, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, out + got, size - got, 0);
+    if (n == 0) {
+      last_error_ = "peer closed the connection";
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      last_error_ = std::string("recv: ") + std::strerror(errno);
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+WireResponse WireClient::ReceiveResponse() {
+  if (fd_ < 0) {
+    return TransportError("receive on a closed client");
+  }
+  std::uint8_t prefix[4];
+  if (!ReadExact(prefix, sizeof(prefix))) {
+    Close();
+    return TransportError(last_error_);
+  }
+  std::uint32_t body_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    body_len |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  }
+  if (body_len == 0 || body_len > kWireMaxFrameBytes) {
+    Close();
+    return TransportError("response frame length out of range");
+  }
+  std::vector<std::uint8_t> body(body_len);
+  if (!ReadExact(body.data(), body.size())) {
+    Close();
+    return TransportError(last_error_);
+  }
+  WireResponse response;
+  const WireError err = DecodeResponseBody(body.data(), body.size(), &response);
+  if (!err.ok()) {
+    Close();
+    last_error_ = std::string("undecodable response: ") + err.message;
+    response.type = WireType::kError;
+    response.error = err;
+    response.error.code = WireErrorCode::kInternal;
+    return response;
+  }
+  return response;
+}
+
+WireResponse WireClient::Call(const WireRequest& request) {
+  const std::vector<std::uint8_t> frame = EncodeRequestFrame(request);
+  if (!SendRaw(frame)) {
+    return TransportError(last_error_);
+  }
+  return ReceiveResponse();
+}
+
+}  // namespace neocpu

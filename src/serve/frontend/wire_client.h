@@ -1,0 +1,75 @@
+// Minimal blocking client for the neocpu wire protocol (wire_protocol.h).
+//
+// One WireClient owns one TCP connection. Call() is the happy path: encode the
+// request, write the frame, block for exactly one response frame, decode it. The
+// raw-byte hooks (SendRaw / ReceiveResponse) exist for the conformance tests and the
+// load generators, which need to send deliberately broken frames or drive the socket
+// from their own pacing loop.
+//
+// Not thread-safe: one client per thread (the load generators open one per worker).
+#ifndef NEOCPU_SRC_SERVE_FRONTEND_WIRE_CLIENT_H_
+#define NEOCPU_SRC_SERVE_FRONTEND_WIRE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/serve/frontend/wire_protocol.h"
+
+namespace neocpu {
+
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+  WireClient(WireClient&& other) noexcept
+      : fd_(other.fd_), last_error_(std::move(other.last_error_)) {
+    other.fd_ = -1;
+  }
+  WireClient& operator=(WireClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      last_error_ = std::move(other.last_error_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  // Connects to host:port. Returns false (and sets last_error) on failure.
+  bool Connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+  int fd() const { return fd_; }
+
+  // Round-trips one inference. On transport failure returns a response with
+  // type=kError, code=kInternal and closes the connection; protocol-level errors come
+  // back as whatever typed error the server sent.
+  WireResponse Call(const WireRequest& request);
+
+  // Writes arbitrary bytes to the socket (pre-encoded frames, or garbage for the
+  // conformance tests). Returns false on transport failure.
+  bool SendRaw(const std::uint8_t* data, std::size_t size);
+  bool SendRaw(const std::vector<std::uint8_t>& bytes) {
+    return SendRaw(bytes.data(), bytes.size());
+  }
+
+  // Blocks for one length-prefixed response frame and decodes it. Transport failure
+  // (peer closed, short read) yields kInternal and closes the connection.
+  WireResponse ReceiveResponse();
+
+  const std::string& last_error() const { return last_error_; }
+
+ private:
+  bool ReadExact(std::uint8_t* out, std::size_t size);
+
+  int fd_ = -1;
+  std::string last_error_;
+};
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_SERVE_FRONTEND_WIRE_CLIENT_H_

@@ -1,0 +1,380 @@
+#include "src/serve/frontend/wire_protocol.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace neocpu {
+
+const char* WireErrorCodeName(WireErrorCode code) {
+  switch (code) {
+    case WireErrorCode::kNone:
+      return "none";
+    case WireErrorCode::kBadMagic:
+      return "bad-magic";
+    case WireErrorCode::kBadVersion:
+      return "bad-version";
+    case WireErrorCode::kMalformedFrame:
+      return "malformed-frame";
+    case WireErrorCode::kFrameTooLarge:
+      return "frame-too-large";
+    case WireErrorCode::kUnknownModel:
+      return "unknown-model";
+    case WireErrorCode::kShapeMismatch:
+      return "shape-mismatch";
+    case WireErrorCode::kOverloaded:
+      return "overloaded";
+    case WireErrorCode::kShuttingDown:
+      return "shutting-down";
+    case WireErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+bool WireErrorIsRecoverable(WireErrorCode code) {
+  switch (code) {
+    case WireErrorCode::kUnknownModel:
+    case WireErrorCode::kShapeMismatch:
+    case WireErrorCode::kOverloaded:
+      return true;
+    default:
+      // Magic/version/length malformations mean the stream framing itself cannot be
+      // trusted any further; shutdown means no more requests will be served anyway.
+      return false;
+  }
+}
+
+namespace {
+
+// Explicit little-endian append/read: endian-independent and, more importantly for the
+// decoder, never reads past `size` — every Read* checks before touching bytes.
+void AppendU8(std::vector<std::uint8_t>* out, std::uint8_t v) { out->push_back(v); }
+
+void AppendU16(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(static_cast<std::uint8_t>(v));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void AppendU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+struct ByteReader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t off = 0;
+
+  std::size_t remaining() const { return size - off; }
+
+  bool ReadU8(std::uint8_t* v) {
+    if (remaining() < 1) {
+      return false;
+    }
+    *v = data[off++];
+    return true;
+  }
+  bool ReadU16(std::uint16_t* v) {
+    if (remaining() < 2) {
+      return false;
+    }
+    *v = static_cast<std::uint16_t>(data[off] | (data[off + 1] << 8));
+    off += 2;
+    return true;
+  }
+  bool ReadU32(std::uint32_t* v) {
+    if (remaining() < 4) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<std::uint32_t>(data[off + static_cast<std::size_t>(i)])
+            << (8 * i);
+    }
+    off += 4;
+    return true;
+  }
+  bool ReadU64(std::uint64_t* v) {
+    if (remaining() < 8) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(data[off + static_cast<std::size_t>(i)])
+            << (8 * i);
+    }
+    off += 8;
+    return true;
+  }
+};
+
+WireError Malformed(const char* what) {
+  WireError err;
+  err.code = WireErrorCode::kMalformedFrame;
+  err.message = what;
+  return err;
+}
+
+// Shared preamble of every frame body: magic, version, expected type.
+WireError DecodePreamble(ByteReader* reader, WireType expected_type) {
+  std::uint32_t magic = 0;
+  std::uint8_t version = 0;
+  std::uint8_t type = 0;
+  if (!reader->ReadU32(&magic) || !reader->ReadU8(&version) || !reader->ReadU8(&type)) {
+    return Malformed("frame shorter than the fixed preamble");
+  }
+  if (magic != kWireMagic) {
+    WireError err;
+    err.code = WireErrorCode::kBadMagic;
+    err.message = "bad magic (expected 'NCPU')";
+    return err;
+  }
+  if (version != kWireVersion) {
+    WireError err;
+    err.code = WireErrorCode::kBadVersion;
+    err.message = "unsupported protocol version";
+    return err;
+  }
+  if (type != static_cast<std::uint8_t>(expected_type)) {
+    return Malformed("unexpected frame type");
+  }
+  WireError ok;
+  return ok;
+}
+
+bool ValidDType(std::uint8_t code) {
+  switch (static_cast<DType>(code)) {
+    case DType::kF32:
+    case DType::kS8:
+    case DType::kU8:
+    case DType::kS32:
+      return true;
+  }
+  return false;
+}
+
+// Dims + payload tail shared by request and result bodies. On success builds the
+// tensor (NCHW layout for 4-D values, flat otherwise) and copies the payload in.
+WireError DecodeTensorTail(ByteReader* reader, std::uint8_t dtype_code,
+                           std::uint16_t ndim, std::size_t model_len, Tensor* out) {
+  if (!ValidDType(dtype_code)) {
+    return Malformed("unknown dtype code");
+  }
+  if (ndim == 0 || ndim > kWireMaxDims) {
+    return Malformed("ndim out of range");
+  }
+  const DType dtype = static_cast<DType>(dtype_code);
+  std::vector<std::int64_t> dims(ndim);
+  std::uint64_t elements = 1;
+  for (std::uint16_t i = 0; i < ndim; ++i) {
+    std::uint64_t dim = 0;
+    if (!reader->ReadU64(&dim)) {
+      return Malformed("truncated dims section");
+    }
+    // Any dim that alone exceeds the frame cap cannot be backed by a real payload, and
+    // rejecting it here keeps the element product far from u64 overflow.
+    if (dim == 0 || dim > kWireMaxFrameBytes) {
+      return Malformed("dim out of range");
+    }
+    elements *= dim;
+    if (elements > kWireMaxFrameBytes) {
+      return Malformed("element count exceeds the frame cap");
+    }
+    dims[i] = static_cast<std::int64_t>(dim);
+  }
+  if (reader->remaining() < model_len) {
+    return Malformed("truncated model-name section");
+  }
+  reader->off += model_len;  // caller re-reads the name; this validates the skip
+  const std::size_t payload_bytes =
+      static_cast<std::size_t>(elements) * ElemSizeBytes(dtype);
+  if (reader->remaining() != payload_bytes) {
+    return Malformed("payload size does not match dims x dtype");
+  }
+  Tensor tensor = Tensor::Empty(
+      dims, ndim == 4 ? Layout::NCHW() : Layout::Flat(), dtype);
+  std::memcpy(tensor.data(), reader->data + reader->off, payload_bytes);
+  reader->off += payload_bytes;
+  *out = std::move(tensor);
+  WireError ok;
+  return ok;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeRequestFrame(const WireRequest& request) {
+  NEOCPU_CHECK_LE(request.model.size(), kWireMaxModelLen) << "model name too long";
+  NEOCPU_CHECK_GE(request.input.ndim(), 1) << "request tensor has no dims";
+  NEOCPU_CHECK_LE(static_cast<std::size_t>(request.input.ndim()), kWireMaxDims);
+  std::vector<std::uint8_t> frame;
+  const std::size_t payload = request.input.SizeBytes();
+  frame.reserve(4 + 12 + 8 * static_cast<std::size_t>(request.input.ndim()) +
+                request.model.size() + payload);
+  AppendU32(&frame, 0);  // length prefix, patched below
+  AppendU32(&frame, kWireMagic);
+  AppendU8(&frame, kWireVersion);
+  AppendU8(&frame, static_cast<std::uint8_t>(WireType::kInferRequest));
+  AppendU8(&frame, static_cast<std::uint8_t>(request.lane));
+  AppendU8(&frame, static_cast<std::uint8_t>(request.input.dtype()));
+  AppendU16(&frame, static_cast<std::uint16_t>(request.model.size()));
+  AppendU16(&frame, static_cast<std::uint16_t>(request.input.ndim()));
+  for (int i = 0; i < request.input.ndim(); ++i) {
+    AppendU64(&frame, static_cast<std::uint64_t>(request.input.dim(i)));
+  }
+  frame.insert(frame.end(), request.model.begin(), request.model.end());
+  const std::uint8_t* bytes = reinterpret_cast<const std::uint8_t*>(request.input.data());
+  frame.insert(frame.end(), bytes, bytes + payload);
+  const std::uint32_t body_len = static_cast<std::uint32_t>(frame.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    frame[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(body_len >> (8 * i));
+  }
+  return frame;
+}
+
+std::vector<std::uint8_t> EncodeResultFrame(const Tensor& result) {
+  NEOCPU_CHECK_GE(result.ndim(), 1) << "result tensor has no dims";
+  NEOCPU_CHECK_LE(static_cast<std::size_t>(result.ndim()), kWireMaxDims);
+  std::vector<std::uint8_t> frame;
+  const std::size_t payload = result.SizeBytes();
+  frame.reserve(4 + 12 + 8 * static_cast<std::size_t>(result.ndim()) + payload);
+  AppendU32(&frame, 0);
+  AppendU32(&frame, kWireMagic);
+  AppendU8(&frame, kWireVersion);
+  AppendU8(&frame, static_cast<std::uint8_t>(WireType::kInferResult));
+  AppendU8(&frame, 0);  // reserved (the request's lane slot)
+  AppendU8(&frame, static_cast<std::uint8_t>(result.dtype()));
+  AppendU16(&frame, 0);  // reserved (the request's model_len slot)
+  AppendU16(&frame, static_cast<std::uint16_t>(result.ndim()));
+  for (int i = 0; i < result.ndim(); ++i) {
+    AppendU64(&frame, static_cast<std::uint64_t>(result.dim(i)));
+  }
+  const std::uint8_t* bytes = reinterpret_cast<const std::uint8_t*>(result.data());
+  frame.insert(frame.end(), bytes, bytes + payload);
+  const std::uint32_t body_len = static_cast<std::uint32_t>(frame.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    frame[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(body_len >> (8 * i));
+  }
+  return frame;
+}
+
+std::vector<std::uint8_t> EncodeErrorFrame(const WireError& error) {
+  std::vector<std::uint8_t> frame;
+  const std::size_t msg_len = std::min<std::size_t>(error.message.size(), 1024);
+  frame.reserve(4 + 14 + msg_len);
+  AppendU32(&frame, 0);
+  AppendU32(&frame, kWireMagic);
+  AppendU8(&frame, kWireVersion);
+  AppendU8(&frame, static_cast<std::uint8_t>(WireType::kError));
+  AppendU16(&frame, static_cast<std::uint16_t>(error.code));
+  AppendU32(&frame, error.retry_after_ms);
+  AppendU16(&frame, static_cast<std::uint16_t>(msg_len));
+  frame.insert(frame.end(), error.message.begin(),
+               error.message.begin() + static_cast<std::ptrdiff_t>(msg_len));
+  const std::uint32_t body_len = static_cast<std::uint32_t>(frame.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    frame[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(body_len >> (8 * i));
+  }
+  return frame;
+}
+
+WireError DecodeRequestBody(const std::uint8_t* body, std::size_t size,
+                            WireRequest* out) {
+  ByteReader reader{body, size};
+  WireError err = DecodePreamble(&reader, WireType::kInferRequest);
+  if (!err.ok()) {
+    return err;
+  }
+  std::uint8_t lane = 0;
+  std::uint8_t dtype = 0;
+  std::uint16_t model_len = 0;
+  std::uint16_t ndim = 0;
+  if (!reader.ReadU8(&lane) || !reader.ReadU8(&dtype) || !reader.ReadU16(&model_len) ||
+      !reader.ReadU16(&ndim)) {
+    return Malformed("frame shorter than the request header");
+  }
+  if (lane >= kNumRequestLanes) {
+    return Malformed("unknown priority lane");
+  }
+  if (model_len == 0 || model_len > kWireMaxModelLen) {
+    return Malformed("model-name length out of range");
+  }
+  const std::size_t name_off = reader.off + 8u * ndim;  // validated in DecodeTensorTail
+  err = DecodeTensorTail(&reader, dtype, ndim, model_len, &out->input);
+  if (!err.ok()) {
+    return err;
+  }
+  out->model.assign(reinterpret_cast<const char*>(body + name_off), model_len);
+  out->lane = static_cast<RequestLane>(lane);
+  WireError ok;
+  return ok;
+}
+
+WireError DecodeResponseBody(const std::uint8_t* body, std::size_t size,
+                             WireResponse* out) {
+  // Peek the type (offset 5) by attempting the error preamble first.
+  ByteReader reader{body, size};
+  std::uint32_t magic = 0;
+  std::uint8_t version = 0;
+  std::uint8_t type = 0;
+  if (!reader.ReadU32(&magic) || !reader.ReadU8(&version) || !reader.ReadU8(&type)) {
+    return Malformed("frame shorter than the fixed preamble");
+  }
+  if (magic != kWireMagic) {
+    WireError err;
+    err.code = WireErrorCode::kBadMagic;
+    err.message = "bad magic (expected 'NCPU')";
+    return err;
+  }
+  if (version != kWireVersion) {
+    WireError err;
+    err.code = WireErrorCode::kBadVersion;
+    err.message = "unsupported protocol version";
+    return err;
+  }
+  if (type == static_cast<std::uint8_t>(WireType::kError)) {
+    std::uint16_t code = 0;
+    std::uint32_t retry = 0;
+    std::uint16_t msg_len = 0;
+    if (!reader.ReadU16(&code) || !reader.ReadU32(&retry) || !reader.ReadU16(&msg_len)) {
+      return Malformed("frame shorter than the error header");
+    }
+    if (reader.remaining() != msg_len) {
+      return Malformed("error message length mismatch");
+    }
+    out->type = WireType::kError;
+    out->error.code = static_cast<WireErrorCode>(code);
+    out->error.retry_after_ms = retry;
+    out->error.message.assign(reinterpret_cast<const char*>(body + reader.off), msg_len);
+    WireError ok;
+    return ok;
+  }
+  if (type != static_cast<std::uint8_t>(WireType::kInferResult)) {
+    return Malformed("unexpected frame type");
+  }
+  std::uint8_t reserved8 = 0;
+  std::uint8_t dtype = 0;
+  std::uint16_t reserved16 = 0;
+  std::uint16_t ndim = 0;
+  if (!reader.ReadU8(&reserved8) || !reader.ReadU8(&dtype) ||
+      !reader.ReadU16(&reserved16) || !reader.ReadU16(&ndim)) {
+    return Malformed("frame shorter than the result header");
+  }
+  WireError err = DecodeTensorTail(&reader, dtype, ndim, 0, &out->result);
+  if (!err.ok()) {
+    return err;
+  }
+  out->type = WireType::kInferResult;
+  WireError ok;
+  return ok;
+}
+
+}  // namespace neocpu

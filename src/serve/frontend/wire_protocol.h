@@ -1,0 +1,103 @@
+// The neocpu wire protocol: length-prefixed binary frames over a byte stream.
+//
+// Every frame is a little-endian u32 body length followed by the body; docs/
+// wire_protocol.md is the normative spec. Three frame types exist:
+//
+//   infer request  (client → server): magic, version, lane, dtype, dims, model name,
+//                  raw tensor payload
+//   infer result   (server → client): magic, version, dtype, dims, raw tensor payload
+//   error          (server → client): magic, version, typed code, retry-after hint,
+//                  human-readable message
+//
+// The decoder is written for hostile input: every read is bounds-checked, every length
+// field is validated against the body before use, and malformed bytes come back as a
+// typed WireError — never UB, never a crash. tests/property_fuzz_test.cc drives random
+// and mutated byte streams through it under ASan.
+#ifndef NEOCPU_SRC_SERVE_FRONTEND_WIRE_PROTOCOL_H_
+#define NEOCPU_SRC_SERVE_FRONTEND_WIRE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/serve/dynamic_batcher.h"
+#include "src/tensor/tensor.h"
+
+namespace neocpu {
+
+// "NCPU" read as a little-endian u32 (the bytes N,C,P,U appear in order on the wire).
+inline constexpr std::uint32_t kWireMagic = 0x5550434Eu;
+inline constexpr std::uint8_t kWireVersion = 1;
+// Frames larger than this are rejected with kFrameTooLarge before the body is read.
+inline constexpr std::size_t kWireMaxFrameBytes = 64u << 20;
+inline constexpr std::size_t kWireMaxDims = 8;
+inline constexpr std::size_t kWireMaxModelLen = 256;
+
+enum class WireType : std::uint8_t {
+  kInferRequest = 1,
+  kInferResult = 2,
+  kError = 3,
+};
+
+// Typed error replies. Enumerator values appear on the wire — append only.
+enum class WireErrorCode : std::uint16_t {
+  kNone = 0,
+  kBadMagic = 1,
+  kBadVersion = 2,
+  kMalformedFrame = 3,   // truncated sections, bad lengths, dims/payload mismatch
+  kFrameTooLarge = 4,
+  kUnknownModel = 5,
+  kShapeMismatch = 6,    // parsed fine but differs from the model's sample dims
+  kOverloaded = 7,       // shed by bounded admission; honor retry_after_ms
+  kShuttingDown = 8,
+  kInternal = 9,
+};
+
+const char* WireErrorCodeName(WireErrorCode code);
+
+struct WireError {
+  WireErrorCode code = WireErrorCode::kNone;
+  std::uint32_t retry_after_ms = 0;  // only meaningful for kOverloaded
+  std::string message;
+
+  bool ok() const { return code == WireErrorCode::kNone; }
+};
+
+struct WireRequest {
+  std::string model;
+  RequestLane lane = RequestLane::kLatency;
+  // Raw payload in the model's input layout (NCHW for 4-D inputs); dtype and dims ride
+  // in the frame header.
+  Tensor input;
+};
+
+// A decoded server→client frame: exactly one of `result` / `error` is meaningful,
+// selected by `type`.
+struct WireResponse {
+  WireType type = WireType::kError;
+  Tensor result;
+  WireError error;
+
+  bool ok() const { return type == WireType::kInferResult; }
+};
+
+// Encoders produce the full frame including the u32 length prefix.
+std::vector<std::uint8_t> EncodeRequestFrame(const WireRequest& request);
+std::vector<std::uint8_t> EncodeResultFrame(const Tensor& result);
+std::vector<std::uint8_t> EncodeErrorFrame(const WireError& error);
+
+// Decoders parse a frame *body* (the bytes after the length prefix). They return
+// kNone on success; any malformation yields a typed error and leaves `out`
+// unspecified. Safe on arbitrary byte strings.
+WireError DecodeRequestBody(const std::uint8_t* body, std::size_t size,
+                            WireRequest* out);
+WireError DecodeResponseBody(const std::uint8_t* body, std::size_t size,
+                             WireResponse* out);
+
+// Recoverable errors keep the connection open (the stream stays framed); the rest
+// poison the stream and the server closes after replying.
+bool WireErrorIsRecoverable(WireErrorCode code);
+
+}  // namespace neocpu
+
+#endif  // NEOCPU_SRC_SERVE_FRONTEND_WIRE_PROTOCOL_H_

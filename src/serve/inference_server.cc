@@ -61,7 +61,26 @@ ModelEntry* InferenceServer::RegisterModelFromFile(std::string name,
   return registry_.RegisterFromFile(std::move(name), path);
 }
 
+const char* SubmitStatusName(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kOk:
+      return "ok";
+    case SubmitStatus::kUnknownModel:
+      return "unknown-model";
+    case SubmitStatus::kShapeMismatch:
+      return "shape-mismatch";
+    case SubmitStatus::kShedQueueFull:
+      return "shed-queue-full";
+    case SubmitStatus::kShedArenaBytes:
+      return "shed-arena-bytes";
+    case SubmitStatus::kShuttingDown:
+      return "shutting-down";
+  }
+  return "unknown";
+}
+
 std::future<Tensor> InferenceServer::Submit(const std::string& model, Tensor input) {
+  // Reproduce the legacy fatal diagnostics on top of the non-fatal path.
   NEOCPU_CHECK(!stopped_.load(std::memory_order_acquire))
       << "Submit after InferenceServer::Shutdown";
   ModelEntry* entry = registry_.Find(model);
@@ -74,18 +93,67 @@ std::future<Tensor> InferenceServer::Submit(const std::string& model, Tensor inp
         << model << ": request shape mismatch at axis " << axis << ", got "
         << input.DebugString();
   }
+  SubmitTicket ticket = TrySubmit(model, std::move(input));
+  NEOCPU_CHECK(ticket.status != SubmitStatus::kShuttingDown)
+      << "Submit after InferenceServer::Shutdown";
+  NEOCPU_CHECK(ticket.ok()) << "Submit: request shed ("
+                            << SubmitStatusName(ticket.status)
+                            << ", retry after " << ticket.retry_after_ms
+                            << " ms); size queue_limit for in-process load or use "
+                               "TrySubmit and honor backpressure";
+  return std::move(ticket.result);
+}
+
+SubmitTicket InferenceServer::TrySubmit(const std::string& model, Tensor input,
+                                        SubmitOptions options) {
+  SubmitTicket ticket;
+  if (stopped_.load(std::memory_order_acquire)) {
+    ticket.status = SubmitStatus::kShuttingDown;
+    return ticket;
+  }
+  ModelEntry* entry = registry_.Find(model);
+  if (entry == nullptr) {
+    ticket.status = SubmitStatus::kUnknownModel;
+    return ticket;
+  }
+  const std::vector<std::int64_t>& expect = entry->sample_dims();
+  if (input.ndim() != static_cast<int>(expect.size())) {
+    ticket.status = SubmitStatus::kShapeMismatch;
+    return ticket;
+  }
+  for (int axis = 0; axis < input.ndim(); ++axis) {
+    if (input.dim(axis) != expect[static_cast<std::size_t>(axis)]) {
+      ticket.status = SubmitStatus::kShapeMismatch;
+      return ticket;
+    }
+  }
 
   ServeRequest request;
   request.model = model;
   request.input = std::move(input);
   request.batchable = entry->batchable();
   request.enqueue_time = std::chrono::steady_clock::now();
+  request.lane = options.lane;
+  request.arena_bytes = entry->arena_bytes_per_sample();
   std::future<Tensor> future = request.result.get_future();
   // The push is the authoritative shutdown gate (checked under the batcher's lock):
   // the stopped_ check above can race a concurrent Shutdown, and a request accepted
   // after the workers drain would hang its future forever.
-  NEOCPU_CHECK(batcher_.Push(std::move(request)))
-      << "Submit after InferenceServer::Shutdown";
+  switch (batcher_.TryPush(std::move(request))) {
+    case AdmitResult::kAccepted:
+      break;
+    case AdmitResult::kShedQueueFull:
+      ticket.status = SubmitStatus::kShedQueueFull;
+      ticket.retry_after_ms = options_.batching.shed_retry_after_ms;
+      return ticket;
+    case AdmitResult::kShedArenaBytes:
+      ticket.status = SubmitStatus::kShedArenaBytes;
+      ticket.retry_after_ms = options_.batching.shed_retry_after_ms;
+      return ticket;
+    case AdmitResult::kShutdown:
+      ticket.status = SubmitStatus::kShuttingDown;
+      return ticket;
+  }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   MetricsRegistry::Global()
       .GetCounter("neocpu_serve_requests_total", "Requests accepted by Submit")
@@ -94,7 +162,9 @@ std::future<Tensor> InferenceServer::Submit(const std::string& model, Tensor inp
     options_.tracer->RecordInstant("request", "submit",
                                    StrFormat("\"model\":\"%s\"", model.c_str()));
   }
-  return future;
+  ticket.status = SubmitStatus::kOk;
+  ticket.result = std::move(future);
+  return ticket;
 }
 
 void InferenceServer::WorkerLoop(const CorePartition& partition, bool pooled) {
@@ -158,8 +228,10 @@ void InferenceServer::WorkerLoop(const CorePartition& partition, bool pooled) {
                     static_cast<long long>(n)));
     }
     for (const ServeRequest& r : batch) {
-      latency_.Record(
-          std::chrono::duration<double, std::milli>(now - r.enqueue_time).count());
+      const double millis =
+          std::chrono::duration<double, std::milli>(now - r.enqueue_time).count();
+      latency_.Record(millis);
+      lane_latency_[static_cast<int>(r.lane)].Record(millis);
     }
     completed_.fetch_add(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
     batch_runs_.fetch_add(1, std::memory_order_relaxed);
@@ -169,9 +241,14 @@ void InferenceServer::WorkerLoop(const CorePartition& partition, bool pooled) {
     std::int64_t seen = max_batch_.load(std::memory_order_relaxed);
     while (n > seen && !max_batch_.compare_exchange_weak(seen, n)) {
     }
+    std::size_t arena_charged = 0;
     for (std::size_t i = 0; i < batch.size(); ++i) {
+      arena_charged += batch[i].arena_bytes;
       batch[i].result.set_value(std::move(results[i]));
     }
+    // The requests' plan footprints stop counting against the admission cap only once
+    // their results are delivered — the cap bounds queued AND executing bytes.
+    batcher_.ReleaseArena(arena_charged);
     batch.clear();
   }
 }
@@ -200,8 +277,18 @@ ServerStats InferenceServer::Stats() const {
                               : static_cast<double>(stats.completed) /
                                     static_cast<double>(stats.batch_runs);
   stats.latency = latency_.Snapshot();
+  for (int lane = 0; lane < kNumRequestLanes; ++lane) {
+    stats.lane_latency[lane] = lane_latency_[lane].Snapshot();
+  }
 
   stats.queue_depth_now = batcher_.PendingCount();
+  stats.queue_limit = options_.batching.queue_limit;
+  stats.arena_bytes_cap = options_.batching.arena_bytes_cap;
+  const AdmissionStats admission = batcher_.GetAdmissionStats();
+  stats.inflight_arena_bytes = admission.inflight_arena_bytes;
+  stats.requests_shed_queue_full = admission.sheds_queue_full;
+  stats.requests_shed_arena = admission.sheds_arena;
+  stats.requests_shed = admission.sheds_queue_full + admission.sheds_arena;
 
   const EntryTuningStats tuning = registry_.AggregateTuningStats();
   stats.retunes_started = tuning.retunes_started;

@@ -13,9 +13,14 @@
 // itself becomes worker 0 of its partition's fork-join pool, pinned to the partition's
 // first core.
 //
-// Submit is thread-safe and non-blocking (the request queue is unbounded); results
-// arrive through std::future. Per-request latency (submit → result) and batching
-// counters are available from Stats().
+// Submit is thread-safe and non-blocking; results arrive through std::future. The
+// admission queue is BOUNDED (BatchingOptions::queue_limit, plus an optional cap on
+// aggregate in-flight arena bytes): under overload TrySubmit sheds with a typed verdict
+// and a retry-after hint instead of queueing without limit — Stats().requests_shed and
+// queue_limit report the admission behavior. Requests carry a priority lane
+// (latency / throughput); the batcher serves the latency lane first. Per-request
+// latency (submit → result, split per lane) and batching counters are available from
+// Stats().
 #ifndef NEOCPU_SRC_SERVE_INFERENCE_SERVER_H_
 #define NEOCPU_SRC_SERVE_INFERENCE_SERVER_H_
 
@@ -57,6 +62,33 @@ struct ServerOptions {
   TraceRecorder* tracer = nullptr;
 };
 
+// Non-fatal Submit verdict: everything the wire front end turns into a typed error
+// reply instead of a process death.
+enum class SubmitStatus {
+  kOk = 0,
+  kUnknownModel,
+  kShapeMismatch,    // rank or a dim differs from the model's sample_dims()
+  kShedQueueFull,    // bounded admission queue is full — retry after retry_after_ms
+  kShedArenaBytes,   // aggregate in-flight arena bytes would exceed the cap
+  kShuttingDown,
+};
+
+const char* SubmitStatusName(SubmitStatus status);
+
+struct SubmitOptions {
+  RequestLane lane = RequestLane::kLatency;
+};
+
+// TrySubmit outcome: on kOk `result` holds the future; on a shed verdict
+// retry_after_ms carries the backoff hint clients should honor.
+struct SubmitTicket {
+  SubmitStatus status = SubmitStatus::kShuttingDown;
+  double retry_after_ms = 0.0;
+  std::future<Tensor> result;
+
+  bool ok() const { return status == SubmitStatus::kOk; }
+};
+
 class InferenceServer {
  public:
   explicit InferenceServer(ServerOptions options = {});
@@ -72,8 +104,18 @@ class InferenceServer {
 
   // Enqueues one single-sample request against a registered model and returns the
   // future holding its output tensor. The input's dims must match the model's
-  // sample_dims() exactly (leading dim 1); violations die with the mismatching axis.
+  // sample_dims() exactly (leading dim 1); violations die with the mismatching axis,
+  // and so does a shed (the bounded-admission path for in-process callers that cannot
+  // handle backpressure is to size queue_limit for their load). Wire-facing callers
+  // use TrySubmit, which never dies.
   std::future<Tensor> Submit(const std::string& model, Tensor input);
+
+  // Bounded-admission Submit: validates the model and shape, charges the model's
+  // planned arena footprint against the cap, and enqueues on the request's lane.
+  // Returns a non-kOk status instead of dying on unknown models, shape mismatches,
+  // overload, or shutdown. Thread-safe, non-blocking.
+  SubmitTicket TrySubmit(const std::string& model, Tensor input,
+                         SubmitOptions options = {});
 
   // Stops accepting requests, drains everything queued, joins the pool. Idempotent;
   // also run by the destructor.
@@ -102,6 +144,7 @@ class InferenceServer {
   std::atomic<std::uint64_t> batched_samples_{0};
   std::atomic<std::int64_t> max_batch_{0};
   LatencyRecorder latency_;
+  LatencyRecorder lane_latency_[kNumRequestLanes];
 };
 
 }  // namespace neocpu

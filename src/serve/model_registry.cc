@@ -72,6 +72,10 @@ ModelEntry::ModelEntry(std::string name, CompiledModel model) : name_(std::move(
   }
   sample_dims_[0] = 1;
 
+  // The admission controller charges this per admitted request, so the aggregate
+  // in-flight plan footprint is a number the server can cap (plan-aware admission).
+  arena_bytes_per_sample_ = base.stats().arena_bytes;
+
   Slot slot;
   slot.tuned = base.stats().tuned_batch == 1 || !base.has_source();
   slot.current = MakeVariant(std::move(base));

@@ -100,6 +100,9 @@ class ModelEntry {
   // False when the graph cannot be batch-rebound (e.g. SSD's detection head); such
   // models always run one request at a time.
   bool batchable() const { return batchable_; }
+  // Planned arena footprint of the batch-1 variant (CompileStats::arena_bytes): the
+  // per-request unit the admission controller charges against its arena-bytes cap.
+  std::size_t arena_bytes_per_sample() const { return arena_bytes_per_sample_; }
 
   struct Variant {
     std::unique_ptr<CompiledModel> model;
@@ -151,6 +154,7 @@ class ModelEntry {
   std::string name_;
   std::vector<std::int64_t> sample_dims_;
   bool batchable_ = false;
+  std::size_t arena_bytes_per_sample_ = 0;
 
   mutable std::mutex mutex_;
   std::map<std::int64_t, Slot> variants_;

@@ -59,20 +59,23 @@ LatencySnapshot LatencyRecorder::Snapshot() const {
   snap.mean_ms = sum / static_cast<double>(samples.size());
   snap.p50_ms = Percentile(samples, 50.0);
   snap.p99_ms = Percentile(samples, 99.0);
+  snap.p999_ms = Percentile(samples, 99.9);
   snap.max_ms = samples.back();
   return snap;
 }
 
 std::string ServerStats::ToString() const {
   std::string out = StrFormat(
-      "submitted=%llu completed=%llu queue_depth=%zu batch_runs=%llu mean_batch=%.2f "
-      "max_batch=%lld latency{p50=%.3fms p99=%.3fms mean=%.3fms} "
+      "submitted=%llu completed=%llu shed=%llu queue_depth=%zu/%zu batch_runs=%llu "
+      "mean_batch=%.2f max_batch=%lld latency{p50=%.3fms p99=%.3fms p999=%.3fms "
+      "mean=%.3fms} "
       "tuning{retunes=%llu/%llu deferred=%llu cache_hits=%llu cache_misses=%llu "
       "entries=%llu}",
       static_cast<unsigned long long>(submitted), static_cast<unsigned long long>(completed),
-      queue_depth_now, static_cast<unsigned long long>(batch_runs), mean_batch_size,
+      static_cast<unsigned long long>(requests_shed), queue_depth_now, queue_limit,
+      static_cast<unsigned long long>(batch_runs), mean_batch_size,
       static_cast<long long>(max_batch_size), latency.p50_ms, latency.p99_ms,
-      latency.mean_ms, static_cast<unsigned long long>(retunes_completed),
+      latency.p999_ms, latency.mean_ms, static_cast<unsigned long long>(retunes_completed),
       static_cast<unsigned long long>(retunes_started),
       static_cast<unsigned long long>(retunes_deferred),
       static_cast<unsigned long long>(tuning_cache.hits),
@@ -89,6 +92,54 @@ std::string ServerStats::ToString() const {
                        model.profile_ms_per_run);
     }
   }
+  return out;
+}
+
+namespace {
+
+std::string LatencyJson(const LatencySnapshot& l) {
+  return StrFormat(
+      "{\"count\": %zu, \"mean_ms\": %.6f, \"p50_ms\": %.6f, \"p99_ms\": %.6f, "
+      "\"p999_ms\": %.6f, \"max_ms\": %.6f}",
+      l.count, l.mean_ms, l.p50_ms, l.p99_ms, l.p999_ms, l.max_ms);
+}
+
+}  // namespace
+
+std::string ServerStats::ToJson() const {
+  std::string out = "{\n";
+  out += StrFormat("  \"submitted\": %llu,\n  \"completed\": %llu,\n",
+                   static_cast<unsigned long long>(submitted),
+                   static_cast<unsigned long long>(completed));
+  out += StrFormat("  \"requests_shed\": %llu,\n",
+                   static_cast<unsigned long long>(requests_shed));
+  out += StrFormat("  \"requests_shed_queue_full\": %llu,\n",
+                   static_cast<unsigned long long>(requests_shed_queue_full));
+  out += StrFormat("  \"requests_shed_arena\": %llu,\n",
+                   static_cast<unsigned long long>(requests_shed_arena));
+  out += StrFormat("  \"queue_depth_now\": %zu,\n  \"queue_limit\": %zu,\n",
+                   queue_depth_now, queue_limit);
+  out += StrFormat("  \"arena_bytes_cap\": %zu,\n  \"inflight_arena_bytes\": %zu,\n",
+                   arena_bytes_cap, inflight_arena_bytes);
+  out += StrFormat("  \"batch_runs\": %llu,\n  \"mean_batch_size\": %.4f,\n",
+                   static_cast<unsigned long long>(batch_runs), mean_batch_size);
+  out += StrFormat("  \"max_batch_size\": %lld,\n",
+                   static_cast<long long>(max_batch_size));
+  out += "  \"latency\": " + LatencyJson(latency) + ",\n";
+  out += "  \"lane_latency\": {\"latency\": " + LatencyJson(lane_latency[0]) +
+         ", \"throughput\": " + LatencyJson(lane_latency[1]) + "},\n";
+  out += StrFormat(
+      "  \"retunes\": {\"started\": %llu, \"completed\": %llu, \"failed\": %llu, "
+      "\"deferred\": %llu},\n",
+      static_cast<unsigned long long>(retunes_started),
+      static_cast<unsigned long long>(retunes_completed),
+      static_cast<unsigned long long>(retunes_failed),
+      static_cast<unsigned long long>(retunes_deferred));
+  out += "  \"models\": [" +
+         JoinMapped(per_model, ", ",
+                    [](const ModelServeStats& m) { return "\"" + m.name + "\""; }) +
+         "]\n";
+  out += "}\n";
   return out;
 }
 

@@ -21,6 +21,7 @@ struct LatencySnapshot {
   double mean_ms = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  double p999_ms = 0.0;  // the overload-gated tail (needs thousands of samples to bite)
   double max_ms = 0.0;
 };
 
@@ -61,10 +62,23 @@ struct ServerStats {
   std::uint64_t batched_samples = 0; // completed requests that shared a multi-request batch
   double mean_batch_size = 0.0;
   std::int64_t max_batch_size = 0;
-  // Requests sitting in the batcher at snapshot time — the instantaneous backlog, not a
-  // lifetime counter.
+  // Requests sitting in the admission queue at snapshot time — the instantaneous
+  // backlog, not a lifetime counter. Bounded by queue_limit.
   std::size_t queue_depth_now = 0;
   LatencySnapshot latency;
+
+  // Admission control. The queue is bounded: a request arriving at a full queue (or one
+  // that would push the aggregate in-flight arena footprint past arena_bytes_cap) is
+  // shed with a retry-after hint instead of queued — requests_shed counts both kinds.
+  std::size_t queue_limit = 0;           // 0 = unbounded (legacy servers only)
+  std::size_t arena_bytes_cap = 0;       // 0 = uncapped
+  std::size_t inflight_arena_bytes = 0;  // admitted-but-not-completed plan footprint
+  std::uint64_t requests_shed = 0;
+  std::uint64_t requests_shed_queue_full = 0;
+  std::uint64_t requests_shed_arena = 0;
+  // Per-priority-lane latency split (index by RequestLane): the latency lane is popped
+  // first under contention, so its tail should sit below the throughput lane's.
+  LatencySnapshot lane_latency[2];
 
   // Batch-aware tuning activity, aggregated over every registered model: background
   // per-batch re-tunes and the lifetime TuningCache traffic (the caches may be shared
@@ -79,6 +93,8 @@ struct ServerStats {
   std::vector<ModelServeStats> per_model;
 
   std::string ToString() const;
+  // Machine-readable export: the frontend's GET /stats body. Stable key order.
+  std::string ToJson() const;
 };
 
 }  // namespace neocpu

@@ -14,6 +14,7 @@
 #include "src/core/presets.h"
 #include "src/graph/builder.h"
 #include "src/kernels/quantize.h"
+#include "src/serve/frontend/wire_protocol.h"
 
 namespace neocpu {
 namespace {
@@ -199,6 +200,123 @@ TEST_P(FuzzQuantized, ForcedInt8TracksReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzQuantized,
                          ::testing::Values<std::uint64_t>(1, 2, 5, 13, 34, 89));
+
+// ---------------------------------------------------------------------------
+// Wire-frame fuzzing: the front end's decoders on hostile bytes.
+//
+// The decoders (src/serve/frontend/wire_protocol) are the first thing untrusted
+// network bytes hit, so the property here is absolute: ANY byte string produces
+// either a successful parse with internally consistent output or a typed error —
+// never UB, never a crash. The suite runs under the ASan CI job, so out-of-bounds
+// reads and overflows in the length arithmetic fail loudly.
+// ---------------------------------------------------------------------------
+
+// Internal-consistency check on a successfully decoded request.
+void CheckDecodedRequest(const WireRequest& decoded, std::uint64_t seed) {
+  EXPECT_GE(decoded.model.size(), 1u) << "seed=" << seed;
+  EXPECT_LE(decoded.model.size(), kWireMaxModelLen) << "seed=" << seed;
+  EXPECT_GE(decoded.input.ndim(), 1) << "seed=" << seed;
+  EXPECT_LE(static_cast<std::size_t>(decoded.input.ndim()), kWireMaxDims)
+      << "seed=" << seed;
+  EXPECT_LE(decoded.input.SizeBytes(), kWireMaxFrameBytes * 4u) << "seed=" << seed;
+}
+
+class FuzzWireDecoder : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzWireDecoder, RandomBytesDecodeOrTypedError) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::size_t size = static_cast<std::size_t>(rng.NextBounded(512));
+    std::vector<std::uint8_t> bytes(size);
+    for (auto& b : bytes) {
+      b = static_cast<std::uint8_t>(rng.NextBounded(256));
+    }
+    WireRequest request;
+    const WireError req_err = DecodeRequestBody(bytes.data(), bytes.size(), &request);
+    if (req_err.ok()) {
+      CheckDecodedRequest(request, GetParam());
+    }
+    WireResponse response;
+    const WireError resp_err = DecodeResponseBody(bytes.data(), bytes.size(), &response);
+    if (resp_err.ok() && response.ok()) {
+      EXPECT_GE(response.result.ndim(), 1);
+    }
+  }
+}
+
+TEST_P(FuzzWireDecoder, MutatedValidFramesDecodeOrTypedError) {
+  Rng rng(GetParam() * 977);
+  // Start from a valid frame so mutations explore the near-valid space where parsers
+  // break: flipped length fields, corrupted dims, truncated payloads.
+  WireRequest seed_request;
+  seed_request.model = "fuzz-model";
+  seed_request.lane = RequestLane::kThroughput;
+  seed_request.input =
+      Tensor::Random({1, 3, 6, 6}, rng, -1.0f, 1.0f, Layout::NCHW());
+  const std::vector<std::uint8_t> valid = EncodeRequestFrame(seed_request);
+  for (int iter = 0; iter < 400; ++iter) {
+    // Drop the length prefix: the server reads it separately; decoders see the body.
+    std::vector<std::uint8_t> body(valid.begin() + 4, valid.end());
+    const std::uint64_t mutations = 1 + rng.NextBounded(8);
+    for (std::uint64_t m = 0; m < mutations; ++m) {
+      switch (rng.NextBounded(4)) {
+        case 0:  // flip a byte
+          body[static_cast<std::size_t>(rng.NextBounded(body.size()))] ^=
+              static_cast<std::uint8_t>(1 + rng.NextBounded(255));
+          break;
+        case 1:  // truncate
+          body.resize(static_cast<std::size_t>(rng.NextBounded(body.size() + 1)));
+          break;
+        case 2:  // extend with junk
+          body.push_back(static_cast<std::uint8_t>(rng.NextBounded(256)));
+          break;
+        default:  // overwrite a random u16-aligned header field with an extreme value
+          if (body.size() >= 12) {
+            const std::size_t off = 8 + 2 * static_cast<std::size_t>(rng.NextBounded(2));
+            body[off] = 0xFF;
+            body[off + 1] = 0xFF;
+          }
+          break;
+      }
+      if (body.empty()) {
+        break;
+      }
+    }
+    WireRequest request;
+    const WireError err = DecodeRequestBody(body.data(), body.size(), &request);
+    if (err.ok()) {
+      CheckDecodedRequest(request, GetParam());
+    }
+  }
+}
+
+TEST_P(FuzzWireDecoder, EncodeDecodeRoundTripIsExact) {
+  Rng rng(GetParam() * 31337);
+  for (int iter = 0; iter < 32; ++iter) {
+    WireRequest request;
+    request.model = StrFormat("m%llu", static_cast<unsigned long long>(rng.NextU64()));
+    request.lane =
+        rng.NextBounded(2) == 0 ? RequestLane::kLatency : RequestLane::kThroughput;
+    std::vector<std::int64_t> dims;
+    const std::uint64_t ndim = 1 + rng.NextBounded(4);
+    for (std::uint64_t d = 0; d < ndim; ++d) {
+      dims.push_back(1 + static_cast<std::int64_t>(rng.NextBounded(6)));
+    }
+    request.input = Tensor::Random(dims, rng, -1.0f, 1.0f, Layout::Flat());
+    const std::vector<std::uint8_t> frame = EncodeRequestFrame(request);
+    WireRequest decoded;
+    const WireError err =
+        DecodeRequestBody(frame.data() + 4, frame.size() - 4, &decoded);
+    ASSERT_TRUE(err.ok()) << err.message;
+    EXPECT_EQ(decoded.model, request.model);
+    EXPECT_EQ(decoded.lane, request.lane);
+    EXPECT_EQ(decoded.input.dims(), request.input.dims());
+    EXPECT_EQ(Tensor::MaxAbsDiff(decoded.input, request.input), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzWireDecoder,
+                         ::testing::Values<std::uint64_t>(7, 42, 1009, 65537));
 
 }  // namespace
 }  // namespace neocpu

@@ -37,6 +37,19 @@ Gemm by NEOCPU_GEMM_SPEEDUP (default 2.0x) on at least one shape, and wherever
 the VNNI tier ran, u8 must beat the best tuned f32 on at least one shape. An
 optional baseline file compares per-cell GFLOP/s under the same tolerance.
 
+A third leg gates the wire front end's overload behavior when the serve report
+carries a "wire" section (closed-loop capacity + open-loop Poisson legs).
+These are hardware-relative invariants, so they run even without a matching
+baseline shape:
+  * no transport/protocol errors on any leg;
+  * the overload leg (target_ratio >= 2) MUST shed (shed_rate > 0) — a zero
+    shed rate means admission is unbounded again — and must still accept work;
+  * the overload leg's accepted p999 must stay within
+    NEOCPU_WIRE_TAIL_FACTOR (default 100) x the closed-loop p99: bounded
+    admission caps how long an *accepted* request can have waited.
+With a matching baseline that also has a wire section, closed-loop accepted
+throughput is additionally held to the regression tolerance.
+
 Usage: check_bench_trend.py <current.json> [<baseline.json>]
        check_bench_trend.py --merge-baseline <report.json> [<baseline.json>]
 """
@@ -177,6 +190,83 @@ def gemm_gate(current, current_path, baseline_path, tolerance):
     return 0
 
 
+def wire_invariant_gate(wire):
+    """Hardware-relative overload invariants on the wire section. Returns failed."""
+    legs = wire.get("legs") or []
+    closed = [l for l in legs if l.get("mode") == "closed"]
+    overload = [l for l in legs if l.get("mode") == "open" and l.get("target_ratio", 0) >= 2.0]
+    underload = [l for l in legs if l.get("mode") == "open" and l.get("target_ratio", 0) <= 0.5]
+    failed = False
+    if not closed or not overload:
+        print("FAIL: wire section is missing the closed-loop or the 2x open-loop leg")
+        return True
+    for leg in legs:
+        label = f"wire {leg.get('mode')}@{leg.get('target_ratio', 0):.2f}"
+        if leg.get("errors", 0) > 0:
+            print(f"FAIL: {label}: {leg['errors']} transport/protocol errors")
+            failed = True
+    cap = closed[0]
+    if cap.get("accepted_rps", 0) <= 0 or cap.get("shed", 0) > 0:
+        print(
+            f"FAIL: closed-loop leg unusable as capacity: "
+            f"{cap.get('accepted_rps', 0):.1f} rps, {cap.get('shed', 0)} sheds"
+        )
+        failed = True
+    over = overload[0]
+    print(
+        f"wire overload ({over.get('target_ratio', 0):.1f}x): offered "
+        f"{over.get('offered_rps', 0):.1f} rps, accepted {over.get('accepted', 0)}, "
+        f"shed rate {over.get('shed_rate', 0):.3f}, "
+        f"p999 {over.get('p999_ms', 0):.2f} ms (closed p99 {cap.get('p99_ms', 0):.2f} ms)"
+    )
+    if over.get("shed_rate", 0) <= 0:
+        print("FAIL: the overload leg never shed — bounded admission is not biting")
+        failed = True
+    if over.get("accepted", 0) <= 0:
+        print("FAIL: the overload leg accepted nothing — shedding everything is an outage")
+        failed = True
+    tail_factor = float(os.environ.get("NEOCPU_WIRE_TAIL_FACTOR", "100"))
+    tail_bound = tail_factor * max(cap.get("p99_ms", 0), 1.0)
+    if over.get("p999_ms", 0) > tail_bound:
+        print(
+            f"FAIL: overload accepted p999 {over['p999_ms']:.2f} ms exceeds "
+            f"{tail_factor:.0f}x closed-loop p99 bound ({tail_bound:.2f} ms)"
+        )
+        failed = True
+    for leg in underload:
+        if leg.get("shed_rate", 0) > 0.1:
+            print(
+                f"WARN: underload leg ({leg.get('target_ratio', 0):.2f}x) shed "
+                f"{100 * leg['shed_rate']:.1f}% — queue_limit may be too small for "
+                "this host"
+            )
+    if not failed:
+        print("OK: wire overload invariants hold")
+    return failed
+
+
+def wire_trend_gate(current_wire, baseline_wire, tolerance):
+    """Closed-loop throughput trend on matching hardware. Returns failed."""
+    cur = [l for l in current_wire.get("legs", []) if l.get("mode") == "closed"]
+    base = [l for l in baseline_wire.get("legs", []) if l.get("mode") == "closed"]
+    if not cur or not base or base[0].get("accepted_rps", 0) <= 0:
+        print("NOTE: wire trend skipped (no comparable closed-loop legs)")
+        return False
+    ratio = cur[0]["accepted_rps"] / base[0]["accepted_rps"]
+    # Socket-path throughput is noisier than the in-process sweep (kernel scheduling,
+    # loopback buffering), so the wire trend gets its own floor-ed tolerance.
+    wire_tol = max(tolerance, float(os.environ.get("NEOCPU_WIRE_TOLERANCE", "0.35")))
+    print(
+        f"wire closed-loop: {cur[0]['accepted_rps']:.1f} vs "
+        f"{base[0]['accepted_rps']:.1f} rps -> ratio {ratio:.3f} "
+        f"(tolerance {100 * wire_tol:.0f}%)"
+    )
+    if ratio < 1.0 - wire_tol:
+        print(f"FAIL: wire closed-loop throughput regressed beyond tolerance")
+        return True
+    return False
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__)
@@ -220,6 +310,15 @@ def main(argv):
         print(f"FAIL: non-positive peak throughput {cur_peak}")
         return 1
 
+    # Wire overload invariants are hardware-relative: they gate regardless of whether
+    # a baseline exists for this runner shape.
+    wire_failed = False
+    if current.get("wire"):
+        wire_failed = wire_invariant_gate(current["wire"])
+    elif os.environ.get("NEOCPU_REQUIRE_WIRE") == "1":
+        print("FAIL: report has no wire section but NEOCPU_REQUIRE_WIRE=1")
+        return 1
+
     cur_cores = current.get("physical_cores")
     matched = select_baseline(baseline, cur_cores)
     if matched is None:
@@ -229,7 +328,7 @@ def main(argv):
             f"baseline has {available}): throughput gates skipped; add this runner "
             "class with --merge-baseline to arm them"
         )
-        return 0
+        return 1 if wire_failed else 0
     baseline = matched
 
     base_peak = peak_rps(baseline)
@@ -240,7 +339,9 @@ def main(argv):
         f"baseline {base_peak:.1f} rps ({base_cores} cores) -> ratio {ratio:.3f}"
     )
 
-    failed = False
+    failed = wire_failed
+    if current.get("wire") and baseline.get("wire"):
+        failed = wire_trend_gate(current["wire"], baseline["wire"], tolerance) or failed
     if ratio < 1.0 - tolerance:
         print(
             f"FAIL: peak throughput regressed {100 * (1 - ratio):.1f}% "
