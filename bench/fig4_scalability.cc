@@ -19,7 +19,21 @@
 // which isolates exactly the quantity Figure 4 attributes the gap to ("the overhead of
 // OpenMP to launch and suppress threads before and after a region"). When the host has
 // >= t physical cores the harness instead prints directly measured throughput.
+//
+// NUMA leg (PR 10): beyond the pool-mechanism curves, the harness runs one partition
+// per NUMA node with node-homed arenas against the same partition count planned
+// node-obliviously (contiguous cpu slices, unbound arenas) and reports both
+// throughputs. On single-node hosts the two plans coincide, so the leg degenerates to
+// a sanity check; the JSON record (NEOCPU_BENCH_JSON, default BENCH_fig4.json) carries
+// numa_nodes so the trend checker knows which case it is looking at.
+//
+// Extra knobs: NEOCPU_FIG4_CURVES=0 skips the projection curves (CI smoke runs just
+// the NUMA leg), NEOCPU_FIG4_MODEL picks the leg's model (default resnet50; CI uses
+// tiny-cnn), NEOCPU_FIG4_NUMA_REPS sets timed inferences per partition (default 8).
+#include <atomic>
 #include <condition_variable>
+#include <fstream>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -112,6 +126,47 @@ struct Curve {
   int max_threads;
 };
 
+// One serving-shaped partition fleet: a thread per partition, each with its own
+// engine and arena, all released together and timed until the slowest finishes.
+// `numa_aware` homes every arena on its partition's node so activations are
+// first-touched node-locally; oblivious runs leave arenas unbound (legacy behavior).
+double MeasureNumaLeg(const CompiledModel& compiled, const Tensor& input,
+                      const std::vector<CorePartition>& plan, bool numa_aware,
+                      bool bind, int reps) {
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(plan.size());
+  for (const CorePartition& partition : plan) {
+    threads.emplace_back([&, partition] {
+      std::unique_ptr<ThreadEngine> engine = MakePartitionEngine(partition, bind);
+      Arena arena;
+      if (numa_aware) {
+        arena.set_home_node(partition.home_node);
+      }
+      Executor exec(&compiled.graph(), nullptr, compiled.plan());
+      exec.Run(input, engine.get(), &arena);  // warm-up: faults the arena on-node
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (int r = 0; r < reps; ++r) {
+        exec.Run(input, engine.get(), &arena);
+      }
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < static_cast<int>(plan.size())) {
+    std::this_thread::yield();
+  }
+  Timer timer;
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const double total_ms = timer.Millis();
+  return 1000.0 * static_cast<double>(plan.size()) * reps / total_ms;
+}
+
 int Main() {
   PrintHeader("Figure 4: throughput vs #threads - custom thread pool vs OpenMP-style");
   const Curve curves[] = {
@@ -131,7 +186,14 @@ int Main() {
   auto overhead_neo = [&](int t) { return (t - 1) * spsc_ms; };
   auto overhead_omp = [&](int t) { return (t - 1) * wake_ms + (t > 1 ? wake_ms : 0.0); };
 
+  const bool run_curves = EnvSizeT("NEOCPU_FIG4_CURVES", 1) != 0;
+  if (!run_curves) {
+    std::printf("NEOCPU_FIG4_CURVES=0: skipping the projection curves\n");
+  }
   for (const Curve& curve : curves) {
+    if (!run_curves) {
+      break;
+    }
     const Target target = Target::ByName(curve.arch);
     std::printf("\n--- Figure 4%c: %s on %s profile ---\n",
                 static_cast<char>('a' + (&curve - curves)), curve.model, curve.arch);
@@ -199,10 +261,71 @@ int Main() {
       std::printf("\n");
     }
   }
-  std::printf(
-      "\nPaper-shape checks: the custom thread pool curve stays above the OMP curves and\n"
-      "keeps scaling at high thread counts, where per-region OpenMP launch overhead\n"
-      "flattens (or dips) the other curves.\n");
+  if (run_curves) {
+    std::printf(
+        "\nPaper-shape checks: the custom thread pool curve stays above the OMP curves "
+        "and\nkeeps scaling at high thread counts, where per-region OpenMP launch "
+        "overhead\nflattens (or dips) the other curves.\n");
+  }
+
+  // ---- NUMA leg: topology-aware partition placement vs node-oblivious ----
+  const CpuTopology& topo = HostTopology();
+  const char* numa_model_env = std::getenv("NEOCPU_FIG4_MODEL");
+  const std::string numa_model = numa_model_env != nullptr ? numa_model_env : "resnet50";
+  const int numa_reps = static_cast<int>(EnvSizeT("NEOCPU_FIG4_NUMA_REPS", 8));
+  const int total_workers =
+      topo.num_online_cpus() > 0 ? topo.num_online_cpus() : host_cores;
+  const int num_partitions = topo.num_nodes() > 1 ? topo.num_nodes() : 2;
+
+  std::printf("\n--- NUMA placement: %s, %d node(s), %d cpu(s), %d partition(s) ---\n",
+              numa_model.c_str(), topo.num_nodes(), total_workers, num_partitions);
+  CompileOptions numa_opts = NeoCpuOptions(Target::Host());
+  numa_opts.cost_mode = BenchCostMode();
+  numa_opts.tuning_cache = tuning_cache;
+  CompiledModel numa_compiled = Compile(BuildModel(numa_model), numa_opts);
+  Tensor numa_input = ModelInput(numa_model);
+
+  const bool bind = topo.num_nodes() > 1;
+  const std::vector<CorePartition> aware_plan =
+      PlanCorePartitions(num_partitions, total_workers, topo);
+  const std::vector<CorePartition> oblivious_plan = PlanCorePartitions(
+      num_partitions, total_workers, CpuTopology::SingleNode(total_workers));
+  const double aware_ips =
+      MeasureNumaLeg(numa_compiled, numa_input, aware_plan, /*numa_aware=*/true, bind,
+                     numa_reps);
+  const double oblivious_ips = MeasureNumaLeg(numa_compiled, numa_input, oblivious_plan,
+                                              /*numa_aware=*/false, bind, numa_reps);
+  std::printf("  numa-aware:     %10.2f images/sec  (%zu partitions, node-homed arenas)\n",
+              aware_ips, aware_plan.size());
+  std::printf("  numa-oblivious: %10.2f images/sec  (%zu partitions, contiguous slices)\n",
+              oblivious_ips, oblivious_plan.size());
+  if (topo.num_nodes() <= 1) {
+    std::printf("  single NUMA node: both plans coincide; treat the delta as noise\n");
+  }
+
+  // Machine-readable record for cross-PR perf tracking (tools/check_bench_trend.py).
+  const char* json_env = std::getenv("NEOCPU_BENCH_JSON");
+  const std::string json_path = json_env != nullptr ? json_env : "BENCH_fig4.json";
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "failed to open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  json << "{\n";
+  json << "  \"bench\": \"fig4_scalability\",\n";
+  json << "  \"model\": \"" << numa_model << "\",\n";
+  json << "  \"physical_cores\": " << host_cores << ",\n";
+  json << "  \"numa_nodes\": " << topo.num_nodes() << ",\n";
+  json << "  \"spsc_handoff_us\": " << spsc_ms * 1e3 << ",\n";
+  json << "  \"condvar_wake_us\": " << wake_ms * 1e3 << ",\n";
+  json << "  \"legs\": [\n";
+  json << "    {\"name\": \"numa_aware\", \"partitions\": " << aware_plan.size()
+       << ", \"throughput_ips\": " << aware_ips << "},\n";
+  json << "    {\"name\": \"numa_oblivious\", \"partitions\": " << oblivious_plan.size()
+       << ", \"throughput_ips\": " << oblivious_ips << "}\n";
+  json << "  ]\n";
+  json << "}\n";
+  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }
 

@@ -436,7 +436,7 @@ bool RebindBatch(const CompiledModel& model, std::int64_t batch, CompiledModel* 
 }
 
 bool RetuneForBatch(const CompiledModel& model, std::int64_t batch, ThreadEngine* engine,
-                    CompiledModel* out) {
+                    CompiledModel* out, const CompileConfig* config_override) {
   NEOCPU_CHECK(out != nullptr);
   if (!model.has_source() || batch < 1) {
     return false;
@@ -446,9 +446,11 @@ bool RetuneForBatch(const CompiledModel& model, std::int64_t batch, ThreadEngine
     return false;
   }
 
+  const CompileConfig& config =
+      config_override != nullptr ? *config_override : model.config();
   Timer total_timer;
   CompileOptions opts;
-  static_cast<CompileConfig&>(opts) = model.config();
+  static_cast<CompileConfig&>(opts) = config;
   opts.tuning_cache =
       model.tuning() != nullptr ? model.tuning() : std::make_shared<TuningCache>();
   opts.engine = engine;
@@ -460,13 +462,13 @@ bool RetuneForBatch(const CompiledModel& model, std::int64_t batch, ThreadEngine
   // property of the data distribution, not the batch size, and the source graph's node
   // ids (the table's keys) survive batch rebinding unchanged.
   const CalibrationTable& calibration = model.calibration();
-  const bool quantize = model.config().quantize && !calibration.empty();
+  const bool quantize = config.quantize && !calibration.empty();
   Graph g = LowerFusedGraph(source, opts, quantize ? &calibration : nullptr, &stats);
   stats.compile_seconds = total_timer.Seconds();
-  *out = CompiledModel(std::move(g), stats, std::move(source), model.config(),
+  *out = CompiledModel(std::move(g), stats, std::move(source), config,
                        opts.tuning_cache);
   out->SetCalibration(calibration);
-  if (model.config().plan_memory) {
+  if (config.plan_memory) {
     out->AttachPlan(std::make_shared<const ExecutionPlan>(PlanMemory(out->graph())));
   }
   return true;

@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/base/string_util.h"
 #include "src/obs/metrics.h"
+#include "src/runtime/topology.h"
 
 namespace neocpu {
 
@@ -19,11 +21,22 @@ Gauge* ArenaBytesMetric() {
   return gauge;
 }
 
+// Per-NUMA-node slice of the same footprint, for arenas that declared a home node.
+// Registry lookups are idempotent and cheap relative to an arena growth.
+Gauge* NodeArenaBytesMetric(int node) {
+  return MetricsRegistry::Global().GetGauge(
+      StrFormat("neocpu_arena_bytes_node_%d", node),
+      "Bytes committed to execution arenas homed on one NUMA node");
+}
+
 }  // namespace
 
 Arena::~Arena() {
   if (capacity_ > 0) {
     ArenaBytesMetric()->Add(-static_cast<double>(capacity_));
+    if (accounted_node_ >= 0) {
+      NodeArenaBytesMetric(accounted_node_)->Add(-static_cast<double>(capacity_));
+    }
   }
 }
 
@@ -34,9 +47,29 @@ void Arena::Reserve(std::size_t bytes) {
   storage_ = AlignedPtr<unsigned char>(
       static_cast<unsigned char*>(AlignedAlloc(bytes, kSimdAlignBytes)));
   NEOCPU_CHECK(storage_ != nullptr) << "arena allocation of " << bytes << " bytes failed";
+  // Node binding must land before the pre-fault: mbind sets the policy for the
+  // untouched pages, then the memset below faults them in on the right node. Without
+  // a policy, first-touch places them wherever this thread runs — which the serving
+  // pool arranges to be the partition's own cpus anyway.
+  if (home_node_ >= 0) {
+    TryBindMemoryToNode(storage_.get(), bytes, home_node_);
+  }
   // Pre-fault: writing the whole block maps every page now, off the inference hot path.
   std::memset(storage_.get(), 0, bytes);
   ArenaBytesMetric()->Add(static_cast<double>(bytes - capacity_));
+  if (home_node_ != accounted_node_ && capacity_ > 0) {
+    // The home node changed between Reserves: move the old footprint's accounting.
+    if (accounted_node_ >= 0) {
+      NodeArenaBytesMetric(accounted_node_)->Add(-static_cast<double>(capacity_));
+    }
+    if (home_node_ >= 0) {
+      NodeArenaBytesMetric(home_node_)->Add(static_cast<double>(capacity_));
+    }
+  }
+  if (home_node_ >= 0) {
+    NodeArenaBytesMetric(home_node_)->Add(static_cast<double>(bytes - capacity_));
+  }
+  accounted_node_ = home_node_;
   capacity_ = bytes;
 }
 

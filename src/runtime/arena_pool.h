@@ -37,8 +37,18 @@ class Arena {
 
   // Ensures capacity for `bytes`; newly mapped pages are pre-faulted (written once) so
   // kernels never take a first-touch fault on the hot path. Contents are scratch and
-  // are NOT preserved across a growing Reserve.
+  // are NOT preserved across a growing Reserve. When a home node is set, new pages are
+  // mbind-ed to it (best effort) before the pre-fault, so the arena is node-local even
+  // if a foreign thread happens to do the growing.
   void Reserve(std::size_t bytes);
+
+  // Declares which NUMA node this arena's pages should live on. -1 (the default)
+  // means unbound: placement falls to first-touch by whichever thread Reserves —
+  // which for the serving pool's per-worker arenas is already the partition's own
+  // pinned thread. Setting a node additionally feeds the per-node arena-bytes gauge
+  // and arms the mbind in Reserve. Set before the first Reserve.
+  void set_home_node(int node) { home_node_ = node; }
+  int home_node() const { return home_node_; }
 
   float* data() { return reinterpret_cast<float*>(storage_.get()); }
   std::size_t capacity_bytes() const { return capacity_; }
@@ -46,6 +56,8 @@ class Arena {
  private:
   AlignedPtr<unsigned char> storage_;
   std::size_t capacity_ = 0;
+  int home_node_ = -1;
+  int accounted_node_ = -1;  // node whose gauge currently holds capacity_ bytes
 };
 
 struct ArenaPoolStats {

@@ -1,22 +1,19 @@
 #include "src/runtime/partition.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/base/cpu_info.h"
 #include "src/base/logging.h"
 #include "src/runtime/thread_pool.h"
 
 namespace neocpu {
+namespace {
 
-std::vector<CorePartition> PlanCorePartitions(int num_partitions, int total_workers) {
-  int total = total_workers > 0 ? total_workers : HostCpuInfo().physical_cores;
-  if (total < 1) {
-    total = 1;
-  }
-  if (num_partitions < 1) {
-    num_partitions = 1;
-  }
-  if (num_partitions > total) {
-    num_partitions = total;
-  }
+// The legacy contiguous split: total cores into num_partitions slices, earlier
+// partitions absorbing the remainder. This is the single-node plan, unchanged since
+// PR 1 — the single-socket regression test pins its output bit for bit.
+std::vector<CorePartition> PlanContiguous(int num_partitions, int total, int home_node) {
   std::vector<CorePartition> plan;
   plan.reserve(static_cast<std::size_t>(num_partitions));
   const int base = total / num_partitions;
@@ -24,10 +21,300 @@ std::vector<CorePartition> PlanCorePartitions(int num_partitions, int total_work
   int offset = 0;
   for (int p = 0; p < num_partitions; ++p) {
     const int width = base + (p < remainder ? 1 : 0);
-    plan.push_back(CorePartition{offset, width});
+    CorePartition part;
+    part.core_offset = offset;
+    part.num_workers = width;
+    part.home_node = home_node;
+    plan.push_back(std::move(part));
     offset += width;
   }
   return plan;
+}
+
+// Per-node cpu pool in planner preference order: primary cpus first, HT siblings
+// after, both ascending — slices take a prefix, so siblings are only used once every
+// physical core on the node is taken.
+std::vector<int> NodePool(const TopologyNode& node) {
+  std::vector<int> pool = node.primary_cpus;
+  for (int cpu : node.cpus) {
+    if (std::find(node.primary_cpus.begin(), node.primary_cpus.end(), cpu) ==
+        node.primary_cpus.end()) {
+      pool.push_back(cpu);
+    }
+  }
+  return pool;
+}
+
+// Largest-remainder apportionment of `count` items across weights `sizes`, capped at
+// cap[i] per bucket. Deterministic: remainder ties break toward the lower index.
+std::vector<int> Apportion(int count, const std::vector<int>& sizes,
+                           const std::vector<int>& caps) {
+  const std::size_t n = sizes.size();
+  int total_size = 0;
+  for (int s : sizes) {
+    total_size += s;
+  }
+  std::vector<int> out(n, 0);
+  if (total_size <= 0) {
+    return out;
+  }
+  int assigned = 0;
+  std::vector<std::pair<double, std::size_t>> remainders;  // (-frac, index) for sorting
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exact =
+        static_cast<double>(count) * static_cast<double>(sizes[i]) / total_size;
+    out[i] = std::min(static_cast<int>(exact), caps[i]);
+    assigned += out[i];
+    remainders.emplace_back(-(exact - static_cast<int>(exact)), i);
+  }
+  std::sort(remainders.begin(), remainders.end());
+  // Hand out the rounding leftovers by remainder, then round-robin any still left
+  // (possible when caps bit); stop when every bucket is at its cap.
+  while (assigned < count) {
+    bool progressed = false;
+    for (const auto& [neg_frac, i] : remainders) {
+      if (assigned >= count) {
+        break;
+      }
+      if (out[i] < caps[i]) {
+        ++out[i];
+        ++assigned;
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      break;  // every bucket capped: count was larger than total capacity
+    }
+  }
+  return out;
+}
+
+std::vector<CorePartition> SliceNode(const TopologyNode& node,
+                                     const std::vector<int>& pool, int num_partitions,
+                                     int num_workers) {
+  std::vector<CorePartition> slices;
+  const int base = num_workers / num_partitions;
+  const int remainder = num_workers % num_partitions;
+  int offset = 0;
+  for (int p = 0; p < num_partitions; ++p) {
+    const int width = base + (p < remainder ? 1 : 0);
+    CorePartition part;
+    part.home_node = node.id;
+    part.cpus.assign(pool.begin() + offset, pool.begin() + offset + width);
+    part.core_offset = part.cpus.empty() ? 0 : part.cpus.front();
+    part.num_workers = width;
+    slices.push_back(std::move(part));
+    offset += width;
+  }
+  return slices;
+}
+
+}  // namespace
+
+std::vector<CorePartition> PlanCorePartitions(int num_partitions, int total_workers) {
+  return PlanCorePartitions(num_partitions, total_workers, HostTopology());
+}
+
+std::vector<CorePartition> PlanCorePartitions(int num_partitions, int total_workers,
+                                              const CpuTopology& topology) {
+  if (num_partitions < 1) {
+    num_partitions = 1;
+  }
+
+  if (!topology.multi_node()) {
+    // Single node: the legacy contiguous plan, bit for bit. total defaults to the
+    // physical core count exactly as it always has.
+    int total = total_workers > 0 ? total_workers : HostCpuInfo().physical_cores;
+    if (total < 1) {
+      total = 1;
+    }
+    if (num_partitions > total) {
+      num_partitions = total;
+    }
+    const int home = topology.nodes().empty() ? 0 : topology.nodes().front().id;
+    return PlanContiguous(num_partitions, total, home);
+  }
+
+  // Multi-node: build per-node pools (primaries first), clamp the worker budget to
+  // what the host actually has, and keep every slice inside one node.
+  const std::vector<TopologyNode>& nodes = topology.nodes();
+  std::vector<std::vector<int>> pools;
+  int capacity = 0;
+  for (const TopologyNode& node : nodes) {
+    pools.push_back(NodePool(node));
+    capacity += static_cast<int>(pools.back().size());
+  }
+  int total = total_workers > 0 ? total_workers : HostCpuInfo().physical_cores;
+  total = std::max(1, std::min(total, capacity));
+  num_partitions = std::min(num_partitions, total);
+
+  if (num_partitions == 1) {
+    // One partition: keep it on the biggest node when it fits, span the host only
+    // when it cannot — the documented single-spanning-partition exception.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pools.size(); ++i) {
+      if (pools[i].size() > pools[best].size()) {
+        best = i;
+      }
+    }
+    CorePartition part;
+    if (total <= static_cast<int>(pools[best].size())) {
+      part.home_node = nodes[best].id;
+      part.cpus.assign(pools[best].begin(), pools[best].begin() + total);
+    } else {
+      part.home_node = nodes.front().id;
+      for (const std::vector<int>& pool : pools) {
+        for (int cpu : pool) {
+          if (static_cast<int>(part.cpus.size()) < total) {
+            part.cpus.push_back(cpu);
+          }
+        }
+      }
+    }
+    part.core_offset = part.cpus.front();
+    part.num_workers = static_cast<int>(part.cpus.size());
+    return {part};
+  }
+
+  std::vector<int> sizes;
+  std::vector<int> caps;
+  for (const std::vector<int>& pool : pools) {
+    sizes.push_back(static_cast<int>(pool.size()));
+    caps.push_back(static_cast<int>(pool.size()));
+  }
+  // Partitions per node, by capacity; then workers per node, at least one cpu per
+  // partition, the rest by capacity.
+  const std::vector<int> parts = Apportion(num_partitions, sizes, caps);
+  std::vector<int> workers = parts;  // floor: every partition gets >= 1 cpu
+  int assigned = 0;
+  for (int w : workers) {
+    assigned += w;
+  }
+  while (assigned < total) {
+    // One worker at a time to the node with the most spare capacity relative to its
+    // share — keeps the split proportional and deterministic.
+    std::size_t best = pools.size();
+    double best_deficit = 0.0;
+    for (std::size_t i = 0; i < pools.size(); ++i) {
+      if (parts[i] == 0 || workers[i] >= static_cast<int>(pools[i].size())) {
+        continue;  // only nodes that host partitions get workers
+      }
+      const double share = static_cast<double>(total) * sizes[i] / capacity;
+      const double deficit = share - workers[i];
+      if (best == pools.size() || deficit > best_deficit) {
+        best = i;
+        best_deficit = deficit;
+      }
+    }
+    if (best == pools.size()) {
+      break;  // every partition-hosting node is full
+    }
+    ++workers[best];
+    ++assigned;
+  }
+
+  std::vector<CorePartition> plan;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (parts[i] == 0) {
+      continue;
+    }
+    std::vector<CorePartition> slices = SliceNode(nodes[i], pools[i], parts[i], workers[i]);
+    for (CorePartition& slice : slices) {
+      plan.push_back(std::move(slice));
+    }
+  }
+  return plan;
+}
+
+ServingPlan PlanServingAndTuning(int num_partitions, int total_workers,
+                                 const CpuTopology& topology) {
+  ServingPlan out;
+
+  // The tuning slice: HT siblings of the highest core that has any (cycles the
+  // serving plan's primary-first fill would only reach under full subscription),
+  // else the last cpu of the last node. Never more than two cpus — measured
+  // re-tunes want representative timings, not throughput.
+  std::vector<int> tuning_cpus;
+  int tuning_node = 0;
+  for (auto it = topology.nodes().rbegin(); it != topology.nodes().rend(); ++it) {
+    for (auto cpu = it->cpus.rbegin(); cpu != it->cpus.rend(); ++cpu) {
+      bool is_primary = false;
+      for (int p : it->primary_cpus) {
+        if (p == *cpu) {
+          is_primary = true;
+          break;
+        }
+      }
+      if (!is_primary) {
+        tuning_cpus.push_back(*cpu);
+        tuning_node = it->id;
+        if (tuning_cpus.size() == 2) {
+          break;
+        }
+      }
+    }
+    if (!tuning_cpus.empty()) {
+      break;
+    }
+  }
+  if (tuning_cpus.empty() && topology.num_online_cpus() > 1) {
+    // No hyperthreads: steal the last cpu outright.
+    const TopologyNode& last = topology.nodes().back();
+    tuning_cpus.push_back(last.cpus.back());
+    tuning_node = last.id;
+  }
+  std::sort(tuning_cpus.begin(), tuning_cpus.end());
+
+  if (tuning_cpus.empty()) {
+    // One-cpu host: nothing to carve. The tuning slice shares cpu 0 with serving;
+    // re-tunes timeshare exactly as they did before this feature existed.
+    out.serving = PlanCorePartitions(num_partitions, total_workers, topology);
+    out.tuning = out.serving.front();
+    out.tuning.num_workers = 1;
+    out.has_dedicated_tuning = false;
+    return out;
+  }
+
+  const CpuTopology remaining = topology.WithoutCpus(tuning_cpus);
+  int total = total_workers > 0 ? total_workers : HostCpuInfo().physical_cores;
+  total = std::min(total, remaining.num_online_cpus());
+  out.serving = PlanCorePartitions(num_partitions, total, remaining);
+  out.tuning.home_node = tuning_node;
+  out.tuning.cpus = tuning_cpus;
+  out.tuning.core_offset = tuning_cpus.front();
+  out.tuning.num_workers = static_cast<int>(tuning_cpus.size());
+  out.has_dedicated_tuning = true;
+  return out;
+}
+
+void PinnedSerialEngine::ParallelRun(int num_tasks,
+                                     const std::function<void(int, int)>& fn) {
+  // Bind lazily, once per (thread, engine): the engine is typically constructed on a
+  // setup thread but run from the partition's own worker thread.
+  static thread_local const PinnedSerialEngine* bound = nullptr;
+  if (bound != this) {
+    BindCurrentThreadToCpu(cpu_);
+    bound = this;
+  }
+  for (int i = 0; i < num_tasks; ++i) {
+    fn(i, num_tasks);
+  }
+}
+
+std::unique_ptr<ThreadEngine> MakePartitionEngine(const CorePartition& partition,
+                                                  bool bind_threads) {
+  if (partition.num_workers <= 1) {
+    // A single-core slice gains nothing from a pool, but it must still honor its
+    // placement: pin the caller to the slice's cpu (the satellite fix — unpinned
+    // SerialEngine let single-core partitions float off their cores).
+    const int cpu = partition.cpus.empty() ? partition.core_offset : partition.cpus[0];
+    if (bind_threads) {
+      return std::make_unique<PinnedSerialEngine>(cpu);
+    }
+    return std::make_unique<SerialEngine>();
+  }
+  return std::make_unique<NeoThreadPool>(partition.num_workers, bind_threads,
+                                         partition.core_offset, partition.cpus);
 }
 
 std::vector<std::unique_ptr<ThreadEngine>> MakeEnginePartitions(int num_partitions,
@@ -35,13 +322,7 @@ std::vector<std::unique_ptr<ThreadEngine>> MakeEnginePartitions(int num_partitio
                                                                 bool bind_threads) {
   std::vector<std::unique_ptr<ThreadEngine>> engines;
   for (const CorePartition& part : PlanCorePartitions(num_partitions, total_workers)) {
-    if (part.num_workers == 1) {
-      // A single-core slice gains nothing from a pool; run its executor inline.
-      engines.push_back(std::make_unique<SerialEngine>());
-    } else {
-      engines.push_back(
-          std::make_unique<NeoThreadPool>(part.num_workers, bind_threads, part.core_offset));
-    }
+    engines.push_back(MakePartitionEngine(part, bind_threads));
   }
   return engines;
 }

@@ -25,15 +25,18 @@ void BindCurrentThreadToCore(int core) {
 
 }  // namespace
 
-NeoThreadPool::NeoThreadPool(int num_workers, bool bind_threads, int core_offset)
-    : bind_threads_(bind_threads), core_offset_(core_offset) {
+NeoThreadPool::NeoThreadPool(int num_workers, bool bind_threads, int core_offset,
+                             std::vector<int> bind_cpus)
+    : bind_threads_(bind_threads),
+      core_offset_(core_offset),
+      bind_cpus_(std::move(bind_cpus)) {
   num_workers_ = num_workers > 0 ? num_workers : HostCpuInfo().physical_cores;
   workers_.reserve(static_cast<std::size_t>(num_workers_));
   for (int i = 0; i < num_workers_; ++i) {
     workers_.push_back(std::make_unique<Worker>());
   }
   if (bind_threads_) {
-    BindCurrentThreadToCore(core_offset_);
+    BindCurrentThreadToCore(BindCpuOf(0));
   }
   for (int i = 1; i < num_workers_; ++i) {
     workers_[static_cast<std::size_t>(i)]->thread = std::thread([this, i] { WorkerLoop(i); });
@@ -52,9 +55,16 @@ NeoThreadPool::~NeoThreadPool() {
 
 void NeoThreadPool::RunTask(const Task& task) { (*task.fn)(task.task_index, task.num_tasks); }
 
+int NeoThreadPool::BindCpuOf(int worker_index) const {
+  if (worker_index < static_cast<int>(bind_cpus_.size())) {
+    return bind_cpus_[static_cast<std::size_t>(worker_index)];
+  }
+  return core_offset_ + worker_index;
+}
+
 void NeoThreadPool::WorkerLoop(int worker_index) {
   if (bind_threads_) {
-    BindCurrentThreadToCore(core_offset_ + worker_index);
+    BindCurrentThreadToCore(BindCpuOf(worker_index));
   }
   auto& queue = workers_[static_cast<std::size_t>(worker_index)]->queue;
   int idle_spins = 0;

@@ -30,8 +30,11 @@ class NeoThreadPool final : public ThreadEngine {
   // (the scheduler participates in the work), so only num_workers-1 threads are spawned.
   // `core_offset` shifts the cores workers bind to: worker i binds to core
   // core_offset + i, which lets several pools coexist on disjoint core partitions (the
-  // serving executor pool; see src/runtime/partition.h).
-  explicit NeoThreadPool(int num_workers = 0, bool bind_threads = true, int core_offset = 0);
+  // serving executor pool; see src/runtime/partition.h). `bind_cpus`, when non-empty,
+  // overrides the contiguous rule: worker i binds to bind_cpus[i] — how NUMA-aware
+  // partitions hand a pool their exact (possibly non-contiguous) cpu set.
+  explicit NeoThreadPool(int num_workers = 0, bool bind_threads = true, int core_offset = 0,
+                         std::vector<int> bind_cpus = {});
   ~NeoThreadPool() override;
 
   NeoThreadPool(const NeoThreadPool&) = delete;
@@ -59,9 +62,13 @@ class NeoThreadPool final : public ThreadEngine {
   void WorkerLoop(int worker_index);
   void RunTask(const Task& task);
 
+  // The cpu worker i binds to (core_offset_ + i unless bind_cpus overrode it).
+  int BindCpuOf(int worker_index) const;
+
   int num_workers_ = 1;
   bool bind_threads_ = true;
   int core_offset_ = 0;
+  std::vector<int> bind_cpus_;
   std::vector<std::unique_ptr<Worker>> workers_;
   alignas(kCacheLineBytes) std::atomic<std::uint64_t> pending_{0};
   alignas(kCacheLineBytes) std::atomic<bool> shutdown_{false};

@@ -28,7 +28,10 @@ DynamicBatcher::DynamicBatcher(BatchingOptions options)
           "Realized batch sizes popped by executor-pool workers")),
       sheds_metric_(MetricsRegistry::Global().GetCounter(
           "neocpu_serve_requests_shed_total",
-          "Requests shed by bounded admission (queue-full + arena-cap)")) {}
+          "Requests shed by bounded admission (queue-full + arena-cap)")),
+      cross_node_metric_(MetricsRegistry::Global().GetCounter(
+          "neocpu_cross_node_dispatch_total",
+          "Batches executed on a different NUMA node than the model's last run")) {}
 
 bool DynamicBatcher::Compatible(const ServeRequest& a, const ServeRequest& b) {
   return a.batchable && b.batchable && a.model == b.model &&
@@ -75,19 +78,29 @@ bool DynamicBatcher::Push(ServeRequest request) {
   return TryPush(std::move(request)) == AdmitResult::kAccepted;
 }
 
-bool DynamicBatcher::PopBatch(std::vector<ServeRequest>* out) {
+bool DynamicBatcher::PopBatch(std::vector<ServeRequest>* out, int worker_node) {
   std::unique_lock<std::mutex> lock(mutex_);
+  if (worker_node >= 0) {
+    ++waiting_by_node_[worker_node];
+  }
+  // At most one affinity yield per pop: after the grace wait the batch goes to
+  // whichever worker gets here first — cross-node beats queueing.
+  bool yielded = false;
   for (;;) {
     ready_cv_.wait(lock, [&] {
       return !lanes_[0].empty() || !lanes_[1].empty() || shutdown_;
     });
     if (lanes_[0].empty() && lanes_[1].empty()) {
+      if (worker_node >= 0) {
+        --waiting_by_node_[worker_node];
+      }
       return false;  // shutdown and drained
     }
     // Lanes in priority order: the first lane with a flushable front batch wins; when
     // every non-empty lane is holding a partial batch, sleep until the earliest
     // deadline. The latency lane going first is the whole point of the lanes.
     bool have_deadline = false;
+    bool yield_now = false;
     std::chrono::steady_clock::time_point earliest{};
     for (std::deque<ServeRequest>& queue : lanes_) {
       if (queue.empty()) {
@@ -110,6 +123,21 @@ bool DynamicBatcher::PopBatch(std::vector<ServeRequest>* out) {
       const bool flush = run >= cap || blocked || shutdown_ ||
                          std::chrono::steady_clock::now() >= deadline;
       if (flush) {
+        // Socket-affine dispatch: when the batch's model last ran on another node and
+        // a worker of that node is parked right here, give it one bounded chance to
+        // claim the batch (its node holds the hot weight replica and warm LLC lines).
+        // Never past the request's own deadline, never during shutdown.
+        if (worker_node >= 0 && !yielded && !shutdown_) {
+          const auto hint = model_last_node_.find(queue.front().model);
+          if (hint != model_last_node_.end() && hint->second != worker_node) {
+            const auto parked = waiting_by_node_.find(hint->second);
+            if (parked != waiting_by_node_.end() && parked->second > 0 &&
+                std::chrono::steady_clock::now() < deadline) {
+              yield_now = true;
+              break;
+            }
+          }
+        }
         out->clear();
         out->reserve(run);
         for (std::size_t i = 0; i < run; ++i) {
@@ -118,12 +146,31 @@ bool DynamicBatcher::PopBatch(std::vector<ServeRequest>* out) {
         }
         UpdateQueueMetricsLocked();
         batch_size_metric_->Observe(static_cast<double>(run));
+        if (worker_node >= 0) {
+          const auto hint = model_last_node_.find(out->front().model);
+          if (hint != model_last_node_.end() && hint->second != worker_node) {
+            ++cross_node_dispatches_;
+            cross_node_metric_->Increment();
+          }
+          model_last_node_[out->front().model] = worker_node;
+          --waiting_by_node_[worker_node];
+        }
         return true;
       }
       if (!have_deadline || deadline < earliest) {
         have_deadline = true;
         earliest = deadline;
       }
+    }
+    if (yield_now) {
+      // The grace window is a fraction of the batching delay: long enough for a
+      // node-local worker to wake and take the batch, short enough that a busy remote
+      // socket falls back here instead of stalling the request.
+      yielded = true;
+      ready_cv_.wait_for(lock, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::duration<double, std::milli>(
+                                       std::max(0.05, options_.max_delay_ms * 0.25))));
+      continue;
     }
     // Partial batches only: wait for batch-mates until the earliest front-request
     // deadline. A timeout flushes whatever run has formed by then.
@@ -164,6 +211,7 @@ AdmissionStats DynamicBatcher::GetAdmissionStats() const {
   stats.sheds_queue_full = sheds_queue_full_;
   stats.sheds_arena = sheds_arena_;
   stats.inflight_arena_bytes = inflight_arena_bytes_;
+  stats.cross_node_dispatches = cross_node_dispatches_;
   return stats;
 }
 

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -85,6 +86,10 @@ struct AdmissionStats {
   std::uint64_t sheds_queue_full = 0;
   std::uint64_t sheds_arena = 0;
   std::size_t inflight_arena_bytes = 0;
+  // Batches taken by a worker on a different NUMA node than the one the model last
+  // executed on (socket-affine dispatch falling back across nodes). Always 0 on
+  // single-node hosts and for workers popping with worker_node = -1.
+  std::uint64_t cross_node_dispatches = 0;
 };
 
 class Counter;
@@ -112,7 +117,16 @@ class DynamicBatcher {
   // non-batchable (batch of one), or immediately on shutdown (drain). The latency lane
   // is always served before the throughput lane. Returns false only once the batcher is
   // shut down AND both lanes are empty.
-  bool PopBatch(std::vector<ServeRequest>* out);
+  //
+  // `worker_node` makes the dispatch socket-affine: a worker that passes its home NUMA
+  // node (>= 0) will briefly yield a flushable batch whose model last executed on a
+  // DIFFERENT node while a worker of that node is also waiting — the node with the hot
+  // weight replica and warm LLC gets first claim. The yield is one bounded grace wait
+  // (a fraction of max_delay_ms), after which the foreign worker takes the batch
+  // anyway: traffic falls back across nodes rather than queueing behind a busy socket.
+  // Cross-node takes are counted (AdmissionStats::cross_node_dispatches). -1 keeps the
+  // legacy strictly-FIFO behavior.
+  bool PopBatch(std::vector<ServeRequest>* out, int worker_node = -1);
 
   // Returns the arena charge taken at admission. The worker calls this once a batch's
   // requests are fulfilled; until then the bytes count against arena_bytes_cap.
@@ -139,6 +153,12 @@ class DynamicBatcher {
   std::size_t inflight_arena_bytes_ = 0;  // queued + executing; guarded by mutex_
   std::uint64_t sheds_queue_full_ = 0;
   std::uint64_t sheds_arena_ = 0;
+  std::uint64_t cross_node_dispatches_ = 0;
+  // Socket affinity state (guarded by mutex_): the node each model last executed on —
+  // where its LLC lines and (with replicas everywhere) its hot pages live — and how
+  // many workers per node are currently parked in PopBatch.
+  std::map<std::string, int> model_last_node_;
+  std::map<int, int> waiting_by_node_;
   // Process-global metrics (obs/metrics), resolved once at construction: instantaneous
   // queue depth / in-flight arena bytes, the realized batch-size distribution, and the
   // lifetime shed count. Every batcher in the process feeds the same instruments — the
@@ -147,6 +167,7 @@ class DynamicBatcher {
   Gauge* inflight_arena_metric_;
   Histogram* batch_size_metric_;
   Counter* sheds_metric_;
+  Counter* cross_node_metric_;
 };
 
 }  // namespace neocpu

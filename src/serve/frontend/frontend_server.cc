@@ -13,6 +13,7 @@
 
 #include "src/base/string_util.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace neocpu {
 
@@ -404,9 +405,21 @@ void FrontendServer::HandleHttp(int fd) {
   } else if (path == "/stats") {
     response =
         HttpResponse(200, "OK", "application/json", server_->Stats().ToJson() + "\n");
+  } else if (path == "/trace") {
+    // Chrome-trace export of the server's TraceRecorder (load into chrome://tracing
+    // or Perfetto). Only present when the server was built with a tracer.
+    TraceRecorder* tracer = server_->tracer();
+    if (tracer == nullptr) {
+      response = HttpResponse(
+          404, "Not Found", "text/plain",
+          "tracing is off: construct the server with ServerOptions::tracer\n");
+    } else {
+      response = HttpResponse(200, "OK", "application/json", tracer->ToJson() + "\n");
+    }
   } else {
-    response = HttpResponse(404, "Not Found", "text/plain",
-                            "unknown path; try /healthz /metrics /metrics.json /stats\n");
+    response = HttpResponse(
+        404, "Not Found", "text/plain",
+        "unknown path; try /healthz /metrics /metrics.json /stats /trace\n");
   }
   SendAll(fd, reinterpret_cast<const std::uint8_t*>(response.data()), response.size());
 }

@@ -4,8 +4,9 @@
 // thread. The first bytes of a connection select the dialect:
 //
 //   "GET "            → minimal HTTP/1.1: /healthz, /metrics (Prometheus),
-//                       /metrics.json, /stats (ServerStats JSON). One response,
-//                       Connection: close.
+//                       /metrics.json, /stats (ServerStats JSON), /trace
+//                       (chrome-trace JSON when the server has a TraceRecorder).
+//                       One response, Connection: close.
 //   anything else     → the length-prefixed binary protocol (wire_protocol.h), a
 //                       stream of infer-request frames answered in order.
 //

@@ -1,5 +1,6 @@
 #include "src/serve/inference_server.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -16,23 +17,71 @@ namespace neocpu {
 
 InferenceServer::InferenceServer(ServerOptions options)
     : batcher_(options.batching), options_(options) {
+  const CpuTopology& topology = HostTopology();
+  num_nodes_ = topology.num_nodes();
   const int cores = options_.total_workers > 0 ? options_.total_workers
                                                : HostCpuInfo().physical_cores;
   num_executors_ = options_.num_executors > 0 ? options_.num_executors
                                               : (cores >= 2 ? 2 : 1);
-  // Partition the cores across the pool. When the pool is wider than the core count
-  // (useful on small CI hosts), the extra workers run serial executors that timeshare.
-  std::vector<CorePartition> plan = PlanCorePartitions(num_executors_, cores);
-
-  // Background re-tunes run unpinned, seeded at the last partition's cores — the
-  // "spare" end of the plan — so a re-tune competes with at most one executor rather
-  // than with the whole pool.
+  // Partition the cores across the pool, node-aligned on multi-node hosts. When the
+  // pool is wider than the core count (useful on small CI hosts), the extra workers
+  // run serial executors that timeshare. With measured_tuning_partition the tuning
+  // slice is carved out first and serving gets the rest.
   RetuneOptions retune;
   retune.enabled = options_.background_retune;
   retune.num_workers = options_.retune_workers > 0 ? options_.retune_workers : 1;
-  retune.core_offset = plan.empty() ? 0 : plan.back().core_offset;
   retune.bind_threads = false;
+  if (options_.measured_tuning_partition) {
+    ServingPlan serving_plan =
+        PlanServingAndTuning(num_executors_, options_.total_workers, topology);
+    partitions_ = std::move(serving_plan.serving);
+    tuning_partition_ = std::move(serving_plan.tuning);
+    has_tuning_partition_ = serving_plan.has_dedicated_tuning;
+  } else {
+    partitions_ = PlanCorePartitions(num_executors_, options_.total_workers, topology);
+  }
+  if (has_tuning_partition_) {
+    // Measured-mode re-tunes run pinned on the dedicated slice: real-hardware kernel
+    // timings taken off the serving path, winners promoted into the shared cache.
+    retune.cpus = tuning_partition_.cpus.empty()
+                      ? std::vector<int>{tuning_partition_.core_offset}
+                      : tuning_partition_.cpus;
+    retune.bind_threads = options_.bind_threads;
+    retune.measured = true;
+  } else {
+    // Legacy path: background re-tunes run unpinned, seeded at the last partition's
+    // cores — the "spare" end of the plan — so a re-tune competes with at most one
+    // executor rather than with the whole pool.
+    retune.core_offset = partitions_.empty() ? 0 : partitions_.back().core_offset;
+  }
   registry_.ConfigureRetune(retune);
+
+  // Per-socket weight replicas when the serving plan spans nodes: every partition then
+  // reads its model constants from node-local pages (ExecutorFor in WorkerLoop).
+  std::vector<int> replica_nodes;
+  for (const CorePartition& partition : partitions_) {
+    if (std::find(replica_nodes.begin(), replica_nodes.end(), partition.home_node) ==
+        replica_nodes.end()) {
+      replica_nodes.push_back(partition.home_node);
+    }
+  }
+  if (replica_nodes.size() > 1) {
+    registry_.ConfigureReplicas(replica_nodes);
+  }
+
+  MetricsRegistry::Global()
+      .GetGauge("neocpu_topology_nodes", "NUMA nodes visible to the serving plan")
+      ->Set(static_cast<double>(num_nodes_));
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    MetricsRegistry::Global()
+        .GetGauge(StrFormat("neocpu_partition_%d_home_node", static_cast<int>(i)),
+                  "Home NUMA node of this serving partition")
+        ->Set(static_cast<double>(partitions_[i].home_node));
+    MetricsRegistry::Global()
+        .GetGauge(StrFormat("neocpu_partition_%d_width", static_cast<int>(i)),
+                  "Worker threads of this serving partition")
+        ->Set(static_cast<double>(partitions_[i].num_workers));
+  }
 
   if (options_.profile_sample_rate > 0) {
     registry_.ConfigureProfiling(options_.profile_sample_rate);
@@ -43,9 +92,9 @@ InferenceServer::InferenceServer(ServerOptions options)
 
   workers_.reserve(static_cast<std::size_t>(num_executors_));
   for (int i = 0; i < num_executors_; ++i) {
-    const bool pooled = i < static_cast<int>(plan.size());
+    const bool pooled = i < static_cast<int>(partitions_.size());
     const CorePartition partition =
-        pooled ? plan[static_cast<std::size_t>(i)] : CorePartition{0, 1};
+        pooled ? partitions_[static_cast<std::size_t>(i)] : CorePartition{};
     workers_.emplace_back([this, partition, pooled] { WorkerLoop(partition, pooled); });
   }
 }
@@ -169,11 +218,15 @@ SubmitTicket InferenceServer::TrySubmit(const std::string& model, Tensor input,
 
 void InferenceServer::WorkerLoop(const CorePartition& partition, bool pooled) {
   // Built in-thread so this thread is worker 0 of its partition, bound to the
-  // partition's first core.
+  // partition's first cpu. Single-core partitions pin too (PinnedSerialEngine) so
+  // their placement — and their arena's first touch — lands on the planned cpu.
   std::unique_ptr<ThreadEngine> owned;
   if (pooled && partition.num_workers > 1) {
     owned = std::make_unique<NeoThreadPool>(partition.num_workers, options_.bind_threads,
-                                            partition.core_offset);
+                                            partition.core_offset, partition.cpus);
+  } else if (pooled && options_.bind_threads) {
+    owned = std::make_unique<PinnedSerialEngine>(
+        partition.cpus.empty() ? partition.core_offset : partition.cpus.front());
   } else {
     owned = std::make_unique<SerialEngine>();
   }
@@ -181,12 +234,20 @@ void InferenceServer::WorkerLoop(const CorePartition& partition, bool pooled) {
 
   // One warm arena per pool worker: planned executions reuse this block request after
   // request, so its pages are faulted once and stay resident and local to this
-  // partition's cores (the partition's own threads do the first touch). It grows to
+  // partition's cores (the partition's own threads do the first touch, and on NUMA
+  // hosts the arena is additionally bound to the partition's home node). It grows to
   // the largest plan this worker ever runs and then never allocates again.
   Arena arena;
+  if (pooled) {
+    arena.set_home_node(partition.home_node);
+  }
+
+  // Socket-affine pops only when there is more than one node to be affine to; -1 keeps
+  // the batcher's strictly-FIFO single-node fast path.
+  const int worker_node = (pooled && num_nodes_ > 1) ? partition.home_node : -1;
 
   std::vector<ServeRequest> batch;
-  while (batcher_.PopBatch(&batch)) {
+  while (batcher_.PopBatch(&batch, worker_node)) {
     ModelEntry* entry = registry_.Find(batch[0].model);
     NEOCPU_CHECK(entry != nullptr) << "model vanished: " << batch[0].model;
     const std::int64_t n = static_cast<std::int64_t>(batch.size());
@@ -201,9 +262,11 @@ void InferenceServer::WorkerLoop(const CorePartition& partition, bool pooled) {
     std::vector<Tensor> results;
     results.reserve(batch.size());
     if (n == 1) {
-      // The shared_ptr pins the variant across a concurrent re-tune hot swap.
+      // The shared_ptr pins the variant across a concurrent re-tune hot swap;
+      // ExecutorFor picks this partition's node-local weight replica when one exists.
       const ModelEntry::VariantPtr variant = entry->VariantFor(1);
-      results.push_back(variant->executor->Run(batch[0].input, engine, &arena));
+      results.push_back(variant->ExecutorFor(partition.home_node)
+                            ->Run(batch[0].input, engine, &arena));
     } else {
       std::vector<Tensor> samples;
       samples.reserve(batch.size());
@@ -212,7 +275,8 @@ void InferenceServer::WorkerLoop(const CorePartition& partition, bool pooled) {
       }
       const ModelEntry::VariantPtr variant = entry->VariantFor(n);
       Tensor stacked = StackBatch(samples);
-      results = SplitBatch(variant->executor->Run(stacked, engine, &arena), n);
+      results = SplitBatch(
+          variant->ExecutorFor(partition.home_node)->Run(stacked, engine, &arena), n);
     }
 
     // Stats first, promises last: a client that sees its future ready must also see the
@@ -289,12 +353,18 @@ ServerStats InferenceServer::Stats() const {
   stats.requests_shed_queue_full = admission.sheds_queue_full;
   stats.requests_shed_arena = admission.sheds_arena;
   stats.requests_shed = admission.sheds_queue_full + admission.sheds_arena;
+  stats.cross_node_dispatches = admission.cross_node_dispatches;
+
+  stats.num_nodes = num_nodes_;
+  stats.num_partitions = static_cast<int>(partitions_.size());
+  stats.has_tuning_partition = has_tuning_partition_;
 
   const EntryTuningStats tuning = registry_.AggregateTuningStats();
   stats.retunes_started = tuning.retunes_started;
   stats.retunes_completed = tuning.retunes_completed;
   stats.retunes_failed = tuning.retunes_failed;
   stats.retunes_deferred = tuning.retunes_deferred;
+  stats.measured_retunes_promoted = tuning.measured_retunes_promoted;
   stats.tuning_cache = tuning.cache;
 
   for (const std::string& name : registry_.ModelNames()) {

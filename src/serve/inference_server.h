@@ -13,6 +13,16 @@
 // itself becomes worker 0 of its partition's fork-join pool, pinned to the partition's
 // first core.
 //
+// On multi-node (NUMA) hosts the plan is topology-aware (src/runtime/topology.h): no
+// partition straddles a node boundary, each worker's arena is bound to its partition's
+// home node, constant weights are replicated per node (model_registry), and the batcher
+// dispatch is socket-affine — a batch prefers a worker on the node where the model's
+// weights are hot, falling back across nodes rather than queueing. Single-node hosts
+// get the exact legacy plan. With measured_tuning_partition the smallest slice the
+// topology offers (HT siblings when present) is carved off the serving plan and runs
+// MEASURED-mode re-tunes — real-hardware timings taken off the serving path, winners
+// promoted into the shared TuningCache.
+//
 // Submit is thread-safe and non-blocking; results arrive through std::future. The
 // admission queue is BOUNDED (BatchingOptions::queue_limit, plus an optional cap on
 // aggregate in-flight arena bytes): under overload TrySubmit sheds with a typed verdict
@@ -51,6 +61,14 @@ struct ServerOptions {
   // executor partitions (pointed at the last partition's cores, unpinned).
   bool background_retune = true;
   int retune_workers = 1;
+  // Carve a dedicated measured-mode tuning partition out of the serving plan: the
+  // smallest slice the topology offers (one core's HT siblings when the host has them,
+  // else the last cpu) runs background re-tunes in MEASURED cost mode, pinned, off the
+  // serving path; winners are promoted into the shared TuningCache under kMeasured
+  // keys. On a host too small to carve (one online cpu) serving keeps every core and
+  // re-tunes fall back to the legacy unpinned analytic path (tuning_partition() is
+  // null). Implies bind_threads semantics for the tuning slice only.
+  bool measured_tuning_partition = false;
   BatchingOptions batching;
   // Per-node profiling across every registered model: one Run in `profile_sample_rate`
   // is timed node by node (0 = off; 1 = every Run). Snapshots surface per model in
@@ -123,6 +141,18 @@ class InferenceServer {
 
   ServerStats Stats() const;
   int num_executors() const { return num_executors_; }
+  // The realized serving plan: one partition per pooled executor, node-aligned on
+  // multi-node hosts (partition i backs worker i; workers beyond the plan timeshare).
+  const std::vector<CorePartition>& partitions() const { return partitions_; }
+  // The dedicated measured-mode tuning slice, or null when measured_tuning_partition
+  // is off or the host is too small to carve one.
+  const CorePartition* tuning_partition() const {
+    return has_tuning_partition_ ? &tuning_partition_ : nullptr;
+  }
+  // NUMA nodes visible to the plan (1 on single-socket hosts).
+  int num_nodes() const { return num_nodes_; }
+  // The chrome-trace recorder this server was built with (null = tracing off).
+  TraceRecorder* tracer() const { return options_.tracer; }
 
   // Blocks until every background per-batch re-tune has finished (tests; controlled
   // benchmarking of the fully-tuned steady state).
@@ -135,6 +165,10 @@ class InferenceServer {
   DynamicBatcher batcher_;
   ServerOptions options_;
   int num_executors_ = 1;
+  int num_nodes_ = 1;
+  std::vector<CorePartition> partitions_;
+  CorePartition tuning_partition_;
+  bool has_tuning_partition_ = false;
   std::vector<std::thread> workers_;
   std::atomic<bool> stopped_{false};
 

@@ -7,9 +7,22 @@
 #include "src/core/serialization.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/runtime/partition.h"
 #include "src/runtime/thread_pool.h"
+#include "src/runtime/topology.h"
 
 namespace neocpu {
+
+Executor* ModelEntry::Variant::ExecutorFor(int node) const {
+  if (node >= 0 && replicas_ready.load(std::memory_order_acquire)) {
+    for (const std::unique_ptr<Replica>& replica : replicas) {
+      if (replica->node == node) {
+        return replica->executor.get();
+      }
+    }
+  }
+  return executor.get();
+}
 
 bool RetuneBudget::TryAcquire() {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -94,6 +107,42 @@ ModelEntry::VariantPtr ModelEntry::MakeVariant(CompiledModel model) {
   return variant;
 }
 
+void ModelEntry::BuildReplicasLocked(const Variant& variant) {
+  if (replica_nodes_.empty() || variant.replicas_ready.load(std::memory_order_acquire)) {
+    return;
+  }
+  const CpuTopology& topology = HostTopology();
+  for (int node : replica_nodes_) {
+    auto replica = std::make_unique<Variant::Replica>();
+    replica->node = node;
+    // Node headers copy cheaply; the constant payloads still share the base's buffers
+    // until the pinned builder thread below deep-clones them.
+    replica->graph = variant.model->graph();
+    // Clone on a thread pinned to the replica's node: the clone's allocation is
+    // first-touched by the copy itself, so the weight pages land node-locally. Nodes
+    // the host doesn't have (forced test layouts) clone unpinned — still a distinct
+    // copy, exercising the exact serving path.
+    Graph* graph = &replica->graph;
+    const int bind_cpu = topology.FirstCpuOfNode(node);
+    std::thread builder([graph, bind_cpu] {
+      if (bind_cpu >= 0) {
+        BindCurrentThreadToCpu(bind_cpu);
+      }
+      for (int id = 0; id < graph->num_nodes(); ++id) {
+        Node& n = graph->node(id);
+        if (n.type == OpType::kConstant && n.payload.defined()) {
+          n.payload = n.payload.Clone();
+        }
+      }
+    });
+    builder.join();
+    replica->executor = std::make_unique<Executor>(&replica->graph, /*engine=*/nullptr,
+                                                   variant.model->plan());
+    variant.replicas.push_back(std::move(replica));
+  }
+  variant.replicas_ready.store(true, std::memory_order_release);
+}
+
 ModelEntry::VariantPtr ModelEntry::VariantFor(std::int64_t batch) {
   NEOCPU_CHECK_GE(batch, 1);
   VariantPtr result;
@@ -113,6 +162,7 @@ ModelEntry::VariantPtr ModelEntry::VariantFor(std::int64_t batch) {
       // exactly this batch size (or there is no tuning state to improve it with).
       slot.tuned = rebound.stats().tuned_batch == batch || !rebound.has_source();
       slot.current = MakeVariant(std::move(rebound));
+      BuildReplicasLocked(*slot.current);
       AttachObservabilityLocked(*slot.current);
       it = variants_.emplace(batch, std::move(slot)).first;
     }
@@ -167,16 +217,34 @@ void ModelEntry::RetuneSlot(std::int64_t batch) {
     opts = retune_options_;
   }
   // The engine lives in this background thread: re-tunes run off the serving executors'
-  // partitions (measured-mode tuning gets its own small pool on the spare cores).
+  // partitions. The measured-mode tuning partition hands its exact cpu slice through
+  // opts.cpus — the engine (and this thread, as its worker 0) binds there, so
+  // real-hardware timings never run on cores serving traffic.
   std::unique_ptr<ThreadEngine> engine;
-  if (opts.num_workers > 1) {
+  if (!opts.cpus.empty()) {
+    const CorePartition tuning_slice{opts.cpus.front(),
+                                     static_cast<int>(opts.cpus.size()), 0, opts.cpus};
+    engine = MakePartitionEngine(tuning_slice, opts.bind_threads);
+  } else if (opts.num_workers > 1) {
     engine = std::make_unique<NeoThreadPool>(opts.num_workers, opts.bind_threads,
                                              opts.core_offset);
   } else {
     engine = std::make_unique<SerialEngine>();
   }
+  // Measured mode flips the cost model to real-hardware timings for this re-tune; the
+  // winners are keyed kMeasured in the shared cache, so they coexist with (never
+  // overwrite) the analytic entries and every future compile against the shared cache
+  // in measured mode is a pure lookup — the promotion.
+  CompileConfig measured_config;
+  const CompileConfig* config_override = nullptr;
+  if (opts.measured) {
+    measured_config = base->model->config();
+    measured_config.cost_mode = CostMode::kMeasured;
+    config_override = &measured_config;
+  }
   CompiledModel tuned;
-  const bool ok = RetuneForBatch(*base->model, batch, engine.get(), &tuned);
+  const bool ok =
+      RetuneForBatch(*base->model, batch, engine.get(), &tuned, config_override);
   // Build the replacement variant before taking the lock: only the pointer swap needs
   // the mutex, not the executor construction.
   VariantPtr replacement = ok ? MakeVariant(std::move(tuned)) : nullptr;
@@ -187,6 +255,7 @@ void ModelEntry::RetuneSlot(std::int64_t batch) {
   --retunes_inflight_;
   if (ok) {
     slot.current = std::move(replacement);  // hot swap; old variant drains via shared_ptr
+    BuildReplicasLocked(*slot.current);
     AttachObservabilityLocked(*slot.current);
     slot.tuned = true;
     retunes_completed_.fetch_add(1, std::memory_order_relaxed);
@@ -194,6 +263,13 @@ void ModelEntry::RetuneSlot(std::int64_t batch) {
         .GetCounter("neocpu_retunes_completed_total",
                     "Background per-batch re-tunes that hot-swapped a variant")
         ->Increment();
+    if (opts.measured) {
+      measured_promoted_.fetch_add(1, std::memory_order_relaxed);
+      MetricsRegistry::Global()
+          .GetCounter("neocpu_measured_retunes_promoted_total",
+                      "Measured-mode re-tunes whose winners entered the shared cache")
+          ->Increment();
+    }
   } else {
     slot.tuned = true;  // don't retry a model that cannot be re-tuned
     retunes_failed_.fetch_add(1, std::memory_order_relaxed);
@@ -209,19 +285,38 @@ void ModelEntry::ConfigureRetune(const RetuneOptions& options) {
   retune_options_ = options;
 }
 
+void ModelEntry::ConfigureReplicas(const std::vector<int>& nodes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!replica_nodes_.empty()) {
+    return;  // replication is configured once (the server does it at startup)
+  }
+  replica_nodes_ = nodes;
+  for (auto& [batch, slot] : variants_) {
+    BuildReplicasLocked(*slot.current);
+    // Re-attach so the replicas' executors pick up the profiler/tracer too.
+    AttachObservabilityLocked(*slot.current);
+  }
+}
+
 void ModelEntry::AttachObservabilityLocked(const Variant& variant) {
   // variant is shared as const, but its executor is reached through a const
   // unique_ptr whose pointee stays mutable — and the hook setters are atomic
   // stores, safe against Runs already in flight.
+  NodeProfiler* profiler = nullptr;
   if (profile_sample_rate_ > 0) {
-    auto profiler = std::make_unique<NodeProfiler>(profile_sample_rate_);
-    profiler->RegisterGraph(variant.model->graph());
-    variant.executor->SetProfiler(profiler.get());
-    profilers_.push_back(std::move(profiler));
-  } else {
-    variant.executor->SetProfiler(nullptr);
+    auto owned = std::make_unique<NodeProfiler>(profile_sample_rate_);
+    owned->RegisterGraph(variant.model->graph());
+    profiler = owned.get();
+    profilers_.push_back(std::move(owned));
   }
+  variant.executor->SetProfiler(profiler);
   variant.executor->SetTracer(tracer_);
+  // Replicas execute the same node ids, so they share the variant's profiler — the
+  // snapshot aggregates all nodes' executions regardless of which replica ran them.
+  for (const std::unique_ptr<Variant::Replica>& replica : variant.replicas) {
+    replica->executor->SetProfiler(profiler);
+    replica->executor->SetTracer(tracer_);
+  }
 }
 
 void ModelEntry::ConfigureProfiling(std::uint32_t sample_rate) {
@@ -237,6 +332,9 @@ void ModelEntry::ConfigureTracing(TraceRecorder* tracer) {
   tracer_ = tracer;
   for (auto& [batch, slot] : variants_) {
     slot.current->executor->SetTracer(tracer_);
+    for (const std::unique_ptr<Variant::Replica>& replica : slot.current->replicas) {
+      replica->executor->SetTracer(tracer_);
+    }
   }
 }
 
@@ -276,6 +374,7 @@ EntryTuningStats ModelEntry::TuningStats() const {
   stats.retunes_completed = retunes_completed_.load(std::memory_order_relaxed);
   stats.retunes_failed = retunes_failed_.load(std::memory_order_relaxed);
   stats.retunes_deferred = retunes_deferred_.load(std::memory_order_relaxed);
+  stats.measured_retunes_promoted = measured_promoted_.load(std::memory_order_relaxed);
   if (std::shared_ptr<TuningCache> cache = tuning_cache()) {
     stats.cache = cache->Stats();
   }
@@ -300,6 +399,9 @@ ModelEntry* ModelRegistry::Register(std::string name, CompiledModel model) {
   ModelEntry* raw = entry.get();
   std::lock_guard<std::mutex> lock(mutex_);
   entry->ConfigureRetune(retune_options_);
+  if (!replica_nodes_.empty()) {
+    entry->ConfigureReplicas(replica_nodes_);
+  }
   if (profile_sample_rate_ > 0) {
     entry->ConfigureProfiling(profile_sample_rate_);
   }
@@ -352,6 +454,14 @@ void ModelRegistry::ConfigureRetune(const RetuneOptions& options) {
   }
 }
 
+void ModelRegistry::ConfigureReplicas(const std::vector<int>& nodes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  replica_nodes_ = nodes;
+  for (const auto& [name, entry] : entries_) {
+    entry->ConfigureReplicas(nodes);
+  }
+}
+
 void ModelRegistry::ConfigureProfiling(std::uint32_t sample_rate) {
   std::lock_guard<std::mutex> lock(mutex_);
   profile_sample_rate_ = sample_rate;
@@ -387,6 +497,7 @@ EntryTuningStats ModelRegistry::AggregateTuningStats() const {
     total.retunes_completed += stats.retunes_completed;
     total.retunes_failed += stats.retunes_failed;
     total.retunes_deferred += stats.retunes_deferred;
+    total.measured_retunes_promoted += stats.measured_retunes_promoted;
     const std::shared_ptr<TuningCache> cache = entry->tuning_cache();
     if (cache != nullptr && seen_caches.insert(cache.get()).second) {
       total.cache.hits += stats.cache.hits;

@@ -71,6 +71,16 @@ struct RetuneOptions {
   // bind_threads; unpinned re-tunes timeshare politely.
   int core_offset = 0;
   bool bind_threads = false;
+  // Explicit cpu ids for the re-tune engine — the measured-mode tuning partition
+  // (src/runtime/partition.h PlanServingAndTuning). Non-empty overrides num_workers /
+  // core_offset: the engine gets exactly these cpus, pinned when bind_threads.
+  std::vector<int> cpus;
+  // Run re-tunes in MEASURED cost mode (real-hardware kernel timings) instead of the
+  // model's compile-time mode. Winners land under kMeasured workload keys in the
+  // shared TuningCache — the promotion the dedicated tuning partition exists for.
+  // Only sane together with a dedicated `cpus` slice; measured timings taken on cores
+  // serving traffic would be noise and would perturb serving tails.
+  bool measured = false;
   // Registry-wide cap on concurrent re-tunes (0 = unlimited). ModelRegistry
   // materializes `budget` from this when it configures its entries; standalone
   // ModelEntry users may share a budget across entries themselves.
@@ -84,6 +94,9 @@ struct EntryTuningStats {
   std::uint64_t retunes_completed = 0;
   std::uint64_t retunes_failed = 0;
   std::uint64_t retunes_deferred = 0;  // skipped because the registry budget was spent
+  // Completed MEASURED-mode re-tunes: real-hardware winners promoted into the shared
+  // cache by the tuning partition.
+  std::uint64_t measured_retunes_promoted = 0;
   TuningCacheStats cache;  // zeroed when the model carries no tuning cache
 };
 
@@ -107,6 +120,26 @@ class ModelEntry {
   struct Variant {
     std::unique_ptr<CompiledModel> model;
     std::unique_ptr<Executor> executor;  // engine-less; pass one per Run call
+
+    // Per-NUMA-node weight replica: the same executable graph with every constant
+    // payload deep-cloned by a thread pinned to the replica's node, so first-touch
+    // places the weight pages node-locally. Structure, schedules, and the memory plan
+    // are shared with the base — only the read-only payload bytes are duplicated.
+    struct Replica {
+      int node = -1;
+      Graph graph;
+      std::unique_ptr<Executor> executor;
+    };
+    // Built once, off the serving path, then read-only; `replicas_ready` publishes
+    // the list so in-flight Runs racing the build simply use the base executor.
+    // Mutable because variants circulate as shared_ptr<const Variant> and the build
+    // happens after publication (guarded by the owning entry's mutex).
+    mutable std::vector<std::unique_ptr<Replica>> replicas;
+    mutable std::atomic<bool> replicas_ready{false};
+
+    // The executor a partition homed on `node` should Run: the node's replica when
+    // one exists, else the base. Zero allocations; safe concurrently with the build.
+    Executor* ExecutorFor(int node) const;
   };
   using VariantPtr = std::shared_ptr<const Variant>;
 
@@ -117,6 +150,15 @@ class ModelEntry {
   VariantPtr VariantFor(std::int64_t batch);
 
   void ConfigureRetune(const RetuneOptions& options);
+
+  // Replicates read-only constant weights onto each listed NUMA node: every current
+  // and future variant of this entry grows one node-local weight replica per node
+  // (ExecutorFor picks it by the executing partition's home node). Replication runs
+  // here and at variant materialization / re-tune hot-swap — never on the serving
+  // path — so steady-state execution stays zero-alloc. Nodes absent from the host
+  // topology still replicate (tests force multi-node layouts on one-node hosts);
+  // their builder threads just don't pin.
+  void ConfigureReplicas(const std::vector<int>& nodes);
 
   // Per-node profiling across every batch variant of this entry. `sample_rate` N times
   // one Run in N per variant (0 disables). Takes effect immediately on live variants —
@@ -145,6 +187,10 @@ class ModelEntry {
   };
 
   static VariantPtr MakeVariant(CompiledModel model);
+  // Builds one node-local weight replica per configured node into `variant`. Called
+  // with mutex_ held, before (or as) the variant enters service; no-op when already
+  // replicated or no nodes are configured.
+  void BuildReplicasLocked(const Variant& variant);
   // Runs in a background thread: re-tunes `batch` and hot-swaps the slot on success.
   void RetuneSlot(std::int64_t batch);
   // Attaches a fresh profiler (when profiling is on) and the tracer to a variant's
@@ -159,6 +205,7 @@ class ModelEntry {
   mutable std::mutex mutex_;
   std::map<std::int64_t, Slot> variants_;
   RetuneOptions retune_options_;
+  std::vector<int> replica_nodes_;  // NUMA nodes to replicate weights onto
   std::uint32_t profile_sample_rate_ = 0;  // 0 = profiling off; guarded by mutex_
   TraceRecorder* tracer_ = nullptr;        // borrowed; guarded by mutex_
   // One profiler per profiled variant, kept past hot swaps so snapshots cover history.
@@ -169,6 +216,7 @@ class ModelEntry {
   std::atomic<std::uint64_t> retunes_completed_{0};
   std::atomic<std::uint64_t> retunes_failed_{0};
   std::atomic<std::uint64_t> retunes_deferred_{0};
+  std::atomic<std::uint64_t> measured_promoted_{0};
 };
 
 class ModelRegistry {
@@ -198,6 +246,11 @@ class ModelRegistry {
   // partition once it knows its own core plan).
   void ConfigureRetune(const RetuneOptions& options);
 
+  // Replicates every entry's constant weights onto each listed NUMA node (see
+  // ModelEntry::ConfigureReplicas). Applied to current and future entries; the server
+  // calls this with its serving partitions' home nodes when the plan spans nodes.
+  void ConfigureReplicas(const std::vector<int>& nodes);
+
   // Per-node profiling / tracing applied to every current and future entry (see
   // ModelEntry::ConfigureProfiling / ConfigureTracing).
   void ConfigureProfiling(std::uint32_t sample_rate);
@@ -216,6 +269,7 @@ class ModelRegistry {
   // it is safe to hand out without the mutex).
   const std::shared_ptr<TuningCache> shared_cache_ = std::make_shared<TuningCache>();
   RetuneOptions retune_options_;
+  std::vector<int> replica_nodes_;
   std::uint32_t profile_sample_rate_ = 0;
   TraceRecorder* tracer_ = nullptr;
   // Entries displaced by a same-name Register. Kept alive for the registry's lifetime:

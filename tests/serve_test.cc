@@ -612,5 +612,128 @@ TEST(InferenceServer, ShutdownDrainsPendingRequests) {
   EXPECT_EQ(server.Stats().completed, 3u);
 }
 
+TEST(ModelEntry, MeasuredRetunePromotesIntoSharedCache) {
+  // The tuning-partition contract at the registry level: a measured-mode re-tune runs
+  // on its own cpu slice, its winners land in the shared cache under kMeasured keys,
+  // and the promotion is observable in the entry's stats.
+  ModelRegistry registry;
+  RetuneOptions retune;
+  retune.measured = true;
+  retune.cpus = {0};  // the (degenerate, one-cpu) tuning partition on this host
+  registry.ConfigureRetune(retune);
+  ModelEntry* entry = registry.Register("tiny", Compile(BuildTinyCnn()));
+
+  entry->VariantFor(4);
+  entry->WaitForRetunes();
+  EXPECT_EQ(entry->VariantFor(4)->model->stats().tuned_batch, 4);
+
+  const EntryTuningStats stats = entry->TuningStats();
+  EXPECT_EQ(stats.retunes_completed, 1u);
+  EXPECT_EQ(stats.measured_retunes_promoted, 1u);
+  bool has_measured_key = false;
+  for (const WorkloadKey& key : registry.shared_tuning_cache()->Keys()) {
+    has_measured_key |= key.cost_mode == CostMode::kMeasured;
+  }
+  EXPECT_TRUE(has_measured_key)
+      << "measured re-tune left no kMeasured entries in the shared cache";
+}
+
+TEST(InferenceServer, MeasuredTuningPartitionDegradesGracefullyAndReportsTopology) {
+  // measured_tuning_partition on a small host must not break serving: either a
+  // dedicated slice is carved (disjoint from every serving partition) or the server
+  // falls back to sharing, and the topology stats stay coherent either way.
+  ServerOptions options;
+  options.num_executors = 1;
+  options.batching.max_batch_size = 1;
+  options.bind_threads = false;
+  options.measured_tuning_partition = true;
+  InferenceServer server(options);
+  server.RegisterModel("tiny", Compile(BuildTinyCnn()));
+  Tensor input = SampleInput(7);
+  EXPECT_TRUE(server.Submit("tiny", input).get().defined());
+
+  ASSERT_FALSE(server.partitions().empty());
+  const ServerStats stats = server.Stats();
+  EXPECT_GE(stats.num_nodes, 1);
+  EXPECT_EQ(stats.num_partitions, static_cast<int>(server.partitions().size()));
+  const CorePartition* tuning = server.tuning_partition();
+  EXPECT_EQ(stats.has_tuning_partition, tuning != nullptr);
+  if (tuning != nullptr) {
+    // The dedicated slice never overlaps a serving partition's cpus.
+    std::set<int> tuning_cpus(tuning->cpus.begin(), tuning->cpus.end());
+    if (tuning_cpus.empty()) {
+      tuning_cpus.insert(tuning->core_offset);
+    }
+    for (const CorePartition& serving : server.partitions()) {
+      if (serving.cpus.empty()) {
+        for (int c = serving.core_offset; c < serving.core_offset + serving.num_workers;
+             ++c) {
+          EXPECT_EQ(tuning_cpus.count(c), 0u) << "serving cpu " << c << " in tuning slice";
+        }
+      } else {
+        for (int c : serving.cpus) {
+          EXPECT_EQ(tuning_cpus.count(c), 0u) << "serving cpu " << c << " in tuning slice";
+        }
+      }
+    }
+  }
+  // Single-node hosts never dispatch cross-node.
+  if (stats.num_nodes == 1) {
+    EXPECT_EQ(stats.cross_node_dispatches, 0u);
+  }
+}
+
+TEST(ModelEntry, ReplicasServeNodeLocalExecutorsBitExactly) {
+  // Forced two-node replication on a (possibly) one-node host: every configured node
+  // gets its own executor over cloned weights, unknown/unhomed nodes fall back to the
+  // base, and all of them compute bit-identical results.
+  ModelRegistry registry;
+  ModelEntry* entry = registry.Register("tiny", Compile(BuildTinyCnn()));
+  registry.ConfigureReplicas({0, 1});
+
+  ModelEntry::VariantPtr variant = entry->VariantFor(1);
+  Executor* base = variant->executor.get();
+  Executor* rep0 = variant->ExecutorFor(0);
+  Executor* rep1 = variant->ExecutorFor(1);
+  ASSERT_NE(rep0, nullptr);
+  ASSERT_NE(rep1, nullptr);
+  EXPECT_NE(rep0, base);
+  EXPECT_NE(rep1, base);
+  EXPECT_NE(rep0, rep1);
+  EXPECT_EQ(variant->ExecutorFor(7), base);   // node nobody replicated onto
+  EXPECT_EQ(variant->ExecutorFor(-1), base);  // unhomed partition
+
+  Tensor input = SampleInput(11);
+  Tensor from_base = base->Run(input);
+  EXPECT_EQ(Tensor::MaxAbsDiff(rep0->Run(input), from_base), 0.0);
+  EXPECT_EQ(Tensor::MaxAbsDiff(rep1->Run(input), from_base), 0.0);
+}
+
+TEST(ModelEntry, ReplicaExecutionStaysZeroAllocOnPlannedPath) {
+  // The replica path must preserve the planned-serving allocation discipline: after
+  // warm-up, a replica executor running against a warm arena allocates only the
+  // escaping output tensor.
+  ModelRegistry registry;
+  ModelEntry* entry = registry.Register("tiny", Compile(BuildTinyCnn()));
+  registry.ConfigureReplicas({0, 1});
+  entry->WaitForRetunes();
+
+  ModelEntry::VariantPtr variant = entry->VariantFor(1);
+  ASSERT_NE(variant->model->plan(), nullptr);
+  Executor* rep = variant->ExecutorFor(1);
+  ASSERT_NE(rep, variant->executor.get());
+
+  Arena arena;
+  Tensor input = SampleInput(23);
+  rep->Run(input, nullptr, &arena);  // warm-up: faults the arena pages
+
+  const std::uint64_t before = TensorHeapAllocCount();
+  constexpr std::uint64_t kRuns = 8;
+  for (std::uint64_t i = 0; i < kRuns; ++i) {
+    rep->Run(input, nullptr, &arena);
+  }
+  EXPECT_LE(TensorHeapAllocCount() - before, kRuns);
+}
+
 }  // namespace
 }  // namespace neocpu

@@ -1,0 +1,393 @@
+// Topology parsing against committed sysfs fixture trees, and the NUMA-aware
+// partition planner's invariants: node alignment, primary-before-sibling fill, the
+// single-spanning-partition exception, the measured-mode tuning carve-out, and the
+// single-socket plan staying bit-for-bit the legacy contiguous split.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+#include "src/runtime/arena_pool.h"
+#include "src/runtime/partition.h"
+#include "src/runtime/topology.h"
+
+namespace neocpu {
+namespace {
+
+std::string Fixture(const std::string& name) {
+  return std::string(NEOCPU_SOURCE_DIR) + "/tests/fixtures/sysfs/" + name;
+}
+
+std::vector<int> NodeCpus(const CpuTopology& topo, int node) {
+  for (const TopologyNode& record : topo.nodes()) {
+    if (record.id == node) {
+      return record.cpus;
+    }
+  }
+  return {};
+}
+
+std::vector<int> PartitionCpus(const CorePartition& part) {
+  if (!part.cpus.empty()) {
+    return part.cpus;
+  }
+  std::vector<int> cpus;
+  for (int c = 0; c < part.num_workers; ++c) {
+    cpus.push_back(part.core_offset + c);
+  }
+  return cpus;
+}
+
+// Every plan must cover disjoint cpus, and every multi-node slice must stay inside
+// its reported home node.
+void CheckPlanInvariants(const std::vector<CorePartition>& plan,
+                         const CpuTopology& topo) {
+  std::set<int> seen;
+  for (const CorePartition& part : plan) {
+    EXPECT_GE(part.num_workers, 1);
+    const std::vector<int> cpus = PartitionCpus(part);
+    EXPECT_EQ(static_cast<int>(cpus.size()), part.num_workers);
+    for (int cpu : cpus) {
+      EXPECT_TRUE(seen.insert(cpu).second) << "cpu " << cpu << " in two partitions";
+      if (!part.cpus.empty()) {
+        EXPECT_EQ(topo.NodeOfCpu(cpu), part.home_node)
+            << "cpu " << cpu << " strays off home node " << part.home_node;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- parsing
+
+TEST(ParseCpuList, RangesCommasAndNoise) {
+  EXPECT_EQ(ParseCpuList("0-3,8-11"),
+            (std::vector<int>{0, 1, 2, 3, 8, 9, 10, 11}));
+  EXPECT_EQ(ParseCpuList("7"), (std::vector<int>{7}));
+  EXPECT_EQ(ParseCpuList(" 2 , 5 "), (std::vector<int>{2, 5}));
+  EXPECT_EQ(ParseCpuList("1,1-2"), (std::vector<int>{1, 2}));  // dedup + sort
+  EXPECT_EQ(ParseCpuList("x,7"), (std::vector<int>{7}));       // skip malformed chunk
+  EXPECT_TRUE(ParseCpuList("").empty());
+  EXPECT_TRUE(ParseCpuList("3-1").empty());  // inverted range produces nothing
+}
+
+TEST(TopologyParse, DualSocket) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("dual_socket"));
+  EXPECT_EQ(topo.num_online_cpus(), 16);
+  EXPECT_EQ(topo.num_nodes(), 2);
+  EXPECT_EQ(topo.num_packages(), 2);
+  EXPECT_TRUE(topo.multi_node());
+  EXPECT_EQ(NodeCpus(topo, 0), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(NodeCpus(topo, 1), (std::vector<int>{8, 9, 10, 11, 12, 13, 14, 15}));
+  EXPECT_EQ(topo.NodeOfCpu(3), 0);
+  EXPECT_EQ(topo.NodeOfCpu(12), 1);
+  EXPECT_EQ(topo.FirstCpuOfNode(1), 8);
+  // No hyperthreads: every cpu is the primary of its own core, LLC per socket.
+  EXPECT_EQ(topo.num_primary_cpus(), 16);
+  for (const LogicalCpu& cpu : topo.cpus()) {
+    EXPECT_TRUE(cpu.primary);
+    EXPECT_EQ(cpu.llc, cpu.id < 8 ? 0 : 8);
+  }
+}
+
+TEST(TopologyParse, SingleSocket) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("single_socket"));
+  EXPECT_EQ(topo.num_online_cpus(), 4);
+  EXPECT_EQ(topo.num_nodes(), 1);
+  EXPECT_FALSE(topo.multi_node());
+  EXPECT_EQ(NodeCpus(topo, 0), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TopologyParse, HyperthreadSiblings) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("ht_sibling"));
+  EXPECT_EQ(topo.num_online_cpus(), 8);
+  EXPECT_EQ(topo.num_primary_cpus(), 4);
+  // Linux's split enumeration: primaries 0-3, their siblings 4-7.
+  for (const LogicalCpu& cpu : topo.cpus()) {
+    EXPECT_EQ(cpu.primary, cpu.id < 4) << "cpu " << cpu.id;
+  }
+  EXPECT_EQ(topo.nodes().front().primary_cpus, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TopologyParse, HyperthreadDualSocket) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("ht_dual_socket"));
+  EXPECT_EQ(topo.num_online_cpus(), 16);
+  EXPECT_EQ(topo.num_nodes(), 2);
+  EXPECT_EQ(topo.num_primary_cpus(), 8);
+  EXPECT_EQ(NodeCpus(topo, 0), (std::vector<int>{0, 1, 2, 3, 8, 9, 10, 11}));
+  EXPECT_EQ(NodeCpus(topo, 1), (std::vector<int>{4, 5, 6, 7, 12, 13, 14, 15}));
+}
+
+TEST(TopologyParse, OfflineCpuIsExcluded) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("offline_cpu"));
+  EXPECT_EQ(topo.num_online_cpus(), 3);
+  EXPECT_EQ(topo.NodeOfCpu(2), -1);  // offline cpu has no node
+  EXPECT_EQ(NodeCpus(topo, 0), (std::vector<int>{0, 1, 3}));
+}
+
+TEST(TopologyParse, MissingNodeDirMeansOneNode) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("no_numa"));
+  EXPECT_EQ(topo.num_online_cpus(), 4);
+  EXPECT_EQ(topo.num_nodes(), 1);
+  EXPECT_FALSE(topo.multi_node());
+  EXPECT_EQ(topo.nodes().front().id, 0);
+}
+
+TEST(TopologyParse, MissingRootYieldsEmptyTopology) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("does_not_exist"));
+  EXPECT_TRUE(topo.cpus().empty());
+  EXPECT_EQ(topo.num_nodes(), 0);
+}
+
+TEST(TopologyParse, HostTopologyIsUsable) {
+  // Whatever the host looks like, the cached topology must be non-degenerate: the
+  // planner and the server build on these invariants.
+  const CpuTopology& topo = HostTopology();
+  EXPECT_GE(topo.num_online_cpus(), 1);
+  EXPECT_GE(topo.num_nodes(), 1);
+  for (const TopologyNode& node : topo.nodes()) {
+    EXPECT_FALSE(node.cpus.empty());
+  }
+}
+
+TEST(TopologyWithoutCpus, PromotesSiblingToPrimary) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("ht_sibling"));
+  const CpuTopology carved = topo.WithoutCpus({0});
+  EXPECT_EQ(carved.num_online_cpus(), 7);
+  EXPECT_EQ(carved.NodeOfCpu(0), -1);
+  // cpu 4 (core 0's sibling) inherits the primary slot cpu 0 vacated.
+  const std::vector<int> primaries = carved.nodes().front().primary_cpus;
+  EXPECT_NE(std::find(primaries.begin(), primaries.end(), 4), primaries.end());
+  EXPECT_EQ(carved.num_primary_cpus(), 4);
+}
+
+// ---------------------------------------------------------------- planner
+
+TEST(PlanCorePartitions, SingleSocketMatchesLegacyContiguousSplit) {
+  // Regression pin: on a single-node topology the plan must be bit-for-bit the
+  // pre-NUMA contiguous split (earlier partitions absorb the remainder, cpus list
+  // empty, home node 0).
+  struct Case {
+    int partitions;
+    int total;
+    std::vector<std::pair<int, int>> expect;  // (core_offset, num_workers)
+  };
+  const Case cases[] = {
+      {2, 8, {{0, 4}, {4, 4}}},
+      {3, 8, {{0, 3}, {3, 3}, {6, 2}}},
+      {1, 4, {{0, 4}}},
+      {4, 4, {{0, 1}, {1, 1}, {2, 1}, {3, 1}}},
+      {8, 4, {{0, 1}, {1, 1}, {2, 1}, {3, 1}}},  // clamped to one core each
+      {2, 3, {{0, 2}, {2, 1}}},
+  };
+  for (const Case& c : cases) {
+    const std::vector<CorePartition> plan =
+        PlanCorePartitions(c.partitions, c.total, CpuTopology::SingleNode(c.total));
+    ASSERT_EQ(plan.size(), c.expect.size()) << c.partitions << "x" << c.total;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      EXPECT_EQ(plan[i].core_offset, c.expect[i].first);
+      EXPECT_EQ(plan[i].num_workers, c.expect[i].second);
+      EXPECT_EQ(plan[i].home_node, 0);
+      EXPECT_TRUE(plan[i].cpus.empty()) << "single-node slices stay contiguous";
+    }
+  }
+}
+
+TEST(PlanCorePartitions, DualSocketOnePartitionPerNode) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("dual_socket"));
+  const std::vector<CorePartition> plan = PlanCorePartitions(2, 16, topo);
+  ASSERT_EQ(plan.size(), 2u);
+  CheckPlanInvariants(plan, topo);
+  EXPECT_EQ(plan[0].home_node, 0);
+  EXPECT_EQ(plan[0].cpus, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(plan[1].home_node, 1);
+  EXPECT_EQ(plan[1].cpus, (std::vector<int>{8, 9, 10, 11, 12, 13, 14, 15}));
+}
+
+TEST(PlanCorePartitions, MorePartitionsThanNodes) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("dual_socket"));
+  // 4 partitions over 2 nodes: two per node, none straddling.
+  std::vector<CorePartition> plan = PlanCorePartitions(4, 16, topo);
+  ASSERT_EQ(plan.size(), 4u);
+  CheckPlanInvariants(plan, topo);
+  for (const CorePartition& part : plan) {
+    EXPECT_EQ(part.num_workers, 4);
+  }
+  // An odd count still never straddles: 3 partitions land 2 on one node, 1 on the
+  // other, and every slice keeps a single home node.
+  plan = PlanCorePartitions(3, 16, topo);
+  ASSERT_EQ(plan.size(), 3u);
+  CheckPlanInvariants(plan, topo);
+  int total_cpus = 0;
+  for (const CorePartition& part : plan) {
+    total_cpus += part.num_workers;
+  }
+  EXPECT_EQ(total_cpus, 16);
+}
+
+TEST(PlanCorePartitions, UnevenNodesSplitProportionally) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("dual_socket_uneven"));
+  // Node 0 holds 6 cpus, node 1 holds 4: two partitions land one per node with the
+  // node's full width.
+  std::vector<CorePartition> plan = PlanCorePartitions(2, 10, topo);
+  ASSERT_EQ(plan.size(), 2u);
+  CheckPlanInvariants(plan, topo);
+  EXPECT_EQ(plan[0].home_node, 0);
+  EXPECT_EQ(plan[0].num_workers, 6);
+  EXPECT_EQ(plan[1].home_node, 1);
+  EXPECT_EQ(plan[1].num_workers, 4);
+  // Five partitions apportion 3:2 by capacity.
+  plan = PlanCorePartitions(5, 10, topo);
+  ASSERT_EQ(plan.size(), 5u);
+  CheckPlanInvariants(plan, topo);
+  int on_node0 = 0;
+  for (const CorePartition& part : plan) {
+    on_node0 += part.home_node == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(on_node0, 3);
+}
+
+TEST(PlanCorePartitions, SinglePartitionPrefersOneNodeThenSpans) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("dual_socket"));
+  // Fits the largest node: stays node-local.
+  std::vector<CorePartition> plan = PlanCorePartitions(1, 8, topo);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].cpus, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(plan[0].home_node, 0);
+  // Needs the whole host: the documented exception — one partition may straddle.
+  plan = PlanCorePartitions(1, 16, topo);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].num_workers, 16);
+}
+
+TEST(PlanCorePartitions, PrimariesBeforeHyperthreadSiblings) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("ht_dual_socket"));
+  // 8 workers over 2 nodes: each partition takes its node's 4 physical cores and no
+  // HT siblings.
+  const std::vector<CorePartition> plan = PlanCorePartitions(2, 8, topo);
+  ASSERT_EQ(plan.size(), 2u);
+  CheckPlanInvariants(plan, topo);
+  EXPECT_EQ(plan[0].cpus, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(plan[1].cpus, (std::vector<int>{4, 5, 6, 7}));
+  // Oversubscribed past the primaries, siblings join their own node's slice.
+  const std::vector<CorePartition> full = PlanCorePartitions(2, 16, topo);
+  CheckPlanInvariants(full, topo);
+  EXPECT_EQ(full[0].num_workers, 8);
+  EXPECT_EQ(full[1].num_workers, 8);
+}
+
+TEST(PlanCorePartitions, WorkerBudgetClampsToCapacity) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("dual_socket"));
+  const std::vector<CorePartition> plan = PlanCorePartitions(2, 64, topo);
+  int total = 0;
+  for (const CorePartition& part : plan) {
+    total += part.num_workers;
+  }
+  EXPECT_EQ(total, 16) << "budget beyond the host clamps to online cpus";
+}
+
+// ---------------------------------------------------------------- tuning carve-out
+
+TEST(PlanServingAndTuning, CarvesHyperthreadSiblings) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("ht_dual_socket"));
+  const ServingPlan plan = PlanServingAndTuning(2, 8, topo);
+  ASSERT_TRUE(plan.has_dedicated_tuning);
+  // The two highest HT siblings of the last node — cycles the primary-first serving
+  // fill would only reach under full subscription.
+  EXPECT_EQ(plan.tuning.cpus, (std::vector<int>{14, 15}));
+  EXPECT_EQ(plan.tuning.home_node, 1);
+  std::set<int> tuning(plan.tuning.cpus.begin(), plan.tuning.cpus.end());
+  for (const CorePartition& part : plan.serving) {
+    for (int cpu : PartitionCpus(part)) {
+      EXPECT_EQ(tuning.count(cpu), 0u) << "serving cpu " << cpu << " on tuning slice";
+    }
+  }
+}
+
+TEST(PlanServingAndTuning, NoHyperthreadsStealsLastCpu) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("dual_socket"));
+  const ServingPlan plan = PlanServingAndTuning(2, 16, topo);
+  ASSERT_TRUE(plan.has_dedicated_tuning);
+  EXPECT_EQ(plan.tuning.cpus, (std::vector<int>{15}));
+  EXPECT_EQ(plan.tuning.home_node, 1);
+  int serving_cpus = 0;
+  for (const CorePartition& part : plan.serving) {
+    serving_cpus += part.num_workers;
+    for (int cpu : PartitionCpus(part)) {
+      EXPECT_NE(cpu, 15);
+    }
+  }
+  EXPECT_EQ(serving_cpus, 15);
+}
+
+TEST(PlanServingAndTuning, OneCpuHostSharesInsteadOfCarving) {
+  const ServingPlan plan = PlanServingAndTuning(1, 1, CpuTopology::SingleNode(1));
+  EXPECT_FALSE(plan.has_dedicated_tuning);
+  ASSERT_EQ(plan.serving.size(), 1u);
+  EXPECT_EQ(plan.serving[0].num_workers, 1);
+  EXPECT_EQ(plan.tuning.num_workers, 1);
+}
+
+TEST(PlanServingAndTuning, SingleSocketKeepsServingContiguous) {
+  const CpuTopology topo = CpuTopology::FromSysfs(Fixture("single_socket"));
+  const ServingPlan plan = PlanServingAndTuning(2, 4, topo);
+  ASSERT_TRUE(plan.has_dedicated_tuning);
+  EXPECT_EQ(plan.tuning.cpus, (std::vector<int>{3}));
+  // Serving over the remaining prefix stays the legacy contiguous shape.
+  ASSERT_EQ(plan.serving.size(), 2u);
+  EXPECT_EQ(plan.serving[0].core_offset, 0);
+  EXPECT_EQ(plan.serving[0].num_workers, 2);
+  EXPECT_EQ(plan.serving[1].core_offset, 2);
+  EXPECT_EQ(plan.serving[1].num_workers, 1);
+  EXPECT_TRUE(plan.serving[0].cpus.empty());
+}
+
+// ---------------------------------------------------------------- engines + arena
+
+TEST(MakePartitionEngine, SingleCoreSliceIsPinnedSerial) {
+  CorePartition part;
+  part.core_offset = 0;
+  part.num_workers = 1;
+  const std::unique_ptr<ThreadEngine> pinned = MakePartitionEngine(part, true);
+  EXPECT_STREQ(pinned->Name(), "pinned-serial");
+  EXPECT_EQ(pinned->NumWorkers(), 1);
+  // The engine must actually run work on the calling thread.
+  int ran = 0;
+  pinned->ParallelRun(3, [&](int, int) { ++ran; });
+  EXPECT_EQ(ran, 3);
+  const std::unique_ptr<ThreadEngine> unpinned = MakePartitionEngine(part, false);
+  EXPECT_STREQ(unpinned->Name(), "serial");
+}
+
+TEST(Arena, NodeBoundArenaReportsPerNodeGauge) {
+  Gauge* gauge = MetricsRegistry::Global().GetGauge(
+      "neocpu_arena_bytes_node_0", "Arena bytes resident on NUMA node 0");
+  const double before = gauge->Value();
+  {
+    Arena arena;
+    arena.set_home_node(0);
+    arena.Reserve(1 << 16);
+    EXPECT_GE(gauge->Value(), before + (1 << 16));
+    // Growth moves the accounting, never double-counts.
+    arena.Reserve(1 << 18);
+    EXPECT_GE(gauge->Value(), before + (1 << 18));
+  }
+  EXPECT_DOUBLE_EQ(gauge->Value(), before);  // destructor returns the bytes
+}
+
+TEST(Arena, LateNodeBindMovesAccounting) {
+  Gauge* node0 = MetricsRegistry::Global().GetGauge(
+      "neocpu_arena_bytes_node_0", "Arena bytes resident on NUMA node 0");
+  const double before = node0->Value();
+  Arena arena;
+  arena.Reserve(4096);  // unbound: no node gauge yet
+  EXPECT_DOUBLE_EQ(node0->Value(), before);
+  arena.set_home_node(0);
+  arena.Reserve(8192);  // first bound growth claims the full capacity
+  EXPECT_GE(node0->Value(), before + 8192);
+}
+
+}  // namespace
+}  // namespace neocpu

@@ -37,6 +37,13 @@ Gemm by NEOCPU_GEMM_SPEEDUP (default 2.0x) on at least one shape, and wherever
 the VNNI tier ran, u8 must beat the best tuned f32 on at least one shape. An
 optional baseline file compares per-cell GFLOP/s under the same tolerance.
 
+A fourth leg handles the figure-4 scalability bench (BENCH_fig4.json): on hosts
+with more than one NUMA node, the topology-aware partition plan must not lose to
+the node-oblivious plan by more than NEOCPU_NUMA_TOLERANCE (default 10%) — NUMA
+awareness that makes things slower is a bug, not noise. On single-node runners
+(where the two plans coincide) the gate downgrades to a warning, so dev
+containers and small CI shapes never fail on a comparison they cannot make.
+
 A third leg gates the wire front end's overload behavior when the serve report
 carries a "wire" section (closed-loop capacity + open-loop Poisson legs).
 These are hardware-relative invariants, so they run even without a matching
@@ -190,6 +197,41 @@ def gemm_gate(current, current_path, baseline_path, tolerance):
     return 0
 
 
+def fig4_gate(current, current_path):
+    """NUMA-placement invariants for the fig4_scalability bench report."""
+    legs = {l.get("name"): l for l in current.get("legs") or []}
+    aware = legs.get("numa_aware")
+    oblivious = legs.get("numa_oblivious")
+    if aware is None or oblivious is None:
+        print(f"FAIL: {current_path} is missing the numa_aware/numa_oblivious legs")
+        return 1
+    if aware.get("throughput_ips", 0) <= 0 or oblivious.get("throughput_ips", 0) <= 0:
+        print("FAIL: non-positive throughput in a NUMA leg")
+        return 1
+    nodes = current.get("numa_nodes", 1)
+    ratio = aware["throughput_ips"] / oblivious["throughput_ips"]
+    print(
+        f"numa-aware {aware['throughput_ips']:.1f} vs oblivious "
+        f"{oblivious['throughput_ips']:.1f} images/sec -> ratio {ratio:.3f} "
+        f"({nodes} NUMA node(s))"
+    )
+    if nodes <= 1:
+        print(
+            "WARN: single NUMA node — the plans coincide, so the placement gate "
+            "cannot arm on this runner; run on a multi-socket host to gate it"
+        )
+        return 0
+    numa_tol = float(os.environ.get("NEOCPU_NUMA_TOLERANCE", "0.10"))
+    if ratio < 1.0 - numa_tol:
+        print(
+            f"FAIL: the topology-aware plan lost {100 * (1 - ratio):.1f}% to the "
+            f"oblivious plan (tolerance {100 * numa_tol:.0f}%)"
+        )
+        return 1
+    print(f"OK: NUMA-aware placement holds within {100 * numa_tol:.0f}% tolerance")
+    return 0
+
+
 def wire_invariant_gate(wire):
     """Hardware-relative overload invariants on the wire section. Returns failed."""
     legs = wire.get("legs") or []
@@ -287,6 +329,8 @@ def main(argv):
     if current.get("bench") == "gemm_micro":
         return gemm_gate(current, current_path,
                          argv[2] if len(argv) > 2 else None, tolerance)
+    if current.get("bench") == "fig4_scalability":
+        return fig4_gate(current, current_path)
     baseline_path = argv[2] if len(argv) > 2 else "bench/BENCH_serve.baseline.json"
     try:
         baseline = load(baseline_path)
